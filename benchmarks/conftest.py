@@ -1,0 +1,38 @@
+"""Shared fixtures and result-capture helpers for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper.  Rendered
+artifacts are written under ``results/`` so EXPERIMENTS.md can reference
+them; pytest-benchmark timings additionally capture the *scheduling
+cost* side of the paper's efficiency claims.
+
+Environment knob: set ``REPRO_FULL=1`` for paper-scale unroll factors
+(slower, tighter steady states); the default keeps CI-fast sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def unroll_for(fus: int) -> int:
+    """Unroll factor per FU count (paper-scale when REPRO_FULL=1)."""
+    return max(12, (4 if FULL else 3) * fus)
+
+
+def write_result(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,55 @@
+"""Ablation D: the section 3.4 ranking heuristic vs a naive ordering.
+
+The paper: "the speedups shown in Table 1 do not necessarily represent
+the maximum potential of GRiP, but rather are intended to convey a
+notion of how well GRiP can perform even with the simple operation
+ordering defined in section 3.4."  This bench quantifies the heuristic's
+value: GRiP with the chain-length ranking vs plain source order on a
+Table-1 subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.machine import MachineConfig
+from repro.pipelining import pipeline_loop
+from repro.reporting import arithmetic_mean, comparison_table
+from repro.scheduling import PaperHeuristic, SourceOrderHeuristic
+from repro.workloads import livermore
+
+LOOPS = ("LL1", "LL3", "LL7", "LL10", "LL12")
+FUS = 4
+UNROLL = 12
+
+
+class TestHeuristicAblation:
+    def test_paper_heuristic_no_worse_on_average(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = []
+        paper_vals, naive_vals = [], []
+        for name in LOOPS:
+            r_paper = pipeline_loop(
+                livermore.kernel(name, UNROLL), MachineConfig(fus=FUS),
+                unroll=UNROLL, heuristic=PaperHeuristic(), measure=False)
+            r_naive = pipeline_loop(
+                livermore.kernel(name, UNROLL), MachineConfig(fus=FUS),
+                unroll=UNROLL, heuristic=SourceOrderHeuristic(),
+                measure=False)
+            sp = r_paper.speedup
+            sn = r_naive.speedup
+            rows.append([name,
+                         f"{sp:.2f}" if sp else "n/c",
+                         f"{sn:.2f}" if sn else "n/c"])
+            if sp:
+                paper_vals.append(sp)
+            if sn:
+                naive_vals.append(sn)
+        text = comparison_table(
+            ["Loop", "section-3.4 heuristic", "source order"],
+            rows, f"Ablation D: ranking heuristic (GRiP @ {FUS} FUs)")
+        write_result("ablation_d_heuristic.txt", text)
+        print("\n" + text)
+        assert arithmetic_mean(paper_vals) >= \
+            arithmetic_mean(naive_vals) - 0.15

@@ -1,0 +1,127 @@
+"""Ablations quantifying the paper's three design arguments.
+
+* **A -- Unifiable-ops cost (section 3.1).**  The closure bookkeeping of
+  Unifiable-ops scheduling grows super-linearly with program size while
+  GRiP's Moveable-ops stay trivial.  Measured as closure-element
+  touches vs candidate-set builds on growing unwound loops.
+* **B -- gap prevention (section 3.3).**  Without Gapless-move the
+  per-iteration spread of the slope-mismatched A..G loop grows without
+  bound; with it the spread is flat.  (Detailed figure bench in
+  test_fig9_13; here the claim is swept across unroll factors.)
+* **C -- speculation (section 1).**  "GRiP always allows speculative
+  scheduling"; disabling it on branchy code costs schedule density when
+  resources are plentiful.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.machine import INFINITE_RESOURCES, MachineConfig
+from repro.pipelining import main_chain, unwind_implicit
+from repro.reporting import comparison_table
+from repro.scheduling import (
+    AlphabeticalHeuristic,
+    GRiPScheduler,
+    UnifiableOpsScheduler,
+)
+from repro.simulator import check_equivalent
+from repro.workloads.paper_examples import ag_body
+from repro.workloads.synthetic import branchy_program, wide_body
+
+
+class TestAblationAUnifiableCost:
+    def test_closure_cost_grows_faster_than_moveable(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = []
+        prev_ratio = 0.0
+        for unroll in (2, 4, 8):
+            u1 = unwind_implicit(ag_body(), unroll)
+            r_uni = UnifiableOpsScheduler(
+                MachineConfig(fus=4), AlphabeticalHeuristic()
+            ).schedule(u1.graph, ranking_ops=u1.ops)
+            u2 = unwind_implicit(ag_body(), unroll)
+            r_grip = GRiPScheduler(
+                MachineConfig(fus=4), AlphabeticalHeuristic(),
+                gap_prevention=False
+            ).schedule(u2.graph, ranking_ops=u2.ops)
+            closure = r_uni.unifiable_stats.closure_ops
+            builds = r_grip.candidate_builds
+            rows.append([f"x{unroll}", 7 * unroll, closure, builds,
+                         closure / max(1, builds)])
+            ratio = closure / max(1, builds)
+            assert ratio >= prev_ratio * 0.9  # monotone-ish growth
+            prev_ratio = ratio
+        text = comparison_table(
+            ["unroll", "ops", "closure touches (Unifiable)",
+             "set builds (GRiP)", "ratio"],
+            rows, "Ablation A: set-maintenance cost")
+        write_result("ablation_a_cost.txt", text)
+        print("\n" + text)
+
+
+class TestAblationBGapPrevention:
+    @staticmethod
+    def spread(u):
+        chain = main_chain(u.graph)
+        first, last = {}, {}
+        for idx, nid in enumerate(chain):
+            for op in u.graph.nodes[nid].all_ops():
+                if op.iteration >= 0:
+                    first.setdefault(op.iteration, idx)
+                    last[op.iteration] = idx
+        mids = [i for i in first if 1 <= i <= max(first) - 3]
+        return max(last[i] - first[i] for i in mids) if mids else 0
+
+    def test_spread_growth_vs_bounded(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = []
+        for unroll in (6, 10, 14):
+            off = unwind_implicit(ag_body(), unroll)
+            GRiPScheduler(INFINITE_RESOURCES, AlphabeticalHeuristic(),
+                          gap_prevention=False).schedule(
+                off.graph, ranking_ops=off.ops)
+            on = unwind_implicit(ag_body(), unroll)
+            GRiPScheduler(INFINITE_RESOURCES, AlphabeticalHeuristic(),
+                          gap_prevention=True).schedule(
+                on.graph, ranking_ops=on.ops)
+            rows.append([unroll, self.spread(off), self.spread(on)])
+        text = comparison_table(
+            ["unroll", "max spread (no prevention)",
+             "max spread (Gapless-move)"],
+            rows, "Ablation B: iteration spread")
+        write_result("ablation_b_gaps.txt", text)
+        print("\n" + text)
+        # Without prevention the spread grows with the unroll factor...
+        assert rows[-1][1] > rows[0][1]
+        # ...with prevention it stays below the unconstrained spread.
+        assert rows[-1][2] < rows[-1][1]
+
+
+class TestAblationCSpeculation:
+    def test_speculation_buys_density(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = []
+        for depth in (2, 3, 4):
+            g_spec = branchy_program(random.Random(depth), depth=depth)
+            orig = g_spec.clone()
+            GRiPScheduler(MachineConfig(fus=8), gap_prevention=False,
+                          allow_speculation=True).schedule(g_spec)
+            check_equivalent(orig, g_spec, seeds=(0,))
+            g_none = branchy_program(random.Random(depth), depth=depth)
+            orig2 = g_none.clone()
+            GRiPScheduler(MachineConfig(fus=8), gap_prevention=False,
+                          allow_speculation=False).schedule(g_none)
+            check_equivalent(orig2, g_none, seeds=(0,))
+            rows.append([depth, len(g_spec.reachable()),
+                         len(g_none.reachable())])
+        text = comparison_table(
+            ["diamonds", "rows (speculative)", "rows (no speculation)"],
+            rows, "Ablation C: speculative scheduling")
+        write_result("ablation_c_speculation.txt", text)
+        print("\n" + text)
+        assert all(spec <= none for _, spec, none in rows)
+        assert any(spec < none for _, spec, none in rows)

@@ -1,0 +1,104 @@
+"""Figures 2 and 3: the move-op and move-cj core transformations.
+
+Micro-benchmarks demonstrating (and timing) the two semantics-
+preserving primitives on the paper's minimal shapes: moving an
+operation up one instruction, and moving a conditional jump up one
+instruction with node splitting of the source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    EXIT,
+    ProgramGraph,
+    RegisterFile,
+    add,
+    cjump,
+    cmp_lt,
+    store,
+    straightline_graph,
+    sub,
+)
+from repro.ir.cjtree import Branch, make_leaf
+from repro.machine import MachineConfig
+from repro.percolation import move_cj, move_op
+from repro.simulator import check_equivalent
+
+
+def moveop_case():
+    ops = [add("a", "x", 1, name="A"), sub("b", "y", 1, name="B"),
+           store("out", "a", offset=0), store("out", "b", offset=1)]
+    return straightline_graph(ops)
+
+
+def movecj_case():
+    g = ProgramGraph()
+    n0 = g.new_node()
+    n0.add_op(cmp_lt("c", "a", "b"))
+    g.set_entry(n0.nid)
+    n1 = g.new_node()
+    n1.add_op(add("w", "a", 1))
+    g.retarget_leaf(n0.nid, n0.leaves()[0].leaf_id, n1.nid)
+    cj = cjump("c")
+    n2 = g.new_node()
+    tl, fl = make_leaf(EXIT), make_leaf(EXIT)
+    n2.tree = Branch(cj.uid, tl, fl)
+    n2.cjs[cj.uid] = cj
+    g.note_tree_change(n2.nid)
+    g.retarget_leaf(n1.nid, n1.leaves()[0].leaf_id, n2.nid)
+    nt = g.new_node()
+    nt.add_op(store("o", "w", offset=0))
+    ne = g.new_node()
+    ne.add_op(store("o", "a", offset=0))
+    g.retarget_leaf(n2.nid, tl.leaf_id, nt.nid)
+    g.retarget_leaf(n2.nid, fl.leaf_id, ne.nid)
+    return g, n1.nid, n2.nid, cj.uid
+
+
+class TestFigure2MoveOp:
+    def test_semantics_and_shape(self):
+        g = moveop_case()
+        orig = g.clone()
+        order = g.rpo()
+        uid = next(iter(g.nodes[order[1]].ops))
+        out = move_op(g, order[1], order[0], uid,
+                      machine=MachineConfig(fus=4), regfile=RegisterFile())
+        assert out.moved
+        assert len(g.nodes) == len(orig.nodes) - 1
+        check_equivalent(orig, g)
+
+    def test_bench_move_op(self, benchmark):
+        def run():
+            g = moveop_case()
+            order = g.rpo()
+            uid = next(iter(g.nodes[order[1]].ops))
+            return move_op(g, order[1], order[0], uid,
+                           machine=MachineConfig(fus=4),
+                           regfile=RegisterFile())
+
+        out = benchmark(run)
+        assert out.moved
+
+
+class TestFigure3MoveCJ:
+    def test_semantics_and_shape(self):
+        g, to_nid, from_nid, cj_uid = movecj_case()
+        orig = g.clone()
+        out = move_cj(g, from_nid, to_nid, cj_uid,
+                      machine=MachineConfig(fus=4), regfile=RegisterFile())
+        assert out.moved
+        g.check()
+        assert len(g.nodes[to_nid].cjs) == 1
+        check_equivalent(orig, g)
+
+    def test_bench_move_cj(self, benchmark):
+        def run():
+            g, to_nid, from_nid, cj_uid = movecj_case()
+            return move_cj(g, from_nid, to_nid, cj_uid,
+                           machine=MachineConfig(fus=4),
+                           regfile=RegisterFile())
+
+        out = benchmark(run)
+        assert out.moved

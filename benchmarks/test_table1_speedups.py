@@ -1,0 +1,149 @@
+"""Table 1: observed speedups, GRiP vs POST, LL1-LL14 x {2,4,8} FUs.
+
+Regenerates the paper's headline table.  Shape criteria asserted:
+
+* GRiP never loses to POST (the paper's "In all cases GRiP performs no
+  worse than POST");
+* at 2 FUs both systems sit essentially at 2.0 (paper means 2.0 / 2.0);
+* the aggregate Mean/WHM ordering GRiP > POST holds at 4 and 8 FUs;
+* recurrence-bound loops (LL5, LL6, LL13) stay flat from 4 to 8 FUs
+  while vectorizable loops (LL1, LL7, LL9) scale to ~8.
+
+The rendered table is written to ``results/table1.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import unroll_for, write_result
+from repro.machine import MachineConfig
+from repro.pipelining import pipeline_loop, pipeline_loop_post
+from repro.reporting import SpeedupTable, arithmetic_mean
+from repro.workloads import livermore
+
+FU_CONFIGS = (2, 4, 8)
+
+#: paper's Table 1 for side-by-side reporting in results/table1.txt
+PAPER_TABLE1 = {
+    "LL1": ((2.0, 2.0), (4.0, 3.5), (7.9, 7.0)),
+    "LL2": ((2.0, 1.9), (3.8, 3.6), (7.3, 6.9)),
+    "LL3": ((2.0, 1.8), (4.0, 3.0), (8.0, 4.5)),
+    "LL4": ((2.0, 2.0), (4.3, 3.9), (8.4, 5.9)),
+    "LL5": ((2.0, 2.2), (4.4, 3.7), (5.5, 5.5)),
+    "LL6": ((2.0, 1.8), (3.6, 2.8), (3.6, 3.3)),
+    "LL7": ((2.0, 1.9), (4.0, 3.9), (7.9, 7.6)),
+    "LL8": ((2.0, 1.9), (3.4, 3.1), (4.3, 4.0)),
+    "LL9": ((2.0, 2.0), (4.0, 3.9), (7.9, 7.7)),
+    "LL10": ((2.0, 2.0), (4.0, 2.9), (7.1, 3.6)),
+    "LL11": ((2.3, 2.3), (4.5, 4.5), (8.9, 8.9)),
+    "LL12": ((2.0, 1.8), (4.0, 3.0), (8.0, 4.5)),
+    "LL13": ((2.1, 1.9), (3.0, 2.7), (3.0, 3.0)),
+    "LL14": ((1.9, 1.9), (3.7, 3.2), (4.8, 4.5)),
+}
+
+
+@pytest.fixture(scope="module")
+def table() -> SpeedupTable:
+    """Run the full sweep once; all assertions read from it."""
+    t = SpeedupTable(fu_configs=FU_CONFIGS, systems=("GRiP", "POST"))
+    for name in livermore.kernel_names():
+        for fus in FU_CONFIGS:
+            unroll = unroll_for(fus)
+            loop_g = livermore.kernel(name, unroll)
+            g = pipeline_loop(loop_g, MachineConfig(fus=fus),
+                              unroll=unroll, measure=False)
+            loop_p = livermore.kernel(name, unroll)
+            p = pipeline_loop_post(loop_p, MachineConfig(fus=fus),
+                                   unroll=unroll)
+            weight = loop_g.ops_per_iteration
+            t.add(name, fus, "GRiP", g.speedup, weight=weight)
+            t.add(name, fus, "POST", p.speedup, weight=weight)
+    text = t.render("Table 1: Observed Speed-up (reproduction)")
+    paper_rows = [
+        [name, *("%.1f/%.1f" % pair for pair in PAPER_TABLE1[name])]
+        for name in livermore.kernel_names()
+    ]
+    from repro.reporting import comparison_table
+
+    text += "\n" + comparison_table(
+        ["Loop", "2FU G/P", "4FU G/P", "8FU G/P"], paper_rows,
+        "Paper's Table 1 (for comparison)")
+    write_result("table1.txt", text)
+    print("\n" + text)
+    return t
+
+
+class TestTable1Shape:
+    def test_all_cells_converged(self, table):
+        for name, row in table.cells.items():
+            for key, v in row.items():
+                assert v is not None, (name, key)
+
+    def test_grip_never_worse_than_post(self, table):
+        for name, row in table.cells.items():
+            for fus in FU_CONFIGS:
+                g, p = row[(fus, "GRiP")], row[(fus, "POST")]
+                assert g >= p - 1e-9, (name, fus, g, p)
+
+    def test_two_fu_essentially_optimal(self, table):
+        """Paper: 'for 2 and 4 functional units, GRiP results are
+        essentially optimal' -- mean 2.0 at 2 FUs."""
+        col = [v for v in table.column(2, "GRiP") if v is not None]
+        assert arithmetic_mean(col) == pytest.approx(2.0, abs=0.1)
+
+    def test_four_fu_mean_near_paper(self, table):
+        col = [v for v in table.column(4, "GRiP") if v is not None]
+        assert arithmetic_mean(col) == pytest.approx(3.9, abs=0.35)
+
+    def test_eight_fu_mean_near_paper(self, table):
+        """Paper mean 6.6: GRiP fills resources subject to the loops'
+        own parallelism limits."""
+        col = [v for v in table.column(8, "GRiP") if v is not None]
+        assert arithmetic_mean(col) == pytest.approx(6.6, abs=0.8)
+
+    def test_post_gap_opens_with_resources(self, table):
+        """POST's deficit widens as FUs grow (paper: 0.0 -> 0.5 -> 1.1)."""
+        gaps = []
+        for fus in FU_CONFIGS:
+            g = arithmetic_mean([v for v in table.column(fus, "GRiP")])
+            p = arithmetic_mean([v for v in table.column(fus, "POST")])
+            gaps.append(g - p)
+        assert gaps[0] <= gaps[1] + 0.05 <= gaps[2] + 0.10
+
+    def test_recurrence_loops_flat(self, table):
+        for name in ("LL5", "LL6", "LL13"):
+            s4 = table.cells[name][(4, "GRiP")]
+            s8 = table.cells[name][(8, "GRiP")]
+            assert s8 <= s4 + 0.25, name
+
+    def test_vectorizable_loops_scale(self, table):
+        for name in ("LL1", "LL7", "LL9"):
+            s8 = table.cells[name][(8, "GRiP")]
+            assert s8 >= 7.0, name
+
+    def test_ties_where_paper_ties(self, table):
+        """LL5 and LL13 tie GRiP=POST at 8 FUs in the paper."""
+        for name in ("LL5", "LL13"):
+            g = table.cells[name][(8, "GRiP")]
+            p = table.cells[name][(8, "POST")]
+            assert g == pytest.approx(p, abs=0.35), name
+
+
+class TestTable1SchedulingCost:
+    """pytest-benchmark timing of one representative cell.
+
+    Requesting the ``table`` fixture here guarantees the full Table-1
+    sweep (and ``results/table1.txt``) regenerates even under
+    ``--benchmark-only``, which skips the plain shape tests.
+    """
+
+    def test_bench_grip_ll1_4fu(self, benchmark, table):
+        def run():
+            loop = livermore.kernel("LL1", 12)
+            return pipeline_loop(loop, MachineConfig(fus=4), unroll=12,
+                                 measure=False)
+
+        res = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert res.speedup is not None
+        assert table.cells  # sweep ran and populated the table

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Four schedulers on one workload: GRiP, Unifiable-ops, POST, list.
+
+Run:  python examples/compare_schedulers.py
+
+Uses the paper's A..G running example (unwound 6 times) so the contrast
+matches Figures 8-13: schedule length, bookkeeping cost, and -- for the
+pipelining systems -- the steady-state initiation interval.
+"""
+
+from repro.machine import MachineConfig
+from repro.pipelining import graph_throughput, unwind_implicit
+from repro.reporting import comparison_table
+from repro.scheduling import (
+    AlphabeticalHeuristic,
+    GRiPScheduler,
+    POSTScheduler,
+    UnifiableOpsScheduler,
+    list_schedule,
+)
+from repro.workloads.paper_examples import ag_body
+
+MACHINE = MachineConfig(fus=4)
+UNROLL = 6
+
+
+def main() -> None:
+    rows = []
+
+    u = unwind_implicit(ag_body(), UNROLL)
+    res = GRiPScheduler(MACHINE, AlphabeticalHeuristic(),
+                        gap_prevention=True).schedule(u.graph,
+                                                      ranking_ops=u.ops)
+    est = graph_throughput(u, u.graph)
+    rows.append(["GRiP (gapless)", len(u.graph.rpo()),
+                 f"{res.stats.moves} moves",
+                 f"II~{est.ii:.2f}" if est else "-"])
+
+    u2 = unwind_implicit(ag_body(), UNROLL)
+    res2 = UnifiableOpsScheduler(MACHINE, AlphabeticalHeuristic()
+                                 ).schedule(u2.graph, ranking_ops=u2.ops)
+    rows.append(["Unifiable-ops", len(u2.graph.rpo()),
+                 f"{res2.unifiable_stats.closure_ops} closure touches",
+                 "-"])
+
+    u3 = unwind_implicit(ag_body(), UNROLL)
+    pr = POSTScheduler(MACHINE, AlphabeticalHeuristic()).schedule_ops(u3.ops)
+    rows.append(["POST (repack)", pr.repacked.cycles,
+                 f"{pr.repacked.spilled_ops} spilled ops", "-"])
+
+    ls = list_schedule(list(ag_body()), MACHINE,
+                       heuristic=AlphabeticalHeuristic())
+    rows.append(["list (1 body)", ls.cycles, "-", "-"])
+
+    print(comparison_table(
+        ["scheduler", "rows", "cost/notes", "steady state"],
+        rows, f"A..G example, {UNROLL} iterations, {MACHINE}"))
+    print("\nThe A..G loop carries a 2-cycles-per-iteration recurrence"
+          " (d<->e), so II~2.0 is\nthe dependence bound; GRiP's gapless"
+          " schedule sustains it while POST stretches\neach iteration"
+          " over the broken unconstrained pattern.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Conditional jumps under percolation: move-cj and speculation.
+
+Run:  python examples/conditional_scheduling.py
+
+Builds a chain of branch diamonds (IBM VLIW conditional-jump trees),
+then compacts it twice -- with speculative scheduling enabled (the
+paper's GRiP default) and disabled -- and shows the schedules and the
+simulator's equivalence verdicts.
+"""
+
+import random
+
+from repro.ir.render import render_graph
+from repro.machine import MachineConfig
+from repro.scheduling import GRiPScheduler
+from repro.simulator import check_equivalent
+from repro.workloads.synthetic import branchy_program
+
+
+def compact(depth: int, speculate: bool):
+    g = branchy_program(random.Random(1), depth=depth)
+    orig = g.clone()
+    res = GRiPScheduler(MachineConfig(fus=8), gap_prevention=False,
+                        allow_speculation=speculate).schedule(g)
+    rep = check_equivalent(orig, g, seeds=(0, 1, 2))
+    return g, res, rep
+
+
+def main() -> None:
+    depth = 3
+    print(f"program: {depth} chained branch diamonds\n")
+    for speculate in (True, False):
+        label = "speculative (GRiP default)" if speculate else "no speculation"
+        g, res, rep = compact(depth, speculate)
+        print(f"=== {label} ===")
+        print(f"rows: {len(g.reachable())}   cj-moves: {res.stats.cj_moves}"
+              f"   renames: {res.stats.renames}")
+        print(f"simulator speedup over 3 random inputs: "
+              f"{rep.mean_speedup:.2f} (memory verified)\n")
+        print(render_graph(g))
+
+
+if __name__ == "__main__":
+    main()

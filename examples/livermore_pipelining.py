@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Pipeline the Livermore loops across machine widths (mini Table 1).
+
+Run:  python examples/livermore_pipelining.py [LL1 LL3 ...]
+
+For each requested kernel (default: a representative sample) the script
+pipelines with GRiP and with the POST baseline at 2/4/8 functional
+units, printing analytic speedups and the simulator-verified measured
+speedup at 4 FUs.
+"""
+
+import sys
+
+from repro.machine import MachineConfig
+from repro.pipelining import pipeline_loop, pipeline_loop_post
+from repro.reporting import comparison_table
+from repro.workloads import livermore
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["LL1", "LL3", "LL5", "LL10", "LL12"]
+    rows = []
+    for name in names:
+        row = [name]
+        measured = None
+        for fus in (2, 4, 8):
+            unroll = max(12, 3 * fus)
+            g = pipeline_loop(livermore.kernel(name, unroll),
+                              MachineConfig(fus=fus), unroll=unroll,
+                              measure=(fus == 4))
+            p = pipeline_loop_post(livermore.kernel(name, unroll),
+                                   MachineConfig(fus=fus), unroll=unroll)
+            gs = f"{g.speedup:.1f}" if g.speedup else "n/c"
+            ps = f"{p.speedup:.1f}" if p.speedup else "n/c"
+            row.append(f"{gs}/{ps}")
+            if fus == 4:
+                measured = g.measured_speedup
+        row.append(f"{measured:.2f}" if measured else "-")
+        rows.append(row)
+    print(comparison_table(
+        ["Loop", "2FU G/P", "4FU G/P", "8FU G/P", "measured@4 (verified)"],
+        rows, "Livermore loops: GRiP vs POST"))
+    print("Every measured cell simulated the pipelined code against the"
+          " sequential loop\non identical inputs and compared final"
+          " memory (the run would fail otherwise).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro -- reproduction of GRiP scheduling (Nicolau & Novack, 1992).
+
+A complete implementation of Global Resource-constrained Percolation
+(GRiP) scheduling and its surrounding system: the VLIW program-graph IR,
+Percolation Scheduling core transformations, Perfect Pipelining, the
+Unifiable-ops and POST baseline schedulers, a cycle-level VLIW
+simulator, a small loop-language front end, and the Livermore-loop
+workloads of the paper's evaluation.
+"""
+
+import sys as _sys
+
+# Percolation walks unwound loop bodies recursively; deep unwindings
+# need more headroom than CPython's default 1000 frames.
+_sys.setrecursionlimit(max(_sys.getrecursionlimit(), 100_000))
+
+__version__ = "0.1.0"

@@ -1,0 +1,99 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro table1 [--fus 2 4 8] [--unroll-scale 3]
+        Regenerate the paper's Table 1 (GRiP vs POST over LL1-LL14).
+
+    python -m repro pipeline <LLk|dsl-file> [--fus N] [--unroll K]
+        Pipeline one kernel and print its kernel/summary.
+
+    python -m repro kernels
+        List the built-in Livermore kernels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from .machine import MachineConfig
+    from .pipelining import pipeline_loop, pipeline_loop_post
+    from .reporting import SpeedupTable
+    from .workloads import livermore
+
+    t = SpeedupTable(fu_configs=tuple(args.fus), systems=("GRiP", "POST"))
+    for name in livermore.kernel_names():
+        for fus in args.fus:
+            unroll = max(12, args.unroll_scale * fus)
+            g = pipeline_loop(livermore.kernel(name, unroll),
+                              MachineConfig(fus=fus), unroll=unroll,
+                              measure=False)
+            p = pipeline_loop_post(livermore.kernel(name, unroll),
+                                   MachineConfig(fus=fus), unroll=unroll)
+            w = livermore.kernel(name, 4).ops_per_iteration
+            t.add(name, fus, "GRiP", g.speedup, weight=w)
+            t.add(name, fus, "POST", p.speedup, weight=w)
+        print(f"{name} done", file=sys.stderr)
+    print(t.render("Table 1: Observed Speed-up (reproduction)"))
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from .frontend import compile_dsl
+    from .ir.render import schedule_table
+    from .machine import MachineConfig
+    from .pipelining import main_chain, pipeline_loop
+    from .workloads import livermore
+
+    unroll = args.unroll
+    if args.kernel.upper() in livermore.kernel_names():
+        loop = livermore.kernel(args.kernel, unroll)
+    else:
+        src = Path(args.kernel).read_text()
+        loop = compile_dsl(src, unroll, name=Path(args.kernel).stem)
+    res = pipeline_loop(loop, MachineConfig(fus=args.fus), unroll=unroll)
+    print(res.summary())
+    print()
+    print(schedule_table(res.unwound.graph,
+                         order=main_chain(res.unwound.graph)))
+    return 0
+
+
+def cmd_kernels(_: argparse.Namespace) -> int:
+    from .workloads import livermore
+
+    for name in livermore.kernel_names():
+        loop = livermore.kernel(name, 4)
+        print(f"{name:6s} {loop.ops_per_iteration:2d} ops/iter  "
+              f"{loop.description}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p1 = sub.add_parser("table1", help="regenerate Table 1")
+    p1.add_argument("--fus", nargs="+", type=int, default=[2, 4, 8])
+    p1.add_argument("--unroll-scale", type=int, default=3)
+    p1.set_defaults(fn=cmd_table1)
+
+    p2 = sub.add_parser("pipeline", help="pipeline one kernel")
+    p2.add_argument("kernel", help="LLk name or a DSL source file")
+    p2.add_argument("--fus", type=int, default=4)
+    p2.add_argument("--unroll", type=int, default=12)
+    p2.set_defaults(fn=cmd_pipeline)
+
+    p3 = sub.add_parser("kernels", help="list Livermore kernels")
+    p3.set_defaults(fn=cmd_kernels)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

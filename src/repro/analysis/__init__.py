@@ -1,0 +1,24 @@
+"""Dataflow and dependence analyses over VLIW program graphs."""
+
+from .chains import chain_lengths, critical_cycle_ratio, dependent_counts
+from .dependence import (
+    DepEdge,
+    DepKind,
+    DependenceDAG,
+    any_dep,
+    anti_dep,
+    build_dag,
+    output_dep,
+    true_dep,
+)
+from .dominators import DominatorInfo, dominators
+from .liveness import LivenessInfo, liveness
+from .memory import mem_conflict, memory_anti_dep, memory_output_dep, memory_true_dep
+
+__all__ = [
+    "DepEdge", "DepKind", "DependenceDAG", "DominatorInfo", "LivenessInfo",
+    "any_dep", "anti_dep", "build_dag", "chain_lengths",
+    "critical_cycle_ratio", "dependent_counts", "dominators", "liveness",
+    "mem_conflict", "memory_anti_dep", "memory_output_dep",
+    "memory_true_dep", "output_dep", "true_dep",
+]

@@ -1,0 +1,116 @@
+"""Dependence-chain metrics for the section 3.4 ranking heuristic.
+
+The paper ranks operation A above operation B when
+
+1. the longest data dependence chain *rooted at* A is longer than the
+   one rooted at B, or
+2. the chains tie but A has more dependents in the dependence graph.
+
+Chains follow **true** dependences only (anti and output dependences
+are removable by renaming and do not constrain how far an operation's
+consumers stretch).  "Rooted at A" counts downward: A plus its chain of
+consumers.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Mapping
+
+from .dependence import DependenceDAG, DepKind
+
+
+def chain_lengths(dag: DependenceDAG, *, include_carried: bool = False) -> dict[int, int]:
+    """Longest true-dependence chain rooted at each op (in ops, >= 1).
+
+    ``include_carried`` counts loop-carried true edges too; the default
+    matches ranking over an already-unwound body where carried edges
+    have become ordinary edges between iteration copies.
+    """
+    carried = None if include_carried else False
+    memo: dict[int, int] = {}
+    visiting: set[int] = set()
+
+    def length(uid: int) -> int:
+        if uid in memo:
+            return memo[uid]
+        if uid in visiting:  # dependence cycle via carried edges: cut it
+            return 0
+        visiting.add(uid)
+        succs = dag.true_succs(uid, carried=carried)
+        best = 0
+        for s in succs:
+            best = max(best, length(s))
+        visiting.discard(uid)
+        memo[uid] = 1 + best
+        return memo[uid]
+
+    return {uid: length(uid) for uid in dag.order}
+
+
+def dependent_counts(dag: DependenceDAG, *, include_carried: bool = False) -> dict[int, int]:
+    """Number of transitive true-dependents of each op."""
+    carried = None if include_carried else False
+    memo: dict[int, frozenset[int]] = {}
+    visiting: set[int] = set()
+
+    def closure(uid: int) -> frozenset[int]:
+        if uid in memo:
+            return memo[uid]
+        if uid in visiting:
+            return frozenset()
+        visiting.add(uid)
+        out: set[int] = set()
+        for s in dag.true_succs(uid, carried=carried):
+            out.add(s)
+            out |= closure(s)
+        visiting.discard(uid)
+        memo[uid] = frozenset(out)
+        return memo[uid]
+
+    return {uid: len(closure(uid)) for uid in dag.order}
+
+
+def critical_cycle_ratio(dag: DependenceDAG) -> float:
+    """Maximum cycle mean of the loop dependence graph (cycles/iteration).
+
+    The asymptotic initiation interval of any legal schedule of the loop
+    is bounded below by ``max over cycles C of len(C) / distance(C)``
+    (each op costs one cycle).  Used to sanity-check Perfect Pipelining
+    results: the kernel cannot beat this bound.
+
+    Computed by binary search over the bound with a Bellman-Ford style
+    negative-cycle test (Lawler's method); exact to 1/total-distance
+    granularity, which is exact for our integer distances.
+    """
+    uids = dag.order
+    edges: list[tuple[int, int, int, int]] = []  # src, dst, latency, distance
+    for e in dag.edges():
+        if e.kind is not DepKind.TRUE:
+            continue
+        edges.append((e.src, e.dst, 1, e.distance if e.carried else 0))
+    if not edges:
+        return 0.0
+
+    def has_cycle_at_least(r: float) -> bool:
+        # Edge weight latency - r*distance; positive cycle => II > r.
+        dist = {u: 0.0 for u in uids}
+        for _ in range(len(uids)):
+            changed = False
+            for s, d, lat, dd in edges:
+                w = lat - r * dd
+                if dist[s] + w > dist[d] + 1e-12:
+                    dist[d] = dist[s] + w
+                    changed = True
+            if not changed:
+                return False
+        return True  # still relaxing after |V| rounds => positive cycle
+
+    lo, hi = 0.0, float(len(uids))
+    for _ in range(48):
+        mid = (lo + hi) / 2
+        if has_cycle_at_least(mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi

@@ -1,0 +1,220 @@
+"""Data-dependence testing and dependence DAG construction.
+
+Dependences between conventional operations:
+
+* **true (flow)**  -- the later op reads a register or memory cell the
+  earlier one writes.  True dependences are the only ones Percolation
+  Scheduling cannot remove; they bound all code motion.
+* **anti**         -- the later op writes what the earlier one reads.
+  VLIW same-instruction semantics ("operands are fetched before results
+  are stored") plus renaming make these non-binding for motion, but they
+  still order operations *across* instructions.
+* **output**       -- both write the same register or cell.
+
+The DAG builder works over a sequential operation list (the natural
+order of an unwound loop body) and is the substrate for the section 3.4
+ranking heuristic and for loop-carried-dependence detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Iterable, Sequence
+
+from ..ir.operations import Operation
+from .memory import memory_anti_dep, memory_output_dep, memory_true_dep
+
+
+class DepKind(Enum):
+    TRUE = auto()
+    ANTI = auto()
+    OUTPUT = auto()
+
+
+def true_dep(earlier: Operation, later: Operation) -> bool:
+    """Does ``later`` truly depend on ``earlier``?"""
+    if earlier.defs() & later.uses():
+        return True
+    return memory_true_dep(earlier, later)
+
+
+def anti_dep(earlier: Operation, later: Operation) -> bool:
+    if earlier.uses() & later.defs():
+        return True
+    return memory_anti_dep(earlier, later)
+
+
+def output_dep(earlier: Operation, later: Operation) -> bool:
+    if earlier.defs() & later.defs():
+        return True
+    return memory_output_dep(earlier, later)
+
+
+def any_dep(earlier: Operation, later: Operation) -> bool:
+    return (true_dep(earlier, later) or anti_dep(earlier, later)
+            or output_dep(earlier, later))
+
+
+@dataclass
+class DepEdge:
+    """A dependence from ``src`` (earlier) to ``dst`` (later)."""
+
+    src: int  # op uid
+    dst: int
+    kind: DepKind
+    carried: bool = False  # loop-carried (crosses the back edge)
+    distance: int = 0      # iteration distance for carried deps
+
+
+class DependenceDAG:
+    """Dependence graph over a sequence of operations.
+
+    ``ops`` are taken in program order.  ``succs``/``preds`` map op uid
+    to outgoing/incoming edges.  When built with ``loop=True`` the
+    builder additionally tests each pair across the back edge and
+    records distance-1 carried edges (sufficient for register
+    recurrences; affine memory indices yield exact distances).
+    """
+
+    def __init__(self, ops: Sequence[Operation]) -> None:
+        self.ops: dict[int, Operation] = {op.uid: op for op in ops}
+        self.order: list[int] = [op.uid for op in ops]
+        self.succs: dict[int, list[DepEdge]] = {u: [] for u in self.order}
+        self.preds: dict[int, list[DepEdge]] = {u: [] for u in self.order}
+
+    def add_edge(self, edge: DepEdge) -> None:
+        self.succs[edge.src].append(edge)
+        self.preds[edge.dst].append(edge)
+
+    def edges(self) -> Iterable[DepEdge]:
+        for lst in self.succs.values():
+            yield from lst
+
+    def true_succs(self, uid: int, *, carried: bool | None = False) -> list[int]:
+        """Uids truly dependent on ``uid``.
+
+        ``carried=False`` restricts to intra-iteration edges,
+        ``carried=True`` to carried edges, ``None`` includes both.
+        """
+        return [e.dst for e in self.succs[uid]
+                if e.kind is DepKind.TRUE
+                and (carried is None or e.carried == carried)]
+
+    def true_preds(self, uid: int, *, carried: bool | None = False) -> list[int]:
+        return [e.src for e in self.preds[uid]
+                if e.kind is DepKind.TRUE
+                and (carried is None or e.carried == carried)]
+
+    def carried_edges(self) -> list[DepEdge]:
+        return [e for e in self.edges() if e.carried]
+
+    def carried_templates(self) -> set[int]:
+        """Templates of ops involved in a loop-carried true dependence."""
+        out: set[int] = set()
+        for e in self.carried_edges():
+            if e.kind is DepKind.TRUE:
+                out.add(self.ops[e.src].tid)
+                out.add(self.ops[e.dst].tid)
+        return out
+
+
+def _pair_kinds(earlier: Operation, later: Operation) -> list[DepKind]:
+    kinds: list[DepKind] = []
+    if true_dep(earlier, later):
+        kinds.append(DepKind.TRUE)
+    if anti_dep(earlier, later):
+        kinds.append(DepKind.ANTI)
+    if output_dep(earlier, later):
+        kinds.append(DepKind.OUTPUT)
+    return kinds
+
+
+def build_dag(ops: Sequence[Operation], *, loop: bool = False,
+              transitive_prune: bool = True) -> DependenceDAG:
+    """Build the dependence DAG of ``ops`` in program order.
+
+    With ``loop=True``, pairs are additionally tested across the back
+    edge: op ``b`` (earlier position) in iteration *i+1* against op
+    ``a`` (any position) in iteration *i*.  A register true-dependence
+    is carried when the *last* writer of a register in body order
+    reaches a reader positioned at or before it.
+
+    ``transitive_prune`` skips an intra-iteration register edge a->b
+    when another writer of the same register sits between a and b
+    (standard reaching-definition pruning); memory edges are kept
+    conservative.
+    """
+    dag = DependenceDAG(ops)
+    n = len(ops)
+    # Intra-iteration edges.
+    for j in range(n):
+        later = ops[j]
+        for i in range(j - 1, -1, -1):
+            earlier = ops[i]
+            for kind in _pair_kinds(earlier, later):
+                if kind is DepKind.TRUE and transitive_prune and not (
+                        earlier.writes_memory or later.reads_memory):
+                    # Register flow: only the reaching writer matters.
+                    killed = any(
+                        (earlier.defs() & ops[k].defs()) and
+                        (ops[k].defs() & later.uses())
+                        for k in range(i + 1, j))
+                    if killed:
+                        continue
+                dag.add_edge(DepEdge(earlier.uid, later.uid, kind))
+    if not loop:
+        return dag
+
+    # Loop-carried edges: earlier = op a in iteration i, later = op b in
+    # iteration i+1.  For registers, a reaches across the back edge only
+    # if a is the last writer of the register in body order and no
+    # writer precedes b in the next iteration.
+    for a_idx, a in enumerate(ops):
+        for b_idx, b in enumerate(ops):
+            # register flow a -> b (carried)
+            for reg in (a.defs() & b.uses()):
+                last_writer = max((k for k, o in enumerate(ops) if reg in o.defs()),
+                                  default=None)
+                if last_writer != a_idx:
+                    continue
+                rewritten_before_b = any(reg in ops[k].defs() for k in range(b_idx))
+                if rewritten_before_b:
+                    continue
+                dag.add_edge(DepEdge(a.uid, b.uid, DepKind.TRUE,
+                                     carried=True, distance=1))
+                break
+            # memory flow a -> b (carried), exact for affine indices
+            if a.writes_memory and b.reads_memory and a.mem and b.mem:
+                if a.mem.array == b.mem.array:
+                    if a.mem.affine is not None and b.mem.affine is not None:
+                        # a@iter i writes affine_a + i ; b@iter i+d reads
+                        # affine_b + i + d ; conflict at distance d>0.
+                        d = a.mem.affine - b.mem.affine
+                        if d > 0:
+                            dag.add_edge(DepEdge(a.uid, b.uid, DepKind.TRUE,
+                                                 carried=True, distance=d))
+                    elif mem_unknown(a, b):
+                        dag.add_edge(DepEdge(a.uid, b.uid, DepKind.TRUE,
+                                             carried=True, distance=1))
+            # carried anti/output edges (needed for correctness fences)
+            if a.reads_memory and b.writes_memory and a.mem and b.mem \
+                    and a.mem.array == b.mem.array:
+                if a.mem.affine is None or b.mem.affine is None:
+                    if mem_unknown(a, b):
+                        dag.add_edge(DepEdge(a.uid, b.uid, DepKind.ANTI,
+                                             carried=True, distance=1))
+                else:
+                    d = a.mem.affine - b.mem.affine
+                    if d > 0:
+                        dag.add_edge(DepEdge(a.uid, b.uid, DepKind.ANTI,
+                                             carried=True, distance=d))
+    return dag
+
+
+def mem_unknown(a: Operation, b: Operation) -> bool:
+    """Conservative same-array test for non-affine references."""
+    assert a.mem is not None and b.mem is not None
+    if a.mem.affine is not None and b.mem.affine is not None:
+        return False
+    return a.mem.array == b.mem.array

@@ -1,0 +1,95 @@
+"""Dominator analysis.
+
+GRiP and Unifiable-ops scheduling both operate on "the subgraph
+dominated by n": Moveable-ops(n) initially contains all operations on
+that subgraph, and migrate() compacts it.  We compute immediate
+dominators with the Cooper-Harvey-Kennedy iterative algorithm over
+reverse postorder, then answer dominated-subgraph queries.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import ProgramGraph
+
+
+class DominatorInfo:
+    """Immediate-dominator tree plus dominated-set queries."""
+
+    def __init__(self, graph: ProgramGraph) -> None:
+        self.graph = graph
+        self.version = graph.version
+        self.order = graph.rpo()
+        self._index = {nid: i for i, nid in enumerate(self.order)}
+        self.idom: dict[int, int] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        g = self.graph
+        entry = g.entry
+        if entry is None:
+            return
+        idom: dict[int, int] = {entry: entry}
+        index = self._index
+        preds = {nid: [p for p in g.predecessors(nid) if p in index]
+                 for nid in self.order}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]
+                while index[b] > index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for nid in self.order:
+                if nid == entry:
+                    continue
+                candidates = [p for p in preds[nid] if p in idom]
+                if not candidates:
+                    continue
+                new = candidates[0]
+                for p in candidates[1:]:
+                    new = intersect(new, p)
+                if idom.get(nid) != new:
+                    idom[nid] = new
+                    changed = True
+        self.idom = idom
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True when a dominates b (reflexive)."""
+        entry = self.graph.entry
+        cur = b
+        while True:
+            if cur == a:
+                return True
+            if cur == entry or cur not in self.idom:
+                return a == cur
+            nxt = self.idom[cur]
+            if nxt == cur:
+                return a == cur
+            cur = nxt
+
+    def dominated_set(self, n: int) -> frozenset[int]:
+        """All nodes dominated by n (including n)."""
+        out = {nid for nid in self.order if self.dominates(n, nid)}
+        return frozenset(out)
+
+    def strictly_dominated(self, n: int) -> frozenset[int]:
+        return self.dominated_set(n) - {n}
+
+
+_cache: dict[int, tuple[int, DominatorInfo]] = {}
+
+
+def dominators(graph: ProgramGraph) -> DominatorInfo:
+    """Memoized dominator info, invalidated by graph mutation."""
+    key = id(graph)
+    hit = _cache.get(key)
+    if hit is not None and hit[0] == graph.version:
+        return hit[1]
+    info = DominatorInfo(graph)
+    _cache[key] = (graph.version, info)
+    return info

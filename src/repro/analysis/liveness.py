@@ -1,0 +1,118 @@
+"""Live-variable analysis over VLIW program graphs.
+
+Percolation Scheduling's write-live conflict test needs to know, for a
+candidate move of ``Op`` out of node ``From``, whether ``Op``'s
+destination register is *live at the entry to From* (section 2).  Dead
+-copy elimination needs per-edge live-out sets.
+
+VLIW execution semantics make the transfer function path-sensitive:
+
+* every operation in a node reads its operands from the *entry* state,
+  so all uses belong to the node's ``use`` set, and
+* an operation's definition kills only along the tree paths on which it
+  commits (IBM model).
+
+So for node ``n`` with leaves ``L`` targeting ``succ(L)``::
+
+    live_in(n) = uses(n)  U  union_L ( live_in(succ(L)) - defs_on(L) )
+
+The EXIT pseudo-node's live-in is a configurable register set (defaults
+to empty: results are observed through memory).
+"""
+
+from __future__ import annotations
+
+from ..ir.cjtree import EXIT
+from ..ir.graph import ProgramGraph
+from ..ir.registers import Reg
+
+
+class LivenessInfo:
+    """Fixed-point live sets for one graph snapshot."""
+
+    def __init__(self, graph: ProgramGraph, exit_live: frozenset[Reg] = frozenset()):
+        self.graph = graph
+        self.version = graph.version
+        self.exit_live = exit_live
+        self.live_in: dict[int, frozenset[Reg]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        g = self.graph
+        nids = list(g.nodes)
+        self.live_in = {nid: frozenset() for nid in nids}
+        # Iterate to fixed point in reverse RPO for fast convergence.
+        order = list(reversed(g.rpo()))
+        extra = [nid for nid in nids if nid not in set(order)]
+        order = order + extra
+        changed = True
+        while changed:
+            changed = False
+            for nid in order:
+                new = self._transfer(nid)
+                if new != self.live_in[nid]:
+                    self.live_in[nid] = new
+                    changed = True
+
+    def _transfer(self, nid: int) -> frozenset[Reg]:
+        node = self.graph.nodes[nid]
+        uses: set[Reg] = set()
+        for op in node.all_ops():
+            uses |= op.uses()
+        out: set[Reg] = set(uses)
+        for leaf in node.leaves():
+            succ_live = (self.exit_live if leaf.target == EXIT
+                         else self.live_in.get(leaf.target, frozenset()))
+            defs_on = {op.dest for op in node.ops_on(leaf.leaf_id)
+                       if op.dest is not None}
+            out |= (succ_live - defs_on)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    def live_at_entry(self, nid: int) -> frozenset[Reg]:
+        return self.live_in.get(nid, frozenset())
+
+    def live_out_via(self, nid: int, leaf_id: int) -> frozenset[Reg]:
+        """Registers live when leaving ``nid`` through ``leaf_id``."""
+        target = self.graph.nodes[nid].target_of_leaf(leaf_id)
+        if target == EXIT:
+            return self.exit_live
+        return self.live_in.get(target, frozenset())
+
+    def live_out(self, nid: int) -> frozenset[Reg]:
+        """Union of live-out over every leaving edge."""
+        out: set[Reg] = set()
+        for leaf in self.graph.nodes[nid].leaves():
+            out |= self.live_out_via(nid, leaf.leaf_id)
+        return frozenset(out)
+
+    def dest_dead_after(self, nid: int, uid: int) -> bool:
+        """True when op ``uid``'s destination is dead past its node.
+
+        VLIW co-resident operations read entry values, never the op's
+        result, so the result is dead iff it is not live out along any
+        path the op commits on.  Used by dead-copy elimination.
+        """
+        node = self.graph.nodes[nid]
+        op = node.get_op(uid)
+        if op.dest is None:
+            return False
+        for leaf_id in node.paths_of(uid):
+            if op.dest in self.live_out_via(nid, leaf_id):
+                return False
+        return True
+
+
+_cache: dict[tuple[int, frozenset[Reg]], tuple[int, LivenessInfo]] = {}
+
+
+def liveness(graph: ProgramGraph,
+             exit_live: frozenset[Reg] = frozenset()) -> LivenessInfo:
+    """Memoized liveness, invalidated by graph mutation."""
+    key = (id(graph), exit_live)
+    hit = _cache.get(key)
+    if hit is not None and hit[0] == graph.version:
+        return hit[1]
+    info = LivenessInfo(graph, exit_live)
+    _cache[key] = (graph.version, info)
+    return info

@@ -1,0 +1,80 @@
+"""Demand-driven liveness queries.
+
+The write-live conflict test inside ``move-op`` asks about one register
+at one program point; recomputing whole-graph liveness after every code
+motion would dominate scheduling time.  This module answers single
+queries with a memoized DFS: *is register r read on some path from node
+n before being killed?*
+
+Kill semantics follow the VLIW model: an op's definition kills only on
+the tree paths the op commits on, and every operation in a node reads
+entry values (so any use in the node makes the register live at entry).
+"""
+
+from __future__ import annotations
+
+from ..ir.cjtree import EXIT
+from ..ir.graph import ProgramGraph
+from ..ir.registers import Reg
+
+# Memo: (graph id, version, reg name) -> {nid: bool}
+_memo: dict[tuple[int, int, str], dict[int, bool]] = {}
+_MEMO_LIMIT = 512
+
+
+def reg_live_at_entry(graph: ProgramGraph, nid: int, reg: Reg,
+                      exit_live: frozenset[Reg] = frozenset()) -> bool:
+    """Is ``reg`` live at the entry of node ``nid``?"""
+    key = (id(graph), graph.version, reg.name)
+    memo = _memo.get(key)
+    if memo is None:
+        if len(_memo) > _MEMO_LIMIT:
+            _memo.clear()
+        memo = {}
+        _memo[key] = memo
+
+    on_stack: set[int] = set()
+
+    def visit(cur: int) -> bool:
+        if cur == EXIT:
+            return reg in exit_live
+        if cur not in graph.nodes:
+            return False
+        if cur in memo:
+            return memo[cur]
+        if cur in on_stack:
+            # A use reachable only through this cycle would be found on
+            # the enclosing frames; provisional False is the least
+            # fixed point and must not be memoized.
+            return False
+        node = graph.nodes[cur]
+        for op in node.all_ops():
+            if reg in op.uses():
+                memo[cur] = True
+                return True
+        on_stack.add(cur)
+        live = False
+        for leaf in node.leaves():
+            killed = any(op.dest == reg for op in node.ops_on(leaf.leaf_id))
+            if killed:
+                continue
+            if visit(leaf.target):
+                live = True
+                break
+        on_stack.discard(cur)
+        if not on_stack:
+            memo[cur] = live  # safe: no provisional answers in scope
+        elif live:
+            memo[cur] = True  # True answers never depend on provisional False
+        return live
+
+    return visit(nid)
+
+
+def reg_live_out_via(graph: ProgramGraph, nid: int, leaf_id: int, reg: Reg,
+                     exit_live: frozenset[Reg] = frozenset()) -> bool:
+    """Is ``reg`` live when leaving ``nid`` through leaf ``leaf_id``?"""
+    target = graph.nodes[nid].target_of_leaf(leaf_id)
+    if target == EXIT:
+        return reg in exit_live
+    return reg_live_at_entry(graph, target, reg, exit_live)

@@ -1,0 +1,89 @@
+"""Abstract syntax for the loop DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Num:
+    """Numeric literal."""
+
+    value: float | int
+
+
+@dataclass(frozen=True)
+class Var:
+    """Scalar variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Index:
+    """Array element reference ``array[expr]``."""
+
+    array: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Bin:
+    """Binary operation; ``op`` in + - * / < <= > >= == != min max."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Un:
+    """Unary operation; ``op`` in - abs."""
+
+    op: str
+    operand: "Expr"
+
+
+Expr = Union[Num, Var, Index, Bin, Un]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``lvalue = expr;`` where lvalue is a Var or Index."""
+
+    target: Union[Var, Index]
+    value: Expr
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    """``if (cond) { ... } else { ... }`` inside a loop body."""
+
+    cond: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...] = ()
+
+
+Stmt = Union[Assign, IfStmt]
+
+
+@dataclass(frozen=True)
+class ForLoop:
+    """``for k = lo to hi step s { body }`` (hi is exclusive)."""
+
+    counter: str
+    lo: Expr
+    hi: Expr
+    step: int
+    body: tuple[Stmt, ...]
+
+
+@dataclass
+class Program:
+    """A DSL compilation unit: declarations plus one loop."""
+
+    params: list[str] = field(default_factory=list)
+    arrays: list[str] = field(default_factory=list)
+    loop: ForLoop | None = None
+    name: str = "kernel"

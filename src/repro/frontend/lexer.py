@@ -1,0 +1,111 @@
+"""Lexer for the loop DSL.
+
+The DSL is the reproduction's stand-in for the paper's GCC front end: a
+small C-like language sufficient to express every Livermore kernel::
+
+    param q, r, t; array x, y, z;
+    for k = 0 to n step 1 {
+        x[k] = q + y[k] * (r * z[k+10] + t * z[k+11]);
+    }
+
+Tokens: identifiers, numbers, punctuation, operators and the keywords
+``param array for to step if else min max abs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokKind(Enum):
+    IDENT = auto()
+    NUMBER = auto()
+    PUNCT = auto()      # ; , ( ) [ ] { }
+    OP = auto()         # + - * / = < <= > >= == !=
+    KEYWORD = auto()
+    EOF = auto()
+
+
+KEYWORDS = frozenset({"param", "array", "for", "to", "step", "if", "else",
+                      "min", "max", "abs"})
+PUNCT = frozenset(";,()[]{}")
+TWO_CHAR_OPS = ("<=", ">=", "==", "!=")
+ONE_CHAR_OPS = frozenset("+-*/=<>")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.name}({self.text!r}@{self.line}:{self.col})"
+
+
+class LexError(SyntaxError):
+    pass
+
+
+def tokenize(src: str) -> list[Token]:
+    """Split source text into tokens (comments run ``#`` to newline)."""
+    out: list[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(src)
+    while i < n:
+        c = src[i]
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if c == "#":
+            while i < n and src[i] != "\n":
+                i += 1
+            continue
+        start_col = col
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (src[j].isalnum() or src[j] == "_"):
+                j += 1
+            text = src[i:j]
+            kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+            out.append(Token(kind, text, line, start_col))
+            col += j - i
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and src[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (src[j].isdigit() or (src[j] == "." and not seen_dot)):
+                if src[j] == ".":
+                    seen_dot = True
+                j += 1
+            out.append(Token(TokKind.NUMBER, src[i:j], line, start_col))
+            col += j - i
+            i = j
+            continue
+        if src[i:i + 2] in TWO_CHAR_OPS:
+            out.append(Token(TokKind.OP, src[i:i + 2], line, start_col))
+            i += 2
+            col += 2
+            continue
+        if c in ONE_CHAR_OPS:
+            out.append(Token(TokKind.OP, c, line, start_col))
+            i += 1
+            col += 1
+            continue
+        if c in PUNCT:
+            out.append(Token(TokKind.PUNCT, c, line, start_col))
+            i += 1
+            col += 1
+            continue
+        raise LexError(f"unexpected character {c!r} at {line}:{col}")
+    out.append(Token(TokKind.EOF, "", line, col))
+    return out

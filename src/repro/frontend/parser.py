@@ -1,0 +1,195 @@
+"""Recursive-descent parser for the loop DSL.
+
+Grammar::
+
+    program := decl* loop
+    decl    := ('param' | 'array') ident (',' ident)* ';'
+    loop    := 'for' ident '=' expr 'to' expr ('step' number)? block
+    block   := '{' stmt* '}'
+    stmt    := lvalue '=' expr ';'
+             | 'if' '(' expr ')' block ('else' block)?
+    lvalue  := ident ('[' expr ']')?
+    expr    := cmp (('=='|'!='|'<'|'<='|'>'|'>=') cmp)?
+    cmp     := term (('+'|'-') term)*
+    term    := factor (('*'|'/') factor)*
+    factor  := number | '-' factor
+             | ('min'|'max') '(' expr ',' expr ')' | 'abs' '(' expr ')'
+             | ident ('[' expr ']')? | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from .ast import Assign, Bin, Expr, ForLoop, IfStmt, Index, Num, Program, Stmt, Un, Var
+from .lexer import Token, TokKind, tokenize
+
+
+class ParseError(SyntaxError):
+    pass
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: TokKind, text: str | None = None) -> Token:
+        tok = self.peek()
+        if tok.kind is not kind or (text is not None and tok.text != text):
+            want = text or kind.name
+            raise ParseError(
+                f"expected {want!r}, found {tok.text!r} at "
+                f"{tok.line}:{tok.col}")
+        return self.next()
+
+    def accept(self, kind: TokKind, text: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok.kind is kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    # -- grammar ---------------------------------------------------------
+    def program(self, name: str = "kernel") -> Program:
+        prog = Program(name=name)
+        while True:
+            if self.accept(TokKind.KEYWORD, "param"):
+                prog.params.extend(self._ident_list())
+            elif self.accept(TokKind.KEYWORD, "array"):
+                prog.arrays.extend(self._ident_list())
+            else:
+                break
+        prog.loop = self.for_loop()
+        self.expect(TokKind.EOF)
+        return prog
+
+    def _ident_list(self) -> list[str]:
+        names = [self.expect(TokKind.IDENT).text]
+        while self.accept(TokKind.PUNCT, ","):
+            names.append(self.expect(TokKind.IDENT).text)
+        self.expect(TokKind.PUNCT, ";")
+        return names
+
+    def for_loop(self) -> ForLoop:
+        self.expect(TokKind.KEYWORD, "for")
+        counter = self.expect(TokKind.IDENT).text
+        self.expect(TokKind.OP, "=")
+        lo = self.expr()
+        self.expect(TokKind.KEYWORD, "to")
+        hi = self.expr()
+        step = 1
+        if self.accept(TokKind.KEYWORD, "step"):
+            step_tok = self.expect(TokKind.NUMBER)
+            step = int(float(step_tok.text))
+            if step <= 0:
+                raise ParseError(f"step must be positive at {step_tok.line}")
+        body = self.block()
+        return ForLoop(counter=counter, lo=lo, hi=hi, step=step, body=body)
+
+    def block(self) -> tuple[Stmt, ...]:
+        self.expect(TokKind.PUNCT, "{")
+        stmts: list[Stmt] = []
+        while not self.accept(TokKind.PUNCT, "}"):
+            stmts.append(self.stmt())
+        return tuple(stmts)
+
+    def stmt(self) -> Stmt:
+        if self.accept(TokKind.KEYWORD, "if"):
+            self.expect(TokKind.PUNCT, "(")
+            cond = self.expr()
+            self.expect(TokKind.PUNCT, ")")
+            then_body = self.block()
+            else_body: tuple[Stmt, ...] = ()
+            if self.accept(TokKind.KEYWORD, "else"):
+                else_body = self.block()
+            return IfStmt(cond=cond, then_body=then_body, else_body=else_body)
+        target = self.lvalue()
+        self.expect(TokKind.OP, "=")
+        value = self.expr()
+        self.expect(TokKind.PUNCT, ";")
+        return Assign(target=target, value=value)
+
+    def lvalue(self):
+        name = self.expect(TokKind.IDENT).text
+        if self.accept(TokKind.PUNCT, "["):
+            idx = self.expr()
+            self.expect(TokKind.PUNCT, "]")
+            return Index(array=name, index=idx)
+        return Var(name)
+
+    def expr(self) -> Expr:
+        left = self.cmp_operand()
+        tok = self.peek()
+        if tok.kind is TokKind.OP and tok.text in ("==", "!=", "<", "<=", ">", ">="):
+            op = self.next().text
+            right = self.cmp_operand()
+            return Bin(op, left, right)
+        return left
+
+    def cmp_operand(self) -> Expr:
+        left = self.term()
+        while True:
+            tok = self.peek()
+            if tok.kind is TokKind.OP and tok.text in ("+", "-"):
+                op = self.next().text
+                left = Bin(op, left, self.term())
+            else:
+                return left
+
+    def term(self) -> Expr:
+        left = self.factor()
+        while True:
+            tok = self.peek()
+            if tok.kind is TokKind.OP and tok.text in ("*", "/"):
+                op = self.next().text
+                left = Bin(op, left, self.factor())
+            else:
+                return left
+
+    def factor(self) -> Expr:
+        tok = self.peek()
+        if tok.kind is TokKind.NUMBER:
+            self.next()
+            text = tok.text
+            return Num(float(text) if "." in text else int(text))
+        if tok.kind is TokKind.OP and tok.text == "-":
+            self.next()
+            return Un("-", self.factor())
+        if tok.kind is TokKind.KEYWORD and tok.text in ("min", "max"):
+            self.next()
+            self.expect(TokKind.PUNCT, "(")
+            a = self.expr()
+            self.expect(TokKind.PUNCT, ",")
+            b = self.expr()
+            self.expect(TokKind.PUNCT, ")")
+            return Bin(tok.text, a, b)
+        if tok.kind is TokKind.KEYWORD and tok.text == "abs":
+            self.next()
+            self.expect(TokKind.PUNCT, "(")
+            a = self.expr()
+            self.expect(TokKind.PUNCT, ")")
+            return Un("abs", a)
+        if tok.kind is TokKind.IDENT:
+            self.next()
+            if self.accept(TokKind.PUNCT, "["):
+                idx = self.expr()
+                self.expect(TokKind.PUNCT, "]")
+                return Index(array=tok.text, index=idx)
+            return Var(tok.text)
+        if self.accept(TokKind.PUNCT, "("):
+            inner = self.expr()
+            self.expect(TokKind.PUNCT, ")")
+            return inner
+        raise ParseError(f"unexpected token {tok.text!r} at {tok.line}:{tok.col}")
+
+
+def parse(src: str, name: str = "kernel") -> Program:
+    """Parse DSL source into a :class:`Program`."""
+    return Parser(tokenize(src)).program(name)

@@ -1,0 +1,116 @@
+"""Clean-up passes over lowered three-address bodies.
+
+Standing in for GCC's "-O" pipeline ahead of the paper's scheduler:
+
+* constant folding of operations with all-immediate sources,
+* copy propagation through COPY temporaries,
+* dead-op elimination of unused, side-effect-free results.
+
+These run on the *linear body* before the loop graph is built -- global
+(graph-level) clean-ups during scheduling live in
+:mod:`repro.percolation.cleanup`.
+"""
+
+from __future__ import annotations
+
+from ..ir.operations import Operation, OpKind
+from ..ir.registers import Imm, Reg
+from ..simulator.interp import compute
+from ..simulator.state import MachineState
+
+_FOLDABLE = frozenset({
+    OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.DIV, OpKind.NEG,
+    OpKind.MIN, OpKind.MAX, OpKind.ABS, OpKind.AND, OpKind.OR,
+    OpKind.XOR, OpKind.NOT, OpKind.SHL, OpKind.SHR, OpKind.CMP_EQ,
+    OpKind.CMP_NE, OpKind.CMP_LT, OpKind.CMP_LE, OpKind.CMP_GT,
+    OpKind.CMP_GE,
+})
+
+
+def fold_constants(ops: list[Operation]) -> list[Operation]:
+    """Evaluate operations whose sources are all immediates."""
+    out: list[Operation] = []
+    consts: dict[Reg, Imm] = {}
+    for op in ops:
+        srcs = tuple(consts.get(s, s) if isinstance(s, Reg) else s
+                     for s in op.srcs)
+        if srcs != op.srcs:
+            op = op.with_srcs(srcs)
+        if op.kind in _FOLDABLE and op.dest is not None \
+                and all(isinstance(s, Imm) for s in op.srcs):
+            value = compute(op, MachineState())
+            consts[op.dest] = Imm(value)
+            continue  # producer folded away
+        if op.kind is OpKind.CONST:
+            consts[op.dest] = op.srcs[0]
+            out.append(op)
+            continue
+        if op.dest is not None:
+            consts.pop(op.dest, None)
+        out.append(op)
+    return out
+
+
+def propagate_copies(ops: list[Operation]) -> list[Operation]:
+    """Rewrite uses of COPY destinations to read the source directly."""
+    out: list[Operation] = []
+    alias: dict[Reg, object] = {}
+    for op in ops:
+        srcs = tuple(alias.get(s, s) if isinstance(s, Reg) else s
+                     for s in op.srcs)
+        mem = op.mem
+        if mem is not None and isinstance(mem.index, Reg) \
+                and mem.index in alias:
+            repl = alias[mem.index]
+            if isinstance(repl, Reg):
+                op = op.substitute_use(mem.index, repl)
+        if srcs != op.srcs:
+            op = op.with_srcs(srcs)
+        if op.is_copy and isinstance(op.srcs[0], (Reg, Imm)):
+            # Only forward temps; user-visible scalars keep their copy.
+            if op.dest.name.startswith("t"):
+                alias[op.dest] = op.srcs[0]
+                continue
+        if op.dest is not None:
+            alias.pop(op.dest, None)
+            # A redefinition invalidates aliases reading this register.
+            for k in [k for k, v in alias.items() if v == op.dest]:
+                del alias[k]
+        out.append(op)
+    return out
+
+
+def eliminate_dead(ops: list[Operation],
+                   live_out: set[str] | None = None) -> list[Operation]:
+    """Drop side-effect-free ops whose results nothing reads.
+
+    ``live_out`` names registers observable after the body (defaults to
+    every non-temporary register, which is the safe assumption for a
+    loop body whose scalars feed the next iteration or the epilogue).
+    """
+    keep: list[Operation] = []
+    needed: set[str] = set(live_out) if live_out is not None else {
+        op.dest.name for op in ops
+        if op.dest is not None and not op.dest.name.startswith("t")}
+    for op in reversed(ops):
+        if op.has_side_effect or op.dest is None \
+                or op.dest.name in needed:
+            keep.append(op)
+            needed.discard(op.dest.name if op.dest else "")
+            needed |= {r.name for r in op.uses()}
+    keep.reverse()
+    return keep
+
+
+def optimize_body(ops: list[Operation], *, live_out: set[str] | None = None
+                  ) -> list[Operation]:
+    """Fold + propagate + DCE to a fixed point (bounded)."""
+    prev = None
+    cur = list(ops)
+    for _ in range(8):
+        if prev is not None and len(cur) == len(prev):
+            break
+        prev = cur
+        cur = eliminate_dead(propagate_copies(fold_constants(cur)),
+                             live_out)
+    return cur

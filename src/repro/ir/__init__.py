@@ -1,0 +1,42 @@
+"""Intermediate representation: operations, VLIW instructions, program graphs.
+
+This package implements the VLIW computation model of the paper's
+section 2: program graphs whose nodes are VLIW instructions -- sets of
+single-cycle operations structured by a conditional-jump tree (IBM VLIW
+model) -- and whose edges represent control flow.
+"""
+
+from .builder import LoopNest, SequentialBuilder, simple_loop, straightline_graph
+from .cjtree import Branch, CJTree, EXIT, Leaf, make_leaf
+from .graph import ProgramGraph
+from .instruction import Instruction
+from .operations import (
+    MemRef,
+    Operation,
+    OpKind,
+    add,
+    cjump,
+    cmp_ge,
+    cmp_lt,
+    const,
+    copy,
+    div,
+    load,
+    make_binary,
+    mul,
+    nop,
+    store,
+    sub,
+)
+from .registers import Imm, Operand, Reg, RegisterFile, RegisterPressureError
+from .render import render_graph, render_node, schedule_table, to_dot
+
+__all__ = [
+    "Branch", "CJTree", "EXIT", "Imm", "Instruction", "Leaf", "LoopNest",
+    "MemRef", "Operand", "Operation", "OpKind", "ProgramGraph", "Reg",
+    "RegisterFile", "RegisterPressureError", "SequentialBuilder",
+    "add", "cjump", "cmp_ge", "cmp_lt", "const", "copy", "div", "load",
+    "make_binary", "make_leaf", "mul", "nop", "render_graph", "render_node",
+    "schedule_table", "simple_loop", "store", "straightline_graph", "sub",
+    "to_dot",
+]

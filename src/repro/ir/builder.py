@@ -1,0 +1,177 @@
+"""Builders for sequential program graphs.
+
+Percolation Scheduling "start[s] with a program wherein each instruction
+contains a single operation" (section 2).  :class:`SequentialBuilder`
+constructs exactly that: a chain of one-op nodes, with helpers for
+attaching conditional jumps and loop back edges.
+
+:class:`LoopNest` describes a single counted loop (the shape of every
+Livermore kernel used in the evaluation): pre-header code, a body, an
+induction variable and a trip count.  It is the hand-off format between
+the front end and the pipeliner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .cjtree import EXIT
+from .graph import ProgramGraph
+from .instruction import Instruction
+from .operations import Operation, OpKind, cjump
+from .registers import Reg
+
+
+class SequentialBuilder:
+    """Builds a chain of single-operation instructions."""
+
+    def __init__(self, graph: ProgramGraph | None = None) -> None:
+        self.graph = graph if graph is not None else ProgramGraph()
+        self._head: int | None = None
+        self._tail: Instruction | None = None
+
+    @property
+    def head(self) -> int | None:
+        return self._head
+
+    @property
+    def tail(self) -> Instruction | None:
+        return self._tail
+
+    def append(self, op: Operation) -> Instruction:
+        """Append one operation in its own node at the chain's end."""
+        node = self.graph.new_node(EXIT)
+        if op.is_cjump:
+            raise ValueError("use append_cjump for conditional jumps")
+        node.add_op(op)
+        self._link(node)
+        return node
+
+    def append_cjump(self, op: Operation, true_target: int = EXIT,
+                     false_target: int = EXIT) -> Instruction:
+        """Append a node holding only a conditional jump.
+
+        The *false* side is the fall-through edge that a subsequent
+        :meth:`append` will link to.
+        """
+        from .cjtree import Branch, make_leaf
+
+        node = self.graph.new_node(EXIT)
+        tl, fl = make_leaf(true_target), make_leaf(false_target)
+        node.tree = Branch(op.uid, tl, fl)
+        node.cjs[op.uid] = op
+        self.graph.note_tree_change(node.nid)
+        self._link(node)
+        return node
+
+    def append_many(self, ops: Iterable[Operation]) -> list[Instruction]:
+        return [self.append(op) for op in ops]
+
+    def _link(self, node: Instruction) -> None:
+        if self._head is None:
+            self._head = node.nid
+            if self.graph.entry is None:
+                self.graph.set_entry(node.nid)
+        if self._tail is not None:
+            # The tail's unique fall-through leaf points at the new node.
+            leaves = self._tail.leaves()
+            fall = [l for l in leaves if l.target == EXIT]
+            if not fall:
+                raise ValueError("cannot append after a fully-targeted node")
+            # Prefer the rightmost EXIT leaf: for a freshly appended cjump
+            # that is the false (fall-through) side.
+            self.graph.retarget_leaf(self._tail.nid, fall[-1].leaf_id, node.nid)
+        self._tail = node
+
+    def close_loop(self, back_to: int) -> None:
+        """Point the tail's fall-through leaf back at ``back_to``."""
+        assert self._tail is not None
+        fall = [l for l in self._tail.leaves() if l.target == EXIT]
+        if not fall:
+            raise ValueError("tail has no fall-through leaf")
+        self.graph.retarget_leaf(self._tail.nid, fall[-1].leaf_id, back_to)
+
+
+@dataclass
+class LoopNest:
+    """A single counted loop in sequential (one op per node) form.
+
+    Attributes
+    ----------
+    graph:
+        The program graph holding pre-header, body and (optional) exit
+        code.
+    header:
+        First body node; the loop's back edge targets it.
+    body_ops:
+        The loop-body operations, in source order, one per node.  The
+        loop-control compare + conditional jump are included when the
+        loop is built with explicit control (``with_control=True``).
+    counter:
+        The induction register, stepped by ``step`` each iteration.
+    trip_count:
+        Symbolic trip count (used by the unwinder and simulator).
+    latch:
+        The node holding the back edge.
+    exit_node:
+        First node after the loop, or ``None``.
+    carried:
+        Template ids of operations that the dependence analysis found to
+        be loop-carried (filled in lazily; empty until analyzed).
+    """
+
+    graph: ProgramGraph
+    header: int
+    body_ops: list[Operation]
+    counter: Reg | None = None
+    step: int = 1
+    trip_count: int | None = None
+    latch: int | None = None
+    exit_node: int | None = None
+    carried: set[int] = field(default_factory=set)
+
+    def body_nodes(self) -> list[int]:
+        """Body node ids in control order (header..latch)."""
+        order: list[int] = []
+        nid = self.header
+        seen = set()
+        while nid not in seen and nid in self.graph.nodes:
+            order.append(nid)
+            seen.add(nid)
+            if nid == self.latch:
+                break
+            succs = self.graph.successors(nid)
+            if not succs:
+                break
+            nid = succs[0]
+        return order
+
+
+def straightline_graph(ops: Sequence[Operation]) -> ProgramGraph:
+    """A fresh graph holding ``ops`` as a chain of one-op nodes."""
+    b = SequentialBuilder()
+    b.append_many(ops)
+    return b.graph
+
+
+def simple_loop(ops: Sequence[Operation], iterations: int | None = None,
+                counter: Reg | None = None, step: int = 1) -> LoopNest:
+    """A loop whose body is ``ops`` (no explicit control), back edge last->first.
+
+    This is the representation used for the paper's worked examples,
+    where loop control is left implicit and only the data-dependence
+    structure matters.
+    """
+    b = SequentialBuilder()
+    nodes = b.append_many(ops)
+    b.close_loop(nodes[0].nid)
+    return LoopNest(
+        graph=b.graph,
+        header=nodes[0].nid,
+        body_ops=list(ops),
+        counter=counter,
+        step=step,
+        trip_count=iterations,
+        latch=nodes[-1].nid,
+    )

@@ -1,0 +1,190 @@
+"""Conditional-jump trees: the shape of an IBM VLIW instruction.
+
+Per Figure 1 of the paper, a single IBM VLIW instruction is a *tree*:
+internal nodes are conditional jumps, leaves name the possible successor
+instructions, and operations are associated with the paths through the
+tree on which they commit their results.
+
+We give each leaf a stable integer identity (``leaf_id``) so that
+operations can record the set of leaves (= paths) they are active on,
+and so that control-flow edges ("leaf L of node A points at node B")
+survive tree surgery such as ``move-cj``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Iterator, Union
+
+#: Sentinel successor: falling off the program.
+EXIT = -1
+
+_leaf_counter = itertools.count(1)
+
+
+def next_leaf_id() -> int:
+    """Globally unique leaf id."""
+    return next(_leaf_counter)
+
+
+@dataclass(frozen=True, slots=True)
+class Leaf:
+    """A tree leaf: one control path, pointing at a successor node."""
+
+    leaf_id: int
+    target: int  # successor node id, or EXIT
+
+    def retarget(self, target: int) -> "Leaf":
+        return replace(self, target=target)
+
+
+@dataclass(frozen=True, slots=True)
+class Branch:
+    """An internal tree node: a conditional jump splitting the path.
+
+    ``cj_uid`` references a CJUMP operation stored in the owning
+    instruction; ``on_true``/``on_false`` are the subtrees selected by
+    the condition's value.
+    """
+
+    cj_uid: int
+    on_true: "CJTree"
+    on_false: "CJTree"
+
+
+CJTree = Union[Leaf, Branch]
+
+
+def make_leaf(target: int) -> Leaf:
+    """A fresh leaf pointing at ``target``."""
+    return Leaf(next_leaf_id(), target)
+
+
+def iter_leaves(tree: CJTree) -> Iterator[Leaf]:
+    """Yield leaves left-to-right (true side first)."""
+    if isinstance(tree, Leaf):
+        yield tree
+    else:
+        yield from iter_leaves(tree.on_true)
+        yield from iter_leaves(tree.on_false)
+
+
+def iter_branches(tree: CJTree) -> Iterator[Branch]:
+    """Yield internal branch nodes in pre-order."""
+    if isinstance(tree, Branch):
+        yield tree
+        yield from iter_branches(tree.on_true)
+        yield from iter_branches(tree.on_false)
+
+
+def leaf_ids(tree: CJTree) -> frozenset[int]:
+    return frozenset(l.leaf_id for l in iter_leaves(tree))
+
+
+def find_leaf(tree: CJTree, leaf_id: int) -> Leaf | None:
+    for l in iter_leaves(tree):
+        if l.leaf_id == leaf_id:
+            return l
+    return None
+
+
+def replace_leaf(tree: CJTree, leaf_id: int, new_subtree: CJTree) -> CJTree:
+    """Return a tree with the identified leaf replaced by ``new_subtree``.
+
+    Raises ``KeyError`` if the leaf is absent.
+    """
+    res = _replace_leaf(tree, leaf_id, new_subtree)
+    if res is None:
+        raise KeyError(f"leaf {leaf_id} not in tree")
+    return res
+
+
+def _replace_leaf(tree: CJTree, leaf_id: int, new_subtree: CJTree) -> CJTree | None:
+    if isinstance(tree, Leaf):
+        return new_subtree if tree.leaf_id == leaf_id else None
+    t = _replace_leaf(tree.on_true, leaf_id, new_subtree)
+    if t is not None:
+        return Branch(tree.cj_uid, t, tree.on_false)
+    f = _replace_leaf(tree.on_false, leaf_id, new_subtree)
+    if f is not None:
+        return Branch(tree.cj_uid, tree.on_true, f)
+    return None
+
+
+def retarget_leaf(tree: CJTree, leaf_id: int, target: int) -> CJTree:
+    """Return a tree with the identified leaf pointing at ``target``."""
+    leaf = find_leaf(tree, leaf_id)
+    if leaf is None:
+        raise KeyError(f"leaf {leaf_id} not in tree")
+    return replace_leaf(tree, leaf_id, leaf.retarget(target))
+
+
+def retarget_all(tree: CJTree, old: int, new: int) -> CJTree:
+    """Return a tree where every leaf targeting ``old`` targets ``new``."""
+    if isinstance(tree, Leaf):
+        return tree.retarget(new) if tree.target == old else tree
+    return Branch(
+        tree.cj_uid,
+        retarget_all(tree.on_true, old, new),
+        retarget_all(tree.on_false, old, new),
+    )
+
+
+def remove_branch(tree: CJTree, cj_uid: int, keep_true: bool) -> CJTree:
+    """Return a tree with the branch for ``cj_uid`` collapsed to one side.
+
+    Used when a conditional jump is deleted (e.g. its outcome became
+    statically known or both sides converged).
+    """
+    if isinstance(tree, Leaf):
+        return tree
+    if tree.cj_uid == cj_uid:
+        return tree.on_true if keep_true else tree.on_false
+    return Branch(
+        tree.cj_uid,
+        remove_branch(tree.on_true, cj_uid, keep_true),
+        remove_branch(tree.on_false, cj_uid, keep_true),
+    )
+
+
+def subtree_of(tree: CJTree, cj_uid: int) -> Branch | None:
+    """Find the branch node testing ``cj_uid``."""
+    for b in iter_branches(tree):
+        if b.cj_uid == cj_uid:
+            return b
+    return None
+
+
+def refresh_leaf_ids(tree: CJTree) -> tuple[CJTree, dict[int, int]]:
+    """Deep-copy a tree with fresh leaf ids.
+
+    Returns the new tree and the old->new leaf id mapping.  Used when a
+    node is duplicated (node splitting), since leaf ids must stay unique
+    graph-wide.
+    """
+    mapping: dict[int, int] = {}
+
+    def rec(t: CJTree) -> CJTree:
+        if isinstance(t, Leaf):
+            nl = make_leaf(t.target)
+            mapping[t.leaf_id] = nl.leaf_id
+            return nl
+        return Branch(t.cj_uid, rec(t.on_true), rec(t.on_false))
+
+    return rec(tree), mapping
+
+
+def depth(tree: CJTree) -> int:
+    """Number of branches on the longest root-to-leaf path."""
+    if isinstance(tree, Leaf):
+        return 0
+    return 1 + max(depth(tree.on_true), depth(tree.on_false))
+
+
+def leaves_under(tree: CJTree, cj_uid: int, side_true: bool) -> frozenset[int]:
+    """Leaf ids under one side of the branch testing ``cj_uid``."""
+    b = subtree_of(tree, cj_uid)
+    if b is None:
+        raise KeyError(f"branch {cj_uid} not in tree")
+    return leaf_ids(b.on_true if side_true else b.on_false)

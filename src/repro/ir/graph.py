@@ -1,0 +1,359 @@
+"""Program graphs of the VLIW computation model.
+
+A program graph is a directed graph whose nodes are VLIW instructions
+(:class:`~repro.ir.instruction.Instruction`) and whose edges are the
+targets of the instructions' conditional-jump-tree leaves.  The graph
+owns node-id allocation and keeps predecessor sets in sync with tree
+surgery, so all retargeting must go through graph methods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from .cjtree import EXIT
+from .instruction import Instruction
+from .operations import Operation
+
+
+class ProgramGraph:
+    """A mutable VLIW program graph."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, Instruction] = {}
+        self.entry: int | None = None
+        self._next_nid = 1
+        self._preds: dict[int, set[int]] = {}
+        self._version = 0  # bumped on every mutation; analyses memoize on it
+        self._tindex: dict[int, list[tuple[int, int]]] | None = None
+        self._tindex_version = -1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_node(self, target: int = EXIT) -> Instruction:
+        """Allocate a fresh empty node whose single leaf points at ``target``."""
+        nid = self._next_nid
+        self._next_nid += 1
+        node = Instruction(nid, target)
+        self.nodes[nid] = node
+        self._preds.setdefault(nid, set())
+        if target != EXIT:
+            self._preds.setdefault(target, set()).add(nid)
+        self._touch()
+        return node
+
+    def adopt(self, node: Instruction) -> None:
+        """Insert an externally built node (e.g. from ``clone_into``)."""
+        if node.nid in self.nodes:
+            raise ValueError(f"node {node.nid} already present")
+        self.nodes[node.nid] = node
+        self._preds.setdefault(node.nid, set())
+        for succ in node.successors():
+            self._preds.setdefault(succ, set()).add(node.nid)
+        self._touch()
+
+    def allocate_nid(self) -> int:
+        nid = self._next_nid
+        self._next_nid += 1
+        return nid
+
+    def set_entry(self, nid: int) -> None:
+        if nid not in self.nodes:
+            raise KeyError(nid)
+        self.entry = nid
+        self._touch()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, nid: int) -> Instruction:
+        return self.nodes[nid]
+
+    def successors(self, nid: int) -> list[int]:
+        return self.nodes[nid].successors()
+
+    def predecessors(self, nid: int) -> frozenset[int]:
+        return frozenset(self._preds.get(nid, ()))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for nid, node in self.nodes.items():
+            for succ in node.successors():
+                yield nid, succ
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; analyses use it to invalidate caches."""
+        return self._version
+
+    def find_op(self, uid: int) -> int | None:
+        """Node containing the op instance ``uid`` (linear scan)."""
+        for nid, node in self.nodes.items():
+            if node.has_op(uid):
+                return nid
+        return None
+
+    def template_index(self) -> dict[int, list[tuple[int, int]]]:
+        """tid -> [(node id, uid)] for every op instance.
+
+        Cached per graph version; successful code motions invalidate it,
+        failed move attempts (which never mutate) do not.
+        """
+        if self._tindex is not None and self._tindex_version == self._version:
+            return self._tindex
+        index: dict[int, list[tuple[int, int]]] = {}
+        for nid, node in self.nodes.items():
+            for op in node.all_ops():
+                index.setdefault(op.tid, []).append((nid, op.uid))
+        self._tindex = index
+        self._tindex_version = self._version
+        return index
+
+    def ops_by_template(self, tid: int) -> list[tuple[int, Operation]]:
+        """All (node id, op) instances of the given template."""
+        out = []
+        for nid, uid in self.template_index().get(tid, ()):
+            node = self.nodes.get(nid)
+            if node is not None and node.has_op(uid):
+                out.append((nid, node.get_op(uid)))
+        return out
+
+    def all_operations(self) -> Iterator[tuple[int, Operation]]:
+        for nid, node in self.nodes.items():
+            for op in node.all_ops():
+                yield nid, op
+
+    def op_count(self) -> int:
+        return sum(node.op_count() for node in self.nodes.values())
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def reachable(self, start: int | None = None) -> list[int]:
+        """Nodes reachable from ``start`` (default entry), preorder DFS."""
+        root = self.entry if start is None else start
+        if root is None:
+            return []
+        seen: list[int] = []
+        seen_set: set[int] = set()
+        stack = [root]
+        while stack:
+            nid = stack.pop()
+            if nid in seen_set or nid == EXIT or nid not in self.nodes:
+                continue
+            seen_set.add(nid)
+            seen.append(nid)
+            stack.extend(reversed(self.successors(nid)))
+        return seen
+
+    def rpo(self, start: int | None = None) -> list[int]:
+        """Reverse postorder from ``start`` (default entry).
+
+        For acyclic graphs this is a topological order; for loops it is
+        the conventional quasi-topological order used by dataflow
+        analyses.
+        """
+        root = self.entry if start is None else start
+        if root is None:
+            return []
+        post: list[int] = []
+        seen: set[int] = set()
+
+        def dfs(nid: int) -> None:
+            stack: list[tuple[int, Iterator[int]]] = []
+            if nid in seen or nid not in self.nodes:
+                return
+            seen.add(nid)
+            stack.append((nid, iter(self.successors(nid))))
+            while stack:
+                cur, it = stack[-1]
+                advanced = False
+                for s in it:
+                    if s not in seen and s in self.nodes:
+                        seen.add(s)
+                        stack.append((s, iter(self.successors(s))))
+                        advanced = True
+                        break
+                if not advanced:
+                    post.append(cur)
+                    stack.pop()
+
+        dfs(root)
+        return list(reversed(post))
+
+    def depth_map(self) -> dict[int, int]:
+        """Longest-path depth from entry (acyclic graphs).
+
+        Used as the "lower/higher in the program graph" order of the gap
+        prevention rules.  Back edges are ignored (DAG assumption holds
+        for unwound loop bodies, which is where depths are consulted).
+        """
+        order = self.rpo()
+        index = {nid: i for i, nid in enumerate(order)}
+        depth: dict[int, int] = {nid: 0 for nid in order}
+        for nid in order:
+            for s in self.successors(nid):
+                if s in index and index[s] > index[nid]:  # skip back edges
+                    depth[s] = max(depth[s], depth[nid] + 1)
+        return depth
+
+    # ------------------------------------------------------------------
+    # Edge mutation (keeps predecessor sets consistent)
+    # ------------------------------------------------------------------
+    def retarget_leaf(self, nid: int, leaf_id: int, new_target: int) -> None:
+        """Point one leaf of ``nid`` at ``new_target``."""
+        node = self.nodes[nid]
+        old = node.target_of_leaf(leaf_id)
+        node.retarget_leaf(leaf_id, new_target)
+        self._edge_removed(nid, old)
+        self._edge_added(nid, new_target)
+        self._touch()
+
+    def retarget_all_edges(self, nid: int, old: int, new: int) -> None:
+        """Point every leaf of ``nid`` targeting ``old`` at ``new``."""
+        node = self.nodes[nid]
+        if not node.leaves_to(old):
+            return
+        node.retarget_all(old, new)
+        self._edge_removed(nid, old)
+        self._edge_added(nid, new)
+        self._touch()
+
+    def redirect_predecessors(self, old: int, new: int,
+                              only: Iterable[int] | None = None) -> None:
+        """Make (selected) predecessors of ``old`` point at ``new`` instead."""
+        preds = set(self._preds.get(old, ())) if only is None else set(only)
+        for p in preds:
+            self.retarget_all_edges(p, old, new)
+
+    def _edge_added(self, src: int, dst: int) -> None:
+        if dst != EXIT:
+            self._preds.setdefault(dst, set()).add(src)
+
+    def _edge_removed(self, src: int, dst: int) -> None:
+        if dst == EXIT:
+            return
+        # Only drop the pred link when no leaf of src still targets dst.
+        if src in self.nodes and self.nodes[src].leaves_to(dst):
+            return
+        self._preds.get(dst, set()).discard(src)
+
+    def note_tree_change(self, nid: int) -> None:
+        """Recompute pred links after direct tree surgery on ``nid``.
+
+        Transformations that graft branches manipulate the instruction
+        directly; they must call this afterwards.
+        """
+        node = self.nodes[nid]
+        succs = set(node.successors())
+        for other, preds in self._preds.items():
+            if nid in preds and other not in succs:
+                preds.discard(nid)
+        for s in succs:
+            self._preds.setdefault(s, set()).add(nid)
+        self._touch()
+
+    def _touch(self) -> None:
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Structural transformations
+    # ------------------------------------------------------------------
+    def split_for_edge(self, pred: int, nid: int) -> tuple[int, dict[int, int]]:
+        """Node splitting: give ``pred`` a private copy of node ``nid``.
+
+        All other predecessors keep pointing at the original.  Returns
+        the id of the private copy and the old->new op uid map.  This is
+        the PS mechanism that makes moving an operation out of a
+        multi-predecessor node sound: the motion then happens on the
+        private copy only.
+        """
+        node = self.nodes[nid]
+        copy, uid_map = node.clone_with_map(self.allocate_nid())
+        self.adopt(copy)
+        self.retarget_all_edges(pred, nid, copy.nid)
+        return copy.nid, uid_map
+
+    def delete_empty_node(self, nid: int) -> bool:
+        """Delete a node with no operations and a single fall-through leaf.
+
+        Predecessors are retargeted at its successor.  The entry is
+        moved forward if it was the deleted node.  Returns True when the
+        deletion happened.
+        """
+        node = self.nodes.get(nid)
+        if node is None or not node.is_empty():
+            return False
+        leaves = node.leaves()
+        if len(leaves) != 1:
+            return False
+        succ = leaves[0].target
+        if succ == nid:  # self-loop; leave alone
+            return False
+        self.redirect_predecessors(nid, succ)
+        if self.entry == nid:
+            self.entry = succ if succ != EXIT else None
+        del self.nodes[nid]
+        self._preds.pop(nid, None)
+        self._edge_removed(nid, succ)
+        for preds in self._preds.values():
+            preds.discard(nid)
+        self._touch()
+        return True
+
+    def drop_unreachable(self) -> list[int]:
+        """Remove nodes unreachable from the entry; returns their ids."""
+        live = set(self.reachable())
+        dead = [nid for nid in self.nodes if nid not in live]
+        for nid in dead:
+            node = self.nodes.pop(nid)
+            for succ in node.successors():
+                self._preds.get(succ, set()).discard(nid)
+            self._preds.pop(nid, None)
+        if dead:
+            self._touch()
+        return dead
+
+    # ------------------------------------------------------------------
+    # Copying / validation
+    # ------------------------------------------------------------------
+    def clone(self) -> "ProgramGraph":
+        """Deep copy preserving node ids, op uids and leaf ids.
+
+        Clones are used to snapshot a graph before transformation (for
+        the simulator-based equivalence checks), so identities must be
+        preserved exactly.
+        """
+        g = ProgramGraph()
+        g.entry = self.entry
+        g._next_nid = self._next_nid
+        for nid, node in self.nodes.items():
+            dup = Instruction(nid)
+            dup.tree = node.tree  # CJTree values are immutable
+            dup.cjs = dict(node.cjs)
+            dup.ops = dict(node.ops)
+            dup.paths = dict(node.paths)
+            g.nodes[nid] = dup
+        g._preds = {nid: set(p) for nid, p in self._preds.items()}
+        return g
+
+    def check(self) -> None:
+        """Assert graph-wide invariants."""
+        assert self.entry is None or self.entry in self.nodes
+        for nid, node in self.nodes.items():
+            assert node.nid == nid
+            node.check()
+            for succ in node.successors():
+                assert succ == EXIT or succ in self.nodes, \
+                    f"node {nid} targets missing node {succ}"
+                assert succ == EXIT or nid in self._preds.get(succ, set()), \
+                    f"pred link missing for edge {nid}->{succ}"
+        for nid, preds in self._preds.items():
+            for p in preds:
+                assert p in self.nodes, f"stale pred {p} of {nid}"
+                assert nid in self.nodes[p].successors(), \
+                    f"pred {p} of {nid} has no such edge"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ProgramGraph entry={self.entry} nodes={len(self.nodes)} "
+                f"ops={self.op_count()}>")

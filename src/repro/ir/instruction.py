@@ -1,0 +1,335 @@
+"""VLIW instructions (program-graph nodes).
+
+An instruction is a set of operations plus a conditional-jump tree
+(:mod:`repro.ir.cjtree`).  Non-jump operations carry a *path set*: the
+leaves of the tree on which their results commit.  This realizes the
+IBM VLIW execution model the paper adopts: "IBM VLIW instructions store
+only those results that were computed along the path selected by the
+conditionals".
+
+The instruction is a mutable container -- code motion adds and removes
+operations -- but the operations themselves are immutable records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from . import cjtree as cjt
+from .cjtree import Branch, CJTree, EXIT, Leaf, make_leaf
+from .operations import Operation, OpKind
+
+
+class Instruction:
+    """One VLIW instruction / program-graph node.
+
+    Parameters
+    ----------
+    nid:
+        Node id within the owning :class:`~repro.ir.graph.ProgramGraph`.
+    target:
+        Successor node for the initial single-leaf tree.
+    """
+
+    __slots__ = ("nid", "ops", "paths", "cjs", "tree")
+
+    def __init__(self, nid: int, target: int = EXIT) -> None:
+        self.nid = nid
+        self.ops: dict[int, Operation] = {}
+        self.paths: dict[int, frozenset[int]] = {}
+        self.cjs: dict[int, Operation] = {}
+        self.tree: CJTree = make_leaf(target)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def leaves(self) -> list[Leaf]:
+        """Leaves of the CJ tree, left-to-right."""
+        return list(cjt.iter_leaves(self.tree))
+
+    def leaf_ids(self) -> frozenset[int]:
+        return cjt.leaf_ids(self.tree)
+
+    @property
+    def all_paths(self) -> frozenset[int]:
+        """The path set meaning "on every path"."""
+        return self.leaf_ids()
+
+    def successors(self) -> list[int]:
+        """Distinct successor node ids, in leaf order (EXIT excluded)."""
+        seen: list[int] = []
+        for l in self.leaves():
+            if l.target != EXIT and l.target not in seen:
+                seen.append(l.target)
+        return seen
+
+    def leaves_to(self, target: int) -> frozenset[int]:
+        """Leaf ids pointing at ``target``."""
+        return frozenset(l.leaf_id for l in self.leaves() if l.target == target)
+
+    def target_of_leaf(self, leaf_id: int) -> int:
+        leaf = cjt.find_leaf(self.tree, leaf_id)
+        if leaf is None:
+            raise KeyError(f"leaf {leaf_id} not in node {self.nid}")
+        return leaf.target
+
+    # ------------------------------------------------------------------
+    # Operation queries
+    # ------------------------------------------------------------------
+    def all_ops(self) -> Iterator[Operation]:
+        """All operations: regular ops then conditional jumps."""
+        yield from self.ops.values()
+        yield from self.cjs.values()
+
+    def op_count(self) -> int:
+        """Total operations (resource slots consumed)."""
+        return len(self.ops) + len(self.cjs)
+
+    def is_empty(self) -> bool:
+        return not self.ops and not self.cjs
+
+    def has_op(self, uid: int) -> bool:
+        return uid in self.ops or uid in self.cjs
+
+    def get_op(self, uid: int) -> Operation:
+        if uid in self.ops:
+            return self.ops[uid]
+        return self.cjs[uid]
+
+    def paths_of(self, uid: int) -> frozenset[int]:
+        """Path set of an operation (CJ ops are active below their branch)."""
+        if uid in self.paths:
+            return self.paths[uid]
+        if uid in self.cjs:
+            b = cjt.subtree_of(self.tree, uid)
+            assert b is not None
+            return cjt.leaf_ids(b)
+        raise KeyError(f"op {uid} not in node {self.nid}")
+
+    def ops_on(self, leaf_id: int) -> list[Operation]:
+        """Regular operations committing on the given leaf."""
+        return [op for uid, op in self.ops.items() if leaf_id in self.paths[uid]]
+
+    def cjs_on(self, leaf_id: int) -> list[Operation]:
+        """Conditional jumps on the root-to-leaf path of ``leaf_id``."""
+        out: list[Operation] = []
+
+        def rec(t: CJTree) -> bool:
+            if isinstance(t, Leaf):
+                return t.leaf_id == leaf_id
+            for sub in (t.on_true, t.on_false):
+                if rec(sub):
+                    out.append(self.cjs[t.cj_uid])
+                    return True
+            return False
+
+        rec(self.tree)
+        out.reverse()
+        return out
+
+    def find_identical(self, op: Operation) -> Operation | None:
+        """An op in this node computing the same thing (unification target).
+
+        Two operations are syntactically identical when kind, dest,
+        sources and memory reference all agree.  Template identity is
+        *not* required: unifiable copies produced by unwinding different
+        iterations still merge, which is the paper's "redundant
+        operation removal" enabler.
+        """
+        for other in self.ops.values():
+            if (other.kind is op.kind and other.dest == op.dest
+                    and other.srcs == op.srcs and other.mem == op.mem):
+                return other
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_op(self, op: Operation, paths: frozenset[int] | None = None) -> None:
+        """Attach a regular operation on ``paths`` (default: all paths)."""
+        if op.is_cjump:
+            raise ValueError("use add_root_cj/graft for conditional jumps")
+        if op.uid in self.ops:
+            raise ValueError(f"op {op.uid} already in node {self.nid}")
+        p = self.all_paths if paths is None else frozenset(paths)
+        if not p:
+            raise ValueError("operation must be active on at least one path")
+        if not p <= self.leaf_ids():
+            raise ValueError(f"paths {p} not leaves of node {self.nid}")
+        self.ops[op.uid] = op
+        self.paths[op.uid] = p
+
+    def widen_paths(self, uid: int, extra: frozenset[int]) -> None:
+        """Make an existing op active on additional paths (unification)."""
+        if not extra <= self.leaf_ids():
+            raise ValueError("paths not leaves of this node")
+        self.paths[uid] = self.paths[uid] | extra
+
+    def remove_op(self, uid: int) -> Operation:
+        """Detach and return a regular operation."""
+        op = self.ops.pop(uid)
+        del self.paths[uid]
+        return op
+
+    def remove_op_on(self, uid: int, paths: frozenset[int]) -> Operation:
+        """Remove an op from the given paths only.
+
+        If the op becomes path-less it is removed entirely.  Returns the
+        operation.  Used by move-op when an op leaves along one incoming
+        edge but must stay behind for the others.
+        """
+        op = self.ops[uid]
+        remaining = self.paths[uid] - paths
+        if remaining:
+            self.paths[uid] = remaining
+        else:
+            self.remove_op(uid)
+        return op
+
+    def replace_op(self, uid: int, new_op: Operation) -> None:
+        """Swap an operation in place (same paths)."""
+        if uid not in self.ops:
+            raise KeyError(uid)
+        p = self.paths.pop(uid)
+        del self.ops[uid]
+        self.ops[new_op.uid] = new_op
+        self.paths[new_op.uid] = p
+
+    def add_root_cj(self, cj: Operation, true_target: int, false_target: int,
+                    ) -> tuple[Leaf, Leaf]:
+        """Install a conditional jump above the current tree.
+
+        The existing tree becomes the *true* side; a fresh leaf pointing
+        at ``false_target`` becomes the false side -- unless the node is
+        currently a single leaf, in which case both sides become fresh
+        leaves at the given targets.  Existing ops stay on their paths.
+        Returns the (true, false) leaves when freshly created.
+        """
+        if not cj.is_cjump:
+            raise ValueError("add_root_cj requires a CJUMP operation")
+        if isinstance(self.tree, Leaf) and not self.ops:
+            t, f = make_leaf(true_target), make_leaf(false_target)
+            self.tree = Branch(cj.uid, t, f)
+            self.cjs[cj.uid] = cj
+            return t, f
+        # Existing content rides on the true side.
+        f = make_leaf(false_target)
+        old = self.tree
+        self.tree = Branch(cj.uid, old, f)
+        self.cjs[cj.uid] = cj
+        t_leaf = next(cjt.iter_leaves(old))
+        return t_leaf, f
+
+    def graft_branch(self, leaf_id: int, cj: Operation,
+                     true_target: int, false_target: int) -> tuple[Leaf, Leaf]:
+        """Replace a leaf by ``Branch(cj, true, false)`` (move-cj helper).
+
+        Ops that were active on ``leaf_id`` become active on both new
+        leaves.  Returns the new (true, false) leaves.
+        """
+        if not cj.is_cjump:
+            raise ValueError("graft_branch requires a CJUMP operation")
+        if cj.uid in self.cjs:
+            raise ValueError(f"cj {cj.uid} already in node {self.nid}")
+        t, f = make_leaf(true_target), make_leaf(false_target)
+        self.tree = cjt.replace_leaf(self.tree, leaf_id, Branch(cj.uid, t, f))
+        self.cjs[cj.uid] = cj
+        both = frozenset({t.leaf_id, f.leaf_id})
+        for uid, p in list(self.paths.items()):
+            if leaf_id in p:
+                self.paths[uid] = (p - {leaf_id}) | both
+        return t, f
+
+    def remove_root_cj(self, cj_uid: int, keep_true: bool) -> Operation:
+        """Collapse the branch testing ``cj_uid`` to one side.
+
+        Ops active only on the discarded side are dropped.  Returns the
+        removed CJUMP operation.
+        """
+        b = cjt.subtree_of(self.tree, cj_uid)
+        if b is None:
+            raise KeyError(f"cj {cj_uid} not in node {self.nid}")
+        dead = cjt.leaf_ids(b.on_false if keep_true else b.on_true)
+        self.tree = cjt.remove_branch(self.tree, cj_uid, keep_true)
+        for uid in list(self.ops):
+            remaining = self.paths[uid] - dead
+            if remaining:
+                self.paths[uid] = remaining
+            else:
+                self.remove_op(uid)
+        return self.cjs.pop(cj_uid)
+
+    def retarget_leaf(self, leaf_id: int, target: int) -> None:
+        self.tree = cjt.retarget_leaf(self.tree, leaf_id, target)
+
+    def retarget_all(self, old: int, new: int) -> None:
+        self.tree = cjt.retarget_all(self.tree, old, new)
+
+    # ------------------------------------------------------------------
+    # Duplication
+    # ------------------------------------------------------------------
+    def clone_into(self, nid: int) -> "Instruction":
+        """Deep copy with fresh leaf ids and fresh op uids.
+
+        Used for node splitting.  Op templates (tid) are preserved so the
+        scheduler still recognizes the copies.
+        """
+        dup, _ = self.clone_with_map(nid)
+        return dup
+
+    def clone_with_map(self, nid: int) -> tuple["Instruction", dict[int, int]]:
+        """Like :meth:`clone_into`, also returning the old->new uid map."""
+        dup = Instruction(nid)
+        tree, leaf_map = cjt.refresh_leaf_ids(self.tree)
+        uid_map: dict[int, int] = {}
+        new_cjs: dict[int, Operation] = {}
+        for uid, cj in self.cjs.items():
+            nc = cj.duplicate()
+            uid_map[uid] = nc.uid
+            new_cjs[nc.uid] = nc
+
+        def remap(t: CJTree) -> CJTree:
+            if isinstance(t, Leaf):
+                return t
+            return Branch(uid_map[t.cj_uid], remap(t.on_true), remap(t.on_false))
+
+        dup.tree = remap(tree)
+        dup.cjs = new_cjs
+        for uid, op in self.ops.items():
+            no = op.duplicate()
+            uid_map[uid] = no.uid
+            dup.ops[no.uid] = no
+            dup.paths[no.uid] = frozenset(leaf_map[l] for l in self.paths[uid])
+        return dup, uid_map
+
+    # ------------------------------------------------------------------
+    # Validation & display
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Assert internal invariants (tests call this aggressively)."""
+        lids = self.leaf_ids()
+        assert len(list(cjt.iter_leaves(self.tree))) == len(lids), \
+            f"node {self.nid}: duplicate leaf ids"
+        tree_cjs = {b.cj_uid for b in cjt.iter_branches(self.tree)}
+        assert tree_cjs == set(self.cjs), \
+            f"node {self.nid}: cj set mismatch {tree_cjs} vs {set(self.cjs)}"
+        for uid, op in self.ops.items():
+            assert op.uid == uid
+            assert not op.is_cjump
+            assert self.paths[uid], f"node {self.nid}: op {uid} path-less"
+            assert self.paths[uid] <= lids, f"node {self.nid}: op {uid} stale paths"
+        for uid, cj in self.cjs.items():
+            assert cj.uid == uid and cj.is_cjump
+        # At most one register writer per path (VLIW well-formedness).
+        for leaf in self.leaves():
+            writers: dict[str, int] = {}
+            for op in self.ops_on(leaf.leaf_id):
+                if op.dest is not None:
+                    prev = writers.setdefault(op.dest.name, op.uid)
+                    assert prev == op.uid, (
+                        f"node {self.nid}: two writers of {op.dest} on leaf "
+                        f"{leaf.leaf_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        labels = ",".join(op.label for op in self.all_ops())
+        return f"<node {self.nid} [{labels}] -> {self.successors() or 'EXIT'}>"

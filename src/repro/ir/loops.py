@@ -1,0 +1,144 @@
+"""Counted loops: the canonical workload shape of the evaluation.
+
+Every Livermore kernel in the paper's Table 1 is a counted inner loop.
+:class:`CountedLoop` packages the sequential program graph together
+with the metadata the unwinder needs: which register is the induction
+variable, its step, the loop bound, and which operations implement the
+loop control (increment, exit compare, exit jump).
+
+The sequential lowering is::
+
+    preheader ops                # invariants, counter init
+    header:  body op 1           # one op per node, reads counter
+             ...
+             counter += step     # increment
+             cond = counter >= bound
+             if cond -> EXIT     # else fall through (back edge)
+
+so a sequential iteration costs ``len(body) + 3`` cycles, which is the
+baseline of every speedup we report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .builder import SequentialBuilder
+from .cjtree import EXIT
+from .graph import ProgramGraph
+from .operations import Operation, OpKind, add, cjump, cmp_ge
+from .registers import Imm, Operand, Reg
+
+
+@dataclass
+class CountedLoop:
+    """A single counted loop in sequential one-op-per-node form."""
+
+    graph: ProgramGraph
+    name: str
+    preheader_ops: list[Operation]
+    body_ops: list[Operation]           # excludes control (incr/cmp/cjump)
+    counter: Reg
+    bound: Operand                      # register or immediate upper bound
+    step: int
+    header: int                         # first body node id
+    incr_op: Operation | None = None
+    cmp_op: Operation | None = None
+    cj_op: Operation | None = None
+    #: registers carried across iterations other than the counter
+    carried_regs: frozenset[Reg] = frozenset()
+    #: code after the loop (e.g. stores of scalar results)
+    epilogue_ops: list[Operation] = field(default_factory=list)
+    #: human description for reports
+    description: str = ""
+
+    @property
+    def control_ops(self) -> list[Operation]:
+        return [op for op in (self.incr_op, self.cmp_op, self.cj_op)
+                if op is not None]
+
+    @property
+    def ops_per_iteration(self) -> int:
+        """Sequential cycles per iteration (one op per node)."""
+        return len(self.body_ops) + len(self.control_ops)
+
+    def all_loop_ops(self) -> list[Operation]:
+        return list(self.body_ops) + self.control_ops
+
+
+def build_counted_loop(name: str, preheader: Sequence[Operation],
+                       body: Sequence[Operation], counter: Reg | str,
+                       bound: Operand | int, step: int = 1,
+                       carried: Sequence[Reg | str] = (),
+                       epilogue: Sequence[Operation] = (),
+                       description: str = "") -> CountedLoop:
+    """Assemble the canonical sequential loop graph.
+
+    ``body`` operations read the counter directly; the builder appends
+    the increment / compare / jump control tail and wires the back
+    edge.  ``epilogue`` operations (scalar-result stores etc.) run
+    after the loop exits.
+    """
+    k = counter if isinstance(counter, Reg) else Reg(counter)
+    b = bound if isinstance(bound, (Reg, Imm)) else Imm(bound)
+    builder = SequentialBuilder()
+    pos = 0
+    pre_ops: list[Operation] = []
+    for op in preheader:
+        op = _at(op, pos)
+        pre_ops.append(op)
+        builder.append(op)
+        pos += 1
+    body_nodes = []
+    body_ops: list[Operation] = []
+    header = None
+    for op in body:
+        op = _at(op, pos)
+        body_ops.append(op)
+        node = builder.append(op)
+        if header is None:
+            header = node.nid
+        body_nodes.append(node)
+        pos += 1
+    cond = Reg(f"{k.name}.exit")
+    incr = _at(add(k, k, step, name="inc"), pos)
+    cmp_ = _at(cmp_ge(cond, k, b, name="cmp"), pos + 1)
+    cj = _at(cjump(cond, name="br"), pos + 2)
+    n_incr = builder.append(incr)
+    if header is None:
+        header = n_incr.nid
+    builder.append(cmp_)
+    cj_node = builder.append_cjump(cj, true_target=EXIT)
+    builder.close_loop(header)
+    pos += 3
+    epi_ops: list[Operation] = []
+    if epilogue:
+        epi_builder = SequentialBuilder(builder.graph)
+        epi_head: int | None = None
+        for op in epilogue:
+            op = _at(op, pos)
+            pos += 1
+            epi_ops.append(op)
+            node = epi_builder.append(op)
+            if epi_head is None:
+                epi_head = node.nid
+        true_leaf = [l for l in cj_node.leaves() if l.target == EXIT][0]
+        builder.graph.retarget_leaf(cj_node.nid, true_leaf.leaf_id, epi_head)
+    return CountedLoop(
+        graph=builder.graph, name=name, preheader_ops=pre_ops,
+        body_ops=body_ops, counter=k, bound=b, step=step, header=header,
+        incr_op=incr, cmp_op=cmp_, cj_op=cj,
+        carried_regs=frozenset(r if isinstance(r, Reg) else Reg(r)
+                               for r in carried),
+        epilogue_ops=epi_ops,
+        description=description)
+
+
+def _at(op: Operation, pos: int) -> Operation:
+    """Stamp the textual position (the heuristic tie-breaker)."""
+    if op.pos == pos:
+        return op
+    from dataclasses import replace
+
+    return replace(op, pos=pos)

@@ -1,0 +1,348 @@
+"""Operations: the "conventional" single-cycle VLIW primitives.
+
+A VLIW *instruction* (node) is a set of operations, per the paper's
+section 2: ``A = B op C``, ``load``/``store``, ``jump-cond`` and so on.
+Each operation is an immutable record; code motion never mutates an
+operation, it re-attaches (possibly renamed copies of) operations to
+instructions.
+
+Identity model
+--------------
+* ``uid``   -- unique per operation *instance*.  Node splitting and
+  speculative duplication create new instances with fresh uids.
+* ``tid``   -- *template* id: stable across copies, renames and moves.
+  Priorities, Moveable-ops bookkeeping and schedule tables are keyed by
+  template so that a duplicated operation is still "the same operation"
+  to the scheduler.
+* ``iteration`` -- which unwound loop iteration the operation belongs
+  to (``-1`` for non-loop code).  Perfect Pipelining's ranking rule and
+  the Gapless-move test are defined in terms of this tag.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import Enum, auto
+from typing import Callable, Iterable
+
+from .registers import Imm, Operand, Reg
+
+
+class OpKind(Enum):
+    """Kinds of conventional operations."""
+
+    CONST = auto()   # dest <- imm
+    COPY = auto()    # dest <- src            (renaming artifact; never blocks motion)
+    ADD = auto()
+    SUB = auto()
+    MUL = auto()
+    DIV = auto()
+    NEG = auto()
+    MIN = auto()
+    MAX = auto()
+    ABS = auto()
+    AND = auto()
+    OR = auto()
+    XOR = auto()
+    NOT = auto()
+    SHL = auto()
+    SHR = auto()
+    CMP_EQ = auto()
+    CMP_NE = auto()
+    CMP_LT = auto()
+    CMP_LE = auto()
+    CMP_GT = auto()
+    CMP_GE = auto()
+    LOAD = auto()    # dest <- mem[array][index]
+    STORE = auto()   # mem[array][index] <- src
+    CJUMP = auto()   # conditional jump; branching encoded in the node's CJ tree
+    NOP = auto()
+
+
+#: Kinds that read memory.
+MEMORY_READS = frozenset({OpKind.LOAD})
+#: Kinds that write memory.
+MEMORY_WRITES = frozenset({OpKind.STORE})
+#: Kinds with two register/immediate sources and an arithmetic meaning.
+BINARY_KINDS = frozenset(
+    {
+        OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.DIV, OpKind.MIN, OpKind.MAX,
+        OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.SHL, OpKind.SHR,
+        OpKind.CMP_EQ, OpKind.CMP_NE, OpKind.CMP_LT, OpKind.CMP_LE,
+        OpKind.CMP_GT, OpKind.CMP_GE,
+    }
+)
+#: Kinds with one source.
+UNARY_KINDS = frozenset({OpKind.COPY, OpKind.NEG, OpKind.ABS, OpKind.NOT})
+
+
+@dataclass(frozen=True, slots=True)
+class MemRef:
+    """A symbolic memory reference ``array[index + offset]``.
+
+    ``affine`` carries the iteration-normalized absolute index when the
+    access pattern is provably affine in the loop counter (the unwinder
+    fills it in); it enables exact disambiguation of ``x[k]`` in
+    iteration *i* against ``x[k+1]`` in iteration *j*.  ``None`` means
+    "unknown index", which the dependence tester treats conservatively.
+    """
+
+    array: str
+    index: Operand | None = None  # register or immediate index; None = scalar cell
+    offset: int = 0
+    affine: int | None = None
+
+    def with_affine(self, value: int | None) -> "MemRef":
+        return replace(self, affine=value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.index is None:
+            inner = str(self.offset) if self.affine is None else f"@{self.affine}"
+        else:
+            inner = f"{self.index!r}"
+            if self.offset:
+                inner += f"{self.offset:+d}"
+            if self.affine is not None:
+                inner += f"@{self.affine}"
+        return f"{self.array}[{inner}]"
+
+
+_uid_counter = itertools.count(1)
+
+
+def next_uid() -> int:
+    """Globally unique operation-instance id."""
+    return next(_uid_counter)
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One conventional operation.
+
+    Attributes
+    ----------
+    uid / tid / iteration:
+        Identity, see module docstring.
+    kind:
+        The :class:`OpKind`.
+    dest:
+        Destination register, or ``None`` for STORE / CJUMP / NOP.
+    srcs:
+        Source operands.  For STORE the stored value is ``srcs[0]``.
+        For CJUMP the condition register is ``srcs[0]``.
+    mem:
+        Memory reference for LOAD / STORE.
+    name:
+        Human-readable label (the paper's ``a``..``g``); defaults to a
+        derived label.  Preserved across copies and renames.
+    pos:
+        Original textual position (sequence number in the source
+        program).  Tie-breaker for heuristics; the paper observes that
+        "important operations tend to occur textually before less
+        important ones".
+    """
+
+    kind: OpKind
+    dest: Reg | None = None
+    srcs: tuple[Operand, ...] = ()
+    mem: MemRef | None = None
+    name: str = ""
+    iteration: int = -1
+    pos: int = 0
+    uid: int = field(default_factory=next_uid)
+    tid: int = -1
+
+    def __post_init__(self) -> None:
+        if self.tid == -1:
+            object.__setattr__(self, "tid", self.uid)
+        _validate(self)
+
+    # ------------------------------------------------------------------
+    # Dataflow facets
+    # ------------------------------------------------------------------
+    def uses(self) -> frozenset[Reg]:
+        """Registers read by this operation (including memory index)."""
+        regs = {s for s in self.srcs if isinstance(s, Reg)}
+        if self.mem is not None and isinstance(self.mem.index, Reg):
+            regs.add(self.mem.index)
+        return frozenset(regs)
+
+    def defs(self) -> frozenset[Reg]:
+        """Registers written by this operation."""
+        return frozenset((self.dest,)) if self.dest is not None else frozenset()
+
+    @property
+    def reads_memory(self) -> bool:
+        return self.kind in MEMORY_READS
+
+    @property
+    def writes_memory(self) -> bool:
+        return self.kind in MEMORY_WRITES
+
+    @property
+    def is_cjump(self) -> bool:
+        return self.kind is OpKind.CJUMP
+
+    @property
+    def is_copy(self) -> bool:
+        return self.kind is OpKind.COPY
+
+    @property
+    def has_side_effect(self) -> bool:
+        """True when the op cannot be removed even if its dest is dead."""
+        return self.writes_memory or self.is_cjump
+
+    # ------------------------------------------------------------------
+    # Copy/update helpers (operations are immutable)
+    # ------------------------------------------------------------------
+    def duplicate(self) -> "Operation":
+        """A fresh instance (new uid) of the same template."""
+        return replace(self, uid=next_uid())
+
+    def with_dest(self, dest: Reg) -> "Operation":
+        """Renamed instance writing ``dest`` (new uid, same template)."""
+        return replace(self, dest=dest, uid=next_uid())
+
+    def with_srcs(self, srcs: tuple[Operand, ...]) -> "Operation":
+        """Instance with substituted sources (new uid, same template)."""
+        return replace(self, srcs=srcs, uid=next_uid())
+
+    def with_iteration(self, iteration: int) -> "Operation":
+        return replace(self, iteration=iteration, uid=next_uid())
+
+    def substitute_use(self, old: Reg, new: Operand) -> "Operation":
+        """Replace every read of ``old`` with ``new``.
+
+        This implements the paper's copy-substitution: "we simply change
+        the use of B into a use of X".  Memory index registers are
+        substituted only when ``new`` is itself an operand usable as an
+        index.
+        """
+        srcs = tuple(new if s == old else s for s in self.srcs)
+        mem = self.mem
+        if mem is not None and mem.index == old:
+            mem = replace(mem, index=new)
+        return replace(self, srcs=srcs, mem=mem, uid=next_uid())
+
+    @property
+    def label(self) -> str:
+        """Short display label (``name`` or a derived one)."""
+        return self.name or f"{self.kind.name.lower()}#{self.tid}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        it = f"[{self.iteration}]" if self.iteration >= 0 else ""
+        if self.kind is OpKind.STORE:
+            body = f"{self.mem!r} <- {self.srcs[0]!r}"
+        elif self.kind is OpKind.LOAD:
+            body = f"{self.dest!r} <- {self.mem!r}"
+        elif self.kind is OpKind.CJUMP:
+            body = f"if {self.srcs[0]!r}"
+        elif self.kind is OpKind.CONST:
+            body = f"{self.dest!r} <- {self.srcs[0]!r}"
+        elif self.kind is OpKind.NOP:
+            body = "nop"
+        else:
+            args = ", ".join(repr(s) for s in self.srcs)
+            body = f"{self.dest!r} <- {self.kind.name.lower()}({args})"
+        tag = self.name or f"#{self.tid}"
+        return f"<{tag}{it} {body}>"
+
+
+def _validate(op: Operation) -> None:
+    k = op.kind
+    if k is OpKind.STORE:
+        if op.dest is not None or op.mem is None or len(op.srcs) != 1:
+            raise ValueError(f"malformed STORE: {op.dest=} {op.mem=} {op.srcs=}")
+    elif k is OpKind.LOAD:
+        if op.dest is None or op.mem is None:
+            raise ValueError(f"malformed LOAD: {op.dest=} {op.mem=}")
+    elif k is OpKind.CJUMP:
+        if op.dest is not None or len(op.srcs) != 1:
+            raise ValueError(f"malformed CJUMP: {op.dest=} {op.srcs=}")
+    elif k is OpKind.NOP:
+        pass
+    elif k is OpKind.CONST:
+        if op.dest is None or len(op.srcs) != 1 or not isinstance(op.srcs[0], Imm):
+            raise ValueError(f"malformed CONST: {op.dest=} {op.srcs=}")
+    elif k in UNARY_KINDS:
+        if op.dest is None or len(op.srcs) != 1:
+            raise ValueError(f"malformed unary {k.name}: {op.dest=} {op.srcs=}")
+    elif k in BINARY_KINDS:
+        if op.dest is None or len(op.srcs) != 2:
+            raise ValueError(f"malformed binary {k.name}: {op.dest=} {op.srcs=}")
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors (used heavily by tests and workloads)
+# ----------------------------------------------------------------------
+def _r(x: Operand | str | int | float) -> Operand:
+    if isinstance(x, (Reg, Imm)):
+        return x
+    if isinstance(x, str):
+        return Reg(x)
+    return Imm(x)
+
+
+def make_binary(kind: OpKind, dest: str | Reg, a, b, *, name: str = "",
+                iteration: int = -1, pos: int = 0) -> Operation:
+    """Build a binary operation from loosely-typed arguments."""
+    d = dest if isinstance(dest, Reg) else Reg(dest)
+    return Operation(kind, d, (_r(a), _r(b)), name=name, iteration=iteration, pos=pos)
+
+
+def add(dest, a, b, **kw) -> Operation:
+    return make_binary(OpKind.ADD, dest, a, b, **kw)
+
+
+def sub(dest, a, b, **kw) -> Operation:
+    return make_binary(OpKind.SUB, dest, a, b, **kw)
+
+
+def mul(dest, a, b, **kw) -> Operation:
+    return make_binary(OpKind.MUL, dest, a, b, **kw)
+
+
+def div(dest, a, b, **kw) -> Operation:
+    return make_binary(OpKind.DIV, dest, a, b, **kw)
+
+
+def cmp_lt(dest, a, b, **kw) -> Operation:
+    return make_binary(OpKind.CMP_LT, dest, a, b, **kw)
+
+
+def cmp_ge(dest, a, b, **kw) -> Operation:
+    return make_binary(OpKind.CMP_GE, dest, a, b, **kw)
+
+
+def copy(dest, src, *, name: str = "", iteration: int = -1, pos: int = 0) -> Operation:
+    d = dest if isinstance(dest, Reg) else Reg(dest)
+    return Operation(OpKind.COPY, d, (_r(src),), name=name, iteration=iteration, pos=pos)
+
+
+def const(dest, value, *, name: str = "", iteration: int = -1, pos: int = 0) -> Operation:
+    d = dest if isinstance(dest, Reg) else Reg(dest)
+    return Operation(OpKind.CONST, d, (Imm(value),), name=name, iteration=iteration, pos=pos)
+
+
+def load(dest, array: str, index=None, offset: int = 0, *, affine: int | None = None,
+         name: str = "", iteration: int = -1, pos: int = 0) -> Operation:
+    d = dest if isinstance(dest, Reg) else Reg(dest)
+    idx = None if index is None else _r(index)
+    return Operation(OpKind.LOAD, d, (), MemRef(array, idx, offset, affine),
+                     name=name, iteration=iteration, pos=pos)
+
+
+def store(array: str, src, index=None, offset: int = 0, *, affine: int | None = None,
+          name: str = "", iteration: int = -1, pos: int = 0) -> Operation:
+    idx = None if index is None else _r(index)
+    return Operation(OpKind.STORE, None, (_r(src),), MemRef(array, idx, offset, affine),
+                     name=name, iteration=iteration, pos=pos)
+
+
+def cjump(cond, *, name: str = "", iteration: int = -1, pos: int = 0) -> Operation:
+    return Operation(OpKind.CJUMP, None, (_r(cond),), name=name, iteration=iteration, pos=pos)
+
+
+def nop(**kw) -> Operation:
+    return Operation(OpKind.NOP, **kw)

@@ -1,0 +1,98 @@
+"""Virtual register namespace and operand model.
+
+The VLIW computation model of Percolation Scheduling operates over a set
+of named registers.  The paper assumes a machine register file with a
+pool of *free* registers available for renaming; we model an unbounded
+virtual register namespace and let :class:`RegisterFile` hand out fresh
+names.  A finite pool can be requested to study renaming pressure.
+
+Operands are either :class:`Reg` (a register read) or :class:`Imm` (an
+immediate constant).  Both are immutable and hashable so they can be
+used freely inside sets and as dict keys by the dependence machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Reg:
+    """A register operand, identified by name.
+
+    Names are arbitrary strings; the front end uses source-level names
+    (``k``, ``q``) and the renamer derives fresh names (``%r17``).
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Imm:
+    """An immediate (compile-time constant) operand."""
+
+    value: float | int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.value)
+
+
+#: Any value that may appear in an operation's source list.
+Operand = Union[Reg, Imm]
+
+
+class RegisterFile:
+    """Allocator of fresh virtual register names.
+
+    Percolation Scheduling removes write-live and move-past-read
+    conflicts by *renaming*: the moved operation writes a free register
+    and a copy is left behind (paper, section 2).  The register file is
+    the source of those free registers.
+
+    Parameters
+    ----------
+    prefix:
+        Prefix for generated names.  Generated names never collide with
+        source names as long as source names do not start with the
+        prefix (the front end enforces this).
+    limit:
+        Optional maximum number of fresh registers; ``None`` (default)
+        models an unbounded virtual namespace.  When the limit is
+        exhausted :meth:`fresh` raises :class:`RegisterPressureError`,
+        which makes renaming-dependent moves fail exactly as they would
+        on a real machine with no free register.
+    """
+
+    def __init__(self, prefix: str = "%r", limit: int | None = None) -> None:
+        self.prefix = prefix
+        self.limit = limit
+        self._next = 0
+
+    def fresh(self) -> Reg:
+        """Return a register never handed out before."""
+        if self.limit is not None and self._next >= self.limit:
+            raise RegisterPressureError(
+                f"register file exhausted after {self.limit} fresh registers"
+            )
+        reg = Reg(f"{self.prefix}{self._next}")
+        self._next += 1
+        return reg
+
+    @property
+    def allocated(self) -> int:
+        """Number of fresh registers handed out so far."""
+        return self._next
+
+    def clone(self) -> "RegisterFile":
+        """An independent allocator continuing from the same counter."""
+        rf = RegisterFile(self.prefix, self.limit)
+        rf._next = self._next
+        return rf
+
+
+class RegisterPressureError(RuntimeError):
+    """Raised when a bounded register file has no free register left."""

@@ -1,0 +1,106 @@
+"""Textual rendering of program graphs and schedule tables.
+
+The paper communicates schedules as node x iteration tables (Figures 5,
+9 and 13): each row is a VLIW instruction, each column an unwound
+iteration, and cells list the operations of that iteration residing in
+that instruction.  :func:`schedule_table` reproduces that layout.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import Callable, Sequence
+
+from .cjtree import Branch, CJTree, EXIT, Leaf
+from .graph import ProgramGraph
+from .instruction import Instruction
+from .operations import Operation
+
+
+def op_cell_label(op: Operation) -> str:
+    """Compact label used inside table cells (``a`` for the paper's ops)."""
+    return op.name or f"#{op.tid}"
+
+
+def render_tree(node: Instruction) -> str:
+    """One-line rendering of a node's CJ tree, e.g. ``(c? n3 : n4)``."""
+
+    def rec(t: CJTree) -> str:
+        if isinstance(t, Leaf):
+            return "EXIT" if t.target == EXIT else f"n{t.target}"
+        cj = node.cjs[t.cj_uid]
+        return f"({cj.label}? {rec(t.on_true)} : {rec(t.on_false)})"
+
+    return rec(node.tree)
+
+
+def render_node(node: Instruction, verbose: bool = False) -> str:
+    """Multi-line rendering of one instruction."""
+    out = StringIO()
+    out.write(f"n{node.nid}: -> {render_tree(node)}\n")
+    multi = len(node.leaf_ids()) > 1
+    for op in node.ops.values():
+        suffix = ""
+        if multi and node.paths[op.uid] != node.all_paths:
+            suffix = f"  @paths{sorted(node.paths[op.uid])}"
+        body = repr(op) if verbose else f"  {op!r}"
+        out.write(f"  {op!r}{suffix}\n" if not verbose else f"{body}{suffix}\n")
+    return out.getvalue()
+
+
+def render_graph(graph: ProgramGraph, order: Sequence[int] | None = None) -> str:
+    """Whole-graph rendering in the given (default RPO) node order."""
+    out = StringIO()
+    for nid in (order if order is not None else graph.rpo()):
+        out.write(render_node(graph.nodes[nid]))
+    return out.getvalue()
+
+
+def schedule_table(graph: ProgramGraph, order: Sequence[int] | None = None,
+                   label: Callable[[Operation], str] = op_cell_label,
+                   title: str = "Iteration") -> str:
+    """Render the paper's node x iteration schedule table.
+
+    Operations with ``iteration < 0`` land in a single "-" column.
+    """
+    nids = list(order if order is not None else graph.rpo())
+    iters = sorted({op.iteration for _, op in graph.all_operations() if op.iteration >= 0})
+    cols: list[int | None] = list(iters) if iters else [None]
+
+    rows: list[list[str]] = []
+    for nid in nids:
+        node = graph.nodes[nid]
+        row = [f"{nid}"]
+        for it in cols:
+            ops = [op for op in node.all_ops()
+                   if (op.iteration == it if it is not None else op.iteration < 0)]
+            ops.sort(key=lambda o: (label(o)))
+            row.append("".join(label(o) for o in ops))
+        rows.append(row)
+
+    headers = ["Node"] + [("-" if c is None else str(c)) for c in cols]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    out = StringIO()
+    out.write(" " * widths[0] + "  " + title + "\n")
+    out.write("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip() + "\n")
+    for r in rows:
+        out.write("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip() + "\n")
+    return out.getvalue()
+
+
+def to_dot(graph: ProgramGraph) -> str:
+    """GraphViz rendering (nodes list their ops; edges follow the tree)."""
+    out = StringIO()
+    out.write("digraph program {\n  node [shape=box, fontname=monospace];\n")
+    for nid, node in graph.nodes.items():
+        labels = "\\n".join(repr(op).replace('"', "'") for op in node.all_ops())
+        shape = ' style="bold"' if nid == graph.entry else ""
+        out.write(f'  n{nid} [label="n{nid}\\n{labels}"{shape}];\n')
+    out.write('  exit [label="EXIT", shape=ellipse];\n')
+    for nid, node in graph.nodes.items():
+        for leaf in node.leaves():
+            tgt = "exit" if leaf.target == EXIT else f"n{leaf.target}"
+            out.write(f"  n{nid} -> {tgt};\n")
+    out.write("}\n")
+    return out.getvalue()

@@ -1,0 +1,5 @@
+"""VLIW machine models: functional-unit budgets and latencies."""
+
+from .model import FUClass, MachineConfig, INFINITE_RESOURCES
+
+__all__ = ["FUClass", "MachineConfig", "INFINITE_RESOURCES"]

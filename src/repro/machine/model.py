@@ -1,0 +1,153 @@
+"""Machine model: how many operations fit in one VLIW instruction.
+
+The paper evaluates homogeneous machines with 2, 4 and 8 functional
+units and single-cycle operations ("for simplicity of exposition, we
+assume that all operations are completed within a single cycle").  The
+model here supports that directly, plus two documented extensions:
+
+* **typed units** -- per-class budgets (ALU / MEM / BRANCH), for
+  studying heterogeneous machines;
+* **latencies** -- per-kind multi-cycle latencies in the style of
+  [Po91], consumed by the list scheduler and the simulator's timing
+  model (the percolation framework itself stays single-cycle, as in the
+  paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from ..ir.instruction import Instruction
+from ..ir.operations import Operation, OpKind
+
+
+class FUClass(Enum):
+    """Functional-unit classes for the typed-unit extension."""
+
+    ALU = auto()
+    MEM = auto()
+    BRANCH = auto()
+
+
+def fu_class_of(op: Operation) -> FUClass:
+    if op.kind in (OpKind.LOAD, OpKind.STORE):
+        return FUClass.MEM
+    if op.kind is OpKind.CJUMP:
+        return FUClass.BRANCH
+    return FUClass.ALU
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A VLIW machine description.
+
+    Parameters
+    ----------
+    fus:
+        Total operation slots per instruction.  ``None`` models the
+        paper's "infinite resources" setting (used by POST's first
+        phase and by unconstrained percolation).
+    typed:
+        Optional per-class budgets; when given, an instruction must
+        satisfy both the total and each class budget.
+    latencies:
+        Optional per-kind latency map for the multi-cycle extension;
+        missing kinds default to 1 cycle.
+    count_nops:
+        Whether NOPs consume a slot (default False).
+    """
+
+    fus: int | None = 4
+    typed: dict[FUClass, int] | None = None
+    latencies: dict[OpKind, int] | None = None
+    count_nops: bool = False
+
+    # ------------------------------------------------------------------
+    def slots_used(self, node: Instruction) -> int:
+        """Operation slots consumed by a node (CJ ops included)."""
+        ops = list(node.all_ops())
+        if not self.count_nops:
+            ops = [o for o in ops if o.kind is not OpKind.NOP]
+        return len(ops)
+
+    def fits(self, node: Instruction) -> bool:
+        """Does the node satisfy every budget?"""
+        return self.room(node) >= 0
+
+    def room(self, node: Instruction) -> int:
+        """Free total slots in the node (negative = over budget).
+
+        With typed budgets, returns the *tightest* remaining headroom so
+        that ``room() > 0`` still means "one more op of any class could
+        fit" conservatively.
+        """
+        if self.fus is None:
+            return 1 << 30
+        used = self.slots_used(node)
+        slack = self.fus - used
+        if self.typed:
+            per = {c: 0 for c in self.typed}
+            for op in node.all_ops():
+                if not self.count_nops and op.kind is OpKind.NOP:
+                    continue
+                c = fu_class_of(op)
+                if c in per:
+                    per[c] += 1
+            for c, budget in self.typed.items():
+                slack = min(slack, budget - per[c])
+        return slack
+
+    def can_accept(self, node: Instruction, op: Operation) -> bool:
+        """Would adding ``op`` keep the node within budget?"""
+        if self.fus is None:
+            return True
+        if not self.count_nops and op.kind is OpKind.NOP:
+            return True
+        used = self.slots_used(node)
+        if used + 1 > self.fus:
+            return False
+        if self.typed:
+            c = fu_class_of(op)
+            if c in self.typed:
+                same = sum(1 for o in node.all_ops()
+                           if fu_class_of(o) is c
+                           and (self.count_nops or o.kind is not OpKind.NOP))
+                if same + 1 > self.typed[c]:
+                    return False
+        return True
+
+    def can_accept_ops(self, row: list[Operation], op: Operation) -> bool:
+        """Budget check for a bare operation list (list scheduler)."""
+        if self.fus is None:
+            return True
+        ops = [o for o in row
+               if self.count_nops or o.kind is not OpKind.NOP]
+        if not self.count_nops and op.kind is OpKind.NOP:
+            return True
+        if len(ops) + 1 > self.fus:
+            return False
+        if self.typed:
+            c = fu_class_of(op)
+            if c in self.typed:
+                same = sum(1 for o in ops if fu_class_of(o) is c)
+                if same + 1 > self.typed[c]:
+                    return False
+        return True
+
+    def latency(self, op: Operation) -> int:
+        if self.latencies is None:
+            return 1
+        return self.latencies.get(op.kind, 1)
+
+    @property
+    def is_infinite(self) -> bool:
+        return self.fus is None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = "inf" if self.fus is None else str(self.fus)
+        return f"Machine({base} FUs)"
+
+
+#: The unconstrained machine used by POST's first phase.
+INFINITE_RESOURCES = MachineConfig(fus=None)

@@ -1,0 +1,15 @@
+"""Percolation Scheduling core transformations (paper section 2)."""
+
+from .cleanup import cleanup, delete_empty_nodes, eliminate_dead_ops, propagate_copies, strip_nops
+from .conflicts import ConflictReport, analyse_cj_move, analyse_move
+from .migrate import FreePolicy, MigrateContext, MovePolicy, migrate, region_below, rpo_index
+from .movecj import move_cj
+from .moveop import MoveOutcome, PercolationStats, move_op, split_if_shared
+
+__all__ = [
+    "ConflictReport", "FreePolicy", "MigrateContext", "MoveOutcome",
+    "MovePolicy", "PercolationStats", "analyse_cj_move", "analyse_move",
+    "cleanup", "delete_empty_nodes", "eliminate_dead_ops", "migrate",
+    "move_cj", "move_op", "propagate_copies", "region_below", "rpo_index",
+    "split_if_shared", "strip_nops",
+]

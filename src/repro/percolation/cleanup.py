@@ -1,0 +1,164 @@
+"""Clean-up passes running alongside percolation.
+
+The paper notes that "as a result of compaction, some operations in the
+original code become redundant and are removed ... best performed
+incrementally as part of the scheduling process in order to ensure that
+unnecessary operations do not compete with useful operations for
+resources."  These passes provide exactly that:
+
+* **dead-op elimination** -- removes operations whose destination is
+  dead past their node (renaming copies whose value was substituted
+  through are the main customers; any side-effect-free op qualifies);
+* **copy propagation** -- rewrites uses of ``B`` into uses of ``X``
+  within a node that also receives ``B <- X`` from above (single-pred
+  chains), further starving dead copies;
+* **empty-node deletion** -- unlinks nodes left without operations;
+* **nop stripping** -- drops NOPs.
+"""
+
+from __future__ import annotations
+
+from ..analysis.liveness import liveness
+from ..ir.cjtree import EXIT
+from ..ir.graph import ProgramGraph
+from ..ir.operations import OpKind
+from ..ir.registers import Reg
+
+
+def eliminate_dead_ops(graph: ProgramGraph,
+                       exit_live: frozenset[Reg] = frozenset(),
+                       copies_only: bool = True) -> int:
+    """Remove side-effect-free ops whose destination is dead.
+
+    Returns the number of removed operations.  ``copies_only`` limits
+    removal to COPY artifacts, which is the conservative in-scheduling
+    mode (the paper's redundancy removal); full DCE is used by the front
+    end's clean-up pipeline.
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        live = liveness(graph, exit_live)
+        for nid in list(graph.nodes):
+            node = graph.nodes[nid]
+            for uid in list(node.ops):
+                op = node.ops[uid]
+                if op.has_side_effect or op.dest is None:
+                    continue
+                if copies_only and not op.is_copy:
+                    continue
+                if live.dest_dead_after(nid, uid):
+                    node.remove_op(uid)
+                    graph._touch()
+                    removed += 1
+                    changed = True
+    return removed
+
+
+def propagate_copies(graph: ProgramGraph) -> int:
+    """Forward-substitute copies along unique-predecessor edges.
+
+    When node P commits ``B <- X`` on every path into its unique
+    successor N (and nothing else writes B or X in between), uses of B
+    in N can read X directly.  Returns the number of rewritten ops.
+    """
+    rewritten = 0
+    for pid in list(graph.nodes):
+        pnode = graph.nodes.get(pid)
+        if pnode is None:
+            continue
+        for uid in list(pnode.ops):
+            cp = pnode.ops.get(uid)
+            if cp is None or not cp.is_copy:
+                continue
+            b, x = cp.dest, cp.srcs[0]
+            if not isinstance(x, Reg):
+                continue
+            for leaf in pnode.leaves():
+                if leaf.leaf_id not in pnode.paths[uid]:
+                    continue
+                succ = leaf.target
+                if succ == EXIT or succ not in graph.nodes:
+                    continue
+                # The copy must cover every edge into succ: unique pred
+                # and every P-leaf into succ carries the copy.
+                if graph.predecessors(succ) != frozenset({pid}):
+                    continue
+                if not pnode.leaves_to(succ) <= pnode.paths[uid]:
+                    continue
+                # x must not be redefined by P on those paths.
+                if any(o.dest == x and o.uid != uid
+                       and pnode.paths[o.uid] & pnode.leaves_to(succ)
+                       for o in pnode.ops.values()):
+                    continue
+                snode = graph.nodes[succ]
+                for suid in list(snode.ops):
+                    sop = snode.ops[suid]
+                    if b in sop.uses():
+                        snode.replace_op(suid, sop.substitute_use(b, x))
+                        graph._touch()
+                        rewritten += 1
+                for suid in list(snode.cjs):
+                    scj = snode.cjs[suid]
+                    if b in scj.uses():
+                        new = scj.substitute_use(b, x)
+                        # CJ substitution must rewrite tree references.
+                        _swap_cj(graph, succ, suid, new)
+                        rewritten += 1
+    return rewritten
+
+
+def _swap_cj(graph: ProgramGraph, nid: int, old_uid: int, new_cj) -> None:
+    from ..ir.cjtree import Branch, Leaf
+
+    node = graph.nodes[nid]
+
+    def rec(t):
+        if isinstance(t, Leaf):
+            return t
+        return Branch(new_cj.uid if t.cj_uid == old_uid else t.cj_uid,
+                      rec(t.on_true), rec(t.on_false))
+
+    node.tree = rec(node.tree)
+    del node.cjs[old_uid]
+    node.cjs[new_cj.uid] = new_cj
+    graph._touch()
+
+
+def strip_nops(graph: ProgramGraph) -> int:
+    removed = 0
+    for node in graph.nodes.values():
+        for uid in list(node.ops):
+            if node.ops[uid].kind is OpKind.NOP:
+                node.remove_op(uid)
+                removed += 1
+    if removed:
+        graph._touch()
+    return removed
+
+
+def delete_empty_nodes(graph: ProgramGraph) -> int:
+    """Bypass all empty single-leaf nodes; returns how many died."""
+    deleted = 0
+    changed = True
+    while changed:
+        changed = False
+        for nid in list(graph.nodes):
+            if graph.delete_empty_node(nid):
+                deleted += 1
+                changed = True
+    return deleted
+
+
+def cleanup(graph: ProgramGraph, exit_live: frozenset[Reg] = frozenset(),
+            aggressive: bool = False) -> dict[str, int]:
+    """Run the full clean-up pipeline; returns per-pass counts."""
+    counts = {
+        "copies_propagated": propagate_copies(graph),
+        "dead_removed": eliminate_dead_ops(
+            graph, exit_live, copies_only=not aggressive),
+        "nops": strip_nops(graph),
+        "empty_nodes": delete_empty_nodes(graph),
+    }
+    return counts

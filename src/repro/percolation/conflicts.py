@@ -1,0 +1,191 @@
+"""Conflict analysis for the core PS transformations.
+
+Given a candidate move of operation ``op`` from node ``From`` into its
+predecessor ``To`` (along the To-leaves that target From), classify the
+obstacles:
+
+* **true dependence** -- ``op`` reads a register written in To on a
+  relevant path, or loads memory a To-store may write.  Fatal, except
+  that reads satisfied by COPY operations are *substituted through*
+  ("change the use of B into a use of X"), which is what keeps renaming
+  artifacts from blocking motion.
+* **move-past-read** -- another operation (or conditional) in From
+  reads ``op``'s destination; moving the write above From would clobber
+  the value those readers fetch at From's entry.  Curable by renaming.
+* **write-live** -- ``op`` commits on only a subset of From's paths and
+  its destination is live along the others; hoisting would clobber the
+  value flowing on those paths.  Curable by renaming.
+* **output dependence** -- an op in To already writes ``op``'s
+  destination on a relevant path; two same-path writers of one register
+  inside one instruction are ill-formed.  Curable by renaming.
+* **memory ordering** -- store/store to conflicting cells in one
+  instruction is ill-formed; store above a conflicting load is fine
+  *within* the same instruction (operands fetch before stores commit)
+  but a LOAD may not move into an instruction whose STORE feeds it.
+* **store speculation** -- a STORE may only leave From when it commits
+  on *all* of From's paths: memory writes cannot be renamed, so they
+  must never become control-speculative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.livequery import reg_live_out_via
+from ..analysis.memory import mem_conflict
+from ..ir.graph import ProgramGraph
+from ..ir.instruction import Instruction
+from ..ir.operations import Operation, OpKind
+from ..ir.registers import Operand, Reg
+
+
+@dataclass
+class ConflictReport:
+    """Outcome of analysing one candidate move."""
+
+    fatal: str | None = None          # reason the move is impossible
+    needs_rename: bool = False        # move-past-read / write-live / output
+    substitutions: dict[Reg, Operand] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.fatal is None
+
+
+def _writers_on_leaves(node: Instruction, reg: Reg,
+                       leaves: frozenset[int]) -> list[Operation]:
+    """Ops in ``node`` writing ``reg`` whose commit paths meet ``leaves``."""
+    return [op for uid, op in node.ops.items()
+            if op.dest == reg and node.paths[uid] & leaves]
+
+
+def resolve_copy_substitutions(to_node: Instruction, op: Operation,
+                               leaves: frozenset[int]) -> ConflictReport:
+    """Check true dependences of ``op`` against ``to_node``.
+
+    Returns substitutions that bypass COPY producers, or a fatal report
+    when a non-copy producer (or an ambiguous set of producers) blocks.
+    """
+    report = ConflictReport()
+    for reg in sorted(op.uses(), key=lambda r: r.name):
+        writers = _writers_on_leaves(to_node, reg, leaves)
+        if not writers:
+            continue
+        if len(writers) > 1:
+            report.fatal = f"true-dep: multiple writers of {reg} in n{to_node.nid}"
+            return report
+        w = writers[0]
+        if not w.is_copy:
+            report.fatal = (f"true-dep: {reg} written by {w.label} "
+                            f"in n{to_node.nid}")
+            return report
+        if not _copy_covers(w, to_node, leaves):
+            report.fatal = (f"true-dep: copy {w.label} does not cover all "
+                            f"paths to the source node")
+            return report
+        source = w.srcs[0]
+        # The substituted source must itself be clean in To.
+        if isinstance(source, Reg):
+            inner = _writers_on_leaves(to_node, source, leaves)
+            if inner:
+                report.fatal = (f"true-dep: copy source {source} also "
+                                f"written in n{to_node.nid}")
+                return report
+        report.substitutions[reg] = source
+    return report
+
+
+def _copy_covers(op: Operation, node: Instruction,
+                 leaves: frozenset[int]) -> bool:
+    """Does the copy commit on every path that reaches the source node?"""
+    return leaves <= node.paths[op.uid]
+
+
+def analyse_move(graph: ProgramGraph, from_nid: int, to_nid: int,
+                 uid: int,
+                 exit_live: frozenset[Reg] = frozenset()) -> ConflictReport:
+    """Full conflict analysis for moving op ``uid`` From -> To."""
+    from_node = graph.nodes[from_nid]
+    to_node = graph.nodes[to_nid]
+    op = from_node.ops[uid]
+    leaves = to_node.leaves_to(from_nid)
+    if not leaves:
+        return ConflictReport(fatal=f"n{to_nid} is not a predecessor of n{from_nid}")
+
+    # Store speculation guard.
+    if op.writes_memory and from_node.paths[uid] != from_node.all_paths:
+        return ConflictReport(fatal="store-speculation: STORE guarded inside source node")
+
+    # True dependences (registers, through copies).
+    report = resolve_copy_substitutions(to_node, op, leaves)
+    if not report.ok:
+        return report
+
+    # Memory true dependence: LOAD moving beside a conflicting STORE.
+    if op.reads_memory:
+        for other_uid, other in to_node.ops.items():
+            if other.writes_memory and to_node.paths[other_uid] & leaves \
+                    and mem_conflict(other.mem, op.mem):
+                report.fatal = (f"mem-true-dep: load {op.label} vs store "
+                                f"{other.label} in n{to_nid}")
+                return report
+
+    # Memory output dependence: STORE/STORE same cell in one instruction.
+    if op.writes_memory:
+        for other_uid, other in to_node.ops.items():
+            if other.writes_memory and to_node.paths[other_uid] & leaves \
+                    and mem_conflict(other.mem, op.mem):
+                report.fatal = (f"mem-output-dep: stores {op.label} and "
+                                f"{other.label} would share an instruction")
+                return report
+
+    if op.dest is None:
+        return report  # stores have no register hazards below
+
+    # Output dependence in To.
+    if _writers_on_leaves(to_node, op.dest, leaves):
+        report.needs_rename = True
+
+    # Move-past-read: other readers of op.dest inside From.
+    for other in from_node.all_ops():
+        if other.uid == uid:
+            continue
+        if op.dest in other.uses():
+            report.needs_rename = True
+            break
+
+    # Write-live: op guarded inside From with dest live on the other paths.
+    op_paths = from_node.paths[uid]
+    if op_paths != from_node.all_paths:
+        for leaf in from_node.leaves():
+            if leaf.leaf_id in op_paths:
+                continue
+            if reg_live_out_via(graph, from_nid, leaf.leaf_id, op.dest,
+                                exit_live):
+                report.needs_rename = True
+                break
+
+    return report
+
+
+def analyse_cj_move(graph: ProgramGraph, from_nid: int, to_nid: int,
+                    cj_uid: int) -> ConflictReport:
+    """Conflict analysis for moving a conditional jump From -> To.
+
+    The jump must sit at the root of From's tree (inner jumps percolate
+    to the root first as their ancestors move away), and its condition
+    must be computable at To's entry.
+    """
+    from ..ir.cjtree import Branch
+
+    from_node = graph.nodes[from_nid]
+    to_node = graph.nodes[to_nid]
+    if cj_uid not in from_node.cjs:
+        return ConflictReport(fatal=f"cj {cj_uid} not in n{from_nid}")
+    if not isinstance(from_node.tree, Branch) or from_node.tree.cj_uid != cj_uid:
+        return ConflictReport(fatal="cj-not-root: jump is nested below another jump")
+    leaves = to_node.leaves_to(from_nid)
+    if not leaves:
+        return ConflictReport(fatal=f"n{to_nid} is not a predecessor of n{from_nid}")
+    cj = from_node.cjs[cj_uid]
+    return resolve_copy_substitutions(to_node, cj, leaves)

@@ -1,0 +1,219 @@
+"""The migrate transformation (paper Figures 4 and 12).
+
+``migrate(n, op)`` moves all reachable instances of an operation
+template as high as possible on the subgraph dominated by ``n``:
+compaction first happens recursively below, then instances hop from
+successors into ``n`` itself.
+
+The implementation is iterative (bottom-up over the dominated region)
+but preserves the recursive definition's semantics: one ``migrate``
+call carries an instance from arbitrarily deep up to ``n`` when nothing
+blocks it.
+
+A :class:`MovePolicy` hook lets the GRiP scheduler impose the
+gap-prevention rules of Figure 12: a policy may *veto* a single hop
+("suspend"), and may request early termination of the sweep after a
+successful move while suspensions exist (rule 2's "operations may move
+at most one step").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from ..ir.graph import ProgramGraph
+from ..ir.operations import Operation
+from ..ir.registers import Reg, RegisterFile
+from ..machine.model import MachineConfig
+from .moveop import MoveOutcome, PercolationStats, move_op, split_if_shared
+from .movecj import move_cj
+
+
+class MovePolicy(Protocol):
+    """Scheduler hook consulted around every hop."""
+
+    def allow_move(self, graph: ProgramGraph, from_nid: int, to_nid: int,
+                   op: Operation) -> bool:
+        """May this hop be attempted?  Returning False = suspend/veto."""
+        ...
+
+    def after_move(self, graph: ProgramGraph, outcome: MoveOutcome,
+                   op: Operation) -> None:
+        """Notification after a successful hop."""
+        ...
+
+    def stop_sweep(self) -> bool:
+        """Figure 12: abort the sweep (one-step motion while suspended)."""
+        ...
+
+
+class FreePolicy:
+    """Default policy: every legal hop is allowed."""
+
+    def allow_move(self, graph, from_nid, to_nid, op) -> bool:  # noqa: D401
+        return True
+
+    def after_move(self, graph, outcome, op) -> None:
+        pass
+
+    def stop_sweep(self) -> bool:
+        return False
+
+
+@dataclass
+class MigrateContext:
+    """Bundled environment for migrate sweeps."""
+
+    graph: ProgramGraph
+    machine: MachineConfig
+    regfile: RegisterFile
+    stats: PercolationStats = field(default_factory=PercolationStats)
+    policy: MovePolicy = field(default_factory=FreePolicy)
+    exit_live: frozenset[Reg] = frozenset()
+    allow_speculation: bool = True
+    split_shared: bool = True
+
+    def hop(self, from_nid: int, to_nid: int, uid: int) -> MoveOutcome:
+        """One guarded hop of op instance ``uid`` From -> To."""
+        node = self.graph.nodes[from_nid]
+        if uid in node.cjs:
+            op = node.cjs[uid]
+        elif uid in node.ops:
+            op = node.ops[uid]
+        else:
+            return MoveOutcome(False, reason="no-op: vanished")
+        if not self.policy.allow_move(self.graph, from_nid, to_nid, op):
+            return MoveOutcome(False, reason="policy-veto")
+        if op.is_cjump:
+            out = move_cj(self.graph, from_nid, to_nid, uid,
+                          machine=self.machine, regfile=self.regfile,
+                          stats=self.stats)
+        else:
+            out = move_op(self.graph, from_nid, to_nid, uid,
+                          machine=self.machine, regfile=self.regfile,
+                          stats=self.stats, exit_live=self.exit_live,
+                          allow_speculation=self.allow_speculation,
+                          split_shared=self.split_shared)
+        if out.moved:
+            self.policy.after_move(self.graph, out, op)
+        return out
+
+
+def region_below(graph: ProgramGraph, n: int) -> list[int]:
+    """Nodes of the scheduling region of ``n``, bottom-up (deepest first).
+
+    The paper defines the region as the subgraph *dominated* by ``n``.
+    For the graphs percolation works on -- unwound loop chains plus the
+    side stubs that branch motion spins off -- every forward descendant
+    of ``n`` is reached only through ``n``, so forward reachability
+    coincides with dominance and is far cheaper to maintain under the
+    heavy mutation rate of scheduling.  (``analysis.dominators`` remains
+    available for exact queries and is cross-checked in the tests.)
+
+    Back edges (RPO-decreasing) are ignored.
+    """
+    index = rpo_index(graph)
+    if n not in index:
+        return []
+    out: list[int] = []
+    seen: set[int] = {n}
+    stack = [n]
+    while stack:
+        cur = stack.pop()
+        out.append(cur)
+        cur_idx = index[cur]
+        for s in graph.successors(cur):
+            if s in seen or s not in index or index[s] <= cur_idx:
+                continue
+            seen.add(s)
+            stack.append(s)
+    out.sort(key=lambda nid: -index[nid])
+    return out
+
+
+def migrate(ctx: MigrateContext, n: int, tid: int) -> bool:
+    """Move all instances of template ``tid`` as high as possible toward
+    ``n``.  Returns True when at least one hop succeeded.
+
+    Semantically equivalent to the paper's recursive definition
+    (compaction below happens first because each instance is pushed as
+    far as it can go before the next is considered), but implemented by
+    walking instances up their predecessor chains directly, which keeps
+    a migrate call proportional to the distance travelled rather than
+    to the region size.
+    """
+    graph = ctx.graph
+    moved_any = False
+    guard = 0
+    progress = True
+    while progress:
+        progress = False
+        guard += 1
+        if guard > 10_000:  # pragma: no cover - defensive
+            raise RuntimeError("migrate failed to converge")
+        index = rpo_index(graph)
+        n_idx = index.get(n)
+        if n_idx is None:
+            return moved_any
+        # Deepest instances first: carrying the lowest copy up first
+        # mirrors the recursive migrate's post-order.
+        instances = sorted(
+            ((nid, op.uid) for nid, op in graph.ops_by_template(tid)
+             if nid in index and index[nid] > n_idx),
+            key=lambda pair: -index[pair[0]])
+        for nid, uid in instances:
+            cur_nid, cur_uid = nid, uid
+            while True:
+                if cur_nid not in graph.nodes or \
+                        not graph.nodes[cur_nid].has_op(cur_uid):
+                    break  # vanished (unified / re-split); rescan
+                index = rpo_index(graph)
+                if index.get(cur_nid, -1) <= index.get(n, -1):
+                    break  # reached the target level
+                hopped = False
+                for pred in sorted(graph.predecessors(cur_nid),
+                                   key=lambda p: index.get(p, 1 << 30)):
+                    if index.get(pred, -1) < index.get(n, 0):
+                        continue  # above the scheduling target
+                    if _is_back_edge(graph, pred, cur_nid):
+                        continue
+                    out = ctx.hop(cur_nid, pred, cur_uid)
+                    if out.moved:
+                        moved_any = True
+                        progress = True
+                        if out.new_uid is not None:
+                            cur_nid, cur_uid = pred, out.new_uid
+                        hopped = True
+                        break
+                if not hopped:
+                    break
+                if ctx.policy.stop_sweep():
+                    return moved_any
+            if ctx.policy.stop_sweep():
+                return moved_any
+    return moved_any
+
+
+_rpo_cache: dict[int, tuple[int, dict[int, int]]] = {}
+
+
+def rpo_index(graph: ProgramGraph) -> dict[int, int]:
+    """Memoized node -> RPO position map."""
+    key = id(graph)
+    hit = _rpo_cache.get(key)
+    if hit is not None and hit[0] == graph.version:
+        return hit[1]
+    index = {nid: i for i, nid in enumerate(graph.rpo())}
+    if len(_rpo_cache) > 64:
+        _rpo_cache.clear()
+    _rpo_cache[key] = (graph.version, index)
+    return index
+
+
+def _is_back_edge(graph: ProgramGraph, pred: int, nid: int) -> bool:
+    """Back-edge test: pred at or below nid in RPO order."""
+    index = rpo_index(graph)
+    if pred not in index or nid not in index:
+        return True
+    return index[pred] >= index[nid]

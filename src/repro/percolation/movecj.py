@@ -1,0 +1,135 @@
+"""The move-cj core transformation (paper Figure 3).
+
+Moving a conditional jump from node ``From`` one step up into a
+predecessor ``To``:
+
+* the jump must be the *root* of From's tree (jumps below other jumps
+  wait until their ancestors move),
+* its condition must be readable at To's entry (true-dependence check,
+  with substitution through copies),
+* every To-leaf that reached From is replaced by a branch on the (fresh
+  duplicate of the) jump, whose sides point at two new nodes holding
+  From's true-side and false-side residue respectively.
+
+Empty residue nodes are bypassed, which is how diamonds re-converge and
+how whole conditionals eventually evaporate upward.
+"""
+
+from __future__ import annotations
+
+from ..ir.cjtree import Branch, EXIT, Leaf
+from ..ir.graph import ProgramGraph
+from ..ir.instruction import Instruction
+from ..ir.operations import Operation
+from ..ir.registers import RegisterFile
+from ..machine.model import MachineConfig
+from .conflicts import analyse_cj_move
+from .moveop import MoveOutcome, PercolationStats, _fail
+
+
+def _residue(graph: ProgramGraph, from_node: Instruction, side_true: bool
+             ) -> int:
+    """Build the node holding one side of ``from_node`` minus its root cj.
+
+    Returns the node id control should flow to: a fresh node with the
+    side's content, or -- when the side is empty -- the side's direct
+    target.
+    """
+    assert isinstance(from_node.tree, Branch)
+    sub = from_node.tree.on_true if side_true else from_node.tree.on_false
+    side_leaves = frozenset(l.leaf_id for l in _leaves(sub))
+    ops = [(op, from_node.paths[op.uid] & side_leaves)
+           for op in from_node.ops.values()
+           if from_node.paths[op.uid] & side_leaves]
+    if isinstance(sub, Leaf) and not ops:
+        return sub.target  # empty residue: bypass
+
+    node = graph.new_node()
+    # Rebuild the subtree with fresh leaf ids (graph-wide uniqueness)
+    # and fresh cj duplicates.
+    from ..ir import cjtree as cjt
+
+    tree, leaf_map = cjt.refresh_leaf_ids(sub)
+    cj_map: dict[int, int] = {}
+
+    def remap(t):
+        if isinstance(t, Leaf):
+            return t
+        dup = from_node.cjs[t.cj_uid].duplicate()
+        cj_map[t.cj_uid] = dup.uid
+        node.cjs[dup.uid] = dup
+        return Branch(dup.uid, remap(t.on_true), remap(t.on_false))
+
+    node.tree = remap(tree)
+    for op, paths in ops:
+        dup = op.duplicate()
+        node.ops[dup.uid] = dup
+        node.paths[dup.uid] = frozenset(leaf_map[p] for p in paths)
+    graph.note_tree_change(node.nid)
+    return node.nid
+
+
+def _leaves(tree):
+    from ..ir.cjtree import iter_leaves
+
+    return iter_leaves(tree)
+
+
+def move_cj(graph: ProgramGraph, from_nid: int, to_nid: int, cj_uid: int, *,
+            machine: MachineConfig, regfile: RegisterFile,
+            stats: PercolationStats | None = None,
+            delete_emptied: bool = True) -> MoveOutcome:
+    """Attempt to move the root conditional jump of ``from_nid`` into
+    ``to_nid``."""
+    stats = stats if stats is not None else PercolationStats()
+    stats.attempts += 1
+
+    report = analyse_cj_move(graph, from_nid, to_nid, cj_uid)
+    if not report.ok:
+        stats.dependence_blocks += 1
+        return _fail(stats, report.fatal or "blocked")
+
+    from_node = graph.nodes[from_nid]
+    to_node = graph.nodes[to_nid]
+    cj = from_node.cjs[cj_uid]
+    leaves = to_node.leaves_to(from_nid)
+
+    for reg, source in report.substitutions.items():
+        cj = cj.substitute_use(reg, source)
+
+    # One cj instance is grafted per To-leaf reaching From; all of them
+    # must fit within the budget.
+    if machine.room(to_node) < len(leaves):
+        stats.resource_blocks += 1
+        out = _fail(stats, f"resources: n{to_nid} is full")
+        out.resource_blocked = True
+        return out
+
+    # Residue nodes for the two sides.
+    true_target = _residue(graph, from_node, side_true=True)
+    false_target = _residue(graph, from_node, side_true=False)
+
+    # Graft a branch at every To-leaf that reached From.  Each graft
+    # gets a *fresh duplicate*: From may survive (shared by other
+    # predecessors) and keep its own instance, and a tree may not
+    # repeat uids.
+    grafted_uid = None
+    for leaf_id in sorted(leaves):
+        inst = cj.duplicate()
+        if grafted_uid is None:
+            grafted_uid = inst.uid
+        to_node.graft_branch(leaf_id, inst, true_target, false_target)
+    graph.note_tree_change(to_node.nid)
+
+    # From is no longer reached from To; if nothing else reaches it,
+    # remove it (its content lives on in the residue nodes).
+    if not graph.predecessors(from_nid):
+        node = graph.nodes.pop(from_nid)
+        for succ in node.successors():
+            graph._preds.get(succ, set()).discard(from_nid)
+        graph._preds.pop(from_nid, None)
+        graph._touch()
+
+    stats.moves += 1
+    stats.cj_moves += 1
+    return MoveOutcome(True, new_uid=grafted_uid, from_nid=from_nid)

@@ -1,0 +1,236 @@
+"""The move-op core transformation (paper Figure 2).
+
+``move_op`` moves one operation from node ``From`` one step up into a
+predecessor ``To``, preserving semantics:
+
+1. If From has predecessors besides To, From is *split*: To gets a
+   private copy and the motion happens there (other predecessors keep
+   the original, op included).
+2. True dependences against To block the move -- except reads satisfied
+   by COPY operations, which are substituted through.
+3. Move-past-read / write-live / output conflicts are removed by
+   *renaming*: the moved op writes a fresh register and a COPY of it
+   into the original destination stays in From on the op's paths.
+4. If To already contains a syntactically identical operation, the two
+   *unify*: the existing op's path set widens and no resource is
+   consumed (the engine of the paper's "redundant operation removal").
+5. The op commits in To exactly on the leaves that reach From, so the
+   motion is speculation-safe under IBM VLIW semantics.
+
+Every outcome is reported in a :class:`MoveOutcome`; failures carry the
+blocking reason, which the schedulers use for Moveable-ops bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import ProgramGraph
+from ..ir.operations import Operation, OpKind
+from ..ir.registers import Reg, RegisterFile, RegisterPressureError
+from ..machine.model import MachineConfig
+from .conflicts import analyse_move
+
+
+@dataclass
+class MoveOutcome:
+    """Result of one move attempt."""
+
+    moved: bool
+    reason: str = ""
+    renamed: bool = False
+    unified: bool = False
+    split_nid: int | None = None      # private copy created by node splitting
+    new_uid: int | None = None        # uid of the op instance now in To
+    deleted_from: bool = False        # the source node became empty and died
+    from_nid: int | None = None       # source node actually moved from
+    resource_blocked: bool = False    # failed only because To was full
+
+    def __bool__(self) -> bool:
+        return self.moved
+
+
+@dataclass
+class PercolationStats:
+    """Counters across a scheduling run."""
+
+    attempts: int = 0
+    moves: int = 0
+    renames: int = 0
+    unifications: int = 0
+    splits: int = 0
+    resource_blocks: int = 0
+    dependence_blocks: int = 0
+    cj_moves: int = 0
+    deleted_nodes: int = 0
+    by_reason: dict[str, int] = field(default_factory=dict)
+
+    def record_failure(self, reason: str) -> None:
+        key = reason.split(":")[0]
+        self.by_reason[key] = self.by_reason.get(key, 0) + 1
+
+
+def move_op(graph: ProgramGraph, from_nid: int, to_nid: int, uid: int, *,
+            machine: MachineConfig, regfile: RegisterFile,
+            stats: PercolationStats | None = None,
+            exit_live: frozenset[Reg] = frozenset(),
+            allow_speculation: bool = True,
+            split_shared: bool = True,
+            delete_emptied: bool = True) -> MoveOutcome:
+    """Attempt to move op ``uid`` from ``from_nid`` into ``to_nid``.
+
+    When From has other predecessors and ``split_shared`` is set, From
+    is split *after* all checks pass, so failed attempts never mutate
+    the graph.
+    """
+    stats = stats if stats is not None else PercolationStats()
+    stats.attempts += 1
+
+    from_node = graph.nodes[from_nid]
+    to_node = graph.nodes[to_nid]
+    if uid not in from_node.ops:
+        return _fail(stats, f"no-op: {uid} not a regular op of n{from_nid}")
+    op = from_node.ops[uid]
+
+    leaves = to_node.leaves_to(from_nid)
+    if not leaves:
+        return _fail(stats, f"no-edge: n{to_nid} !-> n{from_nid}")
+
+    # Speculation policy: an op guarded by conditionals *inside* From
+    # (active on a strict subset of From's paths) becomes control-
+    # speculative when hoisted into To, where it commits whenever
+    # control reaches From.  IBM VLIW semantics make this safe for
+    # renamable register writes; the paper's GRiP "always allows
+    # speculative scheduling", and the hook supports the ablation study.
+    if not allow_speculation and from_node.paths[uid] != from_node.all_paths:
+        return _fail(stats, "speculation-disabled: op guarded in From")
+
+    report = analyse_move(graph, from_nid, to_nid, uid, exit_live)
+    if not report.ok:
+        stats.dependence_blocks += 1
+        return _fail(stats, report.fatal or "blocked")
+
+    # Build the candidate op with copy substitutions applied.
+    moved = op
+    for reg, source in report.substitutions.items():
+        moved = moved.substitute_use(reg, source)
+
+    # Unification: identical op already in To.  Only sound when no
+    # rename is required: a write-live conflict means paths not covered
+    # by this op must keep the *old* destination value, which a widened
+    # twin would clobber.
+    twin = to_node.find_identical(moved)
+    # Unification is always sound when the twin already commits on every
+    # leaf reaching From: removing the (redundant) op changes no
+    # observable value.  When the twin's paths must widen, the rename
+    # triggers (readers in From, write-live on op's other paths) would
+    # make the widened commit observable, so unification is skipped and
+    # the normal rename path runs.
+    twin_covers = (twin is not None
+                   and leaves <= to_node.paths.get(twin.uid, frozenset()))
+    unify = (twin is not None and not moved.writes_memory
+             and (twin_covers or not report.needs_rename))
+
+    # Resource constraint (unification consumes no slot).
+    if not unify and not machine.can_accept(to_node, moved):
+        stats.resource_blocks += 1
+        out = _fail(stats, f"resources: n{to_nid} is full")
+        out.resource_blocked = True
+        return out
+
+    # Renaming feasibility (checked before any mutation).
+    fresh = None
+    if not unify and report.needs_rename:
+        if moved.dest is None:
+            return _fail(stats, "rename-impossible: op has no destination")
+        try:
+            fresh = regfile.fresh()
+        except RegisterPressureError:
+            return _fail(stats, "rename-impossible: no free register")
+
+    # ------------------------------------------------------------------
+    # All checks passed: mutate.  Split From first when it is shared, so
+    # other predecessors keep the op (the paper's node splitting) and
+    # failed attempts above never touched the graph.
+    # ------------------------------------------------------------------
+    split_nid = None
+    if split_shared and (graph.predecessors(from_nid) - {to_nid}):
+        from_nid, uid_map = graph.split_for_edge(to_nid, from_nid)
+        uid = uid_map[uid]
+        from_node = graph.nodes[from_nid]
+        leaves = to_node.leaves_to(from_nid)
+        split_nid = from_nid
+        stats.splits += 1
+
+    if unify:
+        _detach(graph, from_node, uid, delete_emptied, stats)
+        to_node.widen_paths(twin.uid, leaves)
+        graph._touch()
+        stats.moves += 1
+        stats.unifications += 1
+        return MoveOutcome(True, unified=True, new_uid=twin.uid,
+                           from_nid=from_nid, split_nid=split_nid,
+                           deleted_from=from_nid not in graph.nodes)
+
+    renamed = False
+    if report.needs_rename:
+        original_dest = moved.dest
+        stay_paths = from_node.paths[uid]
+        moved = moved.with_dest(fresh)
+        compensation = Operation(
+            OpKind.COPY, original_dest, (fresh,),
+            name=f"{op.name}~" if op.name else "",
+            iteration=op.iteration, pos=op.pos)
+        from_node.remove_op(uid)
+        from_node.add_op(compensation, stay_paths)
+        renamed = True
+        stats.renames += 1
+    else:
+        from_node.remove_op(uid)
+
+    to_node.add_op(moved, leaves)
+    graph._touch()
+    stats.moves += 1
+
+    deleted = False
+    if delete_emptied and not renamed:
+        deleted = graph.delete_empty_node(from_nid)
+        if deleted:
+            stats.deleted_nodes += 1
+
+    return MoveOutcome(True, renamed=renamed, new_uid=moved.uid,
+                       from_nid=from_nid, split_nid=split_nid,
+                       deleted_from=deleted)
+
+
+def _detach(graph: ProgramGraph, from_node, uid: int, delete_emptied: bool,
+            stats: PercolationStats) -> None:
+    from_node.remove_op(uid)
+    if delete_emptied:
+        if graph.delete_empty_node(from_node.nid):
+            stats.deleted_nodes += 1
+
+
+def _fail(stats: PercolationStats, reason: str) -> MoveOutcome:
+    stats.record_failure(reason)
+    return MoveOutcome(False, reason=reason)
+
+
+def split_if_shared(graph: ProgramGraph, from_nid: int, to_nid: int, uid: int,
+                    stats: PercolationStats | None = None
+                    ) -> tuple[int, int]:
+    """Give ``to_nid`` a private copy of ``from_nid`` when shared.
+
+    Returns the (possibly new) source node id and the op's uid inside
+    it.  Callers invoke this *before* :func:`move_op` when they intend
+    to preserve the original node for other predecessors (the paper's
+    node-splitting behaviour of move-op).
+    """
+    preds = graph.predecessors(from_nid)
+    others = preds - {to_nid}
+    if not others:
+        return from_nid, uid
+    new_nid, uid_map = graph.split_for_edge(to_nid, from_nid)
+    if stats is not None:
+        stats.splits += 1
+    return new_nid, uid_map[uid]

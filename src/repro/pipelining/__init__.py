@@ -1,0 +1,32 @@
+"""Perfect Pipelining: unwinding, pattern detection, throughput analysis."""
+
+from .pattern import (
+    PipelinePattern,
+    RowSignature,
+    ThroughputEstimate,
+    estimate_ii,
+    find_pattern,
+    find_pattern_in_signatures,
+    graph_throughput,
+    main_chain,
+    ops_signature,
+    retire_rows,
+    row_signature,
+)
+from .perfect import (
+    PipelineResult,
+    PostPipelineResult,
+    default_unroll,
+    pipeline_loop,
+    pipeline_loop_post,
+)
+from .unwind import UnwoundLoop, iteration_locals, unwind_counted, unwind_implicit
+
+__all__ = [
+    "PipelinePattern", "PipelineResult", "PostPipelineResult",
+    "RowSignature", "ThroughputEstimate", "UnwoundLoop", "default_unroll",
+    "estimate_ii", "find_pattern", "find_pattern_in_signatures",
+    "graph_throughput", "iteration_locals", "main_chain", "ops_signature",
+    "pipeline_loop", "pipeline_loop_post", "retire_rows", "row_signature",
+    "unwind_counted", "unwind_implicit",
+]

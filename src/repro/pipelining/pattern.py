@@ -1,0 +1,247 @@
+"""Steady-state pattern detection (paper section 2, "the cha pattern
+in the middle continuously repeats").
+
+After GRiP compacts an unwound loop, Perfect Pipelining's kernel is a
+contiguous run of instruction rows whose contents repeat with a fixed
+iteration shift.  A row's *signature* is the multiset of
+``(body index, iteration - base)`` pairs of the operations it holds
+(``base`` = the smallest iteration in the row); rows match when their
+signatures agree and their bases advance uniformly.
+
+The detector returns the earliest, shortest ``(start, period, shift)``
+consistent over the observable window, which yields the initiation
+interval ``II = period / shift`` in cycles per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..ir.graph import ProgramGraph
+from .unwind import UnwoundLoop
+
+
+@dataclass(frozen=True)
+class RowSignature:
+    """Normalized content signature of one instruction row."""
+
+    items: tuple[tuple[int, int], ...]  # sorted (body index, iter delta)
+    base: int                           # smallest iteration in the row
+    max_iter: int                       # largest iteration in the row
+    extras: int                         # untagged / unknown-origin ops
+
+    @property
+    def empty(self) -> bool:
+        return not self.items and self.extras == 0
+
+
+def ops_signature(unwound: UnwoundLoop, ops) -> RowSignature:
+    """Signature of an arbitrary collection of operations."""
+    tagged: list[tuple[int, int]] = []
+    extras = 0
+    iters: list[int] = []
+    for op in ops:
+        info = unwound.origin.get(op.tid)
+        if info is None or op.iteration < 0:
+            extras += 1
+            continue
+        b_idx, it = info
+        tagged.append((b_idx, it))
+        iters.append(it)
+    if not iters:
+        return RowSignature(items=(), base=0, max_iter=-1, extras=extras)
+    base = min(iters)
+    items = tuple(sorted((b, it - base) for b, it in tagged))
+    return RowSignature(items=items, base=base, max_iter=max(iters),
+                        extras=extras)
+
+
+def row_signature(unwound: UnwoundLoop, graph: ProgramGraph,
+                  nid: int) -> RowSignature:
+    return ops_signature(unwound, graph.nodes[nid].all_ops())
+
+
+def main_chain(graph: ProgramGraph) -> list[int]:
+    """The fall-through spine of a compacted unwound loop.
+
+    Exit-branch motion spins off drain stubs that merge into EXIT; the
+    kernel lives on the spine.  From each node we follow the successor
+    with the most forward descendants (the stub side is always a short
+    tail).
+    """
+    order = graph.rpo()
+    index = {nid: i for i, nid in enumerate(order)}
+    weight: dict[int, int] = {}
+    for nid in reversed(order):
+        succ = [s for s in graph.successors(nid)
+                if s in index and index[s] > index[nid]]
+        weight[nid] = 1 + max((weight.get(s, 0) for s in succ), default=0)
+    chain: list[int] = []
+    cur = graph.entry
+    seen: set[int] = set()
+    while cur is not None and cur in graph.nodes and cur not in seen:
+        chain.append(cur)
+        seen.add(cur)
+        succ = [s for s in graph.successors(cur)
+                if s in index and index[s] > index[cur]]
+        if not succ:
+            break
+        cur = max(succ, key=lambda s: weight.get(s, 0))
+    return chain
+
+
+@dataclass
+class PipelinePattern:
+    """A detected steady-state kernel."""
+
+    start_row: int          # index into the row list
+    period: int             # rows per kernel round
+    shift: int              # iterations retired per kernel round
+    rows: list[int]         # node ids of one kernel round
+    repetitions: int        # how many full rounds were observed
+
+    @property
+    def initiation_interval(self) -> float:
+        """Cycles per iteration in steady state."""
+        return self.period / self.shift
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"kernel rows {self.rows} (period {self.period}, "
+                f"{self.shift} iteration(s)/round, II="
+                f"{self.initiation_interval:.3f})")
+
+
+def find_pattern(unwound: UnwoundLoop, graph: ProgramGraph, *,
+                 max_period: int = 64,
+                 min_repetitions: int = 2,
+                 drain_guard: int = 2) -> PipelinePattern | None:
+    """Search the compacted chain for a repeating kernel.
+
+    Only the fall-through spine is considered (exit stubs are drain
+    code).  Rows touching the last ``drain_guard`` unwound iterations
+    are trimmed: with no further iterations behind them they
+    legitimately diverge from the steady state.
+    """
+    order = main_chain(graph)
+    sigs = [row_signature(unwound, graph, nid) for nid in order]
+    return find_pattern_in_signatures(
+        sigs, unwound.iterations, row_ids=order, max_period=max_period,
+        min_repetitions=min_repetitions, drain_guard=drain_guard)
+
+
+def find_pattern_in_signatures(sigs: list[RowSignature], iterations: int, *,
+                               row_ids: Sequence[int] | None = None,
+                               max_period: int = 64,
+                               min_repetitions: int = 2,
+                               drain_guard: int = 2
+                               ) -> PipelinePattern | None:
+    """Core periodicity search over a row-signature sequence."""
+    ids = list(row_ids) if row_ids is not None else list(range(len(sigs)))
+    cutoff_iter = iterations - drain_guard
+    limit = len(sigs)
+    for i, s in enumerate(sigs):
+        if not s.empty and s.max_iter >= cutoff_iter:
+            limit = i
+            break
+
+    n = limit
+    for period in range(1, min(max_period, max(1, n // max(min_repetitions, 1))) + 1):
+        for start in range(0, n - period * min_repetitions + 1):
+            shift = sigs[start + period].base - sigs[start].base
+            if shift <= 0:
+                continue
+            if _matches(sigs, start, period, shift, n, min_repetitions):
+                reps = _count_reps(sigs, start, period, shift, n)
+                return PipelinePattern(
+                    start_row=start, period=period, shift=shift,
+                    rows=ids[start:start + period], repetitions=reps)
+    return None
+
+
+def _matches(sigs: Sequence[RowSignature], start: int, period: int,
+             shift: int, n: int, min_reps: int) -> bool:
+    """Pattern must hold from ``start`` to the window's end.
+
+    Every row in ``[start, n - period)`` must match its successor one
+    period later with a uniform base shift, and the window must cover
+    at least ``min_reps`` kernel instances.
+    """
+    if n - start < period * min_reps:
+        return False
+    for r in range(start, n - period):
+        a, b = sigs[r], sigs[r + period]
+        if a.items != b.items or a.extras != b.extras:
+            return False
+        if b.base - a.base != shift:
+            return False
+    return True
+
+
+def _count_reps(sigs: Sequence[RowSignature], start: int, period: int,
+                shift: int, n: int) -> int:
+    return max(0, (n - start) // period)
+
+
+@dataclass
+class ThroughputEstimate:
+    """Steady-state initiation interval measured from retirement rows.
+
+    Exact row periodicity can fail while throughput is perfectly steady
+    (greedy slot choices drift by one position without ever re-aligning).
+    The estimate tracks the row in which each iteration *retires* (its
+    last body operation commits) across the middle of the window:
+
+        II = (retire_row(j2) - retire_row(j1)) / (j2 - j1)
+
+    ``max_deviation`` is the worst absolute distance of any mid-window
+    retirement from the fitted line; small values (<= ~1 row) indicate a
+    genuinely steady pipeline.
+    """
+
+    ii: float
+    first_iter: int
+    last_iter: int
+    max_deviation: float
+
+    @property
+    def steady(self) -> bool:
+        return self.max_deviation <= 1.5
+
+
+def retire_rows(unwound: UnwoundLoop,
+                rows_of_ops: Sequence[Sequence]) -> dict[int, int]:
+    """Iteration -> index of the row where its marker op commits."""
+    markers = set(unwound.iteration_marker_tids)
+    out: dict[int, int] = {}
+    for idx, ops in enumerate(rows_of_ops):
+        for op in ops:
+            if op.tid in markers and op.iteration >= 0:
+                out[op.iteration] = max(out.get(op.iteration, -1), idx)
+    return out
+
+
+def estimate_ii(retires: dict[int, int], iterations: int, *,
+                trim: float = 0.25) -> ThroughputEstimate | None:
+    """Fit the steady II over the mid-window retirements."""
+    lo = int(iterations * trim)
+    hi = int(iterations * (1 - trim))
+    window = sorted(j for j in retires if lo <= j <= hi)
+    if len(window) < 3:
+        return None
+    a, b = window[0], window[-1]
+    if b == a or retires[b] == retires[a]:
+        return None
+    ii = (retires[b] - retires[a]) / (b - a)
+    dev = max(abs(retires[j] - (retires[a] + (j - a) * ii))
+              for j in window)
+    return ThroughputEstimate(ii=ii, first_iter=a, last_iter=b,
+                              max_deviation=dev)
+
+
+def graph_throughput(unwound: UnwoundLoop, graph: ProgramGraph
+                     ) -> ThroughputEstimate | None:
+    """Throughput estimate along the fall-through spine."""
+    chain = main_chain(graph)
+    rows = [list(graph.nodes[nid].all_ops()) for nid in chain]
+    return estimate_ii(retire_rows(unwound, rows), unwound.iterations)

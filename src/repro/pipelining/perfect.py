@@ -1,0 +1,245 @@
+"""Perfect Pipelining driven by GRiP scheduling.
+
+The pipeline for one counted loop:
+
+1. unwind ``K`` iterations into an acyclic tagged chain;
+2. GRiP-schedule the chain (iteration-major ranking, gap prevention);
+3. detect the steady-state kernel and its initiation interval;
+4. measure: simulate the scheduled chain against the sequential loop on
+   identical inputs -- both the cycle counts and the *memory states*
+   must agree, so every Table-1 data point doubles as a correctness
+   check.
+
+The analytic speedup is ``sequential cycles per iteration / II``; the
+measured speedup over the K-iteration window includes ramp-up/drain and
+approaches the analytic value from below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.loops import CountedLoop
+from ..machine.model import MachineConfig
+from ..scheduling.grip import GRiPScheduler, ScheduleResult
+from ..scheduling.priority import Heuristic, PaperHeuristic
+from ..simulator.check import EquivalenceError, initial_state, input_registers
+from ..simulator.interp import run
+from .pattern import (
+    PipelinePattern,
+    ThroughputEstimate,
+    estimate_ii,
+    find_pattern,
+    graph_throughput,
+    retire_rows,
+)
+from .unwind import UnwoundLoop, unwind_counted
+
+
+@dataclass
+class PipelineResult:
+    """Everything the benches report about one pipelined loop."""
+
+    loop: CountedLoop
+    machine: MachineConfig
+    unwound: UnwoundLoop
+    schedule: ScheduleResult
+    pattern: PipelinePattern | None
+    seq_cycles_per_iteration: int
+    throughput: "ThroughputEstimate | None" = None
+    measured_seq_cycles: int | None = None
+    measured_par_cycles: int | None = None
+
+    @property
+    def periodic(self) -> bool:
+        """Exact row periodicity was found."""
+        return self.pattern is not None
+
+    @property
+    def converged(self) -> bool:
+        """Periodic kernel, or steady throughput (drifting rows)."""
+        if self.pattern is not None:
+            return True
+        return self.throughput is not None and self.throughput.steady
+
+    @property
+    def initiation_interval(self) -> float | None:
+        if self.pattern is not None:
+            return self.pattern.initiation_interval
+        if self.throughput is not None and self.throughput.steady:
+            return self.throughput.ii
+        return None
+
+    @property
+    def speedup(self) -> float | None:
+        """Analytic steady-state speedup (paper's Table-1 metric)."""
+        ii = self.initiation_interval
+        return None if ii is None else self.seq_cycles_per_iteration / ii
+
+    @property
+    def measured_speedup(self) -> float | None:
+        if not self.measured_seq_cycles or not self.measured_par_cycles:
+            return None
+        return self.measured_seq_cycles / self.measured_par_cycles
+
+    def summary(self) -> str:
+        lines = [f"{self.loop.name} on {self.machine}:"]
+        if self.pattern is not None:
+            lines.append(f"  kernel: {self.pattern}")
+            lines.append(f"  speedup (analytic): {self.speedup:.2f}")
+        elif self.converged:
+            lines.append(
+                f"  steady throughput: II={self.throughput.ii:.3f} "
+                f"(drift {self.throughput.max_deviation:.2f} rows)")
+            lines.append(f"  speedup (analytic): {self.speedup:.2f}")
+        else:
+            lines.append("  NOT CONVERGED")
+        if self.measured_speedup is not None:
+            lines.append(f"  speedup (measured, {self.unwound.iterations} "
+                         f"iters incl. ramp): {self.measured_speedup:.2f}")
+        return "\n".join(lines)
+
+
+def default_unroll(machine: MachineConfig, loop: CountedLoop) -> int:
+    """Enough iterations to expose a steady state plus ramp and drain."""
+    fus = machine.fus if machine.fus is not None else 8
+    return max(16, 3 * fus)
+
+
+def pipeline_loop(loop: CountedLoop, machine: MachineConfig, *,
+                  unroll: int | None = None,
+                  heuristic: Heuristic | None = None,
+                  gap_prevention: bool = True,
+                  allow_speculation: bool = True,
+                  measure: bool = True,
+                  verify: bool = True,
+                  seeds: tuple[int, ...] = (0,)) -> PipelineResult:
+    """Run the full Perfect Pipelining flow on one counted loop."""
+    k = unroll if unroll is not None else default_unroll(machine, loop)
+    unwound = unwind_counted(loop, k)
+    scheduler = GRiPScheduler(
+        machine, heuristic or PaperHeuristic(),
+        gap_prevention=gap_prevention,
+        allow_speculation=allow_speculation)
+    schedule = scheduler.schedule(unwound.graph, ranking_ops=unwound.ops)
+    pattern = find_pattern(unwound, unwound.graph)
+    throughput = graph_throughput(unwound, unwound.graph)
+    result = PipelineResult(
+        loop=loop, machine=machine, unwound=unwound, schedule=schedule,
+        pattern=pattern, throughput=throughput,
+        seq_cycles_per_iteration=loop.ops_per_iteration)
+    if measure:
+        _measure(result, verify=verify, seeds=seeds)
+    return result
+
+
+@dataclass
+class PostPipelineResult:
+    """POST baseline outcome for one loop (analytic measurement)."""
+
+    loop: CountedLoop
+    machine: MachineConfig
+    unwound: UnwoundLoop
+    pattern: PipelinePattern | None
+    seq_cycles_per_iteration: int
+    throughput: "ThroughputEstimate | None" = None
+    phase1_nodes: int = 0
+    repack_cycles: int = 0
+
+    @property
+    def periodic(self) -> bool:
+        return self.pattern is not None
+
+    @property
+    def converged(self) -> bool:
+        if self.pattern is not None:
+            return True
+        return self.throughput is not None and self.throughput.steady
+
+    @property
+    def initiation_interval(self) -> float | None:
+        if self.pattern is not None:
+            return self.pattern.initiation_interval
+        if self.throughput is not None and self.throughput.steady:
+            return self.throughput.ii
+        return None
+
+    @property
+    def speedup(self) -> float | None:
+        ii = self.initiation_interval
+        return None if ii is None else self.seq_cycles_per_iteration / ii
+
+
+def pipeline_loop_post(loop: CountedLoop, machine: MachineConfig, *,
+                       unroll: int | None = None,
+                       heuristic: Heuristic | None = None
+                       ) -> PostPipelineResult:
+    """The POST baseline flow: infinite-resource pipelining + repack.
+
+    The repacked schedule is analytic (rows of operations); its kernel
+    is found with the same signature-periodicity detector as GRiP's.
+    """
+    from ..scheduling.post import POSTScheduler
+    from .pattern import find_pattern_in_signatures, ops_signature
+
+    k = unroll if unroll is not None else default_unroll(machine, loop)
+    unwound = unwind_counted(loop, k)
+    post = POSTScheduler(machine, heuristic or PaperHeuristic())
+    pr = post.schedule_ops(unwound.ops)
+    sigs = [ops_signature(unwound, row) for row in pr.repacked.rows]
+    pattern = find_pattern_in_signatures(sigs, unwound.iterations)
+    throughput = estimate_ii(retire_rows(unwound, pr.repacked.rows),
+                             unwound.iterations)
+    return PostPipelineResult(
+        loop=loop, machine=machine, unwound=unwound, pattern=pattern,
+        throughput=throughput,
+        seq_cycles_per_iteration=loop.ops_per_iteration,
+        phase1_nodes=len(pr.phase1_rows),
+        repack_cycles=pr.repacked.cycles)
+
+
+def _measure(result: PipelineResult, *, verify: bool,
+             seeds: tuple[int, ...]) -> None:
+    """Simulate sequential vs pipelined for the unwound iteration count.
+
+    The loop bound must equal the unroll factor for an apples-to-apples
+    run: the unwound chain executes exactly ``K`` iterations.  Workload
+    constructors parameterize the bound accordingly.
+    """
+    seq_graph = result.loop.graph
+    par_graph = result.unwound.graph
+    inputs = input_registers(seq_graph) | input_registers(par_graph)
+    seq_total = par_total = 0
+    budget = max(100_000, 50 * result.unwound.iterations
+                 * max(1, result.seq_cycles_per_iteration))
+    for seed in seeds:
+        ssa = initial_state(seed, inputs)
+        ssb = initial_state(seed, inputs)
+        ra = run(seq_graph, ssa, max_cycles=budget)
+        rb = run(par_graph, ssb, max_cycles=budget)
+        if not ra.exited or not rb.exited:
+            raise RuntimeError(
+                f"{result.loop.name}: measurement run did not terminate")
+        if verify:
+            _compare_mem(result.loop.name, seed, ssa.mem, ssb.mem,
+                         ssa.mem_default)
+        seq_total += ra.cycles
+        par_total += rb.cycles
+    result.measured_seq_cycles = seq_total
+    result.measured_par_cycles = par_total
+
+
+def _compare_mem(name: str, seed: int, mem_a: dict, mem_b: dict,
+                 default) -> None:
+    import math
+
+    cells = set(mem_a) | set(mem_b)
+    for cell in sorted(cells):
+        va = mem_a.get(cell, default(*cell))
+        vb = mem_b.get(cell, default(*cell))
+        same = (math.isclose(float(va), float(vb), rel_tol=1e-6, abs_tol=1e-6)
+                if isinstance(va, float) or isinstance(vb, float) else va == vb)
+        if not same:
+            raise EquivalenceError(
+                f"{name} seed {seed}: pipelined memory diverges at {cell}: "
+                f"{va!r} != {vb!r}")

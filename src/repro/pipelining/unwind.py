@@ -1,0 +1,250 @@
+"""Loop unwinding for Perfect Pipelining.
+
+"When GRiP is used for Perfect Pipelining, the loop body is unwound a
+fixed number of times before scheduling" (section 3.2).  The unwinder
+produces an *acyclic* chain of iteration copies, tagged with iteration
+numbers, that the GRiP scheduler then compacts; the pattern detector
+finds the steady state in the compacted chain.
+
+Two front-end-style rewrites happen here, standing in for what the
+paper's optimized GCC intermediate code provided:
+
+* **induction-variable expansion** -- iteration *i* computes its own
+  counter value ``k.i = k + (i+1)*step`` directly from the live-in
+  counter instead of chaining through ``i`` serial increments.  Without
+  this (or the equivalent strength reduction GCC performs) no schedule
+  could exceed one iteration per cycle and the paper's 8-FU speedups
+  would be unreachable.  Body uses read the *pre-increment* value
+  (``k`` itself for iteration 0, ``k.(i-1)`` otherwise).
+* **per-iteration renaming of iteration-local temporaries** -- body
+  destinations that are neither live on loop entry nor carried around
+  the back edge get iteration-suffixed names, so unwound copies do not
+  serialize on false (anti/output) dependences.  Carried registers
+  (accumulators) keep their names: their serial chains are real.
+
+Memory references with affine annotations are rebased to absolute
+iteration-normalized indices, enabling exact cross-iteration
+disambiguation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..ir.builder import SequentialBuilder
+from ..ir.cjtree import EXIT
+from ..ir.graph import ProgramGraph
+from ..ir.loops import CountedLoop
+from ..ir.operations import MemRef, Operation, OpKind, add, cjump, cmp_ge
+from ..ir.registers import Imm, Reg
+
+
+@dataclass
+class UnwoundLoop:
+    """An unwound, iteration-tagged, acyclic loop chain."""
+
+    graph: ProgramGraph
+    loop: CountedLoop | None
+    iterations: int
+    #: all iteration ops in order (ranking input for the scheduler)
+    ops: list[Operation]
+    #: tid -> (body index, iteration); body index is the op's position
+    #: in the original body (control ops get synthetic indices).
+    origin: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: per-iteration exit-branch templates (for simulation accounting)
+    exit_branch_tids: list[int] = field(default_factory=list)
+    #: templates that mark completion of one iteration's body
+    iteration_marker_tids: list[int] = field(default_factory=list)
+
+    @property
+    def seq_cycles_per_iteration(self) -> int:
+        if self.loop is not None:
+            return self.loop.ops_per_iteration
+        per_iter = len({self.origin[t][0] for t in self.origin})
+        return per_iter
+
+
+#: synthetic body indices for control operations
+IV_INDEX = -2
+CMP_INDEX = -3
+CJ_INDEX = -4
+
+
+def iteration_locals(loop: CountedLoop) -> frozenset[Reg]:
+    """Body destinations safe to rename per iteration.
+
+    A destination is iteration-local when it is written before any body
+    read (no use of the entry value) and is not carried or live after
+    the loop.  The counter, declared carried registers and registers the
+    epilogue reads are excluded.
+    """
+    carried = set(loop.carried_regs) | {loop.counter}
+    for op in loop.epilogue_ops:
+        carried |= op.uses()
+    seen_defs: set[Reg] = set()
+    read_before_write: set[Reg] = set()
+    for op in loop.body_ops:
+        for r in op.uses():
+            if r not in seen_defs:
+                read_before_write.add(r)
+        seen_defs |= op.defs()
+    out = {r for r in seen_defs
+           if r not in carried and r not in read_before_write}
+    return frozenset(out)
+
+
+def _rename_map(locals_: frozenset[Reg], iteration: int) -> dict[Reg, Reg]:
+    return {r: Reg(f"{r.name}.{iteration}") for r in locals_}
+
+
+def _rewrite(op: Operation, regmap: dict[Reg, Reg], iteration: int,
+             step: int, pos: int) -> Operation:
+    """Iteration copy: rename registers, tag, rebase affine memory.
+
+    The copy gets a fresh uid *and* a fresh template id: each (body op,
+    iteration) pair is its own template, which the iteration-major
+    ranking relies on.
+    """
+    srcs = tuple(regmap.get(s, s) if isinstance(s, Reg) else s
+                 for s in op.srcs)
+    dest = regmap.get(op.dest, op.dest) if op.dest is not None else None
+    mem = op.mem
+    if mem is not None:
+        index = mem.index
+        if isinstance(index, Reg):
+            index = regmap.get(index, index)
+        affine = mem.affine
+        if affine is not None:
+            affine = affine + iteration * step
+        mem = MemRef(mem.array, index, mem.offset, affine)
+    return replace(op, srcs=srcs, dest=dest, mem=mem, iteration=iteration,
+                   pos=pos, uid=_fresh_uid(), tid=-1)
+
+
+def _fresh_uid() -> int:
+    from ..ir.operations import next_uid
+
+    return next_uid()
+
+
+def unwind_counted(loop: CountedLoop, k: int, *,
+                   emit_exits: bool = True) -> UnwoundLoop:
+    """Unwind ``loop`` into ``k`` tagged iteration copies.
+
+    The result graph: preheader ops (untagged), then for each iteration
+    *i* the body (counter reads substituted), the expanded IV compute,
+    the exit compare and the exit jump.  The copies share one op *per
+    body position per iteration* and fresh uids/tids throughout, so the
+    scheduler sees distinct templates per (body op, iteration) -- which
+    is what the ranking stipulation "iteration i before iteration j>i"
+    needs.
+    """
+    builder = SequentialBuilder()
+    locals_ = iteration_locals(loop)
+    origin: dict[int, tuple[int, int]] = {}
+    ops_out: list[Operation] = []
+    exit_tids: list[int] = []
+    marker_tids: list[int] = []
+    cj_nodes: list[int] = []
+
+    for op in loop.preheader_ops:
+        cp = replace(op, uid=_fresh_uid(), tid=-1, iteration=-1)
+        builder.append(cp)
+
+    base = loop.counter  # pre-increment counter value for iteration 0
+    pos = 0
+    for i in range(k):
+        regmap = _rename_map(locals_, i)
+        # Body uses of the counter read the running base.
+        if base != loop.counter:
+            regmap = {**regmap, loop.counter: base}
+        body_new: list[Operation] = []
+        for b_idx, op in enumerate(loop.body_ops):
+            cp = _rewrite(op, regmap, i, loop.step, pos)
+            pos += 1
+            builder.append(cp)
+            origin[cp.tid] = (b_idx, i)
+            ops_out.append(cp)
+            body_new.append(cp)
+        if body_new:
+            marker_tids.append(body_new[-1].tid)
+        # IV expansion: k.i = k + (i+1)*step.
+        next_base = Reg(f"{loop.counter.name}.{i}")
+        iv = add(next_base, loop.counter, (i + 1) * loop.step,
+                 name=f"iv{i}", iteration=i, pos=pos)
+        pos += 1
+        builder.append(iv)
+        origin[iv.tid] = (IV_INDEX, i)
+        ops_out.append(iv)
+        if emit_exits:
+            cond = Reg(f"{loop.counter.name}.exit.{i}")
+            cmp_ = cmp_ge(cond, next_base, loop.bound,
+                          name=f"cmp{i}", iteration=i, pos=pos)
+            pos += 1
+            cj = cjump(cond, name=f"br{i}", iteration=i, pos=pos)
+            pos += 1
+            builder.append(cmp_)
+            cj_node = builder.append_cjump(cj, true_target=EXIT)
+            cj_nodes.append(cj_node.nid)
+            origin[cmp_.tid] = (CMP_INDEX, i)
+            origin[cj.tid] = (CJ_INDEX, i)
+            ops_out.extend([cmp_, cj])
+            exit_tids.append(cj.tid)
+        base = next_base
+
+    # Epilogue (scalar-result stores etc.): every iteration's exit jump
+    # lands here, as does the fall-through after the last iteration.
+    if loop.epilogue_ops:
+        epi_head: int | None = None
+        for op in loop.epilogue_ops:
+            cp = replace(op, uid=_fresh_uid(), tid=-1, iteration=-1)
+            node = builder.append(cp)
+            if epi_head is None:
+                epi_head = node.nid
+        graph = builder.graph
+        # Appending the epilogue chain already linked the last branch's
+        # fall-through; every leaf still pointing at EXIT is an exit
+        # side and must run the epilogue instead.
+        for nid in cj_nodes:
+            node = graph.nodes[nid]
+            for leaf in node.leaves():
+                if leaf.target == EXIT:
+                    graph.retarget_leaf(nid, leaf.leaf_id, epi_head)
+
+    return UnwoundLoop(graph=builder.graph, loop=loop, iterations=k,
+                       ops=ops_out, origin=origin,
+                       exit_branch_tids=exit_tids,
+                       iteration_marker_tids=marker_tids)
+
+
+def unwind_implicit(body_ops: list[Operation], k: int) -> UnwoundLoop:
+    """Unwind a control-free loop body (the paper's worked examples).
+
+    Registers are shared across copies; percolation's renaming handles
+    the false dependences dynamically, exactly as in the paper's
+    figures.
+    """
+    builder = SequentialBuilder()
+    origin: dict[int, tuple[int, int]] = {}
+    ops_out: list[Operation] = []
+    marker_tids: list[int] = []
+    pos = 0
+    for i in range(k):
+        last = None
+        for b_idx, op in enumerate(body_ops):
+            cp = replace(op, uid=_fresh_uid(), tid=-1, iteration=i, pos=pos)
+            mem = cp.mem
+            if mem is not None and mem.affine is not None:
+                cp = replace(cp, mem=MemRef(mem.array, mem.index, mem.offset,
+                                            mem.affine + i),
+                             uid=cp.uid, tid=cp.tid)
+            pos += 1
+            builder.append(cp)
+            origin[cp.tid] = (b_idx, i)
+            ops_out.append(cp)
+            last = cp
+        if last is not None:
+            marker_tids.append(last.tid)
+    return UnwoundLoop(graph=builder.graph, loop=None, iterations=k,
+                       ops=ops_out, origin=origin,
+                       iteration_marker_tids=marker_tids)

@@ -1,0 +1,7 @@
+"""Result tables and the aggregate statistics of Table 1."""
+
+from .stats import arithmetic_mean, geometric_mean, harmonic_mean, weighted_harmonic_mean
+from .tables import SpeedupTable, comparison_table
+
+__all__ = ["SpeedupTable", "arithmetic_mean", "comparison_table",
+           "geometric_mean", "harmonic_mean", "weighted_harmonic_mean"]

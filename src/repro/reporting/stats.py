@@ -1,0 +1,48 @@
+"""Statistics used by the paper's Table 1.
+
+The table reports per-loop speedups plus two aggregate rows: the
+arithmetic **Mean** and the **WHM** (weighted harmonic mean).  The
+harmonic mean is the right average for speedups of equal-work loops;
+the weighted variant weights each loop by its sequential cycle count,
+which is the convention of the Livermore suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v is not None]
+    return sum(vals) / len(vals) if vals else math.nan
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v]
+    if not vals:
+        return math.nan
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def weighted_harmonic_mean(values: Sequence[float],
+                           weights: Sequence[float] | None = None) -> float:
+    """WHM = sum(w) / sum(w/v); equal weights reduce to the plain HM."""
+    vals = list(values)
+    if weights is None:
+        weights = [1.0] * len(vals)
+    num = 0.0
+    den = 0.0
+    for v, w in zip(vals, weights):
+        if not v:
+            continue
+        num += w
+        den += w / v
+    return num / den if den else math.nan
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v and v > 0]
+    if not vals:
+        return math.nan
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,88 @@
+"""Rendering of result tables in the paper's layout."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Sequence
+
+from .stats import arithmetic_mean, weighted_harmonic_mean
+
+
+@dataclass
+class SpeedupTable:
+    """The Table-1 layout: loops x (FU configs x {GRiP, POST}).
+
+    ``cells[loop][(fus, system)] = speedup`` (None = did not converge).
+    ``weights[loop]`` is the sequential cycles/iteration, used by the
+    WHM row.
+    """
+
+    fu_configs: Sequence[int] = (2, 4, 8)
+    systems: Sequence[str] = ("GRiP", "POST")
+    cells: dict[str, dict[tuple[int, str], float | None]] = field(
+        default_factory=dict)
+    weights: dict[str, float] = field(default_factory=dict)
+
+    def add(self, loop: str, fus: int, system: str,
+            speedup: float | None, weight: float = 1.0) -> None:
+        self.cells.setdefault(loop, {})[(fus, system)] = speedup
+        self.weights[loop] = weight
+
+    def column(self, fus: int, system: str) -> list[float | None]:
+        return [self.cells[name].get((fus, system))
+                for name in self.cells]
+
+    def render(self, title: str = "Observed Speed-up") -> str:
+        out = StringIO()
+        headers = ["Loop"]
+        for fus in self.fu_configs:
+            for system in self.systems:
+                headers.append(f"{system}@{fus}")
+        rows: list[list[str]] = []
+        for name, row in self.cells.items():
+            cells = [name]
+            for fus in self.fu_configs:
+                for system in self.systems:
+                    v = row.get((fus, system))
+                    cells.append(f"{v:.1f}" if v is not None else "n/c")
+            rows.append(cells)
+        # Aggregate rows.
+        mean_row = ["Mean"]
+        whm_row = ["WHM"]
+        for fus in self.fu_configs:
+            for system in self.systems:
+                col = [v for v in self.column(fus, system) if v is not None]
+                w = [self.weights[name] for name in self.cells
+                     if self.cells[name].get((fus, system)) is not None]
+                mean_row.append(f"{arithmetic_mean(col):.1f}" if col else "-")
+                whm_row.append(
+                    f"{weighted_harmonic_mean(col, w):.1f}" if col else "-")
+        rows.append(mean_row)
+        rows.append(whm_row)
+
+        widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+                  for i in range(len(headers))]
+        out.write(title + "\n")
+        out.write("  ".join(h.rjust(w) for h, w in zip(headers, widths)) + "\n")
+        for r in rows:
+            out.write("  ".join(c.rjust(w) for c, w in zip(r, widths)) + "\n")
+        return out.getvalue()
+
+
+def comparison_table(headers: Sequence[str],
+                     rows: Sequence[Sequence[object]],
+                     title: str = "") -> str:
+    """Generic right-aligned text table."""
+    srows = [[("" if c is None else
+               (f"{c:.2f}" if isinstance(c, float) else str(c)))
+              for c in row] for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in srows))
+              if srows else len(headers[i]) for i in range(len(headers))]
+    out = StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write("  ".join(h.rjust(w) for h, w in zip(headers, widths)) + "\n")
+    for r in srows:
+        out.write("  ".join(c.rjust(w) for c, w in zip(r, widths)) + "\n")
+    return out.getvalue()

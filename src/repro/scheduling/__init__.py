@@ -1,0 +1,25 @@
+"""Schedulers: GRiP and the baselines it is evaluated against."""
+
+from .gaps import GapPreventionPolicy, gapless_move
+from .grip import GRiPScheduler, ScheduleResult
+from .listsched import ListSchedule, list_schedule
+from .moveable import MoveableOps
+from .post import POSTScheduler, PostResult, RepackedSchedule, asap_pipeline_rows, repack
+from .priority import (
+    AlphabeticalHeuristic,
+    Heuristic,
+    PaperHeuristic,
+    Ranking,
+    SourceOrderHeuristic,
+    ranked_templates,
+)
+from .unifiable import UnifiableOpsScheduler, UnifiableStats
+
+__all__ = [
+    "AlphabeticalHeuristic", "GRiPScheduler", "GapPreventionPolicy",
+    "Heuristic", "ListSchedule", "MoveableOps", "POSTScheduler",
+    "PaperHeuristic", "PostResult", "Ranking", "RepackedSchedule",
+    "ScheduleResult", "SourceOrderHeuristic", "UnifiableOpsScheduler",
+    "UnifiableStats", "asap_pipeline_rows", "gapless_move",
+    "list_schedule", "ranked_templates", "repack",
+]

@@ -1,0 +1,254 @@
+"""Gap prediction and prevention (paper section 3.3).
+
+When GRiP drives Perfect Pipelining, permanent inter-iteration *gaps*
+(instructions that an iteration's operations skip over, growing with
+the iteration index) would destroy convergence.  The paper prevents
+them with a localized ``Gapless-move`` test plus three scheduling
+rules.  Definitions implemented here, verbatim from the paper:
+
+``Gapless-move(From, To, Op)`` holds if one of:
+
+1. Op is the only operation scheduled at From (From dies when Op goes);
+2. another operation of Op's iteration is scheduled at From;
+3. Op is the last operation of its iteration (nothing from the
+   iteration exists below From);
+4. some successor S of From contains an operation X of Op's iteration
+   that would be moveable from S to From once Op vacated, with
+   ``Gapless-move(S, From, X)`` true -- a size-1 temporary gap that is
+   certain to be filled (Theorem 1).
+
+Scheduling rules (enforced by :class:`GapPreventionPolicy`):
+
+1. a move is allowed only when Gapless-move holds; otherwise the op is
+   *suspended*;
+2. after any successful move, all ops are unsuspended and ranked order
+   resumes;
+3. while suspensions exist, only operations strictly below the lowest
+   suspended operation may move (and Figure 12's migrate performs at
+   most one step per sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import ProgramGraph
+from ..ir.operations import Operation
+from ..machine.model import MachineConfig
+from ..percolation.conflicts import analyse_cj_move, analyse_move
+from ..percolation.migrate import MoveOutcome, rpo_index
+
+
+_below_cache: dict[int, tuple[int, dict[int, dict[int, int]]]] = {}
+
+
+def _iterations_below(graph: ProgramGraph) -> dict[int, dict[int, int]]:
+    """For every node: iteration -> op count strictly below it.
+
+    Computed once per graph version by propagating counts bottom-up in
+    reverse RPO (forward edges only).  Conservative while a
+    ``_would_be_moveable`` probe has temporarily lifted an op out (the
+    op still counts as present), which only makes Gapless-move *more*
+    careful -- the safe direction.
+    """
+    key = id(graph)
+    hit = _below_cache.get(key)
+    if hit is not None and hit[0] == graph.version:
+        return hit[1]
+    order = graph.rpo()
+    index = {nid: i for i, nid in enumerate(order)}
+    below: dict[int, dict[int, int]] = {nid: {} for nid in order}
+    for nid in reversed(order):
+        acc: dict[int, int] = {}
+        for s in graph.successors(nid):
+            if s not in index or index[s] <= index[nid]:
+                continue  # back edge
+            for it, c in below[s].items():
+                acc[it] = acc.get(it, 0) + c
+            for op in graph.nodes[s].all_ops():
+                if op.iteration >= 0:
+                    acc[op.iteration] = acc.get(op.iteration, 0) + 1
+        below[nid] = acc
+    if len(_below_cache) > 8:
+        _below_cache.clear()
+    _below_cache[key] = (graph.version, below)
+    return below
+
+
+def _iteration_ops_below(graph: ProgramGraph, nid: int, iteration: int) -> bool:
+    """Does any op of ``iteration`` live strictly below ``nid``?"""
+    below = _iterations_below(graph)
+    counts = below.get(nid)
+    if counts is None:
+        return False
+    return counts.get(iteration, 0) > 0
+
+
+def _would_be_moveable(graph: ProgramGraph, s_nid: int, from_nid: int,
+                       x_uid: int, vacated_uid: int,
+                       machine: MachineConfig) -> bool:
+    """Could X hop S -> From if ``vacated_uid`` had already left From?
+
+    Implemented by briefly lifting the vacating op out of From, running
+    the ordinary conflict analysis plus resource check, and restoring
+    the op.  The graph version is untouched (the probe is state-
+    neutral), so analysis caches stay valid.
+    """
+    from_node = graph.nodes[from_nid]
+    s_node = graph.nodes.get(s_nid)
+    if s_node is None or not s_node.has_op(x_uid):
+        return False
+
+    restore = None
+    if vacated_uid in from_node.ops:
+        paths = from_node.paths[vacated_uid]
+        op = from_node.remove_op(vacated_uid)
+        restore = (op, paths)
+    try:
+        x = s_node.get_op(x_uid)
+        if x.is_cjump:
+            report = analyse_cj_move(graph, s_nid, from_nid, x_uid)
+            ok = report.ok and machine.room(from_node) >= len(
+                from_node.leaves_to(s_nid))
+        else:
+            report = analyse_move(graph, s_nid, from_nid, x_uid)
+            ok = report.ok and machine.can_accept(from_node, x)
+        return ok
+    finally:
+        if restore is not None:
+            op, paths = restore
+            from_node.add_op(op, paths)
+
+
+def gapless_move(graph: ProgramGraph, from_nid: int, to_nid: int, uid: int,
+                 machine: MachineConfig, *,
+                 _visiting: frozenset[tuple[int, int]] = frozenset()) -> bool:
+    """The paper's Gapless-move(From, To, Op) test."""
+    node = graph.nodes[from_nid]
+    op = node.get_op(uid)
+    if op.iteration < 0:
+        return True  # untagged code cannot form iteration gaps
+
+    # Condition 1: Op is alone in From.
+    if node.op_count() == 1:
+        return True
+
+    # Condition 2: a sibling of the same iteration stays behind.
+    for other in node.all_ops():
+        if other.uid != uid and other.iteration == op.iteration:
+            return True
+
+    # Condition 3: nothing of this iteration lives below From.
+    if not _iteration_ops_below(graph, from_nid, op.iteration):
+        return True
+
+    # Condition 4: some same-iteration X in a successor S could slide
+    # into From and itself satisfy Gapless-move(S, From, X).
+    key = (from_nid, uid)
+    if key in _visiting:
+        return False
+    visiting = _visiting | {key}
+    for s_nid in graph.successors(from_nid):
+        if s_nid not in graph.nodes:
+            continue
+        for x in list(graph.nodes[s_nid].all_ops()):
+            if x.iteration != op.iteration:
+                continue
+            if not _would_be_moveable(graph, s_nid, from_nid, x.uid, uid,
+                                      machine):
+                continue
+            if gapless_move(graph, s_nid, from_nid, x.uid, machine,
+                            _visiting=visiting):
+                return True
+    return False
+
+
+@dataclass
+class GapPreventionPolicy:
+    """MovePolicy implementing rules 1-3 for the GRiP scheduler."""
+
+    graph: ProgramGraph
+    machine: MachineConfig
+    enabled: bool = True
+    #: suspended template -> depth (RPO position) at suspension time
+    suspended: dict[int, int] = field(default_factory=dict)
+    moved_while_suspended: bool = False
+    #: templates whose moves this policy vetoed since the last reset
+    #: (suspension itself, or rule 3's below-the-lowest restriction);
+    #: these deserve a retry once rule 2 unsuspends everything.
+    vetoed_tids: set[int] = field(default_factory=set)
+    #: statistics
+    suspensions: int = 0
+    vetoes: int = 0
+    gapless_checks: int = 0
+
+    # -- MovePolicy interface ------------------------------------------
+    def allow_move(self, graph: ProgramGraph, from_nid: int, to_nid: int,
+                   op: Operation) -> bool:
+        if not self.enabled or op.iteration < 0:
+            return True
+        if op.tid in self.suspended:
+            self.vetoes += 1
+            self.vetoed_tids.add(op.tid)
+            return False
+        if self.suspended:
+            # Rule 3: only ops strictly below the lowest suspended one move.
+            index = rpo_index(graph)
+            lowest = max(self.suspended.values())
+            if index.get(from_nid, -1) <= lowest:
+                self.vetoes += 1
+                self.vetoed_tids.add(op.tid)
+                return False
+        self.gapless_checks += 1
+        uid = self._uid_of(graph, from_nid, op)
+        if uid is None:
+            return False
+        if gapless_move(graph, from_nid, to_nid, uid, self.machine):
+            return True
+        # Rule 1: suspend.
+        index = rpo_index(graph)
+        self.suspended[op.tid] = index.get(from_nid, 0)
+        self.suspensions += 1
+        self.vetoes += 1
+        self.vetoed_tids.add(op.tid)
+        return False
+
+    def after_move(self, graph: ProgramGraph, outcome: MoveOutcome,
+                   op: Operation) -> None:
+        if self.suspended:
+            self.moved_while_suspended = True
+
+    def stop_sweep(self) -> bool:
+        # Figure 12: while suspensions exist, at most one step per sweep.
+        return self.moved_while_suspended
+
+    # -- scheduler hooks ------------------------------------------------
+    def begin_node(self) -> None:
+        self.suspended.clear()
+        self.vetoed_tids.clear()
+        self.moved_while_suspended = False
+
+    def unsuspend_all(self) -> set[int]:
+        """Rule 2: after a successful move, suspended ops retry.
+
+        Returns the templates that were held back by the suspension
+        regime (so the scheduler can clear their stuck marks without
+        resetting dependence-blocked ops).
+        """
+        retry = set(self.suspended) | self.vetoed_tids
+        self.suspended.clear()
+        self.vetoed_tids.clear()
+        self.moved_while_suspended = False
+        return retry
+
+    @staticmethod
+    def _uid_of(graph: ProgramGraph, nid: int, op: Operation) -> int | None:
+        node = graph.nodes.get(nid)
+        if node is None:
+            return None
+        if node.has_op(op.uid):
+            return op.uid
+        for cand in node.all_ops():  # instance may have been re-created
+            if cand.tid == op.tid:
+                return cand.uid
+        return None

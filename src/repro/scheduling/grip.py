@@ -1,0 +1,194 @@
+"""The GRiP scheduler (paper section 3, Figures 10 and 12).
+
+GRiP = Global Resource-constrained Percolation scheduling:
+
+1. rank all operations with a global heuristic (section 3.4);
+2. keep Moveable-ops sets -- operations on the dominated subgraph that
+   have not become unmoveable;
+3. walk the program top-down; at each node, migrate the best moveable
+   operations into it until resources run out, letting compaction
+   happen *everywhere below* along the way (this is the difference from
+   Unifiable-ops scheduling, and resource barriers are the price);
+4. under Perfect Pipelining, enforce the gap-prevention rules through
+   :class:`~repro.scheduling.gaps.GapPreventionPolicy`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..analysis.dependence import build_dag
+from ..ir.graph import ProgramGraph
+from ..ir.operations import Operation
+from ..ir.registers import Reg, RegisterFile
+from ..machine.model import MachineConfig
+from ..percolation.cleanup import cleanup
+from ..percolation.migrate import FreePolicy, MigrateContext, migrate
+from ..percolation.moveop import PercolationStats
+from .gaps import GapPreventionPolicy
+from .moveable import MoveableOps
+from .priority import Heuristic, PaperHeuristic, Ranking
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one scheduling run."""
+
+    graph: ProgramGraph
+    stats: PercolationStats
+    ranking: Ranking
+    nodes_processed: int = 0
+    seconds: float = 0.0
+    gap_policy: GapPreventionPolicy | None = None
+    candidate_builds: int = 0
+
+    @property
+    def resource_barrier_events(self) -> int:
+        """Resource-blocked hops at intermediate nodes (section 3.2)."""
+        return self.stats.resource_blocks
+
+    def summary(self) -> str:
+        g = self.graph
+        lines = [
+            f"nodes: {len(g.nodes)} (processed {self.nodes_processed})",
+            f"ops:   {g.op_count()}",
+            f"moves: {self.stats.moves} (renames {self.stats.renames}, "
+            f"unifications {self.stats.unifications}, "
+            f"cj-moves {self.stats.cj_moves}, splits {self.stats.splits})",
+            f"blocks: {self.stats.dependence_blocks} dependence, "
+            f"{self.stats.resource_blocks} resource",
+        ]
+        if self.gap_policy is not None and self.gap_policy.enabled:
+            lines.append(
+                f"gaps: {self.gap_policy.suspensions} suspensions, "
+                f"{self.gap_policy.gapless_checks} gapless checks")
+        return "\n".join(lines)
+
+
+@dataclass
+class GRiPScheduler:
+    """Configurable GRiP scheduling pass.
+
+    Parameters
+    ----------
+    machine:
+        Resource budget (use :data:`~repro.machine.INFINITE_RESOURCES`
+        for unconstrained percolation).
+    heuristic:
+        Operation-ranking heuristic; defaults to the paper's.
+    gap_prevention:
+        Enforce section 3.3's rules (needed for Perfect Pipelining
+        convergence; harmless elsewhere).
+    allow_speculation:
+        Permit hoisting of ops guarded by conditionals ("GRiP always
+        allows speculative scheduling"); off for the ablation study.
+    cleanup_interval:
+        Run the incremental clean-up passes after this many processed
+        nodes (0 disables in-pass cleanup).
+    """
+
+    machine: MachineConfig
+    heuristic: Heuristic = field(default_factory=PaperHeuristic)
+    gap_prevention: bool = True
+    allow_speculation: bool = True
+    cleanup_interval: int = 0
+    max_rounds_per_node: int = 10_000
+
+    def schedule(self, graph: ProgramGraph, *,
+                 ranking_ops: Sequence[Operation] | None = None,
+                 ranking: Ranking | None = None,
+                 regfile: RegisterFile | None = None,
+                 exit_live: frozenset[Reg] = frozenset()) -> ScheduleResult:
+        """Schedule ``graph`` in place and return the result record.
+
+        ``ranking_ops`` (default: all ops in position order) feed the
+        heuristic; pass the unwound body operations when pipelining so
+        priorities follow iteration tags.  A precomputed ``ranking``
+        overrides the heuristic entirely.
+        """
+        t0 = time.perf_counter()
+        if ranking is None:
+            if ranking_ops is None:
+                ranking_ops = [op for _, op in sorted(
+                    graph.all_operations(),
+                    key=lambda pair: (pair[1].iteration, pair[1].pos,
+                                      pair[1].uid))]
+            dag = build_dag(ranking_ops)
+            ranking = self.heuristic.rank(ranking_ops, dag)
+
+        regfile = regfile if regfile is not None else RegisterFile()
+        policy = GapPreventionPolicy(graph, self.machine,
+                                     enabled=self.gap_prevention)
+        ctx = MigrateContext(
+            graph=graph, machine=self.machine, regfile=regfile,
+            policy=policy, exit_live=exit_live,
+            allow_speculation=self.allow_speculation)
+        moveable = MoveableOps(graph, ranking)
+
+        visited: set[int] = set()
+        processed = 0
+        while True:
+            nxt = self._next_node(graph, visited)
+            if nxt is None:
+                break
+            self._schedule_node(ctx, moveable, policy, nxt)
+            visited.add(nxt)
+            processed += 1
+            if self.cleanup_interval and processed % self.cleanup_interval == 0:
+                cleanup(graph, exit_live)
+
+        cleanup(graph, exit_live)
+        return ScheduleResult(
+            graph=graph, stats=ctx.stats, ranking=ranking,
+            nodes_processed=processed,
+            seconds=time.perf_counter() - t0,
+            gap_policy=policy,
+            candidate_builds=moveable.set_builds)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _next_node(graph: ProgramGraph, visited: set[int]) -> int | None:
+        for nid in graph.rpo():
+            if nid not in visited:
+                return nid
+        return None
+
+    def _schedule_node(self, ctx: MigrateContext, moveable: MoveableOps,
+                       policy: GapPreventionPolicy, n: int) -> None:
+        """Fill node ``n``: Figure 10's schedule(n) with Figure 12's rules."""
+        graph = ctx.graph
+        moveable.begin_node()
+        policy.begin_node()
+        rounds = 0
+        retried = False
+        while n in graph.nodes and ctx.machine.room(graph.nodes[n]) > 0:
+            rounds += 1
+            if rounds > self.max_rounds_per_node:  # pragma: no cover
+                raise RuntimeError(f"schedule({n}) failed to converge")
+            progress = False
+            for tid in moveable.candidates(n):
+                moved = migrate(ctx, n, tid)
+                if moved:
+                    progress = True
+                    if policy.moved_while_suspended or policy.suspended \
+                            or policy.vetoed_tids:
+                        # Rule 2: unsuspend and resume in ranked order;
+                        # ops held back by the suspension regime retry.
+                        moveable.unstick(policy.unsuspend_all())
+                    if moveable.instance_in_or_above(n, tid):
+                        moveable.mark_scheduled(tid)
+                    break
+                moveable.mark_stuck(tid)
+            if progress:
+                retried = False
+                continue
+            # Stuck marks persist across successes as an attempt filter;
+            # before giving up on the node, grant one clean retry round
+            # in case earlier motion unblocked a stuck op.
+            if not retried and moveable.stuck:
+                moveable.note_motion()
+                retried = True
+                continue
+            break

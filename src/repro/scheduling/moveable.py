@@ -1,0 +1,88 @@
+"""Moveable-ops bookkeeping (paper section 3.2).
+
+"Initially, the Moveable-ops set at a node n contains all operations on
+the subgraph dominated by n.  As scheduling progresses, operations
+become unmoveable and are removed ... if [they have] moved into or
+above the node currently being scheduled or if [they are] prevented
+from moving by a strict data dependency on an operation that is itself
+unmoveable."
+
+The sets are "trivially maintainable" -- this module realizes them as a
+view over the graph: the moveable candidates at ``n`` are the templates
+with a live instance strictly below ``n``, minus those proven stuck for
+the current node.  Stuck marks are operational (a migrate produced no
+motion) and are cleared whenever anything moves, which reproduces the
+dependence-transitivity rule without bookkeeping dependence chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import ProgramGraph
+from ..ir.operations import OpKind
+from ..percolation.migrate import region_below
+from .priority import Ranking, ranked_templates
+
+
+@dataclass
+class MoveableOps:
+    """Candidate tracker for one scheduling pass."""
+
+    graph: ProgramGraph
+    ranking: Ranking
+    include_copies: bool = True
+    #: templates that failed to move at all for the current node
+    stuck: set[int] = field(default_factory=set)
+    #: templates scheduled (landed in / above the current node)
+    scheduled: set[int] = field(default_factory=set)
+    #: cost counter: how many candidate-set constructions were done
+    set_builds: int = 0
+
+    def begin_node(self) -> None:
+        """Reset per-node state when the scheduler advances."""
+        self.stuck.clear()
+        self.scheduled.clear()
+
+    def note_motion(self) -> None:
+        """Anything moved: previously stuck ops may be free again."""
+        self.stuck.clear()
+
+    def unstick(self, tids: set[int]) -> None:
+        """Clear stuck marks for specific templates (rule-2 retries)."""
+        self.stuck -= tids
+
+    def mark_stuck(self, tid: int) -> None:
+        self.stuck.add(tid)
+
+    def mark_scheduled(self, tid: int) -> None:
+        self.scheduled.add(tid)
+
+    def candidates(self, n: int) -> list[int]:
+        """Ranked templates with an instance strictly below ``n``."""
+        self.set_builds += 1
+        region = region_below(self.graph, n)
+        tids: list[int] = []
+        seen: set[int] = set()
+        for nid in region:
+            if nid == n or nid not in self.graph.nodes:
+                continue
+            for op in self.graph.nodes[nid].all_ops():
+                if op.kind is OpKind.NOP:
+                    continue
+                if not self.include_copies and op.is_copy:
+                    continue
+                if op.tid in seen or op.tid in self.stuck \
+                        or op.tid in self.scheduled:
+                    continue
+                seen.add(op.tid)
+                tids.append(op.tid)
+        return ranked_templates(self.ranking, tids)
+
+    def instance_in_or_above(self, n: int, tid: int) -> bool:
+        """Did some instance of ``tid`` reach node ``n`` or higher?"""
+        region = set(region_below(self.graph, n)) - {n}
+        for nid, _ in self.graph.ops_by_template(tid):
+            if nid not in region:
+                return True
+        return False

@@ -1,0 +1,11 @@
+"""Cycle-level VLIW simulator and semantic-equivalence checking."""
+
+from .check import EquivalenceError, EquivalenceReport, check_equivalent, initial_state
+from .interp import RunResult, SimulationError, StepResult, run, run_iterations, step
+from .state import MachineState, seeded_cell_default
+
+__all__ = [
+    "EquivalenceError", "EquivalenceReport", "MachineState", "RunResult",
+    "SimulationError", "StepResult", "check_equivalent", "initial_state",
+    "run", "run_iterations", "seeded_cell_default", "step",
+]

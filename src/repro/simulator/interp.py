@@ -1,0 +1,214 @@
+"""Cycle-level interpreter for VLIW program graphs.
+
+Implements the execution semantics of the paper's section 2:
+
+1. operands of *all* operations are fetched from the instruction-entry
+   state;
+2. all results are computed; the "result" of a conditional is to select
+   a branch in the CJ tree;
+3. results are stored -- IBM VLIW variant: only operations on the path
+   selected by the conditionals commit;
+4. the next instruction is the target of the selected tree leaf.
+
+The interpreter also keeps per-template commit counts and an execution
+trace, which the pipelining speedup measurements and the equivalence
+checker consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..ir.cjtree import Branch, CJTree, EXIT, Leaf
+from ..ir.graph import ProgramGraph
+from ..ir.instruction import Instruction
+from ..ir.operations import Operation, OpKind
+from .state import MachineState, Number
+
+
+class SimulationError(RuntimeError):
+    """Raised on malformed programs or exhausted cycle budgets."""
+
+
+def _to_int(x: Number) -> int:
+    return int(x)
+
+
+def compute(op: Operation, state: MachineState) -> Number | None:
+    """Phase-2 result of an operation read against ``state``.
+
+    Returns ``None`` for operations without a register result.
+    Division by zero yields 0.0 (a deterministic total semantics keeps
+    randomized equivalence testing meaningful).
+    """
+    k = op.kind
+    rd = state.read_operand
+    if k is OpKind.CONST or k is OpKind.COPY:
+        return rd(op.srcs[0])
+    if k is OpKind.ADD:
+        return rd(op.srcs[0]) + rd(op.srcs[1])
+    if k is OpKind.SUB:
+        return rd(op.srcs[0]) - rd(op.srcs[1])
+    if k is OpKind.MUL:
+        return rd(op.srcs[0]) * rd(op.srcs[1])
+    if k is OpKind.DIV:
+        d = rd(op.srcs[1])
+        return rd(op.srcs[0]) / d if d != 0 else 0.0
+    if k is OpKind.NEG:
+        return -rd(op.srcs[0])
+    if k is OpKind.MIN:
+        return min(rd(op.srcs[0]), rd(op.srcs[1]))
+    if k is OpKind.MAX:
+        return max(rd(op.srcs[0]), rd(op.srcs[1]))
+    if k is OpKind.ABS:
+        return abs(rd(op.srcs[0]))
+    if k is OpKind.AND:
+        return _to_int(rd(op.srcs[0])) & _to_int(rd(op.srcs[1]))
+    if k is OpKind.OR:
+        return _to_int(rd(op.srcs[0])) | _to_int(rd(op.srcs[1]))
+    if k is OpKind.XOR:
+        return _to_int(rd(op.srcs[0])) ^ _to_int(rd(op.srcs[1]))
+    if k is OpKind.NOT:
+        return ~_to_int(rd(op.srcs[0]))
+    if k is OpKind.SHL:
+        return _to_int(rd(op.srcs[0])) << (_to_int(rd(op.srcs[1])) & 63)
+    if k is OpKind.SHR:
+        return _to_int(rd(op.srcs[0])) >> (_to_int(rd(op.srcs[1])) & 63)
+    if k is OpKind.CMP_EQ:
+        return 1 if rd(op.srcs[0]) == rd(op.srcs[1]) else 0
+    if k is OpKind.CMP_NE:
+        return 1 if rd(op.srcs[0]) != rd(op.srcs[1]) else 0
+    if k is OpKind.CMP_LT:
+        return 1 if rd(op.srcs[0]) < rd(op.srcs[1]) else 0
+    if k is OpKind.CMP_LE:
+        return 1 if rd(op.srcs[0]) <= rd(op.srcs[1]) else 0
+    if k is OpKind.CMP_GT:
+        return 1 if rd(op.srcs[0]) > rd(op.srcs[1]) else 0
+    if k is OpKind.CMP_GE:
+        return 1 if rd(op.srcs[0]) >= rd(op.srcs[1]) else 0
+    if k is OpKind.LOAD:
+        idx = op.mem.offset
+        if op.mem.index is not None:
+            idx += _to_int(rd(op.mem.index))
+        return state.read_mem(op.mem.array, idx)
+    if k in (OpKind.STORE, OpKind.CJUMP, OpKind.NOP):
+        return None
+    raise SimulationError(f"unknown op kind {k}")
+
+
+@dataclass
+class StepResult:
+    """Outcome of executing one instruction."""
+
+    nid: int
+    leaf_id: int
+    next_nid: int
+    committed: list[Operation]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a program run."""
+
+    cycles: int
+    exited: bool
+    trace: list[StepResult] = field(default_factory=list)
+    template_commits: dict[int, int] = field(default_factory=dict)
+    ops_committed: int = 0
+
+    def commits_of(self, tid: int) -> int:
+        return self.template_commits.get(tid, 0)
+
+
+def select_leaf(node: Instruction, state: MachineState) -> Leaf:
+    """Walk the CJ tree using phase-1 operand values."""
+    t: CJTree = node.tree
+    while isinstance(t, Branch):
+        cj = node.cjs[t.cj_uid]
+        cond = state.read_operand(cj.srcs[0])
+        t = t.on_true if cond != 0 else t.on_false
+    return t
+
+
+def step(graph: ProgramGraph, nid: int, state: MachineState) -> StepResult:
+    """Execute one VLIW instruction; returns commit info and successor."""
+    node = graph.nodes[nid]
+    # Phase 1+2: compute every operation's result against entry state.
+    results: dict[int, Number | None] = {}
+    store_cells: dict[int, tuple[str, int, Number]] = {}
+    for op in node.ops.values():
+        if op.kind is OpKind.STORE:
+            idx = op.mem.offset
+            if op.mem.index is not None:
+                idx += _to_int(state.read_operand(op.mem.index))
+            store_cells[op.uid] = (op.mem.array, idx,
+                                   state.read_operand(op.srcs[0]))
+        else:
+            results[op.uid] = compute(op, state)
+    # Phase 2 for conditionals: select the branch/leaf.
+    leaf = select_leaf(node, state)
+    # Phase 3: commit results on the selected path (IBM VLIW).
+    committed: list[Operation] = []
+    for op in node.ops.values():
+        if leaf.leaf_id not in node.paths[op.uid]:
+            continue
+        committed.append(op)
+        if op.kind is OpKind.STORE:
+            arr, idx, val = store_cells[op.uid]
+            state.write_mem(arr, idx, val)
+        elif op.dest is not None:
+            state.write_reg(op.dest, results[op.uid])
+    # Conditionals on the selected path also count as executed work.
+    committed.extend(node.cjs_on(leaf.leaf_id))
+    return StepResult(nid, leaf.leaf_id, leaf.target, committed)
+
+
+def run(graph: ProgramGraph, state: MachineState | None = None, *,
+        max_cycles: int = 1_000_000, start: int | None = None,
+        keep_trace: bool = False,
+        until: Callable[[RunResult], bool] | None = None) -> RunResult:
+    """Run from the entry until EXIT, ``until`` fires, or the budget ends.
+
+    ``until`` is consulted after every instruction with the running
+    :class:`RunResult`; returning True stops execution (used to stop an
+    implicit loop after N committed iterations).
+    """
+    if state is None:
+        state = MachineState()
+    nid = graph.entry if start is None else start
+    if nid is None:
+        return RunResult(cycles=0, exited=True)
+    result = RunResult(cycles=0, exited=False)
+    while nid != EXIT:
+        if result.cycles >= max_cycles:
+            if until is None:
+                raise SimulationError(
+                    f"cycle budget {max_cycles} exhausted at node {nid}")
+            break
+        sr = step(graph, nid, state)
+        result.cycles += 1
+        result.ops_committed += len(sr.committed)
+        for op in sr.committed:
+            result.template_commits[op.tid] = \
+                result.template_commits.get(op.tid, 0) + 1
+        if keep_trace:
+            result.trace.append(sr)
+        nid = sr.next_nid
+        if until is not None and until(result):
+            break
+    result.exited = nid == EXIT
+    return result
+
+
+def run_iterations(graph: ProgramGraph, templates: list[int], n: int,
+                   state: MachineState | None = None, *,
+                   max_cycles: int = 2_000_000) -> RunResult:
+    """Run an implicit (non-exiting) loop until every template in
+    ``templates`` has committed at least ``n`` times."""
+    want = set(templates)
+
+    def done(r: RunResult) -> bool:
+        return all(r.template_commits.get(t, 0) >= n for t in want)
+
+    return run(graph, state, max_cycles=max_cycles, until=done)

@@ -1,0 +1,82 @@
+"""Architectural state for the VLIW interpreter.
+
+Registers hold Python numbers; memory is a sparse map from
+``(array, index)`` cells to numbers.  Uninitialized cells read a
+deterministic pseudo-random value derived from a seed and the cell
+coordinates, so two runs with the same seed observe identical initial
+memory without materializing arrays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..ir.registers import Imm, Operand, Reg
+
+Number = float | int
+
+
+def seeded_cell_default(seed: int) -> Callable[[str, int], float]:
+    """A deterministic initial-memory function for ``seed``."""
+
+    def default(array: str, index: int) -> float:
+        h = hashlib.blake2b(f"{seed}:{array}:{index}".encode(),
+                            digest_size=8).digest()
+        (raw,) = struct.unpack("<Q", h)
+        # Map to a friendly range avoiding huge magnitudes and zeros.
+        return 0.125 + (raw % 10_000) / 1_000.0
+
+    return default
+
+
+@dataclass
+class MachineState:
+    """Registers + memory + commit log."""
+
+    regs: dict[str, Number] = field(default_factory=dict)
+    mem: dict[tuple[str, int], Number] = field(default_factory=dict)
+    mem_default: Callable[[str, int], Number] = field(
+        default_factory=lambda: seeded_cell_default(0))
+    reg_default: Number = 0.0
+    #: chronological (array, index, value) log of committed stores
+    store_log: list[tuple[str, int, Number]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def read_reg(self, reg: Reg) -> Number:
+        return self.regs.get(reg.name, self.reg_default)
+
+    def write_reg(self, reg: Reg, value: Number) -> None:
+        self.regs[reg.name] = value
+
+    def read_operand(self, operand: Operand) -> Number:
+        if isinstance(operand, Imm):
+            return operand.value
+        return self.read_reg(operand)
+
+    def read_mem(self, array: str, index: int) -> Number:
+        key = (array, int(index))
+        if key not in self.mem:
+            self.mem[key] = self.mem_default(array, int(index))
+        return self.mem[key]
+
+    def write_mem(self, array: str, index: int, value: Number) -> None:
+        self.mem[(array, int(index))] = value
+        self.store_log.append((array, int(index), value))
+
+    # ------------------------------------------------------------------
+    def snapshot_mem(self) -> dict[tuple[str, int], Number]:
+        return dict(self.mem)
+
+    def snapshot_regs(self, names: Iterable[str] | None = None) -> dict[str, Number]:
+        if names is None:
+            return dict(self.regs)
+        return {n: self.regs.get(n, self.reg_default) for n in names}
+
+    def clone(self) -> "MachineState":
+        s = MachineState(regs=dict(self.regs), mem=dict(self.mem),
+                         mem_default=self.mem_default,
+                         reg_default=self.reg_default)
+        return s

@@ -1,0 +1,8 @@
+"""Workloads: the Livermore kernels, the paper's worked examples, and
+random program generators for property testing."""
+
+from . import livermore, paper_examples, synthetic
+from .livermore import all_kernels, kernel, kernel_names
+
+__all__ = ["all_kernels", "kernel", "kernel_names", "livermore",
+           "paper_examples", "synthetic"]

@@ -1,0 +1,228 @@
+"""The fourteen Livermore Loops of the paper's Table 1.
+
+Each kernel is written in the loop DSL and lowered by the front end,
+exactly as the paper's loops passed through GCC into the UCI VLIW
+compiler.  What we preserve from the original McMahon FORTRAN is the
+property that determines scheduling behaviour -- the **dependence
+structure**:
+
+==== ========================== ==========================================
+LL   kernel                     structure preserved
+==== ========================== ==========================================
+1    hydro fragment             vectorizable, medium body
+2    ICCG inner step            stride-2 sweep; reads interleave writes
+3    inner product              scalar reduction (carried ``q``)
+4    banded linear equations    distance-5 recurrence (5 iters in flight)
+5    tri-diagonal elimination   tight carried scalar recurrence
+6    general linear recurrence  2-op carried recurrence (hard cap)
+7    equation of state          vectorizable, large body
+8    ADI integration            vectorizable, wide 2-output body
+9    integrate predictors       vectorizable polynomial predictor
+10   difference predictors      vectorizable, very deep dependence chain
+11   first sum                  prefix sum via carried scalar (1-op rec.)
+12   first difference           vectorizable, tiny body
+13   2-D particle in cell       indirection: non-affine gather+scatter
+14   1-D particle in cell       indirection mixed with affine traffic
+==== ========================== ==========================================
+
+Bodies are simplified transcriptions (scalar constants folded, outer
+loops dropped); absolute operation counts therefore differ from the
+paper's intermediate code, which is why EXPERIMENTS.md compares speedup
+*shapes* rather than absolute Table-1 entries.
+
+Every builder takes ``n`` -- the trip count, which doubles as the
+unroll factor in measured runs -- and returns a
+:class:`~repro.ir.loops.CountedLoop`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..frontend.lower import compile_dsl
+from ..ir.loops import CountedLoop
+
+LL1_SRC = """
+# Hydro fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])
+param q, r, t, n; array x, y, z;
+for k = 0 to n {
+    x[k] = q + y[k] * (r * z[k+10] + t * z[k+11]);
+}
+"""
+
+LL2_SRC = """
+# ICCG (incomplete Cholesky conjugate gradient), one inner sweep.
+# Stride-2: stores hit even cells, reads hit odd cells.
+param n; array x, v;
+for k = 0 to n step 2 {
+    x[k] = x[k] - v[k] * x[k+1] - v[k+1] * x[k+3];
+}
+"""
+
+LL3_SRC = """
+# Inner product: q += z[k]*x[k]  (scalar reduction)
+param q, n; array x, z;
+for k = 0 to n {
+    q = q + z[k] * x[k];
+}
+"""
+
+LL4_SRC = """
+# Banded linear equations: distance-5 recurrence through xs
+param n; array xs, y;
+for k = 0 to n {
+    xs[k+5] = xs[k+5] - xs[k] * y[k];
+}
+"""
+
+LL5_SRC = """
+# Tri-diagonal elimination, below diagonal: carried scalar xp
+param xp, n; array x, y, z;
+for k = 0 to n {
+    xp = z[k] * (y[k] - xp);
+    x[k] = xp;
+}
+"""
+
+LL6_SRC = """
+# General linear recurrence equations (simplified to its carried core)
+param w, n; array b, ww;
+for k = 0 to n {
+    w = 0.0100 + b[k] * w;
+    ww[k] = w;
+}
+"""
+
+LL7_SRC = """
+# Equation of state fragment: large vectorizable expression
+param q, r, t, n; array x, u, y, z;
+for k = 0 to n {
+    x[k] = u[k] + r * (z[k] + r * y[k])
+         + t * (u[k+3] + r * (u[k+2] + r * u[k+1])
+              + t * (u[k+6] + r * (u[k+5] + r * u[k+4])));
+}
+"""
+
+LL8_SRC = """
+# ADI integration fragment: two coupled updates, forward reads
+param a11, a12, a21, a22, n; array u1, u2, du1, du2;
+for k = 0 to n {
+    d1 = u1[k+1] - u1[k+2];
+    d2 = u2[k+1] - u2[k+2];
+    du1[k] = d1;
+    du2[k] = d2;
+    u1[k] = u1[k] + a11 * d1 + a12 * d2;
+    u2[k] = u2[k] + a21 * d1 + a22 * d2;
+}
+"""
+
+LL9_SRC = """
+# Integrate predictors: polynomial predictor, vectorizable
+param c0, c1, c2, c3, c4, c5, n; array px, py, pz;
+for k = 0 to n {
+    px[k] = c0 + c1*py[k] + c2*pz[k] + c3*py[k+1] + c4*pz[k+1]
+          + c5*py[k+2];
+}
+"""
+
+LL10_SRC = """
+# Difference predictors: cascade of partial differences (deep chain)
+param n; array cx, px0, px1, px2, px3, px4, px5;
+for k = 0 to n {
+    t1 = cx[k] - px0[k];
+    t2 = t1 - px0[k+1];
+    t3 = t2 - px0[k+2];
+    t4 = t3 - px0[k+3];
+    t5 = t4 - px0[k+4];
+    px1[k] = t1;
+    px2[k] = t2;
+    px3[k] = t3;
+    px4[k] = t4;
+    px5[k] = t5;
+    px0[k] = cx[k];
+}
+"""
+
+LL11_SRC = """
+# First sum (prefix sum) via a carried scalar
+param s, n; array x, y;
+for k = 0 to n {
+    s = s + y[k];
+    x[k] = s;
+}
+"""
+
+LL12_SRC = """
+# First difference: x[k] = y[k+1] - y[k]
+param n; array x, y;
+for k = 0 to n {
+    x[k] = y[k+1] - y[k];
+}
+"""
+
+LL13_SRC = """
+# 2-D particle in cell (core): indirect gather and scatter
+param n; array p, b, c, y, h;
+for k = 0 to n {
+    y[k] = p[k] + b[p[k]] + c[p[k]];
+    h[p[k]] = h[p[k]] + 1;
+}
+"""
+
+LL14_SRC = """
+# 1-D particle in cell (core): affine streams plus an indirect
+# (non-affine) read-modify-write scatter, which serializes.
+param flx, dex, n; array ex, xi, vx, ir;
+for k = 0 to n {
+    vx[k] = vx[k] + ex[ir[k]] + flx * xi[k];
+    xi[k] = xi[k] + vx[k];
+    ex[ir[k]] = ex[ir[k]] + dex;
+}
+"""
+
+_SOURCES: dict[str, str] = {
+    "LL1": LL1_SRC, "LL2": LL2_SRC, "LL3": LL3_SRC, "LL4": LL4_SRC,
+    "LL5": LL5_SRC, "LL6": LL6_SRC, "LL7": LL7_SRC, "LL8": LL8_SRC,
+    "LL9": LL9_SRC, "LL10": LL10_SRC, "LL11": LL11_SRC, "LL12": LL12_SRC,
+    "LL13": LL13_SRC, "LL14": LL14_SRC,
+}
+
+
+def kernel(name: str, n: int = 16) -> CountedLoop:
+    """Build one Livermore kernel with trip count ``n``."""
+    src = _SOURCES[name.upper()]
+    return compile_dsl(src, n, name=name.lower())
+
+
+def kernel_names() -> list[str]:
+    """Table-1 order."""
+    return [f"LL{i}" for i in range(1, 15)]
+
+
+def all_kernels(n: int = 16) -> dict[str, CountedLoop]:
+    return {name: kernel(name, n) for name in kernel_names()}
+
+
+def _make(name: str) -> Callable[[int], CountedLoop]:
+    def build(n: int = 16) -> CountedLoop:
+        return kernel(name, n)
+
+    build.__name__ = name.lower()
+    build.__doc__ = f"Livermore loop {name} with trip count ``n``."
+    return build
+
+
+ll1 = _make("LL1")
+ll2 = _make("LL2")
+ll3 = _make("LL3")
+ll4 = _make("LL4")
+ll5 = _make("LL5")
+ll6 = _make("LL6")
+ll7 = _make("LL7")
+ll8 = _make("LL8")
+ll9 = _make("LL9")
+ll10 = _make("LL10")
+ll11 = _make("LL11")
+ll12 = _make("LL12")
+ll13 = _make("LL13")
+ll14 = _make("LL14")

@@ -1,0 +1,185 @@
+"""Synthetic program generators for property-based testing and ablations.
+
+* :func:`random_straightline` -- random dependence DAGs realized as
+  three-address code: the workhorse of the "scheduling preserves
+  semantics" property tests.
+* :func:`random_counted_loop` -- random loop bodies (streams, constants
+  and optional reductions) for end-to-end pipelining properties.
+* :func:`chain_body` / :func:`wide_body` -- extreme shapes (one long
+  chain; fully parallel ops) whose optimal schedules are known in
+  closed form, used as oracle tests.
+* :func:`branchy_program` -- diamonds for conditional-jump motion
+  tests and the speculation ablation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..ir.builder import SequentialBuilder, straightline_graph
+from ..ir.cjtree import EXIT
+from ..ir.graph import ProgramGraph
+from ..ir.loops import CountedLoop, build_counted_loop
+from ..ir.operations import (
+    Operation,
+    OpKind,
+    add,
+    cjump,
+    cmp_lt,
+    const,
+    load,
+    mul,
+    store,
+    sub,
+)
+from ..ir.registers import Imm, Reg
+
+_ARITH = (OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.MIN, OpKind.MAX)
+
+
+def random_straightline(rng: random.Random, n_ops: int = 12, *,
+                        n_inputs: int = 4, store_every: int = 4,
+                        arrays: Sequence[str] = ("out",)) -> ProgramGraph:
+    """A random DAG as a chain of one-op nodes.
+
+    Each op reads registers produced earlier (or inputs) and writes a
+    fresh temp; every ``store_every`` ops the current value is stored,
+    so results are observable through memory.
+    """
+    inputs = [Reg(f"in{i}") for i in range(n_inputs)]
+    avail: list[Reg] = list(inputs)
+    ops: list[Operation] = []
+    slot = 0
+    for i in range(n_ops):
+        kind = rng.choice(_ARITH)
+        a = rng.choice(avail)
+        b = rng.choice(avail)
+        dest = Reg(f"v{i}")
+        ops.append(Operation(kind, dest, (a, b), name=f"o{i}", pos=i))
+        avail.append(dest)
+        if (i + 1) % store_every == 0:
+            arr = arrays[slot % len(arrays)]
+            ops.append(store(arr, dest, offset=slot, name=f"s{slot}",
+                             pos=i))
+            slot += 1
+    if not any(op.writes_memory for op in ops):
+        ops.append(store(arrays[0], avail[-1], offset=0, name="s_end",
+                         pos=n_ops))
+    return straightline_graph(ops)
+
+
+def random_counted_loop(rng: random.Random, *, name: str = "rand",
+                        n_stmts: int = 4, trip: int = 8,
+                        reduction: bool = False) -> CountedLoop:
+    """A random but well-formed counted loop.
+
+    Statements are stream updates ``dst[k] = f(src1[k+c1], src2[k+c2])``
+    over disjoint arrays (vectorizable); with ``reduction=True`` a
+    carried scalar accumulation is appended.
+    """
+    body: list[Operation] = []
+    temp = 0
+    pos = 0
+    n_arrays = max(2, n_stmts + 1)
+    arrays = [f"arr{i}" for i in range(n_arrays)]
+    for s in range(n_stmts):
+        src1 = arrays[rng.randrange(len(arrays))]
+        src2 = arrays[rng.randrange(len(arrays))]
+        dst = f"dst{s}"
+        off1 = rng.randrange(0, 3)
+        off2 = rng.randrange(0, 3)
+        t1, t2, t3 = f"t{temp}", f"t{temp+1}", f"t{temp+2}"
+        temp += 3
+        body.append(load(t1, src1, index="k", offset=off1, affine=off1,
+                         name=f"ld{pos}", pos=pos)); pos += 1
+        body.append(load(t2, src2, index="k", offset=off2, affine=off2,
+                         name=f"ld{pos}", pos=pos)); pos += 1
+        kind = rng.choice(_ARITH)
+        body.append(Operation(kind, Reg(t3), (Reg(t1), Reg(t2)),
+                              name=f"op{pos}", pos=pos)); pos += 1
+        body.append(store(dst, t3, index="k", affine=0,
+                          name=f"st{pos}", pos=pos)); pos += 1
+    carried: list[str] = []
+    epilogue: list[Operation] = []
+    if reduction:
+        body.append(add("acc", "acc", Reg(f"t{temp-1}"),
+                        name="red", pos=pos)); pos += 1
+        carried.append("acc")
+        epilogue.append(store("_scalars", "acc", offset=0, name="out_acc"))
+    return build_counted_loop(
+        name, [const("k", 0, name="init")], body, "k", trip,
+        carried=carried, epilogue=epilogue)
+
+
+def chain_body(length: int) -> list[Operation]:
+    """One serial dependence chain (optimal schedule = length cycles)."""
+    ops = [add("c0", "x", 1, name="c0", pos=0)]
+    for i in range(1, length):
+        ops.append(add(f"c{i}", f"c{i-1}", 1, name=f"c{i}", pos=i))
+    ops.append(store("out", f"c{length-1}", offset=0, name="sink",
+                     pos=length))
+    return ops
+
+
+def wide_body(width: int) -> list[Operation]:
+    """Fully independent ops (optimal = ceil(width/fus) cycles + stores)."""
+    ops: list[Operation] = []
+    for i in range(width):
+        ops.append(add(f"w{i}", f"x{i}", 1, name=f"w{i}", pos=i))
+    for i in range(width):
+        ops.append(store("out", f"w{i}", offset=i, name=f"s{i}",
+                         pos=width + i))
+    return ops
+
+
+def branchy_program(rng: random.Random | None = None, *,
+                    depth: int = 1) -> ProgramGraph:
+    """Nested diamonds: compare, branch, per-side work, merged store.
+
+    Used by move-cj tests and the speculation ablation.  ``depth``
+    stacks diamonds sequentially.
+    """
+    rng = rng or random.Random(0)
+    b = SequentialBuilder()
+    g = b.graph
+    prev_tail: list[tuple[int, int]] = []  # (node, leaf) edges to wire
+    pos = 0
+    first = None
+    for d in range(depth):
+        n_cmp = g.new_node()
+        n_cmp.add_op(cmp_lt(f"c{d}", f"a{d}", f"b{d}", name=f"k{d}", pos=pos))
+        pos += 1
+        if first is None:
+            first = n_cmp.nid
+            g.set_entry(n_cmp.nid)
+        for node, leaf in prev_tail:
+            g.retarget_leaf(node, leaf, n_cmp.nid)
+        prev_tail = []
+        cj = cjump(f"c{d}", name=f"j{d}", pos=pos)
+        pos += 1
+        n_cj = g.new_node()
+        from ..ir.cjtree import Branch, make_leaf
+
+        tl, fl = make_leaf(EXIT), make_leaf(EXIT)
+        n_cj.tree = Branch(cj.uid, tl, fl)
+        n_cj.cjs[cj.uid] = cj
+        g.note_tree_change(n_cj.nid)
+        g.retarget_leaf(n_cmp.nid, n_cmp.leaves()[0].leaf_id, n_cj.nid)
+        # Then/else sides.
+        n_t = g.new_node()
+        n_t.add_op(add(f"v{d}", f"a{d}", 1, name=f"t{d}", pos=pos))
+        pos += 1
+        n_e = g.new_node()
+        n_e.add_op(sub(f"v{d}", f"b{d}", 1, name=f"e{d}", pos=pos))
+        pos += 1
+        g.retarget_leaf(n_cj.nid, tl.leaf_id, n_t.nid)
+        g.retarget_leaf(n_cj.nid, fl.leaf_id, n_e.nid)
+        n_s = g.new_node()
+        n_s.add_op(store("out", f"v{d}", offset=d, name=f"s{d}", pos=pos))
+        pos += 1
+        g.retarget_leaf(n_t.nid, n_t.leaves()[0].leaf_id, n_s.nid)
+        g.retarget_leaf(n_e.nid, n_e.leaves()[0].leaf_id, n_s.nid)
+        prev_tail = [(n_s.nid, n_s.leaves()[0].leaf_id)]
+    g.check()
+    return g

@@ -1,0 +1,202 @@
+"""Unit tests for liveness, dominators, dependence, and chains."""
+
+import pytest
+
+from repro.analysis import (
+    DepKind,
+    anti_dep,
+    build_dag,
+    chain_lengths,
+    critical_cycle_ratio,
+    dependent_counts,
+    dominators,
+    liveness,
+    mem_conflict,
+    output_dep,
+    true_dep,
+)
+from repro.analysis.livequery import reg_live_at_entry
+from repro.ir import (
+    MemRef,
+    Reg,
+    add,
+    load,
+    mul,
+    store,
+    straightline_graph,
+    sub,
+)
+from repro.ir.builder import simple_loop
+
+
+class TestDependencePredicates:
+    def test_register_true_dep(self):
+        a = add("x", "p", "q")
+        b = mul("y", "x", "r")
+        assert true_dep(a, b)
+        assert not true_dep(b, a)
+
+    def test_anti_dep(self):
+        a = mul("y", "x", "r")
+        b = add("x", "p", "q")
+        assert anti_dep(a, b)
+
+    def test_output_dep(self):
+        a = add("x", "p", "q")
+        b = sub("x", "r", "s")
+        assert output_dep(a, b)
+
+    def test_memory_true_dep(self):
+        st = store("arr", "v", index="k", affine=0)
+        ld = load("d", "arr", index="k", affine=0)
+        assert true_dep(st, ld)
+
+    def test_memory_disjoint_affine(self):
+        st = store("arr", "v", index="k", affine=0)
+        ld = load("d", "arr", index="k", offset=1, affine=1)
+        assert not true_dep(st, ld)
+
+    def test_memory_different_arrays(self):
+        st = store("a1", "v", index="k")
+        ld = load("d", "a2", index="k")
+        assert not true_dep(st, ld)
+
+    def test_memory_unknown_index_conservative(self):
+        st = store("arr", "v", index="i")
+        ld = load("d", "arr", index="j")
+        assert mem_conflict(st.mem, ld.mem)
+
+    def test_same_index_reg_different_offsets(self):
+        a = MemRef("arr", Reg("k"), 0, None)
+        b = MemRef("arr", Reg("k"), 1, None)
+        assert not mem_conflict(a, b)
+
+
+class TestDependenceDAG:
+    def test_chain_edges(self):
+        ops = [add("a", "x", 1), mul("b", "a", 2), sub("c", "b", 3)]
+        dag = build_dag(ops)
+        assert dag.true_succs(ops[0].uid) == [ops[1].uid]
+        assert dag.true_succs(ops[1].uid) == [ops[2].uid]
+
+    def test_transitive_pruning(self):
+        # a writes x; b rewrites x; c reads x -> only b->c flows.
+        ops = [add("x", "p", 1), add("x", "q", 2), mul("y", "x", 3)]
+        dag = build_dag(ops)
+        assert ops[2].uid not in dag.true_succs(ops[0].uid)
+        assert ops[2].uid in dag.true_succs(ops[1].uid)
+
+    def test_loop_carried_register(self):
+        ops = [add("q", "q", "x"), mul("y", "q", 2)]
+        dag = build_dag(ops, loop=True)
+        carried = [e for e in dag.carried_edges() if e.kind is DepKind.TRUE]
+        assert any(e.src == ops[0].uid and e.dst == ops[0].uid
+                   for e in carried)
+
+    def test_loop_carried_memory_distance(self):
+        ops = [
+            load("t", "x", index="k", affine=0),
+            store("x", "t", index="k", offset=5, affine=5),
+        ]
+        dag = build_dag(ops, loop=True)
+        carried = [e for e in dag.carried_edges() if e.kind is DepKind.TRUE]
+        assert carried and carried[0].distance == 5
+
+    def test_critical_cycle_ratio_chain(self):
+        # self-recurrence of 1 op at distance 1 -> ratio 1
+        ops = [add("q", "q", 1)]
+        dag = build_dag(ops, loop=True)
+        assert critical_cycle_ratio(dag) == pytest.approx(1.0, abs=1e-6)
+
+    def test_critical_cycle_ratio_two_op_cycle(self):
+        ops = [add("d", "e", 1), add("e", "d", 1)]
+        dag = build_dag(ops, loop=True)
+        assert critical_cycle_ratio(dag) == pytest.approx(2.0, abs=1e-6)
+
+
+class TestChains:
+    def test_chain_lengths(self):
+        ops = [add("a", "x", 1), mul("b", "a", 2), sub("c", "b", 3),
+               add("z", "y", 1)]
+        dag = build_dag(ops)
+        lens = chain_lengths(dag)
+        assert lens[ops[0].uid] == 3
+        assert lens[ops[2].uid] == 1
+        assert lens[ops[3].uid] == 1
+
+    def test_dependent_counts(self):
+        ops = [add("a", "x", 1), mul("b", "a", 2), sub("c", "a", 3)]
+        dag = build_dag(ops)
+        deps = dependent_counts(dag)
+        assert deps[ops[0].uid] == 2
+        assert deps[ops[1].uid] == 0
+
+
+class TestLiveness:
+    def test_straightline_liveness(self):
+        ops = [add("a", "x", 1), mul("b", "a", 2), store("out", "b")]
+        g = straightline_graph(ops)
+        live = liveness(g)
+        order = g.rpo()
+        assert Reg("x") in live.live_at_entry(order[0])
+        assert Reg("a") in live.live_at_entry(order[1])
+        assert Reg("a") not in live.live_at_entry(order[2])
+
+    def test_exit_live(self):
+        ops = [add("a", "x", 1)]
+        g = straightline_graph(ops)
+        live = liveness(g, exit_live=frozenset({Reg("a")}))
+        assert live.dest_dead_after(g.rpo()[0],
+                                    next(iter(g.nodes[g.rpo()[0]].ops))) \
+            is False
+
+    def test_dead_dest(self):
+        ops = [add("a", "x", 1), add("b", "y", 1), store("out", "b")]
+        g = straightline_graph(ops)
+        live = liveness(g)
+        first = g.rpo()[0]
+        uid = next(iter(g.nodes[first].ops))
+        assert live.dest_dead_after(first, uid)
+
+    def test_loop_liveness_fixed_point(self):
+        loop = simple_loop([add("q", "q", 1), mul("y", "q", 2)])
+        live = liveness(loop.graph)
+        # q is live around the back edge.
+        assert Reg("q") in live.live_at_entry(loop.header)
+
+    def test_livequery_agrees_with_batch(self):
+        ops = [add("a", "x", 1), mul("b", "a", 2), store("out", "b")]
+        g = straightline_graph(ops)
+        live = liveness(g)
+        for nid in g.nodes:
+            for reg in (Reg("x"), Reg("a"), Reg("b"), Reg("zz")):
+                assert reg_live_at_entry(g, nid, reg) == \
+                    (reg in live.live_at_entry(nid)), (nid, reg)
+
+
+class TestDominators:
+    def test_chain_dominators(self):
+        g = straightline_graph([add("a", "x", 1), add("b", "a", 1),
+                                add("c", "b", 1)])
+        dom = dominators(g)
+        order = g.rpo()
+        assert dom.dominates(order[0], order[2])
+        assert not dom.dominates(order[2], order[0])
+        assert dom.dominated_set(order[1]) == frozenset(order[1:])
+
+    def test_diamond_join_dominated_by_fork(self):
+        from tests.ir.test_instruction_graph import diamond
+
+        g, (n1, n2, nt, ne, nm) = diamond()
+        dom = dominators(g)
+        assert dom.dominates(n2.nid, nm.nid)
+        assert not dom.dominates(nt.nid, nm.nid)
+
+    def test_region_below_matches_dominated(self):
+        """Forward reachability equals dominance on unwound chains."""
+        from repro.percolation import region_below
+
+        g = straightline_graph([add(f"v{i}", "x", i) for i in range(6)])
+        dom = dominators(g)
+        for nid in g.nodes:
+            assert set(region_below(g, nid)) == set(dom.dominated_set(nid))

@@ -1,0 +1,79 @@
+"""Integration tests: DSL -> lowering -> pipelining -> simulation."""
+
+import pytest
+
+from repro.frontend import compile_dsl
+from repro.machine import MachineConfig
+from repro.pipelining import pipeline_loop, pipeline_loop_post
+from repro.reporting import SpeedupTable, weighted_harmonic_mean
+from repro.scheduling import GRiPScheduler
+from repro.simulator import check_equivalent
+from repro.workloads import livermore
+
+
+class TestLivermoreEndToEnd:
+    """Each kernel: compile, unwind, schedule, verify memory, measure."""
+
+    @pytest.mark.parametrize("name", livermore.kernel_names())
+    def test_kernel_pipeline_verified(self, name):
+        unroll = 8
+        loop = livermore.kernel(name, unroll)
+        res = pipeline_loop(loop, MachineConfig(fus=4), unroll=unroll,
+                            verify=True)
+        assert res.measured_speedup is not None
+        assert res.measured_speedup > 1.0, name
+
+    @pytest.mark.parametrize("name", ["LL1", "LL3", "LL12"])
+    def test_grip_at_least_post(self, name):
+        unroll = 12
+        g = pipeline_loop(livermore.kernel(name, unroll),
+                          MachineConfig(fus=4), unroll=unroll, measure=False)
+        p = pipeline_loop_post(livermore.kernel(name, unroll),
+                               MachineConfig(fus=4), unroll=unroll)
+        assert g.speedup is not None and p.speedup is not None
+        assert g.speedup >= p.speedup - 1e-9
+
+    def test_two_fu_speedups_near_two(self):
+        """Paper Table 1: at 2 FUs GRiP is essentially optimal (mean 2.0)."""
+        vals = []
+        for name in ("LL1", "LL2", "LL7", "LL9"):
+            res = pipeline_loop(livermore.kernel(name, 8),
+                                MachineConfig(fus=2), unroll=8,
+                                measure=False)
+            assert res.speedup is not None
+            vals.append(res.speedup)
+        assert weighted_harmonic_mean(vals) == pytest.approx(2.0, abs=0.15)
+
+    def test_recurrence_loops_capped(self):
+        """LL6-style recurrences cannot scale with FUs (paper: 3.6 flat)."""
+        s4 = pipeline_loop(livermore.kernel("LL6", 12), MachineConfig(fus=4),
+                           unroll=12, measure=False).speedup
+        s8 = pipeline_loop(livermore.kernel("LL6", 16), MachineConfig(fus=8),
+                           unroll=16, measure=False).speedup
+        assert s4 is not None and s8 is not None
+        assert s8 <= s4 + 0.25  # no scaling from 4 to 8 FUs
+
+
+class TestSpeedupTable:
+    def test_table_renders_with_aggregates(self):
+        t = SpeedupTable(fu_configs=(2,), systems=("GRiP", "POST"))
+        t.add("LL1", 2, "GRiP", 2.0, weight=12)
+        t.add("LL1", 2, "POST", 1.8, weight=12)
+        t.add("LL2", 2, "GRiP", 1.9, weight=10)
+        t.add("LL2", 2, "POST", None, weight=10)
+        text = t.render()
+        assert "Mean" in text and "WHM" in text and "n/c" in text
+
+
+class TestSchedulerOnLoweredCode:
+    def test_grip_compacts_lowered_body(self):
+        loop = compile_dsl(
+            "param q, n; array x, y, z; "
+            "for k = 0 to n { x[k] = q + y[k] * z[k]; }", 6)
+        g = loop.graph
+        orig = g.clone()
+        GRiPScheduler(MachineConfig(fus=4),
+                      gap_prevention=False).schedule(g)
+        g.check()
+        check_equivalent(orig, g)
+        assert len(g.reachable()) < len(orig.reachable())

@@ -1,0 +1,107 @@
+"""Unit tests for conditional-jump trees."""
+
+import pytest
+
+from repro.ir import cjump
+from repro.ir.cjtree import (
+    Branch,
+    EXIT,
+    Leaf,
+    depth,
+    find_leaf,
+    iter_branches,
+    iter_leaves,
+    leaf_ids,
+    leaves_under,
+    make_leaf,
+    refresh_leaf_ids,
+    remove_branch,
+    replace_leaf,
+    retarget_all,
+    retarget_leaf,
+    subtree_of,
+)
+
+
+def two_level():
+    """(cj1? (cj2? L1 : L2) : L3) with targets 11,12,13."""
+    cj1, cj2 = cjump("a"), cjump("b")
+    l1, l2, l3 = make_leaf(11), make_leaf(12), make_leaf(13)
+    tree = Branch(cj1.uid, Branch(cj2.uid, l1, l2), l3)
+    return tree, (cj1, cj2), (l1, l2, l3)
+
+
+class TestStructure:
+    def test_single_leaf(self):
+        l = make_leaf(EXIT)
+        assert list(iter_leaves(l)) == [l]
+        assert depth(l) == 0
+
+    def test_leaf_ids_unique(self):
+        a, b = make_leaf(1), make_leaf(1)
+        assert a.leaf_id != b.leaf_id
+
+    def test_iter_leaves_order(self):
+        tree, _, (l1, l2, l3) = two_level()
+        assert [l.leaf_id for l in iter_leaves(tree)] == \
+            [l1.leaf_id, l2.leaf_id, l3.leaf_id]
+
+    def test_iter_branches(self):
+        tree, (cj1, cj2), _ = two_level()
+        assert [b.cj_uid for b in iter_branches(tree)] == [cj1.uid, cj2.uid]
+
+    def test_depth(self):
+        tree, _, _ = two_level()
+        assert depth(tree) == 2
+
+    def test_leaves_under(self):
+        tree, (cj1, cj2), (l1, l2, l3) = two_level()
+        assert leaves_under(tree, cj1.uid, True) == \
+            frozenset({l1.leaf_id, l2.leaf_id})
+        assert leaves_under(tree, cj1.uid, False) == frozenset({l3.leaf_id})
+        assert leaves_under(tree, cj2.uid, True) == frozenset({l1.leaf_id})
+
+
+class TestSurgery:
+    def test_retarget_leaf(self):
+        tree, _, (l1, _, _) = two_level()
+        new = retarget_leaf(tree, l1.leaf_id, 99)
+        assert find_leaf(new, l1.leaf_id).target == 99
+        # original untouched (immutability)
+        assert find_leaf(tree, l1.leaf_id).target == 11
+
+    def test_retarget_all(self):
+        tree = Branch(cjump("c").uid, make_leaf(5), make_leaf(5))
+        new = retarget_all(tree, 5, 7)
+        assert all(l.target == 7 for l in iter_leaves(new))
+
+    def test_replace_leaf_with_branch(self):
+        tree, _, (l1, _, _) = two_level()
+        cj3 = cjump("c")
+        graft = Branch(cj3.uid, make_leaf(21), make_leaf(22))
+        new = replace_leaf(tree, l1.leaf_id, graft)
+        assert subtree_of(new, cj3.uid) is not None
+        assert len(leaf_ids(new)) == 4
+
+    def test_replace_missing_leaf_raises(self):
+        tree, _, _ = two_level()
+        with pytest.raises(KeyError):
+            replace_leaf(tree, 10**9, make_leaf(1))
+
+    def test_remove_branch_keep_true(self):
+        tree, (cj1, cj2), (l1, l2, l3) = two_level()
+        new = remove_branch(tree, cj2.uid, keep_true=True)
+        assert leaf_ids(new) == frozenset({l1.leaf_id, l3.leaf_id})
+
+    def test_remove_root_branch(self):
+        tree, (cj1, _), (l1, l2, _) = two_level()
+        new = remove_branch(tree, cj1.uid, keep_true=True)
+        assert leaf_ids(new) == frozenset({l1.leaf_id, l2.leaf_id})
+
+    def test_refresh_leaf_ids(self):
+        tree, _, (l1, l2, l3) = two_level()
+        new, mapping = refresh_leaf_ids(tree)
+        assert set(mapping) == {l1.leaf_id, l2.leaf_id, l3.leaf_id}
+        assert leaf_ids(new).isdisjoint(leaf_ids(tree))
+        # Targets preserved.
+        assert sorted(l.target for l in iter_leaves(new)) == [11, 12, 13]

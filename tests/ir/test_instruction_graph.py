@@ -1,0 +1,224 @@
+"""Unit tests for instructions and program graphs."""
+
+import pytest
+
+from repro.ir import (
+    EXIT,
+    ProgramGraph,
+    SequentialBuilder,
+    add,
+    cjump,
+    cmp_lt,
+    mul,
+    store,
+    straightline_graph,
+    sub,
+)
+
+
+def diamond():
+    """cmp; cj -> (then: t) / (else: e); both -> merge(store)."""
+    g = ProgramGraph()
+    n1 = g.new_node()
+    n1.add_op(cmp_lt("c", "a", "b", name="K"))
+    g.set_entry(n1.nid)
+    cj = cjump("c", name="J")
+    n2 = g.new_node()
+    from repro.ir.cjtree import Branch, make_leaf
+
+    tl, fl = make_leaf(EXIT), make_leaf(EXIT)
+    n2.tree = Branch(cj.uid, tl, fl)
+    n2.cjs[cj.uid] = cj
+    g.note_tree_change(n2.nid)
+    g.retarget_leaf(n1.nid, n1.leaves()[0].leaf_id, n2.nid)
+    nt = g.new_node()
+    nt.add_op(add("v", "a", 1, name="T"))
+    ne = g.new_node()
+    ne.add_op(sub("v", "b", 1, name="E"))
+    g.retarget_leaf(n2.nid, tl.leaf_id, nt.nid)
+    g.retarget_leaf(n2.nid, fl.leaf_id, ne.nid)
+    nm = g.new_node()
+    nm.add_op(store("out", "v", name="S"))
+    g.retarget_leaf(nt.nid, nt.leaves()[0].leaf_id, nm.nid)
+    g.retarget_leaf(ne.nid, ne.leaves()[0].leaf_id, nm.nid)
+    g.check()
+    return g, (n1, n2, nt, ne, nm)
+
+
+class TestInstruction:
+    def test_add_remove_op(self):
+        g = ProgramGraph()
+        n = g.new_node()
+        op = add("d", "a", "b")
+        n.add_op(op)
+        assert n.op_count() == 1
+        assert n.paths_of(op.uid) == n.all_paths
+        n.remove_op(op.uid)
+        assert n.is_empty()
+
+    def test_add_duplicate_uid_rejected(self):
+        g = ProgramGraph()
+        n = g.new_node()
+        op = add("d", "a", "b")
+        n.add_op(op)
+        with pytest.raises(ValueError):
+            n.add_op(op)
+
+    def test_path_subset_placement(self):
+        g, (n1, n2, nt, ne, nm) = diamond()
+        leaves = n2.leaves()
+        op = add("z", "a", 2)
+        n2.add_op(op, frozenset({leaves[0].leaf_id}))
+        assert n2.paths_of(op.uid) == frozenset({leaves[0].leaf_id})
+        n2.check()
+
+    def test_bad_paths_rejected(self):
+        g = ProgramGraph()
+        n = g.new_node()
+        with pytest.raises(ValueError):
+            n.add_op(add("d", "a", "b"), frozenset({999}))
+
+    def test_two_writers_same_path_detected(self):
+        g = ProgramGraph()
+        n = g.new_node()
+        n.add_op(add("d", "a", "b"))
+        n.add_op(add("d", "a", "c"))
+        with pytest.raises(AssertionError):
+            n.check()
+
+    def test_find_identical(self):
+        g = ProgramGraph()
+        n = g.new_node()
+        op = add("d", "a", "b")
+        n.add_op(op)
+        twin = add("d", "a", "b")
+        assert n.find_identical(twin) is op
+        assert n.find_identical(add("d", "a", "c")) is None
+
+    def test_clone_with_map(self):
+        g, (n1, n2, nt, ne, nm) = diamond()
+        dup, uid_map = n2.clone_with_map(999)
+        assert set(uid_map) == set(n2.cjs) | set(n2.ops)
+        assert dup.leaf_ids().isdisjoint(n2.leaf_ids())
+        assert [l.target for l in dup.leaves()] == \
+            [l.target for l in n2.leaves()]
+
+    def test_cjs_on_path(self):
+        g, (n1, n2, nt, ne, nm) = diamond()
+        leaf = n2.leaves()[0]
+        assert [op.name for op in n2.cjs_on(leaf.leaf_id)] == ["J"]
+
+
+class TestGraph:
+    def test_straightline_structure(self):
+        g = straightline_graph([add("a", "x", 1), add("b", "a", 1)])
+        assert len(g.nodes) == 2
+        order = g.rpo()
+        assert g.successors(order[0]) == [order[1]]
+        assert g.predecessors(order[1]) == frozenset({order[0]})
+
+    def test_preds_maintained_on_retarget(self):
+        g, (n1, n2, nt, ne, nm) = diamond()
+        assert g.predecessors(nm.nid) == frozenset({nt.nid, ne.nid})
+        g.retarget_all_edges(nt.nid, nm.nid, EXIT)
+        assert g.predecessors(nm.nid) == frozenset({ne.nid})
+
+    def test_split_for_edge(self):
+        g, (n1, n2, nt, ne, nm) = diamond()
+        new_nid, uid_map = g.split_for_edge(nt.nid, nm.nid)
+        g.check()
+        # nt now points at the copy; ne keeps the original.
+        assert g.successors(nt.nid) == [new_nid]
+        assert g.successors(ne.nid) == [nm.nid]
+        assert g.predecessors(nm.nid) == frozenset({ne.nid})
+        assert g.predecessors(new_nid) == frozenset({nt.nid})
+
+    def test_delete_empty_node(self):
+        g = straightline_graph([add("a", "x", 1), add("b", "a", 1)])
+        order = g.rpo()
+        mid = g.nodes[order[1]]
+        op_uid = next(iter(mid.ops))
+        mid.remove_op(op_uid)
+        assert g.delete_empty_node(order[1])
+        assert order[1] not in g.nodes
+
+    def test_delete_entry_moves_forward(self):
+        g = straightline_graph([add("a", "x", 1), add("b", "a", 1)])
+        first = g.entry
+        g.nodes[first].remove_op(next(iter(g.nodes[first].ops)))
+        assert g.delete_empty_node(first)
+        assert g.entry != first and g.entry in g.nodes
+
+    def test_delete_nonempty_refused(self):
+        g = straightline_graph([add("a", "x", 1)])
+        assert not g.delete_empty_node(g.entry)
+
+    def test_rpo_topological_on_dag(self):
+        g, (n1, n2, nt, ne, nm) = diamond()
+        order = g.rpo()
+        pos = {nid: i for i, nid in enumerate(order)}
+        for src, dst in g.edges():
+            if dst != EXIT:
+                assert pos[src] < pos[dst]
+
+    def test_clone_preserves_identity(self):
+        g, _ = diamond()
+        c = g.clone()
+        c.check()
+        assert set(c.nodes) == set(g.nodes)
+        for nid in g.nodes:
+            assert set(c.nodes[nid].ops) == set(g.nodes[nid].ops)
+            assert c.nodes[nid].leaf_ids() == g.nodes[nid].leaf_ids()
+
+    def test_clone_isolated_mutation(self):
+        g, (n1, *_ ) = diamond()
+        c = g.clone()
+        c.nodes[n1.nid].add_op(add("zz", "a", "a"))
+        assert len(g.nodes[n1.nid].ops) == 1
+
+    def test_template_index(self):
+        g = straightline_graph([add("a", "x", 1, name="A")])
+        (nid, op), = list(g.all_operations())
+        idx = g.template_index()
+        assert idx[op.tid] == [(nid, op.uid)]
+
+    def test_template_index_invalidation(self):
+        g = straightline_graph([add("a", "x", 1), add("b", "a", 1)])
+        g.template_index()
+        order = g.rpo()
+        first = g.nodes[order[0]]
+        op = add("z", "x", 2)
+        first.add_op(op)
+        g._touch()
+        assert op.tid in g.template_index()
+
+    def test_drop_unreachable(self):
+        g = straightline_graph([add("a", "x", 1)])
+        orphan = g.new_node()
+        orphan.add_op(add("q", "x", 3))
+        g.note_tree_change(orphan.nid)
+        dead = g.drop_unreachable()
+        assert orphan.nid in dead
+
+
+class TestBuilder:
+    def test_cjump_chain(self):
+        b = SequentialBuilder()
+        b.append(cmp_lt("c", "a", "b"))
+        n = b.append_cjump(cjump("c"), true_target=EXIT)
+        tail = b.append(add("z", "a", 1))
+        g = b.graph
+        g.check()
+        # false side of the cjump falls through to the tail
+        leaves = n.leaves()
+        assert leaves[0].target == EXIT
+        assert leaves[1].target == tail.nid
+
+    def test_close_loop(self):
+        b = SequentialBuilder()
+        first = b.append(add("a", "a", 1))
+        b.append(add("b", "a", 1))
+        b.close_loop(first.nid)
+        g = b.graph
+        g.check()
+        assert first.nid in g.successors(b.tail.nid)

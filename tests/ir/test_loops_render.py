@@ -1,0 +1,103 @@
+"""Unit tests for counted-loop construction and rendering."""
+
+import pytest
+
+from repro.ir import Imm, Reg, add, const, load, mul, store
+from repro.ir.loops import build_counted_loop
+from repro.ir.render import render_graph, render_node, schedule_table, to_dot
+from repro.simulator import MachineState, run
+
+
+def make_loop(n=4, epilogue=False):
+    body = [load("v", "y", index="k", affine=0, name="ld"),
+            add("q", "q", "v", name="acc")]
+    epi = [store("_scalars", "q", offset=0, name="out_q")] if epilogue else []
+    return build_counted_loop("t", [const("k", 0, name="init")], body,
+                              "k", n, carried=["q"], epilogue=epi)
+
+
+class TestCountedLoop:
+    def test_shape(self):
+        loop = make_loop()
+        loop.graph.check()
+        assert loop.counter == Reg("k")
+        assert loop.bound == Imm(4)
+        assert loop.ops_per_iteration == 2 + 3
+
+    def test_control_ops_present(self):
+        loop = make_loop()
+        assert [op.name for op in loop.control_ops] == ["inc", "cmp", "br"]
+
+    def test_back_edge(self):
+        loop = make_loop()
+        cj_node = next(nid for nid, node in loop.graph.nodes.items()
+                       if node.cjs)
+        succs = loop.graph.nodes[cj_node].successors()
+        assert loop.header in succs
+
+    def test_executes_trip_count(self):
+        loop = make_loop(n=5)
+        st = MachineState()
+        st.regs["q"] = 0.0
+        r = run(loop.graph, st)
+        assert r.exited
+        total = sum(st.read_mem("y", k) for k in range(5))
+        assert st.regs["q"] == pytest.approx(total)
+
+    def test_epilogue_runs_after_exit(self):
+        loop = make_loop(n=3, epilogue=True)
+        st = MachineState()
+        st.regs["q"] = 0.0
+        run(loop.graph, st)
+        total = sum(st.read_mem("y", k) for k in range(3))
+        assert st.mem[("_scalars", 0)] == pytest.approx(total)
+
+    def test_positions_stamped(self):
+        loop = make_loop()
+        positions = [op.pos for op in loop.preheader_ops + loop.body_ops]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+
+class TestRendering:
+    def test_render_node_lists_ops(self):
+        loop = make_loop()
+        text = render_node(loop.graph.nodes[loop.header])
+        assert "ld" in text
+
+    def test_render_graph_covers_reachable(self):
+        loop = make_loop()
+        text = render_graph(loop.graph)
+        for nid in loop.graph.rpo():
+            assert f"n{nid}:" in text
+
+    def test_schedule_table_columns(self):
+        from repro.pipelining import unwind_counted
+
+        u = unwind_counted(make_loop(n=3), 3)
+        table = schedule_table(u.graph)
+        header = table.splitlines()[1]
+        assert header.split()[-3:] == ["0", "1", "2"]
+
+    def test_to_dot_wellformed(self):
+        loop = make_loop()
+        dot = to_dot(loop.graph)
+        assert dot.startswith("digraph") and dot.rstrip().endswith("}")
+        assert "exit" in dot
+
+
+class TestCLI:
+    def test_kernels_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "LL1" in out and "LL14" in out
+
+    def test_pipeline_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["pipeline", "LL12", "--fus", "2",
+                     "--unroll", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out

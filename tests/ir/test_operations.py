@@ -1,0 +1,124 @@
+"""Unit tests for the operation model."""
+
+import pytest
+
+from repro.ir import (
+    Imm,
+    MemRef,
+    OpKind,
+    Operation,
+    Reg,
+    add,
+    cjump,
+    cmp_lt,
+    const,
+    copy,
+    load,
+    mul,
+    store,
+)
+
+
+class TestConstruction:
+    def test_add_shape(self):
+        op = add("d", "a", "b")
+        assert op.kind is OpKind.ADD
+        assert op.dest == Reg("d")
+        assert op.srcs == (Reg("a"), Reg("b"))
+
+    def test_immediate_source(self):
+        op = add("d", "a", 3)
+        assert op.srcs[1] == Imm(3)
+
+    def test_load_shape(self):
+        op = load("d", "arr", index="k", offset=2, affine=2)
+        assert op.reads_memory and not op.writes_memory
+        assert op.mem.array == "arr"
+        assert op.mem.offset == 2 and op.mem.affine == 2
+
+    def test_store_shape(self):
+        op = store("arr", "v", index="k")
+        assert op.writes_memory and op.dest is None
+        assert op.srcs == (Reg("v"),)
+
+    def test_cjump_shape(self):
+        op = cjump("c")
+        assert op.is_cjump and op.dest is None
+
+    def test_malformed_store_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.STORE, Reg("d"), (Reg("v"),),
+                      MemRef("a", None, 0))
+
+    def test_malformed_binary_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.ADD, Reg("d"), (Reg("a"),))
+
+    def test_malformed_const_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.CONST, Reg("d"), (Reg("a"),))
+
+
+class TestIdentity:
+    def test_uid_unique(self):
+        a, b = add("d", "a", "b"), add("d", "a", "b")
+        assert a.uid != b.uid
+
+    def test_tid_defaults_to_uid(self):
+        op = add("d", "a", "b")
+        assert op.tid == op.uid
+
+    def test_duplicate_preserves_template(self):
+        op = add("d", "a", "b")
+        dup = op.duplicate()
+        assert dup.tid == op.tid and dup.uid != op.uid
+
+    def test_with_dest_preserves_template(self):
+        op = add("d", "a", "b")
+        renamed = op.with_dest(Reg("x"))
+        assert renamed.tid == op.tid
+        assert renamed.dest == Reg("x")
+
+
+class TestDataflow:
+    def test_uses_include_memory_index(self):
+        op = load("d", "arr", index="k", offset=1)
+        assert op.uses() == frozenset({Reg("k")})
+
+    def test_store_uses_value_and_index(self):
+        op = store("arr", "v", index="k")
+        assert op.uses() == frozenset({Reg("v"), Reg("k")})
+
+    def test_defs(self):
+        assert add("d", "a", "b").defs() == frozenset({Reg("d")})
+        assert store("arr", "v").defs() == frozenset()
+
+    def test_immediates_not_used(self):
+        op = add("d", "a", 1)
+        assert op.uses() == frozenset({Reg("a")})
+
+    def test_substitute_use(self):
+        op = mul("d", "a", "b")
+        sub = op.substitute_use(Reg("a"), Reg("x"))
+        assert sub.srcs == (Reg("x"), Reg("b"))
+        assert sub.tid == op.tid
+
+    def test_substitute_use_in_memory_index(self):
+        op = load("d", "arr", index="k")
+        sub = op.substitute_use(Reg("k"), Reg("k2"))
+        assert sub.mem.index == Reg("k2")
+
+    def test_substitute_immediate(self):
+        op = add("d", "a", "b")
+        sub = op.substitute_use(Reg("b"), Imm(5))
+        assert sub.srcs == (Reg("a"), Imm(5))
+
+    def test_side_effects(self):
+        assert store("a", "v").has_side_effect
+        assert cjump("c").has_side_effect
+        assert not add("d", "a", "b").has_side_effect
+        assert not copy("d", "s").has_side_effect
+
+    def test_copy_flag(self):
+        assert copy("d", "s").is_copy
+        assert not const("d", 3).is_copy

@@ -1,0 +1,67 @@
+"""Unit tests for the machine model."""
+
+from repro.ir import OpKind, ProgramGraph, add, cjump, load, nop, store
+from repro.machine import FUClass, INFINITE_RESOURCES, MachineConfig
+
+
+def node_with(*ops):
+    g = ProgramGraph()
+    n = g.new_node()
+    for op in ops:
+        n.add_op(op)
+    return n
+
+
+class TestBudgets:
+    def test_total_budget(self):
+        m = MachineConfig(fus=2)
+        n = node_with(add("a", "x", 1))
+        assert m.can_accept(n, add("b", "x", 2))
+        n.add_op(add("b", "x", 2))
+        assert not m.can_accept(n, add("c", "x", 3))
+
+    def test_room(self):
+        m = MachineConfig(fus=4)
+        n = node_with(add("a", "x", 1))
+        assert m.room(n) == 3
+
+    def test_infinite(self):
+        n = node_with(*[add(f"a{i}", "x", i) for i in range(50)])
+        assert INFINITE_RESOURCES.fits(n)
+        assert INFINITE_RESOURCES.can_accept(n, add("z", "x", 0))
+
+    def test_nops_free_by_default(self):
+        m = MachineConfig(fus=1)
+        n = node_with(add("a", "x", 1))
+        assert m.can_accept(n, nop())
+
+    def test_cjs_consume_slots(self):
+        m = MachineConfig(fus=1)
+        g = ProgramGraph()
+        n = g.new_node()
+        from repro.ir.cjtree import Branch, make_leaf
+
+        cj = cjump("c")
+        n.tree = Branch(cj.uid, make_leaf(-1), make_leaf(-1))
+        n.cjs[cj.uid] = cj
+        assert m.slots_used(n) == 1
+        assert not m.can_accept(n, add("a", "x", 1))
+
+    def test_typed_budgets(self):
+        m = MachineConfig(fus=4, typed={FUClass.MEM: 1})
+        n = node_with(load("a", "arr", index="k"))
+        assert not m.can_accept(n, load("b", "arr", index="k", offset=1))
+        assert m.can_accept(n, add("c", "a", 1))
+
+    def test_typed_row_check(self):
+        m = MachineConfig(fus=4, typed={FUClass.MEM: 1})
+        row = [load("a", "arr", index="k")]
+        assert not m.can_accept_ops(row, store("arr", "a", offset=9))
+        assert m.can_accept_ops(row, add("c", "a", 1))
+
+    def test_latencies(self):
+        m = MachineConfig(fus=4, latencies={OpKind.MUL: 3})
+        assert m.latency(add("a", "x", 1)) == 1
+        from repro.ir import mul
+
+        assert m.latency(mul("a", "x", 2)) == 3

@@ -1,0 +1,209 @@
+"""Unit tests for move-cj, migrate, node splitting, and cleanup."""
+
+import pytest
+
+from repro.ir import EXIT, RegisterFile, add, cjump, cmp_lt, mul, store, sub
+from repro.machine import INFINITE_RESOURCES, MachineConfig
+from repro.percolation import (
+    MigrateContext,
+    cleanup,
+    migrate,
+    move_cj,
+    move_op,
+)
+from repro.simulator import check_equivalent
+from repro.workloads.synthetic import branchy_program
+
+
+def diamond_graph():
+    return branchy_program(depth=1)
+
+
+class TestMoveCJ:
+    def test_cj_moves_above_independent_op(self):
+        """The branch hoists into the compare's successor... blocked by
+        its condition; but an independent op node lets it through."""
+        from repro.ir import ProgramGraph, straightline_graph
+        from repro.ir.cjtree import Branch, make_leaf
+
+        g = ProgramGraph()
+        n0 = g.new_node()
+        n0.add_op(cmp_lt("c", "a", "b", name="K"))
+        g.set_entry(n0.nid)
+        n1 = g.new_node()
+        n1.add_op(add("w", "a", 1, name="W"))
+        g.retarget_leaf(n0.nid, n0.leaves()[0].leaf_id, n1.nid)
+        cj = cjump("c", name="J")
+        n2 = g.new_node()
+        tl, fl = make_leaf(EXIT), make_leaf(EXIT)
+        n2.tree = Branch(cj.uid, tl, fl)
+        n2.cjs[cj.uid] = cj
+        g.note_tree_change(n2.nid)
+        g.retarget_leaf(n1.nid, n1.leaves()[0].leaf_id, n2.nid)
+        nt = g.new_node(); nt.add_op(store("o", "w", offset=0, name="T"))
+        ne = g.new_node(); ne.add_op(store("o", "a", offset=0, name="E"))
+        g.retarget_leaf(n2.nid, tl.leaf_id, nt.nid)
+        g.retarget_leaf(n2.nid, fl.leaf_id, ne.nid)
+        g.check()
+        orig = g.clone()
+
+        out = move_cj(g, n2.nid, n1.nid, cj.uid,
+                      machine=MachineConfig(fus=4), regfile=RegisterFile())
+        assert out.moved
+        g.check()
+        # n1 now branches directly.
+        assert len(g.nodes[n1.nid].cjs) == 1
+        check_equivalent(orig, g)
+
+    def test_cj_blocked_by_condition_producer(self):
+        g = diamond_graph()
+        order = g.rpo()
+        cmp_node, cj_node = order[0], order[1]
+        cj_uid = next(iter(g.nodes[cj_node].cjs))
+        out = move_cj(g, cj_node, cmp_node, cj_uid,
+                      machine=MachineConfig(fus=4), regfile=RegisterFile())
+        assert not out.moved and "true-dep" in out.reason
+
+    def test_cj_resource_block(self):
+        """A full node between the branch and its condition blocks on
+        resources (the branch itself consumes a slot)."""
+        from repro.ir import ProgramGraph
+        from repro.ir.cjtree import Branch, make_leaf
+
+        g = ProgramGraph()
+        n0 = g.new_node()
+        n0.add_op(cmp_lt("c", "a", "b"))
+        g.set_entry(n0.nid)
+        n1 = g.new_node()
+        n1.add_op(add("w1", "a", 1))
+        n1.add_op(add("w2", "a", 2))
+        g.retarget_leaf(n0.nid, n0.leaves()[0].leaf_id, n1.nid)
+        cj = cjump("c")
+        n2 = g.new_node()
+        tl, fl = make_leaf(EXIT), make_leaf(EXIT)
+        n2.tree = Branch(cj.uid, tl, fl)
+        n2.cjs[cj.uid] = cj
+        g.note_tree_change(n2.nid)
+        g.retarget_leaf(n1.nid, n1.leaves()[0].leaf_id, n2.nid)
+        out = move_cj(g, n2.nid, n1.nid, cj.uid,
+                      machine=MachineConfig(fus=2), regfile=RegisterFile())
+        assert not out.moved and out.resource_blocked
+
+
+class TestMigrate:
+    def test_migrate_through_branch_speculates(self):
+        """An op below a join hoists above the diamond; equivalence holds."""
+        g = diamond_graph()
+        orig = g.clone()
+        ctx = MigrateContext(g, MachineConfig(fus=4), RegisterFile())
+        order = g.rpo()
+        store_node = order[-1]
+        tid = next(iter(g.nodes[store_node].ops.values())).tid
+        # The store moves up but stays guarded (never above the branch
+        # unconditionally without covering all paths).
+        moved = migrate(ctx, g.entry, tid)
+        g.check()
+        check_equivalent(orig, g)
+
+    def test_migrate_then_else_ops(self):
+        """Then/else ops hoist speculatively with renaming; semantics hold."""
+        g = diamond_graph()
+        orig = g.clone()
+        ctx = MigrateContext(g, MachineConfig(fus=6), RegisterFile())
+        tids = [op.tid for _, op in g.all_operations() if op.name in ("t0", "e0")]
+        for tid in tids:
+            migrate(ctx, g.entry, tid)
+        g.check()
+        check_equivalent(orig, g)
+
+    def test_migrate_stops_at_dependence(self):
+        from repro.ir import straightline_graph
+
+        ops = [add("a", "x", 1, name="A"), mul("b", "a", 2, name="B"),
+               store("o", "b", name="S")]
+        g = straightline_graph(ops)
+        ctx = MigrateContext(g, MachineConfig(fus=4), RegisterFile())
+        assert not migrate(ctx, g.entry, ops[1].tid)
+        # B stays strictly below A.
+        order = g.rpo()
+        assert any(op.tid == ops[1].tid
+                   for op in g.nodes[order[1]].all_ops())
+
+    def test_migrate_multi_level(self):
+        from repro.ir import straightline_graph
+
+        ops = [add("a", "x", 1, name="A"), add("b", "y", 1, name="B"),
+               add("c", "z", 1, name="C"), store("o", "a", offset=0),
+               store("o", "b", offset=1), store("o", "c", offset=2)]
+        g = straightline_graph(ops)
+        orig = g.clone()
+        ctx = MigrateContext(g, MachineConfig(fus=4), RegisterFile())
+        assert migrate(ctx, g.entry, ops[2].tid)
+        entry_ops = {op.tid for op in g.nodes[g.entry].all_ops()}
+        assert ops[2].tid in entry_ops
+        check_equivalent(orig, g)
+
+
+class TestSplitting:
+    def test_move_out_of_join_splits(self):
+        g = diamond_graph()
+        order = g.rpo()
+        join = order[-1]
+        # Add an op independent of the branch sides to the join.
+        indep = add("u", "g0", 1, name="U")
+        g.nodes[join].add_op(indep)
+        g._touch()
+        orig = g.clone()
+        preds = sorted(g.predecessors(join))
+        assert len(preds) == 2
+        out = move_op(g, join, preds[0], indep.uid,
+                      machine=MachineConfig(fus=4), regfile=RegisterFile())
+        assert out.moved and out.split_nid is not None
+        g.check()
+        # The other predecessor still reaches a copy holding U.
+        other_succ = g.successors(preds[1])[0]
+        assert any(op.tid == indep.tid
+                   for op in g.nodes[other_succ].all_ops())
+        check_equivalent(orig, g)
+
+
+class TestCleanup:
+    def test_dead_copy_removed(self):
+        from repro.ir import copy, straightline_graph
+
+        ops = [add("a", "x", 1), copy("b", "a"), store("o", "a")]
+        g = straightline_graph(ops)
+        counts = cleanup(g)
+        assert counts["dead_removed"] == 1
+
+    def test_copy_propagation_then_dce(self):
+        from repro.ir import copy, straightline_graph
+
+        ops = [add("a", "x", 1), copy("b", "a"), mul("c", "b", 2),
+               store("o", "c")]
+        g = straightline_graph(ops)
+        orig = g.clone()
+        counts = cleanup(g)
+        assert counts["copies_propagated"] >= 1
+        assert counts["dead_removed"] >= 1
+        check_equivalent(orig, g)
+
+    def test_cleanup_preserves_semantics_on_branchy(self):
+        g = branchy_program(depth=2)
+        orig = g.clone()
+        cleanup(g)
+        g.check()
+        check_equivalent(orig, g)
+
+    def test_empty_node_chain_collapse(self):
+        from repro.ir import straightline_graph
+
+        ops = [add("a", "x", 1), add("b", "y", 1), store("o", "a")]
+        g = straightline_graph(ops)
+        order = g.rpo()
+        mid = g.nodes[order[1]]
+        mid.remove_op(next(iter(mid.ops)))
+        g._touch()
+        counts = cleanup(g)
+        assert counts["empty_nodes"] == 1
+        g.check()

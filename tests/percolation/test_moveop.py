@@ -1,0 +1,240 @@
+"""Unit tests for the move-op transformation."""
+
+import pytest
+
+from repro.ir import (
+    RegisterFile,
+    add,
+    load,
+    mul,
+    store,
+    straightline_graph,
+    sub,
+)
+from repro.machine import MachineConfig
+from repro.percolation import PercolationStats, move_op
+from repro.simulator import check_equivalent
+
+
+def setup(ops, fus=4):
+    g = straightline_graph(ops)
+    return g, g.clone(), MachineConfig(fus=fus), RegisterFile()
+
+
+def first_uid(g, nid):
+    return next(iter(g.nodes[nid].ops))
+
+
+class TestBasicMotion:
+    def test_independent_op_moves(self):
+        ops = [add("a", "x", 1, name="A"), sub("b", "y", 1, name="B"),
+               store("out", "a", offset=0), store("out", "b", offset=1)]
+        g, orig, m, rf = setup(ops)
+        order = g.rpo()
+        out = move_op(g, order[1], order[0], first_uid(g, order[1]),
+                      machine=m, regfile=rf)
+        assert out.moved and not out.renamed
+        g.check()
+        check_equivalent(orig, g)
+
+    def test_true_dependence_blocks(self):
+        ops = [add("a", "x", 1), mul("b", "a", 2), store("out", "b")]
+        g, orig, m, rf = setup(ops)
+        order = g.rpo()
+        out = move_op(g, order[1], order[0], first_uid(g, order[1]),
+                      machine=m, regfile=rf)
+        assert not out.moved
+        assert "true-dep" in out.reason
+
+    def test_resource_block(self):
+        ops = [add("a", "x", 1), add("b", "y", 1), store("out", "a"),
+               store("out", "b", offset=1)]
+        g, orig, m, rf = setup(ops, fus=1)
+        order = g.rpo()
+        out = move_op(g, order[1], order[0], first_uid(g, order[1]),
+                      machine=m, regfile=rf)
+        assert not out.moved and out.resource_blocked
+
+    def test_emptied_node_deleted(self):
+        ops = [add("a", "x", 1), sub("b", "y", 1), store("out", "a"),
+               store("out", "b", offset=1)]
+        g, orig, m, rf = setup(ops)
+        order = g.rpo()
+        n_before = len(g.nodes)
+        out = move_op(g, order[1], order[0], first_uid(g, order[1]),
+                      machine=m, regfile=rf)
+        assert out.moved and out.deleted_from
+        assert len(g.nodes) == n_before - 1
+
+    def test_failed_attempt_does_not_mutate(self):
+        ops = [add("a", "x", 1), mul("b", "a", 2), store("out", "b")]
+        g, orig, m, rf = setup(ops)
+        version = g.version
+        order = g.rpo()
+        move_op(g, order[1], order[0], first_uid(g, order[1]),
+                machine=m, regfile=rf)
+        assert g.version == version
+
+
+def two_op_node_graph():
+    """head(A) -> from{C, R} -> store; R reads C's dest inside From."""
+    from repro.ir import ProgramGraph
+
+    g = ProgramGraph()
+    head = g.new_node()
+    head.add_op(add("x", "a", 1, name="A"))
+    g.set_entry(head.nid)
+    frm = g.new_node()
+    frm.add_op(add("x", "b", 2, name="C"))
+    frm.add_op(mul("z", "x", 3, name="R"))  # reads entry x (move-past-read)
+    g.retarget_leaf(head.nid, head.leaves()[0].leaf_id, frm.nid)
+    tail = g.new_node()
+    tail.add_op(store("o1", "x", offset=0))
+    g.retarget_leaf(frm.nid, frm.leaves()[0].leaf_id, tail.nid)
+    tail2 = g.new_node()
+    tail2.add_op(store("o2", "z", offset=0))
+    g.retarget_leaf(tail.nid, tail.leaves()[0].leaf_id, tail2.nid)
+    g.check()
+    return g, head, frm
+
+
+class TestRenaming:
+    def test_reader_in_to_is_legal_without_rename(self):
+        """Co-resident ops read entry values: joining a reader's node
+        needs no rename (VLIW semantics, paper footnote 2)."""
+        ops = [add("x", "a", 1, name="A"), mul("y", "x", 2, name="B"),
+               add("x", "b", 2, name="C"), store("o1", "y"),
+               store("o2", "x", offset=1)]
+        g, orig, m, rf = setup(ops)
+        order = g.rpo()
+        out = move_op(g, order[2], order[1], first_uid(g, order[2]),
+                      machine=m, regfile=rf)
+        assert out.moved and not out.renamed
+        g.check()
+        check_equivalent(orig, g, out_regs={"x", "y"})
+
+    def test_move_past_read_renames(self):
+        """A reader of the op's dest in *From* forces renaming."""
+        g, head, frm = two_op_node_graph()
+        orig = g.clone()
+        c_uid = next(uid for uid, op in frm.ops.items() if op.name == "C")
+        out = move_op(g, frm.nid, head.nid, c_uid,
+                      machine=MachineConfig(fus=4), regfile=RegisterFile())
+        assert out.moved and out.renamed
+        g.check()
+        check_equivalent(orig, g, out_regs={"x", "z"})
+        # Compensation copy stays behind on the op's paths.
+        assert any(op.is_copy for op in g.nodes[frm.nid].ops.values())
+
+    def test_output_dependence_renames(self):
+        ops = [add("x", "a", 1, name="A"), add("x", "b", 2, name="B"),
+               store("o", "x")]
+        g, orig, m, rf = setup(ops)
+        order = g.rpo()
+        out = move_op(g, order[1], order[0], first_uid(g, order[1]),
+                      machine=m, regfile=rf)
+        assert out.moved and out.renamed
+        g.check()
+        check_equivalent(orig, g, out_regs={"x"})
+
+    def test_rename_fails_without_free_register(self):
+        g, head, frm = two_op_node_graph()
+        c_uid = next(uid for uid, op in frm.ops.items() if op.name == "C")
+        out = move_op(g, frm.nid, head.nid, c_uid,
+                      machine=MachineConfig(fus=4),
+                      regfile=RegisterFile(limit=0))
+        assert not out.moved and "rename-impossible" in out.reason
+
+
+class TestMemory:
+    def test_load_blocked_by_conflicting_store(self):
+        ops = [store("arr", "v", index="k", affine=0),
+               load("d", "arr", index="k", affine=0), store("out", "d")]
+        g, orig, m, rf = setup(ops)
+        order = g.rpo()
+        out = move_op(g, order[1], order[0], first_uid(g, order[1]),
+                      machine=m, regfile=rf)
+        assert not out.moved and "mem-true-dep" in out.reason
+
+    def test_load_passes_disjoint_store(self):
+        ops = [store("arr", "v", index="k", affine=0),
+               load("d", "arr", index="k", offset=3, affine=3),
+               store("out", "d")]
+        g, orig, m, rf = setup(ops)
+        order = g.rpo()
+        out = move_op(g, order[1], order[0], first_uid(g, order[1]),
+                      machine=m, regfile=rf)
+        assert out.moved
+        check_equivalent(orig, g)
+
+    def test_store_store_conflict_blocked(self):
+        ops = [store("arr", "v", index="k"), store("arr", "w", index="k")]
+        g, orig, m, rf = setup(ops)
+        order = g.rpo()
+        out = move_op(g, order[1], order[0], first_uid(g, order[1]),
+                      machine=m, regfile=rf)
+        assert not out.moved and "mem-output-dep" in out.reason
+
+    def test_store_above_load_same_instruction_ok(self):
+        """Anti-dependence within one instruction is legal (VLIW fetch)."""
+        ops = [load("d", "arr", index="k", affine=0),
+               store("arr", "v", index="k", affine=0),
+               store("out", "d")]
+        g, orig, m, rf = setup(ops)
+        order = g.rpo()
+        out = move_op(g, order[1], order[0], first_uid(g, order[1]),
+                      machine=m, regfile=rf)
+        assert out.moved
+        check_equivalent(orig, g)
+
+
+class TestUnification:
+    def test_identical_op_unifies(self):
+        a1 = add("a", "x", 1, name="A1")
+        a2 = add("a", "x", 1, name="A2")
+        ops = [a1, store("o", "a", offset=0), a2,
+               store("o", "a", offset=1)]
+        g, orig, m, rf = setup(ops)
+        order = g.rpo()
+        # move A2 up into the store node then into A1's node
+        stats = PercolationStats()
+        out1 = move_op(g, order[2], order[1], first_uid(g, order[2]),
+                       machine=m, regfile=rf, stats=stats)
+        assert out1.moved
+        # now A2 sits beside the first store; move to node 0 (A1)
+        src = out1.from_nid if not out1.deleted_from else None
+        nid = g.find_op(out1.new_uid)
+        out2 = move_op(g, nid, order[0], out1.new_uid,
+                       machine=m, regfile=rf, stats=stats)
+        assert out2.moved and out2.unified
+        assert out2.new_uid == a1.uid
+        g.check()
+        check_equivalent(orig, g)
+
+    def test_unification_consumes_no_slot(self):
+        a1 = add("a", "x", 1, name="A1")
+        a2 = add("a", "x", 1, name="A2")
+        filler = [add(f"f{i}", "y", i, name=f"F{i}") for i in range(3)]
+        ops = [a1, *filler, a2, store("o", "a")]
+        g, orig, m, rf = setup(ops, fus=4)
+        order = g.rpo()
+        # Fill node 0 to capacity 4 with A1+3 fillers.
+        for i in range(1, 4):
+            out = move_op(g, g.rpo()[1], g.rpo()[0],
+                          first_uid(g, g.rpo()[1]), machine=m, regfile=rf)
+            assert out.moved
+        head = g.rpo()[0]
+        assert m.room(g.nodes[head]) == 0
+        # A2 can still unify into the full node.
+        nid = g.find_op(a2.uid)
+        while nid != head:
+            order = g.rpo()
+            pred = order[order.index(nid) - 1]
+            out = move_op(g, nid, pred, a2.uid, machine=m, regfile=rf)
+            if not out.moved:
+                break
+            nid = g.find_op(out.new_uid)
+            if out.unified:
+                break
+        assert out.unified
+        check_equivalent(orig, g)

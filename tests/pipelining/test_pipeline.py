@@ -1,0 +1,187 @@
+"""Unit tests for unwinding, pattern detection, and the PP driver."""
+
+import pytest
+
+from repro.frontend import compile_dsl
+from repro.ir import Reg, add, const, load, mul, store
+from repro.ir.loops import build_counted_loop
+from repro.machine import INFINITE_RESOURCES, MachineConfig
+from repro.pipelining import (
+    estimate_ii,
+    find_pattern,
+    graph_throughput,
+    iteration_locals,
+    main_chain,
+    pipeline_loop,
+    pipeline_loop_post,
+    unwind_counted,
+    unwind_implicit,
+)
+from repro.scheduling import AlphabeticalHeuristic, GRiPScheduler
+from repro.simulator import run, initial_state
+from repro.simulator.check import input_registers
+from repro.workloads.paper_examples import abc_body
+
+
+def tiny_loop(n=6):
+    body = [
+        load("v", "y", index="k", affine=0, name="ld"),
+        mul("t", "v", 2, name="m"),
+        store("x", "t", index="k", affine=0, name="st"),
+    ]
+    return build_counted_loop("tiny", [const("k", 0, name="init")],
+                              body, "k", n)
+
+
+class TestIterationLocals:
+    def test_temps_are_local(self):
+        loop = tiny_loop()
+        locs = iteration_locals(loop)
+        assert Reg("v") in locs and Reg("t") in locs
+
+    def test_counter_not_local(self):
+        loop = tiny_loop()
+        assert Reg("k") not in iteration_locals(loop)
+
+    def test_carried_not_local(self):
+        body = [load("v", "y", index="k", affine=0, name="ld"),
+                add("q", "q", "v", name="acc")]
+        loop = build_counted_loop("red", [const("k", 0, name="i")],
+                                  body, "k", 4, carried=["q"])
+        assert Reg("q") not in iteration_locals(loop)
+
+    def test_epilogue_reads_not_local(self):
+        body = [load("v", "y", index="k", affine=0, name="ld"),
+                add("last", "v", 0, name="cap")]
+        loop = build_counted_loop(
+            "epi", [const("k", 0, name="i")], body, "k", 4,
+            epilogue=[store("_scalars", "last", offset=0, name="out")])
+        assert Reg("last") not in iteration_locals(loop)
+
+
+class TestUnwind:
+    def test_op_counts(self):
+        loop = tiny_loop()
+        u = unwind_counted(loop, 4)
+        # 4 iterations x (3 body + iv + cmp + cj) + preheader.
+        assert len(u.ops) == 4 * 6
+        assert u.graph.op_count() == 4 * 6 + 1
+
+    def test_iteration_tags(self):
+        u = unwind_counted(tiny_loop(), 3)
+        tags = sorted({op.iteration for op in u.ops})
+        assert tags == [0, 1, 2]
+
+    def test_affine_rebase(self):
+        u = unwind_counted(tiny_loop(), 3)
+        loads = [op for op in u.ops if op.reads_memory]
+        assert sorted(op.mem.affine for op in loads) == [0, 1, 2]
+
+    def test_unwound_executes_like_sequential(self):
+        loop = tiny_loop(n=4)
+        u = unwind_counted(loop, 4)
+        inputs = input_registers(loop.graph) | input_registers(u.graph)
+        sa, sb = initial_state(7, inputs), initial_state(7, inputs)
+        ra = run(loop.graph, sa)
+        rb = run(u.graph, sb)
+        assert ra.exited and rb.exited
+        assert {k: v for k, v in sa.mem.items() if k[0] == "x"} == \
+               {k: v for k, v in sb.mem.items() if k[0] == "x"}
+
+    def test_early_exit_when_trip_below_unroll(self):
+        loop = tiny_loop(n=2)
+        u = unwind_counted(loop, 5)
+        inputs = input_registers(loop.graph) | input_registers(u.graph)
+        sa, sb = initial_state(3, inputs), initial_state(3, inputs)
+        run(loop.graph, sa)
+        rb = run(u.graph, sb)
+        assert rb.exited
+        xa = {k: v for k, v in sa.mem.items() if k[0] == "x"}
+        xb = {k: v for k, v in sb.mem.items() if k[0] == "x"}
+        assert xa == xb
+        assert ("x", 3) not in sb.mem  # iterations beyond trip never stored
+
+    def test_implicit_unwind(self):
+        u = unwind_implicit(abc_body(), 4)
+        assert len(u.ops) == 12
+        assert u.graph.op_count() == 12
+
+
+class TestPatternDetection:
+    def test_abc_kernel(self):
+        """Figure 5/6: kernel 'cba', II=1, PP speedup 3."""
+        u = unwind_implicit(abc_body(), 8)
+        GRiPScheduler(INFINITE_RESOURCES, AlphabeticalHeuristic(),
+                      gap_prevention=True).schedule(u.graph,
+                                                    ranking_ops=u.ops)
+        pat = find_pattern(u, u.graph)
+        assert pat is not None
+        assert pat.period == 1 and pat.shift == 1
+        assert pat.initiation_interval == 1.0
+
+    def test_main_chain_skips_stubs(self):
+        loop = tiny_loop(n=6)
+        res = pipeline_loop(loop, MachineConfig(fus=2), unroll=6,
+                            measure=False)
+        chain = main_chain(res.unwound.graph)
+        assert res.unwound.graph.entry == chain[0]
+        assert len(chain) <= len(res.unwound.graph.nodes)
+
+    def test_estimate_ii_linear(self):
+        retires = {i: 3 + 2 * i for i in range(10)}
+        est = estimate_ii(retires, 10)
+        assert est is not None
+        assert est.ii == pytest.approx(2.0)
+        assert est.max_deviation == pytest.approx(0.0)
+        assert est.steady
+
+    def test_estimate_ii_unstable(self):
+        retires = {i: (i * i) for i in range(12)}
+        est = estimate_ii(retires, 12)
+        assert est is not None and not est.steady
+
+
+class TestPipelineLoop:
+    def test_vectorizable_reaches_fu_bound(self):
+        loop = tiny_loop(n=12)
+        res = pipeline_loop(loop, MachineConfig(fus=2), unroll=12)
+        assert res.converged
+        # 6 ops/iteration on 2 FUs: speedup 2.
+        assert res.speedup == pytest.approx(2.0, abs=0.05)
+
+    def test_measured_close_to_analytic(self):
+        loop = tiny_loop(n=12)
+        res = pipeline_loop(loop, MachineConfig(fus=2), unroll=12)
+        assert res.measured_speedup <= res.speedup + 0.01
+        assert res.measured_speedup >= 0.75 * res.speedup
+
+    def test_memory_verification_runs(self):
+        # verify=True is the default; divergence would raise.
+        loop = tiny_loop(n=8)
+        pipeline_loop(loop, MachineConfig(fus=4), unroll=8, verify=True)
+
+    def test_reduction_capped_at_recurrence(self):
+        src = """
+        param q, n; array z;
+        for k = 0 to n { q = q + z[k]; }
+        """
+        loop = compile_dsl(src, 16, name="red")
+        res = pipeline_loop(loop, MachineConfig(fus=8), unroll=16)
+        # 5 ops/iter, II >= 1 due to the q chain: speedup <= 5.
+        assert res.converged
+        assert res.speedup <= 5.01
+
+    def test_gap_prevention_off_still_correct(self):
+        loop = tiny_loop(n=8)
+        res = pipeline_loop(loop, MachineConfig(fus=4), unroll=8,
+                            gap_prevention=False)
+        assert res.measured_speedup > 1.5  # semantics verified inside
+
+    def test_post_below_grip(self):
+        loop = tiny_loop(n=12)
+        g = pipeline_loop(loop, MachineConfig(fus=4), unroll=12,
+                          measure=False)
+        p = pipeline_loop_post(tiny_loop(n=12), MachineConfig(fus=4),
+                               unroll=12)
+        assert p.converged and g.converged
+        assert p.speedup <= g.speedup + 1e-9

@@ -1,0 +1,111 @@
+"""Property-based tests for Perfect Pipelining end to end.
+
+Random counted loops are unwound, GRiP-scheduled and simulated against
+their sequential originals; memory must agree and speedups must respect
+the machine bound and the dependence bound.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.machine import MachineConfig
+from repro.pipelining import pipeline_loop, pipeline_loop_post
+from repro.workloads.synthetic import random_counted_loop
+
+SETTINGS = settings(max_examples=12, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestPipelineProperties:
+    @SETTINGS
+    @given(st.integers(0, 5_000), st.integers(2, 4),
+           st.sampled_from([2, 4]), st.booleans())
+    def test_memory_equivalence(self, seed, n_stmts, fus, reduction):
+        """pipeline_loop verifies memory internally (verify=True)."""
+        trip = 8
+        loop = random_counted_loop(random.Random(seed), n_stmts=n_stmts,
+                                   trip=trip, reduction=reduction)
+        res = pipeline_loop(loop, MachineConfig(fus=fus), unroll=trip,
+                            verify=True)
+        assert res.measured_speedup is not None
+
+    @SETTINGS
+    @given(st.integers(0, 5_000), st.sampled_from([2, 4, 8]))
+    def test_speedup_bounded_by_machine_and_dedup(self, seed, fus):
+        """Speedup <= FUs x (sequential ops / deduplicated ops).
+
+        Unification removes redundant loads across statements and
+        iterations, so speedups can exceed the FU count relative to the
+        *sequential* operation count -- the paper notes exactly this for
+        its superlinear Table-1 entries.  The bound holds against the
+        deduplicated work.
+        """
+        loop = random_counted_loop(random.Random(seed), n_stmts=3, trip=10)
+        res = pipeline_loop(loop, MachineConfig(fus=fus), unroll=10,
+                            measure=False)
+        if res.speedup is None:
+            return
+        seq_ops = loop.ops_per_iteration
+        distinct = len({(op.kind, op.dest, op.srcs, op.mem)
+                        for op in loop.body_ops}) + len(loop.control_ops)
+        dedup_factor = seq_ops / distinct
+        if res.periodic:
+            tol = 1e-9  # exact kernels obey the bound exactly
+        else:
+            # Throughput fits have resolution limited by the window:
+            # +-max_deviation rows over the fitted span.
+            est = res.throughput
+            span = max(1, est.last_iter - est.first_iter)
+            tol = 2 * est.max_deviation / span + 0.02
+        assert res.speedup <= fus * dedup_factor * (1 + tol) + 1e-9
+
+    @SETTINGS
+    @given(st.integers(0, 5_000))
+    def test_monotone_in_resources(self, seed):
+        """More functional units never hurt the analytic speedup."""
+        trip = 10
+        speedups = []
+        for fus in (2, 4):
+            loop = random_counted_loop(random.Random(seed), n_stmts=3,
+                                       trip=trip)
+            res = pipeline_loop(loop, MachineConfig(fus=fus), unroll=trip,
+                                measure=False)
+            speedups.append(res.speedup)
+        if None not in speedups:
+            assert speedups[1] >= speedups[0] - 1e-9
+
+    @SETTINGS
+    @given(st.integers(0, 5_000), st.sampled_from([2, 4]))
+    def test_post_never_beats_grip(self, seed, fus):
+        trip = 10
+        loop_g = random_counted_loop(random.Random(seed), n_stmts=3,
+                                     trip=trip)
+        loop_p = random_counted_loop(random.Random(seed), n_stmts=3,
+                                     trip=trip)
+        g = pipeline_loop(loop_g, MachineConfig(fus=fus), unroll=trip,
+                          measure=False)
+        p = pipeline_loop_post(loop_p, MachineConfig(fus=fus), unroll=trip)
+        if g.speedup is not None and p.speedup is not None:
+            assert p.speedup <= g.speedup + 0.35  # small repack noise
+
+    @SETTINGS
+    @given(st.integers(0, 5_000))
+    def test_budget_respected_in_unwound_graph(self, seed):
+        loop = random_counted_loop(random.Random(seed), n_stmts=3, trip=8)
+        machine = MachineConfig(fus=3)
+        res = pipeline_loop(loop, machine, unroll=8, measure=False)
+        for node in res.unwound.graph.nodes.values():
+            assert machine.fits(node)
+
+    @SETTINGS
+    @given(st.integers(0, 5_000))
+    def test_reduction_iis_at_least_one(self, seed):
+        loop = random_counted_loop(random.Random(seed), n_stmts=2, trip=10,
+                                   reduction=True)
+        res = pipeline_loop(loop, MachineConfig(fus=8), unroll=10,
+                            measure=False)
+        if res.initiation_interval is not None:
+            assert res.initiation_interval >= 1.0 - 1e-9

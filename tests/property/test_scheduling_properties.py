@@ -1,0 +1,145 @@
+"""Property-based tests: scheduling preserves semantics and budgets.
+
+The central invariant of the whole system: **any** sequence of
+percolation transformations driven by **any** scheduler must leave the
+program observationally equivalent to the original, and every node must
+respect the machine budget.  Random programs come from the synthetic
+generators; hypothesis drives shapes and seeds.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ir import RegisterFile
+from repro.machine import INFINITE_RESOURCES, MachineConfig
+from repro.percolation import MigrateContext, migrate
+from repro.scheduling import (
+    GRiPScheduler,
+    PaperHeuristic,
+    SourceOrderHeuristic,
+    UnifiableOpsScheduler,
+)
+from repro.simulator import check_equivalent
+from repro.workloads.synthetic import branchy_program, random_straightline
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def program_and_machine(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_ops = draw(st.integers(4, 18))
+    fus = draw(st.sampled_from([1, 2, 3, 4, 8, None]))
+    g = random_straightline(random.Random(seed), n_ops,
+                            n_inputs=draw(st.integers(2, 5)),
+                            store_every=draw(st.integers(2, 5)))
+    return g, MachineConfig(fus=fus)
+
+
+class TestGRiPProperties:
+    @SETTINGS
+    @given(program_and_machine())
+    def test_semantics_preserved(self, pm):
+        g, machine = pm
+        orig = g.clone()
+        GRiPScheduler(machine, gap_prevention=False).schedule(g)
+        g.check()
+        check_equivalent(orig, g, seeds=(0, 1))
+
+    @SETTINGS
+    @given(program_and_machine())
+    def test_budget_respected(self, pm):
+        g, machine = pm
+        GRiPScheduler(machine, gap_prevention=False).schedule(g)
+        for node in g.nodes.values():
+            assert machine.fits(node), f"overfull node {node}"
+
+    @SETTINGS
+    @given(program_and_machine())
+    def test_never_slower(self, pm):
+        """Compaction never lengthens the (straight-line) program."""
+        g, machine = pm
+        before = len(g.reachable())
+        GRiPScheduler(machine, gap_prevention=False).schedule(g)
+        assert len(g.reachable()) <= before
+
+    @SETTINGS
+    @given(st.integers(0, 10_000), st.integers(4, 14))
+    def test_heuristic_independence_of_correctness(self, seed, n_ops):
+        """Any ranking yields a correct schedule (only quality varies)."""
+        for heuristic in (PaperHeuristic(), SourceOrderHeuristic()):
+            g = random_straightline(random.Random(seed), n_ops)
+            orig = g.clone()
+            GRiPScheduler(MachineConfig(fus=2),
+                          heuristic=heuristic,
+                          gap_prevention=False).schedule(g)
+            check_equivalent(orig, g, seeds=(0,))
+
+    @SETTINGS
+    @given(st.integers(0, 10_000), st.integers(1, 3))
+    def test_branchy_programs(self, seed, depth):
+        g = branchy_program(random.Random(seed), depth=depth)
+        orig = g.clone()
+        GRiPScheduler(MachineConfig(fus=4),
+                      gap_prevention=False).schedule(g)
+        g.check()
+        check_equivalent(orig, g, seeds=(0, 1))
+
+    @SETTINGS
+    @given(st.integers(0, 10_000), st.integers(1, 2))
+    def test_branchy_no_speculation(self, seed, depth):
+        g = branchy_program(random.Random(seed), depth=depth)
+        orig = g.clone()
+        GRiPScheduler(MachineConfig(fus=4), gap_prevention=False,
+                      allow_speculation=False).schedule(g)
+        check_equivalent(orig, g, seeds=(0,))
+
+
+class TestUnifiableProperties:
+    @SETTINGS
+    @given(st.integers(0, 10_000), st.integers(4, 12))
+    def test_semantics_preserved(self, seed, n_ops):
+        g = random_straightline(random.Random(seed), n_ops)
+        orig = g.clone()
+        UnifiableOpsScheduler(MachineConfig(fus=3)).schedule(g)
+        g.check()
+        check_equivalent(orig, g, seeds=(0,))
+
+    @SETTINGS
+    @given(st.integers(0, 10_000))
+    def test_no_worse_than_unscheduled(self, seed):
+        g = random_straightline(random.Random(seed), 10)
+        before = len(g.reachable())
+        UnifiableOpsScheduler(MachineConfig(fus=4)).schedule(g)
+        assert len(g.reachable()) <= before
+
+
+class TestMigrateProperties:
+    @SETTINGS
+    @given(st.integers(0, 10_000), st.integers(4, 12))
+    def test_single_migrate_preserves_semantics(self, seed, n_ops):
+        g = random_straightline(random.Random(seed), n_ops)
+        orig = g.clone()
+        tids = [op.tid for _, op in g.all_operations()]
+        ctx = MigrateContext(g, MachineConfig(fus=4), RegisterFile())
+        rng = random.Random(seed)
+        migrate(ctx, g.entry, rng.choice(tids))
+        g.check()
+        check_equivalent(orig, g, seeds=(0,))
+
+    @SETTINGS
+    @given(st.integers(0, 10_000))
+    def test_migrate_idempotent_when_blocked(self, seed):
+        g = random_straightline(random.Random(seed), 8)
+        ctx = MigrateContext(g, MachineConfig(fus=4), RegisterFile())
+        tids = [op.tid for _, op in g.all_operations()]
+        for tid in tids:
+            migrate(ctx, g.entry, tid)
+        version = g.version
+        for tid in tids:
+            assert not migrate(ctx, g.entry, tid)
+        assert g.version == version

@@ -1,0 +1,77 @@
+"""Unit tests for statistics and table rendering."""
+
+import math
+
+import pytest
+
+from repro.reporting import (
+    SpeedupTable,
+    arithmetic_mean,
+    comparison_table,
+    geometric_mean,
+    harmonic_mean,
+    weighted_harmonic_mean,
+)
+
+
+class TestStats:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == 2.0
+
+    def test_arithmetic_mean_skips_none(self):
+        assert arithmetic_mean([2.0, None, 4.0]) == 3.0
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([2, 2]) == pytest.approx(2.0)
+        assert harmonic_mean([1, 3]) == pytest.approx(1.5)
+
+    def test_whm_equal_weights_is_hm(self):
+        vals = [2.0, 4.0, 8.0]
+        assert weighted_harmonic_mean(vals) == pytest.approx(
+            harmonic_mean(vals))
+
+    def test_whm_weights(self):
+        # Heavier weight on the slow loop pulls the mean down.
+        light = weighted_harmonic_mean([2.0, 8.0], [1, 1])
+        heavy = weighted_harmonic_mean([2.0, 8.0], [10, 1])
+        assert heavy < light
+
+    def test_whm_below_mean(self):
+        vals = [2.0, 4.0, 8.0]
+        assert weighted_harmonic_mean(vals) <= arithmetic_mean(vals)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_empty_inputs(self):
+        assert math.isnan(arithmetic_mean([]))
+        assert math.isnan(harmonic_mean([0.0]))
+        assert math.isnan(weighted_harmonic_mean([]))
+
+
+class TestTables:
+    def test_speedup_table_layout(self):
+        t = SpeedupTable(fu_configs=(2, 4), systems=("GRiP", "POST"))
+        for loop, spds in (("LL1", (2.0, 1.8, 4.0, 3.5)),
+                           ("LL2", (1.9, 1.9, 3.8, 3.0))):
+            t.add(loop, 2, "GRiP", spds[0], weight=10)
+            t.add(loop, 2, "POST", spds[1], weight=10)
+            t.add(loop, 4, "GRiP", spds[2], weight=10)
+            t.add(loop, 4, "POST", spds[3], weight=10)
+        text = t.render()
+        lines = text.splitlines()
+        assert "GRiP@2" in lines[1] and "POST@4" in lines[1]
+        assert lines[-2].split()[0] == "Mean"
+        assert lines[-1].split()[0] == "WHM"
+
+    def test_speedup_table_column(self):
+        t = SpeedupTable(fu_configs=(2,), systems=("GRiP",))
+        t.add("LL1", 2, "GRiP", 2.0)
+        t.add("LL2", 2, "GRiP", None)
+        assert t.column(2, "GRiP") == [2.0, None]
+
+    def test_comparison_table_alignment(self):
+        text = comparison_table(["a", "bb"], [[1, 2.5], [33, 4.0]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].endswith("bb")

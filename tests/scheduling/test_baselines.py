@@ -1,0 +1,124 @@
+"""Unit tests for the Unifiable-ops, POST, and list schedulers."""
+
+import pytest
+
+from repro.ir import add, mul, store, straightline_graph
+from repro.machine import INFINITE_RESOURCES, MachineConfig
+from repro.scheduling import (
+    GRiPScheduler,
+    POSTScheduler,
+    UnifiableOpsScheduler,
+    asap_pipeline_rows,
+    list_schedule,
+    repack,
+)
+from repro.simulator import check_equivalent
+from repro.workloads.synthetic import chain_body, wide_body
+
+
+class TestUnifiable:
+    def test_schedules_and_preserves_semantics(self):
+        g = straightline_graph(wide_body(6))
+        orig = g.clone()
+        res = UnifiableOpsScheduler(MachineConfig(fus=4)).schedule(g)
+        g.check()
+        for node in g.nodes.values():
+            assert MachineConfig(fus=4).fits(node)
+        check_equivalent(orig, g)
+        assert res.unifiable_stats.set_builds > 0
+
+    def test_cost_counters_grow_with_program(self):
+        small = straightline_graph(wide_body(3))
+        big = straightline_graph(wide_body(10))
+        rs = UnifiableOpsScheduler(MachineConfig(fus=2)).schedule(small)
+        rb = UnifiableOpsScheduler(MachineConfig(fus=2)).schedule(big)
+        assert rb.unifiable_stats.closure_ops >= rs.unifiable_stats.closure_ops
+
+    def test_agrees_with_grip_on_simple_code(self):
+        """Both reach the dependence-optimal 4-cycle schedule."""
+        ga = straightline_graph(wide_body(8))
+        gb = straightline_graph(wide_body(8))
+        GRiPScheduler(MachineConfig(fus=4), gap_prevention=False).schedule(ga)
+        UnifiableOpsScheduler(MachineConfig(fus=4)).schedule(gb)
+        assert len(ga.nodes) == len(gb.nodes) == 4
+
+
+class TestPOST:
+    def test_asap_rows_one_iteration_per_cycle(self):
+        ops = []
+        for i in range(4):
+            op = add(f"v{i}", "x", i, name=f"o{i}", iteration=i, pos=i)
+            ops.append(op)
+        rows = asap_pipeline_rows(ops)
+        # Independent ops still enter one iteration per row.
+        assert len(rows) == 4
+        for i, row in enumerate(rows):
+            assert [op.iteration for op in row] == [i]
+
+    def test_asap_respects_dependences(self):
+        a = add("a", "x", 1, name="A", iteration=0, pos=0)
+        b = mul("b", "a", 2, name="B", iteration=0, pos=1)
+        rows = asap_pipeline_rows([a, b])
+        assert rows[0] == [a] and rows[1] == [b]
+
+    def test_repack_budget(self):
+        ops = [add(f"v{i}", "x", i, name=f"o{i}", iteration=0, pos=i)
+               for i in range(6)]
+        rows = asap_pipeline_rows(ops)
+        rp = repack(rows, MachineConfig(fus=2))
+        assert all(len(r) <= 2 for r in rp.rows)
+
+    def test_repack_window_advance(self):
+        """ceil(W/k) rows per iteration: 6 ops at 2 FUs -> 3 rows each."""
+        ops = []
+        for it in range(3):
+            for j in range(6):
+                ops.append(add(f"v{it}_{j}", "x", j, name=f"o{it}_{j}",
+                               iteration=it, pos=it * 6 + j))
+        rows = asap_pipeline_rows(ops)
+        rp = repack(rows, MachineConfig(fus=2))
+        assert rp.cycles == 9  # 3 iterations x ceil(6/2)
+
+    def test_repack_dependences_hold(self):
+        a = add("a", "x", 1, name="A", iteration=0, pos=0)
+        b = mul("b", "a", 2, name="B", iteration=0, pos=1)
+        rp = repack(asap_pipeline_rows([a, b]), MachineConfig(fus=8))
+        row_of = {}
+        for i, row in enumerate(rp.rows):
+            for op in row:
+                row_of[op.uid] = i
+        assert row_of[a.uid] < row_of[b.uid]
+
+    def test_post_scheduler_end_to_end(self):
+        ops = [add(f"v{i}", "x", i, name=f"o{i}", iteration=i, pos=i)
+               for i in range(5)]
+        pr = POSTScheduler(MachineConfig(fus=2)).schedule_ops(ops)
+        assert pr.repacked.cycles >= 5  # one iteration per cycle cap
+
+
+class TestListScheduler:
+    def test_wide_optimal(self):
+        sched = list_schedule(wide_body(8), MachineConfig(fus=4))
+        assert sched.cycles == 4
+
+    def test_chain_serial(self):
+        sched = list_schedule(chain_body(5), MachineConfig(fus=4))
+        assert sched.cycles == 6  # 5 chain ops + the dependent store
+
+    def test_latency_extension(self):
+        from repro.ir import OpKind
+
+        ops = [mul("a", "x", 2, name="M"), add("b", "a", 1, name="A"),
+               store("o", "b")]
+        m = MachineConfig(fus=4, latencies={OpKind.MUL: 3})
+        sched = list_schedule(ops, m)
+        assert sched.cycles == 5  # mul@0, add@3, store@4
+
+    def test_anti_dep_same_cycle(self):
+        ops = [mul("y", "x", 2, name="R"), add("x", "x", 1, name="W")]
+        sched = list_schedule(ops, MachineConfig(fus=4))
+        assert sched.cycles == 1  # reader and writer share the instruction
+
+    def test_budget_respected(self):
+        sched = list_schedule(wide_body(9), MachineConfig(fus=2))
+        assert all(len(r) <= 2 for r in sched.rows)

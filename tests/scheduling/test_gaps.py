@@ -1,0 +1,168 @@
+"""Unit tests for Gapless-move and the suspension policy (section 3.3)."""
+
+import pytest
+
+from repro.ir import ProgramGraph, add, straightline_graph, store
+from repro.machine import INFINITE_RESOURCES, MachineConfig
+from repro.scheduling.gaps import GapPreventionPolicy, gapless_move
+
+
+def tagged(name, dest, src, iteration, pos=0):
+    return add(dest, src, 1, name=name, iteration=iteration, pos=pos)
+
+
+def chain_graph(specs):
+    """specs: list of lists of (name, dest, src, iteration)."""
+    g = ProgramGraph()
+    prev = None
+    nodes = []
+    for row in specs:
+        n = g.new_node()
+        for (name, dest, src, it) in row:
+            n.add_op(tagged(name, dest, src, it))
+        if prev is None:
+            g.set_entry(n.nid)
+        else:
+            g.retarget_leaf(prev.nid, prev.leaves()[0].leaf_id, n.nid)
+        prev = n
+        nodes.append(n)
+    g.check()
+    return g, nodes
+
+
+class TestGaplessConditions:
+    def test_condition1_alone_in_node(self):
+        g, nodes = chain_graph([
+            [("x", "a", "p", 0)],
+            [("y", "b", "q", 0)],   # moving y: alone at From
+            [("z", "c", "r", 0)],
+        ])
+        uid = next(iter(nodes[1].ops))
+        assert gapless_move(g, nodes[1].nid, nodes[0].nid, uid,
+                            INFINITE_RESOURCES)
+
+    def test_condition2_sibling_same_iteration(self):
+        g, nodes = chain_graph([
+            [("x", "a", "p", 0)],
+            [("y", "b", "q", 1), ("y2", "b2", "q2", 1)],
+            [("z", "c", "r", 1)],
+        ])
+        uid = next(uid for uid, op in nodes[1].ops.items() if op.name == "y")
+        assert gapless_move(g, nodes[1].nid, nodes[0].nid, uid,
+                            INFINITE_RESOURCES)
+
+    def test_condition3_last_of_iteration(self):
+        g, nodes = chain_graph([
+            [("x", "a", "p", 0)],
+            [("y", "b", "q", 0), ("w", "d", "s", 1)],  # y last of iter 0
+            [("z", "c", "r", 1)],
+        ])
+        uid = next(uid for uid, op in nodes[1].ops.items() if op.name == "y")
+        assert gapless_move(g, nodes[1].nid, nodes[0].nid, uid,
+                            INFINITE_RESOURCES)
+
+    def test_condition4_fillable_gap(self):
+        # Moving y out of From leaves iteration-0 work below, but z
+        # (same iteration, independent) can slide up from S into From.
+        g, nodes = chain_graph([
+            [("x", "a", "p", 0)],
+            [("y", "b", "q", 0), ("w", "d", "s", 1)],
+            [("z", "c", "r", 0)],   # z independent of y/w
+        ])
+        uid = next(uid for uid, op in nodes[1].ops.items() if op.name == "y")
+        assert gapless_move(g, nodes[1].nid, nodes[0].nid, uid,
+                            INFINITE_RESOURCES)
+
+    def test_condition4_dependent_filler_still_ok(self):
+        # z depends on y itself; once y sits in To, z can slide into
+        # From right behind it -- the gap is fillable (condition 4).
+        g, nodes = chain_graph([
+            [("x", "a", "p", 0)],
+            [("y", "b", "q", 0), ("w", "d", "s", 1)],
+            [("z", "c", "b", 0)],   # reads b = y's result
+        ])
+        uid = next(uid for uid, op in nodes[1].ops.items() if op.name == "y")
+        assert gapless_move(g, nodes[1].nid, nodes[0].nid, uid,
+                            INFINITE_RESOURCES)
+
+    def test_permanent_gap_vetoed(self):
+        # z (iteration 0, below) depends on w, the iteration-1 op that
+        # STAYS in From: z can never pass w, the hole y leaves is
+        # permanent, and Gapless-move must fail.
+        g, nodes = chain_graph([
+            [("x", "a", "p", 0)],
+            [("y", "b", "q", 0), ("w", "d", "s", 1)],
+            [("z", "c", "d", 0)],   # reads d = w's result
+        ])
+        uid = next(uid for uid, op in nodes[1].ops.items() if op.name == "y")
+        assert not gapless_move(g, nodes[1].nid, nodes[0].nid, uid,
+                                INFINITE_RESOURCES)
+
+    def test_untagged_ops_exempt(self):
+        g, nodes = chain_graph([
+            [("x", "a", "p", -1)],
+            [("y", "b", "q", -1), ("w", "d", "s", 0)],
+            [("z", "c", "r", -1)],
+        ])
+        uid = next(uid for uid, op in nodes[1].ops.items() if op.name == "y")
+        assert gapless_move(g, nodes[1].nid, nodes[0].nid, uid,
+                            INFINITE_RESOURCES)
+
+
+class TestSuspensionPolicy:
+    def make_policy(self, g):
+        return GapPreventionPolicy(g, INFINITE_RESOURCES, enabled=True)
+
+    def test_suspension_and_unsuspend(self):
+        g, nodes = chain_graph([
+            [("x", "a", "p", 0)],
+            [("y", "b", "q", 0), ("w", "d", "s", 1)],
+            [("z", "c", "d", 0)],
+        ])
+        policy = self.make_policy(g)
+        op = next(op for op in nodes[1].ops.values() if op.name == "y")
+        assert not policy.allow_move(g, nodes[1].nid, nodes[0].nid, op)
+        assert op.tid in policy.suspended
+        retry = policy.unsuspend_all()
+        assert op.tid in retry and not policy.suspended
+
+    def test_rule3_blocks_ops_at_or_above_suspension(self):
+        g, nodes = chain_graph([
+            [("x", "a", "p", 0)],
+            [("y", "b", "q", 0), ("w", "d", "s", 1)],
+            [("z", "c", "d", 0), ("u", "e", "t", 1)],
+        ])
+        policy = self.make_policy(g)
+        y = next(op for op in nodes[1].ops.values() if op.name == "y")
+        assert not policy.allow_move(g, nodes[1].nid, nodes[0].nid, y)
+        # w sits at the suspension depth: vetoed by rule 3.
+        w = next(op for op in nodes[1].ops.values() if op.name == "w")
+        assert not policy.allow_move(g, nodes[1].nid, nodes[0].nid, w)
+        # u sits strictly below: may move (subject to its own gap test).
+        u = next(op for op in nodes[2].ops.values() if op.name == "u")
+        assert policy.allow_move(g, nodes[2].nid, nodes[1].nid, u)
+
+    def test_disabled_policy_allows_everything(self):
+        g, nodes = chain_graph([
+            [("x", "a", "p", 0)],
+            [("y", "b", "q", 0), ("w", "d", "s", 1)],
+            [("z", "c", "b", 0)],
+        ])
+        policy = GapPreventionPolicy(g, INFINITE_RESOURCES, enabled=False)
+        y = next(op for op in nodes[1].ops.values() if op.name == "y")
+        assert policy.allow_move(g, nodes[1].nid, nodes[0].nid, y)
+
+    def test_stop_sweep_after_move_while_suspended(self):
+        g, nodes = chain_graph([
+            [("x", "a", "p", 0)],
+            [("y", "b", "q", 0), ("w", "d", "s", 1)],
+            [("z", "c", "d", 0)],
+        ])
+        policy = self.make_policy(g)
+        y = next(op for op in nodes[1].ops.values() if op.name == "y")
+        policy.allow_move(g, nodes[1].nid, nodes[0].nid, y)  # suspends y
+        assert not policy.stop_sweep()
+        from repro.percolation.moveop import MoveOutcome
+
+        policy.after_move(g, MoveOutcome(True), y)
+        assert policy.stop_sweep()

@@ -1,0 +1,149 @@
+"""Unit tests for the GRiP scheduler, priorities, and Moveable-ops."""
+
+import pytest
+
+from repro.analysis import build_dag
+from repro.ir import add, mul, store, straightline_graph, sub
+from repro.machine import INFINITE_RESOURCES, MachineConfig
+from repro.scheduling import (
+    AlphabeticalHeuristic,
+    GRiPScheduler,
+    MoveableOps,
+    PaperHeuristic,
+    SourceOrderHeuristic,
+    ranked_templates,
+)
+from repro.simulator import check_equivalent
+from repro.workloads.synthetic import chain_body, wide_body
+
+
+class TestPriorities:
+    def test_longest_chain_first(self):
+        ops = [add("a", "x", 1, name="A", pos=0),
+               mul("b", "a", 2, name="B", pos=1),
+               sub("c", "b", 3, name="C", pos=2),
+               add("z", "y", 1, name="Z", pos=3)]
+        ranking = PaperHeuristic(iteration_major=False).rank(ops)
+        order = ranked_templates(ranking, [op.tid for op in ops])
+        assert order[0] == ops[0].tid      # chain length 3
+        assert order[-1] == ops[2].tid or order[-1] == ops[3].tid
+
+    def test_dependents_break_ties(self):
+        # A feeds two consumers; Z feeds one; equal chain lengths.
+        ops = [add("a", "x", 1, name="A", pos=0),
+               add("z", "y", 1, name="Z", pos=1),
+               mul("b", "a", 2, name="B", pos=2),
+               mul("c", "a", 3, name="C", pos=3),
+               mul("d", "z", 4, name="D", pos=4)]
+        ranking = PaperHeuristic(iteration_major=False).rank(ops)
+        assert ranking[ops[0].tid] < ranking[ops[1].tid]
+
+    def test_iteration_major_stipulation(self):
+        early = add("a", "x", 1, name="A", iteration=0, pos=5)
+        late_long = add("b", "y", 1, name="B", iteration=1, pos=0)
+        ranking = PaperHeuristic().rank([early, late_long])
+        assert ranking[early.tid] < ranking[late_long.tid]
+
+    def test_alphabetical(self):
+        ops = [add("r1", "x", 1, name="b", pos=0),
+               add("r2", "y", 1, name="a", pos=1)]
+        ranking = AlphabeticalHeuristic(iteration_major=False).rank(ops)
+        assert ranking[ops[1].tid] < ranking[ops[0].tid]
+
+    def test_source_order(self):
+        ops = [add("r1", "x", 1, name="b", pos=0),
+               add("r2", "y", 1, name="a", pos=1)]
+        ranking = SourceOrderHeuristic(iteration_major=False).rank(ops)
+        assert ranking[ops[0].tid] < ranking[ops[1].tid]
+
+    def test_unknown_templates_rank_last(self):
+        ranking = {1: (0,)}
+        assert ranked_templates(ranking, [99, 1]) == [1, 99]
+
+
+class TestGRiPStraightline:
+    def test_respects_resource_budget(self):
+        g = straightline_graph(wide_body(8))
+        GRiPScheduler(MachineConfig(fus=4), gap_prevention=False).schedule(g)
+        for node in g.nodes.values():
+            assert MachineConfig(fus=4).fits(node)
+
+    def test_wide_body_optimal(self):
+        """8 independent ops + 8 stores on 4 FUs: 4 cycles optimal."""
+        g = straightline_graph(wide_body(8))
+        orig = g.clone()
+        GRiPScheduler(MachineConfig(fus=4), gap_prevention=False).schedule(g)
+        assert len(g.nodes) == 4
+        check_equivalent(orig, g)
+
+    def test_chain_not_compressible(self):
+        ops = chain_body(6)
+        g = straightline_graph(ops)
+        orig = g.clone()
+        GRiPScheduler(MachineConfig(fus=4), gap_prevention=False).schedule(g)
+        # A serial chain of 6 plus its dependent store: >= 6 nodes.
+        assert len(g.nodes) >= 6
+        check_equivalent(orig, g)
+
+    def test_infinite_resources_reach_dependence_height(self):
+        ops = [add("a", "x", 1, name="A"), add("b", "y", 1, name="B"),
+               mul("c", "a", 2, name="C"), mul("d", "b", 3, name="D"),
+               store("o", "c", offset=0), store("o", "d", offset=1)]
+        g = straightline_graph(ops)
+        orig = g.clone()
+        GRiPScheduler(INFINITE_RESOURCES, gap_prevention=False).schedule(g)
+        # Height = 3: {A,B}, {C,D}, {stores}.
+        assert len(g.nodes) == 3
+        check_equivalent(orig, g)
+
+    def test_semantics_preserved_at_every_width(self):
+        for fus in (1, 2, 3, 8):
+            g = straightline_graph(wide_body(5))
+            orig = g.clone()
+            GRiPScheduler(MachineConfig(fus=fus),
+                          gap_prevention=False).schedule(g)
+            g.check()
+            check_equivalent(orig, g)
+
+    def test_schedule_result_counters(self):
+        g = straightline_graph(wide_body(4))
+        res = GRiPScheduler(MachineConfig(fus=4),
+                            gap_prevention=False).schedule(g)
+        assert res.stats.moves > 0
+        assert res.nodes_processed >= 1
+        assert res.seconds >= 0
+
+
+class TestMoveableOps:
+    def test_candidates_are_below(self):
+        ops = wide_body(3)
+        g = straightline_graph(ops)
+        ranking = PaperHeuristic(iteration_major=False).rank(ops)
+        mv = MoveableOps(g, ranking)
+        entry_candidates = mv.candidates(g.entry)
+        entry_ops = {op.tid for op in g.nodes[g.entry].all_ops()}
+        assert entry_ops.isdisjoint(entry_candidates)
+        assert len(entry_candidates) == g.op_count() - 1
+
+    def test_stuck_excluded_until_motion(self):
+        ops = wide_body(3)
+        g = straightline_graph(ops)
+        ranking = PaperHeuristic(iteration_major=False).rank(ops)
+        mv = MoveableOps(g, ranking)
+        victim = mv.candidates(g.entry)[0]
+        mv.mark_stuck(victim)
+        assert victim not in mv.candidates(g.entry)
+        mv.note_motion()
+        assert victim in mv.candidates(g.entry)
+
+    def test_unstick_selective(self):
+        ops = wide_body(3)
+        g = straightline_graph(ops)
+        ranking = PaperHeuristic(iteration_major=False).rank(ops)
+        mv = MoveableOps(g, ranking)
+        cands = mv.candidates(g.entry)
+        mv.mark_stuck(cands[0])
+        mv.mark_stuck(cands[1])
+        mv.unstick({cands[0]})
+        after = mv.candidates(g.entry)
+        assert cands[0] in after and cands[1] not in after

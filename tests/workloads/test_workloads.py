@@ -1,0 +1,130 @@
+"""Unit tests for the Livermore kernels and synthetic generators."""
+
+import random
+
+import pytest
+
+from repro.ir import Reg
+from repro.simulator import MachineState, run
+from repro.workloads import livermore
+from repro.workloads.paper_examples import abc_body, abc_loop, ag_body
+from repro.workloads.synthetic import (
+    branchy_program,
+    chain_body,
+    random_counted_loop,
+    random_straightline,
+    wide_body,
+)
+
+
+class TestLivermore:
+    def test_all_fourteen_build(self):
+        for name in livermore.kernel_names():
+            loop = livermore.kernel(name, 8)
+            loop.graph.check()
+            assert loop.body_ops
+
+    def test_kernel_names_order(self):
+        assert livermore.kernel_names()[0] == "LL1"
+        assert len(livermore.kernel_names()) == 14
+
+    def test_ll3_is_reduction(self):
+        loop = livermore.ll3(8)
+        assert Reg("q") in loop.carried_regs
+        assert loop.epilogue_ops
+
+    def test_ll2_stride(self):
+        assert livermore.ll2(8).step == 2
+
+    def test_ll13_indirection_conservative(self):
+        loop = livermore.ll13(8)
+        indirect = [op for op in loop.body_ops
+                    if op.mem is not None and op.mem.affine is None]
+        assert indirect
+
+    def test_kernels_execute(self):
+        for name in ("LL1", "LL3", "LL5", "LL11", "LL13"):
+            loop = livermore.kernel(name, 5)
+            st = MachineState()
+            r = run(loop.graph, st, max_cycles=100_000)
+            assert r.exited, name
+            assert st.mem, name
+
+    def test_ll11_prefix_sum_values(self):
+        loop = livermore.ll11(4)
+        st = MachineState()
+        st.regs["s"] = 0.0
+        run(loop.graph, st)
+        acc = 0.0
+        for k in range(4):
+            acc += st.read_mem("y", k)
+            assert st.mem[("x", k)] == pytest.approx(acc)
+
+    def test_all_kernels_dict(self):
+        ks = livermore.all_kernels(4)
+        assert set(ks) == set(livermore.kernel_names())
+
+
+class TestPaperExamples:
+    def test_abc_structure(self):
+        body = abc_body()
+        assert [op.name for op in body] == ["a", "b", "c"]
+        loop = abc_loop()
+        loop.graph.check()
+        assert loop.graph.successors(loop.latch) == [loop.header]
+
+    def test_ag_dependences(self):
+        from repro.analysis import build_dag
+
+        body = ag_body()
+        dag = build_dag(body, loop=True)
+        by_name = {op.name: op for op in body}
+        # b depends on a; c on b; g on f.
+        assert by_name["b"].uid in dag.true_succs(by_name["a"].uid)
+        assert by_name["c"].uid in dag.true_succs(by_name["b"].uid)
+        assert by_name["g"].uid in dag.true_succs(by_name["f"].uid)
+        # slope-2 cycle: e -> d carried, d -> e intra.
+        carried = {(e.src, e.dst) for e in dag.carried_edges()}
+        assert (by_name["e"].uid, by_name["d"].uid) in carried
+        assert by_name["e"].uid in dag.true_succs(by_name["d"].uid)
+
+    def test_ag_critical_ratio_is_two(self):
+        from repro.analysis import build_dag, critical_cycle_ratio
+
+        dag = build_dag(ag_body(), loop=True)
+        assert critical_cycle_ratio(dag) == pytest.approx(2.0, abs=1e-6)
+
+
+class TestSynthetic:
+    def test_random_straightline_valid_and_deterministic(self):
+        g1 = random_straightline(random.Random(5), 10)
+        g2 = random_straightline(random.Random(5), 10)
+        g1.check()
+        assert [repr(op) for _, op in g1.all_operations()] == \
+               [repr(op) for _, op in g2.all_operations()]
+
+    def test_random_straightline_observable(self):
+        g = random_straightline(random.Random(1), 9)
+        assert any(op.writes_memory for _, op in g.all_operations())
+
+    def test_random_counted_loop_runs(self):
+        loop = random_counted_loop(random.Random(2), trip=5)
+        loop.graph.check()
+        st = MachineState()
+        r = run(loop.graph, st, max_cycles=100_000)
+        assert r.exited
+
+    def test_random_counted_loop_reduction(self):
+        loop = random_counted_loop(random.Random(3), reduction=True)
+        assert Reg("acc") in loop.carried_regs
+
+    def test_shapes(self):
+        assert len(chain_body(5)) == 6
+        assert len(wide_body(4)) == 8
+
+    def test_branchy_depths(self):
+        for depth in (1, 2, 3):
+            g = branchy_program(depth=depth)
+            g.check()
+            cjs = sum(len(n.cjs) for n in g.nodes.values())
+            assert cjs == depth
