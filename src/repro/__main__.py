@@ -6,7 +6,18 @@ Subcommands::
         Regenerate the paper's Table 1 (GRiP vs POST over LL1-LL14).
 
     python -m repro pipeline <LLk|dsl-file> [--fus N] [--unroll K]
-        Pipeline one kernel and print its kernel/summary.
+                    [--backend tree|vm]
+        Pipeline one kernel and print its kernel/summary.  With
+        ``--backend vm`` the scheduled chain is additionally lowered to
+        a bundle program, executed on the bundle VM, differentially
+        checked against the tree-walking simulator, and reported with
+        realized-cycle columns.
+
+    python -m repro emit <LLk|dsl-file> [--fus N] [--unroll K] [--seq]
+                    [--phys-regs N] [--run]
+        Lower a kernel to a VLIW bundle program and print the listing.
+        ``--seq`` emits the sequential (unscheduled) loop; ``--run``
+        also executes it on the bundle VM with a differential check.
 
     python -m repro kernels
         List the built-in Livermore kernels.
@@ -29,37 +40,97 @@ def cmd_table1(args: argparse.Namespace) -> int:
     for name in livermore.kernel_names():
         for fus in args.fus:
             unroll = max(12, args.unroll_scale * fus)
-            g = pipeline_loop(livermore.kernel(name, unroll),
-                              MachineConfig(fus=fus), unroll=unroll,
+            loop = livermore.kernel(name, unroll)
+            g = pipeline_loop(loop, MachineConfig(fus=fus), unroll=unroll,
                               measure=False)
-            p = pipeline_loop_post(livermore.kernel(name, unroll),
-                                   MachineConfig(fus=fus), unroll=unroll)
-            w = livermore.kernel(name, 4).ops_per_iteration
-            t.add(name, fus, "GRiP", g.speedup, weight=w)
-            t.add(name, fus, "POST", p.speedup, weight=w)
+            p = pipeline_loop_post(loop, MachineConfig(fus=fus),
+                                   unroll=unroll)
+            t.add(name, fus, "GRiP", g.speedup,
+                  weight=loop.ops_per_iteration)
+            t.add(name, fus, "POST", p.speedup,
+                  weight=loop.ops_per_iteration)
         print(f"{name} done", file=sys.stderr)
     print(t.render("Table 1: Observed Speed-up (reproduction)"))
     return 0
 
 
-def cmd_pipeline(args: argparse.Namespace) -> int:
+def _load_kernel(spec: str, unroll: int):
     from .frontend import compile_dsl
+    from .workloads import livermore
+
+    if spec.upper() in livermore.kernel_names():
+        return livermore.kernel(spec, unroll)
+    try:
+        src = Path(spec).read_text()
+    except OSError:
+        raise SystemExit(
+            f"repro: unknown kernel {spec!r}: not a built-in "
+            f"({', '.join(livermore.kernel_names())}) and not a readable "
+            f"DSL file")
+    return compile_dsl(src, unroll, name=Path(spec).stem)
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
     from .ir.render import schedule_table
     from .machine import MachineConfig
     from .pipelining import main_chain, pipeline_loop
-    from .workloads import livermore
 
-    unroll = args.unroll
-    if args.kernel.upper() in livermore.kernel_names():
-        loop = livermore.kernel(args.kernel, unroll)
-    else:
-        src = Path(args.kernel).read_text()
-        loop = compile_dsl(src, unroll, name=Path(args.kernel).stem)
-    res = pipeline_loop(loop, MachineConfig(fus=args.fus), unroll=unroll)
+    loop = _load_kernel(args.kernel, args.unroll)
+    machine = MachineConfig(fus=args.fus)
+    res = pipeline_loop(loop, machine, unroll=args.unroll)
     print(res.summary())
     print()
     print(schedule_table(res.unwound.graph,
                          order=main_chain(res.unwound.graph)))
+    if args.backend == "vm":
+        from .backend import differential_check
+        from .reporting import RealizedRow, realized_cycles_table
+
+        rep = differential_check(res.unwound.graph, machine)
+        prog = rep.program
+        seq = res.measured_seq_cycles
+        row = RealizedRow(
+            kernel=loop.name, machine=str(machine),
+            schedule_length=prog.schedule_length,
+            interp_cycles=rep.interp_cycles[-1],
+            vm_steps=rep.vm_steps[-1],
+            realized_cycles=rep.realized_cycles,
+            sched_speedup=res.speedup,
+            realized_speedup=(seq / rep.realized_cycles
+                              if seq and rep.realized_cycles else None))
+        print(realized_cycles_table([row]))
+        print(f"differential check ok ({len(rep.seeds)} seeds); "
+              f"{prog.summary()}")
+    return 0
+
+
+def cmd_emit(args: argparse.Namespace) -> int:
+    from .machine import MachineConfig
+    from .pipelining import pipeline_loop
+
+    loop = _load_kernel(args.kernel, args.unroll)
+    machine = MachineConfig(fus=args.fus, phys_regs=args.phys_regs)
+    if args.seq:
+        graph = loop.graph
+    else:
+        res = pipeline_loop(loop, MachineConfig(fus=args.fus),
+                            unroll=args.unroll, measure=False)
+        graph = res.unwound.graph
+    from .backend import EncodeError, differential_check, encode
+    from .ir.registers import RegisterPressureError
+
+    try:
+        prog = encode(graph, machine)
+    except (EncodeError, RegisterPressureError) as exc:
+        raise SystemExit(f"repro emit: {exc}")
+    print(prog.render())
+    print(prog.summary())
+    if args.run:
+        rep = differential_check(graph, machine, program=prog)
+        print(f"differential check ok ({len(rep.seeds)} seeds): "
+              f"{rep.vm_steps[-1]} bundles, "
+              f"{rep.realized_cycles} realized cycles vs "
+              f"{rep.interp_cycles[-1]} tree-walker cycles")
     return 0
 
 
@@ -86,10 +157,26 @@ def main(argv: list[str] | None = None) -> int:
     p2.add_argument("kernel", help="LLk name or a DSL source file")
     p2.add_argument("--fus", type=int, default=4)
     p2.add_argument("--unroll", type=int, default=12)
+    p2.add_argument("--backend", choices=("tree", "vm"), default="tree",
+                    help="also execute on the bundle VM with a "
+                         "differential check (vm)")
     p2.set_defaults(fn=cmd_pipeline)
 
     p3 = sub.add_parser("kernels", help="list Livermore kernels")
     p3.set_defaults(fn=cmd_kernels)
+
+    p4 = sub.add_parser("emit", help="lower a kernel to VLIW bundles")
+    p4.add_argument("kernel", help="LLk name or a DSL source file")
+    p4.add_argument("--fus", type=int, default=4)
+    p4.add_argument("--unroll", type=int, default=8)
+    p4.add_argument("--phys-regs", type=int, default=None,
+                    help="physical register file size (default unbounded)")
+    p4.add_argument("--seq", action="store_true",
+                    help="emit the sequential loop instead of the "
+                         "pipelined schedule")
+    p4.add_argument("--run", action="store_true",
+                    help="execute on the bundle VM + differential check")
+    p4.set_defaults(fn=cmd_emit)
 
     args = parser.parse_args(argv)
     return args.fn(args)

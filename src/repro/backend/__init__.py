@@ -1,0 +1,29 @@
+"""VLIW backend: bundle emission, register allocation, fast execution.
+
+The backend turns a scheduled :class:`~repro.ir.graph.ProgramGraph`
+into a concrete, executable VLIW *bundle program* and runs it fast:
+
+* :mod:`repro.backend.bundles` -- the bundle IR and the encoder
+  (per-FU-class slots, flattened CJ trees, explicit successors);
+* :mod:`repro.backend.regalloc` -- linear-scan register allocation
+  onto a finite physical file, with spilling;
+* :mod:`repro.backend.vm` -- the flat array-based bundle interpreter
+  with realized-cycle accounting;
+* :mod:`repro.backend.check` -- differential checking against the
+  tree-walking simulator (the semantic ground truth).
+"""
+
+from .bundles import (Bundle, BundleProgram, EncodeError, EXIT_BUNDLE, Slot,
+                      encode)
+from .check import DifferentialError, DifferentialReport, differential_check
+from .regalloc import (Interval, RegAssignment, SPILL_ARRAY, allocate,
+                       build_intervals)
+from .vm import BundleVM, BundleVMError, VMResult, compile_graph
+
+__all__ = [
+    "Bundle", "BundleProgram", "BundleVM", "BundleVMError",
+    "DifferentialError", "DifferentialReport", "EXIT_BUNDLE", "EncodeError",
+    "Interval", "RegAssignment", "SPILL_ARRAY", "Slot", "VMResult",
+    "allocate", "build_intervals", "compile_graph", "differential_check",
+    "encode",
+]

@@ -1,0 +1,344 @@
+"""Bundle IR: an executable lowering of scheduled program graphs.
+
+A *bundle* is one cycle of a concrete VLIW target: per-functional-unit
+slot lists (:class:`~repro.machine.model.FUClass`), a flattened
+conditional-jump tree, and explicit successor bundle indices per tree
+leaf.  :func:`encode` lowers a (scheduled) :class:`ProgramGraph` into a
+:class:`BundleProgram`:
+
+* one bundle per reachable graph node, laid out in RPO, validated
+  against the machine's total and per-class slot budgets;
+* symbolic registers mapped onto the physical file by
+  :mod:`repro.backend.regalloc`; spilled registers materialize as
+  *reload* bundles (before the using bundle) and *spill-store* bundles
+  (on the outgoing edges of the defining bundle), staged through the
+  allocator's scratch registers;
+* each operation keeps its path set, translated to local leaf indices,
+  so the IBM "commit only on the selected path" semantics survive
+  lowering.
+
+The bundle program stays symbolic enough to read (slots hold
+:class:`~repro.ir.operations.Operation` records); the flat array
+interpreter in :mod:`repro.backend.vm` predecodes it into int-indexed
+tuples for execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Iterator
+
+from ..ir.cjtree import CJTree, EXIT, Leaf
+from ..ir.graph import ProgramGraph
+from ..ir.instruction import Instruction
+from ..ir.operations import Operation, OpKind, load, store
+from ..ir.registers import Operand, Reg
+from ..machine.model import FUClass, MachineConfig, fu_class_of
+from .regalloc import RegAssignment, SPILL_ARRAY, allocate
+
+#: Successor sentinel: leaving the program.
+EXIT_BUNDLE = -1
+
+
+class EncodeError(RuntimeError):
+    """Raised when a graph cannot be lowered onto the target machine."""
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One occupied issue slot: an operation plus its commit paths.
+
+    ``paths`` are *local* leaf indices (0..n_leaves-1 of the owning
+    bundle), not the graph's global leaf ids.
+    """
+
+    op: Operation
+    paths: tuple[int, ...]
+
+
+@dataclass
+class Bundle:
+    """One VLIW bundle (= one issue cycle).
+
+    ``tree`` is the flattened CJ tree: entry ``(cond, on_true,
+    on_false)`` where an encoding ``>= 0`` names another tree entry and
+    ``< 0`` names local leaf ``-enc - 1``.  ``root`` uses the same
+    encoding (a branch-free bundle has an empty tree and root ``-1``).
+    ``leaf_targets`` maps local leaves to successor bundle indices
+    (:data:`EXIT_BUNDLE` for program exit).
+    """
+
+    index: int
+    nid: int  # source graph node, or -1 for synthetic spill traffic
+    slots: dict[FUClass, list[Slot]] = field(
+        default_factory=lambda: {c: [] for c in FUClass})
+    tree: list[tuple[Operand, int, int]] = field(default_factory=list)
+    root: int = -1
+    leaf_targets: list[int] = field(default_factory=lambda: [EXIT_BUNDLE])
+    leaf_cj_counts: list[int] = field(default_factory=lambda: [0])
+    kind: str = "node"  # "node" | "reload" | "spill"
+
+    def all_slots(self) -> Iterator[Slot]:
+        for cls in FUClass:
+            yield from self.slots[cls]
+
+    def op_count(self) -> int:
+        return sum(len(v) for v in self.slots.values())
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaf_targets)
+
+    def add_slot(self, op: Operation, paths: tuple[int, ...]) -> None:
+        self.slots[fu_class_of(op)].append(Slot(op, paths))
+
+
+@dataclass
+class BundleProgram:
+    """An executable bundle program plus its lowering metadata."""
+
+    bundles: list[Bundle]
+    entry: int
+    machine: MachineConfig
+    assignment: RegAssignment
+    arrays: list[str]
+    source_nodes: int = 0
+
+    @property
+    def schedule_length(self) -> int:
+        """Bundles lowered from graph nodes (the schedule's cycles)."""
+        return sum(1 for b in self.bundles if b.kind == "node")
+
+    @property
+    def spill_bundles(self) -> int:
+        return sum(1 for b in self.bundles if b.kind != "node")
+
+    def op_count(self) -> int:
+        return sum(b.op_count() for b in self.bundles)
+
+    def summary(self) -> str:
+        return (f"{len(self.bundles)} bundles ({self.schedule_length} "
+                f"scheduled + {self.spill_bundles} spill), "
+                f"{self.op_count()} slots, {self.assignment.summary()}")
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Assembly-style listing of the whole program."""
+        out = StringIO()
+        for b in self.bundles:
+            src = f"n{b.nid}" if b.kind == "node" else f"{b.kind} n{b.nid}"
+            out.write(f"b{b.index} ({src}): -> {self._render_tree(b)}\n")
+            for cls in FUClass:
+                for slot in b.slots[cls]:
+                    suffix = ""
+                    if b.n_leaves > 1 and len(slot.paths) < b.n_leaves:
+                        suffix = f"  @paths{list(slot.paths)}"
+                    out.write(f"  {cls.name:6s} {slot.op!r}{suffix}\n")
+        return out.getvalue()
+
+    def _render_tree(self, b: Bundle) -> str:
+        def tgt(leaf: int) -> str:
+            t = b.leaf_targets[leaf]
+            return "EXIT" if t == EXIT_BUNDLE else f"b{t}"
+
+        def rec(enc: int) -> str:
+            if enc < 0:
+                return tgt(-enc - 1)
+            cond, te, fe = b.tree[enc]
+            return f"({cond!r}? {rec(te)} : {rec(fe)})"
+
+        return rec(b.root)
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def _mem_chunk(machine: MachineConfig) -> int:
+    """Spill traffic per synthetic bundle (respects MEM/total budgets)."""
+    budget = machine.class_budget(FUClass.MEM)
+    return 1 << 30 if budget is None else max(1, budget)
+
+
+def _subst(operand: Operand, scratch_map: dict[str, Reg]) -> Operand:
+    if isinstance(operand, Reg) and operand.name in scratch_map:
+        return scratch_map[operand.name]
+    return operand
+
+
+def encode(graph: ProgramGraph, machine: MachineConfig = MachineConfig(), *,
+           exit_live: frozenset[Reg] = frozenset(),
+           assignment: RegAssignment | None = None) -> BundleProgram:
+    """Lower ``graph`` to a bundle program for ``machine``.
+
+    Raises :class:`EncodeError` when a node exceeds the machine's slot
+    budgets -- encoding validates the scheduler's contract rather than
+    fixing it up.  Unreachable nodes are not emitted.
+    """
+    order = graph.rpo()
+    if not order:
+        return BundleProgram([], EXIT_BUNDLE, machine,
+                             assignment or RegAssignment(n_phys=0), [])
+    for nid in order:
+        node = graph.nodes[nid]
+        if not machine.fits(node):
+            raise EncodeError(
+                f"node {nid} needs {machine.slots_used(node)} slots; "
+                f"over budget for {machine}")
+    if assignment is None:
+        assignment = allocate(graph, order, phys_regs=machine.phys_regs,
+                              exit_live=exit_live)
+    spilled = assignment.spilled
+    arrays: list[str] = []
+    seen_arrays: set[str] = set()
+
+    def intern_array(name: str) -> None:
+        if name not in seen_arrays:
+            seen_arrays.add(name)
+            arrays.append(name)
+
+    for nid in order:
+        for op in graph.nodes[nid].all_ops():
+            if op.mem is not None:
+                intern_array(op.mem.array)
+    if spilled:
+        intern_array(SPILL_ARRAY)
+
+    bundles: list[Bundle] = []
+    entry_idx: dict[int, int] = {}
+    mains: list[tuple[Bundle, list[int], list[Operation] | None]] = []
+    chunk = _mem_chunk(machine)
+
+    # Pass A: reload bundles + main bundle per node; record leaf node
+    # targets and pending spill stores for pass B.
+    for nid in order:
+        node = graph.nodes[nid]
+        touched = _spilled_touched(node, spilled)
+        scratch_map = {name: Reg(assignment.scratch[j])
+                       for j, name in enumerate(touched)}
+        reload_ops = [load(scratch_map[name], SPILL_ARRAY,
+                           offset=spilled[name], name=f"rld.{name}")
+                      for name in touched if name in _spilled_uses(node, spilled)]
+        store_ops = [store(SPILL_ARRAY, scratch_map[name],
+                           offset=spilled[name], name=f"spl.{name}")
+                     for name in touched
+                     if name in _spilled_defs(node, spilled)]
+        for i in range(0, len(reload_ops), chunk):
+            rb = Bundle(index=len(bundles), nid=nid, kind="reload")
+            for op in reload_ops[i:i + chunk]:
+                rb.add_slot(op, (0,))
+            rb.leaf_targets = [len(bundles) + 1]  # fall through the chain
+            bundles.append(rb)
+        main, leaf_nodes = _encode_node(node, len(bundles), scratch_map)
+        entry_idx[nid] = main.index - _n_chunks(len(reload_ops), chunk)
+        bundles.append(main)
+        mains.append((main, leaf_nodes, store_ops or None))
+
+    # Pass B: resolve main-bundle leaf targets, inserting spill-store
+    # chains on outgoing edges where the node defined spilled registers.
+    store_chains: dict[tuple[int, int], int] = {}
+    for main, leaf_nodes, store_ops in mains:
+        for leaf, target_nid in enumerate(leaf_nodes):
+            target = (EXIT_BUNDLE if target_nid == EXIT
+                      else entry_idx[target_nid])
+            if store_ops:
+                key = (main.index, target)
+                if key not in store_chains:
+                    store_chains[key] = _append_store_chain(
+                        bundles, store_ops, target, chunk, main.nid)
+                target = store_chains[key]
+            main.leaf_targets[leaf] = target
+
+    return BundleProgram(bundles=bundles, entry=entry_idx[order[0]],
+                         machine=machine, assignment=assignment,
+                         arrays=arrays, source_nodes=len(order))
+
+
+def _n_chunks(n: int, chunk: int) -> int:
+    return (n + chunk - 1) // chunk if n else 0
+
+
+def _spilled_uses(node: Instruction, spilled: dict[str, int]) -> set[str]:
+    out: set[str] = set()
+    for op in node.all_ops():
+        out |= {r.name for r in op.uses() if r.name in spilled}
+    return out
+
+
+def _spilled_defs(node: Instruction, spilled: dict[str, int]) -> set[str]:
+    out: set[str] = set()
+    for op in node.ops.values():
+        if op.dest is not None and op.dest.name in spilled:
+            if node.paths[op.uid] != node.all_paths:
+                raise EncodeError(
+                    f"spilled register {op.dest.name} has a "
+                    f"partially-committing def in node {node.nid}")
+            out.add(op.dest.name)
+    return out
+
+
+def _spilled_touched(node: Instruction, spilled: dict[str, int]) -> list[str]:
+    if not spilled:
+        return []
+    return sorted(_spilled_uses(node, spilled) | _spilled_defs(node, spilled))
+
+
+def _append_store_chain(bundles: list[Bundle], store_ops: list[Operation],
+                        target: int, chunk: int, nid: int) -> int:
+    """Append a spill-store chain ending at ``target``; returns its head."""
+    head = len(bundles)
+    chunks = [store_ops[i:i + chunk] for i in range(0, len(store_ops), chunk)]
+    for j, ops in enumerate(chunks):
+        sb = Bundle(index=len(bundles), nid=nid, kind="spill")
+        for op in ops:
+            sb.add_slot(op, (0,))
+        last = j == len(chunks) - 1
+        sb.leaf_targets = [target if last else len(bundles) + 1]
+        bundles.append(sb)
+    return head
+
+
+def _encode_node(node: Instruction, index: int,
+                 scratch_map: dict[str, Reg]
+                 ) -> tuple[Bundle, list[int]]:
+    """Lower one graph node; returns (bundle, per-leaf target node ids)."""
+    leaves = node.leaves()
+    local = {leaf.leaf_id: i for i, leaf in enumerate(leaves)}
+    b = Bundle(index=index, nid=node.nid)
+    b.leaf_targets = [0] * len(leaves)  # filled by pass B
+    b.leaf_cj_counts = [0] * len(leaves)
+
+    tree: list[tuple[Operand, int, int]] = []
+
+    def enc(t: CJTree, depth: int) -> int:
+        if isinstance(t, Leaf):
+            b.leaf_cj_counts[local[t.leaf_id]] = depth
+            return -local[t.leaf_id] - 1
+        cond = _subst(node.cjs[t.cj_uid].srcs[0], scratch_map)
+        row = len(tree)
+        tree.append((cond, 0, 0))
+        te = enc(t.on_true, depth + 1)
+        fe = enc(t.on_false, depth + 1)
+        tree[row] = (cond, te, fe)
+        return row
+
+    b.root = enc(node.tree, 0)
+    b.tree = tree
+
+    for op in sorted(node.ops.values(), key=lambda o: o.uid):
+        if op.kind is OpKind.NOP:
+            continue  # no architectural effect; bundles don't carry them
+        paths = tuple(sorted(local[l] for l in node.paths[op.uid]))
+        b.add_slot(_rewrite_op(op, scratch_map), paths)
+    return b, [leaf.target for leaf in leaves]
+
+
+def _rewrite_op(op: Operation, scratch_map: dict[str, Reg]) -> Operation:
+    """Route spilled registers of one op through scratch registers."""
+    if not scratch_map:
+        return op
+    for name in sorted({r.name for r in op.uses()} & scratch_map.keys()):
+        op = op.substitute_use(Reg(name), scratch_map[name])
+    if op.dest is not None and op.dest.name in scratch_map:
+        op = op.with_dest(scratch_map[op.dest.name])
+    return op

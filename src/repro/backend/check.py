@@ -1,0 +1,129 @@
+"""Differential checking: bundle VM vs the tree-walking simulator.
+
+The tree-walking interpreter is the reproduction's semantic ground
+truth; the bundle backend re-implements execution for speed.  This
+module keeps the two honest against each other: every compiled kernel
+is run through both from identical randomized initial states, and the
+final observable state must match --
+
+* **memory**: every cell either execution touched, compared with the
+  same default-filling rule as
+  :func:`repro.simulator.check.check_equivalent` (spill slots and other
+  ``__``-internal arrays are excluded: they are backend artifacts, not
+  program state);
+* **registers**: any explicitly requested output registers, read back
+  through the register allocation;
+* **cycles**: when the program needed no spill traffic, the VM must
+  execute exactly one bundle per interpreter cycle -- lowering is not
+  allowed to change the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import ProgramGraph
+from ..ir.registers import Reg
+from ..machine.model import MachineConfig
+from ..simulator.check import _close, initial_state, input_registers
+from ..simulator.interp import run
+from .bundles import BundleProgram, encode
+from .vm import BundleVM, VMResult
+
+
+class DifferentialError(AssertionError):
+    """The bundle VM diverged from the tree-walking simulator."""
+
+
+@dataclass
+class DifferentialReport:
+    """Per-seed statistics of a successful differential check."""
+
+    seeds: list[int]
+    interp_cycles: list[int] = field(default_factory=list)
+    vm_steps: list[int] = field(default_factory=list)
+    vm_cycles: list[int] = field(default_factory=list)
+    ops_committed: list[int] = field(default_factory=list)
+    program: BundleProgram | None = None
+
+    @property
+    def realized_cycles(self) -> int:
+        """Realized cycles of the last seed's VM run."""
+        return self.vm_cycles[-1] if self.vm_cycles else 0
+
+
+def differential_check(graph: ProgramGraph,
+                       machine: MachineConfig = MachineConfig(), *,
+                       seeds: tuple[int, ...] = (0, 1, 2),
+                       out_regs: set[str] | None = None,
+                       max_cycles: int = 1_000_000,
+                       program: BundleProgram | None = None,
+                       vm: BundleVM | None = None) -> DifferentialReport:
+    """Run ``graph`` through both executors and assert identical state.
+
+    ``out_regs`` names registers whose final values must also agree
+    (they are pinned live-at-exit for the register allocator, so their
+    physical homes are never reused).  Returns cycle statistics; raises
+    :class:`DifferentialError` on any divergence.
+    """
+    if vm is None:
+        if program is None:
+            exit_live = frozenset(Reg(n) for n in (out_regs or ()))
+            program = encode(graph, machine, exit_live=exit_live)
+        vm = BundleVM(program)
+    program = vm.program
+    inputs = input_registers(graph)
+    report = DifferentialReport(seeds=list(seeds), program=program)
+    for seed in seeds:
+        st = initial_state(seed, inputs)
+        init = dict(st.regs)
+        ref = run(graph, st, max_cycles=max_cycles)
+        res = vm.run(init_regs=init, mem_default=st.mem_default,
+                     max_steps=max_cycles)
+        if not ref.exited:
+            raise DifferentialError(
+                f"seed {seed}: tree-walker did not reach EXIT")
+        if program.spill_bundles == 0 and res.steps != ref.cycles:
+            raise DifferentialError(
+                f"seed {seed}: VM executed {res.steps} bundles but the "
+                f"tree-walker took {ref.cycles} cycles")
+        _compare_memory(st.mem, res, st.mem_default, seed)
+        if out_regs:
+            _compare_registers(st, res, out_regs, seed)
+        report.interp_cycles.append(ref.cycles)
+        report.vm_steps.append(res.steps)
+        report.vm_cycles.append(res.cycles)
+        report.ops_committed.append(res.ops_committed)
+    return report
+
+
+def _compare_memory(ref_mem: dict, res: VMResult, default, seed: int) -> None:
+    vm_mem = res.memory()
+    cells = {c for c in ref_mem if not c[0].startswith("__")} | set(vm_mem)
+    diffs = []
+    for cell in sorted(cells):
+        va = ref_mem.get(cell)
+        if va is None:
+            va = default(*cell)
+        vb = vm_mem.get(cell)
+        if vb is None:
+            vb = default(*cell)
+        if not _close(va, vb):
+            diffs.append(f"  {cell}: tree-walker={va!r} vm={vb!r}")
+    if diffs:
+        raise DifferentialError(
+            f"seed {seed}: memory diverged on {len(diffs)} cell(s):\n"
+            + "\n".join(diffs[:20]))
+
+
+def _compare_registers(st, res: VMResult, out_regs: set[str],
+                       seed: int) -> None:
+    diffs = []
+    for name in sorted(out_regs):
+        va = st.regs.get(name, st.reg_default)
+        vb = res.register(name)
+        if not _close(va, vb):
+            diffs.append(f"  {name}: tree-walker={va!r} vm={vb!r}")
+    if diffs:
+        raise DifferentialError(
+            f"seed {seed}: registers diverged:\n" + "\n".join(diffs[:20]))

@@ -1,0 +1,250 @@
+"""Linear-scan register allocation for bundle programs.
+
+The scheduler works over an unbounded *symbolic* register namespace
+(:mod:`repro.ir.registers`); a concrete VLIW target has a finite
+physical register file.  This module maps every symbolic register that
+a program graph touches onto a physical index, using the classic
+Poletto-Sarkar linear scan over the bundle linearization (the graph's
+RPO, which is exactly the order :func:`repro.backend.bundles.encode`
+lays bundles out in).
+
+Live intervals come from :mod:`repro.analysis.liveness`: a register's
+interval spans every bundle position where it is live at entry, used,
+or defined.  Loops are handled conservatively -- a register live
+around a back edge is live across the whole loop span, so lifetime
+holes inside a loop are never reused.
+
+Spilling
+--------
+When the file is too small, the interval with the furthest end is
+spilled to a slot in a dedicated ``__spill__`` memory array.  The
+encoder materializes slots as reload bundles (before a use) and store
+bundles (after a def), staging values through *scratch* registers
+reserved at the top of the file.  Two restrictions keep spill code
+sound under the IBM path-sensitive commit model:
+
+* only registers whose every definition commits on **all** paths of
+  its node are spill candidates (a partially-committing def would need
+  per-path stores), and
+* the scratch pool must cover the largest number of distinct spilled
+  registers any single node touches; the allocator grows the pool and
+  re-runs until the allocation is self-consistent.
+
+Exceeding both budgets raises
+:class:`~repro.ir.registers.RegisterPressureError`, mirroring what a
+real machine with no free register would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.liveness import liveness
+from ..ir.graph import ProgramGraph
+from ..ir.registers import Reg, RegisterPressureError
+
+#: Memory array backing spill slots (filtered out of differential
+#: memory comparisons; see :mod:`repro.backend.check`).
+SPILL_ARRAY = "__spill__"
+#: Name prefix of scratch registers staging spilled values.
+SCRATCH_PREFIX = "%sp"
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One symbolic register's live span over bundle positions."""
+
+    name: str
+    start: int
+    end: int
+    spillable: bool = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "" if self.spillable else " pinned"
+        return f"<{self.name} [{self.start},{self.end}]{tag}>"
+
+
+@dataclass
+class RegAssignment:
+    """The allocator's output: symbolic name -> physical index / slot.
+
+    ``index`` covers every non-spilled symbolic register plus the
+    scratch registers; ``spilled`` maps spilled names to slot numbers
+    in :data:`SPILL_ARRAY`.  ``n_phys`` is the size of the physical
+    file the VM must materialize (scratch included).
+    """
+
+    n_phys: int
+    index: dict[str, int] = field(default_factory=dict)
+    spilled: dict[str, int] = field(default_factory=dict)
+    scratch: list[str] = field(default_factory=list)
+    intervals: dict[str, Interval] = field(default_factory=dict)
+
+    @property
+    def spill_count(self) -> int:
+        return len(self.spilled)
+
+    def phys_of(self, name: str) -> int:
+        return self.index[name]
+
+    def is_spilled(self, name: str) -> bool:
+        return name in self.spilled
+
+    def summary(self) -> str:
+        return (f"{len(self.index) - len(self.scratch)} regs -> "
+                f"{self.n_phys} physical, {len(self.spilled)} spilled, "
+                f"{len(self.scratch)} scratch")
+
+
+# ----------------------------------------------------------------------
+# Interval construction
+# ----------------------------------------------------------------------
+def node_uses(node) -> set[str]:
+    out: set[str] = set()
+    for op in node.all_ops():
+        out |= {r.name for r in op.uses()}
+    return out
+
+
+def node_defs(node) -> set[str]:
+    return {op.dest.name for op in node.ops.values() if op.dest is not None}
+
+
+def build_intervals(graph: ProgramGraph, order: list[int], *,
+                    exit_live: frozenset[Reg] = frozenset()
+                    ) -> list[Interval]:
+    """Live intervals over the ``order`` linearization.
+
+    ``exit_live`` registers are observable after the program and get
+    their intervals pinned to the last position (and marked
+    unspillable: their final value must sit in a physical register).
+    """
+    live = liveness(graph, exit_live)
+    lo: dict[str, int] = {}
+    hi: dict[str, int] = {}
+    unspillable: set[str] = set()
+
+    def touch(name: str, p: int) -> None:
+        if name not in lo or p < lo[name]:
+            lo[name] = p
+        if name not in hi or p > hi[name]:
+            hi[name] = p
+
+    for p, nid in enumerate(order):
+        node = graph.nodes[nid]
+        for name in node_uses(node) | node_defs(node):
+            touch(name, p)
+        for r in live.live_at_entry(nid):
+            touch(r.name, p)
+        all_paths = node.all_paths
+        for op in node.ops.values():
+            if op.dest is not None and node.paths[op.uid] != all_paths:
+                # Partially-committing def: per-path spill stores would
+                # be needed, so pin the register (see module docstring).
+                unspillable.add(op.dest.name)
+    last = len(order) - 1
+    for r in exit_live:
+        if r.name in lo:
+            touch(r.name, last)
+        unspillable.add(r.name)
+    out = [Interval(name, lo[name], hi[name], name not in unspillable)
+           for name in lo]
+    out.sort(key=lambda iv: (iv.start, iv.end, iv.name))
+    return out
+
+
+def max_spilled_per_node(graph: ProgramGraph, order: list[int],
+                         spilled: set[str]) -> int:
+    """Largest number of distinct spilled registers one node touches."""
+    worst = 0
+    for nid in order:
+        node = graph.nodes[nid]
+        touched = (node_uses(node) | node_defs(node)) & spilled
+        worst = max(worst, len(touched))
+    return worst
+
+
+# ----------------------------------------------------------------------
+# Linear scan
+# ----------------------------------------------------------------------
+def _scan(intervals: list[Interval], available: int
+          ) -> tuple[dict[str, int], dict[str, int]]:
+    """One linear-scan pass; returns (phys index map, spill slot map)."""
+    index: dict[str, int] = {}
+    slots: dict[str, int] = {}
+    free = list(range(available - 1, -1, -1))  # pop() yields 0,1,2,...
+    active: list[Interval] = []  # sorted by end asc
+
+    def insert_active(iv: Interval) -> None:
+        k = 0
+        while k < len(active) and active[k].end <= iv.end:
+            k += 1
+        active.insert(k, iv)
+
+    for iv in intervals:
+        while active and active[0].end < iv.start:
+            free.append(index[active.pop(0).name])
+        if free:
+            index[iv.name] = free.pop()
+            insert_active(iv)
+            continue
+        # No free register: spill the furthest-ending spillable interval.
+        victim = None
+        for cand in reversed(active):
+            if cand.spillable:
+                victim = cand
+                break
+        if iv.spillable and (victim is None or victim.end <= iv.end):
+            victim = iv
+        if victim is None:
+            raise RegisterPressureError(
+                f"cannot allocate {iv.name}: {available} registers, "
+                f"every active interval is unspillable")
+        slots[victim.name] = len(slots)
+        if victim is not iv:
+            active.remove(victim)
+            index[iv.name] = index.pop(victim.name)
+            insert_active(iv)
+    return index, slots
+
+
+def allocate(graph: ProgramGraph, order: list[int] | None = None, *,
+             phys_regs: int | None = None,
+             exit_live: frozenset[Reg] = frozenset()) -> RegAssignment:
+    """Allocate every symbolic register of ``graph`` to a physical index.
+
+    ``phys_regs=None`` models an unbounded file: each register gets its
+    own index (the VM's register array simply grows to fit) and nothing
+    spills.  Otherwise a linear scan with iterative scratch reservation
+    runs as described in the module docstring.
+    """
+    if order is None:
+        order = graph.rpo()
+    if phys_regs is None:
+        names = sorted({n for nid in order
+                        for n in (node_uses(graph.nodes[nid])
+                                  | node_defs(graph.nodes[nid]))})
+        return RegAssignment(n_phys=len(names),
+                             index={n: i for i, n in enumerate(names)})
+
+    intervals = build_intervals(graph, order, exit_live=exit_live)
+    by_name = {iv.name: iv for iv in intervals}
+    scratch_n = 0
+    while True:
+        available = phys_regs - scratch_n
+        if available < 1:
+            raise RegisterPressureError(
+                f"physical file of {phys_regs} cannot host "
+                f"{scratch_n} scratch registers plus live values")
+        index, slots = _scan(intervals, available)
+        if not slots:
+            break
+        need = max_spilled_per_node(graph, order, set(slots))
+        if need <= scratch_n:
+            break
+        scratch_n = need
+    scratch = [f"{SCRATCH_PREFIX}{j}" for j in range(scratch_n)]
+    for j, name in enumerate(scratch):
+        index[name] = phys_regs - scratch_n + j
+    return RegAssignment(n_phys=phys_regs, index=index, spilled=slots,
+                         scratch=scratch, intervals=by_name)

@@ -1,0 +1,417 @@
+"""Flat, array-based interpreter for bundle programs.
+
+This is the fast path for executing scheduled code.  Where the
+tree-walking simulator (:mod:`repro.simulator.interp`) re-derives
+everything per cycle from IR objects -- dict-of-Operation iteration,
+frozenset path tests, string-keyed register dicts -- the bundle VM
+predecodes the whole program once:
+
+* registers live in one flat list indexed by small ints (the physical
+  file, followed by an interned immediate pool, so *every* operand read
+  is ``regs[i]``);
+* each bundle is decoded into int-coded operation tuples, a flattened
+  branch array and, per CJ-tree leaf, the tuple of operations that
+  commit on that path plus the successor bundle index;
+* on top of the decoded form, each bundle is *compiled* to one
+  straight-line Python function (leaf selection as nested ifs, commits
+  as direct ``regs[i]`` reads/writes) -- executing a bundle is a single
+  call, with no per-op dispatch left;
+* memory is a list (indexed by interned array id) of int-keyed dicts
+  with the same lazily-materialized seeded defaults as
+  :class:`~repro.simulator.state.MachineState`.
+
+Execution preserves VLIW entry-state semantics: every operand read in
+a bundle observes the state at bundle entry (results and stores are
+staged in locals and committed after all reads), and only operations
+on the selected CJ-tree path retire.
+
+Timing: one bundle is one issue cycle.  With a multi-cycle
+``MachineConfig.latencies`` map the VM instead runs the decoded form
+under an in-order scoreboard -- a bundle stalls until every register
+it reads is ready, and results become ready ``latency`` cycles after
+issue -- so ``cycles`` reports *realized* cycles (issue + stalls +
+final drain) while ``steps`` stays the number of bundles executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from io import StringIO
+from typing import Callable
+
+from ..ir.operations import OpKind
+from ..ir.registers import Imm, Operand, Reg
+from ..simulator.state import Number, seeded_cell_default
+from .bundles import Bundle, BundleProgram, EXIT_BUNDLE
+from .regalloc import SPILL_ARRAY
+
+
+class BundleVMError(RuntimeError):
+    """Malformed program or exhausted step budget."""
+
+
+# Opcode ints, in OpKind declaration order (predecode maps via _OPC).
+_OPC = {kind: i for i, kind in enumerate(OpKind)}
+(OPC_CONST, OPC_COPY, OPC_ADD, OPC_SUB, OPC_MUL, OPC_DIV, OPC_NEG,
+ OPC_MIN, OPC_MAX, OPC_ABS, OPC_AND, OPC_OR, OPC_XOR, OPC_NOT,
+ OPC_SHL, OPC_SHR, OPC_CMP_EQ, OPC_CMP_NE, OPC_CMP_LT, OPC_CMP_LE,
+ OPC_CMP_GT, OPC_CMP_GE, OPC_LOAD, OPC_STORE, OPC_CJUMP, OPC_NOP
+ ) = (_OPC[k] for k in OpKind)
+
+_MISS = object()
+
+#: opcode -> expression template over entry-state reads ``regs[i]``.
+_EXPR = {
+    OPC_COPY: "regs[{a}]",
+    OPC_ADD: "regs[{a}] + regs[{b}]",
+    OPC_SUB: "regs[{a}] - regs[{b}]",
+    OPC_MUL: "regs[{a}] * regs[{b}]",
+    OPC_DIV: "(regs[{a}] / regs[{b}]) if regs[{b}] != 0 else 0.0",
+    OPC_NEG: "-regs[{a}]",
+    OPC_MIN: "min(regs[{a}], regs[{b}])",
+    OPC_MAX: "max(regs[{a}], regs[{b}])",
+    OPC_ABS: "abs(regs[{a}])",
+    OPC_AND: "int(regs[{a}]) & int(regs[{b}])",
+    OPC_OR: "int(regs[{a}]) | int(regs[{b}])",
+    OPC_XOR: "int(regs[{a}]) ^ int(regs[{b}])",
+    OPC_NOT: "~int(regs[{a}])",
+    OPC_SHL: "int(regs[{a}]) << (int(regs[{b}]) & 63)",
+    OPC_SHR: "int(regs[{a}]) >> (int(regs[{b}]) & 63)",
+    OPC_CMP_EQ: "1 if regs[{a}] == regs[{b}] else 0",
+    OPC_CMP_NE: "1 if regs[{a}] != regs[{b}] else 0",
+    OPC_CMP_LT: "1 if regs[{a}] < regs[{b}] else 0",
+    OPC_CMP_LE: "1 if regs[{a}] <= regs[{b}] else 0",
+    OPC_CMP_GT: "1 if regs[{a}] > regs[{b}] else 0",
+    OPC_CMP_GE: "1 if regs[{a}] >= regs[{b}] else 0",
+}
+
+
+@dataclass
+class VMResult:
+    """Final state and counters of one VM run."""
+
+    steps: int                 # bundles executed
+    cycles: int                # realized cycles (== steps for 1-cycle ops)
+    ops_committed: int
+    exited: bool
+    regs: list[Number]
+    mem: list[dict[int, Number]]
+    program: BundleProgram
+
+    def register(self, name: str) -> Number:
+        """Final value of a symbolic register (physical or spilled)."""
+        asg = self.program.assignment
+        if name in asg.spilled:
+            aid = self.program.arrays.index(SPILL_ARRAY)
+            return self.mem[aid][asg.spilled[name]]
+        return self.regs[asg.index[name]]
+
+    def memory(self, *, include_internal: bool = False
+               ) -> dict[tuple[str, int], Number]:
+        """Final memory as ``(array, index) -> value`` cells.
+
+        Internal arrays (spill slots) are excluded by default so the
+        result is directly comparable with the tree-walker's
+        :class:`~repro.simulator.state.MachineState` memory.
+        """
+        out: dict[tuple[str, int], Number] = {}
+        for aid, cells in enumerate(self.mem):
+            name = self.program.arrays[aid]
+            if not include_internal and name.startswith("__"):
+                continue
+            for idx, val in cells.items():
+                out[(name, idx)] = val
+        return out
+
+
+class BundleVM:
+    """A predecoded, pre-compiled bundle program, ready to run often."""
+
+    def __init__(self, program: BundleProgram) -> None:
+        self.program = program
+        asg = program.assignment
+        self._n_phys = asg.n_phys
+        self._pool_index: dict[tuple[str, float | int], int] = {}
+        self._pool_values: list[Number] = []
+        self._aid_of = {name: i for i, name in enumerate(program.arrays)}
+        lat_map = program.machine.latencies or {}
+        self._track_latency = any(v > 1 for v in lat_map.values())
+        self._decoded = [self._decode(b) for b in program.bundles]
+        self._entry = program.entry
+        self._fns: list[Callable] = self._compile()
+
+    # ------------------------------------------------------------------
+    # Predecode: bundle -> int-coded tuples
+    # ------------------------------------------------------------------
+    def _operand(self, operand: Operand) -> int:
+        if isinstance(operand, Imm):
+            key = (type(operand.value).__name__, operand.value)
+            idx = self._pool_index.get(key)
+            if idx is None:
+                idx = len(self._pool_values)  # rebased by n_phys later
+                self._pool_index[key] = idx
+                self._pool_values.append(operand.value)
+            return self._n_phys + idx
+        assert isinstance(operand, Reg)
+        return self.program.assignment.index[operand.name]
+
+    def _decode(self, b: Bundle) -> tuple:
+        ops: list[tuple] = []
+        slot_list = list(b.all_slots())
+        lat_of = self.program.machine.latency
+        for slot in slot_list:
+            op = slot.op
+            code = _OPC[op.kind]
+            dest = -1 if op.dest is None else self._operand(op.dest)
+            a = bb = aid = iidx = -1
+            ioff = 0
+            if op.mem is not None:
+                aid = self._aid_of[op.mem.array]
+                ioff = op.mem.offset
+                if op.mem.index is not None:
+                    iidx = self._operand(op.mem.index)
+            if op.srcs:
+                a = self._operand(op.srcs[0])
+            if len(op.srcs) > 1:
+                bb = self._operand(op.srcs[1])
+            if code == OPC_CONST:
+                code = OPC_COPY  # the immediate is interned in the pool
+            ops.append((code, dest, a, bb, aid, iidx, ioff, lat_of(op)))
+        tree = tuple((self._operand(cond), te, fe)
+                     for cond, te, fe in b.tree)
+        commits = tuple(
+            tuple(i for i, slot in enumerate(slot_list) if leaf in slot.paths)
+            for leaf in range(b.n_leaves))
+        counts = tuple(len(commits[leaf]) + b.leaf_cj_counts[leaf]
+                       for leaf in range(b.n_leaves))
+        stall: set[int] = {c for c, _, _ in tree}
+        for code, dest, a, bb, aid, iidx, ioff, lat in ops:
+            stall.update(r for r in (a, bb, iidx) if r >= 0)
+        return (tuple(ops), tree, b.root, tuple(b.leaf_targets),
+                commits, counts, tuple(sorted(stall)))
+
+    # ------------------------------------------------------------------
+    # Compile: bundle -> one straight-line Python function
+    # ------------------------------------------------------------------
+    def _compile(self) -> list[Callable]:
+        src = StringIO()
+        for idx, rec in enumerate(self._decoded):
+            self._emit_bundle(src, idx, rec)
+        glb = {"_MISS": _MISS}
+        exec(compile(src.getvalue(), "<bundle-program>", "exec"), glb)
+        return [glb[f"_b{idx}"] for idx in range(len(self._decoded))]
+
+    def _emit_bundle(self, out: StringIO, idx: int, rec: tuple) -> None:
+        ops, tree, root, leaf_next, commits, counts, _stall = rec
+        arrays = self.program.arrays
+        out.write(f"def _b{idx}(regs, mem, default, ctr):\n")
+
+        def emit_leaf(leaf: int, ind: str) -> None:
+            reads: list[str] = []
+            writes: list[str] = []
+            for oi in commits[leaf]:
+                code, dest, a, b, aid, iidx, ioff, _lat = ops[oi]
+                addr = str(ioff) if iidx < 0 else (
+                    f"{ioff} + int(regs[{iidx}])" if ioff else
+                    f"int(regs[{iidx}])")
+                if code == OPC_LOAD:
+                    reads += [
+                        f"_a{oi} = {addr}",
+                        f"_m{oi} = mem[{aid}]",
+                        f"t{oi} = _m{oi}.get(_a{oi}, _MISS)",
+                        f"if t{oi} is _MISS:",
+                        f"    t{oi} = default({arrays[aid]!r}, _a{oi})",
+                        f"    _m{oi}[_a{oi}] = t{oi}",
+                    ]
+                    writes.append(f"regs[{dest}] = t{oi}")
+                elif code == OPC_STORE:
+                    reads += [f"_a{oi} = {addr}", f"_v{oi} = regs[{a}]"]
+                    writes.append(f"mem[{aid}][_a{oi}] = _v{oi}")
+                else:
+                    expr = _EXPR[code].format(a=a, b=b)
+                    reads.append(f"t{oi} = {expr}")
+                    writes.append(f"regs[{dest}] = t{oi}")
+            for line in reads + writes:
+                out.write(ind + line + "\n")
+            if counts[leaf]:
+                out.write(ind + f"ctr[0] += {counts[leaf]}\n")
+            out.write(ind + f"return {leaf_next[leaf]}\n")
+
+        def emit(enc: int, ind: str) -> None:
+            if enc < 0:
+                emit_leaf(-enc - 1, ind)
+                return
+            cond, te, fe = tree[enc]
+            out.write(ind + f"if regs[{cond}] != 0:\n")
+            emit(te, ind + "    ")
+            out.write(ind + "else:\n")
+            emit(fe, ind + "    ")
+
+        emit(root, "    ")
+        out.write("\n")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _fresh_state(self, init_regs, mem_default, reg_default):
+        asg = self.program.assignment
+        regs: list[Number] = [reg_default] * self._n_phys + self._pool_values
+        mem: list[dict[int, Number]] = [dict() for _ in self.program.arrays]
+        default = (mem_default if mem_default is not None
+                   else seeded_cell_default(0))
+        if asg.spilled:
+            spill_aid = self._aid_of[SPILL_ARRAY]
+            for name, slot in asg.spilled.items():
+                mem[spill_aid][slot] = reg_default
+        if init_regs:
+            for name, val in init_regs.items():
+                if name in asg.spilled:
+                    mem[self._aid_of[SPILL_ARRAY]][asg.spilled[name]] = val
+                elif name in asg.index:
+                    regs[asg.index[name]] = val
+        return regs, mem, default
+
+    def run(self, init_regs: dict[str, Number] | None = None,
+            mem_default: Callable[[str, int], Number] | None = None, *,
+            reg_default: Number = 0.0,
+            max_steps: int = 1_000_000) -> VMResult:
+        """Execute from the entry bundle until exit.
+
+        Raises :class:`BundleVMError` when ``max_steps`` bundles execute
+        without reaching EXIT (mirroring the tree-walker's budget).
+        """
+        regs, mem, default = self._fresh_state(init_regs, mem_default,
+                                               reg_default)
+        if self._entry == EXIT_BUNDLE:
+            return VMResult(0, 0, 0, True, regs, mem, self.program)
+        if self._track_latency:
+            return self._run_timed(regs, mem, default, max_steps)
+        fns = self._fns
+        ctr = [0]
+        b = self._entry
+        steps = 0
+        while b >= 0:
+            if steps >= max_steps:
+                raise BundleVMError(
+                    f"step budget {max_steps} exhausted at bundle {b}")
+            b = fns[b](regs, mem, default, ctr)
+            steps += 1
+        return VMResult(steps=steps, cycles=steps, ops_committed=ctr[0],
+                        exited=True, regs=regs, mem=mem,
+                        program=self.program)
+
+    # ------------------------------------------------------------------
+    # Scoreboard path: realized cycles under multi-cycle latencies
+    # ------------------------------------------------------------------
+    def _run_timed(self, regs, mem, default, max_steps) -> VMResult:
+        arrays = self.program.arrays
+        decoded = self._decoded
+        ready = [0] * len(regs)
+        b = self._entry
+        steps = cycle = done = opsc = 0
+        while b >= 0:
+            if steps >= max_steps:
+                raise BundleVMError(
+                    f"step budget {max_steps} exhausted at bundle {b}")
+            ops, tree, root, leaf_next, commits, counts, stall = decoded[b]
+            e = root
+            while e >= 0:
+                c, te, fe = tree[e]
+                e = te if regs[c] != 0 else fe
+            leaf = -1 - e
+            issue = cycle
+            for r in stall:
+                rr = ready[r]
+                if rr > issue:
+                    issue = rr
+            writes: list = []
+            stores: list = []
+            for oi in commits[leaf]:
+                code, dest, a, bb, aid, iidx, ioff, lat = ops[oi]
+                if code == OPC_LOAD:
+                    addr = ioff if iidx < 0 else ioff + int(regs[iidx])
+                    m = mem[aid]
+                    v = m.get(addr, _MISS)
+                    if v is _MISS:
+                        v = default(arrays[aid], addr)
+                        m[addr] = v
+                elif code == OPC_STORE:
+                    addr = ioff if iidx < 0 else ioff + int(regs[iidx])
+                    stores.append((aid, addr, regs[a], lat))
+                    continue
+                else:
+                    v = _compute(code, regs, a, bb)
+                writes.append((dest, v, lat))
+            for dest, v, lat in writes:
+                regs[dest] = v
+                t = issue + lat
+                ready[dest] = t
+                if t > done:
+                    done = t
+            for aid, addr, v, lat in stores:
+                mem[aid][addr] = v
+                if issue + lat > done:
+                    done = issue + lat
+            cycle = issue + 1
+            steps += 1
+            opsc += counts[leaf]
+            b = leaf_next[leaf]
+        return VMResult(steps=steps, cycles=max(cycle, done),
+                        ops_committed=opsc, exited=True, regs=regs,
+                        mem=mem, program=self.program)
+
+
+def _compute(code: int, regs: list, a: int, b: int) -> Number:
+    """Decoded-tuple evaluation (scoreboard path only)."""
+    if code == OPC_ADD:
+        return regs[a] + regs[b]
+    if code == OPC_MUL:
+        return regs[a] * regs[b]
+    if code == OPC_SUB:
+        return regs[a] - regs[b]
+    if code == OPC_COPY:
+        return regs[a]
+    if code == OPC_DIV:
+        d = regs[b]
+        return regs[a] / d if d != 0 else 0.0
+    if code == OPC_NEG:
+        return -regs[a]
+    if code == OPC_MIN:
+        return min(regs[a], regs[b])
+    if code == OPC_MAX:
+        return max(regs[a], regs[b])
+    if code == OPC_ABS:
+        return abs(regs[a])
+    if code == OPC_AND:
+        return int(regs[a]) & int(regs[b])
+    if code == OPC_OR:
+        return int(regs[a]) | int(regs[b])
+    if code == OPC_XOR:
+        return int(regs[a]) ^ int(regs[b])
+    if code == OPC_NOT:
+        return ~int(regs[a])
+    if code == OPC_SHL:
+        return int(regs[a]) << (int(regs[b]) & 63)
+    if code == OPC_SHR:
+        return int(regs[a]) >> (int(regs[b]) & 63)
+    if code == OPC_CMP_EQ:
+        return 1 if regs[a] == regs[b] else 0
+    if code == OPC_CMP_NE:
+        return 1 if regs[a] != regs[b] else 0
+    if code == OPC_CMP_LT:
+        return 1 if regs[a] < regs[b] else 0
+    if code == OPC_CMP_LE:
+        return 1 if regs[a] <= regs[b] else 0
+    if code == OPC_CMP_GT:
+        return 1 if regs[a] > regs[b] else 0
+    if code == OPC_CMP_GE:
+        return 1 if regs[a] >= regs[b] else 0
+    raise BundleVMError(f"undecodable opcode {code}")
+
+
+def compile_graph(graph, machine=None, **kw) -> BundleVM:
+    """Encode + predecode + compile in one call (caller convenience)."""
+    from ..machine.model import MachineConfig
+    from .bundles import encode
+
+    return BundleVM(encode(graph, machine or MachineConfig(), **kw))

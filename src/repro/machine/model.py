@@ -56,12 +56,19 @@ class MachineConfig:
         missing kinds default to 1 cycle.
     count_nops:
         Whether NOPs consume a slot (default False).
+    phys_regs:
+        Size of the physical register file the backend allocates onto;
+        ``None`` (default) models an unbounded file, so the bundle
+        encoder gives every symbolic register its own home and never
+        spills.  The percolation framework itself always works over
+        the symbolic namespace; only lowering consumes this.
     """
 
     fus: int | None = 4
     typed: dict[FUClass, int] | None = None
     latencies: dict[OpKind, int] | None = None
     count_nops: bool = False
+    phys_regs: int | None = None
 
     # ------------------------------------------------------------------
     def slots_used(self, node: Instruction) -> int:
@@ -139,6 +146,19 @@ class MachineConfig:
         if self.latencies is None:
             return 1
         return self.latencies.get(op.kind, 1)
+
+    def class_budget(self, cls: FUClass) -> int | None:
+        """Issue slots available to one FU class (None = unbounded).
+
+        With typed budgets this is the class's own budget capped by the
+        total; untyped machines bound every class by ``fus`` alone.
+        The bundle encoder uses this to size spill-traffic bundles.
+        """
+        if self.fus is None:
+            return None
+        if self.typed and cls in self.typed:
+            return min(self.fus, self.typed[cls])
+        return self.fus
 
     @property
     def is_infinite(self) -> bool:

@@ -1,7 +1,9 @@
 """Result tables and the aggregate statistics of Table 1."""
 
 from .stats import arithmetic_mean, geometric_mean, harmonic_mean, weighted_harmonic_mean
-from .tables import SpeedupTable, comparison_table
+from .tables import (RealizedRow, SpeedupTable, comparison_table,
+                     realized_cycles_table)
 
-__all__ = ["SpeedupTable", "arithmetic_mean", "comparison_table",
-           "geometric_mean", "harmonic_mean", "weighted_harmonic_mean"]
+__all__ = ["RealizedRow", "SpeedupTable", "arithmetic_mean",
+           "comparison_table", "geometric_mean", "harmonic_mean",
+           "realized_cycles_table", "weighted_harmonic_mean"]

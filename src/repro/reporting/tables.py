@@ -70,6 +70,38 @@ class SpeedupTable:
         return out.getvalue()
 
 
+@dataclass
+class RealizedRow:
+    """One kernel's schedule-length vs realized-cycle measurements.
+
+    ``sched_speedup`` is the paper's analytic metric (sequential cycles
+    per iteration over the initiation interval); ``realized_speedup``
+    divides actually-executed sequential cycles by the bundle VM's
+    realized cycles, so stalls from multi-cycle latencies and spill
+    traffic show up side by side with the schedule-length claim.
+    """
+
+    kernel: str
+    machine: str
+    schedule_length: int        # bundles lowered from graph nodes
+    interp_cycles: int          # tree-walking simulator cycles
+    vm_steps: int               # bundles the VM executed (incl. spill)
+    realized_cycles: int        # VM cycles incl. latency stalls
+    sched_speedup: float | None = None
+    realized_speedup: float | None = None
+
+
+def realized_cycles_table(rows: Sequence[RealizedRow],
+                          title: str = "Realized cycles (bundle VM)") -> str:
+    """Render realized-cycle columns next to schedule-length speedups."""
+    headers = ["Kernel", "Machine", "Bundles", "TreeCyc", "VMSteps",
+               "Realized", "Sched x", "Real x"]
+    body = [[r.kernel, r.machine, r.schedule_length, r.interp_cycles,
+             r.vm_steps, r.realized_cycles, r.sched_speedup,
+             r.realized_speedup] for r in rows]
+    return comparison_table(headers, body, title)
+
+
 def comparison_table(headers: Sequence[str],
                      rows: Sequence[Sequence[object]],
                      title: str = "") -> str:

@@ -1,0 +1,107 @@
+"""Unit tests for the bundle IR and the encoder."""
+
+import pytest
+
+from repro.backend import EXIT_BUNDLE, EncodeError, encode
+from repro.backend.regalloc import SPILL_ARRAY
+from repro.ir import ProgramGraph, add, cjump, load, store
+from repro.ir.builder import SequentialBuilder
+from repro.machine import FUClass, MachineConfig
+from repro.workloads import livermore
+
+
+def seq_graph(*ops):
+    b = SequentialBuilder()
+    for op in ops:
+        b.append(op)
+    return b.graph
+
+
+class TestEncoding:
+    def test_one_bundle_per_reachable_node(self):
+        loop = livermore.kernel("LL1", 6)
+        prog = encode(loop.graph, MachineConfig(fus=4))
+        assert prog.schedule_length == len(loop.graph.rpo())
+        assert prog.spill_bundles == 0
+
+    def test_slot_classes(self):
+        g = seq_graph(load("a", "x", "k"), add("b", "a", 1),
+                      store("y", "b", "k"))
+        prog = encode(g, MachineConfig(fus=4))
+        kinds = [(b.slots[FUClass.MEM], b.slots[FUClass.ALU])
+                 for b in prog.bundles]
+        assert len(kinds[0][0]) == 1 and not kinds[0][1]   # load -> MEM
+        assert len(kinds[1][1]) == 1 and not kinds[1][0]   # add  -> ALU
+        assert len(kinds[2][0]) == 1                       # store -> MEM
+
+    def test_budget_violation_raises(self):
+        g = ProgramGraph()
+        n = g.new_node()
+        for i in range(5):
+            n.add_op(add(f"a{i}", "x", i))
+        g.set_entry(n.nid)
+        with pytest.raises(EncodeError):
+            encode(g, MachineConfig(fus=4))
+        encode(g, MachineConfig(fus=8))  # fits a wider machine
+
+    def test_branch_targets_and_exit(self):
+        b = SequentialBuilder()
+        b.append(add("c", "x", 1))
+        b.append_cjump(cjump("c"))
+        b.append(add("d", "x", 2))
+        prog = encode(b.graph, MachineConfig(fus=4))
+        branch = prog.bundles[1]
+        assert branch.n_leaves == 2
+        assert EXIT_BUNDLE in branch.leaf_targets  # taken side exits
+        assert 2 in branch.leaf_targets            # fall-through side
+
+    def test_unreachable_nodes_not_emitted(self):
+        g = seq_graph(add("a", "x", 1))
+        orphan = g.new_node()
+        orphan.add_op(add("dead", "x", 9))
+        prog = encode(g, MachineConfig(fus=4))
+        assert prog.schedule_length == 1
+
+    def test_render_lists_every_bundle(self):
+        loop = livermore.kernel("LL12", 4)
+        prog = encode(loop.graph, MachineConfig(fus=4))
+        listing = prog.render()
+        for b in prog.bundles:
+            assert f"b{b.index} " in listing
+
+    def test_paths_become_local_leaf_indices(self):
+        loop = livermore.kernel("LL1", 4)
+        prog = encode(loop.graph, MachineConfig(fus=4))
+        for b in prog.bundles:
+            for slot in b.all_slots():
+                assert slot.paths
+                assert all(0 <= p < b.n_leaves for p in slot.paths)
+
+
+class TestSpillLowering:
+    def test_spill_traffic_emitted_and_chunked(self):
+        loop = livermore.kernel("LL7", 6)
+        machine = MachineConfig(fus=4, phys_regs=6)
+        prog = encode(loop.graph, machine)
+        assert prog.spill_bundles > 0
+        assert SPILL_ARRAY in prog.arrays
+        mem_budget = machine.class_budget(FUClass.MEM)
+        for b in prog.bundles:
+            if b.kind in ("reload", "spill"):
+                assert len(b.slots[FUClass.MEM]) <= mem_budget
+
+    def test_spill_bundles_respect_typed_mem_budget(self):
+        loop = livermore.kernel("LL7", 6)
+        machine = MachineConfig(
+            fus=4, typed={FUClass.ALU: 4, FUClass.MEM: 1, FUClass.BRANCH: 1},
+            phys_regs=6)
+        prog = encode(loop.graph, machine)
+        for b in prog.bundles:
+            if b.kind in ("reload", "spill"):
+                assert len(b.slots[FUClass.MEM]) <= 1
+
+    def test_summary_reports_layout(self):
+        loop = livermore.kernel("LL3", 4)
+        prog = encode(loop.graph, MachineConfig(fus=4))
+        s = prog.summary()
+        assert "bundles" in s and "slots" in s

@@ -1,0 +1,104 @@
+"""Unit tests for the linear-scan register allocator."""
+
+import pytest
+
+from repro.backend.regalloc import allocate, build_intervals
+from repro.ir import Reg, add
+from repro.ir.builder import SequentialBuilder
+from repro.ir.registers import RegisterPressureError
+
+
+def chain(*ops):
+    b = SequentialBuilder()
+    for op in ops:
+        b.append(op)
+    return b.graph
+
+
+class TestIntervals:
+    def test_simple_spans(self):
+        # a live [0,1]; b live [1,2]; x is an input read at 0 and 1.
+        g = chain(add("a", "x", 1),
+                  add("b", "a", "x"),
+                  add("c", "b", 2))
+        ivs = {iv.name: iv for iv in build_intervals(g, g.rpo())}
+        assert ivs["a"].start == 0 and ivs["a"].end == 1
+        assert ivs["b"].start == 1 and ivs["b"].end == 2
+        assert ivs["x"].start == 0 and ivs["x"].end == 1
+
+    def test_exit_live_pins_to_end(self):
+        g = chain(add("a", "x", 1), add("b", "a", 1), add("c", "b", 1))
+        ivs = {iv.name: iv
+               for iv in build_intervals(g, g.rpo(),
+                                         exit_live=frozenset({Reg("a")}))}
+        assert ivs["a"].end == 2
+        assert not ivs["a"].spillable
+
+    def test_loop_carried_spans_whole_loop(self):
+        # s is carried around the back edge: live across the full span.
+        b = SequentialBuilder()
+        n1 = b.append(add("s", "s", 1))
+        b.append(add("t", "s", 2))
+        g = b.graph
+        g.retarget_leaf(b.tail.nid, b.tail.leaves()[0].leaf_id, n1.nid)
+        ivs = {iv.name: iv for iv in build_intervals(g, g.rpo())}
+        assert (ivs["s"].start, ivs["s"].end) == (0, 1)
+
+
+class TestAllocate:
+    def test_unbounded_gives_unique_homes(self):
+        g = chain(add("a", "x", 1), add("b", "a", 1), add("c", "b", 1))
+        asg = allocate(g)
+        names = {"a", "b", "c", "x"}
+        assert set(asg.index) == names
+        assert len(set(asg.index.values())) == len(names)
+        assert not asg.spilled
+
+    def test_overlapping_lifetimes_get_distinct_registers(self):
+        g = chain(add("a", "x", 1),
+                  add("b", "x", 2),
+                  add("c", "a", "b"))
+        asg = allocate(g, phys_regs=8)
+        assert asg.index["a"] != asg.index["b"]
+        assert asg.index["a"] != asg.index["x"]
+
+    def test_dead_register_home_is_reused(self):
+        # a dies at op 1; c's lifetime starts at op 2 -> can share.
+        g = chain(add("a", "x", 1),
+                  add("b", "a", 1),
+                  add("c", "b", 1),
+                  add("d", "c", 1))
+        asg = allocate(g, phys_regs=3)
+        assert not asg.spilled
+        used = {asg.index[n] for n in ("a", "b", "c", "d", "x")}
+        assert len(used) <= 3
+
+    def test_spills_when_file_too_small(self):
+        ops = [add(f"v{i}", "x", i) for i in range(6)]
+        ops.append(add("sum", "v0", "v1"))
+        ops.append(add("sum", "sum", "v2"))
+        ops.append(add("sum", "sum", "v3"))
+        ops.append(add("sum", "sum", "v4"))
+        ops.append(add("sum", "sum", "v5"))
+        g = chain(*ops)
+        asg = allocate(g, phys_regs=4)
+        assert asg.spilled  # pressure is 7 live values at the peak
+        assert asg.scratch
+        # every name has a home: physical or a spill slot
+        for name in ("x", "sum", *(f"v{i}" for i in range(6))):
+            assert name in asg.index or name in asg.spilled
+        # spill slots are distinct
+        assert len(set(asg.spilled.values())) == len(asg.spilled)
+
+    def test_impossible_pressure_raises(self):
+        g = chain(add("a", "x", 1), add("b", "a", "x"))
+        with pytest.raises(RegisterPressureError):
+            allocate(g, phys_regs=0)
+
+    def test_assignment_summary_mentions_spills(self):
+        g = chain(*[add(f"v{i}", "x", i) for i in range(6)],
+                  add("s", "v0", "v5"), add("s2", "v1", "v4"),
+                  add("s3", "v2", "v3"), add("t", "s", "s2"),
+                  add("u", "t", "s3"))
+        asg = allocate(g, phys_regs=4)
+        assert "spilled" in asg.summary()

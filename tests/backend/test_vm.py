@@ -1,0 +1,144 @@
+"""Unit tests for the flat bundle VM's execution semantics."""
+
+import pytest
+
+from repro.backend import BundleVM, BundleVMError, encode
+from repro.ir import OpKind, ProgramGraph, add, cjump, copy, load, store
+from repro.ir.builder import SequentialBuilder
+from repro.machine import MachineConfig
+from repro.simulator.state import seeded_cell_default
+
+
+def run_graph(g, machine=None, init=None, out=()):
+    from repro.ir.registers import Reg
+
+    machine = machine or MachineConfig(fus=8)
+    prog = encode(g, machine, exit_live=frozenset(Reg(n) for n in out))
+    res = BundleVM(prog).run(init_regs=init or {})
+    return res
+
+
+class TestEntryStateSemantics:
+    def test_parallel_swap_reads_entry_values(self):
+        # One bundle holding x<-y and y<-x must swap, not duplicate.
+        g = ProgramGraph()
+        n = g.new_node()
+        n.add_op(copy("x", "y"))
+        n.add_op(copy("y", "x"))
+        g.set_entry(n.nid)
+        res = run_graph(g, init={"x": 1.0, "y": 2.0}, out=("x", "y"))
+        assert res.register("x") == 2.0
+        assert res.register("y") == 1.0
+
+    def test_load_sees_entry_memory_despite_store_in_same_bundle(self):
+        g = ProgramGraph()
+        n = g.new_node()
+        n.add_op(store("m", "v", offset=0))
+        n.add_op(load("r", "m", offset=0))
+        g.set_entry(n.nid)
+        res = run_graph(g, init={"v": 42.0}, out=("r",))
+        # the load observes the pre-store (default) value
+        assert res.register("r") == seeded_cell_default(0)("m", 0)
+        assert res.memory()[("m", 0)] == 42.0
+
+
+class TestPathSensitiveCommit:
+    def _branchy(self):
+        # One node: CJ on c; op "t" commits only on the taken side.
+        g = ProgramGraph()
+        n = g.new_node()
+        t_leaf, f_leaf = n.add_root_cj(cjump("c"), -1, -1)
+        n.add_op(add("t", "x", 10), paths=frozenset({t_leaf.leaf_id}))
+        n.add_op(add("u", "x", 20), paths=frozenset({f_leaf.leaf_id}))
+        g.set_entry(n.nid)
+        return g
+
+    def test_only_selected_path_commits(self):
+        g = self._branchy()
+        res = run_graph(g, init={"c": 1, "x": 1.0}, out=("t", "u"))
+        assert res.register("t") == 11.0
+        assert res.register("u") == 0.0  # never committed
+        res2 = run_graph(g, init={"c": 0, "x": 1.0}, out=("t", "u"))
+        assert res2.register("t") == 0.0
+        assert res2.register("u") == 21.0
+
+    def test_committed_op_count_tracks_path(self):
+        g = self._branchy()
+        res = run_graph(g, init={"c": 1, "x": 1.0}, out=("t", "u"))
+        # one ALU op + the conditional jump
+        assert res.ops_committed == 2
+
+
+class TestTiming:
+    def test_steps_equal_cycles_for_single_cycle_machine(self):
+        b = SequentialBuilder()
+        for i in range(5):
+            b.append(add(f"a{i}", "x", i))
+        res = run_graph(b.graph)
+        assert res.steps == 5
+        assert res.cycles == 5
+
+    def test_latency_stalls_accumulate(self):
+        # mul (3 cycles) feeds the next bundle -> 2 stall cycles.
+        b = SequentialBuilder()
+        b.append(add("a", "x", "x"))
+        from repro.ir.operations import mul
+
+        b.append(mul("m", "a", "a"))
+        b.append(add("r", "m", 1))
+        m = MachineConfig(fus=4, latencies={OpKind.MUL: 3})
+        res = run_graph(b.graph, machine=m, init={"x": 2.0}, out=("r",))
+        assert res.register("r") == 17.0
+        assert res.steps == 3
+        # issue: add@0, mul@1 (a ready at 1), add@4 (m ready at 4) -> 5
+        assert res.cycles == 5
+
+    def test_final_drain_counts(self):
+        b = SequentialBuilder()
+        from repro.ir.operations import mul
+
+        b.append(mul("m", "x", "x"))
+        m = MachineConfig(fus=4, latencies={OpKind.MUL: 4})
+        res = run_graph(b.graph, machine=m, init={"x": 2.0}, out=("m",))
+        assert res.steps == 1
+        assert res.cycles == 4  # result lands 4 cycles after issue
+
+    def test_step_budget_raises(self):
+        # a self-loop never exits
+        b = SequentialBuilder()
+        n = b.append(add("a", "a", 1))
+        b.graph.retarget_leaf(n.nid, n.leaves()[0].leaf_id, n.nid)
+        prog = encode(b.graph, MachineConfig(fus=4))
+        with pytest.raises(BundleVMError):
+            BundleVM(prog).run(max_steps=100)
+
+
+class TestOperandInterning:
+    def test_immediates_share_pool_slots(self):
+        b = SequentialBuilder()
+        b.append(add("a", "x", 7))
+        b.append(add("c", "x", 7))
+        b.append(add("d", "x", 9))
+        prog = encode(b.graph, MachineConfig(fus=4))
+        vm = BundleVM(prog)
+        assert len(vm._pool_values) == 2  # 7 interned once, 9 once
+
+    def test_int_and_float_immediates_stay_distinct(self):
+        b = SequentialBuilder()
+        b.append(add("a", "x", 1))
+        b.append(add("c", "x", 1.0))
+        vm = BundleVM(encode(b.graph, MachineConfig(fus=4)))
+        assert len(vm._pool_values) == 2
+
+
+class TestStateAccessors:
+    def test_memory_excludes_internal_arrays(self):
+        from repro.workloads import livermore
+
+        loop = livermore.kernel("LL7", 4)
+        prog = encode(loop.graph, MachineConfig(fus=4, phys_regs=6))
+        assert prog.spill_bundles > 0
+        res = BundleVM(prog).run()
+        assert all(not a.startswith("__") for a, _ in res.memory())
+        assert any(a.startswith("__")
+                   for a, _ in res.memory(include_internal=True))

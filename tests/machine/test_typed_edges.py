@@ -1,0 +1,76 @@
+"""Edge cases of the typed-unit MachineConfig extension."""
+
+from repro.ir import OpKind, ProgramGraph, add, cjump, load, nop, store
+from repro.ir.operations import mul
+from repro.machine import FUClass, MachineConfig
+
+
+def node_with(*ops):
+    g = ProgramGraph()
+    n = g.new_node()
+    for op in ops:
+        n.add_op(op)
+    return n
+
+
+class TestClassBudgetVsTotalBudget:
+    def test_class_exhausted_while_total_free(self):
+        # 4 total slots, but only 1 MEM slot: a second load must be
+        # rejected even though 3 total slots remain.
+        m = MachineConfig(fus=4, typed={FUClass.ALU: 3, FUClass.MEM: 1})
+        n = node_with(load("a", "x", "k"))
+        assert m.slots_used(n) == 1
+        assert not m.can_accept(n, load("b", "y", "k"))
+        assert m.can_accept(n, add("c", "a", 1))
+        # room() reports the *tightest* headroom: MEM is full.
+        assert m.room(n) == 0
+
+    def test_unlisted_class_bounded_by_total_only(self):
+        # BRANCH has no per-class budget here: only fus constrains it.
+        m = MachineConfig(fus=2, typed={FUClass.ALU: 1})
+        n = node_with(add("a", "x", 1))
+        assert m.can_accept(n, cjump("a"))
+        assert not m.can_accept(n, add("b", "x", 2))
+
+    def test_class_budget_helper(self):
+        m = MachineConfig(fus=4, typed={FUClass.MEM: 2})
+        assert m.class_budget(FUClass.MEM) == 2
+        assert m.class_budget(FUClass.ALU) == 4  # capped by total
+        wide = MachineConfig(fus=2, typed={FUClass.MEM: 8})
+        assert wide.class_budget(FUClass.MEM) == 2  # total wins
+        assert MachineConfig(fus=None).class_budget(FUClass.ALU) is None
+
+
+class TestCountNops:
+    def test_nops_consume_slots_when_counted(self):
+        m = MachineConfig(fus=2, count_nops=True)
+        n = node_with(add("a", "x", 1), nop())
+        assert m.slots_used(n) == 2
+        assert not m.can_accept(n, add("b", "x", 2))
+        assert not m.fits(node_with(add("a", "x", 1), nop(), nop()))
+
+    def test_nops_count_against_class_budgets(self):
+        # A NOP is classed ALU; with count_nops it eats the ALU budget.
+        m = MachineConfig(fus=4, typed={FUClass.ALU: 1}, count_nops=True)
+        n = node_with(nop())
+        assert not m.can_accept(n, add("a", "x", 1))
+        assert m.can_accept(n, load("b", "y", "k"))
+
+    def test_nops_free_by_default_even_with_typed(self):
+        m = MachineConfig(fus=1, typed={FUClass.ALU: 1})
+        n = node_with(add("a", "x", 1))
+        assert m.can_accept(n, nop())
+        assert m.room(n) == 0
+
+
+class TestLatencyDefaults:
+    def test_missing_kinds_default_to_one(self):
+        m = MachineConfig(fus=4, latencies={OpKind.MUL: 3})
+        assert m.latency(mul("m", "x", "x")) == 3
+        assert m.latency(add("a", "x", 1)) == 1
+        assert m.latency(load("l", "x", "k")) == 1
+        assert m.latency(store("x", "a", "k")) == 1
+
+    def test_no_latency_map_means_single_cycle(self):
+        m = MachineConfig(fus=4)
+        assert m.latency(mul("m", "x", "x")) == 1
