@@ -21,6 +21,14 @@ Subcommands::
 
     python -m repro kernels
         List the built-in Livermore kernels.
+
+    python -m repro bench [--kernels LL1 ...] [--fus 2 4 8]
+                    [--backends grip post vm] [--jobs N] [--smoke]
+                    [--out BENCH.json] [--diff PREV.json] [--tol 0.05]
+        Run the benchmark sweep (kernels x fu-configs x backends) over a
+        multiprocessing pool and write a machine-readable BENCH_*.json
+        artifact.  ``--diff`` compares against a previous artifact and
+        exits non-zero on speedup regressions beyond ``--tol``.
 """
 
 from __future__ import annotations
@@ -134,6 +142,60 @@ def cmd_emit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        BenchArtifact,
+        diff_artifacts,
+        make_jobs,
+        run_bench,
+        smoke_jobs,
+    )
+    from .workloads import livermore
+
+    if args.smoke:
+        # --smoke pins the sweep cells; a silently ignored selection
+        # flag would stamp misleading metadata into the artifact.
+        if args.kernels is not None or args.fus != [2, 4, 8] \
+                or args.backends != ["grip", "post"]:
+            raise SystemExit(
+                "repro bench: --smoke fixes --kernels/--fus/--backends; "
+                "drop --smoke to run a custom sweep")
+        jobs = smoke_jobs(args.unroll_scale)
+    else:
+        kernels = args.kernels or livermore.kernel_names()
+        for name in kernels:
+            if name.upper() not in livermore.kernel_names():
+                raise SystemExit(f"repro bench: unknown kernel {name!r}")
+        jobs = make_jobs([k.upper() for k in kernels], args.fus,
+                         args.backends, unroll_scale=args.unroll_scale)
+    name = "smoke" if args.smoke else args.name
+    print(f"bench: {len(jobs)} jobs on {args.jobs} worker(s)",
+          file=sys.stderr)
+    art = run_bench(jobs, name=name, processes=args.jobs,
+                    config={"unroll_scale": args.unroll_scale,
+                            "smoke": args.smoke})
+
+    out = Path(args.out) if args.out else Path("results") / f"BENCH_{name}.json"
+    art.write(out)
+    print(art.speedup_table().render(
+        f"Bench sweep '{name}' ({art.wall_seconds:.1f}s wall)"))
+    totals = art.stage_totals()
+    if totals:
+        print("stage totals: " + "  ".join(
+            f"{stage}={secs:.2f}s" for stage, secs in sorted(totals.items())))
+    print(f"wrote {out}")
+
+    if args.diff:
+        prev = BenchArtifact.read(args.diff)
+        diff = diff_artifacts(prev, art, rel_tol=args.tol)
+        print(diff.render())
+        if not diff.ok:
+            print("repro bench: regression gate FAILED", file=sys.stderr)
+            return 1
+        print("regression gate ok")
+    return 0
+
+
 def cmd_kernels(_: argparse.Namespace) -> int:
     from .workloads import livermore
 
@@ -177,6 +239,28 @@ def main(argv: list[str] | None = None) -> int:
     p4.add_argument("--run", action="store_true",
                     help="execute on the bundle VM + differential check")
     p4.set_defaults(fn=cmd_emit)
+
+    p5 = sub.add_parser("bench", help="benchmark sweep -> BENCH_*.json")
+    p5.add_argument("--kernels", nargs="+", default=None,
+                    help="kernels to sweep (default: all Livermore)")
+    p5.add_argument("--fus", nargs="+", type=int, default=[2, 4, 8])
+    p5.add_argument("--backends", nargs="+",
+                    choices=("grip", "post", "vm"),
+                    default=["grip", "post"])
+    p5.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (default 1 = sequential)")
+    p5.add_argument("--unroll-scale", type=int, default=3)
+    p5.add_argument("--smoke", action="store_true",
+                    help="fast fixed subset exercising every backend")
+    p5.add_argument("--name", default="table1",
+                    help="artifact name (BENCH_<name>.json)")
+    p5.add_argument("--out", default=None,
+                    help="output path (default results/BENCH_<name>.json)")
+    p5.add_argument("--diff", default=None, metavar="PREV_JSON",
+                    help="previous artifact to gate against")
+    p5.add_argument("--tol", type=float, default=0.05,
+                    help="relative speedup tolerance for --diff")
+    p5.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)
     return args.fn(args)

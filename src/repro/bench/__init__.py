@@ -1,0 +1,32 @@
+"""Benchmark/evaluation subsystem: ``repro bench``.
+
+Fans kernels x fu-configs x backends out across a worker pool, emits
+machine-readable ``BENCH_*.json`` artifacts (schedule speedups,
+realized VM cycles, per-stage wall-clock), and diffs sweeps against a
+previous artifact as a regression gate.
+"""
+
+from .artifact import (
+    ARTIFACT_KIND,
+    SCHEMA_VERSION,
+    BenchArtifact,
+    BenchDiff,
+    BenchRecord,
+    RecordDelta,
+    diff_artifacts,
+)
+from .runner import (
+    BACKENDS,
+    BenchJob,
+    make_jobs,
+    run_bench,
+    run_job,
+    run_jobs,
+    smoke_jobs,
+)
+
+__all__ = [
+    "ARTIFACT_KIND", "BACKENDS", "BenchArtifact", "BenchDiff", "BenchJob",
+    "BenchRecord", "RecordDelta", "SCHEMA_VERSION", "diff_artifacts",
+    "make_jobs", "run_bench", "run_job", "run_jobs", "smoke_jobs",
+]

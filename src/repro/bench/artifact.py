@@ -1,0 +1,256 @@
+"""Machine-readable benchmark artifacts (``BENCH_*.json``).
+
+One :class:`BenchArtifact` captures a full ``repro bench`` sweep:
+per-(kernel, fus, backend) records with schedule speedups, realized VM
+cycles and per-stage wall-clock, plus enough configuration metadata to
+reproduce the run.  Artifacts round-trip losslessly through JSON and
+feed two consumers:
+
+* the perf trajectory -- committed artifacts under ``results/``
+  document how scheduling cost and speedups move across PRs;
+* the regression gate -- :func:`diff_artifacts` compares a fresh sweep
+  against a previous artifact and flags speedup drops beyond a relative
+  tolerance (wall-clock is reported but never gated on: CI machines
+  jitter, schedules should not).
+
+Schema (``schema`` = 1)::
+
+    {
+      "schema": 1,
+      "kind": "repro-bench",
+      "name": "table1",
+      "created": 1753776000.0,          # unix time of the sweep
+      "config": {"kernels": [...], "fus": [...], "backends": [...],
+                  "unroll_scale": 3, "jobs": 4},
+      "host": {"python": "3.11.9", "platform": "linux"},
+      "wall_seconds": 12.34,            # whole-sweep wall-clock
+      "records": [
+        {"kernel": "LL1", "fus": 4, "backend": "grip", "unroll": 12,
+         "ops_per_iteration": 5, "speedup": 4.0, "ii": 1.25,
+         "converged": true, "periodic": true,
+         "stages": {"build": 0.01, "pipeline": 0.42, "schedule": 0.40},
+         "moves": 476, "resource_blocks": 162, "candidate_builds": 289,
+         "realized_cycles": null, "vm_steps": null,
+         "realized_speedup": null}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..reporting import SpeedupTable
+
+SCHEMA_VERSION = 1
+ARTIFACT_KIND = "repro-bench"
+
+#: backend name -> Table-1 system label
+SYSTEM_LABELS = {"grip": "GRiP", "post": "POST", "vm": "VM"}
+
+
+@dataclass
+class BenchRecord:
+    """One (kernel, fus, backend) measurement."""
+
+    kernel: str
+    fus: int
+    backend: str                     # "grip" | "post" | "vm"
+    unroll: int
+    ops_per_iteration: int
+    speedup: float | None            # analytic Table-1 metric
+    ii: float | None                 # initiation interval (cycles/iter)
+    converged: bool
+    periodic: bool                   # exact row periodicity found
+    stages: dict[str, float] = field(default_factory=dict)
+    # GRiP scheduling cost counters (None for other backends)
+    moves: int | None = None
+    resource_blocks: int | None = None
+    candidate_builds: int | None = None
+    # bundle-VM measurements (None unless backend == "vm")
+    realized_cycles: int | None = None
+    vm_steps: int | None = None
+    realized_speedup: float | None = None
+
+    @property
+    def key(self) -> tuple[str, int, str]:
+        return (self.kernel, self.fus, self.backend)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchRecord":
+        return cls(**data)
+
+
+@dataclass
+class BenchArtifact:
+    """A full sweep: records plus reproduction metadata."""
+
+    name: str
+    records: list[BenchRecord] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
+    host: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    created: float = 0.0
+    schema: int = SCHEMA_VERSION
+
+    # -- JSON round-trip -----------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "schema": self.schema,
+            "kind": ARTIFACT_KIND,
+            "name": self.name,
+            "created": self.created,
+            "config": self.config,
+            "host": self.host,
+            "wall_seconds": self.wall_seconds,
+            "records": [r.to_dict() for r in self.records],
+        }
+        return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchArtifact":
+        data = json.loads(text)
+        if data.get("kind") != ARTIFACT_KIND:
+            raise ValueError(f"not a {ARTIFACT_KIND} artifact: "
+                             f"kind={data.get('kind')!r}")
+        if data.get("schema") != SCHEMA_VERSION:
+            raise ValueError(f"unsupported bench schema "
+                             f"{data.get('schema')!r} (want {SCHEMA_VERSION})")
+        return cls(
+            name=data["name"],
+            records=[BenchRecord.from_dict(r) for r in data["records"]],
+            config=data.get("config", {}),
+            host=data.get("host", {}),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            created=data.get("created", 0.0),
+            schema=data["schema"],
+        )
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def read(cls, path: str | Path) -> "BenchArtifact":
+        return cls.from_json(Path(path).read_text())
+
+    # -- Views ----------------------------------------------------------
+    def speedup_table(self) -> SpeedupTable:
+        """Table-1 layout over the scheduling backends in the sweep."""
+        fus = sorted({r.fus for r in self.records})
+        systems = [SYSTEM_LABELS[b] for b in ("grip", "post", "vm")
+                   if any(r.backend == b for r in self.records)]
+        t = SpeedupTable(fu_configs=tuple(fus), systems=tuple(systems))
+        for r in self.records:
+            t.add(r.kernel, r.fus, SYSTEM_LABELS[r.backend], r.speedup,
+                  weight=r.ops_per_iteration)
+        return t
+
+    def stage_totals(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for r in self.records:
+            for stage, secs in r.stages.items():
+                totals[stage] = totals.get(stage, 0.0) + secs
+        return totals
+
+
+# ----------------------------------------------------------------------
+# Regression diffing
+# ----------------------------------------------------------------------
+@dataclass
+class RecordDelta:
+    """Speedup change of one (kernel, fus, backend) cell."""
+
+    kernel: str
+    fus: int
+    backend: str
+    old: float | None
+    new: float | None
+
+    @property
+    def rel_change(self) -> float | None:
+        if not self.old or self.new is None:
+            return None
+        return (self.new - self.old) / self.old
+
+    def describe(self) -> str:
+        rel = self.rel_change
+        pct = f"{rel * 100:+.1f}%" if rel is not None else "n/a"
+        return (f"{self.kernel}@{self.fus} [{self.backend}]: "
+                f"{self.old} -> {self.new} ({pct})")
+
+
+@dataclass
+class BenchDiff:
+    """Outcome of comparing a new sweep against a previous artifact.
+
+    Only cells present in both sweeps are compared; ``missing`` lists
+    cells the old artifact had but the new one lacks (treated as a
+    failure: a kernel silently dropping out of the sweep is a
+    regression), ``added`` lists new coverage (fine).
+    """
+
+    rel_tol: float
+    regressions: list[RecordDelta] = field(default_factory=list)
+    improvements: list[RecordDelta] = field(default_factory=list)
+    unchanged: int = 0
+    missing: list[tuple[str, int, str]] = field(default_factory=list)
+    added: list[tuple[str, int, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def render(self) -> str:
+        lines = [f"bench diff (rel_tol={self.rel_tol:.2%}): "
+                 f"{self.unchanged} unchanged, "
+                 f"{len(self.improvements)} improved, "
+                 f"{len(self.regressions)} regressed, "
+                 f"{len(self.missing)} missing, {len(self.added)} added"]
+        for d in self.regressions:
+            lines.append(f"  REGRESSION {d.describe()}")
+        for key in self.missing:
+            lines.append(f"  MISSING    {key[0]}@{key[1]} [{key[2]}]")
+        for d in self.improvements:
+            lines.append(f"  improved   {d.describe()}")
+        return "\n".join(lines)
+
+
+def diff_artifacts(old: BenchArtifact, new: BenchArtifact, *,
+                   rel_tol: float = 0.05) -> BenchDiff:
+    """Regression gate: flag speedup drops beyond ``rel_tol``.
+
+    A cell regresses when its speedup falls by more than ``rel_tol``
+    relative to the old value, or when a previously converged cell no
+    longer converges.  Wall-clock stages are intentionally not gated.
+    """
+    diff = BenchDiff(rel_tol=rel_tol)
+    old_by_key = {r.key: r for r in old.records}
+    new_by_key = {r.key: r for r in new.records}
+    for key, r_old in old_by_key.items():
+        r_new = new_by_key.get(key)
+        if r_new is None:
+            diff.missing.append(key)
+            continue
+        delta = RecordDelta(kernel=r_old.kernel, fus=r_old.fus,
+                            backend=r_old.backend,
+                            old=r_old.speedup, new=r_new.speedup)
+        if r_old.speedup is None:
+            diff.unchanged += 1     # was not converged; nothing to lose
+        elif r_new.speedup is None:
+            diff.regressions.append(delta)
+        elif r_new.speedup < r_old.speedup * (1 - rel_tol):
+            diff.regressions.append(delta)
+        elif r_new.speedup > r_old.speedup * (1 + rel_tol):
+            diff.improvements.append(delta)
+        else:
+            diff.unchanged += 1
+    diff.added = sorted(set(new_by_key) - set(old_by_key))
+    return diff

@@ -1,0 +1,156 @@
+"""The ``repro bench`` sweep runner.
+
+A sweep is a list of independent :class:`BenchJob` cells (kernel x
+fu-config x backend).  Each job rebuilds its kernel from scratch,
+pipelines it, and reports a :class:`~repro.bench.artifact.BenchRecord`
+with per-stage wall-clock.  Jobs share nothing, so ``--jobs N`` fans
+them out across a ``multiprocessing`` pool; scheduling is fully
+deterministic, which makes the parallel sweep produce *identical*
+speedups to the sequential one (asserted in the tests).
+
+Backends:
+
+``grip``
+    Perfect Pipelining driven by the GRiP scheduler (the paper's
+    system); analytic Table-1 speedup.
+``post``
+    The POST baseline (infinite-resource pipelining + repack).
+``vm``
+    GRiP schedule lowered to VLIW bundles and executed on the bundle
+    VM with a differential check -- adds realized-cycle columns, at
+    simulation cost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import platform
+import sys
+import time
+from dataclasses import dataclass
+
+from .artifact import BenchArtifact, BenchRecord
+
+BACKENDS = ("grip", "post", "vm")
+
+#: Fast subset exercising every backend: CI smoke and unit tests.
+SMOKE_KERNELS = ("LL1", "LL3")
+SMOKE_FUS = (2, 4)
+SMOKE_BACKENDS = ("grip", "post", "vm")
+
+
+@dataclass(frozen=True)
+class BenchJob:
+    """One independent sweep cell (picklable for the worker pool)."""
+
+    kernel: str
+    fus: int
+    backend: str
+    unroll: int
+
+
+def default_unroll(fus: int, scale: int = 3) -> int:
+    """The Table-1 unroll policy (see ``benchmarks/conftest.py``)."""
+    return max(12, scale * fus)
+
+
+def make_jobs(kernels, fu_configs, backends, *,
+              unroll_scale: int = 3) -> list[BenchJob]:
+    jobs = []
+    for name in kernels:
+        for fus in fu_configs:
+            for backend in backends:
+                if backend not in BACKENDS:
+                    raise ValueError(f"unknown backend {backend!r}")
+                jobs.append(BenchJob(kernel=name, fus=fus, backend=backend,
+                                     unroll=default_unroll(fus, unroll_scale)))
+    return jobs
+
+
+def smoke_jobs(unroll_scale: int = 3) -> list[BenchJob]:
+    return make_jobs(SMOKE_KERNELS, SMOKE_FUS, SMOKE_BACKENDS,
+                     unroll_scale=unroll_scale)
+
+
+def run_job(job: BenchJob) -> BenchRecord:
+    """Execute one sweep cell (top-level: must be pool-picklable)."""
+    from ..machine import MachineConfig
+    from ..pipelining import pipeline_loop, pipeline_loop_post
+    from ..workloads import livermore
+
+    machine = MachineConfig(fus=job.fus)
+    stages: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    loop = livermore.kernel(job.kernel, job.unroll)
+    stages["build"] = time.perf_counter() - t0
+
+    if job.backend == "post":
+        t1 = time.perf_counter()
+        res = pipeline_loop_post(loop, machine, unroll=job.unroll)
+        stages["pipeline"] = time.perf_counter() - t1
+        return BenchRecord(
+            kernel=job.kernel, fus=job.fus, backend=job.backend,
+            unroll=job.unroll, ops_per_iteration=loop.ops_per_iteration,
+            speedup=res.speedup, ii=res.initiation_interval,
+            converged=res.converged, periodic=res.periodic, stages=stages)
+
+    t1 = time.perf_counter()
+    res = pipeline_loop(loop, machine, unroll=job.unroll, measure=False)
+    stages["pipeline"] = time.perf_counter() - t1
+    stages["schedule"] = res.schedule.seconds
+    record = BenchRecord(
+        kernel=job.kernel, fus=job.fus, backend=job.backend,
+        unroll=job.unroll, ops_per_iteration=loop.ops_per_iteration,
+        speedup=res.speedup, ii=res.initiation_interval,
+        converged=res.converged, periodic=res.periodic, stages=stages,
+        moves=res.schedule.stats.moves,
+        resource_blocks=res.schedule.stats.resource_blocks,
+        candidate_builds=res.schedule.candidate_builds)
+
+    if job.backend == "vm":
+        from ..backend import differential_check
+
+        t2 = time.perf_counter()
+        rep = differential_check(res.unwound.graph, machine)
+        stages["vm"] = time.perf_counter() - t2
+        record.realized_cycles = rep.realized_cycles
+        record.vm_steps = rep.vm_steps[-1]
+        seq = loop.ops_per_iteration * res.unwound.iterations
+        record.realized_speedup = (seq / rep.realized_cycles
+                                   if rep.realized_cycles else None)
+    return record
+
+
+def run_jobs(jobs: list[BenchJob], *, processes: int = 1) -> list[BenchRecord]:
+    """Run the sweep, fanning out over a worker pool when asked.
+
+    ``pool.map`` preserves job order, so the records of a parallel run
+    line up one-for-one with a sequential run of the same job list.
+    """
+    if processes <= 1 or len(jobs) <= 1:
+        return [run_job(j) for j in jobs]
+    with multiprocessing.Pool(processes=min(processes, len(jobs))) as pool:
+        return pool.map(run_job, jobs, chunksize=1)
+
+
+def run_bench(jobs: list[BenchJob], *, name: str = "table1",
+              processes: int = 1, config: dict | None = None
+              ) -> BenchArtifact:
+    """Run ``jobs`` and wrap the records in a named artifact."""
+    t0 = time.perf_counter()
+    records = run_jobs(jobs, processes=processes)
+    wall = time.perf_counter() - t0
+    cfg = {
+        "kernels": sorted({j.kernel for j in jobs}),
+        "fus": sorted({j.fus for j in jobs}),
+        "backends": sorted({j.backend for j in jobs}),
+        "jobs": processes,
+    }
+    if config:
+        cfg.update(config)
+    return BenchArtifact(
+        name=name, records=records, config=cfg,
+        host={"python": platform.python_version(),
+              "platform": sys.platform},
+        wall_seconds=wall, created=time.time())

@@ -31,7 +31,8 @@ class Instruction:
         Successor node for the initial single-leaf tree.
     """
 
-    __slots__ = ("nid", "ops", "paths", "cjs", "tree")
+    __slots__ = ("nid", "ops", "paths", "cjs", "tree",
+                 "_tree_key", "_leaves", "_leaf_ids", "_succ")
 
     def __init__(self, nid: int, target: int = EXIT) -> None:
         self.nid = nid
@@ -39,16 +40,44 @@ class Instruction:
         self.paths: dict[int, frozenset[int]] = {}
         self.cjs: dict[int, Operation] = {}
         self.tree: CJTree = make_leaf(target)
+        # Tree-query caches, keyed on the identity of the (immutable)
+        # tree value: any surgery replaces ``self.tree`` wholesale, so
+        # an ``is`` check suffices to invalidate.
+        self._tree_key: CJTree | None = None
+        self._leaves: list[Leaf] = []
+        self._leaf_ids: frozenset[int] = frozenset()
+        self._succ: list[int] = []
 
     # ------------------------------------------------------------------
     # Structure queries
     # ------------------------------------------------------------------
+    def _tree_queries(self) -> None:
+        """Refresh the leaf/successor caches if the tree was replaced.
+
+        These queries sit on the scheduler's hottest paths (every RPO
+        walk and region sweep asks for successors); walking the CJ tree
+        per call dominated profiles before the cache.
+        """
+        if self._tree_key is self.tree:
+            return
+        leaves = list(cjt.iter_leaves(self.tree))
+        self._leaves = leaves
+        self._leaf_ids = frozenset(l.leaf_id for l in leaves)
+        succ: list[int] = []
+        for l in leaves:
+            if l.target != EXIT and l.target not in succ:
+                succ.append(l.target)
+        self._succ = succ
+        self._tree_key = self.tree
+
     def leaves(self) -> list[Leaf]:
-        """Leaves of the CJ tree, left-to-right."""
-        return list(cjt.iter_leaves(self.tree))
+        """Leaves of the CJ tree, left-to-right (treat as immutable)."""
+        self._tree_queries()
+        return self._leaves
 
     def leaf_ids(self) -> frozenset[int]:
-        return cjt.leaf_ids(self.tree)
+        self._tree_queries()
+        return self._leaf_ids
 
     @property
     def all_paths(self) -> frozenset[int]:
@@ -56,12 +85,12 @@ class Instruction:
         return self.leaf_ids()
 
     def successors(self) -> list[int]:
-        """Distinct successor node ids, in leaf order (EXIT excluded)."""
-        seen: list[int] = []
-        for l in self.leaves():
-            if l.target != EXIT and l.target not in seen:
-                seen.append(l.target)
-        return seen
+        """Distinct successor node ids, in leaf order (EXIT excluded).
+
+        Returns a cached list -- treat as immutable.
+        """
+        self._tree_queries()
+        return self._succ
 
     def leaves_to(self, target: int) -> frozenset[int]:
         """Leaf ids pointing at ``target``."""

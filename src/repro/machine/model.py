@@ -105,6 +105,32 @@ class MachineConfig:
                 slack = min(slack, budget - per[c])
         return slack
 
+    def has_headroom(self, node: Instruction) -> bool:
+        """Could *some* operation class still be added to ``node``?
+
+        ``room() > 0`` is the wrong fill-loop gate for typed machines:
+        it reports the *tightest* per-class slack, so one exhausted
+        class (say ALU) hides free MEM/BRANCH slots and the scheduler
+        under-fills the instruction.  This predicate is true while the
+        total budget has slack and at least one class could still
+        accept an op -- classes absent from ``typed`` are bounded by
+        the total alone.
+        """
+        if self.fus is None:
+            return True
+        if self.fus - self.slots_used(node) <= 0:
+            return False
+        if not self.typed:
+            return True
+        if any(c not in self.typed for c in FUClass):
+            return True
+        per = {c: 0 for c in FUClass}
+        for op in node.all_ops():
+            if not self.count_nops and op.kind is OpKind.NOP:
+                continue
+            per[fu_class_of(op)] += 1
+        return any(per[c] < budget for c, budget in self.typed.items())
+
     def can_accept(self, node: Instruction, op: Operation) -> bool:
         """Would adding ``op`` keep the node within budget?"""
         if self.fus is None:

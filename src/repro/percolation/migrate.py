@@ -19,6 +19,7 @@ at most one step").
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -112,7 +113,20 @@ def region_below(graph: ProgramGraph, n: int) -> list[int]:
     available for exact queries and is cross-checked in the tests.)
 
     Back edges (RPO-decreasing) are ignored.
+
+    Results are memoized per ``graph.version`` (failed move attempts
+    never mutate, so the repeated region walks of a stuck scheduling
+    round all hit the cache).  Callers must treat the returned list as
+    immutable.
     """
+    hit = _region_cache.get(graph)
+    if hit is None or hit[0] != graph.version:
+        hit = (graph.version, {})
+        _region_cache[graph] = hit
+    regions = hit[1]
+    cached = regions.get(n)
+    if cached is not None:
+        return cached
     index = rpo_index(graph)
     if n not in index:
         return []
@@ -129,6 +143,7 @@ def region_below(graph: ProgramGraph, n: int) -> list[int]:
             seen.add(s)
             stack.append(s)
     out.sort(key=lambda nid: -index[nid])
+    regions[n] = out
     return out
 
 
@@ -195,19 +210,22 @@ def migrate(ctx: MigrateContext, n: int, tid: int) -> bool:
     return moved_any
 
 
-_rpo_cache: dict[int, tuple[int, dict[int, int]]] = {}
+#: Weakly keyed by the graph itself: an id()-keyed dict could serve a
+#: dead graph's entries to a new graph reusing the same address.
+_rpo_cache: "weakref.WeakKeyDictionary[ProgramGraph, tuple[int, dict[int, int]]]" \
+    = weakref.WeakKeyDictionary()
+#: graph -> (version, {node -> region_below list})
+_region_cache: "weakref.WeakKeyDictionary[ProgramGraph, tuple[int, dict[int, list[int]]]]" \
+    = weakref.WeakKeyDictionary()
 
 
 def rpo_index(graph: ProgramGraph) -> dict[int, int]:
-    """Memoized node -> RPO position map."""
-    key = id(graph)
-    hit = _rpo_cache.get(key)
+    """Memoized node -> RPO position map (iterates in RPO order)."""
+    hit = _rpo_cache.get(graph)
     if hit is not None and hit[0] == graph.version:
         return hit[1]
     index = {nid: i for i, nid in enumerate(graph.rpo())}
-    if len(_rpo_cache) > 64:
-        _rpo_cache.clear()
-    _rpo_cache[key] = (graph.version, index)
+    _rpo_cache[graph] = (graph.version, index)
     return index
 
 

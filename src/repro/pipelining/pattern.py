@@ -16,7 +16,7 @@ interval ``II = period / shift`` in cycles per iteration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import ClassVar, Sequence
 
 from ..ir.graph import ProgramGraph
 from .unwind import UnwoundLoop
@@ -34,6 +34,16 @@ class RowSignature:
     @property
     def empty(self) -> bool:
         return not self.items and self.extras == 0
+
+    @property
+    def tagged(self) -> bool:
+        """Does the row hold any iteration-tagged op?
+
+        Rows without tagged items (empty rows, or rows of pure
+        untagged/extra ops) carry the sentinel ``base=0`` -- their base
+        is meaningless and must not participate in shift arithmetic.
+        """
+        return bool(self.items)
 
 
 def ops_signature(unwound: UnwoundLoop, ops) -> RowSignature:
@@ -148,14 +158,31 @@ def find_pattern_in_signatures(sigs: list[RowSignature], iterations: int, *,
     n = limit
     for period in range(1, min(max_period, max(1, n // max(min_repetitions, 1))) + 1):
         for start in range(0, n - period * min_repetitions + 1):
-            shift = sigs[start + period].base - sigs[start].base
-            if shift <= 0:
+            shift = _derive_shift(sigs, start, period, n)
+            if shift is None or shift <= 0:
                 continue
             if _matches(sigs, start, period, shift, n, min_repetitions):
                 reps = _count_reps(sigs, start, period, shift, n)
                 return PipelinePattern(
                     start_row=start, period=period, shift=shift,
                     rows=ids[start:start + period], repetitions=reps)
+    return None
+
+
+def _derive_shift(sigs: Sequence[RowSignature], start: int, period: int,
+                  n: int) -> int | None:
+    """Base advance of the first *tagged* row pair one period apart.
+
+    Untagged rows (empty, or holding only extras) carry the sentinel
+    ``base=0``; deriving the shift from one of those silently yields a
+    bogus value, so steady-state kernels containing an empty row were
+    never detected.  Skip forward to the first pair whose bases are
+    real; ``None`` when the window has no tagged pair.
+    """
+    for r in range(start, n - period):
+        a, b = sigs[r], sigs[r + period]
+        if a.tagged and b.tagged:
+            return b.base - a.base
     return None
 
 
@@ -173,7 +200,9 @@ def _matches(sigs: Sequence[RowSignature], start: int, period: int,
         a, b = sigs[r], sigs[r + period]
         if a.items != b.items or a.extras != b.extras:
             return False
-        if b.base - a.base != shift:
+        # Matching items guarantee a.tagged == b.tagged; untagged rows
+        # have sentinel bases that must not be compared.
+        if a.tagged and b.base - a.base != shift:
             return False
     return True
 
@@ -195,9 +224,13 @@ class ThroughputEstimate:
         II = (retire_row(j2) - retire_row(j1)) / (j2 - j1)
 
     ``max_deviation`` is the worst absolute distance of any mid-window
-    retirement from the fitted line; small values (<= ~1 row) indicate a
-    genuinely steady pipeline.
+    retirement from the fitted line; a pipeline counts as *steady* when
+    it stays within :data:`STEADY_TOLERANCE_ROWS` (1.5 rows: one row of
+    greedy slot drift plus half a row of fit rounding).
     """
+
+    #: Worst tolerated retirement deviation, in rows, for ``steady``.
+    STEADY_TOLERANCE_ROWS: ClassVar[float] = 1.5
 
     ii: float
     first_iter: int
@@ -206,7 +239,7 @@ class ThroughputEstimate:
 
     @property
     def steady(self) -> bool:
-        return self.max_deviation <= 1.5
+        return self.max_deviation <= self.STEADY_TOLERANCE_ROWS
 
 
 def retire_rows(unwound: UnwoundLoop,

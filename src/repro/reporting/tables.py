@@ -70,6 +70,32 @@ class SpeedupTable:
         return out.getvalue()
 
 
+    # -- JSON serialization (bench artifacts) --------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe representation (tuple cell keys become strings)."""
+        return {
+            "fu_configs": list(self.fu_configs),
+            "systems": list(self.systems),
+            "cells": {
+                loop: {f"{fus}/{system}": v
+                       for (fus, system), v in row.items()}
+                for loop, row in self.cells.items()
+            },
+            "weights": dict(self.weights),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpeedupTable":
+        t = cls(fu_configs=tuple(data["fu_configs"]),
+                systems=tuple(data["systems"]))
+        for loop, row in data["cells"].items():
+            for key, v in row.items():
+                fus, system = key.split("/", 1)
+                t.cells.setdefault(loop, {})[(int(fus), system)] = v
+        t.weights.update(data.get("weights", {}))
+        return t
+
+
 @dataclass
 class RealizedRow:
     """One kernel's schedule-length vs realized-cycle measurements.

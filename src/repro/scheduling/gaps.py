@@ -30,6 +30,7 @@ Scheduling rules (enforced by :class:`GapPreventionPolicy`):
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 from ..ir.graph import ProgramGraph
@@ -39,49 +40,57 @@ from ..percolation.conflicts import analyse_cj_move, analyse_move
 from ..percolation.migrate import MoveOutcome, rpo_index
 
 
-_below_cache: dict[int, tuple[int, dict[int, dict[int, int]]]] = {}
+#: Weakly keyed by the graph (an id()-keyed dict could serve a dead
+#: graph's entries to a new graph reusing the same address).
+_below_cache: "weakref.WeakKeyDictionary[ProgramGraph, tuple[int, dict[int, set[int]]]]" \
+    = weakref.WeakKeyDictionary()
 
 
-def _iterations_below(graph: ProgramGraph) -> dict[int, dict[int, int]]:
-    """For every node: iteration -> op count strictly below it.
+def _iterations_below(graph: ProgramGraph) -> dict[int, set[int]]:
+    """For every node: the iterations with an op strictly below it.
 
-    Computed once per graph version by propagating counts bottom-up in
-    reverse RPO (forward edges only).  Conservative while a
-    ``_would_be_moveable`` probe has temporarily lifted an op out (the
-    op still counts as present), which only makes Gapless-move *more*
-    careful -- the safe direction.
+    Computed once per graph version by propagating membership sets
+    bottom-up in reverse RPO (forward edges only).  Along the
+    single-successor chains that dominate unwound loops the successor's
+    set is *shared*, not copied, so the rebuild after a mutation stays
+    near-linear (only membership is ever queried; stored sets must be
+    treated as immutable).  Conservative while a ``_would_be_moveable``
+    probe has temporarily lifted an op out (the op still counts as
+    present), which only makes Gapless-move *more* careful -- the safe
+    direction.
     """
-    key = id(graph)
-    hit = _below_cache.get(key)
+    hit = _below_cache.get(graph)
     if hit is not None and hit[0] == graph.version:
         return hit[1]
-    order = graph.rpo()
-    index = {nid: i for i, nid in enumerate(order)}
-    below: dict[int, dict[int, int]] = {nid: {} for nid in order}
+    index = rpo_index(graph)  # version-memoized, shared with migrate
+    order = list(index)
+    own: dict[int, set[int]] = {}
+    for nid in order:
+        own[nid] = {op.iteration for op in graph.nodes[nid].all_ops()
+                    if op.iteration >= 0}
+    below: dict[int, set[int]] = {}
     for nid in reversed(order):
-        acc: dict[int, int] = {}
-        for s in graph.successors(nid):
-            if s not in index or index[s] <= index[nid]:
-                continue  # back edge
-            for it, c in below[s].items():
-                acc[it] = acc.get(it, 0) + c
-            for op in graph.nodes[s].all_ops():
-                if op.iteration >= 0:
-                    acc[op.iteration] = acc.get(op.iteration, 0) + 1
-        below[nid] = acc
-    if len(_below_cache) > 8:
-        _below_cache.clear()
-    _below_cache[key] = (graph.version, below)
+        succs = [s for s in graph.successors(nid)
+                 if s in index and index[s] > index[nid]]  # skip back edges
+        if not succs:
+            below[nid] = set()
+        elif len(succs) == 1 and not own[succs[0]]:
+            below[nid] = below[succs[0]]  # chain: share, don't copy
+        else:
+            acc: set[int] = set()
+            for s in succs:
+                acc |= below[s]
+                acc |= own[s]
+            below[nid] = acc
+    _below_cache[graph] = (graph.version, below)
     return below
 
 
 def _iteration_ops_below(graph: ProgramGraph, nid: int, iteration: int) -> bool:
     """Does any op of ``iteration`` live strictly below ``nid``?"""
-    below = _iterations_below(graph)
-    counts = below.get(nid)
-    if counts is None:
-        return False
-    return counts.get(iteration, 0) > 0
+    sets = _iterations_below(graph)
+    its = sets.get(nid)
+    return its is not None and iteration in its
 
 
 def _would_be_moveable(graph: ProgramGraph, s_nid: int, from_nid: int,

@@ -25,7 +25,7 @@ from ..ir.operations import Operation
 from ..ir.registers import Reg, RegisterFile
 from ..machine.model import MachineConfig
 from ..percolation.cleanup import cleanup
-from ..percolation.migrate import FreePolicy, MigrateContext, migrate
+from ..percolation.migrate import FreePolicy, MigrateContext, migrate, rpo_index
 from ..percolation.moveop import PercolationStats
 from .gaps import GapPreventionPolicy
 from .moveable import MoveableOps
@@ -87,6 +87,12 @@ class GRiPScheduler:
     cleanup_interval:
         Run the incremental clean-up passes after this many processed
         nodes (0 disables in-pass cleanup).
+    memoize:
+        Reuse the RPO worklist and the Moveable-ops region/candidate
+        sets across the rounds of one node while the graph is unchanged
+        (``graph.version``-keyed).  Schedules are bitwise-identical
+        either way; ``False`` keeps the original recompute-everything
+        behavior for differential testing.
     """
 
     machine: MachineConfig
@@ -95,6 +101,7 @@ class GRiPScheduler:
     allow_speculation: bool = True
     cleanup_interval: int = 0
     max_rounds_per_node: int = 10_000
+    memoize: bool = True
 
     def schedule(self, graph: ProgramGraph, *,
                  ranking_ops: Sequence[Operation] | None = None,
@@ -125,7 +132,7 @@ class GRiPScheduler:
             graph=graph, machine=self.machine, regfile=regfile,
             policy=policy, exit_live=exit_live,
             allow_speculation=self.allow_speculation)
-        moveable = MoveableOps(graph, ranking)
+        moveable = MoveableOps(graph, ranking, memoize=self.memoize)
 
         visited: set[int] = set()
         processed = 0
@@ -148,9 +155,16 @@ class GRiPScheduler:
             candidate_builds=moveable.set_builds)
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _next_node(graph: ProgramGraph, visited: set[int]) -> int | None:
-        for nid in graph.rpo():
+    def _next_node(self, graph: ProgramGraph, visited: set[int]) -> int | None:
+        """First unvisited node in RPO.
+
+        The worklist is the ``graph.version``-memoized RPO map shared
+        with the migrate sweeps (``percolation.migrate.rpo_index``), so
+        the per-node global walk no longer re-runs a DFS unless the
+        graph actually mutated since the last query.
+        """
+        order = rpo_index(graph) if self.memoize else graph.rpo()
+        for nid in order:
             if nid not in visited:
                 return nid
         return None
@@ -163,7 +177,7 @@ class GRiPScheduler:
         policy.begin_node()
         rounds = 0
         retried = False
-        while n in graph.nodes and ctx.machine.room(graph.nodes[n]) > 0:
+        while n in graph.nodes and ctx.machine.has_headroom(graph.nodes[n]):
             rounds += 1
             if rounds > self.max_rounds_per_node:  # pragma: no cover
                 raise RuntimeError(f"schedule({n}) failed to converge")

@@ -27,17 +27,35 @@ from .priority import Ranking, ranked_templates
 
 @dataclass
 class MoveableOps:
-    """Candidate tracker for one scheduling pass."""
+    """Candidate tracker for one scheduling pass.
+
+    With ``memoize`` on (the default), the region walk and the ranked
+    template list for a node are cached keyed on ``graph.version``:
+    failed move attempts never mutate the graph, so the repeated
+    candidate requests of a stuck scheduling round are pure re-reads.
+    The per-call ``stuck``/``scheduled`` filter is applied *after* the
+    cached ranking, which commutes with the (stable) rank sort, so the
+    produced candidate order is identical to an uncached rebuild --
+    ``tests/integration/test_schedule_equivalence.py`` pins this down
+    differentially.  ``memoize=False`` preserves the original
+    rebuild-every-call behavior for such comparisons.
+    """
 
     graph: ProgramGraph
     ranking: Ranking
     include_copies: bool = True
+    memoize: bool = True
     #: templates that failed to move at all for the current node
     stuck: set[int] = field(default_factory=set)
     #: templates scheduled (landed in / above the current node)
     scheduled: set[int] = field(default_factory=set)
     #: cost counter: how many candidate-set constructions were done
+    #: (cache hits are not builds)
     set_builds: int = 0
+    _ranked_key: tuple[int, int] | None = field(default=None, repr=False)
+    _ranked: list[int] = field(default_factory=list, repr=False)
+    _region_key: tuple[int, int] | None = field(default=None, repr=False)
+    _region_set: frozenset[int] = field(default=frozenset(), repr=False)
 
     def begin_node(self) -> None:
         """Reset per-node state when the scheduler advances."""
@@ -60,11 +78,27 @@ class MoveableOps:
 
     def candidates(self, n: int) -> list[int]:
         """Ranked templates with an instance strictly below ``n``."""
+        ranked = self._ranked_below(n)
+        if not self.stuck and not self.scheduled:
+            return list(ranked)
+        return [t for t in ranked
+                if t not in self.stuck and t not in self.scheduled]
+
+    def _ranked_below(self, n: int) -> list[int]:
+        """All distinct rankable templates strictly below ``n``, sorted.
+
+        The stuck/scheduled filter is deliberately *not* part of this
+        list: ``ranked_templates`` sorts stably, so filtering after the
+        sort equals sorting the filtered set, and the unfiltered list is
+        reusable across every round at one node until the graph mutates.
+        """
+        key = (self.graph.version, n)
+        if self.memoize and self._ranked_key == key:
+            return self._ranked
         self.set_builds += 1
-        region = region_below(self.graph, n)
         tids: list[int] = []
         seen: set[int] = set()
-        for nid in region:
+        for nid in region_below(self.graph, n):
             if nid == n or nid not in self.graph.nodes:
                 continue
             for op in self.graph.nodes[nid].all_ops():
@@ -72,16 +106,29 @@ class MoveableOps:
                     continue
                 if not self.include_copies and op.is_copy:
                     continue
-                if op.tid in seen or op.tid in self.stuck \
-                        or op.tid in self.scheduled:
+                if op.tid in seen:
                     continue
                 seen.add(op.tid)
                 tids.append(op.tid)
-        return ranked_templates(self.ranking, tids)
+        ranked = ranked_templates(self.ranking, tids)
+        if self.memoize:
+            self._ranked_key = key
+            self._ranked = ranked
+        return ranked
+
+    def _region_below_set(self, n: int) -> frozenset[int]:
+        key = (self.graph.version, n)
+        if self.memoize and self._region_key == key:
+            return self._region_set
+        region = frozenset(region_below(self.graph, n)) - {n}
+        if self.memoize:
+            self._region_key = key
+            self._region_set = region
+        return region
 
     def instance_in_or_above(self, n: int, tid: int) -> bool:
         """Did some instance of ``tid`` reach node ``n`` or higher?"""
-        region = set(region_below(self.graph, n)) - {n}
+        region = self._region_below_set(n)
         for nid, _ in self.graph.ops_by_template(tid):
             if nid not in region:
                 return True

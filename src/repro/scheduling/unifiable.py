@@ -97,7 +97,8 @@ class UnifiableOpsScheduler:
 
     @staticmethod
     def _next_node(graph: ProgramGraph, visited: set[int]) -> int | None:
-        for nid in graph.rpo():
+        # rpo_index iterates in RPO order and is version-memoized.
+        for nid in rpo_index(graph):
             if nid not in visited:
                 return nid
         return None
@@ -108,7 +109,7 @@ class UnifiableOpsScheduler:
                        ustats: UnifiableStats) -> None:
         graph = ctx.graph
         tried: set[int] = set()
-        while n in graph.nodes and ctx.machine.room(graph.nodes[n]) > 0:
+        while n in graph.nodes and ctx.machine.has_headroom(graph.nodes[n]):
             cands = self._unifiable(graph, n, ancestors, tid_to_uid, ustats)
             cands = [t for t in ranked_templates(ranking, cands)
                      if t not in tried]

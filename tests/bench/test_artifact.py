@@ -1,0 +1,133 @@
+"""Unit tests for BENCH_*.json artifacts and the regression diff."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchArtifact,
+    BenchRecord,
+    diff_artifacts,
+)
+
+
+def record(kernel="LL1", fus=4, backend="grip", speedup=4.0, **kw):
+    defaults = dict(unroll=12, ops_per_iteration=5, ii=1.25,
+                    converged=True, periodic=True,
+                    stages={"build": 0.01, "pipeline": 0.5})
+    defaults.update(kw)
+    return BenchRecord(kernel=kernel, fus=fus, backend=backend,
+                       speedup=speedup, **defaults)
+
+
+def artifact(records, name="test"):
+    return BenchArtifact(name=name, records=records,
+                         config={"jobs": 1}, wall_seconds=1.0, created=1.0)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        art = artifact([record(), record(backend="post", speedup=3.5),
+                        record(backend="vm", realized_cycles=120,
+                               vm_steps=100, realized_speedup=3.9)])
+        back = BenchArtifact.from_json(art.to_json())
+        assert back == art
+        # and once more: serialization is stable
+        assert back.to_json() == art.to_json()
+
+    def test_file_round_trip(self, tmp_path):
+        art = artifact([record()])
+        path = art.write(tmp_path / "BENCH_test.json")
+        assert BenchArtifact.read(path) == art
+
+    def test_rejects_foreign_json(self):
+        with pytest.raises(ValueError, match="not a repro-bench"):
+            BenchArtifact.from_json(json.dumps({"kind": "other"}))
+
+    def test_rejects_unknown_schema(self):
+        art = artifact([record()])
+        data = json.loads(art.to_json())
+        data["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            BenchArtifact.from_json(json.dumps(data))
+
+    def test_non_converged_speedup_survives(self):
+        art = artifact([record(speedup=None, ii=None, converged=False,
+                               periodic=False)])
+        back = BenchArtifact.from_json(art.to_json())
+        assert back.records[0].speedup is None
+        assert not back.records[0].converged
+
+
+class TestViews:
+    def test_speedup_table_layout(self):
+        art = artifact([record(fus=2), record(fus=4),
+                        record(fus=2, backend="post", speedup=1.8)])
+        t = art.speedup_table()
+        assert tuple(t.fu_configs) == (2, 4)
+        assert t.cells["LL1"][(2, "GRiP")] == 4.0
+        assert t.cells["LL1"][(2, "POST")] == 1.8
+        assert "GRiP@2" in t.render()
+
+    def test_speedup_table_json_round_trip(self):
+        from repro.reporting import SpeedupTable
+
+        t = artifact([record(fus=2), record(fus=4)]).speedup_table()
+        back = SpeedupTable.from_dict(t.to_dict())
+        assert back.cells == t.cells
+        assert tuple(back.fu_configs) == tuple(t.fu_configs)
+        assert back.render() == t.render()
+
+    def test_stage_totals_aggregate(self):
+        art = artifact([record(), record(backend="post")])
+        totals = art.stage_totals()
+        assert totals["build"] == pytest.approx(0.02)
+        assert totals["pipeline"] == pytest.approx(1.0)
+
+
+class TestDiffGate:
+    def test_identical_sweeps_pass(self):
+        a = artifact([record(), record(backend="post", speedup=3.5)])
+        b = artifact([record(), record(backend="post", speedup=3.5)])
+        diff = diff_artifacts(a, b)
+        assert diff.ok
+        assert diff.unchanged == 2
+
+    def test_speedup_drop_beyond_tol_fails(self):
+        old = artifact([record(speedup=4.0)])
+        new = artifact([record(speedup=3.0)])
+        diff = diff_artifacts(old, new, rel_tol=0.05)
+        assert not diff.ok
+        assert len(diff.regressions) == 1
+        assert "REGRESSION" in diff.render()
+
+    def test_drop_within_tol_passes(self):
+        old = artifact([record(speedup=4.0)])
+        new = artifact([record(speedup=3.9)])
+        assert diff_artifacts(old, new, rel_tol=0.05).ok
+
+    def test_lost_convergence_is_a_regression(self):
+        old = artifact([record(speedup=4.0)])
+        new = artifact([record(speedup=None, converged=False)])
+        assert not diff_artifacts(old, new).ok
+
+    def test_missing_cell_is_a_regression(self):
+        old = artifact([record(), record(kernel="LL2")])
+        new = artifact([record()])
+        diff = diff_artifacts(old, new)
+        assert not diff.ok
+        assert diff.missing == [("LL2", 4, "grip")]
+
+    def test_added_coverage_is_fine(self):
+        old = artifact([record()])
+        new = artifact([record(), record(kernel="LL2")])
+        diff = diff_artifacts(old, new)
+        assert diff.ok
+        assert diff.added == [("LL2", 4, "grip")]
+
+    def test_improvement_reported_not_gated(self):
+        old = artifact([record(speedup=4.0)])
+        new = artifact([record(speedup=5.0)])
+        diff = diff_artifacts(old, new)
+        assert diff.ok
+        assert len(diff.improvements) == 1

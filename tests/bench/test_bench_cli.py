@@ -1,0 +1,108 @@
+"""End-to-end smoke of ``repro bench``: pool fan-out, JSON, diff gate.
+
+The acceptance bar: ``repro bench --jobs N`` must emit a valid artifact
+whose Table-1 speedups are *identical* to the sequential path (jobs are
+independent and scheduling is deterministic), and the artifact must
+round-trip through its JSON schema.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench import BenchArtifact, BenchJob, run_job, run_jobs, smoke_jobs
+
+
+@pytest.fixture(scope="module")
+def parallel_artifact(tmp_path_factory):
+    """One --smoke --jobs 2 run shared by the CLI assertions."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_smoke.json"
+    rc = main(["bench", "--smoke", "--jobs", "2", "--out", str(out)])
+    assert rc == 0
+    return BenchArtifact.read(out)
+
+
+class TestBenchCLI:
+    def test_artifact_round_trips(self, parallel_artifact):
+        art = parallel_artifact
+        assert art.name == "smoke"
+        assert BenchArtifact.from_json(art.to_json()) == art
+
+    def test_covers_every_smoke_cell(self, parallel_artifact):
+        keys = {r.key for r in parallel_artifact.records}
+        assert keys == {(j.kernel, j.fus, j.backend) for j in smoke_jobs()}
+
+    def test_parallel_speedups_match_sequential(self, parallel_artifact,
+                                                tmp_path):
+        out = tmp_path / "BENCH_seq.json"
+        rc = main(["bench", "--smoke", "--jobs", "1", "--out", str(out)])
+        assert rc == 0
+        seq = BenchArtifact.read(out)
+        par_cells = {r.key: (r.speedup, r.ii, r.converged, r.periodic,
+                             r.realized_cycles)
+                     for r in parallel_artifact.records}
+        seq_cells = {r.key: (r.speedup, r.ii, r.converged, r.periodic,
+                             r.realized_cycles)
+                     for r in seq.records}
+        assert par_cells == seq_cells
+        # record order is preserved by pool.map
+        assert [r.key for r in parallel_artifact.records] == \
+            [r.key for r in seq.records]
+
+    def test_vm_records_have_realized_cycles(self, parallel_artifact):
+        vm = [r for r in parallel_artifact.records if r.backend == "vm"]
+        assert vm
+        for r in vm:
+            assert r.realized_cycles and r.realized_cycles > 0
+            assert r.vm_steps and r.vm_steps > 0
+            assert r.realized_speedup is not None
+
+    def test_stages_recorded(self, parallel_artifact):
+        for r in parallel_artifact.records:
+            assert "build" in r.stages and "pipeline" in r.stages
+            assert all(secs >= 0 for secs in r.stages.values())
+
+    def test_diff_gate_passes_against_self(self, parallel_artifact,
+                                           tmp_path):
+        prev = tmp_path / "prev.json"
+        parallel_artifact.write(prev)
+        out = tmp_path / "BENCH_next.json"
+        rc = main(["bench", "--smoke", "--jobs", "1", "--out", str(out),
+                   "--diff", str(prev)])
+        assert rc == 0
+
+    def test_diff_gate_fails_on_tampered_baseline(self, parallel_artifact,
+                                                  tmp_path):
+        data = json.loads(parallel_artifact.to_json())
+        data["records"][0]["speedup"] = 99.0
+        prev = tmp_path / "tampered.json"
+        prev.write_text(json.dumps(data))
+        out = tmp_path / "BENCH_next.json"
+        rc = main(["bench", "--smoke", "--jobs", "1", "--out", str(out),
+                   "--diff", str(prev)])
+        assert rc == 1
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit, match="unknown kernel"):
+            main(["bench", "--kernels", "LL99"])
+
+    def test_smoke_rejects_conflicting_selection_flags(self):
+        with pytest.raises(SystemExit, match="--smoke fixes"):
+            main(["bench", "--smoke", "--fus", "2"])
+
+
+class TestRunnerUnits:
+    def test_run_job_grip_record(self):
+        rec = run_job(BenchJob(kernel="LL3", fus=2, backend="grip",
+                               unroll=8))
+        assert rec.key == ("LL3", 2, "grip")
+        assert rec.speedup is not None
+        assert rec.moves is not None and rec.moves > 0
+        assert rec.candidate_builds is not None
+
+    def test_run_jobs_sequential_fallback(self):
+        jobs = [BenchJob(kernel="LL3", fus=2, backend="post", unroll=8)]
+        recs = run_jobs(jobs, processes=4)  # one job: stays in-process
+        assert len(recs) == 1
+        assert recs[0].backend == "post"

@@ -1,0 +1,62 @@
+"""Differential test: hot-path caching must not change schedules.
+
+``GRiPScheduler(memoize=True)`` reuses the RPO worklist and the
+Moveable-ops region/candidate sets while the graph version is
+unchanged; ``memoize=False`` preserves the original
+recompute-everything behavior.  Both paths must produce *identical*
+schedules -- same node structure, same op placement, same
+``PercolationStats``, same detected kernel -- across every Livermore
+kernel and FU configuration of Table 1.
+
+The rendered graphs are compared after normalizing CJ-tree leaf ids:
+those come from a process-global counter (``cjtree.next_leaf_id``), so
+even two runs of the *same* configuration allocate different ids.  The
+leaf-id partition itself is structural noise; everything else in the
+rendering (node ids, op templates, iteration tags, targets) is
+deterministic and compared bitwise.
+"""
+
+import re
+
+import pytest
+
+from repro.ir.render import render_graph
+from repro.machine import MachineConfig
+from repro.pipelining import find_pattern, unwind_counted
+from repro.scheduling import GRiPScheduler
+from repro.workloads import livermore
+
+FU_CONFIGS = (2, 4, 8)
+
+
+def normalize(rendered: str) -> str:
+    return re.sub(r"@paths\[[0-9, ]+\]", "@paths[..]", rendered)
+
+
+def schedule(name: str, fus: int, memoize: bool):
+    unroll = max(12, 3 * fus)
+    loop = livermore.kernel(name, unroll)
+    unwound = unwind_counted(loop, unroll)
+    res = GRiPScheduler(MachineConfig(fus=fus), memoize=memoize).schedule(
+        unwound.graph, ranking_ops=unwound.ops)
+    pattern = find_pattern(unwound, unwound.graph)
+    return unwound.graph, res, pattern
+
+
+@pytest.mark.parametrize("name", livermore.kernel_names())
+@pytest.mark.parametrize("fus", FU_CONFIGS)
+def test_cached_schedule_identical_to_uncached(name, fus):
+    g_memo, r_memo, p_memo = schedule(name, fus, memoize=True)
+    g_base, r_base, p_base = schedule(name, fus, memoize=False)
+
+    assert normalize(render_graph(g_memo)) == normalize(render_graph(g_base))
+    assert r_memo.stats == r_base.stats
+    assert r_memo.nodes_processed == r_base.nodes_processed
+    assert str(p_memo) == str(p_base)
+
+
+def test_memoize_skips_rebuilds():
+    """The cache must actually fire: fewer candidate-set builds."""
+    _, r_memo, _ = schedule("LL3", 4, memoize=True)
+    _, r_base, _ = schedule("LL3", 4, memoize=False)
+    assert r_memo.candidate_builds <= r_base.candidate_builds

@@ -1,0 +1,113 @@
+"""Pattern-detector blind spots around untagged rows (regression).
+
+``RowSignature`` carries the sentinel ``base=0`` when a row holds no
+iteration-tagged op (empty rows, or rows of pure extras).  The shift
+derivation used to read ``sigs[start + period].base - sigs[start].base``
+unconditionally, so any steady-state kernel containing an empty row got
+a bogus shift and was never detected -- silently degrading Table-1
+points to the drift estimate.  Shift derivation and base matching now
+skip untagged rows.
+"""
+
+import pytest
+
+from repro.pipelining import ThroughputEstimate, find_pattern_in_signatures
+from repro.pipelining.pattern import RowSignature, _derive_shift
+
+
+def tagged_row(base: int, *deltas: int) -> RowSignature:
+    items = tuple(sorted((b, d) for b, d in enumerate(deltas)))
+    return RowSignature(items=items, base=base,
+                        max_iter=base + (max(deltas) if deltas else 0),
+                        extras=0)
+
+
+EMPTY = RowSignature(items=(), base=0, max_iter=-1, extras=0)
+
+
+def extras_row(count: int) -> RowSignature:
+    return RowSignature(items=(), base=0, max_iter=-1, extras=count)
+
+
+class TestEmptyRowKernels:
+    def test_kernel_with_empty_row_is_detected(self):
+        """Period-2 kernel whose second row is empty: [work(i), empty].
+
+        With the sentinel bases participating in shift arithmetic the
+        candidate (start=0, period=2) derived shift from row 0 vs row 2
+        correctly, but every (empty, empty) pair then failed the
+        uniform-base check -- and candidates *starting* on an empty row
+        derived shift 0.  The kernel must now be found.
+        """
+        sigs = []
+        for i in range(8):
+            sigs.append(tagged_row(i, 0))
+            sigs.append(EMPTY)
+        pat = find_pattern_in_signatures(sigs, iterations=20)
+        assert pat is not None
+        assert pat.period == 2
+        assert pat.shift == 1
+        assert pat.initiation_interval == pytest.approx(2.0)
+
+    def test_candidate_starting_on_empty_row(self):
+        """A leading empty row must not poison the shift derivation."""
+        sigs = [EMPTY]
+        for i in range(8):
+            sigs.append(tagged_row(i, 0))
+            sigs.append(EMPTY)
+        pat = find_pattern_in_signatures(sigs, iterations=20)
+        assert pat is not None
+        assert pat.period == 2
+        assert pat.shift == 1
+
+    def test_extras_only_rows_use_no_sentinel_base(self):
+        """Rows of untagged extras also carry base=0; they must match
+        positionally (extras count) but never via base arithmetic."""
+        sigs = []
+        for i in range(8):
+            sigs.append(tagged_row(i, 0))
+            sigs.append(extras_row(1))
+        pat = find_pattern_in_signatures(sigs, iterations=20)
+        assert pat is not None
+        assert pat.period == 2
+        assert pat.shift == 1
+
+    def test_all_untagged_window_yields_no_pattern(self):
+        sigs = [EMPTY] * 8
+        assert find_pattern_in_signatures(sigs, iterations=20) is None
+        assert _derive_shift(sigs, 0, 2, len(sigs)) is None
+
+    def test_plain_kernel_still_detected(self):
+        """No empty rows: behavior unchanged from the original search."""
+        sigs = [tagged_row(i, 0) for i in range(8)]
+        pat = find_pattern_in_signatures(sigs, iterations=20)
+        assert pat is not None
+        assert pat.start_row == 0
+        assert pat.period == 1
+        assert pat.shift == 1
+
+    def test_mismatched_empty_row_placement_rejected(self):
+        """An empty row must still break a bogus periodicity claim:
+        (work, empty) vs (work, work) cannot alias."""
+        sigs = [tagged_row(0, 0), EMPTY,
+                tagged_row(1, 0), tagged_row(1, 1),
+                tagged_row(2, 0), EMPTY,
+                tagged_row(3, 0), tagged_row(3, 1)]
+        pat = find_pattern_in_signatures(sigs, iterations=20,
+                                         min_repetitions=2)
+        assert pat is None or pat.period != 2 or pat.start_row != 0
+
+
+class TestSteadyThreshold:
+    def test_threshold_constant_matches_property(self):
+        assert ThroughputEstimate.STEADY_TOLERANCE_ROWS == 1.5
+        at = ThroughputEstimate(ii=1.0, first_iter=0, last_iter=10,
+                                max_deviation=1.5)
+        above = ThroughputEstimate(ii=1.0, first_iter=0, last_iter=10,
+                                   max_deviation=1.5000001)
+        assert at.steady
+        assert not above.steady
+
+    def test_zero_deviation_is_steady(self):
+        assert ThroughputEstimate(ii=1.0, first_iter=0, last_iter=10,
+                                  max_deviation=0.0).steady

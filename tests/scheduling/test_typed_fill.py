@@ -1,0 +1,75 @@
+"""Regression: typed machines must not under-fill instructions.
+
+``MachineConfig.room()`` reports the *tightest* per-class slack, so the
+old fill-loop gate ``room() > 0`` stopped filling a node as soon as one
+class budget (say ALU) was exhausted -- even though ``can_accept`` would
+happily admit further MEM/BRANCH ops.  The fill loop now gates on
+``has_headroom``: keep going while *some* class could still accept an
+operation.
+"""
+
+from repro.ir import add, load, mul, straightline_graph
+from repro.machine import FUClass, MachineConfig
+from repro.scheduling import GRiPScheduler, UnifiableOpsScheduler
+
+
+def alu_then_loads():
+    """One ALU op followed by two independent loads."""
+    return straightline_graph([
+        add("a", "x", 1, name="A", pos=0),
+        load("b", "arr", "i", name="L1", pos=1),
+        load("c", "brr", "i", name="L2", pos=2),
+    ])
+
+
+class TestTypedFillLoop:
+    def test_loads_migrate_after_alu_slot_fills(self):
+        """typed={ALU: 1, MEM: 2}: the entry's single ALU slot is taken
+        by its own op, yet both loads must still migrate up into it."""
+        m = MachineConfig(fus=3, typed={FUClass.ALU: 1, FUClass.MEM: 2})
+        g = alu_then_loads()
+        GRiPScheduler(m, gap_prevention=False).schedule(g)
+        entry = g.nodes[g.entry]
+        assert sorted(op.name for op in entry.all_ops()) == ["A", "L1", "L2"]
+        assert len(g.nodes) == 1
+
+    def test_class_budgets_still_enforced(self):
+        """The fill loop keeps going, but per-class budgets still bind:
+        with MEM: 1 only one load fits beside the ALU op."""
+        m = MachineConfig(fus=3, typed={FUClass.ALU: 1, FUClass.MEM: 1})
+        g = alu_then_loads()
+        GRiPScheduler(m, gap_prevention=False).schedule(g)
+        entry = g.nodes[g.entry]
+        names = sorted(op.name for op in entry.all_ops())
+        assert names == ["A", "L1"]
+        assert len(g.nodes) == 2
+
+    def test_total_budget_still_binds(self):
+        """Exhausted total budget ends the fill even with class slack."""
+        m = MachineConfig(fus=2, typed={FUClass.ALU: 1, FUClass.MEM: 2})
+        g = alu_then_loads()
+        GRiPScheduler(m, gap_prevention=False).schedule(g)
+        entry = g.nodes[g.entry]
+        assert sorted(op.name for op in entry.all_ops()) == ["A", "L1"]
+
+    def test_alu_ops_do_not_overfill_their_class(self):
+        """Independent ALU ops past the class budget stay below."""
+        m = MachineConfig(fus=4, typed={FUClass.ALU: 2})
+        g = straightline_graph([
+            add("a", "x", 1, name="A", pos=0),
+            mul("b", "y", 2, name="B", pos=1),
+            add("c", "z", 3, name="C", pos=2),
+            load("d", "arr", "i", name="L", pos=3),
+        ])
+        GRiPScheduler(m, gap_prevention=False).schedule(g)
+        entry = g.nodes[g.entry]
+        names = sorted(op.name for op in entry.all_ops())
+        assert names == ["A", "B", "L"]
+
+    def test_unifiable_scheduler_fills_typed_machines_too(self):
+        """The same gate fix applies to the Unifiable-ops baseline."""
+        m = MachineConfig(fus=3, typed={FUClass.ALU: 1, FUClass.MEM: 2})
+        g = alu_then_loads()
+        UnifiableOpsScheduler(m).schedule(g)
+        entry = g.nodes[g.entry]
+        assert sorted(op.name for op in entry.all_ops()) == ["A", "L1", "L2"]
