@@ -63,6 +63,48 @@ class TestCountNops:
         assert m.room(n) == 0
 
 
+class TestHasHeadroom:
+    def test_tight_class_does_not_hide_other_slack(self):
+        # ALU full but MEM free: room() is 0, yet headroom remains.
+        m = MachineConfig(fus=4, typed={FUClass.ALU: 1, FUClass.MEM: 2,
+                                        FUClass.BRANCH: 1})
+        n = node_with(add("a", "x", 1))
+        assert m.room(n) == 0
+        assert m.has_headroom(n)
+        assert m.can_accept(n, load("b", "y", "k"))
+
+    def test_all_classes_exhausted(self):
+        m = MachineConfig(fus=4, typed={FUClass.ALU: 1, FUClass.MEM: 1,
+                                        FUClass.BRANCH: 1})
+        n = node_with(add("a", "x", 1), load("b", "y", "k"))
+        n.add_root_cj(cjump("a"), 0, 0)
+        assert not m.has_headroom(n)
+
+    def test_total_budget_exhausted(self):
+        m = MachineConfig(fus=2, typed={FUClass.MEM: 4})
+        n = node_with(add("a", "x", 1), add("b", "y", 2))
+        assert not m.has_headroom(n)
+
+    def test_unlisted_class_keeps_headroom_open(self):
+        # BRANCH has no per-class budget: total slack alone suffices.
+        m = MachineConfig(fus=4, typed={FUClass.ALU: 1, FUClass.MEM: 1})
+        n = node_with(add("a", "x", 1), load("b", "y", "k"))
+        assert m.has_headroom(n)
+        assert m.can_accept(n, cjump("a"))
+
+    def test_untyped_matches_room(self):
+        m = MachineConfig(fus=2)
+        n1 = node_with(add("a", "x", 1))
+        n2 = node_with(add("a", "x", 1), add("b", "y", 2))
+        assert m.has_headroom(n1) == (m.room(n1) > 0)
+        assert m.has_headroom(n2) == (m.room(n2) > 0)
+
+    def test_infinite_machine_always_has_headroom(self):
+        m = MachineConfig(fus=None)
+        assert m.has_headroom(node_with(*[add(f"r{i}", "x", i)
+                                          for i in range(64)]))
+
+
 class TestLatencyDefaults:
     def test_missing_kinds_default_to_one(self):
         m = MachineConfig(fus=4, latencies={OpKind.MUL: 3})
