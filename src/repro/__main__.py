@@ -24,11 +24,14 @@ Subcommands::
 
     python -m repro bench [--kernels LL1 ...] [--fus 2 4 8]
                     [--backends grip post vm] [--jobs N] [--smoke]
-                    [--out BENCH.json] [--diff PREV.json] [--tol 0.05]
+                    [--out BENCH.json] [--diff PREV.json] [--diff-subset]
+                    [--tol 0.05]
         Run the benchmark sweep (kernels x fu-configs x backends) over a
         multiprocessing pool and write a machine-readable BENCH_*.json
         artifact.  ``--diff`` compares against a previous artifact and
-        exits non-zero on speedup regressions beyond ``--tol``.
+        exits non-zero on speedup regressions beyond ``--tol``;
+        ``--diff-subset`` gates only the cells this sweep ran (how a
+        smoke sweep diffs against the committed full-table baseline).
 """
 
 from __future__ import annotations
@@ -152,6 +155,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     from .workloads import livermore
 
+    if args.diff_subset and not args.diff:
+        # Reject before the (expensive) sweep: a silently ignored gate
+        # flag would green-light regressions.
+        raise SystemExit("repro bench: --diff-subset requires --diff "
+                         "(nothing to gate against)")
     if args.smoke:
         # --smoke pins the sweep cells; a silently ignored selection
         # flag would stamp misleading metadata into the artifact.
@@ -187,7 +195,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.diff:
         prev = BenchArtifact.read(args.diff)
-        diff = diff_artifacts(prev, art, rel_tol=args.tol)
+        diff = diff_artifacts(prev, art, rel_tol=args.tol,
+                              subset=args.diff_subset)
         print(diff.render())
         if not diff.ok:
             print("repro bench: regression gate FAILED", file=sys.stderr)
@@ -258,6 +267,10 @@ def main(argv: list[str] | None = None) -> int:
                     help="output path (default results/BENCH_<name>.json)")
     p5.add_argument("--diff", default=None, metavar="PREV_JSON",
                     help="previous artifact to gate against")
+    p5.add_argument("--diff-subset", action="store_true",
+                    help="gate only the cells this sweep ran (smoke vs "
+                         "full-table baseline); absent cells are not "
+                         "treated as missing coverage")
     p5.add_argument("--tol", type=float, default=0.05,
                     help="relative speedup tolerance for --diff")
     p5.set_defaults(fn=cmd_bench)

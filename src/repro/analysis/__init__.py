@@ -12,13 +12,24 @@ from .dependence import (
     true_dep,
 )
 from .dominators import DominatorInfo, dominators
+from .incremental import (
+    AnalysisManager,
+    iterations_below,
+    manager_for,
+    region_below,
+    rpo_index,
+    template_index,
+)
 from .liveness import LivenessInfo, liveness
 from .memory import mem_conflict, memory_anti_dep, memory_output_dep, memory_true_dep
 
 __all__ = [
-    "DepEdge", "DepKind", "DependenceDAG", "DominatorInfo", "LivenessInfo",
+    "AnalysisManager", "DepEdge", "DepKind", "DependenceDAG",
+    "DominatorInfo", "LivenessInfo",
     "any_dep", "anti_dep", "build_dag", "chain_lengths",
-    "critical_cycle_ratio", "dependent_counts", "dominators", "liveness",
+    "critical_cycle_ratio", "dependent_counts", "dominators",
+    "iterations_below", "liveness", "manager_for",
     "mem_conflict", "memory_anti_dep", "memory_output_dep",
-    "memory_true_dep", "output_dep", "true_dep",
+    "memory_true_dep", "output_dep", "region_below", "rpo_index",
+    "template_index", "true_dep",
 ]

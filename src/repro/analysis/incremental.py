@@ -1,0 +1,507 @@
+"""Incremental analysis layer: event-maintained scheduling indexes.
+
+The GRiP scheduler's hot loop is thousands of single-op / single-edge
+mutations per kernel, and profiling shows the per-mutation cost is
+dominated not by the move machinery but by rebuilding graph-derived
+indexes afterwards (``rpo_index``, ``region_below``, gap prevention's
+iterations-below sets, the template index).  This module hosts an
+:class:`AnalysisManager` that owns those indexes and maintains them *in
+place* from the graph's typed mutation-event journal
+(:mod:`repro.ir.events`), falling back to a full rebuild only on events
+it cannot patch:
+
+========================  =========================================
+event                      maintenance
+========================  =========================================
+OpAdded / OpRemoved /      template index patched per entry;
+OpReplaced                 iterations-below patched by an exact
+                           upward propagation; RPO and regions are
+                           untouched (op motion never changes
+                           control-flow structure).
+NodeBypassed               RPO order and cached regions are spliced
+                           (removing an empty fall-through node
+                           preserves every other node's traversal
+                           position); iterations-below drops the
+                           node's entry.
+NodeInserted /             template index patched; structural
+NodeRemoved                indexes unaffected (such nodes are
+                           unreachable at event time).
+EdgeRetargeted /           structure-derived indexes marked dirty,
+EntryChanged /             rebuilt lazily on next query
+InstructionReplaced        (InstructionReplaced also rescans the
+                           node's ops into the template index).
+BulkMutation               everything dirty (coarse fallback for
+                           un-migrated mutation paths).
+========================  =========================================
+
+Correctness contract: after every event, each index must equal what a
+from-scratch rebuild would produce -- *including* list orderings, since
+the scheduler's stable sorts make tie-breaking order observable in the
+final schedules.  ``tests/property/test_incremental_analysis.py``
+drives random mutation sequences and asserts exactly that, and
+``tests/integration/test_schedule_equivalence.py`` pins schedule
+neutrality end to end.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, insort
+
+from ..ir import events as ev
+from ..ir.graph import ProgramGraph, build_template_index
+
+
+def manager_for(graph: ProgramGraph) -> "AnalysisManager":
+    """The graph's attached :class:`AnalysisManager` (created on demand).
+
+    The manager lives on the graph (``graph._analysis``) so its
+    lifecycle matches the graph's exactly; clones start without one.
+    """
+    mgr = graph._analysis
+    if mgr is None:
+        mgr = AnalysisManager(graph)
+    return mgr
+
+
+# -- module-level conveniences (the consumer-facing API) ----------------
+
+def rpo_index(graph: ProgramGraph) -> dict[int, int]:
+    """Maintained node -> RPO position map (iterates in RPO order)."""
+    return manager_for(graph).rpo_index()
+
+
+def region_below(graph: ProgramGraph, n: int) -> list[int]:
+    """Maintained scheduling region of ``n``, bottom-up (deepest first)."""
+    return manager_for(graph).region_below(n)
+
+
+def iterations_below(graph: ProgramGraph) -> dict[int, set[int]]:
+    """Maintained per-node sets of iterations with an op strictly below."""
+    return manager_for(graph).iterations_below()
+
+
+def template_index(graph: ProgramGraph) -> dict[int, list[tuple[int, int]]]:
+    """Maintained tid -> [(node id, uid)] map (canonical order)."""
+    return manager_for(graph).template_index()
+
+
+class AnalysisManager:
+    """Owns and incrementally maintains the scheduling indexes of one graph.
+
+    Subscribes to the graph's mutation-event journal on construction.
+    Dirty indexes rebuild lazily on the next query, so bursts of
+    unpatchable events cost one rebuild, not one per event.  Handlers
+    patch clean state or set dirty flags; the one exception is that the
+    iterations-below patches consult ``rpo_index()`` (the two are
+    dirtied together, so a clean below-map guarantees the structure is
+    clean too -- at most a pending bypass splice runs inside the
+    handler, never a full rebuild).
+
+    ``counters`` tallies rebuilds vs. in-place patches per index; the
+    tests use it to assert the incremental paths actually fire.
+    """
+
+    def __init__(self, graph: ProgramGraph, *, verify: bool = False) -> None:
+        if graph._analysis is not None:
+            raise ValueError(
+                "graph already has an attached AnalysisManager; use "
+                "manager_for(graph) instead of constructing a second one "
+                "(two subscribed managers would both pay per-event "
+                "maintenance forever)")
+        self.graph = graph
+        #: paranoid mode: cross-check every query against a from-scratch
+        #: computation.  Attach a verifying manager *before* scheduling
+        #: to pin the incremental maintenance end to end through the
+        #: real mutation stream (the equivalence tests do this); far too
+        #: slow for production use.
+        self.verify = verify
+        self.counters: dict[str, int] = {
+            "events": 0,
+            "rpo_rebuilds": 0, "rpo_splices": 0,
+            "region_builds": 0, "region_splices": 0,
+            "below_rebuilds": 0, "below_patches": 0,
+            "template_rebuilds": 0,
+        }
+        # RPO: order list + position map, None = dirty.  ``_rpo_stale``
+        # counts bypasses not yet spliced out (lazy splice on query).
+        self._rpo_order: list[int] | None = None
+        self._rpo_pos: dict[int, int] | None = None
+        self._rpo_stale = False
+        # Regions: n -> (list, bypass_seq at cache time).  Valid for the
+        # current structure epoch; bypassed nodes are filtered lazily.
+        self._regions: dict[int, tuple[list[int], int]] = {}
+        self._bypass_seq = 0
+        # Iterations-below: node -> set of iterations strictly below.
+        # Sets are never shared (unlike the old per-version rebuild),
+        # so in-place patching cannot alias unrelated nodes.
+        self._below: dict[int, set[int]] | None = None
+        # Template index: tid -> sorted [(nid, uid)], plus a per-node
+        # mirror (nid -> {uid: tid}) so node-level events can diff.
+        self._tindex: dict[int, list[tuple[int, int]]] = {}
+        self._node_ops: dict[int, dict[int, int]] = {}
+        self._tindex_dirty = True
+        graph._analysis = self
+        # The graph-level fallback cache is unreachable from now on
+        # (template_index() delegates here); drop any populated copy.
+        graph._tindex = None
+        graph._tindex_version = -1
+        graph.subscribe(self._on_event)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def rpo_index(self) -> dict[int, int]:
+        """node -> RPO position; dict iteration follows RPO order."""
+        if self._rpo_pos is None:
+            self.counters["rpo_rebuilds"] += 1
+            self._rpo_order = self.graph.rpo()
+            self._rpo_pos = {nid: i for i, nid in enumerate(self._rpo_order)}
+            self._rpo_stale = False
+        elif self._rpo_stale:
+            # Splice bypassed nodes out: RPO-minus-node is exactly the
+            # new RPO when the node was an empty fall-through.
+            self.counters["rpo_splices"] += 1
+            nodes = self.graph.nodes
+            self._rpo_order = [x for x in self._rpo_order if x in nodes]
+            self._rpo_pos = {nid: i for i, nid in enumerate(self._rpo_order)}
+            self._rpo_stale = False
+        if self.verify:
+            fresh = self.graph.rpo()
+            assert self._rpo_order == fresh, \
+                f"incremental RPO diverged: {self._rpo_order} != {fresh}"
+        return self._rpo_pos
+
+    def region_below(self, n: int) -> list[int]:
+        """Nodes of the scheduling region of ``n``, bottom-up (deepest first).
+
+        The paper defines the region as the subgraph *dominated* by
+        ``n``.  For the graphs percolation works on -- unwound loop
+        chains plus the side stubs that branch motion spins off --
+        every forward descendant of ``n`` is reached only through
+        ``n``, so forward reachability coincides with dominance and is
+        far cheaper to maintain under the heavy mutation rate of
+        scheduling (``analysis.dominators`` remains available for exact
+        queries and is cross-checked in the tests).  Back edges
+        (RPO-decreasing) are ignored.  Callers must treat the returned
+        list as immutable.
+        """
+        index = self.rpo_index()
+        if n not in index:
+            return []
+        hit = self._regions.get(n)
+        if hit is not None:
+            lst, seq = hit
+            if seq != self._bypass_seq:
+                self.counters["region_splices"] += 1
+                nodes = self.graph.nodes
+                lst = [x for x in lst if x in nodes]
+                self._regions[n] = (lst, self._bypass_seq)
+            if self.verify:
+                self._verify_region(n, lst)
+            return lst
+        self.counters["region_builds"] += 1
+        graph = self.graph
+        out: list[int] = []
+        seen: set[int] = {n}
+        stack = [n]
+        while stack:
+            cur = stack.pop()
+            out.append(cur)
+            cur_idx = index[cur]
+            for s in graph.successors(cur):
+                if s in seen or s not in index or index[s] <= cur_idx:
+                    continue
+                seen.add(s)
+                stack.append(s)
+        out.sort(key=lambda nid: -index[nid])
+        self._regions[n] = (out, self._bypass_seq)
+        if self.verify:
+            self._verify_region(n, out)
+        return out
+
+    def _verify_region(self, n: int, got: list[int]) -> None:
+        index = self.rpo_index()
+        ref: list[int] = []
+        seen: set[int] = {n}
+        stack = [n]
+        while stack:
+            cur = stack.pop()
+            ref.append(cur)
+            for s in self.graph.successors(cur):
+                if s in seen or s not in index or index[s] <= index[cur]:
+                    continue
+                seen.add(s)
+                stack.append(s)
+        ref.sort(key=lambda nid: -index[nid])
+        assert got == ref, f"incremental region({n}) diverged: {got} != {ref}"
+
+    def iterations_below(self) -> dict[int, set[int]]:
+        """For every reachable node: iterations with an op strictly below.
+
+        Rebuilt bottom-up over forward edges when structure-dirty;
+        patched exactly on op motion (see ``_below_add``/``_below_remove``).
+        Stored sets must be treated as immutable by callers.
+        """
+        if self._below is None:
+            self.counters["below_rebuilds"] += 1
+            self._below = self._build_below()
+        elif self.verify:
+            ref = self._build_below()
+            assert self._below == ref, \
+                f"incremental iterations_below diverged: {self._below} != {ref}"
+        return self._below
+
+    def _build_below(self) -> dict[int, set[int]]:
+        graph = self.graph
+        index = self.rpo_index()
+        order = self._rpo_order
+        own: dict[int, set[int]] = {}
+        for nid in order:
+            own[nid] = {op.iteration
+                        for op in graph.nodes[nid].all_ops()
+                        if op.iteration >= 0}
+        below: dict[int, set[int]] = {}
+        for nid in reversed(order):
+            acc: set[int] = set()
+            for s in graph.successors(nid):
+                if s in index and index[s] > index[nid]:  # skip back edges
+                    acc |= below[s]
+                    acc |= own[s]
+            below[nid] = acc
+        return below
+
+    def template_index(self) -> dict[int, list[tuple[int, int]]]:
+        """tid -> [(nid, uid)] in canonical (nid, uid) order."""
+        if self._tindex_dirty:
+            self.counters["template_rebuilds"] += 1
+            self._tindex, self._node_ops = build_template_index(
+                self.graph.nodes)
+            self._tindex_dirty = False
+        elif self.verify:
+            ref, _ = build_template_index(self.graph.nodes)
+            assert self._tindex == ref, \
+                f"incremental template index diverged: {self._tindex} != {ref}"
+        return self._tindex
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+    def _on_event(self, event: ev.GraphEvent) -> None:
+        self.counters["events"] += 1
+        if type(event) is ev.OpAdded:
+            self._tindex_add(event.nid, event.op.uid, event.op.tid)
+            self._below_add(event.nid, event.op.iteration)
+        elif type(event) is ev.OpRemoved:
+            self._tindex_remove(event.nid, event.op.uid, event.op.tid)
+            self._below_remove(event.nid, event.op.iteration)
+        elif type(event) is ev.OpReplaced:
+            self._tindex_remove(event.nid, event.old.uid, event.old.tid)
+            self._tindex_add(event.nid, event.new.uid, event.new.tid)
+            if event.old.iteration != event.new.iteration:
+                self._below_remove(event.nid, event.old.iteration)
+                self._below_add(event.nid, event.new.iteration)
+        elif type(event) is ev.PathsWidened:
+            pass  # path sets feed none of the owned indexes
+        elif type(event) is ev.NodeBypassed:
+            self._node_bypassed(event.nid, event.succ)
+        elif type(event) is ev.NodeInserted:
+            self._node_inserted(event.nid)
+        elif type(event) is ev.NodeRemoved:
+            self._node_removed(event.nid)
+        elif type(event) is ev.InstructionReplaced:
+            self._rescan_node(event.nid)
+            self._dirty_structure()
+        else:  # EdgeRetargeted, EntryChanged, BulkMutation, unknown
+            self._dirty_structure()
+            # Pure edge/entry changes cannot move ops between nodes;
+            # anything else (BulkMutation, future event types) must
+            # also invalidate the template index.
+            if not isinstance(event, (ev.EdgeRetargeted, ev.EntryChanged)):
+                self._tindex_dirty = True
+
+    def _dirty_structure(self) -> None:
+        self._rpo_order = None
+        self._rpo_pos = None
+        self._rpo_stale = False
+        self._regions.clear()
+        self._below = None
+
+    # ------------------------------------------------------------------
+    # Node-level handlers
+    # ------------------------------------------------------------------
+    def _node_bypassed(self, nid: int, succ: int) -> None:
+        pos = self._rpo_pos
+        if pos is not None and nid in pos:
+            # The splice shortcut is only sound when the bypassed edge
+            # nid -> succ was a forward edge (or EXIT): then every path
+            # through the node becomes a direct path to the same place
+            # and no walk's membership changes.  When it was a *back*
+            # edge, the retargeted pred -> succ edges can be forward --
+            # new forward connectivity the regions and below-sets must
+            # see -- so fall back to a rebuild.
+            if succ in pos and pos[succ] < pos[nid]:
+                self._dirty_structure()
+                return
+            # RPO minus the node is the new RPO; splice lazily on query.
+            self._rpo_stale = True
+            self._bypass_seq += 1
+            self._regions.pop(nid, None)
+        if self._below is not None:
+            self._below.pop(nid, None)
+        # The node was empty, so the template index holds no entries;
+        # drop a stale mirror slot if one exists.
+        self._node_ops.pop(nid, None)
+
+    def _node_inserted(self, nid: int) -> None:
+        # Fresh nodes are unreachable until a later edge event links
+        # them, so structural indexes are untouched -- but adopted
+        # clones arrive with content for the template index.
+        if not self._tindex_dirty:
+            node = self.graph.nodes[nid]
+            for op in node.all_ops():
+                self._tindex_add(nid, op.uid, op.tid)
+        if self.graph._preds.get(nid):  # pragma: no cover - defensive
+            self._dirty_structure()
+
+    def _node_removed(self, nid: int) -> None:
+        if not self._tindex_dirty:
+            for uid, tid in self._node_ops.pop(nid, {}).items():
+                self._tindex_del(tid, nid, uid)
+        else:
+            self._node_ops.pop(nid, None)
+        # Removed nodes are unreachable; if one still sits in the
+        # structural indexes, those were stale -- rebuild.
+        if self._rpo_pos is not None and nid in self._rpo_pos:
+            self._dirty_structure()  # pragma: no cover - defensive
+        elif self._below is not None:
+            self._below.pop(nid, None)
+
+    def _rescan_node(self, nid: int) -> None:
+        """Diff a node's ops against the mirror (tree surgery rewrote it)."""
+        if self._tindex_dirty:
+            return
+        node = self.graph.nodes.get(nid)
+        fresh = ({op.uid: op.tid for op in node.all_ops()}
+                 if node is not None else {})
+        old = self._node_ops.get(nid, {})
+        for uid, tid in old.items():
+            if uid not in fresh:
+                self._tindex_del(tid, nid, uid)
+        for uid, tid in fresh.items():
+            if uid not in old:
+                insort(self._tindex.setdefault(tid, []), (nid, uid))
+        if fresh:
+            self._node_ops[nid] = fresh
+        else:
+            self._node_ops.pop(nid, None)
+
+    # ------------------------------------------------------------------
+    # Template-index patches
+    # ------------------------------------------------------------------
+    def _tindex_add(self, nid: int, uid: int, tid: int) -> None:
+        if self._tindex_dirty:
+            return
+        insort(self._tindex.setdefault(tid, []), (nid, uid))
+        self._node_ops.setdefault(nid, {})[uid] = tid
+
+    def _tindex_remove(self, nid: int, uid: int, tid: int) -> None:
+        if self._tindex_dirty:
+            return
+        self._tindex_del(tid, nid, uid)
+        mirror = self._node_ops.get(nid)
+        if mirror is not None:
+            mirror.pop(uid, None)
+            if not mirror:
+                del self._node_ops[nid]
+
+    def _tindex_del(self, tid: int, nid: int, uid: int) -> None:
+        """Drop one (nid, uid) entry from a sorted per-tid list."""
+        entries = self._tindex.get(tid)
+        if entries is None:
+            return
+        i = bisect_left(entries, (nid, uid))
+        if i < len(entries) and entries[i] == (nid, uid):
+            del entries[i]
+        if not entries:
+            del self._tindex[tid]
+
+    # ------------------------------------------------------------------
+    # Iterations-below patches (exact, not conservative: Gapless-move
+    # results feed suspension decisions, so any slack would change
+    # schedules between the incremental and from-scratch paths)
+    # ------------------------------------------------------------------
+    def _below_add(self, nid: int, iteration: int) -> None:
+        """An ``iteration`` op appeared at ``nid``: push membership up.
+
+        Every forward ancestor of ``nid`` gains the iteration; the walk
+        stops where it is already present (if a node has it, so do all
+        of its ancestors).
+        """
+        if self._below is None or iteration < 0:
+            return
+        pos = self.rpo_index()
+        if nid not in pos:
+            return  # unreachable; the next structural rebuild covers it
+        self.counters["below_patches"] += 1
+        graph = self.graph
+        below = self._below
+        work = [nid]
+        while work:
+            cur = work.pop()
+            cur_pos = pos[cur]
+            for p in graph.predecessors(cur):
+                if p not in pos or pos[p] >= cur_pos:
+                    continue  # back edge or unreachable pred
+                s = below.get(p)
+                if s is None or iteration in s:
+                    continue
+                s.add(iteration)
+                work.append(p)
+
+    def _below_remove(self, nid: int, iteration: int) -> None:
+        """An ``iteration`` op left ``nid``: retract stale memberships.
+
+        Ancestors are visited deepest-first (decreasing RPO position),
+        so when a node is evaluated every affected forward successor
+        already holds its final value; a node keeps the iteration iff
+        some forward successor still has it at-or-below.
+        """
+        if self._below is None or iteration < 0:
+            return
+        pos = self.rpo_index()
+        if nid not in pos:
+            return
+        self.counters["below_patches"] += 1
+        graph = self.graph
+        below = self._below
+        heap: list[tuple[int, int]] = []
+        seen: set[int] = set()
+
+        def push_preds(x: int) -> None:
+            x_pos = pos[x]
+            for p in graph.predecessors(x):
+                if p in pos and pos[p] < x_pos and p not in seen:
+                    seen.add(p)
+                    heapq.heappush(heap, (-pos[p], p))
+
+        push_preds(nid)
+        while heap:
+            _, p = heapq.heappop(heap)
+            s = below.get(p)
+            if s is None or iteration not in s:
+                continue
+            p_pos = pos[p]
+            keep = False
+            for sc in graph.successors(p):
+                if sc not in pos or pos[sc] <= p_pos:
+                    continue
+                if iteration in below.get(sc, ()) or any(
+                        op.iteration == iteration
+                        for op in graph.nodes[sc].all_ops()):
+                    keep = True
+                    break
+            if keep:
+                continue
+            s.discard(iteration)
+            push_preds(p)

@@ -203,33 +203,45 @@ class BenchDiff:
     unchanged: int = 0
     missing: list[tuple[str, int, str]] = field(default_factory=list)
     added: list[tuple[str, int, str]] = field(default_factory=list)
+    #: cells measured at different unrolls: not comparable, a failure
+    incomparable: list[tuple[str, int, str]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.regressions and not self.missing
+        return (not self.regressions and not self.missing
+                and not self.incomparable)
 
     def render(self) -> str:
         lines = [f"bench diff (rel_tol={self.rel_tol:.2%}): "
                  f"{self.unchanged} unchanged, "
                  f"{len(self.improvements)} improved, "
                  f"{len(self.regressions)} regressed, "
-                 f"{len(self.missing)} missing, {len(self.added)} added"]
+                 f"{len(self.missing)} missing, "
+                 f"{len(self.incomparable)} incomparable, "
+                 f"{len(self.added)} added"]
         for d in self.regressions:
             lines.append(f"  REGRESSION {d.describe()}")
         for key in self.missing:
             lines.append(f"  MISSING    {key[0]}@{key[1]} [{key[2]}]")
+        for key in self.incomparable:
+            lines.append(f"  INCOMPARABLE {key[0]}@{key[1]} [{key[2]}]: "
+                         f"different unroll")
         for d in self.improvements:
             lines.append(f"  improved   {d.describe()}")
         return "\n".join(lines)
 
 
 def diff_artifacts(old: BenchArtifact, new: BenchArtifact, *,
-                   rel_tol: float = 0.05) -> BenchDiff:
+                   rel_tol: float = 0.05, subset: bool = False) -> BenchDiff:
     """Regression gate: flag speedup drops beyond ``rel_tol``.
 
     A cell regresses when its speedup falls by more than ``rel_tol``
     relative to the old value, or when a previously converged cell no
     longer converges.  Wall-clock stages are intentionally not gated.
+
+    ``subset=True`` compares only the cells the new sweep ran, instead
+    of treating absent old cells as missing coverage -- this is how a
+    ``--smoke`` sweep gates against the committed full-table baseline.
     """
     diff = BenchDiff(rel_tol=rel_tol)
     old_by_key = {r.key: r for r in old.records}
@@ -237,7 +249,16 @@ def diff_artifacts(old: BenchArtifact, new: BenchArtifact, *,
     for key, r_old in old_by_key.items():
         r_new = new_by_key.get(key)
         if r_new is None:
-            diff.missing.append(key)
+            if not subset:
+                diff.missing.append(key)
+            continue
+        if r_old.unroll != r_new.unroll:
+            # Same cell measured at a different unroll (e.g. a sweep
+            # with a non-default --unroll-scale diffed against the
+            # committed baseline): speedups are not comparable, and
+            # silently gating one against the other would produce
+            # spurious verdicts either way.
+            diff.incomparable.append(key)
             continue
         delta = RecordDelta(kernel=r_old.kernel, fus=r_old.fus,
                             backend=r_old.backend,

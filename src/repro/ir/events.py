@@ -1,0 +1,144 @@
+"""Typed mutation events of the :class:`~repro.ir.graph.ProgramGraph`.
+
+Every mutation method of the graph emits exactly one event describing
+what changed (plus one event per inner mutation of a composite, muted
+while the composite runs).  Observers subscribe with
+``graph.subscribe(callback)`` and receive each event *after* the
+mutation completed, so handlers may inspect the graph's post-state.
+
+The event stream is the contract that replaces the old "bump
+``graph.version``" rule: analyses no longer key caches on a counter and
+rebuild from scratch -- they patch their indexes in place from the
+events (see :mod:`repro.analysis.incremental`) and fall back to a full
+rebuild only on events they cannot patch.  A mutation path that cannot
+describe itself precisely must emit :class:`BulkMutation` (what
+``graph._touch()`` now does), which tells every observer to rebuild --
+correct by construction, merely slower.
+
+Event vocabulary:
+
+``OpAdded`` / ``OpRemoved`` / ``OpReplaced`` / ``PathsWidened``
+    Operation-level mutations.  These leave the control-flow structure
+    untouched, which is the hot-path insight: the vast majority of
+    percolation hops are pure op motion along existing edges, so the
+    RPO and region indexes stay valid across them.
+``NodeInserted`` / ``NodeRemoved``
+    A node appeared (empty, or adopted with content) / was removed
+    outright.  Inserted nodes are unreachable until a later edge event
+    links them; removed nodes are already unreachable.
+``NodeBypassed``
+    An empty single-leaf node was spliced out of the graph
+    (``delete_empty_node``): its predecessors now point directly at
+    ``succ``.  Reverse postorder minus the node is exactly the new
+    reverse postorder, so structural indexes can splice instead of
+    rebuilding -- this is the most frequent structural event under
+    percolation (nodes empty out constantly as operations move up).
+``EdgeRetargeted`` / ``EntryChanged`` / ``InstructionReplaced``
+    Arbitrary structural changes (leaf retargeting, entry motion,
+    direct CJ-tree surgery announced via ``note_tree_change``).  Not
+    patchable in general; observers mark structure-derived indexes
+    dirty and rebuild lazily.
+``BulkMutation``
+    Coarse fallback: anything may have changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .instruction import Instruction
+    from .operations import Operation
+
+
+@dataclass(frozen=True)
+class GraphEvent:
+    """Base class of all program-graph mutation events."""
+
+
+@dataclass(frozen=True)
+class NodeInserted(GraphEvent):
+    """A node joined the graph (``new_node`` / ``adopt``)."""
+
+    nid: int
+
+
+@dataclass(frozen=True)
+class NodeRemoved(GraphEvent):
+    """An (unreachable) node was removed outright; carries its content."""
+
+    nid: int
+    node: "Instruction"
+
+
+@dataclass(frozen=True)
+class NodeBypassed(GraphEvent):
+    """An empty fall-through node was spliced out; preds now reach ``succ``."""
+
+    nid: int
+    succ: int
+
+
+@dataclass(frozen=True)
+class EdgeRetargeted(GraphEvent):
+    """Leaves of ``nid`` that pointed at ``old`` now point at ``new``."""
+
+    nid: int
+    old: int
+    new: int
+
+
+@dataclass(frozen=True)
+class EntryChanged(GraphEvent):
+    """The graph entry moved."""
+
+    old: int | None
+    new: int | None
+
+
+@dataclass(frozen=True)
+class InstructionReplaced(GraphEvent):
+    """Node ``nid``'s instruction changed wholesale (direct tree surgery)."""
+
+    nid: int
+
+
+@dataclass(frozen=True)
+class OpAdded(GraphEvent):
+    """A regular operation was attached to node ``nid``."""
+
+    nid: int
+    op: "Operation"
+
+
+@dataclass(frozen=True)
+class OpRemoved(GraphEvent):
+    """A regular operation was detached from node ``nid``."""
+
+    nid: int
+    op: "Operation"
+
+
+@dataclass(frozen=True)
+class OpReplaced(GraphEvent):
+    """Operation ``old`` of node ``nid`` was swapped for ``new`` in place."""
+
+    nid: int
+    old: "Operation"
+    new: "Operation"
+
+
+@dataclass(frozen=True)
+class PathsWidened(GraphEvent):
+    """An existing op of ``nid`` became active on additional paths."""
+
+    nid: int
+    uid: int
+
+
+@dataclass(frozen=True)
+class BulkMutation(GraphEvent):
+    """Coarse fallback: an undescribed mutation happened; rebuild."""
+
+    reason: str = ""

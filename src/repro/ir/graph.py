@@ -5,15 +5,47 @@ A program graph is a directed graph whose nodes are VLIW instructions
 targets of the instructions' conditional-jump-tree leaves.  The graph
 owns node-id allocation and keeps predecessor sets in sync with tree
 surgery, so all retargeting must go through graph methods.
+
+Mutations feed a typed event journal (:mod:`repro.ir.events`):
+observers registered with :meth:`ProgramGraph.subscribe` receive one
+event per mutation, after the graph reached its post-state.  The
+incremental analysis layer (:mod:`repro.analysis.incremental`)
+maintains its indexes from this stream; ``version`` remains as a cheap
+monotonic mutation counter for coarse-grained caches.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator
 
+from . import events as ev
 from .cjtree import EXIT
 from .instruction import Instruction
 from .operations import Operation
+
+
+def build_template_index(nodes: dict[int, Instruction]) -> tuple[
+        dict[int, list[tuple[int, int]]], dict[int, dict[int, int]]]:
+    """Canonical template-index rebuild: tid -> sorted [(nid, uid)].
+
+    Single source of truth for the rebuild shared by the graph's
+    fallback path and the incremental ``AnalysisManager``: the
+    maintained index must equal this -- orderings included, since the
+    scheduler's stable sorts make tie order observable in schedules.
+    Also returns the per-node mirror (nid -> {uid: tid}) the manager
+    diffs against on node-level events.
+    """
+    index: dict[int, list[tuple[int, int]]] = {}
+    node_ops: dict[int, dict[int, int]] = {}
+    for nid, node in nodes.items():
+        mirror = {op.uid: op.tid for op in node.all_ops()}
+        if mirror:
+            node_ops[nid] = mirror
+        for uid, tid in mirror.items():
+            index.setdefault(tid, []).append((nid, uid))
+    for entries in index.values():
+        entries.sort()
+    return index, node_ops
 
 
 class ProgramGraph:
@@ -24,9 +56,49 @@ class ProgramGraph:
         self.entry: int | None = None
         self._next_nid = 1
         self._preds: dict[int, set[int]] = {}
-        self._version = 0  # bumped on every mutation; analyses memoize on it
+        self._version = 0  # bumped on every mutation (event emission)
+        self._observers: list[Callable[[ev.GraphEvent], None]] = []
+        self._mute = 0  # >0 while a composite mutation runs
         self._tindex: dict[int, list[tuple[int, int]]] | None = None
         self._tindex_version = -1
+        #: attached incremental AnalysisManager (duck-typed; set by
+        #: repro.analysis.incremental.manager_for -- ir must not import
+        #: the analysis layer)
+        self._analysis = None
+
+    # ------------------------------------------------------------------
+    # Event journal
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: Callable[[ev.GraphEvent], None]) -> None:
+        """Register ``observer`` to receive every future mutation event."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[ev.GraphEvent], None]) -> None:
+        self._observers.remove(observer)
+
+    def _emit(self, event: ev.GraphEvent) -> None:
+        """Record one mutation: bump the version, notify observers.
+
+        Inner mutations of a composite (e.g. the retargets inside
+        ``delete_empty_node``) run muted: they bump the version but are
+        not delivered -- the composite emits one summarizing event that
+        observers can patch from.
+        """
+        self._version += 1
+        if self._mute or not self._observers:
+            return
+        for observer in self._observers:
+            observer(event)
+
+    def _touch(self) -> None:
+        """Coarse mutation note: emit a :class:`~repro.ir.events.BulkMutation`.
+
+        Mutation paths that cannot describe themselves precisely call
+        this (directly or legacy-style); observers respond by marking
+        everything dirty.  New mutation paths should emit a typed event
+        instead.
+        """
+        self._emit(ev.BulkMutation())
 
     # ------------------------------------------------------------------
     # Construction
@@ -40,7 +112,7 @@ class ProgramGraph:
         self._preds.setdefault(nid, set())
         if target != EXIT:
             self._preds.setdefault(target, set()).add(nid)
-        self._touch()
+        self._emit(ev.NodeInserted(nid))
         return node
 
     def adopt(self, node: Instruction) -> None:
@@ -51,7 +123,7 @@ class ProgramGraph:
         self._preds.setdefault(node.nid, set())
         for succ in node.successors():
             self._preds.setdefault(succ, set()).add(node.nid)
-        self._touch()
+        self._emit(ev.NodeInserted(node.nid))
 
     def allocate_nid(self) -> int:
         nid = self._next_nid
@@ -61,8 +133,9 @@ class ProgramGraph:
     def set_entry(self, nid: int) -> None:
         if nid not in self.nodes:
             raise KeyError(nid)
+        old = self.entry
         self.entry = nid
-        self._touch()
+        self._emit(ev.EntryChanged(old, nid))
 
     # ------------------------------------------------------------------
     # Queries
@@ -83,7 +156,7 @@ class ProgramGraph:
 
     @property
     def version(self) -> int:
-        """Mutation counter; analyses use it to invalidate caches."""
+        """Mutation counter; coarse caches use it to invalidate."""
         return self._version
 
     def find_op(self, uid: int) -> int | None:
@@ -96,15 +169,19 @@ class ProgramGraph:
     def template_index(self) -> dict[int, list[tuple[int, int]]]:
         """tid -> [(node id, uid)] for every op instance.
 
-        Cached per graph version; successful code motions invalidate it,
-        failed move attempts (which never mutate) do not.
+        Entries are in canonical ``(node id, uid)`` order, which the
+        incremental maintenance reproduces exactly (uids are allocated
+        monotonically, so the order is deterministic across runs).
+        With an attached :class:`~repro.analysis.incremental.AnalysisManager`
+        the index is patched per mutation event; otherwise it is
+        rebuilt per graph version (successful code motions invalidate
+        it, failed move attempts -- which never mutate -- do not).
         """
+        if self._analysis is not None:
+            return self._analysis.template_index()
         if self._tindex is not None and self._tindex_version == self._version:
             return self._tindex
-        index: dict[int, list[tuple[int, int]]] = {}
-        for nid, node in self.nodes.items():
-            for op in node.all_ops():
-                index.setdefault(op.tid, []).append((nid, op.uid))
+        index, _ = build_template_index(self.nodes)
         self._tindex = index
         self._tindex_version = self._version
         return index
@@ -198,6 +275,34 @@ class ProgramGraph:
         return depth
 
     # ------------------------------------------------------------------
+    # Operation mutation (emits op-level events)
+    # ------------------------------------------------------------------
+    def add_op(self, nid: int, op: Operation,
+               paths: frozenset[int] | None = None) -> None:
+        """Attach a regular operation to node ``nid``."""
+        self.nodes[nid].add_op(op, paths)
+        self._emit(ev.OpAdded(nid, op))
+
+    def remove_op(self, nid: int, uid: int) -> Operation:
+        """Detach and return a regular operation of node ``nid``."""
+        op = self.nodes[nid].remove_op(uid)
+        self._emit(ev.OpRemoved(nid, op))
+        return op
+
+    def replace_op(self, nid: int, uid: int, new_op: Operation) -> None:
+        """Swap an operation of node ``nid`` in place (same paths)."""
+        node = self.nodes[nid]
+        old = node.ops[uid]
+        node.replace_op(uid, new_op)
+        self._emit(ev.OpReplaced(nid, old, new_op))
+
+    def widen_op_paths(self, nid: int, uid: int,
+                       extra: frozenset[int]) -> None:
+        """Make an op of ``nid`` active on additional paths (unification)."""
+        self.nodes[nid].widen_paths(uid, extra)
+        self._emit(ev.PathsWidened(nid, uid))
+
+    # ------------------------------------------------------------------
     # Edge mutation (keeps predecessor sets consistent)
     # ------------------------------------------------------------------
     def retarget_leaf(self, nid: int, leaf_id: int, new_target: int) -> None:
@@ -207,7 +312,7 @@ class ProgramGraph:
         node.retarget_leaf(leaf_id, new_target)
         self._edge_removed(nid, old)
         self._edge_added(nid, new_target)
-        self._touch()
+        self._emit(ev.EdgeRetargeted(nid, old, new_target))
 
     def retarget_all_edges(self, nid: int, old: int, new: int) -> None:
         """Point every leaf of ``nid`` targeting ``old`` at ``new``."""
@@ -217,7 +322,7 @@ class ProgramGraph:
         node.retarget_all(old, new)
         self._edge_removed(nid, old)
         self._edge_added(nid, new)
-        self._touch()
+        self._emit(ev.EdgeRetargeted(nid, old, new))
 
     def redirect_predecessors(self, old: int, new: int,
                               only: Iterable[int] | None = None) -> None:
@@ -242,7 +347,8 @@ class ProgramGraph:
         """Recompute pred links after direct tree surgery on ``nid``.
 
         Transformations that graft branches manipulate the instruction
-        directly; they must call this afterwards.
+        directly; they must call this afterwards (it doubles as the
+        :class:`~repro.ir.events.InstructionReplaced` announcement).
         """
         node = self.nodes[nid]
         succs = set(node.successors())
@@ -251,10 +357,7 @@ class ProgramGraph:
                 preds.discard(nid)
         for s in succs:
             self._preds.setdefault(s, set()).add(nid)
-        self._touch()
-
-    def _touch(self) -> None:
-        self._version += 1
+        self._emit(ev.InstructionReplaced(nid))
 
     # ------------------------------------------------------------------
     # Structural transformations
@@ -279,7 +382,10 @@ class ProgramGraph:
 
         Predecessors are retargeted at its successor.  The entry is
         moved forward if it was the deleted node.  Returns True when the
-        deletion happened.
+        deletion happened.  Emits one :class:`~repro.ir.events.NodeBypassed`
+        (the inner retargets are muted): removing a pass-through node
+        leaves every other node's traversal position unchanged, so
+        structural indexes splice it out instead of rebuilding.
         """
         node = self.nodes.get(nid)
         if node is None or not node.is_empty():
@@ -290,28 +396,41 @@ class ProgramGraph:
         succ = leaves[0].target
         if succ == nid:  # self-loop; leave alone
             return False
-        self.redirect_predecessors(nid, succ)
-        if self.entry == nid:
-            self.entry = succ if succ != EXIT else None
-        del self.nodes[nid]
-        self._preds.pop(nid, None)
-        self._edge_removed(nid, succ)
-        for preds in self._preds.values():
-            preds.discard(nid)
-        self._touch()
+        self._mute += 1
+        try:
+            self.redirect_predecessors(nid, succ)
+            if self.entry == nid:
+                self.entry = succ if succ != EXIT else None
+            del self.nodes[nid]
+            self._preds.pop(nid, None)
+            self._edge_removed(nid, succ)
+            for preds in self._preds.values():
+                preds.discard(nid)
+        finally:
+            self._mute -= 1
+        self._emit(ev.NodeBypassed(nid, succ))
         return True
+
+    def remove_node(self, nid: int) -> Instruction:
+        """Remove an unreachable node outright (content and edges).
+
+        The caller asserts nothing points at the node anymore; the
+        paper's move-cj uses this for the vacated From node once its
+        content lives on in the residue nodes.
+        """
+        node = self.nodes.pop(nid)
+        for succ in node.successors():
+            self._preds.get(succ, set()).discard(nid)
+        self._preds.pop(nid, None)
+        self._emit(ev.NodeRemoved(nid, node))
+        return node
 
     def drop_unreachable(self) -> list[int]:
         """Remove nodes unreachable from the entry; returns their ids."""
         live = set(self.reachable())
         dead = [nid for nid in self.nodes if nid not in live]
         for nid in dead:
-            node = self.nodes.pop(nid)
-            for succ in node.successors():
-                self._preds.get(succ, set()).discard(nid)
-            self._preds.pop(nid, None)
-        if dead:
-            self._touch()
+            self.remove_node(nid)
         return dead
 
     # ------------------------------------------------------------------
@@ -322,7 +441,8 @@ class ProgramGraph:
 
         Clones are used to snapshot a graph before transformation (for
         the simulator-based equivalence checks), so identities must be
-        preserved exactly.
+        preserved exactly.  Observers are *not* carried over: the clone
+        starts with an empty journal.
         """
         g = ProgramGraph()
         g.entry = self.entry

@@ -49,8 +49,7 @@ def eliminate_dead_ops(graph: ProgramGraph,
                 if copies_only and not op.is_copy:
                     continue
                 if live.dest_dead_after(nid, uid):
-                    node.remove_op(uid)
-                    graph._touch()
+                    graph.remove_op(nid, uid)
                     removed += 1
                     changed = True
     return removed
@@ -96,8 +95,7 @@ def propagate_copies(graph: ProgramGraph) -> int:
                 for suid in list(snode.ops):
                     sop = snode.ops[suid]
                     if b in sop.uses():
-                        snode.replace_op(suid, sop.substitute_use(b, x))
-                        graph._touch()
+                        graph.replace_op(succ, suid, sop.substitute_use(b, x))
                         rewritten += 1
                 for suid in list(snode.cjs):
                     scj = snode.cjs[suid]
@@ -123,7 +121,9 @@ def _swap_cj(graph: ProgramGraph, nid: int, old_uid: int, new_cj) -> None:
     node.tree = rec(node.tree)
     del node.cjs[old_uid]
     node.cjs[new_cj.uid] = new_cj
-    graph._touch()
+    # Same leaves, new cj uid: announce the tree surgery so observers
+    # (the template index tracks cj instances too) rescan the node.
+    graph.note_tree_change(nid)
 
 
 def strip_nops(graph: ProgramGraph) -> int:
@@ -131,10 +131,8 @@ def strip_nops(graph: ProgramGraph) -> int:
     for node in graph.nodes.values():
         for uid in list(node.ops):
             if node.ops[uid].kind is OpKind.NOP:
-                node.remove_op(uid)
+                graph.remove_op(node.nid, uid)
                 removed += 1
-    if removed:
-        graph._touch()
     return removed
 
 

@@ -19,10 +19,10 @@ at most one step").
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Protocol
 
+from ..analysis import incremental
 from ..ir.graph import ProgramGraph
 from ..ir.operations import Operation
 from ..ir.registers import Reg, RegisterFile
@@ -104,47 +104,14 @@ class MigrateContext:
 def region_below(graph: ProgramGraph, n: int) -> list[int]:
     """Nodes of the scheduling region of ``n``, bottom-up (deepest first).
 
-    The paper defines the region as the subgraph *dominated* by ``n``.
-    For the graphs percolation works on -- unwound loop chains plus the
-    side stubs that branch motion spins off -- every forward descendant
-    of ``n`` is reached only through ``n``, so forward reachability
-    coincides with dominance and is far cheaper to maintain under the
-    heavy mutation rate of scheduling.  (``analysis.dominators`` remains
-    available for exact queries and is cross-checked in the tests.)
-
-    Back edges (RPO-decreasing) are ignored.
-
-    Results are memoized per ``graph.version`` (failed move attempts
-    never mutate, so the repeated region walks of a stuck scheduling
-    round all hit the cache).  Callers must treat the returned list as
-    immutable.
+    Thin shim over the incremental analysis layer (kept here for
+    external callers): the region lists are owned by the graph's
+    :class:`~repro.analysis.incremental.AnalysisManager` and stay valid
+    across pure op motion -- only genuine control-flow changes trigger
+    a rebuild, and empty-node bypasses are spliced in place.  Callers
+    must treat the returned list as immutable.
     """
-    hit = _region_cache.get(graph)
-    if hit is None or hit[0] != graph.version:
-        hit = (graph.version, {})
-        _region_cache[graph] = hit
-    regions = hit[1]
-    cached = regions.get(n)
-    if cached is not None:
-        return cached
-    index = rpo_index(graph)
-    if n not in index:
-        return []
-    out: list[int] = []
-    seen: set[int] = {n}
-    stack = [n]
-    while stack:
-        cur = stack.pop()
-        out.append(cur)
-        cur_idx = index[cur]
-        for s in graph.successors(cur):
-            if s in seen or s not in index or index[s] <= cur_idx:
-                continue
-            seen.add(s)
-            stack.append(s)
-    out.sort(key=lambda nid: -index[nid])
-    regions[n] = out
-    return out
+    return incremental.manager_for(graph).region_below(n)
 
 
 def migrate(ctx: MigrateContext, n: int, tid: int) -> bool:
@@ -159,6 +126,7 @@ def migrate(ctx: MigrateContext, n: int, tid: int) -> bool:
     to the region size.
     """
     graph = ctx.graph
+    analysis = incremental.manager_for(graph)
     moved_any = False
     guard = 0
     progress = True
@@ -167,7 +135,7 @@ def migrate(ctx: MigrateContext, n: int, tid: int) -> bool:
         guard += 1
         if guard > 10_000:  # pragma: no cover - defensive
             raise RuntimeError("migrate failed to converge")
-        index = rpo_index(graph)
+        index = analysis.rpo_index()
         n_idx = index.get(n)
         if n_idx is None:
             return moved_any
@@ -183,7 +151,7 @@ def migrate(ctx: MigrateContext, n: int, tid: int) -> bool:
                 if cur_nid not in graph.nodes or \
                         not graph.nodes[cur_nid].has_op(cur_uid):
                     break  # vanished (unified / re-split); rescan
-                index = rpo_index(graph)
+                index = analysis.rpo_index()
                 if index.get(cur_nid, -1) <= index.get(n, -1):
                     break  # reached the target level
                 hopped = False
@@ -210,23 +178,15 @@ def migrate(ctx: MigrateContext, n: int, tid: int) -> bool:
     return moved_any
 
 
-#: Weakly keyed by the graph itself: an id()-keyed dict could serve a
-#: dead graph's entries to a new graph reusing the same address.
-_rpo_cache: "weakref.WeakKeyDictionary[ProgramGraph, tuple[int, dict[int, int]]]" \
-    = weakref.WeakKeyDictionary()
-#: graph -> (version, {node -> region_below list})
-_region_cache: "weakref.WeakKeyDictionary[ProgramGraph, tuple[int, dict[int, list[int]]]]" \
-    = weakref.WeakKeyDictionary()
-
-
 def rpo_index(graph: ProgramGraph) -> dict[int, int]:
-    """Memoized node -> RPO position map (iterates in RPO order)."""
-    hit = _rpo_cache.get(graph)
-    if hit is not None and hit[0] == graph.version:
-        return hit[1]
-    index = {nid: i for i, nid in enumerate(graph.rpo())}
-    _rpo_cache[graph] = (graph.version, index)
-    return index
+    """Maintained node -> RPO position map (iterates in RPO order).
+
+    Thin shim over the incremental analysis layer (kept here for
+    external callers): the map is patched from the graph's mutation
+    events rather than rebuilt per version, so the hot scheduling loop
+    pays a DFS only when control flow genuinely changes.
+    """
+    return incremental.manager_for(graph).rpo_index()
 
 
 def _is_back_edge(graph: ProgramGraph, pred: int, nid: int) -> bool:

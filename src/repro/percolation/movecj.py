@@ -124,11 +124,7 @@ def move_cj(graph: ProgramGraph, from_nid: int, to_nid: int, cj_uid: int, *,
     # From is no longer reached from To; if nothing else reaches it,
     # remove it (its content lives on in the residue nodes).
     if not graph.predecessors(from_nid):
-        node = graph.nodes.pop(from_nid)
-        for succ in node.successors():
-            graph._preds.get(succ, set()).discard(from_nid)
-        graph._preds.pop(from_nid, None)
-        graph._touch()
+        graph.remove_node(from_nid)
 
     stats.moves += 1
     stats.cj_moves += 1

@@ -164,8 +164,7 @@ def move_op(graph: ProgramGraph, from_nid: int, to_nid: int, uid: int, *,
 
     if unify:
         _detach(graph, from_node, uid, delete_emptied, stats)
-        to_node.widen_paths(twin.uid, leaves)
-        graph._touch()
+        graph.widen_op_paths(to_nid, twin.uid, leaves)
         stats.moves += 1
         stats.unifications += 1
         return MoveOutcome(True, unified=True, new_uid=twin.uid,
@@ -181,15 +180,20 @@ def move_op(graph: ProgramGraph, from_nid: int, to_nid: int, uid: int, *,
             OpKind.COPY, original_dest, (fresh,),
             name=f"{op.name}~" if op.name else "",
             iteration=op.iteration, pos=op.pos)
-        from_node.remove_op(uid)
-        from_node.add_op(compensation, stay_paths)
+        # Add the compensation before removing the moved op: both carry
+        # the same iteration tag, so the iterations-below patches each
+        # stop at the first predecessor check instead of retracting a
+        # membership the very next event restores.  (The node briefly
+        # holds two writers of the destination; nothing observes
+        # per-path writer uniqueness between events.)
+        graph.add_op(from_nid, compensation, stay_paths)
+        graph.remove_op(from_nid, uid)
         renamed = True
         stats.renames += 1
     else:
-        from_node.remove_op(uid)
+        graph.remove_op(from_nid, uid)
 
-    to_node.add_op(moved, leaves)
-    graph._touch()
+    graph.add_op(to_nid, moved, leaves)
     stats.moves += 1
 
     deleted = False
@@ -205,7 +209,7 @@ def move_op(graph: ProgramGraph, from_nid: int, to_nid: int, uid: int, *,
 
 def _detach(graph: ProgramGraph, from_node, uid: int, delete_emptied: bool,
             stats: PercolationStats) -> None:
-    from_node.remove_op(uid)
+    graph.remove_op(from_node.nid, uid)
     if delete_emptied:
         if graph.delete_empty_node(from_node.nid):
             stats.deleted_nodes += 1

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import ClassVar, Sequence
 
+from ..analysis.incremental import rpo_index
 from ..ir.graph import ProgramGraph
 from .unwind import UnwoundLoop
 
@@ -80,8 +81,11 @@ def main_chain(graph: ProgramGraph) -> list[int]:
     with the most forward descendants (the stub side is always a short
     tail).
     """
-    order = graph.rpo()
-    index = {nid: i for i, nid in enumerate(order)}
+    # The memoized/incremental RPO map, like every other consumer: a
+    # detector run right after scheduling reuses the scheduler's index
+    # instead of re-running a DFS (the map iterates in RPO order).
+    index = rpo_index(graph)
+    order = list(index)
     weight: dict[int, int] = {}
     for nid in reversed(order):
         succ = [s for s in graph.successors(nid)

@@ -30,60 +30,32 @@ Scheduling rules (enforced by :class:`GapPreventionPolicy`):
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass, field
 
+from ..analysis.incremental import iterations_below, rpo_index
 from ..ir.graph import ProgramGraph
 from ..ir.operations import Operation
 from ..machine.model import MachineConfig
 from ..percolation.conflicts import analyse_cj_move, analyse_move
-from ..percolation.migrate import MoveOutcome, rpo_index
-
-
-#: Weakly keyed by the graph (an id()-keyed dict could serve a dead
-#: graph's entries to a new graph reusing the same address).
-_below_cache: "weakref.WeakKeyDictionary[ProgramGraph, tuple[int, dict[int, set[int]]]]" \
-    = weakref.WeakKeyDictionary()
+from ..percolation.migrate import MoveOutcome
 
 
 def _iterations_below(graph: ProgramGraph) -> dict[int, set[int]]:
     """For every node: the iterations with an op strictly below it.
 
-    Computed once per graph version by propagating membership sets
-    bottom-up in reverse RPO (forward edges only).  Along the
-    single-successor chains that dominate unwound loops the successor's
-    set is *shared*, not copied, so the rebuild after a mutation stays
-    near-linear (only membership is ever queried; stored sets must be
-    treated as immutable).  Conservative while a ``_would_be_moveable``
-    probe has temporarily lifted an op out (the op still counts as
-    present), which only makes Gapless-move *more* careful -- the safe
-    direction.
+    Thin shim over the incremental analysis layer: the per-node sets
+    are patched exactly on op motion by the graph's
+    :class:`~repro.analysis.incremental.AnalysisManager` (an upward
+    membership propagation per hop) and rebuilt bottom-up over forward
+    edges only when control flow changes.  Exactness matters: the sets
+    feed Gapless-move, whose verdicts decide suspensions, so any
+    conservative slack would change schedules between the incremental
+    and from-scratch paths.  Stored sets must be treated as immutable.
+    The ``_would_be_moveable`` probe lifts an op out without emitting
+    events, which leaves the op counted as present -- the careful (and
+    restored-before-anyone-queries) direction, exactly as before.
     """
-    hit = _below_cache.get(graph)
-    if hit is not None and hit[0] == graph.version:
-        return hit[1]
-    index = rpo_index(graph)  # version-memoized, shared with migrate
-    order = list(index)
-    own: dict[int, set[int]] = {}
-    for nid in order:
-        own[nid] = {op.iteration for op in graph.nodes[nid].all_ops()
-                    if op.iteration >= 0}
-    below: dict[int, set[int]] = {}
-    for nid in reversed(order):
-        succs = [s for s in graph.successors(nid)
-                 if s in index and index[s] > index[nid]]  # skip back edges
-        if not succs:
-            below[nid] = set()
-        elif len(succs) == 1 and not own[succs[0]]:
-            below[nid] = below[succs[0]]  # chain: share, don't copy
-        else:
-            acc: set[int] = set()
-            for s in succs:
-                acc |= below[s]
-                acc |= own[s]
-            below[nid] = acc
-    _below_cache[graph] = (graph.version, below)
-    return below
+    return iterations_below(graph)
 
 
 def _iteration_ops_below(graph: ProgramGraph, nid: int, iteration: int) -> bool:

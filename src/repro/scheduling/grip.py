@@ -20,12 +20,13 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..analysis.dependence import build_dag
+from ..analysis.incremental import rpo_index
 from ..ir.graph import ProgramGraph
 from ..ir.operations import Operation
 from ..ir.registers import Reg, RegisterFile
 from ..machine.model import MachineConfig
 from ..percolation.cleanup import cleanup
-from ..percolation.migrate import FreePolicy, MigrateContext, migrate, rpo_index
+from ..percolation.migrate import FreePolicy, MigrateContext, migrate
 from ..percolation.moveop import PercolationStats
 from .gaps import GapPreventionPolicy
 from .moveable import MoveableOps
@@ -43,6 +44,8 @@ class ScheduleResult:
     seconds: float = 0.0
     gap_policy: GapPreventionPolicy | None = None
     candidate_builds: int = 0
+    #: AnalysisManager rebuild/patch counters, as per-run deltas
+    analysis_counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def resource_barrier_events(self) -> int:
@@ -91,8 +94,13 @@ class GRiPScheduler:
         Reuse the RPO worklist and the Moveable-ops region/candidate
         sets across the rounds of one node while the graph is unchanged
         (``graph.version``-keyed).  Schedules are bitwise-identical
-        either way; ``False`` keeps the original recompute-everything
-        behavior for differential testing.
+        either way; ``False`` rebuilds the worklist and candidate sets
+        on every request for differential testing.  Note both modes
+        share the event-maintained analysis indexes
+        (:mod:`repro.analysis.incremental`); to differentially pin
+        *those*, attach ``AnalysisManager(graph, verify=True)`` before
+        scheduling -- every index query then cross-checks against a
+        from-scratch computation.
     """
 
     machine: MachineConfig
@@ -116,6 +124,8 @@ class GRiPScheduler:
         overrides the heuristic entirely.
         """
         t0 = time.perf_counter()
+        counters_before = (dict(graph._analysis.counters)
+                           if graph._analysis is not None else {})
         if ranking is None:
             if ranking_ops is None:
                 ranking_ops = [op for _, op in sorted(
@@ -152,16 +162,26 @@ class GRiPScheduler:
             nodes_processed=processed,
             seconds=time.perf_counter() - t0,
             gap_policy=policy,
-            candidate_builds=moveable.set_builds)
+            candidate_builds=moveable.set_builds,
+            # Read, don't create: scheduling normally attaches a manager
+            # via migrate's first index query, but if this run never did
+            # (e.g. an empty graph), {} says so more honestly than a
+            # freshly subscribed manager's all-zero counters would.
+            # Reported as per-run deltas so a pre-warmed graph (second
+            # schedule, earlier percolation passes) doesn't inflate them.
+            analysis_counters=(
+                {k: v - counters_before.get(k, 0)
+                 for k, v in graph._analysis.counters.items()}
+                if graph._analysis is not None else {}))
 
     # ------------------------------------------------------------------
     def _next_node(self, graph: ProgramGraph, visited: set[int]) -> int | None:
         """First unvisited node in RPO.
 
-        The worklist is the ``graph.version``-memoized RPO map shared
-        with the migrate sweeps (``percolation.migrate.rpo_index``), so
-        the per-node global walk no longer re-runs a DFS unless the
-        graph actually mutated since the last query.
+        The worklist is the event-maintained RPO map shared with the
+        migrate sweeps (:mod:`repro.analysis.incremental`), so the
+        per-node global walk re-runs a DFS only when control flow
+        genuinely changed since the last query.
         """
         order = rpo_index(graph) if self.memoize else graph.rpo()
         for nid in order:

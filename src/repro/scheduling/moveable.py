@@ -19,9 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..analysis.incremental import region_below
 from ..ir.graph import ProgramGraph
 from ..ir.operations import OpKind
-from ..percolation.migrate import region_below
 from .priority import Ranking, ranked_templates
 
 

@@ -26,12 +26,13 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..analysis.dependence import DependenceDAG, build_dag
+from ..analysis.incremental import region_below, rpo_index
 from ..ir.graph import ProgramGraph
 from ..ir.operations import Operation
 from ..ir.registers import Reg, RegisterFile
 from ..machine.model import MachineConfig
 from ..percolation.cleanup import cleanup
-from ..percolation.migrate import MigrateContext, migrate, region_below, rpo_index
+from ..percolation.migrate import MigrateContext, migrate
 from .grip import ScheduleResult
 from .priority import Heuristic, PaperHeuristic, Ranking, ranked_templates
 

@@ -1,0 +1,244 @@
+"""Unit tests: the mutation-event journal and the AnalysisManager.
+
+The property suite (``tests/property/test_incremental_analysis.py``)
+pins index == rebuild over random sequences; these tests pin the
+journal contract itself -- which events each mutation emits, the
+observer API, and that the cheap patch paths actually fire (no silent
+fallback to rebuild-everything).
+"""
+
+import pytest
+
+from repro.analysis.incremental import manager_for
+from repro.ir import ProgramGraph, add, cjump, copy
+from repro.ir import events as ev
+from repro.ir.cjtree import EXIT
+
+
+def chain(n_ops):
+    """entry -> n1(-op) -> n2(-op) ... -> EXIT, one op per node."""
+    g = ProgramGraph()
+    nodes = []
+    prev = None
+    for i in range(n_ops):
+        node = g.new_node(EXIT)
+        node.add_op(add(f"r{i}", "x", i))
+        if prev is not None:
+            g.retarget_leaf(prev.nid, prev.leaves()[0].leaf_id, node.nid)
+        else:
+            g.set_entry(node.nid)
+        prev = node
+        nodes.append(node)
+    return g, nodes
+
+
+class Journal:
+    def __init__(self, graph):
+        self.events = []
+        graph.subscribe(self.events.append)
+
+    def types(self):
+        return [type(e).__name__ for e in self.events]
+
+
+class TestEventJournal:
+    def test_op_mutations_emit_typed_events(self):
+        g, nodes = chain(2)
+        j = Journal(g)
+        op = add("z", "x", 9)
+        g.add_op(nodes[0].nid, op)
+        g.replace_op(nodes[0].nid, op.uid, op.duplicate())
+        g.remove_op(nodes[0].nid, list(g.nodes[nodes[0].nid].ops)[0])
+        assert j.types() == ["OpAdded", "OpReplaced", "OpRemoved"]
+        assert j.events[1].old.uid == op.uid
+        assert j.events[1].new.tid == op.tid
+
+    def test_delete_empty_node_emits_single_bypass(self):
+        g, nodes = chain(3)
+        mid = nodes[1]
+        mid.remove_op(list(mid.ops)[0])  # silent surgery, then announce
+        g._touch()
+        j = Journal(g)
+        assert g.delete_empty_node(mid.nid)
+        assert j.types() == ["NodeBypassed"]
+        assert j.events[0].nid == mid.nid
+        assert j.events[0].succ == nodes[2].nid
+
+    def test_touch_emits_bulk_mutation(self):
+        g, _ = chain(1)
+        j = Journal(g)
+        g._touch()
+        assert j.types() == ["BulkMutation"]
+
+    def test_every_event_bumps_version(self):
+        g, nodes = chain(2)
+        v0 = g.version
+        g.add_op(nodes[0].nid, add("q", "x", 3))
+        assert g.version == v0 + 1
+
+    def test_unsubscribe_stops_delivery(self):
+        g, nodes = chain(2)
+        j = Journal(g)
+        g.unsubscribe(j.events.append)
+        g.add_op(nodes[0].nid, add("q", "x", 3))
+        assert j.events == []
+
+    def test_clone_does_not_inherit_observers(self):
+        g, nodes = chain(2)
+        j = Journal(g)
+        c = g.clone()
+        c.add_op(nodes[0].nid, add("q", "x", 3))
+        assert j.events == []
+
+    def test_remove_node_carries_content(self):
+        g, nodes = chain(2)
+        orphan = g.new_node()
+        orphan.add_op(add("dead", "x", 1))
+        g.note_tree_change(orphan.nid)
+        j = Journal(g)
+        node = g.remove_node(orphan.nid)
+        assert j.types() == ["NodeRemoved"]
+        assert j.events[0].node is node
+        assert node.op_count() == 1
+
+
+class TestManagerPatching:
+    def test_op_motion_keeps_rpo_hot(self):
+        """An op hop must not trigger an RPO rebuild or splice."""
+        g, nodes = chain(4)
+        mgr = manager_for(g)
+        mgr.rpo_index()
+        base = mgr.counters["rpo_rebuilds"]
+        uid = list(g.nodes[nodes[2].nid].ops)[0]
+        op = g.remove_op(nodes[2].nid, uid)
+        g.add_op(nodes[1].nid, op)
+        assert mgr.rpo_index() == {nid: i for i, nid in enumerate(g.rpo())}
+        assert mgr.counters["rpo_rebuilds"] == base
+        assert mgr.counters["rpo_splices"] == 0
+
+    def test_bypass_splices_instead_of_rebuilding(self):
+        g, nodes = chain(4)
+        mgr = manager_for(g)
+        mgr.rpo_index()
+        base = mgr.counters["rpo_rebuilds"]
+        mid = nodes[2]
+        g.remove_op(mid.nid, list(mid.ops)[0])
+        assert g.delete_empty_node(mid.nid)
+        assert mgr.rpo_index() == {nid: i for i, nid in enumerate(g.rpo())}
+        assert mgr.counters["rpo_rebuilds"] == base
+        assert mgr.counters["rpo_splices"] == 1
+
+    def test_edge_retarget_dirties_structure(self):
+        g, nodes = chain(3)
+        mgr = manager_for(g)
+        mgr.rpo_index()
+        base = mgr.counters["rpo_rebuilds"]
+        # Skip the middle node: n0 -> n2.
+        g.retarget_leaf(nodes[0].nid, nodes[0].leaves()[0].leaf_id,
+                        nodes[2].nid)
+        assert mgr.rpo_index() == {nid: i for i, nid in enumerate(g.rpo())}
+        assert mgr.counters["rpo_rebuilds"] == base + 1
+
+    def test_template_index_patched_not_rebuilt(self):
+        g, nodes = chain(3)
+        mgr = manager_for(g)
+        mgr.template_index()
+        base = mgr.counters["template_rebuilds"]
+        op = add("t", "x", 7)
+        g.add_op(nodes[0].nid, op)
+        assert (nodes[0].nid, op.uid) in mgr.template_index()[op.tid]
+        g.remove_op(nodes[0].nid, op.uid)
+        assert op.tid not in mgr.template_index()
+        assert mgr.counters["template_rebuilds"] == base
+
+    def test_template_entries_canonically_ordered(self):
+        g, nodes = chain(2)
+        mgr = manager_for(g)
+        first = add("a", "x", 1)
+        g.add_op(nodes[1].nid, first)          # higher nid first
+        twin = first.duplicate()               # same template, higher uid
+        g.add_op(nodes[0].nid, twin)
+        entries = mgr.template_index()[first.tid]
+        assert entries == sorted(entries)
+
+    def test_below_patch_tracks_iteration_motion(self):
+        g, nodes = chain(3)
+        mgr = manager_for(g)
+        tagged = add("it", "x", 5, iteration=2)
+        g.add_op(nodes[2].nid, tagged)
+        below = mgr.iterations_below()
+        assert 2 in below[nodes[0].nid] and 2 in below[nodes[1].nid]
+        base = mgr.counters["below_rebuilds"]
+        # Hop the tagged op up one node: membership retracts exactly.
+        g.remove_op(nodes[2].nid, tagged.uid)
+        g.add_op(nodes[1].nid, tagged)
+        below = mgr.iterations_below()
+        assert 2 in below[nodes[0].nid]
+        assert 2 not in below[nodes[1].nid]
+        assert mgr.counters["below_rebuilds"] == base
+
+    def test_shims_reach_the_manager(self):
+        from repro.percolation import region_below, rpo_index
+        from repro.scheduling.gaps import _iterations_below
+
+        g, nodes = chain(3)
+        mgr = manager_for(g)
+        assert rpo_index(g) is mgr.rpo_index()
+        assert region_below(g, nodes[0].nid) == mgr.region_below(nodes[0].nid)
+        assert _iterations_below(g) is mgr.iterations_below()
+        assert g.template_index() is mgr.template_index()
+
+    def test_back_edge_bypass_rebuilds_instead_of_splicing(self):
+        """Splicing is unsound when the bypassed edge was a back edge.
+
+        E->{X,P}, X->S, S->N, N->S (back edge), P->N; N is empty.  RPO
+        is E,P,X,S,N, so deleting N retargets P at S -- a *new forward
+        edge* (P before S): region_below(P) gains S and the tagged
+        iteration on S becomes visible below P.  The manager must fall
+        back to a rebuild here; the splice would miss both.
+        """
+        g = ProgramGraph()
+        e = g.new_node()
+        x = g.new_node()
+        p = g.new_node()
+        s = g.new_node()
+        n = g.new_node()
+        cj = cjump("c")
+        e.add_root_cj(cj, x.nid, p.nid)
+        g.note_tree_change(e.nid)
+        g.set_entry(e.nid)
+        g.retarget_leaf(x.nid, x.leaves()[0].leaf_id, s.nid)
+        g.retarget_leaf(s.nid, s.leaves()[0].leaf_id, n.nid)
+        g.retarget_leaf(n.nid, n.leaves()[0].leaf_id, s.nid)  # back edge
+        g.retarget_leaf(p.nid, p.leaves()[0].leaf_id, n.nid)
+        g.add_op(s.nid, add("tagged", "x", 1, iteration=1))
+
+        mgr = manager_for(g)
+        assert list(mgr.rpo_index()) == [e.nid, p.nid, x.nid, s.nid, n.nid]
+        assert mgr.region_below(p.nid) == [n.nid, p.nid]
+        assert 1 not in mgr.iterations_below()[p.nid]
+
+        assert g.delete_empty_node(n.nid)
+        assert list(mgr.rpo_index()) == list(g.rpo())
+        assert mgr.region_below(p.nid) == [s.nid, p.nid]
+        assert 1 in mgr.iterations_below()[p.nid]
+
+    def test_second_manager_construction_rejected(self):
+        from repro.analysis.incremental import AnalysisManager
+
+        g, _ = chain(2)
+        mgr = manager_for(g)
+        assert manager_for(g) is mgr  # idempotent accessor
+        with pytest.raises(ValueError, match="already has an attached"):
+            AnalysisManager(g)
+
+    def test_bulk_mutation_recovers_direct_surgery(self):
+        """Un-migrated mutation paths stay correct via the coarse event."""
+        g, nodes = chain(3)
+        mgr = manager_for(g)
+        mgr.template_index()
+        op = add("raw", "x", 8, iteration=1)
+        nodes[2].add_op(op)  # direct, journal-less surgery ...
+        g._touch()           # ... announced coarsely
+        assert (nodes[2].nid, op.uid) in mgr.template_index()[op.tid]
+        assert 1 in mgr.iterations_below()[nodes[0].nid]

@@ -131,3 +131,30 @@ class TestDiffGate:
         diff = diff_artifacts(old, new)
         assert diff.ok
         assert len(diff.improvements) == 1
+
+    def test_subset_ignores_uncovered_baseline_cells(self):
+        """Smoke-vs-full-table gating: absent cells are not missing."""
+        old = artifact([record(), record(kernel="LL2"),
+                        record(kernel="LL7", fus=8)])
+        new = artifact([record()])
+        diff = diff_artifacts(old, new, subset=True)
+        assert diff.ok
+        assert diff.missing == []
+        assert diff.unchanged == 1
+
+    def test_subset_still_gates_shared_cells(self):
+        old = artifact([record(speedup=4.0), record(kernel="LL2")])
+        new = artifact([record(speedup=3.0)])
+        diff = diff_artifacts(old, new, subset=True)
+        assert not diff.ok
+        assert len(diff.regressions) == 1
+
+    def test_different_unroll_is_incomparable_not_gated(self):
+        """Sweeps at different unrolls must fail loudly, not spuriously."""
+        old = artifact([record(speedup=4.0, unroll=12)])
+        new = artifact([record(speedup=4.0, unroll=20)])
+        diff = diff_artifacts(old, new)
+        assert not diff.ok
+        assert diff.incomparable == [("LL1", 4, "grip")]
+        assert not diff.regressions
+        assert "INCOMPARABLE" in diff.render()

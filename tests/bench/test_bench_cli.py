@@ -24,6 +24,12 @@ def parallel_artifact(tmp_path_factory):
 
 
 class TestBenchCLI:
+    def test_diff_subset_without_diff_rejected_before_sweep(self, tmp_path):
+        with pytest.raises(SystemExit, match="requires --diff"):
+            main(["bench", "--smoke", "--diff-subset",
+                  "--out", str(tmp_path / "x.json")])
+        assert not (tmp_path / "x.json").exists()  # rejected pre-sweep
+
     def test_artifact_round_trips(self, parallel_artifact):
         art = parallel_artifact
         assert art.name == "smoke"

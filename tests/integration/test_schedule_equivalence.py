@@ -60,3 +60,26 @@ def test_memoize_skips_rebuilds():
     _, r_memo, _ = schedule("LL3", 4, memoize=True)
     _, r_base, _ = schedule("LL3", 4, memoize=False)
     assert r_memo.candidate_builds <= r_base.candidate_builds
+
+
+def test_incremental_indexes_verified_under_real_scheduling():
+    """Paranoid end-to-end pin of the incremental analysis layer.
+
+    Both memoize arms above share the event-maintained indexes, so a
+    patching bug would corrupt them identically and slip through the
+    differential.  This run attaches a *verifying* AnalysisManager
+    before scheduling: every rpo/region/below/template query during the
+    real GRiP mutation stream is cross-checked against a from-scratch
+    computation, so any divergence raises at the exact query that
+    observed it.
+    """
+    from repro.analysis.incremental import AnalysisManager
+
+    loop = livermore.kernel("LL3", 6)
+    unwound = unwind_counted(loop, 6)
+    mgr = AnalysisManager(unwound.graph, verify=True)
+    res = GRiPScheduler(MachineConfig(fus=4)).schedule(
+        unwound.graph, ranking_ops=unwound.ops)
+    assert res.stats.moves > 0
+    assert mgr.counters["events"] > 0
+    find_pattern(unwound, unwound.graph)

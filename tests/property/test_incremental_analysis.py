@@ -1,0 +1,251 @@
+"""Property tests: incremental indexes equal from-scratch rebuilds.
+
+The :class:`~repro.analysis.incremental.AnalysisManager` patches its
+indexes in place from the graph's mutation-event journal.  The
+correctness contract is exact equality -- including orderings, since
+the scheduler's stable sorts make tie-breaking observable -- with what
+a from-scratch rebuild over the post-mutation graph would produce.
+
+These tests drive random mutation sequences (real percolation hops,
+which exercise splits, unifications, renames, empty-node bypasses and
+cj motion; plus direct op surgery and coarse ``_touch`` fallbacks) and
+after *every* mutation compare each maintained index against an
+independent reference implementation.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.incremental import manager_for
+from repro.ir import RegisterFile, add
+from repro.machine import INFINITE_RESOURCES, MachineConfig
+from repro.percolation import MigrateContext
+from repro.pipelining import unwind_counted
+from repro.workloads import livermore
+from repro.workloads.synthetic import branchy_program, random_straightline
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (independent of the incremental layer)
+# ----------------------------------------------------------------------
+def ref_rpo_index(graph):
+    return {nid: i for i, nid in enumerate(graph.rpo())}
+
+
+def ref_region_below(graph, n):
+    index = ref_rpo_index(graph)
+    if n not in index:
+        return []
+    out, seen, stack = [], {n}, [n]
+    while stack:
+        cur = stack.pop()
+        out.append(cur)
+        for s in graph.successors(cur):
+            if s in seen or s not in index or index[s] <= index[cur]:
+                continue
+            seen.add(s)
+            stack.append(s)
+    out.sort(key=lambda nid: -index[nid])
+    return out
+
+
+def ref_iterations_below(graph):
+    index = ref_rpo_index(graph)
+    order = list(index)
+    own = {nid: {op.iteration for op in graph.nodes[nid].all_ops()
+                 if op.iteration >= 0}
+           for nid in order}
+    below = {}
+    for nid in reversed(order):
+        acc = set()
+        for s in graph.successors(nid):
+            if s in index and index[s] > index[nid]:
+                acc |= below[s]
+                acc |= own[s]
+        below[nid] = acc
+    return below
+
+
+def ref_template_index(graph):
+    index = {}
+    for nid, node in graph.nodes.items():
+        for op in node.all_ops():
+            index.setdefault(op.tid, []).append((nid, op.uid))
+    for entries in index.values():
+        entries.sort()
+    return index
+
+
+def assert_indexes_match(graph, context=""):
+    """Every maintained index must equal a from-scratch rebuild."""
+    mgr = manager_for(graph)
+    got_rpo = mgr.rpo_index()
+    want_rpo = ref_rpo_index(graph)
+    assert got_rpo == want_rpo, f"rpo mismatch {context}"
+    # Iteration order is part of the contract (the scheduler's worklist
+    # iterates the map).
+    assert list(got_rpo) == list(want_rpo), f"rpo order mismatch {context}"
+
+    assert mgr.iterations_below() == ref_iterations_below(graph), \
+        f"iterations_below mismatch {context}"
+
+    got_t = mgr.template_index()
+    want_t = ref_template_index(graph)
+    assert got_t == want_t, f"template index mismatch {context}"
+    assert graph.template_index() == want_t, f"graph shim mismatch {context}"
+
+    for n in list(want_rpo)[::3] + [next(iter(want_rpo), None)]:
+        if n is None:
+            continue
+        assert mgr.region_below(n) == ref_region_below(graph, n), \
+            f"region_below({n}) mismatch {context}"
+
+
+def warm(graph):
+    """Query every index so the incremental patch paths are exercised."""
+    mgr = manager_for(graph)
+    mgr.rpo_index()
+    mgr.iterations_below()
+    mgr.template_index()
+    for n in list(graph.nodes)[:8]:
+        mgr.region_below(n)
+    return mgr
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def random_hops(graph, rng, machine, steps, exit_live=frozenset()):
+    """Attempt ``steps`` random single hops through the real move machinery.
+
+    Yields after every attempt (successful ones mutate the graph via
+    the full event vocabulary: op motion, renames, unifications, node
+    splits, empty-node bypasses, cj grafts and node removals).
+    """
+    ctx = MigrateContext(graph=graph, machine=machine,
+                         regfile=RegisterFile(), exit_live=exit_live)
+    for _ in range(steps):
+        nids = [nid for nid in graph.nodes if graph.nodes[nid].op_count()]
+        if not nids:
+            return
+        from_nid = rng.choice(nids)
+        preds = list(graph.predecessors(from_nid))
+        if not preds:
+            continue
+        to_nid = rng.choice(preds)
+        ops = list(graph.nodes[from_nid].all_ops())
+        uid = rng.choice(ops).uid
+        ctx.hop(from_nid, to_nid, uid)
+        yield
+
+
+class TestRandomMutationSequences:
+    @SETTINGS
+    @given(st.integers(0, 10_000), st.integers(6, 16))
+    def test_straightline_hops(self, seed, n_ops):
+        rng = random.Random(seed)
+        graph = random_straightline(rng, n_ops)
+        warm(graph)
+        assert_indexes_match(graph, "initial")
+        for i, _ in enumerate(random_hops(graph, rng,
+                                          MachineConfig(fus=2), steps=40)):
+            assert_indexes_match(graph, f"straightline step {i}")
+
+    @SETTINGS
+    @given(st.integers(0, 10_000))
+    def test_branchy_hops(self, seed):
+        rng = random.Random(seed)
+        graph = branchy_program(rng)
+        warm(graph)
+        assert_indexes_match(graph, "initial")
+        for i, _ in enumerate(random_hops(graph, rng,
+                                          INFINITE_RESOURCES, steps=40)):
+            assert_indexes_match(graph, f"branchy step {i}")
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 10_000),
+           st.sampled_from(["LL1", "LL3", "LL5"]))
+    def test_unwound_kernel_hops(self, seed, name):
+        """Iteration-tagged graphs: the gap-prevention sets must track."""
+        rng = random.Random(seed)
+        loop = livermore.kernel(name, 6)
+        unwound = unwind_counted(loop, 6)
+        graph = unwound.graph
+        warm(graph)
+        assert_indexes_match(graph, "initial")
+        for i, _ in enumerate(random_hops(graph, rng,
+                                          MachineConfig(fus=4), steps=30)):
+            assert_indexes_match(graph, f"{name} step {i}")
+
+    @SETTINGS
+    @given(st.integers(0, 10_000), st.integers(6, 14))
+    def test_direct_surgery_and_fallbacks(self, seed, n_ops):
+        """Direct op surgery, inserts, deletes and coarse fallbacks."""
+        rng = random.Random(seed)
+        graph = random_straightline(rng, n_ops)
+        warm(graph)
+        iteration_pool = [-1, 0, 1, 2]
+        for i in range(30):
+            action = rng.randrange(7)
+            nids = list(graph.nodes)
+            nid = rng.choice(nids)
+            node = graph.nodes[nid]
+            if action == 0:  # add a fresh tagged op
+                op = add(f"t{seed}_{i}", "a0", 1,
+                         iteration=rng.choice(iteration_pool))
+                graph.add_op(nid, op)
+            elif action == 1 and node.ops:  # remove one
+                graph.remove_op(nid, rng.choice(list(node.ops)))
+            elif action == 2 and node.ops:  # replace in place
+                uid = rng.choice(list(node.ops))
+                graph.replace_op(nid, uid, node.ops[uid].duplicate())
+            elif action == 3:  # bypass an empty node (may refuse)
+                graph.delete_empty_node(nid)
+            elif action == 4:  # append a fresh node + link it
+                fresh = graph.new_node()
+                leaf = rng.choice(node.leaves())
+                old_target = leaf.target
+                graph.retarget_leaf(nid, leaf.leaf_id, fresh.nid)
+                graph.retarget_leaf(fresh.nid,
+                                    fresh.leaves()[0].leaf_id, old_target)
+            elif action == 5:  # rewire anywhere: back edges, cycles,
+                               # unreachable stubs all fair game
+                target = rng.choice(nids)
+                if target != nid:
+                    leaf = rng.choice(node.leaves())
+                    graph.retarget_leaf(nid, leaf.leaf_id, target)
+            else:  # un-migrated mutation path: direct + coarse _touch
+                node.add_op(add(f"x{seed}_{i}", "a0", 2,
+                                iteration=rng.choice(iteration_pool)))
+                graph._touch()
+            assert_indexes_match(graph, f"surgery step {i} action {action}")
+        graph.drop_unreachable()
+        assert_indexes_match(graph, "after drop_unreachable")
+        graph.check()
+
+
+class TestSchedulerCountersSanity:
+    def test_incremental_paths_fire_under_grip(self):
+        """A real scheduling run must mostly patch, rarely rebuild."""
+        from repro.scheduling import GRiPScheduler
+
+        loop = livermore.kernel("LL3", 8)
+        unwound = unwind_counted(loop, 8)
+        res = GRiPScheduler(MachineConfig(fus=4)).schedule(
+            unwound.graph, ranking_ops=unwound.ops)
+        c = res.analysis_counters
+        assert c["events"] > 0
+        # Structure rebuilds must be far rarer than mutation events --
+        # that is the point of the event journal.
+        assert c["rpo_rebuilds"] + c["rpo_splices"] < c["events"] / 2
+        assert c["below_patches"] > c["below_rebuilds"]
+        # The template index should essentially never rebuild.
+        assert c["template_rebuilds"] <= 2
+        assert_indexes_match(unwound.graph, "after GRiP")
