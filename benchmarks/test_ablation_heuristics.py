@@ -10,8 +10,6 @@ Table-1 subset.
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import write_result
 from repro.machine import MachineConfig
 from repro.pipelining import pipeline_loop

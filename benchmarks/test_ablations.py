@@ -17,8 +17,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from benchmarks.conftest import write_result
 from repro.machine import INFINITE_RESOURCES, MachineConfig
 from repro.pipelining import main_chain, unwind_implicit
@@ -30,7 +28,7 @@ from repro.scheduling import (
 )
 from repro.simulator import check_equivalent
 from repro.workloads.paper_examples import ag_body
-from repro.workloads.synthetic import branchy_program, wide_body
+from repro.workloads.synthetic import branchy_program
 
 
 class TestAblationAUnifiableCost:

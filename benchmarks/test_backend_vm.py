@@ -7,6 +7,13 @@ ops/sec, while agreeing with it cycle-for-cycle (the differential
 check runs first).  The rendered artifact reports realized cycles next
 to the schedule-length speedups, including a multi-cycle-latency
 machine where realized > scheduled.
+
+The committed ``results/backend_vm.txt`` contains only *deterministic*
+content (cycle counts, schedule lengths): measured ops/sec rates jitter
+per run and used to churn the file on every commit, so the throughput
+floor is asserted by the test and recorded qualitatively.
+:func:`render_report` is a pure function of the realized-cycle rows;
+``test_result_file_idempotent`` pins that regeneration is byte-stable.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ import time
 
 import pytest
 
-from repro.backend import BundleVM, differential_check, encode
+from repro.backend import BundleVM, differential_check
 from repro.ir.operations import OpKind
 from repro.machine import MachineConfig
 from repro.pipelining import pipeline_loop
@@ -24,11 +31,30 @@ from repro.simulator.check import initial_state, input_registers
 from repro.simulator.interp import run
 from repro.workloads import livermore
 
-from conftest import write_result
+from conftest import RESULTS_DIR, write_result
+
+# Snapshot the committed artifact at import time, BEFORE the fixture
+# regenerates it: comparing the fixture's own output to the file it
+# just wrote would be tautological.
+_COMMITTED_PATH = RESULTS_DIR / "backend_vm.txt"
+_COMMITTED = (_COMMITTED_PATH.read_text()
+              if _COMMITTED_PATH.exists() else None)
 
 UNROLL = 24
 KERNELS = ("LL1", "LL7", "LL12")
 MIN_SPEEDUP = 5.0
+
+THROUGHPUT_NOTE = (
+    f"Throughput floor: bundle VM >= {MIN_SPEEDUP:.1f}x the tree-walker's\n"
+    f"committed ops/sec on {', '.join(KERNELS)} -- asserted each run by\n"
+    "benchmarks/test_backend_vm.py::TestVMThroughput; measured rates are\n"
+    "timing-dependent and intentionally not committed.")
+
+
+def render_report(table_rows) -> str:
+    """Render the committed artifact (pure in the deterministic rows)."""
+    return (realized_cycles_table(table_rows) + "\n\n"
+            + THROUGHPUT_NOTE + "\n")
 
 
 def _best_seconds(fn, reps: int = 5) -> float:
@@ -86,12 +112,7 @@ def throughput_rows():
         sched_speedup=res.speedup,
         realized_speedup=(res.measured_seq_cycles / rep.realized_cycles
                           if res.measured_seq_cycles else None)))
-    text = realized_cycles_table(table_rows)
-    lines = [text, "", "Throughput (committed ops/sec, best of 5):"]
-    for name, tree_ops, vm_ops in rows:
-        lines.append(f"  {name:6s} tree {tree_ops:12.0f}  "
-                     f"vm {vm_ops:12.0f}  ({vm_ops / tree_ops:.1f}x)")
-    write_result("backend_vm.txt", "\n".join(lines) + "\n")
+    write_result("backend_vm.txt", render_report(table_rows))
     return rows, table_rows
 
 
@@ -116,3 +137,21 @@ class TestVMThroughput:
         _, table_rows = throughput_rows
         for row in table_rows:
             assert row.vm_steps == row.interp_cycles
+
+    def test_result_file_idempotent(self, throughput_rows):
+        """Regenerating results/backend_vm.txt must be byte-identical:
+        the emitter is a pure function of deterministic cycle counts
+        (it used to embed measured ops/sec, churning every commit).
+        The comparison is against the *pre-run* snapshot of the
+        committed file, so a stale artifact fails here rather than
+        being silently overwritten."""
+        _, table_rows = throughput_rows
+        rendered = render_report(table_rows)
+        assert _COMMITTED == rendered, (
+            "results/backend_vm.txt was stale; this run regenerated "
+            "it -- commit the refreshed artifact")
+        # No timing-derived content may leak into the artifact.
+        assert "ops/sec on" in rendered  # the qualitative note ...
+        assert "best of" not in rendered  # ... not the measured rates
+        second = write_result("backend_vm.txt", rendered)
+        assert second.read_text() == rendered

@@ -8,8 +8,6 @@ instruction with node splitting of the source.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.ir import (
     EXIT,
     ProgramGraph,

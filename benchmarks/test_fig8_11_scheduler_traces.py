@@ -17,8 +17,6 @@ Regenerated in ``results/fig8_11.txt``.
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import write_result
 from repro.ir.render import schedule_table
 from repro.machine import MachineConfig

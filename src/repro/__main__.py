@@ -20,18 +20,32 @@ Subcommands::
         also executes it on the bundle VM with a differential check.
 
     python -m repro kernels
-        List the built-in Livermore kernels.
+        List the built-in kernels (Livermore + curated synthetic).
 
-    python -m repro bench [--kernels LL1 ...] [--fus 2 4 8]
-                    [--backends grip post vm] [--jobs N] [--smoke]
-                    [--out BENCH.json] [--diff PREV.json] [--diff-subset]
-                    [--tol 0.05]
+    python -m repro bench [--family ll synth] [--kernels LL1 ...]
+                    [--fus 2 4 8] [--backends grip post vm] [--jobs N]
+                    [--smoke] [--out BENCH.json] [--diff PREV.json]
+                    [--diff-subset] [--tol 0.05]
         Run the benchmark sweep (kernels x fu-configs x backends) over a
         multiprocessing pool and write a machine-readable BENCH_*.json
         artifact.  ``--diff`` compares against a previous artifact and
         exits non-zero on speedup regressions beyond ``--tol``;
         ``--diff-subset`` gates only the cells this sweep ran (how a
         smoke sweep diffs against the committed full-table baseline).
+
+    python -m repro fuzz [--budget N] [--seed S] [--jobs N]
+                    [--verify-every N] [--out-dir DIR]
+                    [--replay FUZZ_<seed>.json] [--tamper drop-store]
+        Differential fuzzing over the synthetic scenario space: each
+        seed pins a generated kernel + machine shape, which is GRiP-
+        scheduled, equivalence-checked against the sequential loop,
+        and differentially executed on the bundle VM; every
+        ``--verify-every``-th seed also runs under a verifying
+        AnalysisManager.  Failures are shrunk to minimized
+        FUZZ_<seed>.json repro artifacts, replayable with ``--replay``.
+
+Exit codes (bench and fuzz): 0 = clean, 1 = regression / mismatch
+found, 2 = usage error (argparse errors included).
 """
 
 from __future__ import annotations
@@ -39,6 +53,18 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import NoReturn
+
+
+def _usage(msg: str) -> NoReturn:
+    """Reject a bad invocation: message on stderr, exit code 2."""
+    print(msg, file=sys.stderr)
+    raise SystemExit(2)
+
+
+#: tamper choices (mirrors repro.bench.fuzz.TAMPERS, kept literal so
+#: building the arg parser doesn't import the scheduling stack)
+TAMPER_NAMES = ("drop-store",)
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -67,17 +93,17 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 def _load_kernel(spec: str, unroll: int):
     from .frontend import compile_dsl
-    from .workloads import livermore
+    from .workloads import build_kernel, family_of, livermore
 
-    if spec.upper() in livermore.kernel_names():
-        return livermore.kernel(spec, unroll)
+    if family_of(spec) is not None:
+        return build_kernel(spec, unroll)
     try:
         src = Path(spec).read_text()
     except OSError:
-        raise SystemExit(
+        _usage(
             f"repro: unknown kernel {spec!r}: not a built-in "
-            f"({', '.join(livermore.kernel_names())}) and not a readable "
-            f"DSL file")
+            f"({', '.join(livermore.kernel_names())}, synth family) and "
+            f"not a readable DSL file")
     return compile_dsl(src, unroll, name=Path(spec).stem)
 
 
@@ -153,29 +179,34 @@ def cmd_bench(args: argparse.Namespace) -> int:
         run_bench,
         smoke_jobs,
     )
-    from .workloads import livermore
+    from .workloads import family_names, family_of
 
     if args.diff_subset and not args.diff:
         # Reject before the (expensive) sweep: a silently ignored gate
         # flag would green-light regressions.
-        raise SystemExit("repro bench: --diff-subset requires --diff "
-                         "(nothing to gate against)")
+        _usage("repro bench: --diff-subset requires --diff "
+               "(nothing to gate against)")
     if args.smoke:
         # --smoke pins the sweep cells; a silently ignored selection
         # flag would stamp misleading metadata into the artifact.
         if args.kernels is not None or args.fus != [2, 4, 8] \
-                or args.backends != ["grip", "post"]:
-            raise SystemExit(
-                "repro bench: --smoke fixes --kernels/--fus/--backends; "
-                "drop --smoke to run a custom sweep")
+                or args.backends != ["grip", "post"] \
+                or args.family != ["ll"]:
+            _usage(
+                "repro bench: --smoke fixes "
+                "--kernels/--fus/--backends/--family; drop --smoke to "
+                "run a custom sweep")
         jobs = smoke_jobs(args.unroll_scale)
-    else:
-        kernels = args.kernels or livermore.kernel_names()
-        for name in kernels:
-            if name.upper() not in livermore.kernel_names():
-                raise SystemExit(f"repro bench: unknown kernel {name!r}")
-        jobs = make_jobs([k.upper() for k in kernels], args.fus,
+    elif args.kernels is not None:
+        for name in args.kernels:
+            if family_of(name) is None:
+                _usage(f"repro bench: unknown kernel {name!r}")
+        jobs = make_jobs([k.upper() for k in args.kernels], args.fus,
                          args.backends, unroll_scale=args.unroll_scale)
+    else:
+        kernels = [name for fam in args.family for name in family_names(fam)]
+        jobs = make_jobs(kernels, args.fus, args.backends,
+                         unroll_scale=args.unroll_scale)
     name = "smoke" if args.smoke else args.name
     print(f"bench: {len(jobs)} jobs on {args.jobs} worker(s)",
           file=sys.stderr)
@@ -206,12 +237,51 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_kernels(_: argparse.Namespace) -> int:
-    from .workloads import livermore
+    from .workloads import FAMILIES, build_kernel
 
-    for name in livermore.kernel_names():
-        loop = livermore.kernel(name, 4)
-        print(f"{name:6s} {loop.ops_per_iteration:2d} ops/iter  "
-              f"{loop.description}")
+    for family, names in FAMILIES.items():
+        for name in names():
+            loop = build_kernel(name, 4)
+            print(f"{name:6s} [{family}] {loop.ops_per_iteration:2d} "
+                  f"ops/iter  {loop.description}")
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .bench.fuzz import replay, run_fuzz
+
+    if args.replay:
+        if args.tamper:
+            _usage("repro fuzz: --replay reruns the artifact's own "
+                   "checks (including its recorded tamper); --tamper "
+                   "cannot be combined with it")
+        try:
+            failure = replay(args.replay)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # TypeError covers wrong-shaped schema-1 fields (e.g. a
+            # hand-edited scenario dict): still a usage error, not a
+            # reproduced failure.
+            _usage(f"repro fuzz: cannot replay {args.replay}: {exc}")
+        if failure is not None:
+            print(f"replay {args.replay}: failure reproduces "
+                  f"[{failure.stage}]\n{failure.message}")
+            return 1
+        print(f"replay {args.replay}: clean (bug no longer reproduces)")
+        return 0
+
+    if args.budget < 1:
+        _usage("repro fuzz: --budget must be >= 1")
+    if args.verify_every < 0:
+        _usage("repro fuzz: --verify-every must be >= 0 (0 disables)")
+    report = run_fuzz(
+        args.budget, args.seed, jobs=args.jobs,
+        verify_every=args.verify_every, out_dir=args.out_dir,
+        tamper=args.tamper)
+    print(report.render())
+    if not report.ok:
+        print("repro fuzz: FAILURES found (repro artifacts written)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -250,8 +320,13 @@ def main(argv: list[str] | None = None) -> int:
     p4.set_defaults(fn=cmd_emit)
 
     p5 = sub.add_parser("bench", help="benchmark sweep -> BENCH_*.json")
+    p5.add_argument("--family", nargs="+", choices=("ll", "synth"),
+                    default=["ll"],
+                    help="kernel families to sweep when --kernels is "
+                         "not given (default: ll)")
     p5.add_argument("--kernels", nargs="+", default=None,
-                    help="kernels to sweep (default: all Livermore)")
+                    help="explicit kernels to sweep, any family "
+                         "(default: every kernel of --family)")
     p5.add_argument("--fus", nargs="+", type=int, default=[2, 4, 8])
     p5.add_argument("--backends", nargs="+",
                     choices=("grip", "post", "vm"),
@@ -274,6 +349,28 @@ def main(argv: list[str] | None = None) -> int:
     p5.add_argument("--tol", type=float, default=0.05,
                     help="relative speedup tolerance for --diff")
     p5.set_defaults(fn=cmd_bench)
+
+    p6 = sub.add_parser(
+        "fuzz", help="differential fuzzing over the synth kernel space")
+    p6.add_argument("--budget", type=int, default=50,
+                    help="number of consecutive seeds to run (default 50)")
+    p6.add_argument("--seed", type=int, default=0,
+                    help="first seed of the range (default 0)")
+    p6.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (default 1 = sequential)")
+    p6.add_argument("--verify-every", type=int, default=10,
+                    help="run every Nth seed under a verifying "
+                         "AnalysisManager (0 disables; default 10)")
+    p6.add_argument("--out-dir", default=".",
+                    help="directory for FUZZ_<seed>.json repro "
+                         "artifacts (default: cwd)")
+    p6.add_argument("--replay", default=None, metavar="FUZZ_JSON",
+                    help="re-run the checks of a repro artifact instead "
+                         "of fuzzing")
+    p6.add_argument("--tamper", choices=sorted(TAMPER_NAMES), default=None,
+                    help="inject a known scheduler-shaped bug (tests "
+                         "the lane: the tamper must be caught + shrunk)")
+    p6.set_defaults(fn=cmd_fuzz)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -14,8 +14,6 @@ consumers.
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Mapping
 
 from .dependence import DependenceDAG, DepKind
 

@@ -18,7 +18,7 @@ ranking heuristic and for loop-carried-dependence detection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Iterable, Sequence
 

@@ -1,9 +1,14 @@
-"""Benchmark/evaluation subsystem: ``repro bench``.
+"""Benchmark/evaluation subsystem: ``repro bench`` and ``repro fuzz``.
 
-Fans kernels x fu-configs x backends out across a worker pool, emits
-machine-readable ``BENCH_*.json`` artifacts (schedule speedups,
+Bench fans kernels x fu-configs x backends out across a worker pool,
+emits machine-readable ``BENCH_*.json`` artifacts (schedule speedups,
 realized VM cycles, per-stage wall-clock), and diffs sweeps against a
 previous artifact as a regression gate.
+
+Fuzz (:mod:`repro.bench.fuzz`) drives the same execution stack over
+the seeded synthetic scenario space: schedule-validity, tree-walker
+equivalence and bundle-VM differential checks per seed, with shrinking
+and ``FUZZ_<seed>.json`` repro artifacts on failure.
 """
 
 from .artifact import (
@@ -15,6 +20,12 @@ from .artifact import (
     RecordDelta,
     diff_artifacts,
 )
+# NOTE: repro.bench.fuzz is intentionally NOT imported here.  The
+# runner keeps its heavy imports inside functions so pool workers and
+# `repro bench --help` stay cheap; an eager fuzz re-export would drag
+# the whole scheduling/workloads stack in at package-import time.
+# Import the fuzz API from its own module: `from repro.bench.fuzz
+# import run_fuzz, replay, ...`.
 from .runner import (
     BACKENDS,
     BenchJob,

@@ -31,9 +31,12 @@ Schema (``schema`` = 1)::
          "stages": {"build": 0.01, "pipeline": 0.42, "schedule": 0.40},
          "moves": 476, "resource_blocks": 162, "candidate_builds": 289,
          "realized_cycles": null, "vm_steps": null,
-         "realized_speedup": null}
+         "realized_speedup": null, "family": "ll"}
       ]
     }
+
+``family`` ("ll" | "synth") is additive within schema 1: readers
+default it to "ll" when absent, so pre-PR-4 artifacts stay loadable.
 """
 
 from __future__ import annotations
@@ -73,6 +76,9 @@ class BenchRecord:
     realized_cycles: int | None = None
     vm_steps: int | None = None
     realized_speedup: float | None = None
+    # kernel family ("ll" | "synth"); additive within schema 1, so
+    # pre-PR-4 artifacts (no field) read back with the default
+    family: str = "ll"
 
     @property
     def key(self) -> tuple[str, int, str]:

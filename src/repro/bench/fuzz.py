@@ -1,0 +1,478 @@
+"""``repro fuzz``: differential fuzzing over the synthetic kernel space.
+
+The existing tree-walker-vs-VM checker is a correctness engine waiting
+for inputs; this module feeds it.  Every fuzz seed deterministically
+pins one :class:`FuzzCase` -- a scenario-space program
+(:mod:`repro.workloads.synth`) plus a machine shape (FU count, optional
+typed budgets) and an unroll factor -- and runs the full check
+pipeline:
+
+1. **frontend round-trip** -- the generated DSL source must lex, parse
+   and lower;
+2. **GRiP schedule validity** -- the scheduled graph passes the
+   structural ``graph.check()`` and every reachable node satisfies the
+   machine's total and typed slot budgets;
+3. **semantic equivalence** -- the scheduled chain against the
+   sequential loop on identical randomized state (the tree-walking
+   simulator is ground truth);
+4. **backend differential** -- the scheduled graph lowered to bundles
+   and executed on the compiled-bundle VM must match the tree-walker's
+   final memory, registers and (absent spill traffic) cycle count;
+5. **journal invariants** (sampled) -- a verifying
+   :class:`~repro.analysis.incremental.AnalysisManager` attached
+   before scheduling cross-checks every incremental index query
+   against a from-scratch computation.
+
+On any failure the program is **shrunk**: statements are greedily
+dropped (then the unroll reduced) while the failure reproduces, and a
+minimized ``FUZZ_<seed>.json`` repro artifact is written.  The
+artifact carries both the original and minimized source (regenerable
+from the seed alone -- see the seed-reproducibility contract in
+:mod:`repro.workloads.synth`) and replays with
+``repro fuzz --replay FUZZ_<seed>.json``.
+
+Exit codes (shared with ``repro bench``): 0 = all seeds clean,
+1 = at least one mismatch (artifacts written), 2 = usage error.
+
+``--tamper drop-store`` injects a known scheduler-shaped bug (dropping
+the first store from the scheduled graph) so the lane itself can be
+tested end to end: the tamper must be *caught*, *shrunk*, and
+*replayed* (see ``tests/bench/test_fuzz.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sys
+import time
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..machine.model import FUClass, MachineConfig
+from ..workloads.synth import Scenario, SynthProgram, generate, scenario_from_seed
+
+FUZZ_SCHEMA = 1
+FUZZ_KIND = "repro-fuzz"
+
+#: message size cap in artifacts (failure diffs can be arbitrarily long)
+_MSG_LIMIT = 4000
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fuzz seed, fully derived: program shape plus run axes."""
+
+    seed: int
+    scenario: Scenario
+    fus: int
+    typed: bool
+    unroll: int
+
+    def machine(self) -> MachineConfig:
+        if not self.typed:
+            return MachineConfig(fus=self.fus)
+        return MachineConfig(
+            fus=self.fus,
+            typed={
+                FUClass.ALU: max(1, self.fus - 1),
+                FUClass.MEM: max(1, self.fus // 2),
+                FUClass.BRANCH: 1,
+            },
+        )
+
+
+def case_from_seed(seed: int) -> FuzzCase:
+    """Derive the whole case from the seed (pure; the repro contract)."""
+    rng = random.Random(f"grip-fuzz-case:{seed}")
+    return FuzzCase(
+        seed=seed,
+        scenario=scenario_from_seed(seed),
+        fus=rng.choice((2, 4, 8)),
+        typed=rng.random() < 0.2,
+        unroll=rng.choice((4, 6, 8)),
+    )
+
+
+@dataclass
+class FuzzFailure:
+    """One classified check failure."""
+
+    stage: str  # frontend | schedule | resources | equivalence | differential | verify | crash
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"stage": self.stage, "message": self.message[:_MSG_LIMIT]}
+
+
+class ResourceViolation(AssertionError):
+    """A scheduled node exceeds the machine's slot budgets."""
+
+
+# ----------------------------------------------------------------------
+# Fault injection (testing the lane itself)
+# ----------------------------------------------------------------------
+def _tamper_drop_store(graph) -> None:
+    """Remove the first store in RPO -- a semantics-changing bug."""
+    from ..ir.operations import OpKind
+
+    for nid in graph.rpo():
+        for op in list(graph.nodes[nid].all_ops()):
+            if op.kind is OpKind.STORE:
+                graph.remove_op(nid, op.uid)
+                return
+
+
+#: name -> graph mutator, applied between scheduling and checking
+TAMPERS = {"drop-store": _tamper_drop_store}
+
+
+# ----------------------------------------------------------------------
+# The check pipeline
+# ----------------------------------------------------------------------
+def check_source(
+    source: str,
+    unroll: int,
+    machine: MachineConfig,
+    *,
+    name: str = "fuzz",
+    verify: bool = False,
+    tamper: str | None = None,
+    seeds: tuple[int, ...] = (0,),
+) -> None:
+    """Run the full fuzz check pipeline; raises on any divergence."""
+    from ..analysis.incremental import AnalysisManager
+    from ..backend.check import differential_check
+    from ..frontend import compile_dsl
+    from ..pipelining import find_pattern, unwind_counted
+    from ..scheduling.grip import GRiPScheduler
+    from ..simulator.check import check_equivalent
+
+    loop = compile_dsl(source, unroll, name=name)
+    unwound = unwind_counted(loop, unroll)
+    if verify:
+        AnalysisManager(unwound.graph, verify=True)
+    GRiPScheduler(machine).schedule(unwound.graph, ranking_ops=unwound.ops)
+    if tamper is not None:
+        TAMPERS[tamper](unwound.graph)
+    graph = unwound.graph
+    graph.check()
+    for nid in graph.reachable():
+        if not machine.fits(graph.nodes[nid]):
+            raise ResourceViolation(
+                f"node {nid} exceeds {machine} budgets "
+                f"({machine.slots_used(graph.nodes[nid])} slots)"
+            )
+    # Pattern detection must at least not crash on any generated shape.
+    find_pattern(unwound, graph)
+    check_equivalent(loop.graph, graph, seeds=seeds)
+    differential_check(graph, machine, seeds=seeds)
+
+
+def run_source(
+    source: str,
+    unroll: int,
+    machine: MachineConfig,
+    *,
+    name: str = "fuzz",
+    verify: bool = False,
+    tamper: str | None = None,
+) -> FuzzFailure | None:
+    """:func:`check_source` with failures classified, not raised."""
+    from ..backend.check import DifferentialError
+    from ..frontend import LexError, LowerError, ParseError
+    from ..simulator.check import EquivalenceError
+
+    try:
+        check_source(
+            source, unroll, machine, name=name, verify=verify, tamper=tamper
+        )
+    except (LexError, ParseError, LowerError) as exc:
+        return FuzzFailure("frontend", f"{type(exc).__name__}: {exc}")
+    except ResourceViolation as exc:
+        return FuzzFailure("resources", str(exc))
+    except DifferentialError as exc:
+        return FuzzFailure("differential", str(exc))
+    except EquivalenceError as exc:
+        return FuzzFailure("equivalence", str(exc))
+    except AssertionError as exc:
+        # Under verify mode the AnalysisManager raises plain
+        # AssertionError at the exact query that observed an
+        # incremental-maintenance bug; without it, a bare assertion
+        # (e.g. graph.check()) is a scheduler-side structural break.
+        stage = "verify" if verify else "schedule"
+        return FuzzFailure(stage, f"{type(exc).__name__}: {exc}")
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        return FuzzFailure("crash", f"{type(exc).__name__}: {exc}")
+    return None
+
+
+def run_case(
+    case: FuzzCase, *, verify: bool = False, tamper: str | None = None
+) -> FuzzFailure | None:
+    program = generate(case.scenario)
+    return run_source(
+        program.source(),
+        case.unroll,
+        case.machine(),
+        name=f"fuzz{case.seed}",
+        verify=verify,
+        tamper=tamper,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+@dataclass
+class ShrinkResult:
+    program: SynthProgram
+    unroll: int
+    attempts: int
+    dropped: int
+
+
+def shrink_case(
+    case: FuzzCase,
+    program: SynthProgram,
+    *,
+    verify: bool = False,
+    tamper: str | None = None,
+    stage: str | None = None,
+    max_attempts: int = 120,
+) -> ShrinkResult:
+    """Greedily minimize a failing program while the failure reproduces.
+
+    Statement-level ddmin-lite: repeatedly try dropping each statement
+    (later statements first -- they are the most likely dead weight),
+    keeping any removal that still fails; then try smaller unrolls.
+    Declarations stay fixed (unused decls are valid DSL), so every
+    candidate is parseable by construction.  ``verify`` must match the
+    failing run: verify-stage failures only reproduce under a
+    verifying AnalysisManager.  When ``stage`` is given, only
+    candidates failing at the *same* stage count as reproductions --
+    otherwise the shrinker could latch onto an unrelated bug and the
+    artifact's minimized source would track a different failure than
+    it records.
+    """
+    machine = case.machine()
+    attempts = 0
+
+    def fails(stmts: tuple[str, ...], unroll: int) -> bool:
+        nonlocal attempts
+        attempts += 1
+        src = program.with_statements(stmts).source()
+        failure = run_source(
+            src,
+            unroll,
+            machine,
+            name=f"shrink{case.seed}",
+            verify=verify,
+            tamper=tamper,
+        )
+        if failure is None:
+            return False
+        return stage is None or failure.stage == stage
+
+    stmts = program.statements
+    unroll = case.unroll
+    changed = True
+    while changed and len(stmts) > 1 and attempts < max_attempts:
+        changed = False
+        for i in reversed(range(len(stmts))):
+            if len(stmts) == 1 or attempts >= max_attempts:
+                break
+            cand = stmts[:i] + stmts[i + 1 :]
+            if fails(cand, unroll):
+                stmts = cand
+                changed = True
+    for smaller in (2, 3):
+        if smaller < unroll and attempts < max_attempts and fails(stmts, smaller):
+            unroll = smaller
+            break
+    return ShrinkResult(
+        program=program.with_statements(stmts),
+        unroll=unroll,
+        attempts=attempts,
+        dropped=len(program.statements) - len(stmts),
+    )
+
+
+# ----------------------------------------------------------------------
+# Repro artifacts
+# ----------------------------------------------------------------------
+def write_artifact(
+    out_dir: str | Path,
+    case: FuzzCase,
+    program: SynthProgram,
+    failure: FuzzFailure,
+    shrunk: ShrinkResult | None,
+    *,
+    verify: bool = False,
+    tamper: str | None = None,
+) -> Path:
+    payload = {
+        "schema": FUZZ_SCHEMA,
+        "kind": FUZZ_KIND,
+        "seed": case.seed,
+        "case": {
+            "fus": case.fus,
+            "typed": case.typed,
+            "unroll": case.unroll,
+            "scenario": case.scenario.to_dict(),
+        },
+        "failure": failure.to_dict(),
+        "source": program.source(),
+        "minimized": None,
+        "verify": verify,
+        "tamper": tamper,
+        "created": time.time(),
+    }
+    if shrunk is not None:
+        payload["minimized"] = {
+            "source": shrunk.program.source(),
+            "unroll": shrunk.unroll,
+            "statements_dropped": shrunk.dropped,
+            "shrink_attempts": shrunk.attempts,
+        }
+    path = Path(out_dir) / f"FUZZ_{case.seed}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def replay(path: str | Path) -> FuzzFailure | None:
+    """Re-run the checks of a repro artifact (minimized when present).
+
+    Returns the reproduced failure, or ``None`` once the underlying
+    bug is fixed.  Raises ``ValueError`` on a non-repro JSON file.
+    """
+    data = json.loads(Path(path).read_text())
+    if data.get("kind") != FUZZ_KIND:
+        raise ValueError(f"not a {FUZZ_KIND} artifact: kind={data.get('kind')!r}")
+    if data.get("schema") != FUZZ_SCHEMA:
+        raise ValueError(f"unsupported fuzz schema {data.get('schema')!r}")
+    case = data["case"]
+    machine = FuzzCase(
+        seed=data["seed"],
+        scenario=Scenario.from_dict(case["scenario"]),
+        fus=case["fus"],
+        typed=case["typed"],
+        unroll=case["unroll"],
+    ).machine()
+    minimized = data.get("minimized")
+    if minimized:
+        source, unroll = minimized["source"], minimized["unroll"]
+    else:
+        source, unroll = data["source"], case["unroll"]
+    return run_source(
+        source,
+        unroll,
+        machine,
+        name=f"replay{data['seed']}",
+        verify=data.get("verify", False),
+        tamper=data.get("tamper"),
+    )
+
+
+# ----------------------------------------------------------------------
+# The campaign driver
+# ----------------------------------------------------------------------
+@dataclass
+class FuzzReport:
+    budget: int
+    seed0: int
+    failures: list[tuple[int, FuzzFailure, Path | None]] = field(default_factory=list)
+    verified_seeds: list[int] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz: {self.budget} seeds [{self.seed0}, "
+            f"{self.seed0 + self.budget - 1}], "
+            f"{len(self.verified_seeds)} with verify-mode analysis, "
+            f"{len(self.failures)} failure(s) "
+            f"({self.wall_seconds:.1f}s wall)"
+        ]
+        for seed, failure, path in self.failures:
+            where = f" -> {path}" if path else ""
+            lines.append(
+                f"  FAIL seed {seed} [{failure.stage}] "
+                f"{failure.message.splitlines()[0][:120]}{where}"
+            )
+        return "\n".join(lines)
+
+
+def _worker(task: tuple[int, bool, str | None]) -> tuple[int, FuzzFailure | None]:
+    """One seed (module-level: must be pool-picklable)."""
+    seed, verify, tamper = task
+    return seed, run_case(case_from_seed(seed), verify=verify, tamper=tamper)
+
+
+def run_fuzz(
+    budget: int,
+    seed0: int = 0,
+    *,
+    jobs: int = 1,
+    verify_every: int = 10,
+    out_dir: str | Path = ".",
+    tamper: str | None = None,
+    max_shrinks: int = 5,
+    log=None,
+) -> FuzzReport:
+    """Fuzz ``budget`` consecutive seeds starting at ``seed0``.
+
+    Seeds fan out over a ``multiprocessing`` pool (the cases are
+    independent and deterministic, exactly like bench jobs); shrinking
+    runs in the parent, capped at ``max_shrinks`` artifacts per
+    campaign so a systemic breakage cannot turn the nightly run into a
+    shrink marathon.  Every ``verify_every``-th seed additionally runs
+    under a verifying :class:`AnalysisManager`.
+    """
+    log = log or (lambda msg: print(msg, file=sys.stderr))
+    t0 = time.perf_counter()
+    tasks = [
+        (seed0 + i, verify_every > 0 and i % verify_every == 0, tamper)
+        for i in range(budget)
+    ]
+    if jobs > 1 and len(tasks) > 1:
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            results = pool.map(_worker, tasks, chunksize=1)
+    else:
+        results = [_worker(t) for t in tasks]
+
+    verify_by_seed = {seed: verify for seed, verify, _ in tasks}
+    report = FuzzReport(
+        budget=budget,
+        seed0=seed0,
+        verified_seeds=[seed for seed, verify, _ in tasks if verify],
+    )
+    shrunk_count = 0
+    for seed, failure in results:
+        if failure is None:
+            continue
+        case = case_from_seed(seed)
+        program = generate(case.scenario)
+        # Verify-stage failures only reproduce under a verifying
+        # manager, so the shrinker and the artifact's replay must keep
+        # the seed's verify axis.
+        verify = verify_by_seed[seed]
+        shrunk = None
+        if shrunk_count < max_shrinks:
+            log(f"fuzz: seed {seed} failed [{failure.stage}]; shrinking ...")
+            shrunk = shrink_case(
+                case, program, verify=verify, tamper=tamper,
+                stage=failure.stage,
+            )
+            shrunk_count += 1
+        path = write_artifact(
+            out_dir, case, program, failure, shrunk, verify=verify, tamper=tamper
+        )
+        report.failures.append((seed, failure, path))
+    report.wall_seconds = time.perf_counter() - t0
+    return report

@@ -33,8 +33,10 @@ from .artifact import BenchArtifact, BenchRecord
 
 BACKENDS = ("grip", "post", "vm")
 
-#: Fast subset exercising every backend: CI smoke and unit tests.
-SMOKE_KERNELS = ("LL1", "LL3")
+#: Fast subset exercising every backend *and* both kernel families:
+#: CI smoke and unit tests.  SYNRED covers carried-scalar reduction,
+#: SYNCND covers if-converted conditionals.
+SMOKE_KERNELS = ("LL1", "LL3", "SYNRED", "SYNCND")
 SMOKE_FUS = (2, 4)
 SMOKE_BACKENDS = ("grip", "post", "vm")
 
@@ -47,6 +49,7 @@ class BenchJob:
     fus: int
     backend: str
     unroll: int
+    family: str = "ll"
 
 
 def default_unroll(fus: int, scale: int = 3) -> int:
@@ -56,14 +59,20 @@ def default_unroll(fus: int, scale: int = 3) -> int:
 
 def make_jobs(kernels, fu_configs, backends, *,
               unroll_scale: int = 3) -> list[BenchJob]:
+    from .. import workloads
+
     jobs = []
     for name in kernels:
+        family = workloads.family_of(name)
+        if family is None:
+            raise ValueError(f"unknown kernel {name!r}")
         for fus in fu_configs:
             for backend in backends:
                 if backend not in BACKENDS:
                     raise ValueError(f"unknown backend {backend!r}")
                 jobs.append(BenchJob(kernel=name, fus=fus, backend=backend,
-                                     unroll=default_unroll(fus, unroll_scale)))
+                                     unroll=default_unroll(fus, unroll_scale),
+                                     family=family))
     return jobs
 
 
@@ -76,13 +85,13 @@ def run_job(job: BenchJob) -> BenchRecord:
     """Execute one sweep cell (top-level: must be pool-picklable)."""
     from ..machine import MachineConfig
     from ..pipelining import pipeline_loop, pipeline_loop_post
-    from ..workloads import livermore
+    from ..workloads import build_kernel
 
     machine = MachineConfig(fus=job.fus)
     stages: dict[str, float] = {}
 
     t0 = time.perf_counter()
-    loop = livermore.kernel(job.kernel, job.unroll)
+    loop = build_kernel(job.kernel, job.unroll)
     stages["build"] = time.perf_counter() - t0
 
     if job.backend == "post":
@@ -93,7 +102,8 @@ def run_job(job: BenchJob) -> BenchRecord:
             kernel=job.kernel, fus=job.fus, backend=job.backend,
             unroll=job.unroll, ops_per_iteration=loop.ops_per_iteration,
             speedup=res.speedup, ii=res.initiation_interval,
-            converged=res.converged, periodic=res.periodic, stages=stages)
+            converged=res.converged, periodic=res.periodic, stages=stages,
+            family=job.family)
 
     t1 = time.perf_counter()
     res = pipeline_loop(loop, machine, unroll=job.unroll, measure=False)
@@ -106,7 +116,8 @@ def run_job(job: BenchJob) -> BenchRecord:
         converged=res.converged, periodic=res.periodic, stages=stages,
         moves=res.schedule.stats.moves,
         resource_blocks=res.schedule.stats.resource_blocks,
-        candidate_builds=res.schedule.candidate_builds)
+        candidate_builds=res.schedule.candidate_builds,
+        family=job.family)
 
     if job.backend == "vm":
         from ..backend import differential_check
@@ -143,6 +154,7 @@ def run_bench(jobs: list[BenchJob], *, name: str = "table1",
     wall = time.perf_counter() - t0
     cfg = {
         "kernels": sorted({j.kernel for j in jobs}),
+        "families": sorted({j.family for j in jobs}),
         "fus": sorted({j.fus for j in jobs}),
         "backends": sorted({j.backend for j in jobs}),
         "jobs": processes,

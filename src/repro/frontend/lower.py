@@ -29,7 +29,7 @@ from ..ir.operations import (
     Operation as Op,
 )
 from ..ir.registers import Imm, Operand, Reg
-from .ast import Assign, Bin, Expr, ForLoop, IfStmt, Index, Num, Program, Stmt, Un, Var
+from .ast import Assign, Bin, Expr, IfStmt, Index, Num, Program, Un, Var
 
 _BINOPS = {
     "+": OpKind.ADD, "-": OpKind.SUB, "*": OpKind.MUL, "/": OpKind.DIV,
@@ -80,7 +80,6 @@ def _memref(ctx: _Ctx, array: str, index: Expr) -> MemRef:
     if base == "const":
         return MemRef(array, None, offset, affine=None)
     # General index expression: lower to a register.
-    ops0 = len(ctx.ops)
     operand = _lower_expr(ctx, index)
     if isinstance(operand, Imm):
         return MemRef(array, None, int(operand.value), affine=None)
@@ -111,6 +110,9 @@ def _lower_expr(ctx: _Ctx, e: Expr) -> Operand:
     if isinstance(e, Num):
         return Imm(e.value)
     if isinstance(e, Var):
+        if e.name in ctx.arrays:
+            raise LowerError(
+                f"array {e.name} read as a scalar (missing [index]?)")
         return Reg(e.name)
     if isinstance(e, Index):
         ref = _memref(ctx, e.array, e.index)
@@ -157,6 +159,12 @@ def _lower_assign(ctx: _Ctx, st: Assign) -> None:
                     name=ctx.opname("st")))
         return
     # Scalar assignment: retarget the producing op when possible.
+    if st.target.name in ctx.arrays:
+        raise LowerError(
+            f"array {st.target.name} assigned as a scalar "
+            f"(missing [index]?)")
+    if st.target.name == ctx.counter:
+        raise LowerError(f"cannot assign the loop counter {ctx.counter}")
     dest = Reg(st.target.name)
     before = len(ctx.ops)
     value = _lower_expr(ctx, st.value)
@@ -249,6 +257,14 @@ def lower(program: Program, n: int, *, name: str | None = None,
     loop = program.loop
     if loop is None:
         raise LowerError("program has no loop")
+    shadowed = set(program.params) & set(program.arrays)
+    if shadowed:
+        raise LowerError(
+            f"declared as both param and array: "
+            f"{', '.join(sorted(shadowed))}")
+    if loop.counter in program.params or loop.counter in program.arrays:
+        raise LowerError(
+            f"loop counter {loop.counter} shadows a declaration")
     if not isinstance(loop.lo, Num):
         raise LowerError("loop lower bound must be a constant")
     if isinstance(loop.hi, Num):

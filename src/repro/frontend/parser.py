@@ -94,9 +94,13 @@ class Parser:
         return ForLoop(counter=counter, lo=lo, hi=hi, step=step, body=body)
 
     def block(self) -> tuple[Stmt, ...]:
-        self.expect(TokKind.PUNCT, "{")
+        open_tok = self.expect(TokKind.PUNCT, "{")
         stmts: list[Stmt] = []
         while not self.accept(TokKind.PUNCT, "}"):
+            if self.peek().kind is TokKind.EOF:
+                raise ParseError(
+                    f"unterminated block: '{{' at {open_tok.line}:"
+                    f"{open_tok.col} never closed")
             stmts.append(self.stmt())
         return tuple(stmts)
 

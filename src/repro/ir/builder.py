@@ -19,7 +19,7 @@ from typing import Iterable, Sequence
 from .cjtree import EXIT
 from .graph import ProgramGraph
 from .instruction import Instruction
-from .operations import Operation, OpKind, cjump
+from .operations import Operation
 from .registers import Reg
 
 

@@ -13,11 +13,11 @@ operations -- but the operations themselves are immutable records.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from . import cjtree as cjt
 from .cjtree import Branch, CJTree, EXIT, Leaf, make_leaf
-from .operations import Operation, OpKind
+from .operations import Operation
 
 
 class Instruction:

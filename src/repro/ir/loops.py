@@ -27,7 +27,7 @@ from typing import Sequence
 from .builder import SequentialBuilder
 from .cjtree import EXIT
 from .graph import ProgramGraph
-from .operations import Operation, OpKind, add, cjump, cmp_ge
+from .operations import Operation, add, cjump, cmp_ge
 from .registers import Imm, Operand, Reg
 
 

@@ -24,7 +24,6 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field, replace
 from enum import Enum, auto
-from typing import Callable, Iterable
 
 from .registers import Imm, Operand, Reg
 

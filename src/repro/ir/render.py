@@ -11,7 +11,7 @@ from __future__ import annotations
 from io import StringIO
 from typing import Callable, Sequence
 
-from .cjtree import Branch, CJTree, EXIT, Leaf
+from .cjtree import CJTree, EXIT, Leaf
 from .graph import ProgramGraph
 from .instruction import Instruction
 from .operations import Operation

@@ -15,7 +15,7 @@ model here supports that directly, plus two documented extensions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum, auto
 
 from ..ir.instruction import Instruction

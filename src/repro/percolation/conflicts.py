@@ -35,7 +35,7 @@ from ..analysis.livequery import reg_live_out_via
 from ..analysis.memory import mem_conflict
 from ..ir.graph import ProgramGraph
 from ..ir.instruction import Instruction
-from ..ir.operations import Operation, OpKind
+from ..ir.operations import Operation
 from ..ir.registers import Operand, Reg
 
 

@@ -27,7 +27,7 @@ from ..ir.graph import ProgramGraph
 from ..ir.operations import Operation
 from ..ir.registers import Reg, RegisterFile
 from ..machine.model import MachineConfig
-from .moveop import MoveOutcome, PercolationStats, move_op, split_if_shared
+from .moveop import MoveOutcome, PercolationStats, move_op
 from .movecj import move_cj
 
 

@@ -17,10 +17,9 @@ how whole conditionals eventually evaporate upward.
 
 from __future__ import annotations
 
-from ..ir.cjtree import Branch, EXIT, Leaf
+from ..ir.cjtree import Branch, Leaf
 from ..ir.graph import ProgramGraph
 from ..ir.instruction import Instruction
-from ..ir.operations import Operation
 from ..ir.registers import RegisterFile
 from ..machine.model import MachineConfig
 from .conflicts import analyse_cj_move

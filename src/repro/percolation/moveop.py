@@ -110,10 +110,15 @@ def move_op(graph: ProgramGraph, from_nid: int, to_nid: int, uid: int, *,
         stats.dependence_blocks += 1
         return _fail(stats, report.fatal or "blocked")
 
-    # Build the candidate op with copy substitutions applied.
-    moved = op
-    for reg, source in report.substitutions.items():
-        moved = moved.substitute_use(reg, source)
+    # Build the candidate op with copy substitutions applied.  (Also
+    # reused after node splitting: the copy's instance is field-
+    # identical apart from uids, so the same substitutions apply.)
+    def resolve(instance: Operation) -> Operation:
+        for reg, source in report.substitutions.items():
+            instance = instance.substitute_use(reg, source)
+        return instance
+
+    moved = resolve(op)
 
     # Unification: identical op already in To.  Only sound when no
     # rename is required: a write-live conflict means paths not covered
@@ -161,6 +166,12 @@ def move_op(graph: ProgramGraph, from_nid: int, to_nid: int, uid: int, *,
         leaves = to_node.leaves_to(from_nid)
         split_nid = from_nid
         stats.splits += 1
+        # The motion must carry the *copy's* op instance: the original
+        # node keeps its op (same uid) for the other predecessors, so
+        # moving the pre-split instance would plant a duplicate uid in
+        # the graph.
+        op = from_node.ops[uid]
+        moved = resolve(op)
 
     if unify:
         _detach(graph, from_node, uid, delete_emptied, stats)

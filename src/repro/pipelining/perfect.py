@@ -17,7 +17,7 @@ approaches the analytic value from below.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..ir.loops import CountedLoop
 from ..machine.model import MachineConfig

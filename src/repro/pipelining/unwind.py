@@ -35,8 +35,8 @@ from ..ir.builder import SequentialBuilder
 from ..ir.cjtree import EXIT
 from ..ir.graph import ProgramGraph
 from ..ir.loops import CountedLoop
-from ..ir.operations import MemRef, Operation, OpKind, add, cjump, cmp_ge
-from ..ir.registers import Imm, Reg
+from ..ir.operations import MemRef, Operation, add, cjump, cmp_ge
+from ..ir.registers import Reg
 
 
 @dataclass

@@ -26,7 +26,7 @@ from ..ir.operations import Operation
 from ..ir.registers import Reg, RegisterFile
 from ..machine.model import MachineConfig
 from ..percolation.cleanup import cleanup
-from ..percolation.migrate import FreePolicy, MigrateContext, migrate
+from ..percolation.migrate import MigrateContext, migrate
 from ..percolation.moveop import PercolationStats
 from .gaps import GapPreventionPolicy
 from .moveable import MoveableOps

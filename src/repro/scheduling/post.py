@@ -41,7 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..analysis.dependence import DependenceDAG, DepKind, anti_dep, build_dag, output_dep, true_dep
+from ..analysis.dependence import DepKind, anti_dep, build_dag, output_dep, true_dep
 from ..ir.operations import Operation
 from ..machine.model import MachineConfig
 from .priority import Heuristic, PaperHeuristic

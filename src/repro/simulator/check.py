@@ -22,8 +22,7 @@ import math
 from dataclasses import dataclass
 
 from ..ir.graph import ProgramGraph
-from ..ir.registers import Reg
-from .interp import RunResult, run
+from .interp import run
 from .state import MachineState, Number, seeded_cell_default
 
 

@@ -1,8 +1,50 @@
-"""Workloads: the Livermore kernels, the paper's worked examples, and
-random program generators for property testing."""
+"""Workloads: the Livermore kernels, the paper's worked examples, the
+seeded synthetic-kernel generator, and random program generators for
+property testing.
 
-from . import livermore, paper_examples, synthetic
+Bench families (``repro bench --family``):
+
+``ll``
+    The fourteen Livermore loops of the paper's Table 1.
+``synth``
+    The curated, seed-pinned synthetic kernels
+    (:data:`repro.workloads.synth.CURATED`), one per scenario axis.
+"""
+
+from . import livermore, paper_examples, synth, synthetic
 from .livermore import all_kernels, kernel, kernel_names
 
-__all__ = ["all_kernels", "kernel", "kernel_names", "livermore",
-           "paper_examples", "synthetic"]
+#: family name -> callable returning that family's kernel names
+FAMILIES = {
+    "ll": livermore.kernel_names,
+    "synth": synth.kernel_names,
+}
+
+
+def family_names(family: str) -> list[str]:
+    """Kernel names of one bench family (raises KeyError on unknown)."""
+    return FAMILIES[family]()
+
+
+def family_of(name: str) -> str | None:
+    """Which family a kernel name belongs to (None when unknown)."""
+    upper = name.upper()
+    for family, names in FAMILIES.items():
+        if upper in names():
+            return family
+    return None
+
+
+def build_kernel(name: str, n: int = 16):
+    """Build a kernel from any family by name with trip count ``n``."""
+    family = family_of(name)
+    if family is None:
+        raise KeyError(f"unknown kernel {name!r}")
+    if family == "ll":
+        return livermore.kernel(name, n)
+    return synth.kernel(name, n)
+
+
+__all__ = ["FAMILIES", "all_kernels", "build_kernel", "family_names",
+           "family_of", "kernel", "kernel_names", "livermore",
+           "paper_examples", "synth", "synthetic"]

@@ -34,7 +34,7 @@ Two loops appear throughout the paper:
 from __future__ import annotations
 
 from ..ir.builder import LoopNest, simple_loop
-from ..ir.operations import Operation, OpKind, add
+from ..ir.operations import Operation, OpKind
 from ..ir.registers import Reg
 
 

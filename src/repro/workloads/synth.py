@@ -1,0 +1,414 @@
+"""Seeded synthetic workloads: the scenario space beyond Table 1.
+
+The paper's evaluation is a closed set of fourteen Livermore loops;
+everything downstream (bench, the equivalence suites, the trajectory
+baseline) was pinned to those same shapes.  This module opens the
+kernel space: a **seeded, parameterized random-program generator** that
+emits frontend-level DSL source -- every generated kernel round-trips
+through the existing lexer/parser/lower pipeline exactly like a
+hand-written Livermore transcription, never hand-built IR.
+
+The declared scenario space (one :class:`Scenario` per point):
+
+``pattern``
+    The memory-dependence family of the loop body:
+
+    * ``stream``     -- disjoint-array updates ``d[k] = f(reads)``
+      (vectorizable, LL1/LL7-like);
+    * ``reduction``  -- carried scalar accumulation ``acc = acc + e``
+      (LL3/LL11-like; the scalar is a declared param, so the front
+      end's epilogue makes it observable through memory);
+    * ``recurrence`` -- cross-iteration array recurrences
+      ``r[k+d] = r[k] op e`` with distance ``d`` (LL4/LL6-like);
+    * ``indirect``   -- non-affine gathers ``b[ix[k]]`` and
+      read-modify-write scatters ``h[ix[k]] = h[ix[k]] + e``
+      (LL13/LL14-like, serializing);
+    * ``mixed``      -- each statement draws its own family.
+
+``depth`` / ``inner_trip``
+    Loop-nest depth.  The DSL deliberately supports a single counted
+    loop (the paper's evaluation shape), so a depth-2 nest with a
+    constant inner trip is expanded by the *generator*: the same
+    statement template is instantiated once per inner iteration ``j``
+    with all affine offsets shifted by ``j``, which preserves the
+    nest's overlapping cross-iteration dependence structure.
+
+``stmts``, ``cond_density``, ``mem_ratio``, ``opmix``, ``step``
+    Body size; fraction of eligible statements wrapped in ``if/else``
+    (lowered by if-conversion); probability that an expression leaf is
+    an array read rather than a scalar (the ALU/MEM op-class mix seen
+    by typed :class:`~repro.machine.model.MachineConfig` budgets); the
+    arithmetic operator alphabet; and the loop step (stride-2 sweeps
+    like LL2).
+
+**Seed-reproducibility contract.**  Generation is a pure function of
+the :class:`Scenario`: ``generate(sc).source()`` depends only on the
+dataclass fields, via ``random.Random`` seeded with a string (stable
+across CPython versions and platforms).  ``scenario_from_seed(seed)``
+is likewise pure, so a fuzz seed alone pins the whole program.
+
+Division is only ever emitted with a *read-only* declared param or a
+positive literal as the divisor: initial states give params values in
+``[0.125, 10.125]`` (:func:`repro.simulator.state.seeded_cell_default`)
+and loop-mutated params (reduction accumulators, which could cancel to
+0.0) are excluded, so generated programs cannot raise
+``ZeroDivisionError``.
+
+A curated, seed-pinned subset is registered as the ``synth`` bench
+family (:data:`CURATED`): one kernel per scenario axis, swept by
+``repro bench --family synth`` next to the Livermore table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field, replace
+
+from ..ir.loops import CountedLoop
+
+PATTERNS = ("stream", "reduction", "recurrence", "indirect", "mixed")
+
+#: Operator alphabet a scenario's ``opmix`` draws from.
+OP_ALPHABET = ("+", "-", "*", "/", "min", "max")
+
+#: Literal pool for scalar expression leaves.
+_LITERALS = ("2", "3", "0.5", "1.5")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of the synthetic scenario space (program shape only).
+
+    Machine shape (FU count, typed budgets) and unroll factor are run
+    axes, not program axes; the fuzz lane derives them separately per
+    seed (:func:`repro.bench.fuzz.case_from_seed`).
+    """
+
+    seed: int = 0
+    pattern: str = "stream"
+    stmts: int = 2
+    depth: int = 1
+    inner_trip: int = 1
+    cond_density: float = 0.0
+    mem_ratio: float = 0.5
+    opmix: tuple[str, ...] = ("+", "*")
+    step: int = 1
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["opmix"] = list(self.opmix)
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        data = dict(data)
+        data["opmix"] = tuple(data.get("opmix", ("+", "*")))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SynthProgram:
+    """A generated program: declarations plus rendered DSL statements.
+
+    ``statements`` is the shrink granularity of the fuzz lane: each
+    entry is one self-contained DSL statement (an assignment or a
+    one-line ``if/else`` block), so dropping entries always leaves a
+    parseable program.  Declarations stay fixed -- the front end only
+    validates *used* names, so unused decls are harmless.
+    """
+
+    scenario: Scenario
+    params: tuple[str, ...]
+    arrays: tuple[str, ...]
+    statements: tuple[str, ...]
+
+    def with_statements(self, statements: tuple[str, ...]) -> "SynthProgram":
+        return replace(self, statements=statements)
+
+    def source(self) -> str:
+        """Render the program as loop-DSL source text."""
+        step = f" step {self.scenario.step}" if self.scenario.step != 1 else ""
+        lines = [f"# synth seed={self.scenario.seed} pattern={self.scenario.pattern}"]
+        if self.params:
+            lines.append("param " + ", ".join(self.params) + ";")
+        if self.arrays:
+            lines.append("array " + ", ".join(self.arrays) + ";")
+        lines.append(f"for k = 0 to n{step} {{")
+        for stmt in self.statements:
+            lines.append("    " + stmt)
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def scenario_from_seed(seed: int) -> Scenario:
+    """Derive one scenario-space point from a fuzz seed (pure)."""
+    rng = random.Random(f"grip-synth-scenario:{seed}")
+    pattern = rng.choice(PATTERNS)
+    depth = 2 if rng.random() < 0.2 else 1
+    return Scenario(
+        seed=seed,
+        pattern=pattern,
+        stmts=rng.randint(1, 4),
+        depth=depth,
+        inner_trip=rng.randint(2, 3) if depth > 1 else 1,
+        cond_density=rng.choice((0.0, 0.0, 0.35, 0.7)),
+        mem_ratio=rng.choice((0.25, 0.5, 0.75)),
+        opmix=_sample_opmix(rng),
+        step=2 if rng.random() < 0.15 else 1,
+    )
+
+
+def _sample_opmix(rng: random.Random) -> tuple[str, ...]:
+    """A canonical operator subset: always ``+``/``*``, extras sampled."""
+    extra = [op for op in ("-", "/", "min", "max") if rng.random() < 0.4]
+    chosen = {"+", "*", *extra}
+    return tuple(op for op in OP_ALPHABET if op in chosen)
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+@dataclass
+class _Gen:
+    """Mutable generation state: rng, declarations, statements."""
+
+    rng: random.Random
+    sc: Scenario
+    params: list[str] = field(default_factory=list)
+    arrays: list[str] = field(default_factory=list)
+    statements: list[str] = field(default_factory=list)
+    #: params the loop body writes (reduction accumulators)
+    written: set[str] = field(default_factory=set)
+
+    # -- declarations ---------------------------------------------------
+    def param(self, name: str) -> str:
+        if name not in self.params:
+            self.params.append(name)
+        return name
+
+    def array(self, name: str) -> str:
+        if name not in self.arrays:
+            self.arrays.append(name)
+        return name
+
+    # -- expression leaves ----------------------------------------------
+    def read(self, j: int) -> str:
+        """An affine array read ``s?[k+c]`` shifted by the nest copy."""
+        arr = self.rng.choice(self.arrays[: self._n_sources()])
+        off = self.rng.choice((-1, 0, 0, 1, 2, 3)) + j
+        return f"{arr}[{_index(off)}]"
+
+    def scalar(self) -> str:
+        if self.rng.random() < 0.5:
+            return self.rng.choice([p for p in self.params if p != "n"])
+        return self.rng.choice(_LITERALS)
+
+    def leaf(self, j: int) -> str:
+        if self.rng.random() < self.sc.mem_ratio:
+            return self.read(j)
+        return self.scalar()
+
+    def divisor(self) -> str:
+        """Divisors stay provably nonzero: *read-only* params (initial
+        states give them positive values) or positive literals.
+        Reduction accumulators are loop-mutated -- with ``-`` in the
+        opmix they can cancel to exactly 0.0 -- so they are excluded.
+        """
+        if self.rng.random() < 0.5:
+            ro = [p for p in self.params if p != "n" and p not in self.written]
+            if ro:
+                return self.rng.choice(ro)
+        return self.rng.choice(_LITERALS)
+
+    def expr(self, j: int, depth: int = 2) -> str:
+        if depth <= 0 or self.rng.random() < 0.3:
+            return self.leaf(j)
+        op = self.rng.choice(self.sc.opmix)
+        a = self.expr(j, depth - 1)
+        b = self.divisor() if op == "/" else self.expr(j, depth - 1)
+        return _apply(op, a, b)
+
+    def combiner(self) -> str:
+        """A carried-update operator (division excluded: values may hit 0)."""
+        safe = [op for op in self.sc.opmix if op != "/"]
+        return self.rng.choice(safe or ["+"])
+
+    def _n_sources(self) -> int:
+        return max(2, self.sc.stmts)
+
+    # -- statements ------------------------------------------------------
+    def maybe_conditional(self, j: int, target: str, value: str) -> str:
+        """Wrap an array assignment in ``if/else`` per ``cond_density``."""
+        if self.rng.random() >= self.sc.cond_density:
+            return f"{target} = {value};"
+        rel = self.rng.choice(("<", "<=", ">", ">="))
+        cond = f"{self.read(j)} {rel} {self.leaf(j)}"
+        other = self.expr(j)
+        return (
+            f"if ({cond}) {{ {target} = {value}; }} "
+            f"else {{ {target} = {other}; }}"
+        )
+
+    def stmt_stream(self, s: int, j: int) -> None:
+        dst = self.array(f"d{s}")
+        target = f"{dst}[{_index(j)}]"
+        value = self.expr(j)
+        if self.rng.random() < 0.3:
+            temp = f"u{s}_{j}"
+            self.statements.append(f"{temp} = {value};")
+            value = _apply(self.combiner(), temp, self.leaf(j))
+        self.statements.append(self.maybe_conditional(j, target, value))
+
+    def stmt_reduction(self, s: int, j: int) -> None:
+        acc = self.param(f"acc{s}")
+        self.written.add(acc)
+        op = self.combiner()
+        value = self.expr(j)
+        if op in ("min", "max"):
+            self.statements.append(f"{acc} = {op}({acc}, {value});")
+        else:
+            self.statements.append(f"{acc} = ({acc} {op} {value});")
+        if self.rng.random() < 0.5:
+            dst = self.array(f"d{s}")
+            self.statements.append(f"{dst}[{_index(j)}] = {acc};")
+
+    def stmt_recurrence(self, s: int, j: int) -> None:
+        rec = self.array(f"r{s}")
+        dist = self.rng.choice((1, 2))
+        target = f"{rec}[{_index(dist + j)}]"
+        value = _apply(self.combiner(), f"{rec}[{_index(j)}]", self.expr(j, 1))
+        self.statements.append(f"{target} = {value};")
+
+    def stmt_indirect(self, s: int, j: int) -> None:
+        ix = self.array("ix")
+        # Alternate gather / scatter by statement index so both shapes
+        # are guaranteed whenever the body has two indirect statements.
+        if s % 2 == 0:
+            base = self.array(f"b{s}")
+            dst = self.array(f"g{s}")
+            value = _apply(
+                self.combiner(), f"{base}[ix[{_index(j)}]]", self.leaf(j)
+            )
+            self.statements.append(
+                self.maybe_conditional(j, f"{dst}[{_index(j)}]", value)
+            )
+        else:
+            hst = self.array(f"h{s}")
+            cell = f"{hst}[{ix}[{_index(j)}]]"
+            self.statements.append(f"{cell} = ({cell} + {self.scalar()});")
+
+    def stmt(self, kind: str, s: int, j: int) -> None:
+        builder = {
+            "stream": self.stmt_stream,
+            "reduction": self.stmt_reduction,
+            "recurrence": self.stmt_recurrence,
+            "indirect": self.stmt_indirect,
+        }[kind]
+        builder(s, j)
+
+
+def _apply(op: str, a: str, b: str) -> str:
+    """Render one binary application (min/max are call syntax)."""
+    if op in ("min", "max"):
+        return f"{op}({a}, {b})"
+    return f"({a} {op} {b})"
+
+
+def _index(offset: int) -> str:
+    """Render the affine index ``k + offset``."""
+    if offset == 0:
+        return "k"
+    if offset > 0:
+        return f"k+{offset}"
+    return f"k-{-offset}"
+
+
+def generate(sc: Scenario) -> SynthProgram:
+    """Generate the program for one scenario point (pure in ``sc``)."""
+    if sc.pattern not in PATTERNS:
+        raise ValueError(f"unknown pattern {sc.pattern!r} (want {PATTERNS})")
+    if sc.stmts < 1 or sc.depth < 1 or sc.step < 1:
+        raise ValueError(f"degenerate scenario {sc!r}")
+    rng = random.Random(f"grip-synth-program:{sc!r}")
+    g = _Gen(rng=rng, sc=sc)
+    g.param("p0")
+    g.param("p1")
+    g.param("n")
+    for s in range(max(2, sc.stmts)):
+        g.array(f"s{s}")
+    copies = sc.inner_trip if sc.depth > 1 else 1
+    for s in range(sc.stmts):
+        if sc.pattern == "mixed":
+            kind = rng.choice(("stream", "reduction", "recurrence", "indirect"))
+        else:
+            kind = sc.pattern
+        # A depth-2 nest: the same statement template instantiated per
+        # inner iteration j (rng state reset so only the j-shift of the
+        # affine offsets differs between copies).
+        template_state = rng.getstate()
+        for j in range(copies):
+            rng.setstate(template_state)
+            g.stmt(kind, s, j)
+    return SynthProgram(
+        scenario=sc,
+        params=tuple(g.params),
+        arrays=tuple(g.arrays),
+        statements=tuple(g.statements),
+    )
+
+
+def source_for_seed(seed: int) -> str:
+    """DSL source of the fuzz-seed program (the one-call convenience)."""
+    return generate(scenario_from_seed(seed)).source()
+
+
+# ----------------------------------------------------------------------
+# The curated bench family
+# ----------------------------------------------------------------------
+#: Seed-pinned scenarios registered as the ``synth`` bench family.  One
+#: kernel per scenario axis; sources are committed nowhere -- the
+#: Scenario *is* the source (see the seed-reproducibility contract).
+CURATED: dict[str, Scenario] = {
+    "SYNSTR": Scenario(
+        seed=201, pattern="stream", stmts=3, mem_ratio=0.7, opmix=("+", "-", "*")
+    ),
+    "SYNRED": Scenario(
+        seed=202, pattern="reduction", stmts=2, mem_ratio=0.5, opmix=("+", "*")
+    ),
+    "SYNREC": Scenario(
+        seed=203, pattern="recurrence", stmts=2, mem_ratio=0.5, opmix=("+", "-", "*")
+    ),
+    "SYNIND": Scenario(
+        seed=204, pattern="indirect", stmts=2, mem_ratio=0.5, opmix=("+", "*")
+    ),
+    "SYNCND": Scenario(
+        seed=205,
+        pattern="stream",
+        stmts=2,
+        cond_density=1.0,
+        mem_ratio=0.5,
+        opmix=("+", "-", "*", "min"),
+    ),
+    "SYNNST": Scenario(
+        seed=206,
+        pattern="mixed",
+        stmts=2,
+        depth=2,
+        inner_trip=2,
+        mem_ratio=0.5,
+        opmix=("+", "*", "max"),
+    ),
+}
+
+
+def kernel_names() -> list[str]:
+    """The curated ``synth`` family, in registration order."""
+    return list(CURATED)
+
+
+def kernel(name: str, n: int = 16) -> CountedLoop:
+    """Build one curated synthetic kernel with trip count ``n``."""
+    from ..frontend.lower import compile_dsl
+
+    sc = CURATED[name.upper()]
+    return compile_dsl(generate(sc).source(), n, name=name.lower())

@@ -29,11 +29,10 @@ from ..ir.operations import (
     cmp_lt,
     const,
     load,
-    mul,
     store,
     sub,
 )
-from ..ir.registers import Imm, Reg
+from ..ir.registers import Reg
 
 _ARITH = (OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.MIN, OpKind.MAX)
 
@@ -92,19 +91,24 @@ def random_counted_loop(rng: random.Random, *, name: str = "rand",
         t1, t2, t3 = f"t{temp}", f"t{temp+1}", f"t{temp+2}"
         temp += 3
         body.append(load(t1, src1, index="k", offset=off1, affine=off1,
-                         name=f"ld{pos}", pos=pos)); pos += 1
+                         name=f"ld{pos}", pos=pos))
+        pos += 1
         body.append(load(t2, src2, index="k", offset=off2, affine=off2,
-                         name=f"ld{pos}", pos=pos)); pos += 1
+                         name=f"ld{pos}", pos=pos))
+        pos += 1
         kind = rng.choice(_ARITH)
         body.append(Operation(kind, Reg(t3), (Reg(t1), Reg(t2)),
-                              name=f"op{pos}", pos=pos)); pos += 1
+                              name=f"op{pos}", pos=pos))
+        pos += 1
         body.append(store(dst, t3, index="k", affine=0,
-                          name=f"st{pos}", pos=pos)); pos += 1
+                          name=f"st{pos}", pos=pos))
+        pos += 1
     carried: list[str] = []
     epilogue: list[Operation] = []
     if reduction:
         body.append(add("acc", "acc", Reg(f"t{temp-1}"),
-                        name="red", pos=pos)); pos += 1
+                        name="red", pos=pos))
+        pos += 1
         carried.append("acc")
         epilogue.append(store("_scalars", "acc", offset=0, name="out_acc"))
     return build_counted_loop(

@@ -10,8 +10,7 @@ fallback to rebuild-everything).
 import pytest
 
 from repro.analysis.incremental import manager_for
-from repro.ir import ProgramGraph, add, cjump, copy
-from repro.ir import events as ev
+from repro.ir import ProgramGraph, add, cjump
 from repro.ir.cjtree import EXIT
 
 

@@ -11,7 +11,14 @@ import json
 import pytest
 
 from repro.__main__ import main
-from repro.bench import BenchArtifact, BenchJob, run_job, run_jobs, smoke_jobs
+from repro.bench import (
+    BenchArtifact,
+    BenchJob,
+    make_jobs,
+    run_job,
+    run_jobs,
+    smoke_jobs,
+)
 
 
 @pytest.fixture(scope="module")
@@ -24,10 +31,13 @@ def parallel_artifact(tmp_path_factory):
 
 
 class TestBenchCLI:
-    def test_diff_subset_without_diff_rejected_before_sweep(self, tmp_path):
-        with pytest.raises(SystemExit, match="requires --diff"):
+    def test_diff_subset_without_diff_rejected_before_sweep(self, tmp_path,
+                                                            capsys):
+        with pytest.raises(SystemExit) as exc:
             main(["bench", "--smoke", "--diff-subset",
                   "--out", str(tmp_path / "x.json")])
+        assert exc.value.code == 2  # usage errors exit 2, documented
+        assert "requires --diff" in capsys.readouterr().err
         assert not (tmp_path / "x.json").exists()  # rejected pre-sweep
 
     def test_artifact_round_trips(self, parallel_artifact):
@@ -89,13 +99,78 @@ class TestBenchCLI:
                    "--diff", str(prev)])
         assert rc == 1
 
-    def test_unknown_kernel_rejected(self):
-        with pytest.raises(SystemExit, match="unknown kernel"):
+    def test_unknown_kernel_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
             main(["bench", "--kernels", "LL99"])
+        assert exc.value.code == 2
+        assert "unknown kernel" in capsys.readouterr().err
 
-    def test_smoke_rejects_conflicting_selection_flags(self):
-        with pytest.raises(SystemExit, match="--smoke fixes"):
-            main(["bench", "--smoke", "--fus", "2"])
+    def test_smoke_rejects_conflicting_selection_flags(self, capsys):
+        for extra in (["--fus", "2"], ["--family", "synth"]):
+            with pytest.raises(SystemExit) as exc:
+                main(["bench", "--smoke", *extra])
+            assert exc.value.code == 2
+            assert "--smoke fixes" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """The documented contract: 0 clean, 1 regression/mismatch, 2 usage.
+
+    The 0 and 1 arms are covered end to end by
+    ``test_diff_gate_passes_against_self`` /
+    ``test_diff_gate_fails_on_tampered_baseline``; this class pins the
+    usage arm for both subcommands (argparse errors included).
+    """
+
+    def test_bench_usage_exit_two(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--diff-subset"])
+        assert exc.value.code == 2
+
+    def test_argparse_errors_exit_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--backends", "nope"])
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+
+class TestSynthFamily:
+    def test_smoke_covers_both_families(self):
+        jobs = smoke_jobs()
+        assert {j.family for j in jobs} == {"ll", "synth"}
+
+    def test_run_job_builds_synth_kernels(self):
+        rec = run_job(BenchJob(kernel="SYNRED", fus=2, backend="grip",
+                               unroll=6, family="synth"))
+        assert rec.key == ("SYNRED", 2, "grip")
+        assert rec.family == "synth"
+        assert rec.speedup is not None
+
+    def test_make_jobs_infers_family(self):
+        jobs = make_jobs(["LL1", "SYNSTR"], [2], ["grip"])
+        assert [(j.kernel, j.family) for j in jobs] == \
+            [("LL1", "ll"), ("SYNSTR", "synth")]
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_jobs(["NOPE"], [2], ["grip"])
+
+    def test_family_flag_selects_kernels(self, tmp_path):
+        out = tmp_path / "synth.json"
+        rc = main(["bench", "--family", "synth", "--kernels", "SYNIND",
+                   "--fus", "2", "--backends", "grip",
+                   "--out", str(out)])
+        assert rc == 0
+        art = BenchArtifact.read(out)
+        assert [r.key for r in art.records] == [("SYNIND", 2, "grip")]
+        assert art.config["families"] == ["synth"]
+
+    def test_pre_family_artifacts_still_load(self, parallel_artifact):
+        """Schema 1 artifacts written before the family field existed
+        must read back with the default."""
+        data = json.loads(parallel_artifact.to_json())
+        for rec in data["records"]:
+            del rec["family"]
+        art = BenchArtifact.from_json(json.dumps(data))
+        assert {r.family for r in art.records} == {"ll"}
 
 
 class TestRunnerUnits:

@@ -1,0 +1,151 @@
+"""The fuzz lane end to end: clean runs, injected bugs, shrinking,
+repro artifacts, replay, exit codes."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench.fuzz import (
+    FUZZ_KIND,
+    FUZZ_SCHEMA,
+    case_from_seed,
+    replay,
+    run_case,
+    run_fuzz,
+    shrink_case,
+)
+from repro.workloads.synth import generate
+
+
+class TestCaseDerivation:
+    def test_case_is_pure_in_the_seed(self):
+        assert case_from_seed(5) == case_from_seed(5)
+
+    def test_cli_tamper_choices_mirror_registry(self):
+        """__main__ keeps a literal copy of the tamper names (so the
+        arg parser needn't import the scheduling stack); pin the two
+        against drift."""
+        from repro.__main__ import TAMPER_NAMES
+        from repro.bench.fuzz import TAMPERS
+
+        assert tuple(sorted(TAMPER_NAMES)) == tuple(sorted(TAMPERS))
+
+    def test_run_axes_are_exercised(self):
+        cases = [case_from_seed(s) for s in range(40)]
+        assert {c.fus for c in cases} == {2, 4, 8}
+        assert any(c.typed for c in cases)
+        assert {c.unroll for c in cases} <= {4, 6, 8}
+
+    def test_typed_machine_shape(self):
+        case = next(c for c in (case_from_seed(s) for s in range(40))
+                    if c.typed)
+        machine = case.machine()
+        assert machine.typed is not None
+        assert sum(machine.typed.values()) >= 1
+
+
+class TestCleanRuns:
+    def test_small_budget_clean(self, tmp_path):
+        report = run_fuzz(8, 0, verify_every=4, out_dir=tmp_path,
+                          log=lambda msg: None)
+        assert report.ok
+        assert report.verified_seeds == [0, 4]
+        assert not list(tmp_path.glob("FUZZ_*.json"))
+
+    def test_cli_clean_exit_zero(self, tmp_path):
+        rc = main(["fuzz", "--budget", "3", "--seed", "0",
+                   "--verify-every", "0", "--out-dir", str(tmp_path)])
+        assert rc == 0
+
+    def test_single_case_with_verify_mode(self):
+        assert run_case(case_from_seed(1), verify=True) is None
+
+
+class TestInjectedBug:
+    """The acceptance bar: a deliberately injected scheduler bug must
+    be caught, shrunk to a minimized repro artifact, and replayable."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("fuzz")
+        report = run_fuzz(2, 0, verify_every=0, out_dir=out,
+                          tamper="drop-store", log=lambda msg: None)
+        return report, out
+
+    def test_bug_is_caught(self, campaign):
+        report, _ = campaign
+        assert not report.ok
+        assert len(report.failures) == 2
+        for _, failure, path in report.failures:
+            # dropping a store is observable through memory
+            assert failure.stage in ("equivalence", "differential")
+            assert path is not None and path.exists()
+
+    def test_artifact_schema(self, campaign):
+        _, out = campaign
+        data = json.loads((out / "FUZZ_0.json").read_text())
+        assert data["kind"] == FUZZ_KIND
+        assert data["schema"] == FUZZ_SCHEMA
+        assert data["seed"] == 0
+        assert data["tamper"] == "drop-store"
+        assert data["case"]["fus"] in (2, 4, 8)
+        assert "scenario" in data["case"]
+        assert data["source"].startswith("# synth seed=0")
+        assert data["minimized"] is not None
+        assert data["minimized"]["unroll"] <= data["case"]["unroll"]
+
+    def test_minimized_is_no_larger(self, campaign):
+        _, out = campaign
+        data = json.loads((out / "FUZZ_0.json").read_text())
+        orig_stmts = data["source"].count(";")
+        mini_stmts = data["minimized"]["source"].count(";")
+        assert mini_stmts <= orig_stmts
+
+    def test_replay_reproduces(self, campaign):
+        _, out = campaign
+        failure = replay(out / "FUZZ_0.json")
+        assert failure is not None
+        assert failure.stage in ("equivalence", "differential")
+
+    def test_replay_cli_exit_codes(self, campaign):
+        _, out = campaign
+        assert main(["fuzz", "--replay", str(out / "FUZZ_0.json")]) == 1
+
+    def test_cli_exit_one_on_failures(self, tmp_path):
+        rc = main(["fuzz", "--budget", "1", "--verify-every", "0",
+                   "--tamper", "drop-store", "--out-dir", str(tmp_path)])
+        assert rc == 1
+
+    def test_shrinker_reports_progress(self):
+        """On a multi-statement program the shrinker must drop dead
+        statements while the tampered failure persists."""
+        case = case_from_seed(2)  # seed 2: a 4-statement stream body
+        program = generate(case.scenario)
+        assert len(program.statements) > 1
+        shrunk = shrink_case(case, program, tamper="drop-store")
+        assert shrunk.attempts > 0
+        assert len(shrunk.program.statements) >= 1
+        assert len(shrunk.program.statements) <= len(program.statements)
+
+
+class TestReplayValidation:
+    def test_replay_rejects_non_artifact(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text(json.dumps({"kind": "other"}))
+        with pytest.raises(ValueError, match="not a repro-fuzz"):
+            replay(bogus)
+
+    def test_cli_usage_errors_exit_two(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fuzz", "--budget", "0"])
+        assert exc.value.code == 2
+        with pytest.raises(SystemExit) as exc:
+            main(["fuzz", "--replay", str(tmp_path / "missing.json")])
+        assert exc.value.code == 2
+        with pytest.raises(SystemExit) as exc:
+            main(["fuzz", "--replay", "x.json", "--tamper", "drop-store"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--budget must be" in err
+        assert "cannot replay" in err

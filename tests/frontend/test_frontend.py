@@ -15,9 +15,9 @@ from repro.frontend import (
     propagate_copies,
     tokenize,
 )
-from repro.frontend.ast import Assign, Bin, ForLoop, IfStmt, Index, Num, Var
+from repro.frontend.ast import Bin, ForLoop, IfStmt
 from repro.frontend.lexer import TokKind
-from repro.ir import Imm, OpKind, Reg, add, copy, mul, store
+from repro.ir import Imm, Reg, add, copy, mul, store
 from repro.simulator import MachineState, run
 
 

@@ -1,0 +1,124 @@
+"""Frontend error paths: lexer/parser/lower rejection of malformed
+synth-adjacent input.
+
+The happy path is pinned by ``test_frontend.py`` and (heavily) by the
+fuzz lane; this suite pins the *rejections* -- every malformed program
+must fail with the right exception class and a message that names the
+problem, never be silently mis-lowered.
+"""
+
+import pytest
+
+from repro.frontend import (
+    LexError,
+    LowerError,
+    ParseError,
+    compile_dsl,
+    parse,
+    tokenize,
+)
+
+
+class TestLexerRejections:
+    @pytest.mark.parametrize("src", ["a % b", "x @ y", "p ~ q", "a & b"])
+    def test_unknown_operator_characters(self, src):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize(src)
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError, match="2:1"):
+            tokenize("for\n$")
+
+
+class TestParserRejections:
+    def test_unterminated_loop_block(self):
+        with pytest.raises(ParseError, match="unterminated block"):
+            parse("array x; for k = 0 to n { x[k] = 1;")
+
+    def test_unterminated_nested_block(self):
+        with pytest.raises(ParseError, match="unterminated block"):
+            parse("array x; for k = 0 to n { if (x[k] < 1) { x[k] = 1;")
+
+    def test_unterminated_block_reports_opening_brace(self):
+        with pytest.raises(ParseError, match="never closed"):
+            parse("array x;\nfor k = 0 to n { x[k] = 1;")
+
+    def test_missing_expression(self):
+        with pytest.raises(ParseError, match="unexpected token"):
+            parse("array x; for k = 0 to n { x[k] = ; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("array x; for k = 0 to n { x[k] = 1 }")
+
+    def test_trailing_junk_after_loop(self):
+        with pytest.raises(ParseError, match="expected"):
+            parse("array x; for k = 0 to n { x[k] = 1; } zap")
+
+    def test_nonpositive_step(self):
+        with pytest.raises(ParseError, match="step must be positive"):
+            parse("array x; for k = 0 to n step 0 { x[k] = 1; }")
+
+    def test_if_without_parens(self):
+        with pytest.raises(ParseError):
+            parse("array x; for k = 0 to n { if x[k] < 1 { x[k] = 1; } }")
+
+    def test_program_without_loop(self):
+        with pytest.raises(ParseError):
+            parse("param q; array x;")
+
+
+class TestLowerRejections:
+    def test_undeclared_array(self):
+        with pytest.raises(LowerError, match="not declared"):
+            compile_dsl("param q; for k = 0 to 4 { ghost[k] = q; }", 4)
+
+    def test_shadowed_declaration_param_and_array(self):
+        with pytest.raises(LowerError, match="both param and array"):
+            compile_dsl("param x; array x; for k = 0 to 4 { x[k] = 1; }", 4)
+
+    def test_counter_shadows_declaration(self):
+        with pytest.raises(LowerError, match="shadows a declaration"):
+            compile_dsl("param k; array x; for k = 0 to 4 { x[k] = k; }", 4)
+
+    def test_array_read_as_scalar(self):
+        with pytest.raises(LowerError, match="read as a scalar"):
+            compile_dsl("array x, y; for k = 0 to 4 { x[k] = y; }", 4)
+
+    def test_array_assigned_as_scalar(self):
+        with pytest.raises(LowerError, match="assigned as a scalar"):
+            compile_dsl("array x; for k = 0 to 4 { x = 1; }", 4)
+
+    def test_assigning_the_loop_counter(self):
+        with pytest.raises(LowerError, match="loop counter"):
+            compile_dsl("array x; for k = 0 to 4 { k = k; x[k] = 1; }", 4)
+
+    def test_nested_if_not_supported(self):
+        src = ("array x, c;\nfor k = 0 to 4 {\n"
+               "if (c[k] < 1) { if (c[k] < 0) { x[k] = 1; } }\n}")
+        with pytest.raises(LowerError, match="nested if"):
+            compile_dsl(src, 4)
+
+    def test_non_constant_lower_bound(self):
+        with pytest.raises(LowerError, match="lower bound"):
+            compile_dsl("param a; array x; for k = a to 4 { x[k] = 1; }", 4)
+
+    def test_non_scalar_upper_bound(self):
+        with pytest.raises(LowerError, match="bound"):
+            compile_dsl(
+                "array x; for k = 0 to x[0] { x[k] = 1; }", 4)
+
+
+class TestHappyPathStillWorks:
+    """The new rejections must not catch legal kernels."""
+
+    def test_implicit_scalars_are_not_shadowing(self):
+        # d1/d2 are undeclared temporaries (LL8 style): legal.
+        loop = compile_dsl(
+            "array x, y;\nfor k = 0 to 4 { d1 = x[k]; y[k] = d1; }", 4)
+        assert loop.ops_per_iteration > 0
+
+    def test_param_scalar_writes_are_legal(self):
+        loop = compile_dsl(
+            "param q; array z;\nfor k = 0 to 4 { q = q + z[k]; }", 4)
+        assert loop.epilogue_ops

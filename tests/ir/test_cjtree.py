@@ -6,7 +6,6 @@ from repro.ir import cjump
 from repro.ir.cjtree import (
     Branch,
     EXIT,
-    Leaf,
     depth,
     find_leaf,
     iter_branches,

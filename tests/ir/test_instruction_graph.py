@@ -9,7 +9,6 @@ from repro.ir import (
     add,
     cjump,
     cmp_lt,
-    mul,
     store,
     straightline_graph,
     sub,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir import Imm, Reg, add, const, load, mul, store
+from repro.ir import Imm, Reg, add, const, load, store
 from repro.ir.loops import build_counted_loop
 from repro.ir.render import render_graph, render_node, schedule_table, to_dot
 from repro.simulator import MachineState, run

@@ -10,7 +10,6 @@ from repro.ir import (
     Reg,
     add,
     cjump,
-    cmp_lt,
     const,
     copy,
     load,

@@ -1,9 +1,7 @@
 """Unit tests for move-cj, migrate, node splitting, and cleanup."""
 
-import pytest
-
-from repro.ir import EXIT, RegisterFile, add, cjump, cmp_lt, mul, store, sub
-from repro.machine import INFINITE_RESOURCES, MachineConfig
+from repro.ir import EXIT, RegisterFile, add, cjump, cmp_lt, mul, store
+from repro.machine import MachineConfig
 from repro.percolation import (
     MigrateContext,
     cleanup,

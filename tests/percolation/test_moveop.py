@@ -1,7 +1,5 @@
 """Unit tests for the move-op transformation."""
 
-import pytest
-
 from repro.ir import (
     RegisterFile,
     add,
@@ -238,3 +236,88 @@ class TestUnification:
                 break
         assert out.unified
         check_equivalent(orig, g)
+
+
+class TestNodeSplitting:
+    """Node splitting must move the *private copy's* op instance.
+
+    Regression for a bug the PR-4 fuzz lane caught on its first run:
+    after ``split_for_edge`` gave To a private copy (fresh uids),
+    ``move_op`` still inserted the pre-split instance into To, so its
+    uid lived in two nodes at once -- the original keeps that uid for
+    the other predecessors -- and a later hop of either instance blew
+    up with "op already in node".  LL-shaped pipelines never split
+    (the unwound chain is single-predecessor), which is why Table 1
+    alone never exposed it.
+    """
+
+    def _diamond_with_merge_arith(self):
+        from repro.ir.builder import SequentialBuilder
+        from repro.ir.cjtree import EXIT, Branch, make_leaf
+        from repro.ir.operations import cjump, cmp_lt
+
+        b = SequentialBuilder()
+        g = b.graph
+        n_cmp = g.new_node()
+        n_cmp.add_op(cmp_lt("c", "a", "b", name="k"))
+        g.set_entry(n_cmp.nid)
+        cj = cjump("c", name="j")
+        n_cj = g.new_node()
+        tl, fl = make_leaf(EXIT), make_leaf(EXIT)
+        n_cj.tree = Branch(cj.uid, tl, fl)
+        n_cj.cjs[cj.uid] = cj
+        g.note_tree_change(n_cj.nid)
+        g.retarget_leaf(n_cmp.nid, n_cmp.leaves()[0].leaf_id, n_cj.nid)
+        n_t = g.new_node()
+        n_t.add_op(add("vt", "a", 1, name="t"))
+        n_e = g.new_node()
+        n_e.add_op(add("ve", "b", 1, name="e"))
+        g.retarget_leaf(n_cj.nid, tl.leaf_id, n_t.nid)
+        g.retarget_leaf(n_cj.nid, fl.leaf_id, n_e.nid)
+        n_m = g.new_node()
+        moved = add("w", "x", 2, name="W")
+        n_m.add_op(moved)
+        n_m.add_op(store("out", "w", offset=0, name="S"))
+        g.retarget_leaf(n_t.nid, n_t.leaves()[0].leaf_id, n_m.nid)
+        g.retarget_leaf(n_e.nid, n_e.leaves()[0].leaf_id, n_m.nid)
+        g.check()
+        return g, n_m.nid, n_t.nid, moved.uid
+
+    def test_split_moves_the_copys_instance(self):
+        g, merge, pred, uid = self._diamond_with_merge_arith()
+        orig = g.clone()
+        out = move_op(g, merge, pred, uid,
+                      machine=MachineConfig(fus=4), regfile=RegisterFile())
+        assert out.moved and out.split_nid is not None
+        # The instance that landed in To is the copy's, not the original.
+        assert out.new_uid != uid
+        # The original instance stays behind for the other predecessor.
+        assert uid in {op.uid for op in g.nodes[merge].all_ops()}
+        # Graph-wide uid uniqueness (the invariant the bug broke).
+        seen = {}
+        for nid, node in g.nodes.items():
+            for op in node.all_ops():
+                assert op.uid not in seen, \
+                    f"uid {op.uid} in both n{seen[op.uid]} and n{nid}"
+                seen[op.uid] = nid
+        g.check()
+        check_equivalent(orig, g)
+
+    def test_recurrence_plus_sibling_schedules(self):
+        """End-to-end minimal repro: a distance-1 array recurrence next
+        to any second statement used to crash GRiP at fus >= 4."""
+        from repro.frontend import compile_dsl
+        from repro.pipelining import unwind_counted
+        from repro.scheduling import GRiPScheduler
+
+        src = ("param p1, n;\narray s0, r3;\n"
+               "for k = 0 to n {\n"
+               "p1 = s0[k];\n"
+               "r3[k+1] = (r3[k] * s0[k+3]);\n"
+               "}\n")
+        loop = compile_dsl(src, 4, name="rec")
+        unwound = unwind_counted(loop, 4)
+        GRiPScheduler(MachineConfig(fus=4)).schedule(
+            unwound.graph, ranking_ops=unwound.ops)
+        unwound.graph.check()
+        check_equivalent(loop.graph, unwound.graph, seeds=(0,))

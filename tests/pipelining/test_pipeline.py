@@ -9,7 +9,6 @@ from repro.machine import INFINITE_RESOURCES, MachineConfig
 from repro.pipelining import (
     estimate_ii,
     find_pattern,
-    graph_throughput,
     iteration_locals,
     main_chain,
     pipeline_loop,

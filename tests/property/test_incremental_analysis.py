@@ -15,7 +15,6 @@ independent reference implementation.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

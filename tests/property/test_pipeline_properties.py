@@ -7,7 +7,6 @@ the machine bound and the dependence bound.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

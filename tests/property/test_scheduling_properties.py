@@ -9,12 +9,11 @@ generators; hypothesis drives shapes and seeds.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.ir import RegisterFile
-from repro.machine import INFINITE_RESOURCES, MachineConfig
+from repro.machine import MachineConfig
 from repro.percolation import MigrateContext, migrate
 from repro.scheduling import (
     GRiPScheduler,

@@ -1,9 +1,7 @@
 """Unit tests for the Unifiable-ops, POST, and list schedulers."""
 
-import pytest
-
 from repro.ir import add, mul, store, straightline_graph
-from repro.machine import INFINITE_RESOURCES, MachineConfig
+from repro.machine import MachineConfig
 from repro.scheduling import (
     GRiPScheduler,
     POSTScheduler,

@@ -1,9 +1,7 @@
 """Unit tests for Gapless-move and the suspension policy (section 3.3)."""
 
-import pytest
-
-from repro.ir import ProgramGraph, add, straightline_graph, store
-from repro.machine import INFINITE_RESOURCES, MachineConfig
+from repro.ir import ProgramGraph, add
+from repro.machine import INFINITE_RESOURCES
 from repro.scheduling.gaps import GapPreventionPolicy, gapless_move
 
 

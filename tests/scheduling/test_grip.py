@@ -1,8 +1,5 @@
 """Unit tests for the GRiP scheduler, priorities, and Moveable-ops."""
 
-import pytest
-
-from repro.analysis import build_dag
 from repro.ir import add, mul, store, straightline_graph, sub
 from repro.machine import INFINITE_RESOURCES, MachineConfig
 from repro.scheduling import (

@@ -8,17 +8,15 @@ from repro.ir import (
     add,
     cjump,
     cmp_ge,
-    cmp_lt,
     copy,
     div,
     load,
     mul,
     store,
     straightline_graph,
-    sub,
 )
 from repro.ir.cjtree import Branch, make_leaf
-from repro.simulator import MachineState, check_equivalent, run, step
+from repro.simulator import MachineState, check_equivalent, run
 from repro.simulator.check import EquivalenceError
 
 
