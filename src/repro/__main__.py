@@ -108,12 +108,15 @@ def _load_kernel(spec: str, unroll: int):
 
 
 def cmd_pipeline(args: argparse.Namespace) -> int:
+    from .ir.loops import LoopProgram
     from .ir.render import schedule_table
     from .machine import MachineConfig
-    from .pipelining import main_chain, pipeline_loop
+    from .pipelining import main_chain, pipeline_loop, pipeline_program
 
     loop = _load_kernel(args.kernel, args.unroll)
     machine = MachineConfig(fus=args.fus)
+    if isinstance(loop, LoopProgram):
+        return _cmd_pipeline_program(args, loop, machine)
     res = pipeline_loop(loop, machine, unroll=args.unroll)
     print(res.summary())
     print()
@@ -141,14 +144,54 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pipeline_program(args: argparse.Namespace, program,
+                          machine) -> int:
+    """``repro pipeline`` over a while/multi-loop program kernel."""
+    from .ir.render import schedule_table
+    from .pipelining import main_chain, pipeline_program
+
+    res = pipeline_program(program, machine, unroll=args.unroll)
+    print(res.summary())
+    print()
+    print(schedule_table(res.graph, order=main_chain(res.graph)))
+    if args.backend == "vm":
+        from .backend import differential_check
+        from .backend.check import realized_program_pair
+        from .reporting import RealizedRow, realized_cycles_table
+
+        rep = differential_check(res.graph, machine)
+        prog = rep.program
+        # While trips are data-dependent: pair sequential and VM runs
+        # of the SAME initial state for the realized-speedup ratio.
+        seq_cycles, vm_res = realized_program_pair(
+            program.graph, res.graph, prog)
+        row = RealizedRow(
+            kernel=program.name, machine=str(machine),
+            schedule_length=prog.schedule_length,
+            interp_cycles=rep.interp_cycles[-1],
+            vm_steps=vm_res.steps,
+            realized_cycles=vm_res.cycles,
+            sched_speedup=res.speedup,
+            realized_speedup=(seq_cycles / vm_res.cycles
+                              if vm_res.cycles else None))
+        print(realized_cycles_table([row]))
+        print(f"differential check ok ({len(rep.seeds)} seeds); "
+              f"{prog.summary()}")
+    return 0
+
+
 def cmd_emit(args: argparse.Namespace) -> int:
+    from .ir.loops import LoopProgram
     from .machine import MachineConfig
-    from .pipelining import pipeline_loop
+    from .pipelining import pipeline_loop, pipeline_program
 
     loop = _load_kernel(args.kernel, args.unroll)
     machine = MachineConfig(fus=args.fus, phys_regs=args.phys_regs)
     if args.seq:
         graph = loop.graph
+    elif isinstance(loop, LoopProgram):
+        graph = pipeline_program(loop, MachineConfig(fus=args.fus),
+                                 unroll=args.unroll, measure=False).graph
     else:
         res = pipeline_loop(loop, MachineConfig(fus=args.fus),
                             unroll=args.unroll, measure=False)
@@ -276,7 +319,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     report = run_fuzz(
         args.budget, args.seed, jobs=args.jobs,
         verify_every=args.verify_every, out_dir=args.out_dir,
-        tamper=args.tamper)
+        tamper=args.tamper, stratify=args.stratify)
     print(report.render())
     if not report.ok:
         print("repro fuzz: FAILURES found (repro artifacts written)",
@@ -370,6 +413,11 @@ def main(argv: list[str] | None = None) -> int:
     p6.add_argument("--tamper", choices=sorted(TAMPER_NAMES), default=None,
                     help="inject a known scheduler-shaped bug (tests "
                          "the lane: the tamper must be caught + shrunk)")
+    p6.add_argument("--stratify", action="store_true",
+                    help="balance the seed budget across scenario "
+                         "strata (body patterns + while / multi-loop "
+                         "program shapes) instead of running "
+                         "consecutive seeds")
     p6.set_defaults(fn=cmd_fuzz)
 
     args = parser.parse_args(argv)

@@ -97,6 +97,33 @@ def differential_check(graph: ProgramGraph,
     return report
 
 
+def realized_program_pair(seq_graph: ProgramGraph,
+                          sched_graph: ProgramGraph,
+                          program: BundleProgram, *, seed: int = 0,
+                          max_cycles: int = 2_000_000) -> tuple[int, VMResult]:
+    """Sequential cycles and VM result under ONE shared initial state.
+
+    A realized-speedup ratio must compare runs of the *same* input
+    state: for programs with data-dependent trip counts (while loops)
+    the state decides how many iterations execute, and the sequential
+    and scheduled graphs read different register sets, so seeding each
+    run from its own input set silently changes the workload.  This
+    builds the state over the union input set and runs the tree-walker
+    (sequential) and the bundle VM (the encoded scheduled program)
+    from it.
+    """
+    from .vm import BundleVM
+
+    inputs = input_registers(seq_graph) | input_registers(sched_graph)
+    st = initial_state(seed, inputs)
+    init = dict(st.regs)
+    seq_run = run(seq_graph, st, max_cycles=max_cycles)
+    vm_res = BundleVM(program).run(init_regs=init,
+                                   mem_default=st.mem_default,
+                                   max_steps=max_cycles)
+    return seq_run.cycles, vm_res
+
+
 def _compare_memory(ref_mem: dict, res: VMResult, default, seed: int) -> None:
     vm_mem = res.memory()
     cells = {c for c in ref_mem if not c[0].startswith("__")} | set(vm_mem)

@@ -50,6 +50,7 @@ import random
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..ir.operations import OpKind
 from ..machine.model import FUClass, MachineConfig
 from ..workloads.synth import Scenario, SynthProgram, generate, scenario_from_seed
 
@@ -58,6 +59,35 @@ FUZZ_KIND = "repro-fuzz"
 
 #: message size cap in artifacts (failure diffs can be arbitrarily long)
 _MSG_LIMIT = 4000
+
+#: typed-budget shapes the fuzz matrix sweeps (``fus`` = total slots).
+#: ``balanced`` is the historical shape; ``mem-starved`` pins one load/
+#: store port (serializing memory traffic through the fill loops);
+#: ``branch-rich`` gives branches as many slots as anything else
+#:  (stressing CJ-motion under per-class budgets).
+TYPED_SHAPES = ("balanced", "mem-starved", "branch-rich")
+
+#: latency maps for the fuzz differential's scoreboard axis.
+LATENCY_MAPS: dict[str, dict[OpKind, int]] = {
+    "short": {OpKind.LOAD: 2, OpKind.MUL: 2},
+    "long": {OpKind.LOAD: 3, OpKind.MUL: 4, OpKind.DIV: 6, OpKind.STORE: 2},
+}
+
+
+def typed_budgets(shape: str, fus: int) -> dict[FUClass, int]:
+    """Per-class budgets of one typed-machine shape."""
+    if shape == "balanced":
+        return {
+            FUClass.ALU: max(1, fus - 1),
+            FUClass.MEM: max(1, fus // 2),
+            FUClass.BRANCH: 1,
+        }
+    if shape == "mem-starved":
+        return {FUClass.ALU: fus, FUClass.MEM: 1, FUClass.BRANCH: 1}
+    if shape == "branch-rich":
+        per = max(1, fus // 2)
+        return {FUClass.ALU: per, FUClass.MEM: per, FUClass.BRANCH: per}
+    raise ValueError(f"unknown typed shape {shape!r} (want {TYPED_SHAPES})")
 
 
 @dataclass(frozen=True)
@@ -69,29 +99,36 @@ class FuzzCase:
     fus: int
     typed: bool
     unroll: int
+    #: which :data:`TYPED_SHAPES` member applies when ``typed``
+    typed_shape: str = "balanced"
+    #: :data:`LATENCY_MAPS` key, or None for the single-cycle machine
+    lat: str | None = None
 
     def machine(self) -> MachineConfig:
+        latencies = LATENCY_MAPS[self.lat] if self.lat else None
         if not self.typed:
-            return MachineConfig(fus=self.fus)
+            return MachineConfig(fus=self.fus, latencies=latencies)
         return MachineConfig(
             fus=self.fus,
-            typed={
-                FUClass.ALU: max(1, self.fus - 1),
-                FUClass.MEM: max(1, self.fus // 2),
-                FUClass.BRANCH: 1,
-            },
+            typed=typed_budgets(self.typed_shape, self.fus),
+            latencies=latencies,
         )
 
 
 def case_from_seed(seed: int) -> FuzzCase:
     """Derive the whole case from the seed (pure; the repro contract)."""
     rng = random.Random(f"grip-fuzz-case:{seed}")
+    fus = rng.choice((2, 4, 8))
+    typed = rng.random() < 0.3
+    unroll = rng.choice((4, 6, 8))
     return FuzzCase(
         seed=seed,
         scenario=scenario_from_seed(seed),
-        fus=rng.choice((2, 4, 8)),
-        typed=rng.random() < 0.2,
-        unroll=rng.choice((4, 6, 8)),
+        fus=fus,
+        typed=typed,
+        unroll=unroll,
+        typed_shape=rng.choice(TYPED_SHAPES) if typed else "balanced",
+        lat=rng.choice((None, None, None, "short", "long")),
     )
 
 
@@ -131,6 +168,14 @@ TAMPERS = {"drop-store": _tamper_drop_store}
 # ----------------------------------------------------------------------
 # The check pipeline
 # ----------------------------------------------------------------------
+#: seeds every fuzz case's equivalence/differential checks run on.
+#: One seed was enough for counted loops (the trip count is static);
+#: a while loop's trip count is *data*-dependent -- a single unlucky
+#: initial state can run it zero iterations and make every semantic
+#: check vacuous -- so the lane samples three initial states.
+CHECK_SEEDS = (0, 1, 2)
+
+
 def check_source(
     source: str,
     unroll: int,
@@ -139,24 +184,40 @@ def check_source(
     name: str = "fuzz",
     verify: bool = False,
     tamper: str | None = None,
-    seeds: tuple[int, ...] = (0,),
+    seeds: tuple[int, ...] = CHECK_SEEDS,
 ) -> None:
-    """Run the full fuzz check pipeline; raises on any divergence."""
+    """Run the full fuzz check pipeline; raises on any divergence.
+
+    Classic single-counted-loop sources run the historical unwind +
+    GRiP flow.  While/multi-loop sources compile to a
+    :class:`~repro.ir.loops.LoopProgram` and go through
+    :func:`~repro.pipelining.program.pipeline_program` (per-segment
+    scheduling; non-counted segments decline unwinding); the same
+    validity, equivalence and bundle-VM differential checks then run
+    on the combined scheduled graph.
+    """
     from ..analysis.incremental import AnalysisManager
     from ..backend.check import differential_check
     from ..frontend import compile_dsl
-    from ..pipelining import find_pattern, unwind_counted
+    from ..ir.loops import CountedLoop
+    from ..pipelining import find_pattern, pipeline_program, unwind_counted
     from ..scheduling.grip import GRiPScheduler
     from ..simulator.check import check_equivalent
 
     loop = compile_dsl(source, unroll, name=name)
-    unwound = unwind_counted(loop, unroll)
-    if verify:
-        AnalysisManager(unwound.graph, verify=True)
-    GRiPScheduler(machine).schedule(unwound.graph, ranking_ops=unwound.ops)
+    if isinstance(loop, CountedLoop):
+        unwound = unwind_counted(loop, unroll)
+        if verify:
+            AnalysisManager(unwound.graph, verify=True)
+        GRiPScheduler(machine).schedule(unwound.graph, ranking_ops=unwound.ops)
+        graph = unwound.graph
+    else:
+        res = pipeline_program(
+            loop, machine, unroll=unroll, measure=False, verify_analysis=verify
+        )
+        graph = res.graph
     if tamper is not None:
-        TAMPERS[tamper](unwound.graph)
-    graph = unwound.graph
+        TAMPERS[tamper](graph)
     graph.check()
     for nid in graph.reachable():
         if not machine.fits(graph.nodes[nid]):
@@ -164,8 +225,10 @@ def check_source(
                 f"node {nid} exceeds {machine} budgets "
                 f"({machine.slots_used(graph.nodes[nid])} slots)"
             )
-    # Pattern detection must at least not crash on any generated shape.
-    find_pattern(unwound, graph)
+    if isinstance(loop, CountedLoop):
+        # Pattern detection must at least not crash on any generated
+        # shape (pipeline_program already ran it per counted segment).
+        find_pattern(unwound, graph)
     check_equivalent(loop.graph, graph, seeds=seeds)
     differential_check(graph, machine, seeds=seeds)
 
@@ -244,27 +307,28 @@ def shrink_case(
 ) -> ShrinkResult:
     """Greedily minimize a failing program while the failure reproduces.
 
-    Statement-level ddmin-lite: repeatedly try dropping each statement
-    (later statements first -- they are the most likely dead weight),
-    keeping any removal that still fails; then try smaller unrolls.
-    Declarations stay fixed (unused decls are valid DSL), so every
-    candidate is parseable by construction.  ``verify`` must match the
-    failing run: verify-stage failures only reproduce under a
-    verifying AnalysisManager.  When ``stage`` is given, only
-    candidates failing at the *same* stage count as reproductions --
-    otherwise the shrinker could latch onto an unrelated bug and the
-    artifact's minimized source would track a different failure than
-    it records.
+    Statement-level ddmin-lite over the flat statement list: repeatedly
+    try dropping each statement (later statements first -- they are the
+    most likely dead weight), keeping any removal that still fails;
+    then try smaller unrolls.  A loop whose payload empties is dropped
+    wholesale (a while loop's counter-advance tail never shrinks away
+    on its own -- the candidate would stop terminating).  Declarations
+    stay fixed (unused decls are valid DSL), so every candidate is
+    parseable by construction.  ``verify`` must match the failing run:
+    verify-stage failures only reproduce under a verifying
+    AnalysisManager.  When ``stage`` is given, only candidates failing
+    at the *same* stage count as reproductions -- otherwise the
+    shrinker could latch onto an unrelated bug and the artifact's
+    minimized source would track a different failure than it records.
     """
     machine = case.machine()
     attempts = 0
 
-    def fails(stmts: tuple[str, ...], unroll: int) -> bool:
+    def fails(candidate: SynthProgram, unroll: int) -> bool:
         nonlocal attempts
         attempts += 1
-        src = program.with_statements(stmts).source()
         failure = run_source(
-            src,
+            candidate.source(),
             unroll,
             machine,
             name=f"shrink{case.seed}",
@@ -275,27 +339,27 @@ def shrink_case(
             return False
         return stage is None or failure.stage == stage
 
-    stmts = program.statements
+    current = program
     unroll = case.unroll
     changed = True
-    while changed and len(stmts) > 1 and attempts < max_attempts:
+    while changed and current.n_statements > 1 and attempts < max_attempts:
         changed = False
-        for i in reversed(range(len(stmts))):
-            if len(stmts) == 1 or attempts >= max_attempts:
+        for i in reversed(range(current.n_statements)):
+            if current.n_statements == 1 or attempts >= max_attempts:
                 break
-            cand = stmts[:i] + stmts[i + 1 :]
+            cand = current.drop_statement(i)
             if fails(cand, unroll):
-                stmts = cand
+                current = cand
                 changed = True
     for smaller in (2, 3):
-        if smaller < unroll and attempts < max_attempts and fails(stmts, smaller):
+        if smaller < unroll and attempts < max_attempts and fails(current, smaller):
             unroll = smaller
             break
     return ShrinkResult(
-        program=program.with_statements(stmts),
+        program=current,
         unroll=unroll,
         attempts=attempts,
-        dropped=len(program.statements) - len(stmts),
+        dropped=program.n_statements - current.n_statements,
     )
 
 
@@ -319,6 +383,8 @@ def write_artifact(
         "case": {
             "fus": case.fus,
             "typed": case.typed,
+            "typed_shape": case.typed_shape,
+            "lat": case.lat,
             "unroll": case.unroll,
             "scenario": case.scenario.to_dict(),
         },
@@ -360,6 +426,9 @@ def replay(path: str | Path) -> FuzzFailure | None:
         fus=case["fus"],
         typed=case["typed"],
         unroll=case["unroll"],
+        # absent in schema-1 artifacts predating these axes
+        typed_shape=case.get("typed_shape", "balanced"),
+        lat=case.get("lat"),
     ).machine()
     minimized = data.get("minimized")
     if minimized:
@@ -379,6 +448,71 @@ def replay(path: str | Path) -> FuzzFailure | None:
 # ----------------------------------------------------------------------
 # The campaign driver
 # ----------------------------------------------------------------------
+#: stratification buckets: the five body patterns plus the two
+#: program-shape families the generator can emit.
+STRATA = ("stream", "reduction", "recurrence", "indirect", "mixed",
+          "while", "multi_loop")
+
+
+def stratum_of(scenario: Scenario) -> str:
+    """Which campaign stratum a scenario's generated program lands in.
+
+    Program shape wins over body pattern: a seed whose program has
+    several top-level loops counts as ``multi_loop`` (regardless of
+    pattern), a single non-counted loop as ``while``; only
+    single-counted-loop seeds stratify by pattern.  Classified on the
+    *generated* program, not the densities -- ``while_density=0.5``
+    seeds can still roll an all-``for`` program.
+    """
+    program = generate(scenario)
+    if len(program.loops) > 1:
+        return "multi_loop"
+    if program.loops[0].kind == "while":
+        return "while"
+    return scenario.pattern
+
+
+def stratified_seeds(
+    budget: int, seed0: int = 0, *, scan_factor: int = 40
+) -> list[int]:
+    """``budget`` seeds from ``seed0`` upward, balanced across strata.
+
+    A flat consecutive range leaves rare strata (e.g. depth-2 nested
+    multi-loop programs) underrepresented in small campaigns; this scans
+    ahead (up to ``budget * scan_factor`` seeds) and picks round-robin
+    from each stratum's queue, so every scenario family gets roughly
+    ``budget / len(STRATA)`` seeds.  Deterministic in (budget, seed0).
+    """
+    # Early exit: once every bucket holds ceil(budget / len(STRATA))
+    # seeds the round-robin below is fully determined -- scanning on
+    # just burns generate() calls.  Buckets still fill up to ``budget``
+    # so a rare stratum's shortfall is covered by the others.
+    enough = -(-budget // len(STRATA))
+    buckets: dict[str, list[int]] = {s: [] for s in STRATA}
+    for seed in range(seed0, seed0 + budget * scan_factor):
+        bucket = buckets[stratum_of(scenario_from_seed(seed))]
+        if len(bucket) < budget:
+            bucket.append(seed)
+            if all(len(b) >= enough for b in buckets.values()):
+                break
+    out: list[int] = []
+    depth = 0
+    max_depth = max(len(b) for b in buckets.values()) if buckets else 0
+    while len(out) < budget and depth < max_depth:
+        for s in STRATA:
+            if len(out) >= budget:
+                break
+            if depth < len(buckets[s]):
+                out.append(buckets[s][depth])
+        depth += 1
+    # Degenerate scan (tiny budgets): pad with consecutive fresh seeds.
+    nxt = seed0 + budget * scan_factor
+    while len(out) < budget:
+        out.append(nxt)
+        nxt += 1
+    return sorted(out)
+
+
 @dataclass
 class FuzzReport:
     budget: int
@@ -386,15 +520,22 @@ class FuzzReport:
     failures: list[tuple[int, FuzzFailure, Path | None]] = field(default_factory=list)
     verified_seeds: list[int] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: the exact seeds run (consecutive unless stratified)
+    seeds: list[int] = field(default_factory=list)
+    stratified: bool = False
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
     def render(self) -> str:
+        if self.seeds:
+            span = f"[{min(self.seeds)}, {max(self.seeds)}]"
+        else:
+            span = f"[{self.seed0}, {self.seed0 + self.budget - 1}]"
+        how = "stratified seeds" if self.stratified else "seeds"
         lines = [
-            f"fuzz: {self.budget} seeds [{self.seed0}, "
-            f"{self.seed0 + self.budget - 1}], "
+            f"fuzz: {self.budget} {how} {span}, "
             f"{len(self.verified_seeds)} with verify-mode analysis, "
             f"{len(self.failures)} failure(s) "
             f"({self.wall_seconds:.1f}s wall)"
@@ -423,11 +564,15 @@ def run_fuzz(
     out_dir: str | Path = ".",
     tamper: str | None = None,
     max_shrinks: int = 5,
+    stratify: bool = False,
     log=None,
 ) -> FuzzReport:
-    """Fuzz ``budget`` consecutive seeds starting at ``seed0``.
+    """Fuzz ``budget`` seeds starting at ``seed0``.
 
-    Seeds fan out over a ``multiprocessing`` pool (the cases are
+    Seeds are consecutive by default; ``stratify=True`` balances them
+    across scenario strata (:func:`stratified_seeds`: body patterns
+    plus while / multi-loop program shapes) -- the nightly campaign's
+    mode.  Seeds fan out over a ``multiprocessing`` pool (the cases are
     independent and deterministic, exactly like bench jobs); shrinking
     runs in the parent, capped at ``max_shrinks`` artifacts per
     campaign so a systemic breakage cannot turn the nightly run into a
@@ -436,9 +581,14 @@ def run_fuzz(
     """
     log = log or (lambda msg: print(msg, file=sys.stderr))
     t0 = time.perf_counter()
+    seeds = (
+        stratified_seeds(budget, seed0)
+        if stratify
+        else [seed0 + i for i in range(budget)]
+    )
     tasks = [
-        (seed0 + i, verify_every > 0 and i % verify_every == 0, tamper)
-        for i in range(budget)
+        (seed, verify_every > 0 and i % verify_every == 0, tamper)
+        for i, seed in enumerate(seeds)
     ]
     if jobs > 1 and len(tasks) > 1:
         with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
@@ -451,6 +601,8 @@ def run_fuzz(
         budget=budget,
         seed0=seed0,
         verified_seeds=[seed for seed, verify, _ in tasks if verify],
+        seeds=seeds,
+        stratified=stratify,
     )
     shrunk_count = 0
     for seed, failure in results:

@@ -19,6 +19,13 @@ Backends:
     GRiP schedule lowered to VLIW bundles and executed on the bundle
     VM with a differential check -- adds realized-cycle columns, at
     simulation cost.
+
+Kernels that compile to a :class:`~repro.ir.loops.LoopProgram`
+(``SYNWHL``/``SYNSEQ``: while loops, sequenced loops) run through
+:func:`~repro.pipelining.program.pipeline_program`; their ``speedup``
+is the *measured* whole-program cycle ratio (there is no analytic II
+for a trip-count-unknown loop) and POST -- defined only for single
+counted loops -- is skipped for them by :func:`make_jobs`.
 """
 
 from __future__ import annotations
@@ -35,8 +42,9 @@ BACKENDS = ("grip", "post", "vm")
 
 #: Fast subset exercising every backend *and* both kernel families:
 #: CI smoke and unit tests.  SYNRED covers carried-scalar reduction,
-#: SYNCND covers if-converted conditionals.
-SMOKE_KERNELS = ("LL1", "LL3", "SYNRED", "SYNCND")
+#: SYNCND covers if-converted conditionals, SYNWHL the non-counted
+#: (while) program flow (grip+vm only; POST is skipped for it).
+SMOKE_KERNELS = ("LL1", "LL3", "SYNRED", "SYNCND", "SYNWHL")
 SMOKE_FUS = (2, 4)
 SMOKE_BACKENDS = ("grip", "post", "vm")
 
@@ -60,16 +68,22 @@ def default_unroll(fus: int, scale: int = 3) -> int:
 def make_jobs(kernels, fu_configs, backends, *,
               unroll_scale: int = 3) -> list[BenchJob]:
     from .. import workloads
+    from ..workloads.synth import is_program_kernel
 
     jobs = []
     for name in kernels:
         family = workloads.family_of(name)
         if family is None:
             raise ValueError(f"unknown kernel {name!r}")
+        program_shaped = family == "synth" and is_program_kernel(name)
         for fus in fu_configs:
             for backend in backends:
                 if backend not in BACKENDS:
                     raise ValueError(f"unknown backend {backend!r}")
+                if backend == "post" and program_shaped:
+                    # POST is defined for single counted loops only;
+                    # there is no program-level POST baseline to record.
+                    continue
                 jobs.append(BenchJob(kernel=name, fus=fus, backend=backend,
                                      unroll=default_unroll(fus, unroll_scale),
                                      family=family))
@@ -83,6 +97,7 @@ def smoke_jobs(unroll_scale: int = 3) -> list[BenchJob]:
 
 def run_job(job: BenchJob) -> BenchRecord:
     """Execute one sweep cell (top-level: must be pool-picklable)."""
+    from ..ir.loops import LoopProgram
     from ..machine import MachineConfig
     from ..pipelining import pipeline_loop, pipeline_loop_post
     from ..workloads import build_kernel
@@ -93,6 +108,9 @@ def run_job(job: BenchJob) -> BenchRecord:
     t0 = time.perf_counter()
     loop = build_kernel(job.kernel, job.unroll)
     stages["build"] = time.perf_counter() - t0
+
+    if isinstance(loop, LoopProgram):
+        return _run_program_job(job, loop, machine, stages)
 
     if job.backend == "post":
         t1 = time.perf_counter()
@@ -130,6 +148,52 @@ def run_job(job: BenchJob) -> BenchRecord:
         seq = loop.ops_per_iteration * res.unwound.iterations
         record.realized_speedup = (seq / rep.realized_cycles
                                    if rep.realized_cycles else None)
+    return record
+
+
+def _run_program_job(job: BenchJob, program, machine,
+                     stages: dict[str, float]) -> BenchRecord:
+    """One sweep cell for a LoopProgram-shaped kernel (grip / vm)."""
+    from ..pipelining import pipeline_program
+
+    if job.backend == "post":  # pragma: no cover - filtered by make_jobs
+        raise ValueError(
+            f"POST has no program-level baseline for {job.kernel!r}")
+    t1 = time.perf_counter()
+    res = pipeline_program(program, machine, unroll=job.unroll,
+                           measure=True, seeds=(0,))
+    stages["pipeline"] = time.perf_counter() - t1
+    scheds = [seg.schedule for seg in res.segments
+              if seg.schedule is not None]
+    stages["schedule"] = sum(s.seconds for s in scheds)
+    record = BenchRecord(
+        kernel=job.kernel, fus=job.fus, backend=job.backend,
+        unroll=job.unroll, ops_per_iteration=program.ops_per_iteration,
+        speedup=res.speedup, ii=None,
+        converged=res.converged, periodic=res.periodic, stages=stages,
+        moves=sum(s.stats.moves for s in scheds) if scheds else None,
+        resource_blocks=(sum(s.stats.resource_blocks for s in scheds)
+                         if scheds else None),
+        candidate_builds=(sum(s.candidate_builds for s in scheds)
+                          if scheds else None),
+        family=job.family)
+
+    if job.backend == "vm":
+        from ..backend import differential_check
+        from ..backend.check import realized_program_pair
+
+        t2 = time.perf_counter()
+        rep = differential_check(res.graph, machine)
+        # A while segment's trip count is data-dependent, so the
+        # realized-speedup ratio must pair sequential and VM runs of
+        # the SAME initial state (see realized_program_pair).
+        seq_cycles, vm_res = realized_program_pair(
+            program.graph, res.graph, rep.program)
+        stages["vm"] = time.perf_counter() - t2
+        record.realized_cycles = vm_res.cycles
+        record.vm_steps = vm_res.steps
+        record.realized_speedup = (seq_cycles / vm_res.cycles
+                                   if vm_res.cycles else None)
     return record
 
 

@@ -1,15 +1,28 @@
 """Loop-DSL front end: lexer, parser, lowering, clean-up passes."""
 
-from .ast import Assign, Bin, Expr, ForLoop, IfStmt, Index, Num, Program, Stmt, Un, Var
+from .ast import (
+    Assign,
+    Bin,
+    Expr,
+    ForLoop,
+    IfStmt,
+    Index,
+    Num,
+    Program,
+    Stmt,
+    Un,
+    Var,
+    WhileStmt,
+)
 from .lexer import LexError, Token, TokKind, tokenize
-from .lower import SCALAR_OUT, LowerError, compile_dsl, lower
+from .lower import SCALAR_OUT, LowerError, compile_dsl, lower, lower_program
 from .parser import ParseError, parse
 from .passes import eliminate_dead, fold_constants, optimize_body, propagate_copies
 
 __all__ = [
     "Assign", "Bin", "Expr", "ForLoop", "IfStmt", "Index", "LexError",
     "LowerError", "Num", "ParseError", "Program", "SCALAR_OUT", "Stmt",
-    "Token", "TokKind", "Un", "Var", "compile_dsl", "eliminate_dead",
-    "fold_constants", "lower", "optimize_body", "parse",
-    "propagate_copies", "tokenize",
+    "Token", "TokKind", "Un", "Var", "WhileStmt", "compile_dsl",
+    "eliminate_dead", "fold_constants", "lower", "lower_program",
+    "optimize_body", "parse", "propagate_copies", "tokenize",
 ]

@@ -79,11 +79,40 @@ class ForLoop:
     body: tuple[Stmt, ...]
 
 
+@dataclass(frozen=True)
+class WhileStmt:
+    """``while (cond) { body }`` -- a non-counted (trip-count-unknown)
+    loop.  The condition is re-evaluated before every iteration; the
+    loop runs while it is nonzero.  Unlike :class:`ForLoop` there is no
+    induction variable: the body updates whatever scalars the condition
+    reads."""
+
+    cond: Expr
+    body: tuple[Stmt, ...]
+
+
+Loop = Union[ForLoop, WhileStmt]
+
+
 @dataclass
 class Program:
-    """A DSL compilation unit: declarations plus one loop."""
+    """A DSL compilation unit: declarations plus one or more top-level
+    loops, executed in sequence."""
 
     params: list[str] = field(default_factory=list)
     arrays: list[str] = field(default_factory=list)
-    loop: ForLoop | None = None
+    loops: list[Loop] = field(default_factory=list)
     name: str = "kernel"
+
+    @property
+    def loop(self) -> Loop | None:
+        """The single loop of a classic one-loop program (legacy view).
+
+        Multi-loop programs have no single "the loop"; callers that can
+        handle sequences should read :attr:`loops` directly.
+        """
+        return self.loops[0] if self.loops else None
+
+    @loop.setter
+    def loop(self, value: Loop | None) -> None:
+        self.loops = [] if value is None else [value]

@@ -9,7 +9,9 @@ small C-like language sufficient to express every Livermore kernel::
     }
 
 Tokens: identifiers, numbers, punctuation, operators and the keywords
-``param array for to step if else min max abs``.
+``param array for to step while if else min max abs``.  Numbers accept
+exponent notation (``1e308``, ``2.5e-3``) so workloads can name values
+near the float-overflow boundary.
 """
 
 from __future__ import annotations
@@ -27,8 +29,8 @@ class TokKind(Enum):
     EOF = auto()
 
 
-KEYWORDS = frozenset({"param", "array", "for", "to", "step", "if", "else",
-                      "min", "max", "abs"})
+KEYWORDS = frozenset({"param", "array", "for", "to", "step", "while",
+                      "if", "else", "min", "max", "abs"})
 PUNCT = frozenset(";,()[]{}")
 TWO_CHAR_OPS = ("<=", ">=", "==", "!=")
 ONE_CHAR_OPS = frozenset("+-*/=<>")
@@ -87,6 +89,16 @@ def tokenize(src: str) -> list[Token]:
                 if src[j] == ".":
                     seen_dot = True
                 j += 1
+            # Optional exponent: e[+-]?digits (only when digits follow,
+            # so an identifier like ``e`` after a number still lexes).
+            if j < n and src[j] in "eE":
+                k2 = j + 1
+                if k2 < n and src[k2] in "+-":
+                    k2 += 1
+                if k2 < n and src[k2].isdigit():
+                    while k2 < n and src[k2].isdigit():
+                        k2 += 1
+                    j = k2
             out.append(Token(TokKind.NUMBER, src[i:j], line, start_col))
             col += j - i
             i = j

@@ -1,4 +1,4 @@
-"""Lowering: DSL AST -> three-address operations -> :class:`CountedLoop`.
+"""Lowering: DSL AST -> three-address operations -> loop descriptors.
 
 The lowering mirrors what the paper's GCC-based front end handed the
 UCI VLIW compiler: clean three-address code over virtual registers,
@@ -15,13 +15,37 @@ with
 * inner conditionals lowered by if-conversion (computing both sides and
   selecting arithmetically), matching the paper's evaluation setting in
   which the Table-1 loops carry no explicit internal branches.
+
+A classic one-``for``-loop program lowers to the paper's
+:class:`CountedLoop`, exactly as before.  Programs using ``while``
+loops or several top-level loops lower to a :class:`LoopProgram`:
+
+* every loop becomes its own descriptor (:class:`CountedLoop` or the
+  trip-count-unknown :class:`~repro.ir.loops.WhileLoop`) with a
+  standalone sequential graph, so the scheduler can treat each as an
+  isolated segment;
+* a ``while (cond) { ... }`` loop recomputes its condition at the
+  header each iteration and exits via ``exit = (cond == 0)``; its
+  array indexes carry no affine annotation (there is no induction
+  variable), which the dependence tester treats conservatively;
+* scalar state flows across loop boundaries: each descriptor records
+  the registers later segments read (``live_out``) and the single
+  program-level epilogue stores every written param to ``_scalars``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..ir.loops import CountedLoop, build_counted_loop
+from ..ir.loops import (
+    CountedLoop,
+    LoopProgram,
+    WhileLoop,
+    build_counted_loop,
+    build_while_loop,
+    concat_graphs,
+)
+from ..ir.builder import straightline_graph
 from ..ir.operations import (
     MemRef,
     Operation,
@@ -29,7 +53,7 @@ from ..ir.operations import (
     Operation as Op,
 )
 from ..ir.registers import Imm, Operand, Reg
-from .ast import Assign, Bin, Expr, IfStmt, Index, Num, Program, Un, Var
+from .ast import Assign, Bin, Expr, ForLoop, IfStmt, Index, Num, Program, Un, Var, WhileStmt
 
 _BINOPS = {
     "+": OpKind.ADD, "-": OpKind.SUB, "*": OpKind.MUL, "/": OpKind.DIV,
@@ -48,7 +72,9 @@ class LowerError(ValueError):
 
 @dataclass
 class _Ctx:
-    counter: str
+    #: induction variable of the enclosing counted loop; ``None`` inside
+    #: a while loop (no affine base, indexes lower to general registers)
+    counter: str | None
     params: set[str]
     arrays: set[str]
     ops: list[Operation] = field(default_factory=list)
@@ -246,65 +272,57 @@ def _emit_select(ctx: _Ctx, dest: Reg, cond: Operand, tv: Operand,
     ctx.emit(Op(OpKind.ADD, dest, (a, b), name=ctx.opname("a")))
 
 
-def lower(program: Program, n: int, *, name: str | None = None,
-          optimize: bool = True) -> CountedLoop:
-    """Lower a parsed program into a :class:`CountedLoop`.
-
-    ``n`` substitutes the loop's upper bound when it is symbolic (the
-    conventional ``for k = 0 to n``); a literal bound in the source is
-    used as-is.  The loop's low bound must be a constant.
-    """
-    loop = program.loop
-    if loop is None:
-        raise LowerError("program has no loop")
+def _validate_decls(program: Program) -> None:
     shadowed = set(program.params) & set(program.arrays)
     if shadowed:
         raise LowerError(
             f"declared as both param and array: "
             f"{', '.join(sorted(shadowed))}")
-    if loop.counter in program.params or loop.counter in program.arrays:
-        raise LowerError(
-            f"loop counter {loop.counter} shadows a declaration")
+
+
+def _resolve_bound(loop: ForLoop, n: int) -> int:
     if not isinstance(loop.lo, Num):
         raise LowerError("loop lower bound must be a constant")
     if isinstance(loop.hi, Num):
-        bound = int(loop.hi.value)
-    elif isinstance(loop.hi, Var):
-        bound = n
-    else:
-        raise LowerError("loop bound must be a constant or a parameter")
+        return int(loop.hi.value)
+    if isinstance(loop.hi, Var):
+        return n
+    raise LowerError("loop bound must be a constant or a parameter")
 
-    ctx = _Ctx(counter=loop.counter,
-               params=set(program.params),
-               arrays=set(program.arrays))
-    for st in loop.body:
+
+def _validate_for(program: Program, loop: ForLoop) -> None:
+    if loop.counter in program.params or loop.counter in program.arrays:
+        raise LowerError(
+            f"loop counter {loop.counter} shadows a declaration")
+
+
+def _lower_stmts(ctx: _Ctx, body) -> None:
+    for st in body:
         if isinstance(st, Assign):
             _lower_assign(ctx, st)
         elif isinstance(st, IfStmt):
             _lower_if(ctx, st)
         else:  # pragma: no cover - parser prevents this
             raise LowerError(f"unsupported statement {st!r}")
-    body_ops = ctx.ops
 
-    if optimize:
-        from .passes import optimize_body
 
-        body_ops = optimize_body(body_ops)
-
-    # Carried scalars: read before (or without) a prior write in the body.
+def _carried_scalars(ops: list[Operation],
+                     exclude: frozenset[Reg]) -> set[Reg]:
+    """Registers read before (or without) a prior write in ``ops``."""
     seen_defs: set[Reg] = set()
     carried: set[Reg] = set()
-    written: set[Reg] = set()
-    counter_reg = Reg(loop.counter)
-    for op in body_ops:
+    for op in ops:
         for r in op.uses():
-            if r not in seen_defs and r != counter_reg:
-                if any(o.dest == r for o in body_ops):
+            if r not in seen_defs and r not in exclude:
+                if any(o.dest == r for o in ops):
                     carried.add(r)
         seen_defs |= op.defs()
-        written |= op.defs()
+    return carried
 
-    # Scalar outputs: every declared param the body writes.
+
+def _scalar_epilogue(program: Program,
+                     written: set[Reg]) -> list[Operation]:
+    """Stores making every written param observable through memory."""
     epilogue: list[Operation] = []
     slot = 0
     for pname in sorted(program.params):
@@ -313,6 +331,54 @@ def lower(program: Program, n: int, *, name: str | None = None,
                                MemRef(SCALAR_OUT, None, slot, None),
                                name=f"out_{pname}"))
             slot += 1
+    return epilogue
+
+
+def lower(program: Program, n: int, *, name: str | None = None,
+          optimize: bool = True) -> CountedLoop | LoopProgram:
+    """Lower a parsed program.
+
+    A classic program -- exactly one counted ``for`` loop -- lowers to
+    a :class:`CountedLoop`, byte-for-byte as it always has.  Programs
+    with ``while`` loops or several top-level loops lower to a
+    :class:`LoopProgram` of per-loop descriptors plus a combined
+    sequential graph (see :func:`lower_program`).
+
+    ``n`` substitutes a symbolic ``for`` upper bound (the conventional
+    ``for k = 0 to n``); a literal bound in the source is used as-is.
+    """
+    if not program.loops:
+        raise LowerError("program has no loop")
+    if len(program.loops) == 1 and isinstance(program.loops[0], ForLoop):
+        return _lower_single_for(program, n, name=name, optimize=optimize)
+    return lower_program(program, n, name=name, optimize=optimize)
+
+
+def _lower_single_for(program: Program, n: int, *, name: str | None,
+                      optimize: bool) -> CountedLoop:
+    """The historical one-counted-loop lowering (unchanged output)."""
+    loop = program.loops[0]
+    _validate_decls(program)
+    _validate_for(program, loop)
+    bound = _resolve_bound(loop, n)
+
+    ctx = _Ctx(counter=loop.counter,
+               params=set(program.params),
+               arrays=set(program.arrays))
+    _lower_stmts(ctx, loop.body)
+    body_ops = ctx.ops
+
+    if optimize:
+        from .passes import optimize_body
+
+        body_ops = optimize_body(body_ops)
+
+    counter_reg = Reg(loop.counter)
+    carried = _carried_scalars(body_ops, frozenset((counter_reg,)))
+    written: set[Reg] = set()
+    for op in body_ops:
+        written |= op.defs()
+    epilogue = _scalar_epilogue(program, written)
 
     preheader = [Op(OpKind.CONST, counter_reg, (Imm(int(loop.lo.value)),),
                     name="init")]
@@ -322,8 +388,148 @@ def lower(program: Program, n: int, *, name: str | None = None,
         epilogue=epilogue, description=f"DSL kernel {program.name}")
 
 
+@dataclass
+class _LoweredLoop:
+    """One loop's lowered op lists, pre-descriptor."""
+
+    kind: str                       # "for" | "while"
+    ast: ForLoop | WhileStmt
+    body_ops: list[Operation]
+    cond_ops: list[Operation] = field(default_factory=list)
+    exit_reg: Reg | None = None
+    carried: set[Reg] = field(default_factory=set)
+
+    def all_ops(self) -> list[Operation]:
+        return list(self.cond_ops) + list(self.body_ops)
+
+
+def lower_program(program: Program, n: int, *, name: str | None = None,
+                  optimize: bool = True) -> LoopProgram:
+    """Lower a multi-loop / while-loop program to a :class:`LoopProgram`.
+
+    Each loop becomes its own descriptor with a standalone sequential
+    graph; temporaries are numbered program-wide so segments never
+    collide on names.  The returned program's ``graph`` is the
+    concatenated sequential reference ending in one program-level
+    epilogue (every written param stored to ``_scalars``).
+    """
+    if not program.loops:
+        raise LowerError("program has no loop")
+    _validate_decls(program)
+    kname = name or program.name
+
+    temp_n = 0
+    name_n: dict[str, int] = {}
+    lowered: list[_LoweredLoop] = []
+    for loop in program.loops:
+        ctx = _Ctx(counter=loop.counter if isinstance(loop, ForLoop) else None,
+                   params=set(program.params),
+                   arrays=set(program.arrays),
+                   temp_n=temp_n, name_n=name_n)
+        if isinstance(loop, ForLoop):
+            _validate_for(program, loop)
+            _lower_stmts(ctx, loop.body)
+            body_ops = ctx.ops
+            if optimize:
+                from .passes import optimize_body
+
+                body_ops = optimize_body(body_ops)
+            entry = _LoweredLoop(kind="for", ast=loop, body_ops=body_ops)
+            entry.carried = _carried_scalars(
+                body_ops, frozenset((Reg(loop.counter),)))
+        else:
+            entry = _lower_while(ctx, loop, optimize=optimize)
+        temp_n = ctx.temp_n
+        lowered.append(entry)
+
+    written: set[Reg] = set()
+    for entry in lowered:
+        for op in entry.all_ops():
+            written |= op.defs()
+    epilogue = _scalar_epilogue(program, written)
+
+    # Registers each segment must keep alive for the code after it.
+    live_after: list[set[Reg]] = [set() for _ in lowered]
+    acc: set[Reg] = set()
+    for op in epilogue:
+        acc |= op.uses()
+    for i in reversed(range(len(lowered))):
+        live_after[i] = set(acc)
+        for op in lowered[i].all_ops():
+            acc |= op.uses()
+
+    loops: list[CountedLoop | WhileLoop] = []
+    for i, entry in enumerate(lowered):
+        lname = f"{kname}.L{i}"
+        live_out = sorted(live_after[i], key=lambda r: r.name)
+        carried = sorted(entry.carried, key=lambda r: r.name)
+        if entry.kind == "for":
+            ast = entry.ast
+            counter_reg = Reg(ast.counter)
+            preheader = [Op(OpKind.CONST, counter_reg,
+                            (Imm(int(ast.lo.value)),), name=f"init{i}")]
+            loops.append(build_counted_loop(
+                lname, preheader, entry.body_ops, counter_reg,
+                _resolve_bound(ast, n), step=ast.step, carried=carried,
+                epilogue=(), live_out=live_out,
+                description=f"DSL loop {i} of {kname}"))
+        else:
+            loops.append(build_while_loop(
+                lname, (), entry.cond_ops, entry.exit_reg,
+                entry.body_ops, carried=carried, epilogue=(),
+                live_out=live_out,
+                description=f"DSL while loop {i} of {kname}"))
+
+    graphs = [lp.graph for lp in loops]
+    if epilogue:
+        graphs.append(straightline_graph(epilogue))
+    combined = concat_graphs(graphs)
+    return LoopProgram(
+        graph=combined, name=kname, loops=loops, epilogue_ops=epilogue,
+        description=f"DSL program {kname} "
+                    f"({len(loops)} loop(s))")
+
+
+def _lower_while(ctx: _Ctx, loop: WhileStmt, *,
+                 optimize: bool) -> _LoweredLoop:
+    """Lower one ``while`` loop's condition and body op lists.
+
+    The condition is re-evaluated at the header each iteration and the
+    exit register is its negation (``cond == 0``), so the loop's
+    conditional jump leaves when the condition turns false.  The body
+    must lower to at least one operation -- a state-free body could
+    never terminate.
+    """
+    cond_val = _lower_expr(ctx, loop.cond)
+    exit_reg = ctx.temp()
+    ctx.emit(Op(OpKind.CMP_EQ, exit_reg, (cond_val, Imm(0)),
+                name=ctx.opname("wx")))
+    cond_ops = ctx.ops
+    ctx.ops = []
+    _lower_stmts(ctx, loop.body)
+    body_ops = ctx.ops
+    ctx.ops = []
+    if not body_ops:
+        raise LowerError("while loop has an empty body")
+    if optimize:
+        from .passes import optimize_body
+
+        body_ops = optimize_body(body_ops)
+        cond_opt = optimize_body(cond_ops, live_out={exit_reg.name})
+        # Constant folding may erase the exit register's producer
+        # entirely (a literal condition); keep the unoptimized ops then.
+        if any(op.dest == exit_reg for op in cond_opt):
+            cond_ops = cond_opt
+        if not body_ops:
+            raise LowerError("while loop body is empty after optimization")
+    entry = _LoweredLoop(kind="while", ast=loop, body_ops=body_ops,
+                         cond_ops=cond_ops, exit_reg=exit_reg)
+    entry.carried = _carried_scalars(cond_ops + body_ops, frozenset())
+    return entry
+
+
 def compile_dsl(src: str, n: int, *, name: str = "kernel",
-                optimize: bool = True) -> CountedLoop:
+                optimize: bool = True) -> CountedLoop | LoopProgram:
     """Parse + lower in one call."""
     from .parser import parse
 

@@ -2,9 +2,11 @@
 
 Grammar::
 
-    program := decl* loop
+    program := decl* loop+
     decl    := ('param' | 'array') ident (',' ident)* ';'
-    loop    := 'for' ident '=' expr 'to' expr ('step' number)? block
+    loop    := for_loop | while_loop
+    for_loop   := 'for' ident '=' expr 'to' expr ('step' number)? block
+    while_loop := 'while' '(' expr ')' block
     block   := '{' stmt* '}'
     stmt    := lvalue '=' expr ';'
              | 'if' '(' expr ')' block ('else' block)?
@@ -19,7 +21,20 @@ Grammar::
 
 from __future__ import annotations
 
-from .ast import Assign, Bin, Expr, ForLoop, IfStmt, Index, Num, Program, Stmt, Un, Var
+from .ast import (
+    Assign,
+    Bin,
+    Expr,
+    ForLoop,
+    IfStmt,
+    Index,
+    Num,
+    Program,
+    Stmt,
+    Un,
+    Var,
+    WhileStmt,
+)
 from .lexer import Token, TokKind, tokenize
 
 
@@ -66,7 +81,9 @@ class Parser:
                 prog.arrays.extend(self._ident_list())
             else:
                 break
-        prog.loop = self.for_loop()
+        prog.loops.append(self.loop())
+        while self.peek().kind is not TokKind.EOF:
+            prog.loops.append(self.loop())
         self.expect(TokKind.EOF)
         return prog
 
@@ -76,6 +93,19 @@ class Parser:
             names.append(self.expect(TokKind.IDENT).text)
         self.expect(TokKind.PUNCT, ";")
         return names
+
+    def loop(self):
+        if self.peek().kind is TokKind.KEYWORD and self.peek().text == "while":
+            return self.while_loop()
+        return self.for_loop()
+
+    def while_loop(self) -> WhileStmt:
+        self.expect(TokKind.KEYWORD, "while")
+        self.expect(TokKind.PUNCT, "(")
+        cond = self.expr()
+        self.expect(TokKind.PUNCT, ")")
+        body = self.block()
+        return WhileStmt(cond=cond, body=body)
 
     def for_loop(self) -> ForLoop:
         self.expect(TokKind.KEYWORD, "for")
@@ -162,7 +192,8 @@ class Parser:
         if tok.kind is TokKind.NUMBER:
             self.next()
             text = tok.text
-            return Num(float(text) if "." in text else int(text))
+            is_float = "." in text or "e" in text or "E" in text
+            return Num(float(text) if is_float else int(text))
         if tok.kind is TokKind.OP and tok.text == "-":
             self.next()
             return Un("-", self.factor())

@@ -10,6 +10,14 @@ from .builder import LoopNest, SequentialBuilder, simple_loop, straightline_grap
 from .cjtree import Branch, CJTree, EXIT, Leaf, make_leaf
 from .graph import ProgramGraph
 from .instruction import Instruction
+from .loops import (
+    CountedLoop,
+    LoopProgram,
+    WhileLoop,
+    build_counted_loop,
+    build_while_loop,
+    concat_graphs,
+)
 from .operations import (
     MemRef,
     Operation,
@@ -32,10 +40,12 @@ from .registers import Imm, Operand, Reg, RegisterFile, RegisterPressureError
 from .render import render_graph, render_node, schedule_table, to_dot
 
 __all__ = [
-    "Branch", "CJTree", "EXIT", "Imm", "Instruction", "Leaf", "LoopNest",
-    "MemRef", "Operand", "Operation", "OpKind", "ProgramGraph", "Reg",
-    "RegisterFile", "RegisterPressureError", "SequentialBuilder",
-    "add", "cjump", "cmp_ge", "cmp_lt", "const", "copy", "div", "load",
+    "Branch", "CJTree", "CountedLoop", "EXIT", "Imm", "Instruction", "Leaf",
+    "LoopNest", "LoopProgram", "MemRef", "Operand", "Operation", "OpKind",
+    "ProgramGraph", "Reg", "RegisterFile", "RegisterPressureError",
+    "SequentialBuilder", "WhileLoop",
+    "add", "build_counted_loop", "build_while_loop", "cjump", "cmp_ge",
+    "cmp_lt", "concat_graphs", "const", "copy", "div", "load",
     "make_binary", "make_leaf", "mul", "nop", "render_graph", "render_node",
     "schedule_table", "simple_loop", "store", "straightline_graph", "sub",
     "to_dot",

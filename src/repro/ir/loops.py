@@ -1,4 +1,4 @@
-"""Counted loops: the canonical workload shape of the evaluation.
+"""Loop descriptors: counted loops, non-counted loops, loop programs.
 
 Every Livermore kernel in the paper's Table 1 is a counted inner loop.
 :class:`CountedLoop` packages the sequential program graph together
@@ -17,6 +17,23 @@ The sequential lowering is::
 
 so a sequential iteration costs ``len(body) + 3`` cycles, which is the
 baseline of every speedup we report.
+
+Beyond the paper's evaluation shape, GRiP's percolation framework is
+defined over arbitrary CJ-tree control flow, so this module also
+describes
+
+* :class:`WhileLoop` -- a non-counted (``while``-condition) loop whose
+  trip count is **unknown at compile time**: the condition is computed
+  at the loop header every iteration and a conditional jump exits when
+  it is false.  The unwinder and Perfect Pipelining decline these
+  (there is no static iteration tag to rank by); scheduling compacts
+  the body within one iteration instead
+  (:func:`repro.pipelining.program.compact_while`).
+* :class:`LoopProgram` -- a sequence of top-level loops (counted or
+  not) sharing scalar/array state, plus one program-level epilogue
+  that makes scalar results observable through memory.  Loops are
+  scheduled as isolated segments (motion never crosses a loop
+  boundary) and re-concatenated with :func:`concat_graphs`.
 """
 
 from __future__ import annotations
@@ -25,8 +42,9 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .builder import SequentialBuilder
-from .cjtree import EXIT
+from .cjtree import Branch, CJTree, EXIT, Leaf
 from .graph import ProgramGraph
+from .instruction import Instruction
 from .operations import Operation, add, cjump, cmp_ge
 from .registers import Imm, Operand, Reg
 
@@ -52,6 +70,11 @@ class CountedLoop:
     epilogue_ops: list[Operation] = field(default_factory=list)
     #: human description for reports
     description: str = ""
+    #: registers read by code *after* this loop when it is one segment
+    #: of a :class:`LoopProgram` (later loops, the program epilogue).
+    #: Unwinding must not rename them away and per-segment scheduling
+    #: passes them as ``exit_live`` so clean-up keeps their producers.
+    live_out: frozenset[Reg] = frozenset()
 
     @property
     def control_ops(self) -> list[Operation]:
@@ -72,7 +95,8 @@ def build_counted_loop(name: str, preheader: Sequence[Operation],
                        bound: Operand | int, step: int = 1,
                        carried: Sequence[Reg | str] = (),
                        epilogue: Sequence[Operation] = (),
-                       description: str = "") -> CountedLoop:
+                       description: str = "",
+                       live_out: Sequence[Reg | str] = ()) -> CountedLoop:
     """Assemble the canonical sequential loop graph.
 
     ``body`` operations read the counter directly; the builder appends
@@ -132,7 +156,9 @@ def build_counted_loop(name: str, preheader: Sequence[Operation],
         carried_regs=frozenset(r if isinstance(r, Reg) else Reg(r)
                                for r in carried),
         epilogue_ops=epi_ops,
-        description=description)
+        description=description,
+        live_out=frozenset(r if isinstance(r, Reg) else Reg(r)
+                           for r in live_out))
 
 
 def _at(op: Operation, pos: int) -> Operation:
@@ -142,3 +168,213 @@ def _at(op: Operation, pos: int) -> Operation:
     from dataclasses import replace
 
     return replace(op, pos=pos)
+
+
+# ----------------------------------------------------------------------
+# Non-counted loops
+# ----------------------------------------------------------------------
+@dataclass
+class WhileLoop:
+    """A non-counted loop: trip count unknown until run time.
+
+    Sequential shape (one op per node)::
+
+        preheader ops
+        header:  cond op 1          # recompute the condition ...
+                 ...
+                 exit = (cond == 0) # ... and its exit polarity
+                 if exit -> EXIT    # else fall through into the body
+        body op 1
+        ...
+        back edge -> header
+
+    There is no induction variable and no static bound, so the
+    unwinder/Perfect Pipelining **decline** this shape; scheduling
+    compacts the condition and body regions within one iteration.
+    """
+
+    graph: ProgramGraph
+    name: str
+    preheader_ops: list[Operation]
+    #: per-iteration condition computation, ending in the op defining
+    #: the exit register (nonzero = leave the loop)
+    cond_ops: list[Operation]
+    cj_op: Operation
+    body_ops: list[Operation]
+    header: int                         # first condition node
+    carried_regs: frozenset[Reg] = frozenset()
+    epilogue_ops: list[Operation] = field(default_factory=list)
+    description: str = ""
+    live_out: frozenset[Reg] = frozenset()
+
+    #: static trip count -- by definition unknown
+    trip_count = None
+
+    @property
+    def control_ops(self) -> list[Operation]:
+        return [self.cj_op]
+
+    @property
+    def ops_per_iteration(self) -> int:
+        """Sequential cycles per iteration (one op per node)."""
+        return len(self.cond_ops) + len(self.body_ops) + 1
+
+    def all_loop_ops(self) -> list[Operation]:
+        return list(self.cond_ops) + [self.cj_op] + list(self.body_ops)
+
+
+def build_while_loop(name: str, preheader: Sequence[Operation],
+                     cond: Sequence[Operation], exit_reg: Reg | str,
+                     body: Sequence[Operation],
+                     carried: Sequence[Reg | str] = (),
+                     epilogue: Sequence[Operation] = (),
+                     description: str = "",
+                     live_out: Sequence[Reg | str] = ()) -> WhileLoop:
+    """Assemble the canonical sequential while-loop graph.
+
+    ``cond`` operations recompute the exit condition each iteration;
+    ``exit_reg`` must be defined by one of them (nonzero means leave
+    the loop).  ``body`` must be non-empty: a body-less while never
+    changes the state its condition reads and cannot terminate.
+    """
+    if not body:
+        raise ValueError(f"while loop {name!r} has an empty body")
+    er = exit_reg if isinstance(exit_reg, Reg) else Reg(exit_reg)
+    if not any(op.dest == er for op in cond):
+        raise ValueError(
+            f"while loop {name!r}: no condition op defines {er.name}")
+    builder = SequentialBuilder()
+    pos = 0
+    pre_ops: list[Operation] = []
+    for op in preheader:
+        op = _at(op, pos)
+        pre_ops.append(op)
+        builder.append(op)
+        pos += 1
+    cond_ops: list[Operation] = []
+    header: int | None = None
+    for op in cond:
+        op = _at(op, pos)
+        cond_ops.append(op)
+        node = builder.append(op)
+        if header is None:
+            header = node.nid
+        pos += 1
+    cj = _at(cjump(er, name="wbr"), pos)
+    pos += 1
+    cj_node = builder.append_cjump(cj, true_target=EXIT)
+    if header is None:  # pragma: no cover - cond always non-empty here
+        header = cj_node.nid
+    body_ops: list[Operation] = []
+    for op in body:
+        op = _at(op, pos)
+        body_ops.append(op)
+        builder.append(op)
+        pos += 1
+    builder.close_loop(header)
+    epi_ops: list[Operation] = []
+    if epilogue:
+        epi_builder = SequentialBuilder(builder.graph)
+        epi_head: int | None = None
+        for op in epilogue:
+            op = _at(op, pos)
+            pos += 1
+            epi_ops.append(op)
+            node = epi_builder.append(op)
+            if epi_head is None:
+                epi_head = node.nid
+        true_leaf = [l for l in cj_node.leaves() if l.target == EXIT][0]
+        builder.graph.retarget_leaf(cj_node.nid, true_leaf.leaf_id, epi_head)
+    return WhileLoop(
+        graph=builder.graph, name=name, preheader_ops=pre_ops,
+        cond_ops=cond_ops, cj_op=cj, body_ops=body_ops, header=header,
+        carried_regs=frozenset(r if isinstance(r, Reg) else Reg(r)
+                               for r in carried),
+        epilogue_ops=epi_ops, description=description,
+        live_out=frozenset(r if isinstance(r, Reg) else Reg(r)
+                           for r in live_out))
+
+
+# ----------------------------------------------------------------------
+# Loop programs (sequenced loops sharing state)
+# ----------------------------------------------------------------------
+AnyLoop = "CountedLoop | WhileLoop"
+
+
+@dataclass
+class LoopProgram:
+    """A sequence of top-level loops plus a program-level epilogue.
+
+    ``graph`` is the combined sequential reference: each member loop's
+    one-op-per-node graph concatenated in order (loop *i* exits into
+    loop *i+1*'s preheader), ending in the epilogue chain.  Member
+    descriptors keep their own standalone graphs -- per-segment
+    scheduling works on those and re-concatenates the results.
+    """
+
+    graph: ProgramGraph
+    name: str
+    loops: "list[CountedLoop | WhileLoop]"
+    epilogue_ops: list[Operation] = field(default_factory=list)
+    description: str = ""
+
+    @property
+    def ops_per_iteration(self) -> int:
+        """Sequential cycles for one iteration of *every* member loop.
+
+        The per-kernel work metric reports and bench weights use; for a
+        single-loop program it equals the member's own value.
+        """
+        return sum(lp.ops_per_iteration for lp in self.loops)
+
+    @property
+    def trip_count_known(self) -> bool:
+        return all(isinstance(lp, CountedLoop) for lp in self.loops)
+
+    def counted_loops(self) -> "list[CountedLoop]":
+        return [lp for lp in self.loops if isinstance(lp, CountedLoop)]
+
+
+def _remap_tree(tree: CJTree, nid_map: dict[int, int]) -> CJTree:
+    """Rewrite leaf targets through ``nid_map`` (EXIT stays EXIT)."""
+    if isinstance(tree, Leaf):
+        target = tree.target
+        if target != EXIT and target in nid_map:
+            return tree.retarget(nid_map[target])
+        return tree
+    return Branch(tree.cj_uid,
+                  _remap_tree(tree.on_true, nid_map),
+                  _remap_tree(tree.on_false, nid_map))
+
+
+def concat_graphs(graphs: Sequence[ProgramGraph]) -> ProgramGraph:
+    """Chain program graphs: every EXIT of graph *i* enters graph *i+1*.
+
+    Nodes are re-housed under fresh node ids in the output graph (leaf
+    ids and operation instances are preserved -- they are globally
+    unique already).  The result's entry is the first non-empty graph's
+    entry; the last graph's EXIT leaves remain the program exit.
+    """
+    out = ProgramGraph()
+    parts = [g for g in graphs if g.entry is not None]
+    nid_maps: list[dict[int, int]] = []
+    for g in parts:
+        nid_map = {nid: out.allocate_nid() for nid in g.nodes}
+        nid_maps.append(nid_map)
+        for nid, node in g.nodes.items():
+            dup = Instruction(nid_map[nid])
+            dup.tree = _remap_tree(node.tree, nid_map)
+            dup.cjs = dict(node.cjs)
+            dup.ops = dict(node.ops)
+            dup.paths = dict(node.paths)
+            out.adopt(dup)
+    for i, g in enumerate(parts[:-1]):
+        next_entry = nid_maps[i + 1][parts[i + 1].entry]
+        for nid in g.nodes:
+            new_nid = nid_maps[i][nid]
+            for leaf in list(out.nodes[new_nid].leaves()):
+                if leaf.target == EXIT:
+                    out.retarget_leaf(new_nid, leaf.leaf_id, next_entry)
+    if parts:
+        out.set_entry(nid_maps[0][parts[0].entry])
+    return out

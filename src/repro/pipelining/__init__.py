@@ -20,13 +20,20 @@ from .perfect import (
     pipeline_loop,
     pipeline_loop_post,
 )
+from .program import (
+    ProgramPipelineResult,
+    SegmentSchedule,
+    compact_while,
+    pipeline_program,
+)
 from .unwind import UnwoundLoop, iteration_locals, unwind_counted, unwind_implicit
 
 __all__ = [
     "PipelinePattern", "PipelineResult", "PostPipelineResult",
-    "RowSignature", "ThroughputEstimate", "UnwoundLoop", "default_unroll",
+    "ProgramPipelineResult", "RowSignature", "SegmentSchedule",
+    "ThroughputEstimate", "UnwoundLoop", "compact_while", "default_unroll",
     "estimate_ii", "find_pattern", "find_pattern_in_signatures",
     "graph_throughput", "iteration_locals", "main_chain", "ops_signature",
-    "pipeline_loop", "pipeline_loop_post", "retire_rows", "row_signature",
-    "unwind_counted", "unwind_implicit",
+    "pipeline_loop", "pipeline_loop_post", "pipeline_program",
+    "retire_rows", "row_signature", "unwind_counted", "unwind_implicit",
 ]

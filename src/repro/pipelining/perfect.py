@@ -231,15 +231,13 @@ def _measure(result: PipelineResult, *, verify: bool,
 
 def _compare_mem(name: str, seed: int, mem_a: dict, mem_b: dict,
                  default) -> None:
-    import math
+    from ..simulator.check import values_close
 
     cells = set(mem_a) | set(mem_b)
     for cell in sorted(cells):
         va = mem_a.get(cell, default(*cell))
         vb = mem_b.get(cell, default(*cell))
-        same = (math.isclose(float(va), float(vb), rel_tol=1e-6, abs_tol=1e-6)
-                if isinstance(va, float) or isinstance(vb, float) else va == vb)
-        if not same:
+        if not values_close(va, vb):
             raise EquivalenceError(
                 f"{name} seed {seed}: pipelined memory diverges at {cell}: "
                 f"{va!r} != {vb!r}")

@@ -1,0 +1,279 @@
+"""Scheduling whole loop programs: counted, non-counted, sequenced.
+
+The paper's evaluation pipelines one counted loop at a time; GRiP's
+percolation framework, however, is defined over arbitrary CJ-tree
+control flow.  This module extends the driver to
+:class:`~repro.ir.loops.LoopProgram` shapes -- sequences of counted
+(``for``) and non-counted (``while``) loops sharing scalar state --
+with one load-bearing soundness rule:
+
+**code motion never crosses a loop boundary.**  Each loop is scheduled
+as an isolated segment on its own graph and the results are
+re-concatenated (:func:`~repro.ir.loops.concat_graphs`), so GRiP and
+gap prevention only ever see a single loop's (acyclic, unwound) region
+at a time:
+
+* **counted segments** run the full Perfect Pipelining flow exactly as
+  before -- unwind ``K`` iterations, GRiP-compact, detect the steady
+  kernel -- with the segment's ``live_out`` registers pinned live at
+  exit so clean-up keeps values later segments read;
+* **while segments** have an *unknown trip count*: there is no static
+  iteration to tag, so unwinding and pattern detection **decline**.
+  Instead the condition region and the body region are each compacted
+  locally by list scheduling (:func:`compact_while`), preserving the
+  header's exit test before any body effect; the data-dependent back
+  edge stays in the graph and the simulator/bundle VM execute it for
+  however many iterations the data dictates.
+
+Program-level measurement runs the combined scheduled graph against
+the combined sequential reference on identical randomized states --
+memory must agree, which makes every multi-loop data point double as a
+correctness check, exactly like the Table-1 flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+
+from ..ir.builder import SequentialBuilder, straightline_graph
+from ..ir.cjtree import EXIT
+from ..ir.graph import ProgramGraph
+from ..ir.loops import CountedLoop, LoopProgram, WhileLoop, concat_graphs
+from ..machine.model import MachineConfig
+from ..scheduling.grip import GRiPScheduler, ScheduleResult
+from ..scheduling.listsched import list_schedule
+from ..scheduling.priority import Heuristic, PaperHeuristic
+from ..simulator.check import check_equivalent, initial_state, input_registers
+from ..simulator.interp import run
+from .pattern import PipelinePattern, ThroughputEstimate, find_pattern, graph_throughput
+from .perfect import default_unroll
+from .unwind import UnwoundLoop, unwind_counted
+
+
+def compact_while(loop: WhileLoop, machine: MachineConfig, *,
+                  heuristic: Heuristic | None = None) -> ProgramGraph:
+    """Compact one while loop within a single iteration (no unwinding).
+
+    The trip count is unknown, so cross-iteration motion is off the
+    table; what remains is packing each region into wide instructions:
+
+    * the condition ops are list-scheduled into header rows,
+    * the exit jump keeps its own node after them (its condition must
+      come from instruction-entry state, and no body effect may leak
+      onto the exit path),
+    * the body ops are list-scheduled into rows behind the jump,
+    * the back edge returns to the first header row.
+
+    Latency maps are ignored here exactly as GRiP ignores them: the
+    percolation framework is single-cycle and the bundle VM's
+    scoreboard realizes multi-cycle timing afterwards.
+    """
+    sched_machine = (machine if machine.latencies is None
+                     else dc_replace(machine, latencies=None))
+    builder = SequentialBuilder()
+    graph = builder.graph
+
+    def append_row(ops) -> int | None:
+        if not ops:
+            return None
+        node = builder.append(ops[0])
+        for op in ops[1:]:
+            graph.add_op(node.nid, op)
+        return node.nid
+
+    for op in loop.preheader_ops:
+        builder.append(op)
+    header: int | None = None
+    for row in list_schedule(loop.cond_ops, sched_machine,
+                             heuristic=heuristic).rows:
+        nid = append_row(row)
+        if nid is not None and header is None:
+            header = nid
+    cj_node = builder.append_cjump(loop.cj_op, true_target=EXIT)
+    if header is None:
+        header = cj_node.nid
+    for row in list_schedule(loop.body_ops, sched_machine,
+                             heuristic=heuristic).rows:
+        append_row(row)
+    builder.close_loop(header)
+    return graph
+
+
+@dataclass
+class SegmentSchedule:
+    """One loop of a program, scheduled in isolation."""
+
+    loop: CountedLoop | WhileLoop
+    kind: str                       # "counted" | "while"
+    graph: ProgramGraph             # the scheduled segment
+    unwound: UnwoundLoop | None = None
+    schedule: ScheduleResult | None = None
+    pattern: PipelinePattern | None = None
+    throughput: ThroughputEstimate | None = None
+
+    @property
+    def converged(self) -> bool:
+        """Counted: steady kernel found; while: trivially converged
+        (single-iteration compaction has no steady state to find)."""
+        if self.kind != "counted":
+            return True
+        if self.pattern is not None:
+            return True
+        return self.throughput is not None and self.throughput.steady
+
+    @property
+    def initiation_interval(self) -> float | None:
+        if self.kind != "counted":
+            return None
+        if self.pattern is not None:
+            return self.pattern.initiation_interval
+        if self.throughput is not None and self.throughput.steady:
+            return self.throughput.ii
+        return None
+
+
+@dataclass
+class ProgramPipelineResult:
+    """Everything reported about one scheduled loop program."""
+
+    program: LoopProgram
+    machine: MachineConfig
+    segments: list[SegmentSchedule]
+    graph: ProgramGraph             # combined scheduled graph
+    measured_seq_cycles: int | None = None
+    measured_par_cycles: int | None = None
+    seeds: list[int] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        return all(seg.converged for seg in self.segments)
+
+    @property
+    def periodic(self) -> bool:
+        """Every counted segment found an exact periodic kernel (while
+        segments have no kernel by definition and don't count against)."""
+        return all(seg.pattern is not None for seg in self.segments
+                   if seg.kind == "counted")
+
+    @property
+    def measured_speedup(self) -> float | None:
+        if not self.measured_seq_cycles or not self.measured_par_cycles:
+            return None
+        return self.measured_seq_cycles / self.measured_par_cycles
+
+    @property
+    def speedup(self) -> float | None:
+        """Program-level speedup: measured, whole-run (ramp included).
+
+        Multi-loop and non-counted programs have no single analytic II,
+        so the reported metric is the simulated cycle ratio over the
+        full program window.
+        """
+        return self.measured_speedup
+
+    def summary(self) -> str:
+        lines = [f"{self.program.name} on {self.machine}: "
+                 f"{len(self.segments)} segment(s)"]
+        for i, seg in enumerate(self.segments):
+            if seg.kind == "counted":
+                ii = seg.initiation_interval
+                detail = (f"II={ii:.3f}" if ii is not None
+                          else "NOT CONVERGED")
+                lines.append(f"  L{i} counted: {detail}")
+            else:
+                lines.append(
+                    f"  L{i} while: compacted to "
+                    f"{len(seg.graph.nodes)} rows/iteration "
+                    f"(trip count unknown; pipelining declined)")
+        if self.measured_speedup is not None:
+            lines.append(f"  speedup (measured, whole program): "
+                         f"{self.measured_speedup:.2f}")
+        return "\n".join(lines)
+
+
+def pipeline_program(program: LoopProgram, machine: MachineConfig, *,
+                     unroll: int | None = None,
+                     heuristic: Heuristic | None = None,
+                     gap_prevention: bool = True,
+                     allow_speculation: bool = True,
+                     measure: bool = True,
+                     verify: bool = True,
+                     verify_analysis: bool = False,
+                     seeds: tuple[int, ...] = (0,)) -> ProgramPipelineResult:
+    """Schedule a whole loop program, one isolated segment at a time.
+
+    ``verify_analysis`` attaches a verifying
+    :class:`~repro.analysis.incremental.AnalysisManager` to every
+    counted segment before GRiP runs (the fuzz lane's journal check).
+    """
+    segments: list[SegmentSchedule] = []
+    for lp in program.loops:
+        if isinstance(lp, CountedLoop):
+            k = unroll if unroll is not None else default_unroll(machine, lp)
+            unwound = unwind_counted(lp, k)
+            if verify_analysis:
+                from ..analysis.incremental import AnalysisManager
+
+                AnalysisManager(unwound.graph, verify=True)
+            scheduler = GRiPScheduler(
+                machine, heuristic or PaperHeuristic(),
+                gap_prevention=gap_prevention,
+                allow_speculation=allow_speculation)
+            sched = scheduler.schedule(unwound.graph,
+                                       ranking_ops=unwound.ops,
+                                       exit_live=lp.live_out)
+            segments.append(SegmentSchedule(
+                loop=lp, kind="counted", graph=unwound.graph,
+                unwound=unwound, schedule=sched,
+                pattern=find_pattern(unwound, unwound.graph),
+                throughput=graph_throughput(unwound, unwound.graph)))
+        else:
+            segments.append(SegmentSchedule(
+                loop=lp, kind="while",
+                graph=compact_while(lp, machine, heuristic=heuristic)))
+    graphs = [seg.graph for seg in segments]
+    if program.epilogue_ops:
+        graphs.append(straightline_graph(program.epilogue_ops))
+    combined = concat_graphs(graphs)
+    result = ProgramPipelineResult(
+        program=program, machine=machine, segments=segments,
+        graph=combined, seeds=list(seeds))
+    if measure:
+        _measure_program(result, verify=verify, seeds=seeds)
+    return result
+
+
+def _measure_program(result: ProgramPipelineResult, *, verify: bool,
+                     seeds: tuple[int, ...]) -> None:
+    """Simulate sequential vs scheduled over the whole program window.
+
+    With ``verify`` the paired runs go through
+    :func:`~repro.simulator.check.check_equivalent` -- the one shared
+    memory comparator (NaN-aware) -- so every multi-loop measurement
+    doubles as a correctness check, exactly like the Table-1 flow.
+    """
+    seq_graph = result.program.graph
+    par_graph = result.graph
+    per_pass = max(1, result.program.ops_per_iteration)
+    iters = max((seg.unwound.iterations for seg in result.segments
+                 if seg.unwound is not None), default=16)
+    budget = max(200_000, 100 * per_pass * iters)
+    if verify:
+        report = check_equivalent(seq_graph, par_graph, seeds=seeds,
+                                  max_cycles=budget)
+        result.measured_seq_cycles = sum(report.cycles_a)
+        result.measured_par_cycles = sum(report.cycles_b)
+        return
+    inputs = input_registers(seq_graph) | input_registers(par_graph)
+    seq_total = par_total = 0
+    for seed in seeds:
+        ra = run(seq_graph, initial_state(seed, inputs), max_cycles=budget)
+        rb = run(par_graph, initial_state(seed, inputs), max_cycles=budget)
+        if not ra.exited or not rb.exited:
+            raise RuntimeError(
+                f"{result.program.name}: program measurement run did "
+                f"not terminate")
+        seq_total += ra.cycles
+        par_total += rb.cycles
+    result.measured_seq_cycles = seq_total
+    result.measured_par_cycles = par_total

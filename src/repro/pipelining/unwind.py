@@ -75,10 +75,11 @@ def iteration_locals(loop: CountedLoop) -> frozenset[Reg]:
 
     A destination is iteration-local when it is written before any body
     read (no use of the entry value) and is not carried or live after
-    the loop.  The counter, declared carried registers and registers the
-    epilogue reads are excluded.
+    the loop.  The counter, declared carried registers, registers the
+    epilogue reads and the loop's ``live_out`` set (read by later
+    segments of a :class:`~repro.ir.loops.LoopProgram`) are excluded.
     """
-    carried = set(loop.carried_regs) | {loop.counter}
+    carried = set(loop.carried_regs) | {loop.counter} | set(loop.live_out)
     for op in loop.epilogue_ops:
         carried |= op.uses()
     seen_defs: set[Reg] = set()

@@ -45,10 +45,26 @@ class EquivalenceReport:
 
 
 def _close(a: Number, b: Number, tol: float = 1e-6) -> bool:
+    """Tolerant value comparison, total over the float specials.
+
+    ``math.isclose(nan, nan)`` is False, so before this grew NaN
+    handling two executors that *agreed* on a NaN result (inf - inf,
+    0 * inf, comparisons feeding selects) were reported as divergent --
+    the equivalence and differential checkers could not audit any
+    kernel whose data hit the specials.  NaN now matches NaN (payloads
+    are not distinguished; no operation here produces signalling NaNs)
+    and infinities match by sign via ``isclose`` as before.
+    """
     if isinstance(a, float) or isinstance(b, float):
         fa, fb = float(a), float(b)
+        if math.isnan(fa) or math.isnan(fb):
+            return math.isnan(fa) and math.isnan(fb)
         return math.isclose(fa, fb, rel_tol=tol, abs_tol=tol)
     return a == b
+
+
+#: public name for the NaN-aware comparison (other checkers reuse it)
+values_close = _close
 
 
 def initial_state(seed: int, regs: set[str]) -> MachineState:

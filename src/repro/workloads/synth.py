@@ -41,11 +41,34 @@ The declared scenario space (one :class:`Scenario` per point):
     arithmetic operator alphabet; and the loop step (stride-2 sweeps
     like LL2).
 
+``n_loops`` / ``while_density``
+    Program shape beyond the single counted loop: ``n_loops`` top-level
+    loops are emitted in sequence (sharing arrays and reduction
+    scalars, so cross-loop memory and scalar dependences are real);
+    each loop is a non-counted ``while`` with probability
+    ``while_density``.  Generated whiles always terminate: the
+    condition is ``w < limit`` over a dedicated counter param that the
+    loop's (non-droppable) tail statement advances by 1, with a
+    read-only param as the limit -- but the *compiler* sees only an
+    opaque data-dependent exit, so the whole trip-count-unknown
+    pipeline is exercised.
+
+``special_density``
+    Probability that an expression leaf is a float-special generator:
+    ``1e308`` literals and doubly-scaled array reads that overflow to
+    ``inf`` at run time, and differences of two overflows that produce
+    ``NaN`` -- auditing the executors' (and checkers') IEEE-special
+    behavior.  Specials never reach index positions or divisors.
+
 **Seed-reproducibility contract.**  Generation is a pure function of
 the :class:`Scenario`: ``generate(sc).source()`` depends only on the
 dataclass fields, via ``random.Random`` seeded with a string (stable
 across CPython versions and platforms).  ``scenario_from_seed(seed)``
-is likewise pure, so a fuzz seed alone pins the whole program.
+is likewise pure, so a fuzz seed alone pins the whole program.  The
+seed string renders new axes only at non-default values
+(:meth:`Scenario.seed_key`), and every new axis draws from the rng
+only when enabled, so scenarios predating an axis generate the same
+program after the axis lands.
 
 Division is only ever emitted with a *read-only* declared param or a
 positive literal as the divisor: initial states give params values in
@@ -64,8 +87,6 @@ from __future__ import annotations
 import random
 from dataclasses import asdict, dataclass, field, replace
 
-from ..ir.loops import CountedLoop
-
 PATTERNS = ("stream", "reduction", "recurrence", "indirect", "mixed")
 
 #: Operator alphabet a scenario's ``opmix`` draws from.
@@ -79,9 +100,9 @@ _LITERALS = ("2", "3", "0.5", "1.5")
 class Scenario:
     """One point of the synthetic scenario space (program shape only).
 
-    Machine shape (FU count, typed budgets) and unroll factor are run
-    axes, not program axes; the fuzz lane derives them separately per
-    seed (:func:`repro.bench.fuzz.case_from_seed`).
+    Machine shape (FU count, typed budgets, latency map) and unroll
+    factor are run axes, not program axes; the fuzz lane derives them
+    separately per seed (:func:`repro.bench.fuzz.case_from_seed`).
     """
 
     seed: int = 0
@@ -93,6 +114,38 @@ class Scenario:
     mem_ratio: float = 0.5
     opmix: tuple[str, ...] = ("+", "*")
     step: int = 1
+    #: probability each top-level loop is a non-counted ``while``
+    while_density: float = 0.0
+    #: top-level loops emitted in sequence
+    n_loops: int = 1
+    #: probability an expression leaf generates a float special
+    special_density: float = 0.0
+
+    def seed_key(self) -> str:
+        """The rng seed string: stable across scenario-space growth.
+
+        Renders the original fields in dataclass-repr form and appends
+        newer axes only at non-default values, so a scenario that
+        predates an axis keeps generating byte-identical programs.
+        """
+        base = (
+            f"Scenario(seed={self.seed!r}, pattern={self.pattern!r}, "
+            f"stmts={self.stmts!r}, depth={self.depth!r}, "
+            f"inner_trip={self.inner_trip!r}, "
+            f"cond_density={self.cond_density!r}, "
+            f"mem_ratio={self.mem_ratio!r}, opmix={self.opmix!r}, "
+            f"step={self.step!r}"
+        )
+        extras = []
+        if self.while_density:
+            extras.append(f"while_density={self.while_density!r}")
+        if self.n_loops != 1:
+            extras.append(f"n_loops={self.n_loops!r}")
+        if self.special_density:
+            extras.append(f"special_density={self.special_density!r}")
+        if extras:
+            base += ", " + ", ".join(extras)
+        return base + ")"
 
     def to_dict(self) -> dict:
         d = asdict(self)
@@ -101,42 +154,93 @@ class Scenario:
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
+        """Build from a dict; fields absent in old artifacts default."""
         data = dict(data)
         data["opmix"] = tuple(data.get("opmix", ("+", "*")))
         return cls(**data)
 
 
 @dataclass(frozen=True)
-class SynthProgram:
-    """A generated program: declarations plus rendered DSL statements.
+class SynthLoop:
+    """One rendered top-level loop of a generated program.
 
-    ``statements`` is the shrink granularity of the fuzz lane: each
-    entry is one self-contained DSL statement (an assignment or a
-    one-line ``if/else`` block), so dropping entries always leaves a
-    parseable program.  Declarations stay fixed -- the front end only
-    validates *used* names, so unused decls are harmless.
+    ``statements`` is the droppable payload; ``tail`` holds statements
+    that must survive shrinking for the loop to stay well-formed (a
+    while loop's counter advance -- dropping it would produce a
+    non-terminating program).
+    """
+
+    kind: str                       # "for" | "while"
+    header: str                     # e.g. "for k = 0 to n step 2"
+    statements: tuple[str, ...]
+    tail: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SynthProgram:
+    """A generated program: declarations plus rendered DSL loops.
+
+    The flat statement list (payloads of every loop, in order) is the
+    shrink granularity of the fuzz lane: each entry is one
+    self-contained DSL statement (an assignment or a one-line
+    ``if/else`` block), so dropping entries always leaves a parseable
+    program.  A loop whose payload empties is dropped wholesale.
+    Declarations stay fixed -- the front end only validates *used*
+    names, so unused decls are harmless.
     """
 
     scenario: Scenario
     params: tuple[str, ...]
     arrays: tuple[str, ...]
-    statements: tuple[str, ...]
+    loops: tuple[SynthLoop, ...]
+
+    @property
+    def statements(self) -> tuple[str, ...]:
+        """Droppable statements of every loop, flattened in order."""
+        return tuple(s for lp in self.loops for s in lp.statements)
+
+    @property
+    def n_statements(self) -> int:
+        return sum(len(lp.statements) for lp in self.loops)
 
     def with_statements(self, statements: tuple[str, ...]) -> "SynthProgram":
-        return replace(self, statements=statements)
+        """Replace the payload of a *single-loop* program (legacy API)."""
+        if len(self.loops) != 1:
+            raise ValueError("with_statements is single-loop only; use drop_statement")
+        lp = replace(self.loops[0], statements=tuple(statements))
+        return replace(self, loops=(lp,))
+
+    def drop_statement(self, i: int) -> "SynthProgram":
+        """Program without flat statement ``i``; empty loops vanish."""
+        out: list[SynthLoop] = []
+        seen = 0
+        for lp in self.loops:
+            n = len(lp.statements)
+            if seen <= i < seen + n:
+                stmts = lp.statements[: i - seen] + lp.statements[i - seen + 1 :]
+                if stmts:
+                    out.append(replace(lp, statements=stmts))
+            else:
+                out.append(lp)
+            seen += n
+        if not out:
+            raise ValueError("cannot drop the last remaining statement")
+        return replace(self, loops=tuple(out))
 
     def source(self) -> str:
         """Render the program as loop-DSL source text."""
-        step = f" step {self.scenario.step}" if self.scenario.step != 1 else ""
         lines = [f"# synth seed={self.scenario.seed} pattern={self.scenario.pattern}"]
         if self.params:
             lines.append("param " + ", ".join(self.params) + ";")
         if self.arrays:
             lines.append("array " + ", ".join(self.arrays) + ";")
-        lines.append(f"for k = 0 to n{step} {{")
-        for stmt in self.statements:
-            lines.append("    " + stmt)
-        lines.append("}")
+        for lp in self.loops:
+            lines.append(f"{lp.header} {{")
+            for stmt in lp.statements:
+                lines.append("    " + stmt)
+            for stmt in lp.tail:
+                lines.append("    " + stmt)
+            lines.append("}")
         return "\n".join(lines) + "\n"
 
 
@@ -155,6 +259,9 @@ def scenario_from_seed(seed: int) -> Scenario:
         mem_ratio=rng.choice((0.25, 0.5, 0.75)),
         opmix=_sample_opmix(rng),
         step=2 if rng.random() < 0.15 else 1,
+        while_density=rng.choice((0.0, 0.0, 0.0, 0.5, 1.0)),
+        n_loops=rng.choice((1, 1, 1, 1, 2, 2, 3)),
+        special_density=rng.choice((0.0, 0.0, 0.0, 0.2)),
     )
 
 
@@ -177,8 +284,10 @@ class _Gen:
     params: list[str] = field(default_factory=list)
     arrays: list[str] = field(default_factory=list)
     statements: list[str] = field(default_factory=list)
-    #: params the loop body writes (reduction accumulators)
+    #: params the loop body writes (reduction accumulators, while counters)
     written: set[str] = field(default_factory=set)
+    #: index variable of the loop being generated ("k", or a while counter)
+    ivar: str = "k"
 
     # -- declarations ---------------------------------------------------
     def param(self, name: str) -> str:
@@ -192,18 +301,42 @@ class _Gen:
         return name
 
     # -- expression leaves ----------------------------------------------
+    def idx(self, offset: int) -> str:
+        """The current loop's index expression ``ivar + offset``."""
+        return _index(offset, self.ivar)
+
     def read(self, j: int) -> str:
         """An affine array read ``s?[k+c]`` shifted by the nest copy."""
         arr = self.rng.choice(self.arrays[: self._n_sources()])
         off = self.rng.choice((-1, 0, 0, 1, 2, 3)) + j
-        return f"{arr}[{_index(off)}]"
+        return f"{arr}[{self.idx(off)}]"
 
     def scalar(self) -> str:
         if self.rng.random() < 0.5:
             return self.rng.choice([p for p in self.params if p != "n"])
         return self.rng.choice(_LITERALS)
 
+    def special(self, j: int) -> str:
+        """A float-special generator (inf/NaN at run time).
+
+        Initial array/param values sit in ``[0.125, 10.125]``, so one
+        ``* 1e308`` scaling lands near the overflow boundary and a
+        second overflows to ``inf``; subtracting two overflows yields
+        ``NaN``.  Kept out of index and divisor positions by
+        construction (only :meth:`leaf` calls this).
+        """
+        pick = self.rng.random()
+        if pick < 0.3:
+            return "1e308"
+        scaled = f"(({self.read(j)} * 1e308) * 1e308)"
+        if pick < 0.7:
+            return scaled  # -> +inf at run time
+        other = f"(({self.read(j)} * 1e308) * 1e308)"
+        return f"({scaled} - {other})"  # inf - inf -> NaN
+
     def leaf(self, j: int) -> str:
+        if self.sc.special_density > 0 and self.rng.random() < self.sc.special_density:
+            return self.special(j)
         if self.rng.random() < self.sc.mem_ratio:
             return self.read(j)
         return self.scalar()
@@ -251,7 +384,7 @@ class _Gen:
 
     def stmt_stream(self, s: int, j: int) -> None:
         dst = self.array(f"d{s}")
-        target = f"{dst}[{_index(j)}]"
+        target = f"{dst}[{self.idx(j)}]"
         value = self.expr(j)
         if self.rng.random() < 0.3:
             temp = f"u{s}_{j}"
@@ -270,13 +403,13 @@ class _Gen:
             self.statements.append(f"{acc} = ({acc} {op} {value});")
         if self.rng.random() < 0.5:
             dst = self.array(f"d{s}")
-            self.statements.append(f"{dst}[{_index(j)}] = {acc};")
+            self.statements.append(f"{dst}[{self.idx(j)}] = {acc};")
 
     def stmt_recurrence(self, s: int, j: int) -> None:
         rec = self.array(f"r{s}")
         dist = self.rng.choice((1, 2))
-        target = f"{rec}[{_index(dist + j)}]"
-        value = _apply(self.combiner(), f"{rec}[{_index(j)}]", self.expr(j, 1))
+        target = f"{rec}[{self.idx(dist + j)}]"
+        value = _apply(self.combiner(), f"{rec}[{self.idx(j)}]", self.expr(j, 1))
         self.statements.append(f"{target} = {value};")
 
     def stmt_indirect(self, s: int, j: int) -> None:
@@ -287,14 +420,14 @@ class _Gen:
             base = self.array(f"b{s}")
             dst = self.array(f"g{s}")
             value = _apply(
-                self.combiner(), f"{base}[ix[{_index(j)}]]", self.leaf(j)
+                self.combiner(), f"{base}[ix[{self.idx(j)}]]", self.leaf(j)
             )
             self.statements.append(
-                self.maybe_conditional(j, f"{dst}[{_index(j)}]", value)
+                self.maybe_conditional(j, f"{dst}[{self.idx(j)}]", value)
             )
         else:
             hst = self.array(f"h{s}")
-            cell = f"{hst}[{ix}[{_index(j)}]]"
+            cell = f"{hst}[{ix}[{self.idx(j)}]]"
             self.statements.append(f"{cell} = ({cell} + {self.scalar()});")
 
     def stmt(self, kind: str, s: int, j: int) -> None:
@@ -314,22 +447,31 @@ def _apply(op: str, a: str, b: str) -> str:
     return f"({a} {op} {b})"
 
 
-def _index(offset: int) -> str:
-    """Render the affine index ``k + offset``."""
+def _index(offset: int, var: str = "k") -> str:
+    """Render the index ``var + offset``."""
     if offset == 0:
-        return "k"
+        return var
     if offset > 0:
-        return f"k+{offset}"
-    return f"k-{-offset}"
+        return f"{var}+{offset}"
+    return f"{var}-{-offset}"
 
 
 def generate(sc: Scenario) -> SynthProgram:
-    """Generate the program for one scenario point (pure in ``sc``)."""
+    """Generate the program for one scenario point (pure in ``sc``).
+
+    Rng draws for newer axes (``while_density``, ``special_density``)
+    only happen when the axis is enabled, and the seed string omits
+    default-valued new fields, so legacy scenarios keep generating
+    byte-identical programs (the curated bench cells are pinned on
+    this).
+    """
     if sc.pattern not in PATTERNS:
         raise ValueError(f"unknown pattern {sc.pattern!r} (want {PATTERNS})")
-    if sc.stmts < 1 or sc.depth < 1 or sc.step < 1:
+    if sc.stmts < 1 or sc.depth < 1 or sc.step < 1 or sc.n_loops < 1:
         raise ValueError(f"degenerate scenario {sc!r}")
-    rng = random.Random(f"grip-synth-program:{sc!r}")
+    if not 0.0 <= sc.while_density <= 1.0 or not 0.0 <= sc.special_density <= 1.0:
+        raise ValueError(f"degenerate scenario {sc!r}")
+    rng = random.Random(f"grip-synth-program:{sc.seed_key()}")
     g = _Gen(rng=rng, sc=sc)
     g.param("p0")
     g.param("p1")
@@ -337,23 +479,57 @@ def generate(sc: Scenario) -> SynthProgram:
     for s in range(max(2, sc.stmts)):
         g.array(f"s{s}")
     copies = sc.inner_trip if sc.depth > 1 else 1
-    for s in range(sc.stmts):
-        if sc.pattern == "mixed":
-            kind = rng.choice(("stream", "reduction", "recurrence", "indirect"))
+    loops: list[SynthLoop] = []
+    for li in range(sc.n_loops):
+        is_while = sc.while_density > 0 and rng.random() < sc.while_density
+        tail: tuple[str, ...] = ()
+        if is_while:
+            # A dedicated counter param (seeded start in [0.125,
+            # 10.125]) advanced by the non-droppable tail; the limit is
+            # a read-only param, so the loop always terminates -- but
+            # only the *generator* knows that.  The +8 headroom keeps
+            # the data-dependent trip count usually positive (counter
+            # and limit draw from the same [0.125, 10.125] range;
+            # without it half of all initial states run the loop zero
+            # times and the semantic checks see nothing), while still
+            # leaving rare zero-trip states to exercise the
+            # immediate-exit path.
+            ctr = g.param(f"w{li}")
+            g.written.add(ctr)
+            limit = rng.choice(("p0", "p1"))
+            g.ivar = ctr
+            header = f"while ({ctr} < {limit} + 8)"
+            tail = (f"{ctr} = {ctr} + 1;",)
         else:
-            kind = sc.pattern
-        # A depth-2 nest: the same statement template instantiated per
-        # inner iteration j (rng state reset so only the j-shift of the
-        # affine offsets differs between copies).
-        template_state = rng.getstate()
-        for j in range(copies):
-            rng.setstate(template_state)
-            g.stmt(kind, s, j)
+            g.ivar = "k"
+            step = f" step {sc.step}" if sc.step != 1 else ""
+            header = f"for k = 0 to n{step}"
+        g.statements = []
+        for s in range(sc.stmts):
+            if sc.pattern == "mixed":
+                kind = rng.choice(("stream", "reduction", "recurrence", "indirect"))
+            else:
+                kind = sc.pattern
+            # A depth-2 nest: the same statement template instantiated
+            # per inner iteration j (rng state reset so only the
+            # j-shift of the affine offsets differs between copies).
+            template_state = rng.getstate()
+            for j in range(copies):
+                rng.setstate(template_state)
+                g.stmt(kind, s, j)
+        loops.append(
+            SynthLoop(
+                kind="while" if is_while else "for",
+                header=header,
+                statements=tuple(g.statements),
+                tail=tail,
+            )
+        )
     return SynthProgram(
         scenario=sc,
         params=tuple(g.params),
         arrays=tuple(g.arrays),
-        statements=tuple(g.statements),
+        loops=tuple(loops),
     )
 
 
@@ -398,7 +574,38 @@ CURATED: dict[str, Scenario] = {
         mem_ratio=0.5,
         opmix=("+", "*", "max"),
     ),
+    # Non-counted / multi-loop shapes (compile to LoopProgram, bench
+    # reports the measured whole-program speedup; POST has no program
+    # flow, so these sweep grip+vm only).
+    "SYNWHL": Scenario(
+        seed=207,
+        pattern="stream",
+        stmts=2,
+        mem_ratio=0.5,
+        opmix=("+", "-", "*"),
+        while_density=1.0,
+    ),
+    "SYNSEQ": Scenario(
+        seed=208,
+        pattern="mixed",
+        stmts=2,
+        mem_ratio=0.5,
+        opmix=("+", "*"),
+        n_loops=3,
+        while_density=0.35,
+    ),
 }
+
+#: curated kernels whose scenario emits a LoopProgram (no analytic II,
+#: no POST baseline); consult before crossing with backends.
+PROGRAM_KERNELS = frozenset(
+    name for name, sc in CURATED.items() if sc.n_loops > 1 or sc.while_density > 0
+)
+
+
+def is_program_kernel(name: str) -> bool:
+    """Does this curated kernel compile to a multi-segment LoopProgram?"""
+    return name.upper() in PROGRAM_KERNELS
 
 
 def kernel_names() -> list[str]:
@@ -406,8 +613,13 @@ def kernel_names() -> list[str]:
     return list(CURATED)
 
 
-def kernel(name: str, n: int = 16) -> CountedLoop:
-    """Build one curated synthetic kernel with trip count ``n``."""
+def kernel(name: str, n: int = 16):
+    """Build one curated synthetic kernel with trip count ``n``.
+
+    Returns a :class:`CountedLoop` for classic single-counted-loop
+    scenarios, a :class:`~repro.ir.loops.LoopProgram` for while/multi-
+    loop scenarios (``SYNWHL``/``SYNSEQ``).
+    """
     from ..frontend.lower import compile_dsl
 
     sc = CURATED[name.upper()]

@@ -100,6 +100,124 @@ class TestLatencyModel:
         rep = differential_check(loop.graph, MachineConfig(fus=4), seeds=(0,))
         assert rep.vm_cycles == rep.vm_steps
 
+    def test_scoreboard_stall_accounting_exact(self):
+        """Hand-computed realized cycles for a dependent chain: LOAD
+        (lat 2) -> MUL (lat 4) -> STORE (lat 2) issues at 0/2/6, the
+        store's write drains at 8."""
+        from repro.ir import load, mul, store, straightline_graph
+        from repro.backend.vm import BundleVM
+
+        g = straightline_graph([
+            load("r1", "x", offset=0, name="L"),
+            mul("r2", "r1", "r1", name="M"),
+            store("y", "r2", offset=0, name="S"),
+        ])
+        machine = MachineConfig(fus=4, latencies={OpKind.LOAD: 2,
+                                                  OpKind.MUL: 4,
+                                                  OpKind.STORE: 2})
+        res = BundleVM(encode(g, machine)).run()
+        assert res.steps == 3
+        assert res.cycles == 8
+
+    def test_independent_ops_do_not_stall(self):
+        """Ops with no register overlap issue back to back: realized
+        cycles stay steps + final drain only."""
+        from repro.ir import load, straightline_graph
+        from repro.backend.vm import BundleVM
+
+        g = straightline_graph([
+            load("r1", "x", offset=0, name="L1"),
+            load("r2", "x", offset=1, name="L2"),
+            load("r3", "x", offset=2, name="L3"),
+        ])
+        machine = MachineConfig(fus=4, latencies={OpKind.LOAD: 3})
+        res = BundleVM(encode(g, machine)).run()
+        assert res.steps == 3
+        # issues at 0,1,2; last load ready at 2+3=5
+        assert res.cycles == 5
+
+    def test_latency_scoreboard_on_scheduled_kernels(self):
+        """Latency-mapped machines in the differential (the fuzz
+        lane's new axis): the one-bundle-per-tree-cycle contract must
+        hold and realized cycles must never undercut steps."""
+        machine = MachineConfig(fus=4, latencies={OpKind.MUL: 3,
+                                                  OpKind.LOAD: 2,
+                                                  OpKind.DIV: 6})
+        for name in ("LL1", "LL5"):
+            loop = livermore.kernel(name, 5)
+            res = pipeline_loop(loop, MachineConfig(fus=4), unroll=5,
+                                measure=False)
+            rep = differential_check(res.unwound.graph, machine, seeds=(0,))
+            assert rep.vm_steps == rep.interp_cycles
+            assert all(c >= s for c, s in zip(rep.vm_cycles, rep.vm_steps))
+
+
+class TestFloatSpecials:
+    """Regression: the checkers' value comparison is total over IEEE
+    specials.  ``math.isclose(nan, nan)`` is False, so before the fix
+    two executors *agreeing* on NaN were reported divergent -- every
+    kernel whose data hit the specials was un-auditable."""
+
+    def test_values_close_on_specials(self):
+        from repro.simulator.check import values_close
+
+        nan, inf = float("nan"), float("inf")
+        assert values_close(nan, nan)
+        assert values_close(inf, inf)
+        assert values_close(-inf, -inf)
+        assert not values_close(nan, 1.0)
+        assert not values_close(1.0, nan)
+        assert not values_close(inf, -inf)
+        assert not values_close(inf, 1.0)
+
+    def _special_loop(self):
+        from repro.frontend import compile_dsl
+
+        # d overflows to +inf; e = inf - inf = NaN; both stored.
+        src = """
+        param p, n; array x, d, e;
+        for k = 0 to n {
+            d[k] = (x[k] * 1e308) * 1e308;
+            e[k] = ((x[k] * 1e308) * 1e308) - ((x[k+1] * 1e308) * 1e308);
+        }
+        """
+        return compile_dsl(src, 5, name="specials")
+
+    def test_nan_inf_programs_pass_differential(self):
+        import math
+
+        loop = self._special_loop()
+        machine = MachineConfig(fus=4)
+        rep = differential_check(loop.graph, machine, seeds=(0, 1))
+        assert rep.interp_cycles == rep.vm_steps
+        # and the run genuinely produced specials (not a vacuous pass)
+        from repro.simulator.check import initial_state, input_registers
+        from repro.simulator.interp import run
+
+        st = initial_state(0, input_registers(loop.graph))
+        run(loop.graph, st, max_cycles=100_000)
+        vals = [v for v in st.mem.values() if isinstance(v, float)]
+        assert any(math.isinf(v) for v in vals)
+        assert any(math.isnan(v) for v in vals)
+
+    def test_scheduled_special_program_stays_equivalent(self):
+        from repro.pipelining import pipeline_loop as pl
+        from repro.simulator.check import check_equivalent
+
+        loop = self._special_loop()
+        res = pl(loop, MachineConfig(fus=4), unroll=5, measure=False)
+        check_equivalent(loop.graph, res.unwound.graph, seeds=(0, 1))
+        differential_check(res.unwound.graph, MachineConfig(fus=4),
+                           seeds=(0, 1))
+
+    def test_old_comparison_was_the_bug(self):
+        """The pre-fix comparison (plain isclose) must reject an
+        agreeing NaN pair -- pinning that the fix is load-bearing."""
+        import math
+
+        assert not math.isclose(float("nan"), float("nan"),
+                                rel_tol=1e-6, abs_tol=1e-6)
+
 
 class TestDivergenceDetection:
     def test_corrupted_program_is_caught(self):

@@ -173,6 +173,45 @@ class TestSynthFamily:
         assert {r.family for r in art.records} == {"ll"}
 
 
+class TestProgramKernels:
+    """SYNWHL / SYNSEQ: LoopProgram-shaped bench cells."""
+
+    def test_post_skipped_for_program_kernels(self):
+        jobs = make_jobs(["SYNWHL", "SYNRED"], [2], ["grip", "post", "vm"])
+        assert ("SYNWHL", 2, "post") not in {
+            (j.kernel, j.fus, j.backend) for j in jobs}
+        assert ("SYNRED", 2, "post") in {
+            (j.kernel, j.fus, j.backend) for j in jobs}
+
+    def test_program_grip_record_reports_measured_speedup(self):
+        rec = run_job(BenchJob(kernel="SYNSEQ", fus=4, backend="grip",
+                               unroll=6, family="synth"))
+        assert rec.key == ("SYNSEQ", 4, "grip")
+        assert rec.speedup is not None and rec.speedup > 0
+        assert rec.ii is None          # no analytic II for programs
+        assert rec.converged
+
+    def test_program_vm_realized_pairs_same_state(self):
+        """Under a single-cycle machine the realized speedup must equal
+        the measured schedule speedup: both ratios are over one shared
+        initial state, and realized cycles == tree cycles without
+        latencies.  (Regression: pairing seq cycles from one state
+        with VM cycles from another silently changed the while loop's
+        trip count between numerator and denominator.)"""
+        rec = run_job(BenchJob(kernel="SYNWHL", fus=4, backend="vm",
+                               unroll=6, family="synth"))
+        assert rec.realized_cycles is not None
+        assert rec.vm_steps == rec.realized_cycles  # single-cycle ops
+        assert rec.realized_speedup == pytest.approx(rec.speedup)
+
+    def test_smoke_includes_while_kernel(self):
+        jobs = smoke_jobs()
+        kernels = {j.kernel for j in jobs}
+        assert "SYNWHL" in kernels
+        assert not any(j.kernel == "SYNWHL" and j.backend == "post"
+                       for j in jobs)
+
+
 class TestRunnerUnits:
     def test_run_job_grip_record(self):
         rec = run_job(BenchJob(kernel="LL3", fus=2, backend="grip",

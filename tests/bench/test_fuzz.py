@@ -66,10 +66,17 @@ class TestInjectedBug:
     """The acceptance bar: a deliberately injected scheduler bug must
     be caught, shrunk to a minimized repro artifact, and replayable."""
 
+    #: first seed of the pinned 2-seed tamper campaign.  Not every seed
+    #: can observe a dropped store: a program whose loops overwrite the
+    #: same cells with identical (constant-folded) values masks the
+    #: drop legitimately, so the test pins seeds whose first-in-RPO
+    #: store is observable.
+    SEED0 = 3
+
     @pytest.fixture(scope="class")
     def campaign(self, tmp_path_factory):
         out = tmp_path_factory.mktemp("fuzz")
-        report = run_fuzz(2, 0, verify_every=0, out_dir=out,
+        report = run_fuzz(2, self.SEED0, verify_every=0, out_dir=out,
                           tamper="drop-store", log=lambda msg: None)
         return report, out
 
@@ -84,33 +91,37 @@ class TestInjectedBug:
 
     def test_artifact_schema(self, campaign):
         _, out = campaign
-        data = json.loads((out / "FUZZ_0.json").read_text())
+        data = json.loads((out / f"FUZZ_{self.SEED0}.json").read_text())
         assert data["kind"] == FUZZ_KIND
         assert data["schema"] == FUZZ_SCHEMA
-        assert data["seed"] == 0
+        assert data["seed"] == self.SEED0
         assert data["tamper"] == "drop-store"
         assert data["case"]["fus"] in (2, 4, 8)
+        assert data["case"]["typed_shape"] in ("balanced", "mem-starved",
+                                               "branch-rich")
+        assert "lat" in data["case"]
         assert "scenario" in data["case"]
-        assert data["source"].startswith("# synth seed=0")
+        assert data["source"].startswith(f"# synth seed={self.SEED0}")
         assert data["minimized"] is not None
         assert data["minimized"]["unroll"] <= data["case"]["unroll"]
 
     def test_minimized_is_no_larger(self, campaign):
         _, out = campaign
-        data = json.loads((out / "FUZZ_0.json").read_text())
+        data = json.loads((out / f"FUZZ_{self.SEED0}.json").read_text())
         orig_stmts = data["source"].count(";")
         mini_stmts = data["minimized"]["source"].count(";")
         assert mini_stmts <= orig_stmts
 
     def test_replay_reproduces(self, campaign):
         _, out = campaign
-        failure = replay(out / "FUZZ_0.json")
+        failure = replay(out / f"FUZZ_{self.SEED0}.json")
         assert failure is not None
         assert failure.stage in ("equivalence", "differential")
 
     def test_replay_cli_exit_codes(self, campaign):
         _, out = campaign
-        assert main(["fuzz", "--replay", str(out / "FUZZ_0.json")]) == 1
+        assert main(["fuzz", "--replay",
+                     str(out / f"FUZZ_{self.SEED0}.json")]) == 1
 
     def test_cli_exit_one_on_failures(self, tmp_path):
         rc = main(["fuzz", "--budget", "1", "--verify-every", "0",
@@ -120,13 +131,156 @@ class TestInjectedBug:
     def test_shrinker_reports_progress(self):
         """On a multi-statement program the shrinker must drop dead
         statements while the tampered failure persists."""
-        case = case_from_seed(2)  # seed 2: a 4-statement stream body
+        case = case_from_seed(4)  # seed 4: a 5-statement single loop
         program = generate(case.scenario)
         assert len(program.statements) > 1
         shrunk = shrink_case(case, program, tamper="drop-store")
         assert shrunk.attempts > 0
         assert len(shrunk.program.statements) >= 1
         assert len(shrunk.program.statements) <= len(program.statements)
+
+
+class TestWidenedMatrix:
+    """The PR-5 fuzz axes: latency maps, MEM-starved / BRANCH-rich
+    typed shapes, while/multi-loop scenarios."""
+
+    def test_new_axes_are_exercised(self):
+        cases = [case_from_seed(s) for s in range(60)]
+        assert any(c.lat is not None for c in cases)
+        shapes = {c.typed_shape for c in cases if c.typed}
+        assert {"balanced", "mem-starved", "branch-rich"} <= shapes
+        scs = [c.scenario for c in cases]
+        assert any(sc.while_density > 0 for sc in scs)
+        assert any(sc.n_loops > 1 for sc in scs)
+        assert any(sc.special_density > 0 for sc in scs)
+
+    def test_latency_machine_derivation(self):
+        from repro.bench.fuzz import LATENCY_MAPS
+
+        case = next(c for c in (case_from_seed(s) for s in range(60))
+                    if c.lat is not None)
+        machine = case.machine()
+        assert machine.latencies == LATENCY_MAPS[case.lat]
+
+    def test_while_scenario_runs_clean(self):
+        seed = next(s for s in range(60)
+                    if case_from_seed(s).scenario.while_density > 0)
+        assert run_case(case_from_seed(seed)) is None
+
+    def test_multi_loop_scenario_runs_clean_with_verify(self):
+        seed = next(s for s in range(60)
+                    if case_from_seed(s).scenario.n_loops > 1)
+        assert run_case(case_from_seed(seed), verify=True) is None
+
+    def test_special_scenario_runs_clean(self):
+        seed = next(s for s in range(60)
+                    if case_from_seed(s).scenario.special_density > 0)
+        assert run_case(case_from_seed(seed)) is None
+
+
+class TestStratification:
+    def test_stratified_seeds_balanced_and_pure(self):
+        from collections import Counter
+
+        from repro.bench.fuzz import STRATA, stratified_seeds, stratum_of
+        from repro.workloads.synth import scenario_from_seed
+
+        seeds = stratified_seeds(28, 0)
+        assert len(seeds) == 28
+        assert len(set(seeds)) == 28
+        assert seeds == stratified_seeds(28, 0)  # pure
+        counts = Counter(stratum_of(scenario_from_seed(s)) for s in seeds)
+        assert set(counts) == set(STRATA)
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_stratified_campaign_runs(self, tmp_path):
+        report = run_fuzz(7, 0, verify_every=0, out_dir=tmp_path,
+                          stratify=True, log=lambda msg: None)
+        assert report.ok
+        assert report.stratified
+        assert len(report.seeds) == 7
+        assert "stratified seeds" in report.render()
+
+    def test_cli_stratify_flag(self, tmp_path):
+        rc = main(["fuzz", "--budget", "2", "--seed", "0", "--stratify",
+                   "--verify-every", "0", "--out-dir", str(tmp_path)])
+        assert rc == 0
+
+
+class TestShrinkerRoundTrip:
+    """Satellite contract: a minimized ``FUZZ_<seed>.json`` must (a)
+    still fail under ``--replay`` and (b) be 1-minimal -- no single
+    droppable statement can be removed, and no smaller unroll from the
+    shrink ladder, while still reproducing the failure."""
+
+    SEED = 4  # multi-statement program whose tampered failure shrinks
+
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("shrink")
+        report = run_fuzz(1, self.SEED, verify_every=0, out_dir=out,
+                          tamper="drop-store", log=lambda msg: None)
+        assert not report.ok
+        return out / f"FUZZ_{self.SEED}.json"
+
+    def test_minimized_replay_still_fails(self, artifact):
+        failure = replay(artifact)
+        assert failure is not None
+        assert failure.stage in ("equivalence", "differential")
+
+    def test_minimized_is_1_minimal(self, artifact):
+        import re
+
+        from repro.bench.fuzz import FuzzCase, run_source
+        from repro.workloads.synth import Scenario
+
+        data = json.loads(artifact.read_text())
+        case = FuzzCase(
+            seed=data["seed"],
+            scenario=Scenario.from_dict(data["case"]["scenario"]),
+            fus=data["case"]["fus"], typed=data["case"]["typed"],
+            unroll=data["case"]["unroll"],
+            typed_shape=data["case"]["typed_shape"],
+            lat=data["case"]["lat"])
+        machine = case.machine()
+        mini = data["minimized"]
+        stage = data["failure"]["stage"]
+
+        def still_fails(src: str, unroll: int) -> bool:
+            f = run_source(src, unroll, machine, name="min1",
+                           tamper=data["tamper"])
+            return f is not None and f.stage == stage
+
+        # the minimized source itself reproduces at its recorded unroll
+        assert still_fails(mini["source"], mini["unroll"])
+
+        # 1-minimal over statements: dropping any single body line of
+        # the minimized source kills the reproduction (or the program)
+        lines = mini["source"].splitlines()
+        body_idx = [i for i, ln in enumerate(lines)
+                    if re.match(r"\s{4}\S", ln)]
+        droppable = [i for i in body_idx
+                     if not re.match(r"\s*w\d+ = w\d+ \+ 1;", lines[i])]
+        if len(droppable) > 1:
+            for i in droppable:
+                cand = "\n".join(lines[:i] + lines[i + 1:]) + "\n"
+                try:
+                    reproduced = still_fails(cand, mini["unroll"])
+                except Exception:
+                    reproduced = False
+                assert not reproduced, (
+                    f"minimized repro not 1-minimal: line {i} droppable")
+
+        # 1-minimal over the unroll ladder (the shrinker tries 2, 3)
+        for smaller in (2, 3):
+            if smaller < mini["unroll"]:
+                assert not still_fails(mini["source"], smaller)
+
+    def test_statement_accounting(self, artifact):
+        data = json.loads(artifact.read_text())
+        mini = data["minimized"]
+        assert mini["statements_dropped"] >= 0
+        assert mini["shrink_attempts"] > 0
 
 
 class TestReplayValidation:

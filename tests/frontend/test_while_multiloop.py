@@ -1,0 +1,158 @@
+"""Frontend coverage for the non-counted / multi-loop grammar.
+
+``while (cond) { ... }`` loops and top-level loop sequences are the
+scenario axes PR 5 opens; these tests pin the lexer (keyword, exponent
+literals), the parser (grammar, error paths) and the lowering (loop
+descriptors, program epilogue, live-out wiring, legacy stability).
+"""
+
+import pytest
+
+from repro.frontend import (
+    LowerError,
+    ParseError,
+    Program,
+    WhileStmt,
+    compile_dsl,
+    parse,
+    tokenize,
+)
+from repro.frontend.lexer import TokKind
+from repro.frontend.lower import lower
+from repro.ir.loops import CountedLoop, LoopProgram, WhileLoop
+from repro.ir.registers import Reg
+from repro.simulator.check import initial_state, input_registers
+from repro.simulator.interp import run
+
+WHILE_SRC = """
+param w0, lim, acc, n; array x, d;
+while (w0 < lim + 8) {
+    acc = acc + x[w0];
+    d[w0] = acc * 2;
+    w0 = w0 + 1;
+}
+"""
+
+MULTI_SRC = """
+param q, acc, n; array x, y, d;
+for k = 0 to n { d[k] = x[k] * q; }
+for k = 0 to n { acc = acc + d[k]; y[k] = acc; }
+"""
+
+
+class TestLexer:
+    def test_while_is_a_keyword(self):
+        toks = tokenize("while (a < b) { }")
+        assert toks[0].kind is TokKind.KEYWORD
+        assert toks[0].text == "while"
+
+    @pytest.mark.parametrize("text,value", [
+        ("1e308", 1e308), ("2.5e-3", 2.5e-3), ("1E2", 100.0),
+    ])
+    def test_exponent_numbers_lex_and_parse(self, text, value):
+        toks = tokenize(text)
+        assert toks[0].kind is TokKind.NUMBER
+        assert toks[0].text == text
+        prog = parse(f"array a;\nfor k = 0 to 4 {{ a[k] = {text}; }}")
+        stmt = prog.loops[0].body[0]
+        assert stmt.value.value == value
+
+    def test_number_followed_by_identifier_e(self):
+        """``2 e`` must not fuse into an exponent (no digits follow)."""
+        toks = tokenize("2e")
+        assert toks[0].kind is TokKind.NUMBER and toks[0].text == "2"
+        assert toks[1].kind is TokKind.IDENT and toks[1].text == "e"
+
+
+class TestParser:
+    def test_while_loop_parses(self):
+        prog = parse(WHILE_SRC)
+        assert len(prog.loops) == 1
+        assert isinstance(prog.loops[0], WhileStmt)
+        assert len(prog.loops[0].body) == 3
+
+    def test_loop_sequence_parses(self):
+        prog = parse(MULTI_SRC)
+        assert len(prog.loops) == 2
+
+    def test_legacy_single_loop_property(self):
+        prog = parse(MULTI_SRC)
+        assert prog.loop is prog.loops[0]
+        empty = Program()
+        assert empty.loop is None
+
+    def test_while_requires_parenthesized_cond(self):
+        with pytest.raises(ParseError):
+            parse("param a; array x;\nwhile a < 1 { x[a] = 1; }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("array x;\nfor k = 0 to n { x[k] = 1; } stray")
+
+
+class TestLowering:
+    def test_single_for_still_counted_loop(self):
+        loop = compile_dsl(
+            "param q, n; array x;\nfor k = 0 to n { x[k] = q; }", 4)
+        assert isinstance(loop, CountedLoop)
+
+    def test_while_lowers_to_program_with_while_descriptor(self):
+        prog = compile_dsl(WHILE_SRC, 6, name="w")
+        assert isinstance(prog, LoopProgram)
+        (wl,) = prog.loops
+        assert isinstance(wl, WhileLoop)
+        assert wl.trip_count is None
+        assert wl.cond_ops and wl.cj_op is not None and wl.body_ops
+        # the exit register is defined by the condition region
+        exit_reg = wl.cj_op.srcs[0]
+        assert any(op.dest == exit_reg for op in wl.cond_ops)
+
+    def test_while_graph_executes_data_dependent_backedge(self):
+        prog = compile_dsl(WHILE_SRC, 6, name="w")
+        st = initial_state(1, input_registers(prog.graph))
+        res = run(prog.graph, st, max_cycles=100_000)
+        assert res.exited
+        # scalar results observable through the program epilogue
+        assert any(c[0] == "_scalars" for c in st.mem)
+
+    def test_multi_loop_program_shares_scalar_state(self):
+        prog = compile_dsl(MULTI_SRC, 5, name="m")
+        assert isinstance(prog, LoopProgram)
+        assert [type(lp) for lp in prog.loops] == [CountedLoop, CountedLoop]
+        # loop 0 must keep alive what loop 1 and the epilogue read
+        assert Reg("acc") in prog.loops[0].live_out
+        # the epilogue stores every written param exactly once
+        assert [op.mem.array for op in prog.epilogue_ops] == ["_scalars"]
+
+    def test_multi_loop_program_runs_equivalently_per_seed(self):
+        prog = compile_dsl(MULTI_SRC, 5, name="m")
+        st = initial_state(0, input_registers(prog.graph))
+        res = run(prog.graph, st, max_cycles=100_000)
+        assert res.exited
+        # acc = its seeded initial value (a carried reduction) plus the
+        # sum of d[k] = x[k] * q over 5 iterations
+        q = st.regs["q"]
+        default = st.mem_default
+        init = initial_state(0, input_registers(prog.graph)).regs["acc"]
+        expect = init + sum(default("x", k) * q for k in range(5))
+        got = st.regs["acc"]
+        assert abs(got - expect) < 1e-9 * max(1.0, abs(expect))
+
+    def test_empty_while_body_rejected(self):
+        with pytest.raises(LowerError, match="empty body"):
+            compile_dsl("param a; array x;\nwhile (a < 1) { }", 4)
+
+    def test_counter_assignment_still_rejected_in_for(self):
+        with pytest.raises(LowerError, match="cannot assign"):
+            compile_dsl(
+                "array x;\nfor k = 0 to n { k = k + 1; }", 4)
+
+    def test_while_loop_counter_is_assignable(self):
+        # the whole point of a while: body updates what the cond reads
+        prog = compile_dsl(
+            "param a; array x;\nwhile (a < 3) { x[a] = a; a = a + 1; }", 4)
+        assert isinstance(prog, LoopProgram)
+
+    def test_no_loop_rejected(self):
+        with pytest.raises(LowerError, match="no loop"):
+            lower(Program(), 4)

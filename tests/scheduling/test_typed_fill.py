@@ -73,3 +73,71 @@ class TestTypedFillLoop:
         UnifiableOpsScheduler(m).schedule(g)
         entry = g.nodes[g.entry]
         assert sorted(op.name for op in entry.all_ops()) == ["A", "L1", "L2"]
+
+
+class TestWidenedTypedSpectrum:
+    """The fuzz lane's MEM-starved and BRANCH-rich shapes
+    (``repro.bench.fuzz.typed_budgets``): per-class budgets must bind
+    exactly -- no under-filling (free ALU slots hidden by a full MEM
+    port) and no over-filling (two loads through a single port)."""
+
+    def test_mem_starved_serializes_loads_but_fills_alu(self):
+        """MEM: 1 -- the two loads must land in *different* nodes, yet
+        the free ALU slots beside each load must still fill."""
+        from repro.bench.fuzz import typed_budgets
+
+        m = MachineConfig(fus=4, typed=typed_budgets("mem-starved", 4))
+        g = straightline_graph([
+            load("a", "arr", "i", name="L1", pos=0),
+            load("b", "brr", "i", name="L2", pos=1),
+            add("c", "x", 1, name="A1", pos=2),
+            mul("d", "y", 2, name="A2", pos=3),
+        ])
+        GRiPScheduler(m, gap_prevention=False).schedule(g)
+        for nid in g.reachable():
+            node = g.nodes[nid]
+            assert m.fits(node)
+            n_mem = sum(1 for op in node.all_ops() if op.name.startswith("L"))
+            assert n_mem <= 1
+        entry = g.nodes[g.entry]
+        names = sorted(op.name for op in entry.all_ops())
+        # one load plus both independent ALU ops migrate into the entry
+        assert names == ["A1", "A2", "L1"]
+
+    def test_branch_rich_budgets_fit(self):
+        from repro.bench.fuzz import typed_budgets
+
+        m = MachineConfig(fus=4, typed=typed_budgets("branch-rich", 4))
+        assert m.typed[FUClass.BRANCH] == 2
+        g = alu_then_loads()
+        GRiPScheduler(m, gap_prevention=False).schedule(g)
+        for nid in g.reachable():
+            assert m.fits(g.nodes[nid])
+
+    def test_typed_budgets_shapes(self):
+        from repro.bench.fuzz import typed_budgets
+
+        for fus in (2, 4, 8):
+            for shape in ("balanced", "mem-starved", "branch-rich"):
+                budgets = typed_budgets(shape, fus)
+                assert all(v >= 1 for v in budgets.values())
+        assert typed_budgets("mem-starved", 8)[FUClass.MEM] == 1
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown typed shape"):
+            typed_budgets("nope", 4)
+
+    def test_mem_starved_scheduled_kernel_stays_valid_and_equivalent(self):
+        """End to end on a real kernel: schedule under MEM: 1, check
+        budgets and semantic equivalence."""
+        from repro.bench.fuzz import typed_budgets
+        from repro.pipelining import pipeline_loop
+        from repro.simulator.check import check_equivalent
+        from repro.workloads import livermore
+
+        loop = livermore.kernel("LL1", 5)
+        m = MachineConfig(fus=4, typed=typed_budgets("mem-starved", 4))
+        res = pipeline_loop(loop, m, unroll=5, measure=False)
+        for nid in res.unwound.graph.reachable():
+            assert m.fits(res.unwound.graph.nodes[nid])
+        check_equivalent(loop.graph, res.unwound.graph, seeds=(0,))

@@ -109,3 +109,97 @@ class TestCuratedFamily:
         loop = kernel("SYNRED", 6)
         assert loop.carried_regs  # the reduction accumulators
         assert loop.epilogue_ops  # observable through _scalars
+
+
+class TestProgramAxes:
+    """The PR-5 scenario axes: while loops, loop sequences, float
+    specials -- plus the compatibility contract that legacy scenarios
+    keep generating byte-identical programs."""
+
+    def test_seed_key_stable_for_legacy_scenarios(self):
+        """A scenario with every new axis at its default must seed the
+        generator with the historical dataclass repr."""
+        sc = Scenario(seed=201, pattern="stream", stmts=3, mem_ratio=0.7,
+                      opmix=("+", "-", "*"))
+        assert sc.seed_key() == (
+            "Scenario(seed=201, pattern='stream', stmts=3, depth=1, "
+            "inner_trip=1, cond_density=0.0, mem_ratio=0.7, "
+            "opmix=('+', '-', '*'), step=1)")
+
+    def test_seed_key_extends_for_new_axes(self):
+        sc = Scenario(seed=1, while_density=1.0, n_loops=2)
+        key = sc.seed_key()
+        assert key.endswith("while_density=1.0, n_loops=2)")
+
+    def test_new_axes_are_reached(self):
+        scs = [scenario_from_seed(s) for s in range(80)]
+        assert any(sc.while_density > 0 for sc in scs)
+        assert any(sc.n_loops > 1 for sc in scs)
+        assert any(sc.special_density > 0 for sc in scs)
+
+    def test_while_program_compiles_and_terminates(self):
+        from repro.ir.loops import LoopProgram
+
+        prog = generate(Scenario(seed=5, pattern="stream", stmts=2,
+                                 while_density=1.0))
+        (lp,) = prog.loops
+        assert lp.kind == "while"
+        assert lp.tail  # the non-droppable counter advance
+        compiled = compile_dsl(prog.source(), 4, name="wh")
+        assert isinstance(compiled, LoopProgram)
+        st = initial_state(0, input_registers(compiled.graph))
+        res = run(compiled.graph, st, max_cycles=100_000)
+        assert res.exited
+
+    def test_multi_loop_program_emits_n_loops(self):
+        prog = generate(Scenario(seed=9, pattern="mixed", stmts=2,
+                                 n_loops=3))
+        assert len(prog.loops) == 3
+
+    def test_special_density_emits_huge_literals(self):
+        prog = generate(Scenario(seed=7, pattern="stream", stmts=4,
+                                 special_density=0.9))
+        assert "1e308" in prog.source()
+
+    def test_drop_statement_flattens_across_loops(self):
+        prog = generate(Scenario(seed=9, pattern="mixed", stmts=2,
+                                 n_loops=3))
+        total = prog.n_statements
+        smaller = prog.drop_statement(0)
+        assert smaller.n_statements == total - 1
+        compile_dsl(smaller.source(), 4, name="drop")
+
+    def test_drop_statement_removes_emptied_loop(self):
+        prog = generate(Scenario(seed=5, pattern="recurrence", stmts=1,
+                                 n_loops=2))
+        per_loop = [len(lp.statements) for lp in prog.loops]
+        assert per_loop[0] >= 1
+        smaller = prog
+        for _ in range(per_loop[0]):
+            smaller = smaller.drop_statement(0)
+        assert len(smaller.loops) == len(prog.loops) - 1
+        compile_dsl(smaller.source(), 4, name="dropped-loop")
+
+    def test_with_statements_rejects_multi_loop(self):
+        prog = generate(Scenario(seed=9, n_loops=2))
+        with pytest.raises(ValueError, match="single-loop"):
+            prog.with_statements(prog.statements[:1])
+
+    def test_curated_program_kernels_registered(self):
+        from repro.workloads.synth import is_program_kernel
+
+        assert is_program_kernel("SYNWHL")
+        assert is_program_kernel("synseq")
+        assert not is_program_kernel("SYNSTR")
+        assert family_of("SYNWHL") == "synth"
+
+    @pytest.mark.parametrize("name", ["SYNWHL", "SYNSEQ"])
+    def test_curated_program_kernels_build_and_run(self, name):
+        from repro.ir.loops import LoopProgram
+
+        prog = kernel(name, 6)
+        assert isinstance(prog, LoopProgram)
+        prog.graph.check()
+        st = initial_state(0, input_registers(prog.graph))
+        res = run(prog.graph, st, max_cycles=200_000)
+        assert res.exited
