@@ -22,16 +22,29 @@ Subcommands::
     python -m repro kernels
         List the built-in kernels (Livermore + curated synthetic).
 
+    python -m repro explain <LLk|SYN*|dsl-file> [--fus N] [--unroll K]
+                    [--seed S] [--out EXPLAIN.json]
+        Schedule one kernel with a decision journal attached, execute
+        it on the bundle VM (normal + profiled), and print the
+        inefficiency report: achieved cycles vs the dependence/resource
+        lower bound, idle slots per bundle, decision tallies, top
+        blocked candidates.  Writes a stable-schema EXPLAIN_*.json
+        artifact; every count is reconciled against the VM scoreboard
+        (a mismatch is an error, never a warning).
+
     python -m repro bench [--family ll synth] [--kernels LL1 ...]
                     [--fus 2 4 8] [--backends grip post vm] [--jobs N]
-                    [--smoke] [--out BENCH.json] [--diff PREV.json]
-                    [--diff-subset] [--tol 0.05]
+                    [--smoke] [--profile] [--out BENCH.json]
+                    [--diff PREV.json] [--diff-subset] [--tol 0.05]
         Run the benchmark sweep (kernels x fu-configs x backends) over a
         multiprocessing pool and write a machine-readable BENCH_*.json
         artifact.  ``--diff`` compares against a previous artifact and
         exits non-zero on speedup regressions beyond ``--tol``;
         ``--diff-subset`` gates only the cells this sweep ran (how a
         smoke sweep diffs against the committed full-table baseline).
+        ``--profile`` attaches a decision journal to every GRiP cell
+        and embeds its tallies into the records (observe-only:
+        speedups are bit-identical, only wall-clock moves).
 
     python -m repro fuzz [--budget N] [--seed S] [--jobs N]
                     [--verify-every N] [--out-dir DIR]
@@ -214,6 +227,29 @@ def cmd_emit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .machine import MachineConfig
+    from .obs import ReconcileError, build_report, write_explain
+    from .workloads import family_of
+
+    unroll = (args.unroll if args.unroll is not None
+              else max(12, 3 * args.fus))
+    loop = _load_kernel(args.kernel, unroll)
+    machine = MachineConfig(fus=args.fus)
+    try:
+        report = build_report(loop, machine, unroll=unroll, seed=args.seed,
+                              family=family_of(args.kernel))
+    except ReconcileError as exc:
+        print(f"repro explain: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    out = (Path(args.out) if args.out
+           else Path(f"EXPLAIN_{loop.name}_fus{args.fus}.json"))
+    write_explain(report, out)
+    print(f"\nwrote {out}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         BenchArtifact,
@@ -239,23 +275,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "repro bench: --smoke fixes "
                 "--kernels/--fus/--backends/--family; drop --smoke to "
                 "run a custom sweep")
-        jobs = smoke_jobs(args.unroll_scale)
+        jobs = smoke_jobs(args.unroll_scale, profile=args.profile)
     elif args.kernels is not None:
         for name in args.kernels:
             if family_of(name) is None:
                 _usage(f"repro bench: unknown kernel {name!r}")
         jobs = make_jobs([k.upper() for k in args.kernels], args.fus,
-                         args.backends, unroll_scale=args.unroll_scale)
+                         args.backends, unroll_scale=args.unroll_scale,
+                         profile=args.profile)
     else:
         kernels = [name for fam in args.family for name in family_names(fam)]
         jobs = make_jobs(kernels, args.fus, args.backends,
-                         unroll_scale=args.unroll_scale)
+                         unroll_scale=args.unroll_scale,
+                         profile=args.profile)
     name = "smoke" if args.smoke else args.name
     print(f"bench: {len(jobs)} jobs on {args.jobs} worker(s)",
           file=sys.stderr)
     art = run_bench(jobs, name=name, processes=args.jobs,
                     config={"unroll_scale": args.unroll_scale,
-                            "smoke": args.smoke})
+                            "smoke": args.smoke,
+                            "profile": args.profile})
 
     out = Path(args.out) if args.out else Path("results") / f"BENCH_{name}.json"
     art.write(out)
@@ -362,6 +401,22 @@ def main(argv: list[str] | None = None) -> int:
                     help="execute on the bundle VM + differential check")
     p4.set_defaults(fn=cmd_emit)
 
+    p7 = sub.add_parser(
+        "explain", help="inefficiency report for one kernel -> "
+                        "EXPLAIN_*.json")
+    p7.add_argument("kernel", help="kernel name (any family) or a DSL "
+                                   "source file")
+    p7.add_argument("--fus", type=int, default=4)
+    p7.add_argument("--unroll", type=int, default=None,
+                    help="unwound iterations (default: max(12, 3*fus), "
+                         "the Table-1 policy)")
+    p7.add_argument("--seed", type=int, default=0,
+                    help="initial-state seed for the VM runs (default 0)")
+    p7.add_argument("--out", default=None,
+                    help="artifact path (default "
+                         "EXPLAIN_<kernel>_fus<N>.json)")
+    p7.set_defaults(fn=cmd_explain)
+
     p5 = sub.add_parser("bench", help="benchmark sweep -> BENCH_*.json")
     p5.add_argument("--family", nargs="+", choices=("ll", "synth"),
                     default=["ll"],
@@ -379,6 +434,10 @@ def main(argv: list[str] | None = None) -> int:
     p5.add_argument("--unroll-scale", type=int, default=3)
     p5.add_argument("--smoke", action="store_true",
                     help="fast fixed subset exercising every backend")
+    p5.add_argument("--profile", action="store_true",
+                    help="attach a decision journal to every GRiP cell "
+                         "and embed its tallies into the records "
+                         "(observe-only; combinable with --smoke)")
     p5.add_argument("--name", default="table1",
                     help="artifact name (BENCH_<name>.json)")
     p5.add_argument("--out", default=None,

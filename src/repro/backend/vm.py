@@ -300,12 +300,43 @@ class BundleVM:
                         exited=True, regs=regs, mem=mem,
                         program=self.program)
 
+    def run_profiled(self, init_regs: dict[str, Number] | None = None,
+                     mem_default: Callable[[str, int], Number] | None = None,
+                     *, reg_default: Number = 0.0,
+                     max_steps: int = 1_000_000
+                     ) -> tuple[VMResult, list[int], list[int]]:
+        """Execute with a per-bundle profile: ``(result, visits, committed)``.
+
+        ``visits[i]`` counts how often bundle ``i`` issued and
+        ``committed[i]`` how many operations it retired over the run
+        (taken-path CJs included, matching ``ops_committed``).  The
+        profiled run goes through the decoded-tuple scoreboard
+        interpreter -- with single-cycle latencies its timing
+        degenerates to one cycle per bundle, so ``steps``, ``cycles``
+        and ``ops_committed`` must match :meth:`run` exactly (the
+        inefficiency report asserts this, which doubles as a
+        compiled-vs-interpreted differential check).
+        """
+        regs, mem, default = self._fresh_state(init_regs, mem_default,
+                                               reg_default)
+        visits = [0] * len(self._decoded)
+        committed = [0] * len(self._decoded)
+        if self._entry == EXIT_BUNDLE:
+            return (VMResult(0, 0, 0, True, regs, mem, self.program),
+                    visits, committed)
+        res = self._run_timed(regs, mem, default, max_steps,
+                              visits=visits, committed=committed)
+        return res, visits, committed
+
     # ------------------------------------------------------------------
     # Scoreboard path: realized cycles under multi-cycle latencies
     # ------------------------------------------------------------------
-    def _run_timed(self, regs, mem, default, max_steps) -> VMResult:
+    def _run_timed(self, regs, mem, default, max_steps, *,
+                   visits: list[int] | None = None,
+                   committed: list[int] | None = None) -> VMResult:
         arrays = self.program.arrays
         decoded = self._decoded
+        profiling = visits is not None
         ready = [0] * len(regs)
         b = self._entry
         steps = cycle = done = opsc = 0
@@ -355,6 +386,9 @@ class BundleVM:
             cycle = issue + 1
             steps += 1
             opsc += counts[leaf]
+            if profiling:
+                visits[b] += 1
+                committed[b] += counts[leaf]
             b = leaf_next[leaf]
         return VMResult(steps=steps, cycles=max(cycle, done),
                         ops_committed=opsc, exited=True, regs=regs,

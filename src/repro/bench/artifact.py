@@ -31,12 +31,26 @@ Schema (``schema`` = 1)::
          "stages": {"build": 0.01, "pipeline": 0.42, "schedule": 0.40},
          "moves": 476, "resource_blocks": 162, "candidate_builds": 289,
          "realized_cycles": null, "vm_steps": null,
-         "realized_speedup": null, "family": "ll"}
+         "realized_speedup": null, "family": "ll",
+         "analysis_counters": {"rpo_rebuilds": 3, ...},
+         "profile": {"journal": {...}, "top_blocked": [...]}}
       ]
     }
 
 ``family`` ("ll" | "synth") is additive within schema 1: readers
 default it to "ll" when absent, so pre-PR-4 artifacts stay loadable.
+Also additive (PR 6, same rule -- absent reads back as null):
+
+* ``analysis_counters`` -- the scheduler's per-run
+  ``ScheduleResult.analysis_counters`` deltas (incremental-analysis
+  rebuild/patch counts; summed over segments for program kernels;
+  null for POST, which never runs GRiP);
+* ``profile`` -- only with ``repro bench --profile``: the decision
+  journal's ``tallies()`` plus its top blocked candidates, keyed
+  ``{"journal": {...}, "top_blocked": [...]}``.  Profiling attaches a
+  :class:`~repro.obs.journal.DecisionJournal` tracer, which by the
+  tracer contract never changes the schedule (speedups stay
+  bit-identical; only wall-clock moves).
 """
 
 from __future__ import annotations
@@ -79,6 +93,12 @@ class BenchRecord:
     # kernel family ("ll" | "synth"); additive within schema 1, so
     # pre-PR-4 artifacts (no field) read back with the default
     family: str = "ll"
+    # incremental-analysis rebuild/patch deltas (GRiP backends only;
+    # summed over segments for program kernels); additive in schema 1
+    analysis_counters: dict[str, int] | None = None
+    # decision-journal tallies + top blocked candidates, populated only
+    # by ``bench --profile`` runs; additive in schema 1
+    profile: dict | None = None
 
     @property
     def key(self) -> tuple[str, int, str]:

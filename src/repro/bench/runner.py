@@ -58,6 +58,10 @@ class BenchJob:
     backend: str
     unroll: int
     family: str = "ll"
+    #: attach a DecisionJournal tracer and embed its tallies + top
+    #: blocked candidates into the record (observe-only: schedules and
+    #: speedups are bit-identical, only wall-clock moves)
+    profile: bool = False
 
 
 def default_unroll(fus: int, scale: int = 3) -> int:
@@ -66,7 +70,7 @@ def default_unroll(fus: int, scale: int = 3) -> int:
 
 
 def make_jobs(kernels, fu_configs, backends, *,
-              unroll_scale: int = 3) -> list[BenchJob]:
+              unroll_scale: int = 3, profile: bool = False) -> list[BenchJob]:
     from .. import workloads
     from ..workloads.synth import is_program_kernel
 
@@ -86,13 +90,34 @@ def make_jobs(kernels, fu_configs, backends, *,
                     continue
                 jobs.append(BenchJob(kernel=name, fus=fus, backend=backend,
                                      unroll=default_unroll(fus, unroll_scale),
-                                     family=family))
+                                     family=family, profile=profile))
     return jobs
 
 
-def smoke_jobs(unroll_scale: int = 3) -> list[BenchJob]:
+def smoke_jobs(unroll_scale: int = 3, *, profile: bool = False
+               ) -> list[BenchJob]:
     return make_jobs(SMOKE_KERNELS, SMOKE_FUS, SMOKE_BACKENDS,
-                     unroll_scale=unroll_scale)
+                     unroll_scale=unroll_scale, profile=profile)
+
+
+def _make_tracer(job: BenchJob):
+    """A DecisionJournal for profiled cells, None otherwise.
+
+    ``keep_events=False``: bench cells only need the tallies and the
+    blocked-candidate index, not the full event stream.
+    """
+    if not job.profile:
+        return None
+    from ..obs import DecisionJournal
+
+    return DecisionJournal(keep_events=False)
+
+
+def _profile_payload(tracer) -> dict | None:
+    if tracer is None:
+        return None
+    return {"journal": tracer.tallies(),
+            "top_blocked": tracer.top_blocked(5)}
 
 
 def run_job(job: BenchJob) -> BenchRecord:
@@ -123,8 +148,10 @@ def run_job(job: BenchJob) -> BenchRecord:
             converged=res.converged, periodic=res.periodic, stages=stages,
             family=job.family)
 
+    tracer = _make_tracer(job)
     t1 = time.perf_counter()
-    res = pipeline_loop(loop, machine, unroll=job.unroll, measure=False)
+    res = pipeline_loop(loop, machine, unroll=job.unroll, measure=False,
+                        tracer=tracer)
     stages["pipeline"] = time.perf_counter() - t1
     stages["schedule"] = res.schedule.seconds
     record = BenchRecord(
@@ -135,7 +162,9 @@ def run_job(job: BenchJob) -> BenchRecord:
         moves=res.schedule.stats.moves,
         resource_blocks=res.schedule.stats.resource_blocks,
         candidate_builds=res.schedule.candidate_builds,
-        family=job.family)
+        family=job.family,
+        analysis_counters=dict(res.schedule.analysis_counters),
+        profile=_profile_payload(tracer))
 
     if job.backend == "vm":
         from ..backend import differential_check
@@ -159,13 +188,18 @@ def _run_program_job(job: BenchJob, program, machine,
     if job.backend == "post":  # pragma: no cover - filtered by make_jobs
         raise ValueError(
             f"POST has no program-level baseline for {job.kernel!r}")
+    tracer = _make_tracer(job)
     t1 = time.perf_counter()
     res = pipeline_program(program, machine, unroll=job.unroll,
-                           measure=True, seeds=(0,))
+                           measure=True, seeds=(0,), tracer=tracer)
     stages["pipeline"] = time.perf_counter() - t1
     scheds = [seg.schedule for seg in res.segments
               if seg.schedule is not None]
     stages["schedule"] = sum(s.seconds for s in scheds)
+    counters: dict[str, int] = {}
+    for s in scheds:
+        for key, val in s.analysis_counters.items():
+            counters[key] = counters.get(key, 0) + val
     record = BenchRecord(
         kernel=job.kernel, fus=job.fus, backend=job.backend,
         unroll=job.unroll, ops_per_iteration=program.ops_per_iteration,
@@ -176,7 +210,9 @@ def _run_program_job(job: BenchJob, program, machine,
                          if scheds else None),
         candidate_builds=(sum(s.candidate_builds for s in scheds)
                           if scheds else None),
-        family=job.family)
+        family=job.family,
+        analysis_counters=counters if scheds else None,
+        profile=_profile_payload(tracer))
 
     if job.backend == "vm":
         from ..backend import differential_check

@@ -1,0 +1,75 @@
+"""Observability: decision journal, inefficiency reports, metrics.
+
+Import layering: :mod:`~repro.obs.tracer`, :mod:`~repro.obs.journal`
+and :mod:`~repro.obs.metrics` are dependency-free (the scheduling
+stack imports them for its default tracer field), while
+:mod:`~repro.obs.report` / :mod:`~repro.obs.explain` import the
+scheduling, pipelining and backend layers.  The heavy half is exposed
+lazily so ``repro.scheduling -> repro.obs`` never becomes circular.
+"""
+
+from .journal import DecisionJournal
+from .metrics import MetricsRegistry
+from .tracer import (
+    NULL_TRACER,
+    BoundarySkipped,
+    CandidateSetBuilt,
+    MoveAccepted,
+    MoveRejected,
+    NodeBegin,
+    NodeEnd,
+    NullTracer,
+    Reason,
+    SegmentBegin,
+    Suspended,
+    Tracer,
+    classify_failure,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "BoundarySkipped",
+    "CandidateSetBuilt",
+    "DecisionJournal",
+    "InefficiencyReport",
+    "MetricsRegistry",
+    "MoveAccepted",
+    "MoveRejected",
+    "NodeBegin",
+    "NodeEnd",
+    "NullTracer",
+    "Reason",
+    "ReconcileError",
+    "SegmentBegin",
+    "Suspended",
+    "Tracer",
+    "build_report",
+    "classify_failure",
+    "critical_path_bound",
+    "explain_kernel",
+    "to_artifact",
+    "validate_explain",
+    "validate_explain_file",
+    "write_explain",
+]
+
+_LAZY = {
+    "InefficiencyReport": "report",
+    "ReconcileError": "report",
+    "build_report": "report",
+    "critical_path_bound": "report",
+    "explain_kernel": "explain",
+    "to_artifact": "explain",
+    "validate_explain": "explain",
+    "validate_explain_file": "explain",
+    "write_explain": "explain",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)

@@ -1,0 +1,214 @@
+"""``EXPLAIN_*.json``: the stable artifact behind ``repro explain``.
+
+Schema (``schema`` = 1, ``kind`` = "repro-explain")::
+
+    {
+      "schema": 1,
+      "kind": "repro-explain",
+      "kernel": "LL7", "family": "ll", "kernel_kind": "loop",
+      "fus": 8, "unroll": 24, "seed": 0,
+      "created": 1753776000.0,
+      "machine": {"fus": 8, "typed": null, "latencies": null},
+      "schedule": {"nodes": 40, "ops": 350, "converged": true,
+                   "speedup": 6.4, "schedule_length": 40,
+                   "spill_bundles": 0},
+      "segments": [{"index": 0, "kind": "counted", "name": "LL7",
+                    "dependence_bound": 26, "iterations": 24,
+                    "pattern": "...", "ii": 1.25, "converged": true}],
+      "bounds": {"dependence_bound": 26, "resource_bound": 44,
+                 "lower_bound": 44, "achieved_cycles": 51,
+                 "efficiency": 0.86},
+      "vm": {"steps": 51, "cycles": 51, "ops_committed": 350},
+      "totals": {"issue_slots": 408, "committed": 350,
+                 "uncommitted": 0, "idle_slots": 58},
+      "nodes": [{"bundle": 0, "nid": 3, "kind": "node",
+                 "used_slots": 8, "idle_slots": 0, "visits": 1,
+                 "issued": 8, "committed": 8, "uncommitted": 0,
+                 "idle_total": 0,
+                 "by_class": {"ALU": {"used": 5, "budget": 8}, ...}},
+                ...],
+      "journal": {"tried": ..., "accepted": ..., "rejected": ...,
+                  "by_reason": {"dependence": ..., ...}, ...},
+      "top_blocked": [{"tid": 7, "op": "...", "count": 12,
+                       "reason": "dependence", "by_reason": {...}}],
+      "metrics": {"analysis": {...}, "journal": {...}, "stages": {...}},
+      "reconcile": {"ok": true, "checks": {"slot_identity": true, ...}}
+    }
+
+Additive fields are allowed within schema 1 (same policy as
+``BENCH_*.json``); :func:`validate_explain` re-derives the accounting
+identities from the payload, so a hand-edited artifact that no longer
+reconciles is rejected, not just malformed shapes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from ..machine.model import MachineConfig
+from .report import InefficiencyReport, build_report
+
+EXPLAIN_SCHEMA_VERSION = 1
+EXPLAIN_KIND = "repro-explain"
+
+
+# ----------------------------------------------------------------------
+# Build
+# ----------------------------------------------------------------------
+def explain_kernel(kernel, machine: MachineConfig, *, unroll: int,
+                   seed: int = 0,
+                   family: str | None = None) -> InefficiencyReport:
+    """Schedule + execute + reconcile one kernel (see ``build_report``)."""
+    return build_report(kernel, machine, unroll=unroll, seed=seed,
+                        family=family)
+
+
+def to_artifact(report: InefficiencyReport) -> dict:
+    """Render a reconciled report as the stable JSON payload."""
+    m = report.machine
+    return {
+        "schema": EXPLAIN_SCHEMA_VERSION,
+        "kind": EXPLAIN_KIND,
+        "kernel": report.kernel,
+        "family": report.family,
+        "kernel_kind": report.kind,
+        "fus": report.fus,
+        "unroll": report.unroll,
+        "seed": report.seed,
+        "created": time.time(),
+        "machine": {
+            "fus": m.fus,
+            "typed": ({c.name: v for c, v in m.typed.items()}
+                      if m.typed else None),
+            "latencies": ({k.name: v for k, v in m.latencies.items()}
+                          if m.latencies else None),
+        },
+        "schedule": {
+            "nodes": report.schedule_nodes,
+            "ops": report.schedule_ops,
+            "converged": report.converged,
+            "speedup": report.speedup,
+            "schedule_length": report.schedule_length,
+            "spill_bundles": report.spill_bundles,
+        },
+        "segments": [seg.to_dict() for seg in report.segments],
+        "bounds": {
+            "dependence_bound": report.dependence_bound,
+            "resource_bound": report.resource_bound,
+            "lower_bound": report.lower_bound,
+            "achieved_cycles": report.achieved_cycles,
+            "efficiency": report.efficiency,
+        },
+        "vm": {
+            "steps": report.vm_steps,
+            "cycles": report.vm_cycles,
+            "ops_committed": report.ops_committed,
+        },
+        "totals": report.totals,
+        "nodes": [n.to_dict() for n in report.nodes],
+        "journal": report.journal.tallies(),
+        "top_blocked": report.top_blocked(),
+        "metrics": report.metrics.as_dict(),
+        "reconcile": {"ok": report.reconciled,
+                      "checks": dict(report.reconcile)},
+    }
+
+
+def write_explain(report: InefficiencyReport, path: str | Path) -> Path:
+    payload = to_artifact(report)
+    validate_explain(payload)
+    path = Path(path)
+    if path.parent != Path():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Validate
+# ----------------------------------------------------------------------
+_TOP_KEYS = {
+    "schema": int, "kind": str, "kernel": str, "kernel_kind": str,
+    "unroll": int, "seed": int, "created": (int, float),
+    "machine": dict, "schedule": dict, "segments": list, "bounds": dict,
+    "vm": dict, "totals": dict, "nodes": list, "journal": dict,
+    "top_blocked": list, "metrics": dict, "reconcile": dict,
+}
+_NODE_KEYS = {
+    "bundle": int, "nid": int, "kind": str, "used_slots": int,
+    "idle_slots": int, "visits": int, "issued": int, "committed": int,
+    "uncommitted": int, "idle_total": int, "by_class": dict,
+}
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ValueError(f"invalid EXPLAIN artifact: {msg}")
+
+
+def validate_explain(data: dict) -> None:
+    """Check shape *and* internal consistency; raises ``ValueError``."""
+    _require(isinstance(data, dict), "payload is not an object")
+    _require(data.get("kind") == EXPLAIN_KIND,
+             f"kind={data.get('kind')!r} (want {EXPLAIN_KIND!r})")
+    _require(data.get("schema") == EXPLAIN_SCHEMA_VERSION,
+             f"schema={data.get('schema')!r} "
+             f"(want {EXPLAIN_SCHEMA_VERSION})")
+    for key, typ in _TOP_KEYS.items():
+        _require(key in data, f"missing key {key!r}")
+        _require(isinstance(data[key], typ),
+                 f"{key!r} has type {type(data[key]).__name__}")
+    for i, node in enumerate(data["nodes"]):
+        for key, typ in _NODE_KEYS.items():
+            _require(isinstance(node.get(key), typ),
+                     f"nodes[{i}].{key} has type "
+                     f"{type(node.get(key)).__name__}")
+        _require(node["issued"] == node["visits"] * node["used_slots"],
+                 f"nodes[{i}]: issued != visits * used_slots")
+        _require(node["uncommitted"] == node["issued"] - node["committed"],
+                 f"nodes[{i}]: uncommitted != issued - committed")
+        _require(node["uncommitted"] >= 0,
+                 f"nodes[{i}]: negative uncommitted slots")
+
+    vm, bounds, totals = data["vm"], data["bounds"], data["totals"]
+    nodes = data["nodes"]
+    _require(sum(n["visits"] for n in nodes) == vm["steps"],
+             "per-node visits do not sum to vm.steps")
+    _require(sum(n["committed"] for n in nodes) == vm["ops_committed"],
+             "per-node commits do not sum to vm.ops_committed")
+    _require(totals["committed"] == vm["ops_committed"],
+             "totals.committed != vm.ops_committed")
+    _require(totals["idle_slots"] == sum(n["idle_total"] for n in nodes),
+             "totals.idle_slots does not sum over nodes")
+    _require(totals["uncommitted"] == sum(n["uncommitted"] for n in nodes),
+             "totals.uncommitted does not sum over nodes")
+    fus = data.get("fus")
+    if fus is not None:
+        _require(totals["issue_slots"] == fus * vm["steps"],
+                 "totals.issue_slots != fus * vm.steps")
+        _require(totals["issue_slots"] == totals["committed"]
+                 + totals["uncommitted"] + totals["idle_slots"],
+                 "issue-slot identity does not hold")
+    _require(bounds["achieved_cycles"] == vm["cycles"],
+             "bounds.achieved_cycles != vm.cycles")
+    _require(bounds["lower_bound"] == max(bounds["dependence_bound"],
+                                          bounds["resource_bound"]),
+             "bounds.lower_bound is not the max of its components")
+    _require(bounds["lower_bound"] <= bounds["achieved_cycles"],
+             "lower bound exceeds achieved cycles")
+    _require(sum(s["dependence_bound"] for s in data["segments"])
+             == bounds["dependence_bound"],
+             "segment bounds do not sum to bounds.dependence_bound")
+    _require(data["reconcile"].get("ok") is True,
+             "reconcile.ok is not true")
+    _require(all(data["reconcile"].get("checks", {}).values()),
+             "a reconcile check failed")
+
+
+def validate_explain_file(path: str | Path) -> dict:
+    """Load + validate one artifact; returns the payload."""
+    data = json.loads(Path(path).read_text())
+    validate_explain(data)
+    return data

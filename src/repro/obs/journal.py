@@ -1,0 +1,158 @@
+"""The decision journal: the standard tracer behind ``repro explain``.
+
+A :class:`DecisionJournal` subscribes to the scheduler's decision
+stream and keeps two things:
+
+* **tallies** -- counts per event type and per rejection
+  :class:`~repro.obs.tracer.Reason`, always maintained (O(1) per
+  event);
+* **events** -- the raw typed records, retained up to ``max_events``
+  (high-volume bookkeeping events are tallied but never stored).
+
+It is observe-only: attaching a journal must not change the schedule
+(``tests/integration/test_schedule_equivalence.py`` diffs traced vs
+untraced runs across every Table-1 cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tracer import (
+    BoundarySkipped,
+    CandidateSetBuilt,
+    Event,
+    MoveAccepted,
+    MoveRejected,
+    NodeBegin,
+    NodeEnd,
+    Reason,
+    SegmentBegin,
+    Suspended,
+    Tracer,
+)
+
+
+@dataclass
+class _BlockedOp:
+    """Aggregate rejection record for one template."""
+
+    tid: int
+    op: str
+    count: int = 0
+    by_reason: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def top_reason(self) -> str:
+        if not self.by_reason:
+            return Reason.OTHER.value
+        return max(sorted(self.by_reason), key=lambda k: self.by_reason[k])
+
+
+class DecisionJournal(Tracer):
+    """Tally-keeping tracer; see module docstring.
+
+    ``keep_events=False`` drops raw event retention entirely (bench
+    ``--profile`` mode: only the tallies reach the artifact).
+    """
+
+    enabled = True
+
+    def __init__(self, *, keep_events: bool = True,
+                 max_events: int = 200_000) -> None:
+        self.keep_events = keep_events
+        self.max_events = max_events
+        self.events: list[Event] = []
+        self.dropped_events = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.renames = 0
+        self.unifications = 0
+        self.suspensions = 0
+        self.boundary_skips = 0
+        self.candidate_sets = 0
+        self.candidates_seen = 0
+        self.nodes_begun = 0
+        self.by_reason: dict[str, int] = {}
+        self.segments: list[SegmentBegin] = []
+        self._blocked: dict[int, _BlockedOp] = {}
+
+    # -- Tracer interface ----------------------------------------------
+    def emit(self, event: Event) -> None:
+        if isinstance(event, MoveAccepted):
+            self.accepted += 1
+            if event.renamed:
+                self.renames += 1
+            if event.unified:
+                self.unifications += 1
+        elif isinstance(event, MoveRejected):
+            self.rejected += 1
+            key = event.reason.value
+            self.by_reason[key] = self.by_reason.get(key, 0) + 1
+            rec = self._blocked.get(event.tid)
+            if rec is None:
+                rec = self._blocked[event.tid] = _BlockedOp(
+                    tid=event.tid, op=event.op)
+            rec.count += 1
+            rec.by_reason[key] = rec.by_reason.get(key, 0) + 1
+        elif isinstance(event, Suspended):
+            self.suspensions += 1
+        elif isinstance(event, BoundarySkipped):
+            # High-volume bookkeeping: tally only, never retained.
+            # (A template with NO non-boundary path upward additionally
+            # gets a MoveRejected(loop-boundary), which is what lands
+            # in ``by_reason``.)
+            self.boundary_skips += 1
+            return
+        elif isinstance(event, CandidateSetBuilt):
+            self.candidate_sets += 1
+            self.candidates_seen += event.size
+            return  # tally-only: one per rebuild, still chatty
+        elif isinstance(event, NodeBegin):
+            self.nodes_begun += 1
+        elif isinstance(event, SegmentBegin):
+            self.segments.append(event)
+        elif isinstance(event, NodeEnd):
+            pass
+        if self.keep_events:
+            if len(self.events) < self.max_events:
+                self.events.append(event)
+            else:
+                self.dropped_events += 1
+
+    # -- Views ----------------------------------------------------------
+    @property
+    def tried(self) -> int:
+        """Hops attempted: accepted + rejected (vetoes included)."""
+        return self.accepted + self.rejected
+
+    def tallies(self) -> dict:
+        """JSON-ready summary of the whole run."""
+        return {
+            "tried": self.tried,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "renames": self.renames,
+            "unifications": self.unifications,
+            "suspensions": self.suspensions,
+            "boundary_skips": self.boundary_skips,
+            "candidate_sets": self.candidate_sets,
+            "candidates_seen": self.candidates_seen,
+            "nodes_begun": self.nodes_begun,
+            "by_reason": dict(sorted(self.by_reason.items())),
+        }
+
+    def top_blocked(self, k: int = 5) -> list[dict]:
+        """The ``k`` most-rejected templates, with their top reason."""
+        ranked = sorted(self._blocked.values(),
+                        key=lambda r: (-r.count, r.tid))
+        return [{"tid": r.tid, "op": r.op, "count": r.count,
+                 "reason": r.top_reason,
+                 "by_reason": dict(sorted(r.by_reason.items()))}
+                for r in ranked[:k]]
+
+    def summary_line(self) -> str:
+        rej = sorted(self.by_reason.items(), key=lambda kv: (-kv[1], kv[0]))
+        detail = ", ".join(f"{k}={v}" for k, v in rej) or "none"
+        return (f"journal: {self.tried} hops tried, {self.accepted} "
+                f"accepted; rejected: {detail}")

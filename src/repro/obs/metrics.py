@@ -1,0 +1,56 @@
+"""A small metrics registry: one interface over every counter family.
+
+The reproduction already produces three disjoint counter vocabularies:
+
+* ``ScheduleResult.analysis_counters`` -- incremental-analysis
+  rebuild/patch deltas (PR 3);
+* per-stage wall-clock dicts (``BenchRecord.stages``);
+* the decision journal's tallies (this PR).
+
+:class:`MetricsRegistry` groups them under named namespaces so report
+builders and artifacts consume one flat, JSON-ready mapping instead of
+three ad-hoc dict shapes.  Values are numbers only; nested dicts are
+flattened with ``.`` separators.
+"""
+
+from __future__ import annotations
+
+
+class MetricsRegistry:
+    """Grouped numeric counters with a canonical dict rendering."""
+
+    def __init__(self) -> None:
+        self._groups: dict[str, dict[str, float | int]] = {}
+
+    def record(self, group: str, values: dict) -> None:
+        """Merge ``values`` into ``group``, flattening nested dicts."""
+        bucket = self._groups.setdefault(group, {})
+        for key, val in _flatten(values):
+            bucket[key] = val
+
+    def increment(self, group: str, key: str, delta: float | int = 1) -> None:
+        bucket = self._groups.setdefault(group, {})
+        bucket[key] = bucket.get(key, 0) + delta
+
+    def get(self, group: str, key: str, default: float | int = 0):
+        return self._groups.get(group, {}).get(key, default)
+
+    def group(self, group: str) -> dict[str, float | int]:
+        return dict(self._groups.get(group, {}))
+
+    def as_dict(self) -> dict[str, dict[str, float | int]]:
+        """Stable nested rendering: ``{group: {key: value}}``, sorted."""
+        return {g: dict(sorted(vals.items()))
+                for g, vals in sorted(self._groups.items())}
+
+
+def _flatten(values: dict, prefix: str = ""):
+    for key, val in values.items():
+        name = f"{prefix}{key}"
+        if isinstance(val, dict):
+            yield from _flatten(val, prefix=f"{name}.")
+        elif isinstance(val, bool) or not isinstance(val, (int, float)):
+            raise TypeError(
+                f"metric {name!r} must be numeric, got {type(val).__name__}")
+        else:
+            yield name, val

@@ -1,0 +1,480 @@
+"""The inefficiency report: why a schedule costs what it costs.
+
+For one scheduled kernel this module computes, and reconciles against
+the bundle VM's realized-cycle scoreboard:
+
+* a **dependence-height lower bound** -- the latency-weighted longest
+  true-dependence chain (per segment for :class:`LoopProgram` shapes;
+  segments serialize because code motion never crosses a loop
+  boundary, so per-segment bounds sum).  COPY/NOP ops weigh zero: copy
+  substitution lets consumers bypass renaming copies, so counting them
+  would overshoot the bound.  The bound is taken over chains ending in
+  a side effect (store / conditional jump) -- those sinks can never be
+  dead-code-eliminated, which keeps the bound valid for the *scheduled*
+  graph too;
+* a **resource lower bound** -- ``ceil(ops committed / fus)``: no
+  machine with ``fus`` slots per cycle can retire the committed work
+  faster;
+* **per-node slot usage** -- static occupancy by FU class plus dynamic
+  ``visits`` / ``committed`` counts from a profiled VM run, with the
+  exact accounting identity
+  ``fus * steps == committed + uncommitted + idle``
+  checked per run (``uncommitted`` = issued slots whose op was off the
+  taken CJ path; ``idle`` = slots the schedule never filled);
+* the **decision-journal tallies** and top blocked candidates, and the
+  unwinding / pattern-detection outcome per segment.
+
+Every cross-check lands in ``reconcile``; :class:`ReconcileError` means
+the observability layer and the VM disagree -- a bug, never a warning.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..backend.bundles import encode
+from ..backend.vm import BundleVM
+from ..ir.loops import CountedLoop, LoopProgram, WhileLoop
+from ..ir.operations import Operation, OpKind
+from ..machine.model import FUClass, MachineConfig
+from ..simulator.check import initial_state, input_registers
+from .journal import DecisionJournal
+from .metrics import MetricsRegistry
+
+
+class ReconcileError(AssertionError):
+    """The report's accounting disagrees with the VM scoreboard."""
+
+
+# ----------------------------------------------------------------------
+# Dependence-height lower bound
+# ----------------------------------------------------------------------
+def critical_path_bound(ops: Sequence[Operation],
+                        machine: MachineConfig | None = None, *,
+                        sinks: str = "effects") -> int:
+    """Latency-weighted longest true-dependence chain over ``ops``.
+
+    A valid lower bound on the realized cycles of *any* legal schedule
+    of ``ops``: truly dependent operations cannot share a bundle, and
+    under the scoreboard a read stalls until ``issue + latency`` of its
+    producer.  COPY and NOP weigh zero (see module docstring).
+
+    ``sinks="effects"`` (default) takes the maximum over chains ending
+    in a store or conditional jump -- sinks clean-up can never delete;
+    ``sinks="all"`` takes the maximum over every op (tighter, but only
+    valid when no chain tail is dead code).
+    """
+    from ..analysis.dependence import build_dag
+
+    machine = machine if machine is not None else MachineConfig()
+    if not ops:
+        return 0
+    dag = build_dag(ops)
+
+    def weight(op: Operation) -> int:
+        if op.kind is OpKind.COPY or op.kind is OpKind.NOP:
+            return 0
+        return machine.latency(op)
+
+    # Ops arrive in program order and intra-iteration true edges point
+    # forward, so one reverse sweep computes the chain DP iteratively
+    # (recursion would overflow on long unwound chains).
+    height: dict[int, int] = {}
+    for uid in reversed(dag.order):
+        best = 0
+        for succ in dag.true_succs(uid, carried=False):
+            h = height.get(succ, 0)
+            if h > best:
+                best = h
+        height[uid] = weight(dag.ops[uid]) + best
+    if sinks == "all":
+        return max(height.values(), default=0)
+    # Chains *ending* at an effect: walk tops (chain start heights) is
+    # wrong here -- instead compute the downward height anchored at
+    # effect sinks by a forward sweep of "longest chain ending at uid".
+    ending: dict[int, int] = {}
+    for uid in dag.order:
+        best = 0
+        for pred in dag.true_preds(uid, carried=False):
+            h = ending.get(pred, 0)
+            if h > best:
+                best = h
+        ending[uid] = weight(dag.ops[uid]) + best
+    effect = [ending[uid] for uid in dag.order
+              if dag.ops[uid].writes_memory or dag.ops[uid].is_cjump]
+    return max(effect, default=0)
+
+
+@dataclass
+class SegmentBound:
+    """Unwinding / pattern outcome and dependence bound of one segment."""
+
+    index: int
+    kind: str                      # "counted" | "while" | "epilogue"
+    name: str
+    dependence_bound: int
+    iterations: int | None = None
+    pattern: str | None = None
+    ii: float | None = None
+    converged: bool | None = None
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "kind": self.kind, "name": self.name,
+                "dependence_bound": self.dependence_bound,
+                "iterations": self.iterations, "pattern": self.pattern,
+                "ii": self.ii, "converged": self.converged}
+
+
+# ----------------------------------------------------------------------
+# Per-node slot usage
+# ----------------------------------------------------------------------
+@dataclass
+class NodeUsage:
+    """Static occupancy + dynamic profile of one bundle."""
+
+    bundle: int
+    nid: int
+    kind: str
+    used_slots: int
+    idle_slots: int
+    visits: int
+    committed: int
+    uncommitted: int
+    by_class: dict[str, dict[str, int | None]] = field(default_factory=dict)
+
+    @property
+    def issued(self) -> int:
+        return self.visits * self.used_slots
+
+    @property
+    def idle_total(self) -> int:
+        """Dynamic idle slots: empty issue slots over all visits."""
+        return self.visits * self.idle_slots
+
+    def to_dict(self) -> dict:
+        return {"bundle": self.bundle, "nid": self.nid, "kind": self.kind,
+                "used_slots": self.used_slots, "idle_slots": self.idle_slots,
+                "visits": self.visits, "issued": self.issued,
+                "committed": self.committed,
+                "uncommitted": self.uncommitted,
+                "idle_total": self.idle_total,
+                "by_class": self.by_class}
+
+
+# ----------------------------------------------------------------------
+# The report
+# ----------------------------------------------------------------------
+@dataclass
+class InefficiencyReport:
+    """Everything ``repro explain`` knows about one schedule."""
+
+    kernel: str
+    family: str | None
+    fus: int | None
+    unroll: int
+    seed: int
+    kind: str                      # "loop" | "program"
+    machine: MachineConfig
+    journal: DecisionJournal
+    metrics: MetricsRegistry
+    segments: list[SegmentBound]
+    nodes: list[NodeUsage]
+    speedup: float | None
+    schedule_nodes: int
+    schedule_ops: int
+    converged: bool
+    vm_steps: int
+    vm_cycles: int
+    ops_committed: int
+    schedule_length: int
+    spill_bundles: int
+    dependence_bound: int
+    resource_bound: int
+    reconcile: dict[str, bool]
+
+    # -- derived --------------------------------------------------------
+    @property
+    def achieved_cycles(self) -> int:
+        return self.vm_cycles
+
+    @property
+    def lower_bound(self) -> int:
+        return max(self.dependence_bound, self.resource_bound)
+
+    @property
+    def efficiency(self) -> float | None:
+        """lower_bound / achieved: 1.0 = provably optimal schedule."""
+        if not self.achieved_cycles:
+            return None
+        return self.lower_bound / self.achieved_cycles
+
+    @property
+    def reconciled(self) -> bool:
+        return all(self.reconcile.values())
+
+    @property
+    def totals(self) -> dict[str, int]:
+        return {
+            "issue_slots": (self.fus * self.vm_steps
+                            if self.fus is not None else 0),
+            "committed": self.ops_committed,
+            "uncommitted": sum(n.uncommitted for n in self.nodes),
+            "idle_slots": sum(n.idle_total for n in self.nodes),
+        }
+
+    def top_blocked(self, k: int = 5) -> list[dict]:
+        return self.journal.top_blocked(k)
+
+    def render(self) -> str:
+        m = "inf" if self.fus is None else str(self.fus)
+        lines = [
+            f"explain {self.kernel} ({self.kind}, fus={m}, "
+            f"unroll={self.unroll}, seed={self.seed})",
+            "",
+            f"achieved:    {self.achieved_cycles} cycles "
+            f"({self.vm_steps} bundles, {self.ops_committed} ops committed, "
+            f"{self.spill_bundles} spill bundles)",
+            f"lower bound: {self.lower_bound} cycles "
+            f"(dependence height {self.dependence_bound}, "
+            f"resource {self.resource_bound})",
+        ]
+        if self.efficiency is not None:
+            lines.append(f"efficiency:  {self.efficiency:.1%} of bound")
+        if self.speedup is not None:
+            lines.append(f"speedup:     {self.speedup:.2f}")
+        tot = self.totals
+        if self.fus is not None:
+            lines.append(
+                f"slots:       {tot['issue_slots']} issued = "
+                f"{tot['committed']} committed + "
+                f"{tot['uncommitted']} uncommitted + "
+                f"{tot['idle_slots']} idle")
+        lines.append("")
+        lines.append("segments:")
+        for seg in self.segments:
+            det = f"  [{seg.index}] {seg.kind:8s} {seg.name}: " \
+                  f"bound {seg.dependence_bound}"
+            if seg.iterations is not None:
+                det += f", {seg.iterations} iterations"
+            if seg.ii is not None:
+                det += f", II={seg.ii:.3f}"
+            if seg.kind == "counted":
+                det += (", kernel found" if seg.pattern
+                        else ", no periodic kernel")
+            lines.append(det)
+        lines.append("")
+        lines.append(self.journal.summary_line())
+        blocked = self.top_blocked()
+        if blocked:
+            lines.append("top blocked candidates:")
+            for b in blocked:
+                lines.append(f"  t{b['tid']} {b['op']}: {b['count']}x "
+                             f"({b['reason']})")
+        worst = sorted((n for n in self.nodes if n.idle_total),
+                       key=lambda n: -n.idle_total)[:5]
+        if worst:
+            lines.append("idlest nodes (bundle: idle slots over run):")
+            for n in worst:
+                lines.append(
+                    f"  b{n.bundle} (n{n.nid}, {n.kind}): "
+                    f"{n.idle_total} idle = {n.visits} visits x "
+                    f"{n.idle_slots} empty slots")
+        lines.append("")
+        lines.append(f"reconcile: {'ok' if self.reconciled else 'FAILED'} "
+                     f"({', '.join(sorted(self.reconcile))})")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def build_report(kernel, machine: MachineConfig, *, unroll: int,
+                 seed: int = 0, family: str | None = None,
+                 max_steps: int = 2_000_000) -> InefficiencyReport:
+    """Schedule ``kernel`` with a decision journal, execute it on the
+    bundle VM (normal + profiled), and reconcile every count.
+
+    ``kernel`` is a :class:`CountedLoop` or :class:`LoopProgram`;
+    :class:`WhileLoop` shapes arrive wrapped in a program by the
+    workload builders.
+    """
+    journal = DecisionJournal()
+    metrics = MetricsRegistry()
+    stages: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    if isinstance(kernel, LoopProgram):
+        kind, segments, graph, speedup, scheds = _schedule_program(
+            kernel, machine, unroll, journal)
+    else:
+        kind, segments, graph, speedup, scheds = _schedule_loop(
+            kernel, machine, unroll, journal)
+    stages["pipeline"] = time.perf_counter() - t0
+    stages["schedule"] = sum(s.seconds for s in scheds)
+
+    t1 = time.perf_counter()
+    program = encode(graph, machine)
+    vm = BundleVM(program)
+    stages["encode"] = time.perf_counter() - t1
+
+    t2 = time.perf_counter()
+    inputs = input_registers(graph)
+    st = initial_state(seed, inputs)
+    normal = vm.run(init_regs=dict(st.regs), mem_default=st.mem_default,
+                    max_steps=max_steps)
+    st2 = initial_state(seed, inputs)
+    profiled, visits, committed = vm.run_profiled(
+        init_regs=dict(st2.regs), mem_default=st2.mem_default,
+        max_steps=max_steps)
+    stages["vm"] = time.perf_counter() - t2
+
+    nodes = _node_usage(program, machine, visits, committed)
+    reconcile = _reconcile(machine, normal, profiled, nodes, journal, scheds)
+    if not all(reconcile.values()):
+        bad = sorted(k for k, v in reconcile.items() if not v)
+        raise ReconcileError(
+            f"{getattr(kernel, 'name', kernel)!r}: report does not "
+            f"reconcile with the VM scoreboard: {', '.join(bad)}")
+
+    analysis: dict[str, int] = {}
+    for s in scheds:
+        for key, val in s.analysis_counters.items():
+            analysis[key] = analysis.get(key, 0) + val
+    metrics.record("journal", journal.tallies())
+    if analysis:
+        metrics.record("analysis", analysis)
+    metrics.record("stages", stages)
+
+    dep_bound = sum(seg.dependence_bound for seg in segments)
+    res_bound = (-(-normal.ops_committed // machine.fus)
+                 if machine.fus else 0)
+    return InefficiencyReport(
+        kernel=getattr(kernel, "name", "?"), family=family,
+        fus=machine.fus, unroll=unroll, seed=seed, kind=kind,
+        machine=machine, journal=journal, metrics=metrics,
+        segments=segments, nodes=nodes, speedup=speedup,
+        schedule_nodes=len(graph.nodes), schedule_ops=graph.op_count(),
+        converged=all(seg.converged is not False for seg in segments),
+        vm_steps=normal.steps, vm_cycles=normal.cycles,
+        ops_committed=normal.ops_committed,
+        schedule_length=program.schedule_length,
+        spill_bundles=program.spill_bundles,
+        dependence_bound=dep_bound, resource_bound=res_bound,
+        reconcile=reconcile)
+
+
+def _schedule_loop(loop: CountedLoop, machine, unroll, journal):
+    from ..pipelining.perfect import pipeline_loop
+
+    res = pipeline_loop(loop, machine, unroll=unroll, measure=False,
+                        tracer=journal)
+    ii = res.initiation_interval
+    seg = SegmentBound(
+        index=0, kind="counted", name=loop.name,
+        dependence_bound=critical_path_bound(res.unwound.ops, machine),
+        iterations=res.unwound.iterations,
+        pattern=str(res.pattern) if res.pattern is not None else None,
+        ii=ii, converged=res.converged)
+    return ("loop", [seg], res.unwound.graph, res.speedup, [res.schedule])
+
+
+def _schedule_program(program: LoopProgram, machine, unroll, journal):
+    from ..pipelining.program import pipeline_program
+
+    res = pipeline_program(program, machine, unroll=unroll, measure=False,
+                           tracer=journal)
+    segments: list[SegmentBound] = []
+    scheds = []
+    for i, seg in enumerate(res.segments):
+        if seg.kind == "counted":
+            assert seg.unwound is not None
+            ii = seg.initiation_interval
+            segments.append(SegmentBound(
+                index=i, kind="counted", name=seg.loop.name,
+                dependence_bound=critical_path_bound(seg.unwound.ops,
+                                                     machine),
+                iterations=seg.unwound.iterations,
+                pattern=(str(seg.pattern) if seg.pattern is not None
+                         else None),
+                ii=ii, converged=seg.converged))
+            if seg.schedule is not None:
+                scheds.append(seg.schedule)
+        else:
+            loop = seg.loop
+            assert isinstance(loop, WhileLoop)
+            # Only the pre-loop code and the first condition evaluation
+            # are guaranteed to execute (the trip count is data-
+            # dependent), so the sound per-segment bound is the chain
+            # through preheader + condition + exit jump alone.
+            ops = list(loop.preheader_ops) + list(loop.cond_ops) \
+                + [loop.cj_op]
+            segments.append(SegmentBound(
+                index=i, kind="while", name=loop.name,
+                dependence_bound=critical_path_bound(ops, machine),
+                iterations=None, pattern=None, ii=None, converged=None))
+    if program.epilogue_ops:
+        segments.append(SegmentBound(
+            index=len(segments), kind="epilogue", name="epilogue",
+            dependence_bound=critical_path_bound(program.epilogue_ops,
+                                                 machine)))
+    return ("program", segments, res.graph, res.speedup, scheds)
+
+
+def _node_usage(program, machine: MachineConfig, visits: list[int],
+                committed: list[int]) -> list[NodeUsage]:
+    fus = machine.fus
+    out: list[NodeUsage] = []
+    for b in program.bundles:
+        # CJ ops are encoded into the branch tree, not the slot lists,
+        # but they consume issue slots exactly like regular ops (the
+        # scheduler's slots_used() counts them) -- one tree row per CJ.
+        n_cjs = len(b.tree)
+        used = b.op_count() + n_cjs
+        idle = (fus - used) if fus is not None else 0
+        by_class = {}
+        for cls in FUClass:
+            n = len(b.slots[cls])
+            if cls is FUClass.BRANCH:
+                n += n_cjs
+            budget = machine.class_budget(cls)
+            if n or budget is not None:
+                by_class[cls.name] = {"used": n, "budget": budget}
+        out.append(NodeUsage(
+            bundle=b.index, nid=b.nid, kind=b.kind, used_slots=used,
+            idle_slots=idle, visits=visits[b.index],
+            committed=committed[b.index],
+            uncommitted=visits[b.index] * used - committed[b.index],
+            by_class=by_class))
+    return out
+
+
+def _reconcile(machine, normal, profiled, nodes, journal,
+               scheds) -> dict[str, bool]:
+    """Every cross-check between the report and the VM scoreboard.
+
+    The profiled run re-executes the program on the decoded-tuple
+    interpreter, so agreement with the normal (compiled) run doubles
+    as a compiled-vs-interpreted differential check.
+    """
+    checks = {
+        "profiled_run_matches": (
+            profiled.steps == normal.steps
+            and profiled.cycles == normal.cycles
+            and profiled.ops_committed == normal.ops_committed),
+        "visits_sum_to_steps": (
+            sum(n.visits for n in nodes) == normal.steps),
+        "commits_sum_to_ops": (
+            sum(n.committed for n in nodes) == normal.ops_committed),
+        "uncommitted_nonnegative": all(n.uncommitted >= 0 for n in nodes),
+        "journal_matches_stats": (
+            journal.accepted == sum(s.stats.moves for s in scheds)),
+    }
+    if machine.fus is not None:
+        total = machine.fus * normal.steps
+        checks["slot_identity"] = (
+            total == normal.ops_committed
+            + sum(n.uncommitted for n in nodes)
+            + sum(n.idle_total for n in nodes))
+    return checks

@@ -1,0 +1,214 @@
+"""The scheduler decision tracer: typed events, zero-cost when off.
+
+GRiP makes thousands of micro-decisions per schedule -- rank this
+candidate, attempt this hop, veto that one -- and the paper evaluates
+the outcome only by final cycle counts.  This module defines the
+*decision points* as typed events and a pluggable :class:`Tracer`
+protocol to observe them:
+
+* :data:`NULL_TRACER` (the default everywhere) has ``enabled = False``
+  and every hot path guards emission with ``if tracer.enabled:``, so
+  tracing costs nothing when off -- schedules are bit-identical with
+  and without a tracer attached
+  (``tests/integration/test_schedule_equivalence.py`` pins this).
+* :class:`~repro.obs.journal.DecisionJournal` is the standard consumer:
+  it tallies events into the inefficiency report and ``repro explain``.
+
+Tracers are **observe-only** by contract: an emit must never mutate
+the graph, the policy, or any scheduling state.
+
+Reason codes
+------------
+Every rejected move carries one :class:`Reason`, classified from the
+percolation layer's failure reports (``repro.percolation.conflicts``):
+
+=================  ====================================================
+code               meaning
+=================  ====================================================
+``dependence``     a true / memory dependence blocks the hop
+``resource``       the target instruction is full (total budget)
+``typed-slots``    only the op's FU class is exhausted; total has room
+``gap-veto``       gap-prevention rules 1/3 vetoed the hop
+``unify-fail``     could neither unify nor rename (no dest / no regs)
+``speculation``    speculation disabled and the op is guarded
+``loop-boundary``  the only path upward crosses a loop back edge
+``no-edge``        target is not a predecessor of the source node
+``vanished``       the instance disappeared mid-sweep (unify/split)
+``other``          anything else (kept for forward compatibility)
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Reason(str, Enum):
+    """Stable (JSON-safe) rejection reason codes."""
+
+    DEPENDENCE = "dependence"
+    RESOURCE = "resource"
+    TYPED_SLOTS = "typed-slots"
+    GAP_VETO = "gap-veto"
+    UNIFY_FAIL = "unify-fail"
+    SPECULATION = "speculation"
+    LOOP_BOUNDARY = "loop-boundary"
+    NO_EDGE = "no-edge"
+    VANISHED = "vanished"
+    OTHER = "other"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: conflict-report prefix (``reason.split(":")[0]``) -> Reason
+_PREFIX_MAP = {
+    "true-dep": Reason.DEPENDENCE,
+    "mem-true-dep": Reason.DEPENDENCE,
+    "mem-output-dep": Reason.DEPENDENCE,
+    "store-speculation": Reason.DEPENDENCE,
+    "cj-not-root": Reason.DEPENDENCE,
+    "blocked": Reason.DEPENDENCE,
+    "resources": Reason.RESOURCE,
+    "speculation-disabled": Reason.SPECULATION,
+    "rename-impossible": Reason.UNIFY_FAIL,
+    "no-edge": Reason.NO_EDGE,
+    "no-op": Reason.VANISHED,
+}
+
+
+def classify_failure(detail: str, *, resource_blocked: bool = False,
+                     typed_starved: bool = False) -> Reason:
+    """Map a percolation failure report onto one :class:`Reason`.
+
+    ``resource_blocked`` comes from :class:`MoveOutcome`;
+    ``typed_starved`` refines it: the total budget had room, so only
+    the op's FU class was exhausted (typed machines only).
+    """
+    if resource_blocked:
+        return Reason.TYPED_SLOTS if typed_starved else Reason.RESOURCE
+    head = detail.split(":", 1)[0]
+    mapped = _PREFIX_MAP.get(head)
+    if mapped is not None:
+        return mapped
+    if "is not a predecessor" in detail:
+        return Reason.NO_EDGE
+    return Reason.OTHER
+
+
+# ----------------------------------------------------------------------
+# Typed events, one per decision point
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NodeBegin:
+    """The scheduler started filling node ``nid``."""
+
+    nid: int
+
+
+@dataclass(frozen=True)
+class NodeEnd:
+    """Node ``nid`` is full / out of candidates after ``rounds`` rounds."""
+
+    nid: int
+    rounds: int
+
+
+@dataclass(frozen=True)
+class CandidateSetBuilt:
+    """A ranked candidate set for node ``nid`` was (re)built.
+
+    Emitted once per construction (cache hits re-read, they don't
+    rebuild), so the journal tally mirrors ``MoveableOps.set_builds``.
+    """
+
+    nid: int
+    size: int
+
+
+@dataclass(frozen=True)
+class MoveAccepted:
+    """One hop succeeded: instance of template ``tid`` From -> To."""
+
+    tid: int
+    op: str
+    from_nid: int
+    to_nid: int
+    renamed: bool = False
+    unified: bool = False
+    split: bool = False
+
+
+@dataclass(frozen=True)
+class MoveRejected:
+    """One hop (or a whole migrate) failed, with a classified reason."""
+
+    tid: int
+    op: str
+    from_nid: int
+    to_nid: int
+    reason: Reason
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Suspended:
+    """Gap prevention rule 1: the template failed Gapless-move."""
+
+    tid: int
+    op: str
+    nid: int
+
+
+@dataclass(frozen=True)
+class BoundarySkipped:
+    """Migrate refused to carry an instance across a loop back edge."""
+
+    tid: int
+    nid: int
+    pred: int
+
+
+@dataclass(frozen=True)
+class SegmentBegin:
+    """Program scheduling entered segment ``index`` (``kind``, name)."""
+
+    index: int
+    kind: str
+    name: str
+
+
+Event = (NodeBegin | NodeEnd | CandidateSetBuilt | MoveAccepted
+         | MoveRejected | Suspended | BoundarySkipped | SegmentBegin)
+
+
+# ----------------------------------------------------------------------
+# Tracer protocol + the zero-cost default
+# ----------------------------------------------------------------------
+class Tracer:
+    """Base tracer: ``enabled`` gates emission at every decision point.
+
+    Hot paths check ``tracer.enabled`` before *constructing* an event,
+    so a disabled tracer costs one attribute read per decision point
+    and zero allocations.  Subclasses set ``enabled = True`` and
+    override :meth:`emit`; they must be observe-only.
+    """
+
+    enabled: bool = False
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - interface
+        pass
+
+
+class NullTracer(Tracer):
+    """The do-nothing default."""
+
+    enabled = False
+
+    def emit(self, event: Event) -> None:
+        pass
+
+
+#: Shared default instance -- safe because it carries no state.
+NULL_TRACER = NullTracer()

@@ -27,6 +27,15 @@ from ..ir.graph import ProgramGraph
 from ..ir.operations import Operation
 from ..ir.registers import Reg, RegisterFile
 from ..machine.model import MachineConfig
+from ..obs.tracer import (
+    NULL_TRACER,
+    BoundarySkipped,
+    MoveAccepted,
+    MoveRejected,
+    Reason,
+    Tracer,
+    classify_failure,
+)
 from .moveop import MoveOutcome, PercolationStats, move_op
 from .movecj import move_cj
 
@@ -74,6 +83,7 @@ class MigrateContext:
     exit_live: frozenset[Reg] = frozenset()
     allow_speculation: bool = True
     split_shared: bool = True
+    tracer: Tracer = NULL_TRACER
 
     def hop(self, from_nid: int, to_nid: int, uid: int) -> MoveOutcome:
         """One guarded hop of op instance ``uid`` From -> To."""
@@ -85,6 +95,8 @@ class MigrateContext:
         else:
             return MoveOutcome(False, reason="no-op: vanished")
         if not self.policy.allow_move(self.graph, from_nid, to_nid, op):
+            # A vetoing policy (gap prevention) reports its own rejection
+            # event with the suspend/rule-3 detail only it knows.
             return MoveOutcome(False, reason="policy-veto")
         if op.is_cjump:
             out = move_cj(self.graph, from_nid, to_nid, uid,
@@ -98,7 +110,31 @@ class MigrateContext:
                           split_shared=self.split_shared)
         if out.moved:
             self.policy.after_move(self.graph, out, op)
+        if self.tracer.enabled:
+            self._trace_hop(op, from_nid, to_nid, out)
         return out
+
+    def _trace_hop(self, op: Operation, from_nid: int, to_nid: int,
+                   out: MoveOutcome) -> None:
+        if out.moved:
+            self.tracer.emit(MoveAccepted(
+                tid=op.tid, op=op.label, from_nid=from_nid, to_nid=to_nid,
+                renamed=out.renamed, unified=out.unified,
+                split=out.split_nid is not None))
+            return
+        typed_starved = False
+        if out.resource_blocked and self.machine.typed \
+                and self.machine.fus is not None:
+            to_node = self.graph.nodes.get(to_nid)
+            typed_starved = (
+                to_node is not None
+                and self.machine.fus - self.machine.slots_used(to_node) > 0)
+        self.tracer.emit(MoveRejected(
+            tid=op.tid, op=op.label, from_nid=from_nid, to_nid=to_nid,
+            reason=classify_failure(out.reason,
+                                    resource_blocked=out.resource_blocked,
+                                    typed_starved=typed_starved),
+            detail=out.reason))
 
 
 def region_below(graph: ProgramGraph, n: int) -> list[int]:
@@ -155,12 +191,20 @@ def migrate(ctx: MigrateContext, n: int, tid: int) -> bool:
                 if index.get(cur_nid, -1) <= index.get(n, -1):
                     break  # reached the target level
                 hopped = False
+                attempted = 0
+                boundary = 0
                 for pred in sorted(graph.predecessors(cur_nid),
                                    key=lambda p: index.get(p, 1 << 30)):
                     if index.get(pred, -1) < index.get(n, 0):
                         continue  # above the scheduling target
                     if _is_back_edge(graph, pred, cur_nid):
+                        boundary += 1
+                        if ctx.tracer.enabled:
+                            op0 = graph.nodes[cur_nid].get_op(cur_uid)
+                            ctx.tracer.emit(BoundarySkipped(
+                                tid=op0.tid, nid=cur_nid, pred=pred))
                         continue
+                    attempted += 1
                     out = ctx.hop(cur_nid, pred, cur_uid)
                     if out.moved:
                         moved_any = True
@@ -170,6 +214,14 @@ def migrate(ctx: MigrateContext, n: int, tid: int) -> bool:
                         hopped = True
                         break
                 if not hopped:
+                    if ctx.tracer.enabled and not attempted and boundary:
+                        # Nothing upward was even attemptable: every
+                        # remaining path crosses a loop back edge.
+                        op0 = graph.nodes[cur_nid].get_op(cur_uid)
+                        ctx.tracer.emit(MoveRejected(
+                            tid=op0.tid, op=op0.label, from_nid=cur_nid,
+                            to_nid=n, reason=Reason.LOOP_BOUNDARY,
+                            detail="all upward paths cross a back edge"))
                     break
                 if ctx.policy.stop_sweep():
                     return moved_any

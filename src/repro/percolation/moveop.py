@@ -69,6 +69,13 @@ class PercolationStats:
         key = reason.split(":")[0]
         self.by_reason[key] = self.by_reason.get(key, 0) + 1
 
+    def tally_line(self) -> str:
+        """One-line move tallies for schedule summaries."""
+        rej = sorted(self.by_reason.items(), key=lambda kv: (-kv[1], kv[0]))
+        detail = ", ".join(f"{k}={v}" for k, v in rej) or "none"
+        return (f"tried: {self.attempts} attempts -> {self.moves} moves; "
+                f"rejected: {detail}")
+
 
 def move_op(graph: ProgramGraph, from_nid: int, to_nid: int, uid: int, *,
             machine: MachineConfig, regfile: RegisterFile,

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from ..ir.loops import CountedLoop
 from ..machine.model import MachineConfig
+from ..obs.tracer import NULL_TRACER, SegmentBegin, Tracer
 from ..scheduling.grip import GRiPScheduler, ScheduleResult
 from ..scheduling.priority import Heuristic, PaperHeuristic
 from ..simulator.check import EquivalenceError, initial_state, input_registers
@@ -97,6 +98,7 @@ class PipelineResult:
         if self.measured_speedup is not None:
             lines.append(f"  speedup (measured, {self.unwound.iterations} "
                          f"iters incl. ramp): {self.measured_speedup:.2f}")
+        lines.append(f"  {self.schedule.stats.tally_line()}")
         return "\n".join(lines)
 
 
@@ -113,14 +115,23 @@ def pipeline_loop(loop: CountedLoop, machine: MachineConfig, *,
                   allow_speculation: bool = True,
                   measure: bool = True,
                   verify: bool = True,
-                  seeds: tuple[int, ...] = (0,)) -> PipelineResult:
-    """Run the full Perfect Pipelining flow on one counted loop."""
+                  seeds: tuple[int, ...] = (0,),
+                  tracer: Tracer | None = None) -> PipelineResult:
+    """Run the full Perfect Pipelining flow on one counted loop.
+
+    ``tracer`` (observe-only) receives the scheduler's decision stream;
+    the default null tracer costs nothing.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
     k = unroll if unroll is not None else default_unroll(machine, loop)
     unwound = unwind_counted(loop, k)
+    if tracer.enabled:
+        tracer.emit(SegmentBegin(index=0, kind="counted", name=loop.name))
     scheduler = GRiPScheduler(
         machine, heuristic or PaperHeuristic(),
         gap_prevention=gap_prevention,
-        allow_speculation=allow_speculation)
+        allow_speculation=allow_speculation,
+        tracer=tracer)
     schedule = scheduler.schedule(unwound.graph, ranking_ops=unwound.ops)
     pattern = find_pattern(unwound, unwound.graph)
     throughput = graph_throughput(unwound, unwound.graph)

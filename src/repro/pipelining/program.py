@@ -40,6 +40,7 @@ from ..ir.cjtree import EXIT
 from ..ir.graph import ProgramGraph
 from ..ir.loops import CountedLoop, LoopProgram, WhileLoop, concat_graphs
 from ..machine.model import MachineConfig
+from ..obs.tracer import NULL_TRACER, SegmentBegin, Tracer
 from ..scheduling.grip import GRiPScheduler, ScheduleResult
 from ..scheduling.listsched import list_schedule
 from ..scheduling.priority import Heuristic, PaperHeuristic
@@ -188,7 +189,26 @@ class ProgramPipelineResult:
         if self.measured_speedup is not None:
             lines.append(f"  speedup (measured, whole program): "
                          f"{self.measured_speedup:.2f}")
+        merged = self._merged_stats()
+        if merged is not None:
+            lines.append(f"  {merged.tally_line()}")
         return "\n".join(lines)
+
+    def _merged_stats(self):
+        """Move tallies summed over the counted segments (None if none)."""
+        from ..percolation.moveop import PercolationStats
+
+        scheds = [seg.schedule for seg in self.segments
+                  if seg.schedule is not None]
+        if not scheds:
+            return None
+        merged = PercolationStats()
+        for s in scheds:
+            merged.attempts += s.stats.attempts
+            merged.moves += s.stats.moves
+            for key, val in s.stats.by_reason.items():
+                merged.by_reason[key] = merged.by_reason.get(key, 0) + val
+        return merged
 
 
 def pipeline_program(program: LoopProgram, machine: MachineConfig, *,
@@ -199,16 +219,23 @@ def pipeline_program(program: LoopProgram, machine: MachineConfig, *,
                      measure: bool = True,
                      verify: bool = True,
                      verify_analysis: bool = False,
-                     seeds: tuple[int, ...] = (0,)) -> ProgramPipelineResult:
+                     seeds: tuple[int, ...] = (0,),
+                     tracer: Tracer | None = None) -> ProgramPipelineResult:
     """Schedule a whole loop program, one isolated segment at a time.
 
     ``verify_analysis`` attaches a verifying
     :class:`~repro.analysis.incremental.AnalysisManager` to every
     counted segment before GRiP runs (the fuzz lane's journal check).
+    ``tracer`` (observe-only) receives every counted segment's GRiP
+    decision stream, bracketed by ``SegmentBegin`` events.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     segments: list[SegmentSchedule] = []
-    for lp in program.loops:
+    for i, lp in enumerate(program.loops):
         if isinstance(lp, CountedLoop):
+            if tracer.enabled:
+                tracer.emit(SegmentBegin(index=i, kind="counted",
+                                         name=lp.name))
             k = unroll if unroll is not None else default_unroll(machine, lp)
             unwound = unwind_counted(lp, k)
             if verify_analysis:
@@ -218,7 +245,8 @@ def pipeline_program(program: LoopProgram, machine: MachineConfig, *,
             scheduler = GRiPScheduler(
                 machine, heuristic or PaperHeuristic(),
                 gap_prevention=gap_prevention,
-                allow_speculation=allow_speculation)
+                allow_speculation=allow_speculation,
+                tracer=tracer)
             sched = scheduler.schedule(unwound.graph,
                                        ranking_ops=unwound.ops,
                                        exit_live=lp.live_out)
@@ -228,6 +256,9 @@ def pipeline_program(program: LoopProgram, machine: MachineConfig, *,
                 pattern=find_pattern(unwound, unwound.graph),
                 throughput=graph_throughput(unwound, unwound.graph)))
         else:
+            if tracer.enabled:
+                tracer.emit(SegmentBegin(index=i, kind="while",
+                                         name=lp.name))
             segments.append(SegmentSchedule(
                 loop=lp, kind="while",
                 graph=compact_while(lp, machine, heuristic=heuristic)))

@@ -36,6 +36,13 @@ from ..analysis.incremental import iterations_below, rpo_index
 from ..ir.graph import ProgramGraph
 from ..ir.operations import Operation
 from ..machine.model import MachineConfig
+from ..obs.tracer import (
+    NULL_TRACER,
+    MoveRejected,
+    Reason,
+    Suspended,
+    Tracer,
+)
 from ..percolation.conflicts import analyse_cj_move, analyse_move
 from ..percolation.migrate import MoveOutcome
 
@@ -151,6 +158,8 @@ class GapPreventionPolicy:
     graph: ProgramGraph
     machine: MachineConfig
     enabled: bool = True
+    #: decision tracer (observe-only; NULL_TRACER costs nothing)
+    tracer: Tracer = NULL_TRACER
     #: suspended template -> depth (RPO position) at suspension time
     suspended: dict[int, int] = field(default_factory=dict)
     moved_while_suspended: bool = False
@@ -171,6 +180,7 @@ class GapPreventionPolicy:
         if op.tid in self.suspended:
             self.vetoes += 1
             self.vetoed_tids.add(op.tid)
+            self._trace_veto(op, from_nid, to_nid, "template is suspended")
             return False
         if self.suspended:
             # Rule 3: only ops strictly below the lowest suspended one move.
@@ -179,6 +189,8 @@ class GapPreventionPolicy:
             if index.get(from_nid, -1) <= lowest:
                 self.vetoes += 1
                 self.vetoed_tids.add(op.tid)
+                self._trace_veto(op, from_nid, to_nid,
+                                 "rule 3: not below the lowest suspension")
                 return False
         self.gapless_checks += 1
         uid = self._uid_of(graph, from_nid, op)
@@ -192,7 +204,19 @@ class GapPreventionPolicy:
         self.suspensions += 1
         self.vetoes += 1
         self.vetoed_tids.add(op.tid)
+        if self.tracer.enabled:
+            self.tracer.emit(Suspended(tid=op.tid, op=op.label,
+                                       nid=from_nid))
+        self._trace_veto(op, from_nid, to_nid,
+                         "rule 1: Gapless-move failed, suspended")
         return False
+
+    def _trace_veto(self, op: Operation, from_nid: int, to_nid: int,
+                    detail: str) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(MoveRejected(
+                tid=op.tid, op=op.label, from_nid=from_nid,
+                to_nid=to_nid, reason=Reason.GAP_VETO, detail=detail))
 
     def after_move(self, graph: ProgramGraph, outcome: MoveOutcome,
                    op: Operation) -> None:

@@ -25,6 +25,7 @@ from ..ir.graph import ProgramGraph
 from ..ir.operations import Operation
 from ..ir.registers import Reg, RegisterFile
 from ..machine.model import MachineConfig
+from ..obs.tracer import NULL_TRACER, NodeBegin, NodeEnd, Tracer
 from ..percolation.cleanup import cleanup
 from ..percolation.migrate import MigrateContext, migrate
 from ..percolation.moveop import PercolationStats
@@ -62,6 +63,7 @@ class ScheduleResult:
             f"cj-moves {self.stats.cj_moves}, splits {self.stats.splits})",
             f"blocks: {self.stats.dependence_blocks} dependence, "
             f"{self.stats.resource_blocks} resource",
+            self.stats.tally_line(),
         ]
         if self.gap_policy is not None and self.gap_policy.enabled:
             lines.append(
@@ -110,6 +112,11 @@ class GRiPScheduler:
     cleanup_interval: int = 0
     max_rounds_per_node: int = 10_000
     memoize: bool = True
+    #: decision tracer threaded through Moveable-ops, gap prevention
+    #: and every migrate hop.  Observe-only by contract: schedules are
+    #: bit-identical with any tracer attached, and the NULL_TRACER
+    #: default costs one attribute read per decision point.
+    tracer: Tracer = NULL_TRACER
 
     def schedule(self, graph: ProgramGraph, *,
                  ranking_ops: Sequence[Operation] | None = None,
@@ -137,12 +144,15 @@ class GRiPScheduler:
 
         regfile = regfile if regfile is not None else RegisterFile()
         policy = GapPreventionPolicy(graph, self.machine,
-                                     enabled=self.gap_prevention)
+                                     enabled=self.gap_prevention,
+                                     tracer=self.tracer)
         ctx = MigrateContext(
             graph=graph, machine=self.machine, regfile=regfile,
             policy=policy, exit_live=exit_live,
-            allow_speculation=self.allow_speculation)
-        moveable = MoveableOps(graph, ranking, memoize=self.memoize)
+            allow_speculation=self.allow_speculation,
+            tracer=self.tracer)
+        moveable = MoveableOps(graph, ranking, memoize=self.memoize,
+                               tracer=self.tracer)
 
         visited: set[int] = set()
         processed = 0
@@ -195,6 +205,8 @@ class GRiPScheduler:
         graph = ctx.graph
         moveable.begin_node()
         policy.begin_node()
+        if self.tracer.enabled:
+            self.tracer.emit(NodeBegin(nid=n))
         rounds = 0
         retried = False
         while n in graph.nodes and ctx.machine.has_headroom(graph.nodes[n]):
@@ -226,3 +238,5 @@ class GRiPScheduler:
                 retried = True
                 continue
             break
+        if self.tracer.enabled:
+            self.tracer.emit(NodeEnd(nid=n, rounds=rounds))

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from ..analysis.incremental import region_below
 from ..ir.graph import ProgramGraph
 from ..ir.operations import OpKind
+from ..obs.tracer import NULL_TRACER, CandidateSetBuilt, Tracer
 from .priority import Ranking, ranked_templates
 
 
@@ -45,6 +46,8 @@ class MoveableOps:
     ranking: Ranking
     include_copies: bool = True
     memoize: bool = True
+    #: decision tracer (observe-only; NULL_TRACER costs nothing)
+    tracer: Tracer = NULL_TRACER
     #: templates that failed to move at all for the current node
     stuck: set[int] = field(default_factory=set)
     #: templates scheduled (landed in / above the current node)
@@ -111,6 +114,8 @@ class MoveableOps:
                 seen.add(op.tid)
                 tids.append(op.tid)
         ranked = ranked_templates(self.ranking, tids)
+        if self.tracer.enabled:
+            self.tracer.emit(CandidateSetBuilt(nid=n, size=len(ranked)))
         if self.memoize:
             self._ranked_key = key
             self._ranked = ranked

@@ -1,4 +1,4 @@
-"""Differential test: hot-path caching must not change schedules.
+"""Differential tests: observers and caches must not change schedules.
 
 ``GRiPScheduler(memoize=True)`` reuses the RPO worklist and the
 Moveable-ops region/candidate sets while the graph version is
@@ -7,6 +7,12 @@ recompute-everything behavior.  Both paths must produce *identical*
 schedules -- same node structure, same op placement, same
 ``PercolationStats``, same detected kernel -- across every Livermore
 kernel and FU configuration of Table 1.
+
+The same bar applies to the observability layer: attaching a
+:class:`~repro.obs.journal.DecisionJournal` tracer must be a pure
+observer -- bit-identical schedules, stats and kernels versus the
+NULL_TRACER default (the tracer contract ``repro explain`` and
+``bench --profile`` rely on).
 
 The rendered graphs are compared after normalizing CJ-tree leaf ids:
 those come from a process-global counter (``cjtree.next_leaf_id``), so
@@ -17,11 +23,13 @@ deterministic and compared bitwise.
 """
 
 import re
+from functools import lru_cache
 
 import pytest
 
 from repro.ir.render import render_graph
 from repro.machine import MachineConfig
+from repro.obs import DecisionJournal
 from repro.pipelining import find_pattern, unwind_counted
 from repro.scheduling import GRiPScheduler
 from repro.workloads import livermore
@@ -33,32 +41,67 @@ def normalize(rendered: str) -> str:
     return re.sub(r"@paths\[[0-9, ]+\]", "@paths[..]", rendered)
 
 
-def schedule(name: str, fus: int, memoize: bool):
+def schedule(name: str, fus: int, memoize: bool, traced: bool = False):
     unroll = max(12, 3 * fus)
     loop = livermore.kernel(name, unroll)
     unwound = unwind_counted(loop, unroll)
-    res = GRiPScheduler(MachineConfig(fus=fus), memoize=memoize).schedule(
-        unwound.graph, ranking_ops=unwound.ops)
+    journal = DecisionJournal(keep_events=False) if traced else None
+    scheduler = GRiPScheduler(MachineConfig(fus=fus), memoize=memoize)
+    if journal is not None:
+        scheduler.tracer = journal
+    res = scheduler.schedule(unwound.graph, ranking_ops=unwound.ops)
     pattern = find_pattern(unwound, unwound.graph)
-    return unwound.graph, res, pattern
+    return unwound.graph, res, pattern, journal
+
+
+@lru_cache(maxsize=None)
+def schedule_digest(name: str, fus: int, memoize: bool,
+                    traced: bool = False):
+    """Comparable fingerprint of one run (cached: the memoized arm is
+    shared by the cache-neutrality and tracer-neutrality tests)."""
+    graph, res, pattern, journal = schedule(name, fus, memoize, traced)
+    return (normalize(render_graph(graph)), res.stats,
+            res.nodes_processed, str(pattern), res, journal)
 
 
 @pytest.mark.parametrize("name", livermore.kernel_names())
 @pytest.mark.parametrize("fus", FU_CONFIGS)
 def test_cached_schedule_identical_to_uncached(name, fus):
-    g_memo, r_memo, p_memo = schedule(name, fus, memoize=True)
-    g_base, r_base, p_base = schedule(name, fus, memoize=False)
+    g_memo, s_memo, n_memo, p_memo, _, _ = schedule_digest(
+        name, fus, memoize=True)
+    g_base, s_base, n_base, p_base, _, _ = schedule_digest(
+        name, fus, memoize=False)
 
-    assert normalize(render_graph(g_memo)) == normalize(render_graph(g_base))
-    assert r_memo.stats == r_base.stats
-    assert r_memo.nodes_processed == r_base.nodes_processed
-    assert str(p_memo) == str(p_base)
+    assert g_memo == g_base
+    assert s_memo == s_base
+    assert n_memo == n_base
+    assert p_memo == p_base
+
+
+@pytest.mark.parametrize("name", livermore.kernel_names())
+@pytest.mark.parametrize("fus", FU_CONFIGS)
+def test_traced_schedule_identical_to_untraced(name, fus):
+    """A DecisionJournal tracer is observe-only: attaching it changes
+    neither the schedule nor the stats nor the detected kernel."""
+    g_null, s_null, n_null, p_null, _, _ = schedule_digest(
+        name, fus, memoize=True)
+    g_tr, s_tr, n_tr, p_tr, _, journal = schedule_digest(
+        name, fus, memoize=True, traced=True)
+
+    assert g_tr == g_null
+    assert s_tr == s_null
+    assert n_tr == n_null
+    assert p_tr == p_null
+    # The journal agreed with the stats it shadowed.
+    assert journal is not None
+    assert journal.accepted == s_tr.moves
+    assert journal.tried >= journal.accepted
 
 
 def test_memoize_skips_rebuilds():
     """The cache must actually fire: fewer candidate-set builds."""
-    _, r_memo, _ = schedule("LL3", 4, memoize=True)
-    _, r_base, _ = schedule("LL3", 4, memoize=False)
+    _, _, _, _, r_memo, _ = schedule_digest("LL3", 4, memoize=True)
+    _, _, _, _, r_base, _ = schedule_digest("LL3", 4, memoize=False)
     assert r_memo.candidate_builds <= r_base.candidate_builds
 
 

@@ -1,0 +1,93 @@
+"""End-to-end CLI tests: ``repro explain`` and ``repro bench --profile``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench import BenchArtifact
+from repro.obs import validate_explain_file
+
+
+class TestExplainCommand:
+    def test_ll_kernel_writes_valid_artifact(self, tmp_path, capsys):
+        out = tmp_path / "EXPLAIN_ll1.json"
+        rc = main(["explain", "LL1", "--fus", "2", "--unroll", "6",
+                   "--out", str(out)])
+        assert rc == 0
+        validate_explain_file(out)
+        text = capsys.readouterr().out
+        assert "lower bound" in text
+        assert "reconcile: ok" in text
+
+    def test_while_program_kernel(self, tmp_path):
+        out = tmp_path / "EXPLAIN_synwhl.json"
+        rc = main(["explain", "SYNWHL", "--fus", "2", "--unroll", "6",
+                   "--out", str(out)])
+        assert rc == 0
+        validate_explain_file(out)
+        data = json.loads(out.read_text())
+        assert data["kernel_kind"] == "program"
+        assert any(seg["kind"] == "while" for seg in data["segments"])
+
+    def test_default_out_path_and_unroll(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["explain", "LL1", "--fus", "2", "--unroll", "6"])
+        assert rc == 0
+        validate_explain_file(tmp_path / "EXPLAIN_ll1_fus2.json")
+
+    def test_unknown_kernel_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["explain", "NOSUCH", "--fus", "2"])
+        assert exc.value.code == 2
+
+    def test_artifact_matches_rendered_numbers(self, tmp_path, capsys):
+        out = tmp_path / "EXPLAIN_ll3.json"
+        rc = main(["explain", "LL3", "--fus", "4", "--unroll", "6",
+                   "--out", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        text = capsys.readouterr().out
+        achieved = data["bounds"]["achieved_cycles"]
+        assert f"achieved:    {achieved} cycles" in text
+
+
+class TestBenchProfile:
+    def test_profile_embeds_journal_tallies(self, tmp_path):
+        out = tmp_path / "BENCH_profiled.json"
+        rc = main(["bench", "--kernels", "LL1", "--fus", "2",
+                   "--backends", "grip", "--out", str(out), "--profile",
+                   "--name", "profiled"])
+        assert rc == 0
+        art = BenchArtifact.read(out)
+        assert art.config["profile"] is True
+        (rec,) = art.records
+        assert rec.profile is not None
+        assert rec.profile["journal"]["accepted"] == rec.moves
+        assert rec.profile["journal"]["tried"] > 0
+        assert isinstance(rec.profile["top_blocked"], list)
+        assert rec.analysis_counters  # counters always ride along now
+
+    def test_unprofiled_records_have_no_profile(self, tmp_path):
+        out = tmp_path / "BENCH_plain.json"
+        rc = main(["bench", "--kernels", "LL1", "--fus", "2",
+                   "--backends", "grip", "--out", str(out),
+                   "--name", "plain"])
+        assert rc == 0
+        (rec,) = BenchArtifact.read(out).records
+        assert rec.profile is None
+        assert rec.analysis_counters  # satellite: surfaced by default
+
+    def test_profile_does_not_change_speedups(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["bench", "--kernels", "LL3", "--fus", "2",
+              "--backends", "grip", "--out", str(a), "--name", "x"])
+        main(["bench", "--kernels", "LL3", "--fus", "2",
+              "--backends", "grip", "--out", str(b), "--name", "x",
+              "--profile"])
+        ra = BenchArtifact.read(a).records[0]
+        rb = BenchArtifact.read(b).records[0]
+        assert ra.speedup == rb.speedup
+        assert ra.ii == rb.ii
+        assert ra.moves == rb.moves

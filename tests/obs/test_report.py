@@ -1,0 +1,130 @@
+"""Inefficiency-report and EXPLAIN-artifact tests.
+
+``build_report`` already *self-checks* (ReconcileError on any
+accounting mismatch against the VM scoreboard), so these tests focus
+on the derived quantities -- bounds, totals, metrics groups -- and on
+the artifact schema validator actually rejecting corrupted data.
+"""
+
+import json
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.obs import (
+    build_report,
+    to_artifact,
+    validate_explain,
+    validate_explain_file,
+    write_explain,
+)
+from repro.obs.explain import EXPLAIN_KIND, EXPLAIN_SCHEMA_VERSION
+from repro.workloads import build_kernel, livermore
+
+
+@pytest.fixture(scope="module")
+def ll1_report():
+    return build_report(livermore.kernel("LL1", 6), MachineConfig(fus=4),
+                        unroll=6, family="ll")
+
+
+@pytest.fixture(scope="module")
+def synwhl_report():
+    return build_report(build_kernel("SYNWHL", 6), MachineConfig(fus=4),
+                        unroll=6, family="synth")
+
+
+class TestLoopReport:
+    def test_reconciles(self, ll1_report):
+        assert ll1_report.reconciled
+        assert all(ll1_report.reconcile.values())
+
+    def test_bound_below_achieved(self, ll1_report):
+        r = ll1_report
+        assert 0 < r.lower_bound <= r.achieved_cycles
+        assert r.lower_bound == max(r.dependence_bound, r.resource_bound)
+        # 73 committed ops on a 4-wide machine need >= ceil(73/4) bundles
+        assert r.resource_bound == -(-r.ops_committed // 4)
+
+    def test_totals_identity(self, ll1_report):
+        tot = ll1_report.totals
+        assert tot["issue_slots"] == 4 * ll1_report.vm_steps
+        assert tot["issue_slots"] == (tot["committed"] + tot["uncommitted"]
+                                      + tot["idle_slots"])
+
+    def test_idle_slots_by_class(self, ll1_report):
+        for n in ll1_report.nodes:
+            used = sum(v["used"] for v in n.by_class.values())
+            assert used == n.used_slots
+            assert n.issued == n.committed + n.uncommitted
+
+    def test_metrics_groups(self, ll1_report):
+        m = ll1_report.metrics
+        assert m.get("journal", "accepted") == ll1_report.journal.accepted
+        assert m.get("stages", "pipeline") > 0
+        assert m.get("stages", "vm") > 0
+        # the incremental-analysis counters rode along
+        assert "analysis" in m.as_dict()
+
+    def test_render_mentions_the_essentials(self, ll1_report):
+        text = ll1_report.render()
+        assert "lower bound" in text
+        assert "journal:" in text
+        assert "reconcile: ok" in text
+        assert "segments:" in text
+
+    def test_efficiency_in_unit_interval(self, ll1_report):
+        assert 0.0 < ll1_report.efficiency <= 1.0
+
+
+class TestProgramReport:
+    def test_while_program_reconciles(self, synwhl_report):
+        r = synwhl_report
+        assert r.kind == "program"
+        assert r.reconciled
+        assert r.lower_bound <= r.achieved_cycles
+        assert any(seg.kind == "while" for seg in r.segments)
+
+    def test_segment_bounds_sum(self, synwhl_report):
+        r = synwhl_report
+        assert r.dependence_bound == sum(seg.dependence_bound
+                                         for seg in r.segments)
+
+
+class TestExplainArtifact:
+    def test_valid_and_roundtrips(self, ll1_report, tmp_path):
+        art = to_artifact(ll1_report)
+        validate_explain(art)
+        assert art["schema"] == EXPLAIN_SCHEMA_VERSION
+        assert art["kind"] == EXPLAIN_KIND
+        path = tmp_path / "EXPLAIN_ll1.json"
+        write_explain(ll1_report, path)
+        validate_explain_file(path)
+        written = json.loads(path.read_text())
+        written.pop("created"), art.pop("created")  # stamped per call
+        assert written == art
+
+    def test_program_artifact_valid(self, synwhl_report, tmp_path):
+        path = tmp_path / "EXPLAIN_synwhl.json"
+        write_explain(synwhl_report, path)
+        validate_explain_file(path)
+
+    @pytest.mark.parametrize("corrupt", [
+        lambda a: a.__setitem__("kind", "something-else"),
+        lambda a: a["bounds"].__setitem__("achieved_cycles",
+                                         a["bounds"]["achieved_cycles"] + 1),
+        lambda a: a["nodes"][0].__setitem__(
+            "committed", a["nodes"][0]["committed"] + 1),
+        lambda a: a["vm"].__setitem__("steps", a["vm"]["steps"] + 1),
+        lambda a: a["segments"][0].__setitem__(
+            "dependence_bound", a["segments"][0]["dependence_bound"] + 1),
+        lambda a: a["reconcile"].__setitem__("ok", False),
+        lambda a: a.pop("journal"),
+    ])
+    def test_validator_rejects_corruption(self, ll1_report, corrupt):
+        # The validator re-derives the accounting identities, so any
+        # single tampered count must be caught, not just shape errors.
+        art = json.loads(json.dumps(to_artifact(ll1_report)))
+        corrupt(art)
+        with pytest.raises(ValueError):
+            validate_explain(art)
