@@ -331,14 +331,16 @@ def cmd_kernels(_: argparse.Namespace) -> int:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .bench.fuzz import replay, run_fuzz
+    from .obs import DecisionJournal
 
     if args.replay:
         if args.tamper:
             _usage("repro fuzz: --replay reruns the artifact's own "
                    "checks (including its recorded tamper); --tamper "
                    "cannot be combined with it")
+        journal = DecisionJournal(keep_events=False)
         try:
-            failure = replay(args.replay)
+            failure = replay(args.replay, tracer=journal)
         except (OSError, ValueError, KeyError, TypeError) as exc:
             # TypeError covers wrong-shaped schema-1 fields (e.g. a
             # hand-edited scenario dict): still a usage error, not a
@@ -347,8 +349,10 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         if failure is not None:
             print(f"replay {args.replay}: failure reproduces "
                   f"[{failure.stage}]\n{failure.message}")
+            print(journal.summary_line())
             return 1
         print(f"replay {args.replay}: clean (bug no longer reproduces)")
+        print(journal.summary_line())
         return 0
 
     if args.budget < 1:

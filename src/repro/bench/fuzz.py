@@ -185,6 +185,7 @@ def check_source(
     verify: bool = False,
     tamper: str | None = None,
     seeds: tuple[int, ...] = CHECK_SEEDS,
+    tracer=None,
 ) -> None:
     """Run the full fuzz check pipeline; raises on any divergence.
 
@@ -195,25 +196,34 @@ def check_source(
     scheduling; non-counted segments decline unwinding); the same
     validity, equivalence and bundle-VM differential checks then run
     on the combined scheduled graph.
+
+    ``tracer`` (e.g. a :class:`~repro.obs.journal.DecisionJournal`)
+    observes the scheduling decisions and pass-pipeline transforms of
+    the run -- ``repro fuzz --replay`` uses it to print the reason-code
+    tally alongside the replay verdict.
     """
     from ..analysis.incremental import AnalysisManager
     from ..backend.check import differential_check
     from ..frontend import compile_dsl
     from ..ir.loops import CountedLoop
+    from ..obs.tracer import NULL_TRACER
     from ..pipelining import find_pattern, pipeline_program, unwind_counted
     from ..scheduling.grip import GRiPScheduler
     from ..simulator.check import check_equivalent
 
+    tracer = NULL_TRACER if tracer is None else tracer
     loop = compile_dsl(source, unroll, name=name)
     if isinstance(loop, CountedLoop):
         unwound = unwind_counted(loop, unroll)
         if verify:
             AnalysisManager(unwound.graph, verify=True)
-        GRiPScheduler(machine).schedule(unwound.graph, ranking_ops=unwound.ops)
+        GRiPScheduler(machine, tracer=tracer).schedule(
+            unwound.graph, ranking_ops=unwound.ops)
         graph = unwound.graph
     else:
         res = pipeline_program(
-            loop, machine, unroll=unroll, measure=False, verify_analysis=verify
+            loop, machine, unroll=unroll, measure=False,
+            verify_analysis=verify, tracer=tracer,
         )
         graph = res.graph
     if tamper is not None:
@@ -241,6 +251,7 @@ def run_source(
     name: str = "fuzz",
     verify: bool = False,
     tamper: str | None = None,
+    tracer=None,
 ) -> FuzzFailure | None:
     """:func:`check_source` with failures classified, not raised."""
     from ..backend.check import DifferentialError
@@ -249,7 +260,8 @@ def run_source(
 
     try:
         check_source(
-            source, unroll, machine, name=name, verify=verify, tamper=tamper
+            source, unroll, machine, name=name, verify=verify, tamper=tamper,
+            tracer=tracer,
         )
     except (LexError, ParseError, LowerError) as exc:
         return FuzzFailure("frontend", f"{type(exc).__name__}: {exc}")
@@ -408,11 +420,14 @@ def write_artifact(
     return path
 
 
-def replay(path: str | Path) -> FuzzFailure | None:
+def replay(path: str | Path, *, tracer=None) -> FuzzFailure | None:
     """Re-run the checks of a repro artifact (minimized when present).
 
     Returns the reproduced failure, or ``None`` once the underlying
     bug is fixed.  Raises ``ValueError`` on a non-repro JSON file.
+    ``tracer`` observes the replay's scheduling run (the CLI attaches a
+    :class:`~repro.obs.journal.DecisionJournal` and prints its
+    reason-code tally).
     """
     data = json.loads(Path(path).read_text())
     if data.get("kind") != FUZZ_KIND:
@@ -442,29 +457,41 @@ def replay(path: str | Path) -> FuzzFailure | None:
         name=f"replay{data['seed']}",
         verify=data.get("verify", False),
         tamper=data.get("tamper"),
+        tracer=tracer,
     )
 
 
 # ----------------------------------------------------------------------
 # The campaign driver
 # ----------------------------------------------------------------------
-#: stratification buckets: the five body patterns plus the two
-#: program-shape families the generator can emit.
+#: stratification buckets: the five body patterns, the two program
+#: shapes, and the three pass-pipeline shapes the generator can emit.
 STRATA = ("stream", "reduction", "recurrence", "indirect", "mixed",
-          "while", "multi_loop")
+          "while", "multi_loop", "nested", "fusable", "hoist")
 
 
 def stratum_of(scenario: Scenario) -> str:
     """Which campaign stratum a scenario's generated program lands in.
 
-    Program shape wins over body pattern: a seed whose program has
-    several top-level loops counts as ``multi_loop`` (regardless of
-    pattern), a single non-counted loop as ``while``; only
+    Pass-pipeline shape wins over program shape wins over body pattern,
+    with nested first: a program that actually rolled an inner
+    ``while`` counts as ``nested`` (the rarest shape); then adjacent
+    forced-counted loops as ``fusable``; then a rolled hoistable
+    invariant as ``hoist``; then several top-level loops as
+    ``multi_loop``; a single non-counted loop as ``while``; only plain
     single-counted-loop seeds stratify by pattern.  Classified on the
-    *generated* program, not the densities -- ``while_density=0.5``
-    seeds can still roll an all-``for`` program.
+    *generated* program, not the densities -- ``nest_density=0.4``
+    seeds can still roll a flat program.
     """
     program = generate(scenario)
+    statements = [s for lp in program.loops for s in lp.statements]
+    if any(s.startswith("while (") for s in statements):
+        return "nested"
+    if (scenario.fuse_density > 0 and len(program.loops) > 1
+            and all(lp.kind == "for" for lp in program.loops)):
+        return "fusable"
+    if any(p.startswith("hv") for p in program.params):
+        return "hoist"
     if len(program.loops) > 1:
         return "multi_loop"
     if program.loops[0].kind == "while":

@@ -43,8 +43,11 @@ BACKENDS = ("grip", "post", "vm")
 #: Fast subset exercising every backend *and* both kernel families:
 #: CI smoke and unit tests.  SYNRED covers carried-scalar reduction,
 #: SYNCND covers if-converted conditionals, SYNWHL the non-counted
-#: (while) program flow (grip+vm only; POST is skipped for it).
-SMOKE_KERNELS = ("LL1", "LL3", "SYNRED", "SYNCND", "SYNWHL")
+#: (while) program flow (grip+vm only; POST is skipped for it),
+#: SYNNEST the while-in-for nest path and SYNFUS the pass pipeline's
+#: hoist + fusion + slack-motion transforms (also program-flow only).
+SMOKE_KERNELS = ("LL1", "LL3", "SYNRED", "SYNCND", "SYNWHL", "SYNNEST",
+                 "SYNFUS")
 SMOKE_FUS = (2, 4)
 SMOKE_BACKENDS = ("grip", "post", "vm")
 

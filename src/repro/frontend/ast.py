@@ -65,7 +65,20 @@ class IfStmt:
     else_body: tuple["Stmt", ...] = ()
 
 
-Stmt = Union[Assign, IfStmt]
+@dataclass(frozen=True)
+class WhileStmt:
+    """``while (cond) { body }`` -- a non-counted (trip-count-unknown)
+    loop.  The condition is re-evaluated before every iteration; the
+    loop runs while it is nonzero.  Unlike :class:`ForLoop` there is no
+    induction variable: the body updates whatever scalars the condition
+    reads.  A ``WhileStmt`` may appear at the top level *or* nested in
+    another loop's body (while-in-while, while-in-for)."""
+
+    cond: Expr
+    body: tuple["Stmt", ...]
+
+
+Stmt = Union[Assign, IfStmt, WhileStmt]
 
 
 @dataclass(frozen=True)
@@ -76,18 +89,6 @@ class ForLoop:
     lo: Expr
     hi: Expr
     step: int
-    body: tuple[Stmt, ...]
-
-
-@dataclass(frozen=True)
-class WhileStmt:
-    """``while (cond) { body }`` -- a non-counted (trip-count-unknown)
-    loop.  The condition is re-evaluated before every iteration; the
-    loop runs while it is nonzero.  Unlike :class:`ForLoop` there is no
-    induction variable: the body updates whatever scalars the condition
-    reads."""
-
-    cond: Expr
     body: tuple[Stmt, ...]
 
 
@@ -106,13 +107,22 @@ class Program:
 
     @property
     def loop(self) -> Loop | None:
-        """The single loop of a classic one-loop program (legacy view).
+        """Deprecated single-loop view; read :attr:`loops` instead.
 
-        Multi-loop programs have no single "the loop"; callers that can
-        handle sequences should read :attr:`loops` directly.
+        Multi-loop programs have no single "the loop"; every in-tree
+        caller reads :attr:`loops` directly.  The shim warns and will
+        be removed once external callers have migrated.
         """
+        import warnings
+
+        warnings.warn("Program.loop is deprecated; use Program.loops",
+                      DeprecationWarning, stacklevel=2)
         return self.loops[0] if self.loops else None
 
     @loop.setter
     def loop(self, value: Loop | None) -> None:
+        import warnings
+
+        warnings.warn("Program.loop is deprecated; use Program.loops",
+                      DeprecationWarning, stacklevel=2)
         self.loops = [] if value is None else [value]

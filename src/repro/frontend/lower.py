@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 from ..ir.loops import (
     CountedLoop,
+    InnerWhile,
     LoopProgram,
     WhileLoop,
     build_counted_loop,
@@ -81,6 +82,8 @@ class _Ctx:
     temp_n: int = 0
     load_cse: dict[tuple, Reg] = field(default_factory=dict)
     name_n: dict[str, int] = field(default_factory=dict)
+    #: nested while loops collected for the ops list being built
+    inner: list[InnerWhile] = field(default_factory=list)
 
     def temp(self) -> Reg:
         self.temp_n += 1
@@ -302,8 +305,42 @@ def _lower_stmts(ctx: _Ctx, body) -> None:
             _lower_assign(ctx, st)
         elif isinstance(st, IfStmt):
             _lower_if(ctx, st)
+        elif isinstance(st, WhileStmt):
+            ctx.inner.append(_lower_inner_while(ctx, st))
         else:  # pragma: no cover - parser prevents this
             raise LowerError(f"unsupported statement {st!r}")
+
+
+def _lower_inner_while(ctx: _Ctx, st: WhileStmt) -> InnerWhile:
+    """Lower a nested while into an :class:`InnerWhile` spec.
+
+    The spec anchors at the host's current op count; cond and body are
+    lowered into their own op lists on the shared context (so temp and
+    name numbering stays program-wide).  The load-CSE table is cleared
+    around every boundary the loop introduces: a cached host load must
+    not survive into (or past) a region that re-executes and may store
+    to the same array.
+    """
+    anchor = len(ctx.ops)
+    saved_ops, saved_inner = ctx.ops, ctx.inner
+    ctx.load_cse.clear()
+    ctx.ops, ctx.inner = [], []
+    cond_val = _lower_expr(ctx, st.cond)
+    exit_reg = ctx.temp()
+    ctx.emit(Op(OpKind.CMP_EQ, exit_reg, (cond_val, Imm(0)),
+                name=ctx.opname("wx")))
+    cond_ops = ctx.ops
+    ctx.ops = []
+    ctx.load_cse.clear()
+    _lower_stmts(ctx, st.body)
+    body_ops, inner = ctx.ops, ctx.inner
+    ctx.ops, ctx.inner = saved_ops, saved_inner
+    ctx.load_cse.clear()
+    if not body_ops and not inner:
+        raise LowerError("while loop has an empty body")
+    return InnerWhile(name=ctx.opname("iw"), anchor=anchor,
+                      cond_ops=cond_ops, exit_reg=exit_reg,
+                      body_ops=body_ops, inner=inner)
 
 
 def _carried_scalars(ops: list[Operation],
@@ -349,9 +386,14 @@ def lower(program: Program, n: int, *, name: str | None = None,
     """
     if not program.loops:
         raise LowerError("program has no loop")
-    if len(program.loops) == 1 and isinstance(program.loops[0], ForLoop):
+    if (len(program.loops) == 1 and isinstance(program.loops[0], ForLoop)
+            and not _has_nested_while(program.loops[0].body)):
         return _lower_single_for(program, n, name=name, optimize=optimize)
     return lower_program(program, n, name=name, optimize=optimize)
+
+
+def _has_nested_while(body) -> bool:
+    return any(isinstance(st, WhileStmt) for st in body)
 
 
 def _lower_single_for(program: Program, n: int, *, name: str | None,
@@ -398,9 +440,18 @@ class _LoweredLoop:
     cond_ops: list[Operation] = field(default_factory=list)
     exit_reg: Reg | None = None
     carried: set[Reg] = field(default_factory=set)
+    inner: list[InnerWhile] = field(default_factory=list)
 
     def all_ops(self) -> list[Operation]:
-        return list(self.cond_ops) + list(self.body_ops)
+        """Every op of one iteration, nested loops spliced in order."""
+        out = list(self.cond_ops)
+        idx = 0
+        for iw in self.inner:
+            out.extend(self.body_ops[idx:iw.anchor])
+            idx = iw.anchor
+            out.extend(iw.all_loop_ops())
+        out.extend(self.body_ops[idx:])
+        return out
 
 
 def lower_program(program: Program, n: int, *, name: str | None = None,
@@ -429,14 +480,19 @@ def lower_program(program: Program, n: int, *, name: str | None = None,
         if isinstance(loop, ForLoop):
             _validate_for(program, loop)
             _lower_stmts(ctx, loop.body)
-            body_ops = ctx.ops
-            if optimize:
+            body_ops, inner = ctx.ops, ctx.inner
+            ctx.ops, ctx.inner = [], []
+            if optimize and not inner:
+                # The body optimizer assumes straight-line semantics;
+                # a spliced inner loop breaks that, so nested shapes
+                # lower unoptimized.
                 from .passes import optimize_body
 
                 body_ops = optimize_body(body_ops)
-            entry = _LoweredLoop(kind="for", ast=loop, body_ops=body_ops)
+            entry = _LoweredLoop(kind="for", ast=loop, body_ops=body_ops,
+                                 inner=inner)
             entry.carried = _carried_scalars(
-                body_ops, frozenset((Reg(loop.counter),)))
+                entry.all_ops(), frozenset((Reg(loop.counter),)))
         else:
             entry = _lower_while(ctx, loop, optimize=optimize)
         temp_n = ctx.temp_n
@@ -468,16 +524,39 @@ def lower_program(program: Program, n: int, *, name: str | None = None,
             counter_reg = Reg(ast.counter)
             preheader = [Op(OpKind.CONST, counter_reg,
                             (Imm(int(ast.lo.value)),), name=f"init{i}")]
-            loops.append(build_counted_loop(
-                lname, preheader, entry.body_ops, counter_reg,
-                _resolve_bound(ast, n), step=ast.step, carried=carried,
-                epilogue=(), live_out=live_out,
-                description=f"DSL loop {i} of {kname}"))
+            if entry.inner:
+                # While-ization: a counted loop with a nested while has
+                # no static trip schedule to unwind, so it lowers as a
+                # test-first while over its own counter (init in the
+                # preheader, exit test in the condition, increment at
+                # the body's end, after every spliced inner loop).
+                bound = _resolve_bound(ast, n)
+                exit_reg = Reg(f"{ast.counter}.exit")
+                cmp_ = Op(OpKind.CMP_GE, exit_reg,
+                          (counter_reg, Imm(bound)), name=f"wcmp{i}")
+                inc = Op(OpKind.ADD, counter_reg,
+                         (counter_reg, Imm(ast.step)), name=f"winc{i}")
+                carried = sorted(
+                    _carried_scalars([cmp_] + entry.all_ops() + [inc],
+                                     frozenset()),
+                    key=lambda r: r.name)
+                loops.append(build_while_loop(
+                    lname, preheader, [cmp_], exit_reg,
+                    entry.body_ops + [inc], carried=carried,
+                    epilogue=(), live_out=live_out, inner=entry.inner,
+                    description=f"DSL loop {i} of {kname} "
+                                f"(while-ized for)"))
+            else:
+                loops.append(build_counted_loop(
+                    lname, preheader, entry.body_ops, counter_reg,
+                    _resolve_bound(ast, n), step=ast.step, carried=carried,
+                    epilogue=(), live_out=live_out,
+                    description=f"DSL loop {i} of {kname}"))
         else:
             loops.append(build_while_loop(
                 lname, (), entry.cond_ops, entry.exit_reg,
                 entry.body_ops, carried=carried, epilogue=(),
-                live_out=live_out,
+                live_out=live_out, inner=entry.inner,
                 description=f"DSL while loop {i} of {kname}"))
 
     graphs = [lp.graph for lp in loops]
@@ -507,24 +586,28 @@ def _lower_while(ctx: _Ctx, loop: WhileStmt, *,
     cond_ops = ctx.ops
     ctx.ops = []
     _lower_stmts(ctx, loop.body)
-    body_ops = ctx.ops
-    ctx.ops = []
-    if not body_ops:
+    body_ops, inner = ctx.ops, ctx.inner
+    ctx.ops, ctx.inner = [], []
+    if not body_ops and not inner:
         raise LowerError("while loop has an empty body")
     if optimize:
         from .passes import optimize_body
 
-        body_ops = optimize_body(body_ops)
+        if not inner:
+            # (see lower_program: the body optimizer assumes
+            # straight-line semantics, which a spliced loop breaks)
+            body_ops = optimize_body(body_ops)
+            if not body_ops:
+                raise LowerError(
+                    "while loop body is empty after optimization")
         cond_opt = optimize_body(cond_ops, live_out={exit_reg.name})
         # Constant folding may erase the exit register's producer
         # entirely (a literal condition); keep the unoptimized ops then.
         if any(op.dest == exit_reg for op in cond_opt):
             cond_ops = cond_opt
-        if not body_ops:
-            raise LowerError("while loop body is empty after optimization")
     entry = _LoweredLoop(kind="while", ast=loop, body_ops=body_ops,
-                         cond_ops=cond_ops, exit_reg=exit_reg)
-    entry.carried = _carried_scalars(cond_ops + body_ops, frozenset())
+                         cond_ops=cond_ops, exit_reg=exit_reg, inner=inner)
+    entry.carried = _carried_scalars(entry.all_ops(), frozenset())
     return entry
 
 

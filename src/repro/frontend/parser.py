@@ -10,6 +10,7 @@ Grammar::
     block   := '{' stmt* '}'
     stmt    := lvalue '=' expr ';'
              | 'if' '(' expr ')' block ('else' block)?
+             | while_loop
     lvalue  := ident ('[' expr ']')?
     expr    := cmp (('=='|'!='|'<'|'<='|'>'|'>=') cmp)?
     cmp     := term (('+'|'-') term)*
@@ -135,6 +136,10 @@ class Parser:
         return tuple(stmts)
 
     def stmt(self) -> Stmt:
+        tok = self.peek()
+        if tok.kind is TokKind.KEYWORD and tok.text == "while":
+            # Nested non-counted loop (while-in-while, while-in-for).
+            return self.while_loop()
         if self.accept(TokKind.KEYWORD, "if"):
             self.expect(TokKind.PUNCT, "(")
             cond = self.expr()

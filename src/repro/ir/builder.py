@@ -92,6 +92,18 @@ class SequentialBuilder:
             raise ValueError("tail has no fall-through leaf")
         self.graph.retarget_leaf(self._tail.nid, fall[-1].leaf_id, back_to)
 
+    def resume(self, node: Instruction) -> None:
+        """Continue appending from ``node``'s open (EXIT) leaf.
+
+        Needed for nested loops: after :meth:`close_loop` wires an inner
+        back edge, the chain's tail has no fall-through left, so the
+        build resumes from the inner exit jump -- its still-open EXIT
+        leaf is where control lands when the inner loop finishes.
+        """
+        if not any(l.target == EXIT for l in node.leaves()):
+            raise ValueError(f"node {node.nid} has no open leaf to resume from")
+        self._tail = node
+
 
 @dataclass
 class LoopNest:

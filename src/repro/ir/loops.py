@@ -29,11 +29,18 @@ describes
   (there is no static iteration tag to rank by); scheduling compacts
   the body within one iteration instead
   (:func:`repro.pipelining.program.compact_while`).
+* :class:`InnerWhile` -- a while loop nested *inside* another loop's
+  body (``while`` in ``while``, ``while`` in ``for``).  The host
+  descriptor keeps its flat ``body_ops`` list; each inner loop records
+  the ``anchor`` index at which it is spliced, and recurses.
 * :class:`LoopProgram` -- a sequence of top-level loops (counted or
   not) sharing scalar/array state, plus one program-level epilogue
   that makes scalar results observable through memory.  Loops are
-  scheduled as isolated segments (motion never crosses a loop
-  boundary) and re-concatenated with :func:`concat_graphs`.
+  scheduled as segments and re-concatenated with :func:`concat_graphs`;
+  the pass pipeline (:mod:`repro.pipelining.passes`) normalizes each
+  segment with explicit pre/post scalar chunks (:class:`SegmentPlan` /
+  :class:`ProgramPlan`) so cross-segment transforms have somewhere to
+  put code.
 """
 
 from __future__ import annotations
@@ -41,7 +48,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from .builder import SequentialBuilder
+from .builder import SequentialBuilder, straightline_graph
 from .cjtree import Branch, CJTree, EXIT, Leaf
 from .graph import ProgramGraph
 from .instruction import Instruction
@@ -174,6 +181,53 @@ def _at(op: Operation, pos: int) -> Operation:
 # Non-counted loops
 # ----------------------------------------------------------------------
 @dataclass
+class InnerWhile:
+    """A while loop nested inside a host loop body.
+
+    The host keeps its flat ``body_ops``; ``anchor`` is the index into
+    that list at which this loop runs (all host body ops before the
+    anchor execute first, then this loop to completion, then the
+    rest).  ``inner`` recurses for deeper nesting.  When used as a
+    *spec* handed to :func:`build_while_loop`, ``cj_op``/``header`` are
+    unset; the builder returns a copy with them filled and all ops
+    position-stamped.
+    """
+
+    name: str
+    anchor: int
+    cond_ops: list[Operation]
+    exit_reg: Reg
+    body_ops: list[Operation]
+    cj_op: Operation | None = None
+    header: int | None = None
+    inner: "list[InnerWhile]" = field(default_factory=list)
+
+    @property
+    def total_ops(self) -> int:
+        """Distinct operations in this loop, nested loops included."""
+        return (len(self.cond_ops) + 1 + len(self.body_ops)
+                + sum(iw.total_ops for iw in self.inner))
+
+    def all_loop_ops(self) -> list[Operation]:
+        cj = [self.cj_op] if self.cj_op is not None else []
+        return list(self.cond_ops) + cj + _spliced_body(self.body_ops,
+                                                        self.inner)
+
+
+def _spliced_body(body_ops: Sequence[Operation],
+                  inner: "Sequence[InnerWhile]") -> list[Operation]:
+    """Body ops with each nested loop's ops spliced at its anchor."""
+    out: list[Operation] = []
+    idx = 0
+    for iw in inner:
+        out.extend(body_ops[idx:iw.anchor])
+        idx = iw.anchor
+        out.extend(iw.all_loop_ops())
+    out.extend(body_ops[idx:])
+    return out
+
+
+@dataclass
 class WhileLoop:
     """A non-counted loop: trip count unknown until run time.
 
@@ -206,6 +260,8 @@ class WhileLoop:
     epilogue_ops: list[Operation] = field(default_factory=list)
     description: str = ""
     live_out: frozenset[Reg] = frozenset()
+    #: nested while loops spliced into ``body_ops`` (anchor order)
+    inner: list[InnerWhile] = field(default_factory=list)
 
     #: static trip count -- by definition unknown
     trip_count = None
@@ -216,11 +272,83 @@ class WhileLoop:
 
     @property
     def ops_per_iteration(self) -> int:
-        """Sequential cycles per iteration (one op per node)."""
-        return len(self.cond_ops) + len(self.body_ops) + 1
+        """Sequential cycles per outer iteration (one op per node).
+
+        Nested loops' trip counts are unknown too; their ops are counted
+        once, so this is the work metric for one pass in which every
+        nested loop runs a single iteration.
+        """
+        return (len(self.cond_ops) + len(self.body_ops) + 1
+                + sum(iw.total_ops for iw in self.inner))
 
     def all_loop_ops(self) -> list[Operation]:
-        return list(self.cond_ops) + [self.cj_op] + list(self.body_ops)
+        return (list(self.cond_ops) + [self.cj_op]
+                + _spliced_body(self.body_ops, self.inner))
+
+
+def _emit_inner_while(builder: SequentialBuilder, spec: InnerWhile,
+                      pos: int) -> tuple[InnerWhile, int]:
+    """Emit one nested while into the host chain, recursing for its own
+    nested loops, and leave the builder resumed at the loop's exit."""
+    if not spec.body_ops and not spec.inner:
+        raise ValueError(f"while loop {spec.name!r} has an empty body")
+    er = (spec.exit_reg if isinstance(spec.exit_reg, Reg)
+          else Reg(spec.exit_reg))
+    if not any(op.dest == er for op in spec.cond_ops):
+        raise ValueError(
+            f"while loop {spec.name!r}: no condition op defines {er.name}")
+    cond_ops: list[Operation] = []
+    header: int | None = None
+    for op in spec.cond_ops:
+        op = _at(op, pos)
+        cond_ops.append(op)
+        node = builder.append(op)
+        if header is None:
+            header = node.nid
+        pos += 1
+    cj = _at(cjump(er, name=f"wbr.{spec.name}"), pos)
+    pos += 1
+    cj_node = builder.append_cjump(cj, true_target=EXIT)
+    if header is None:  # pragma: no cover - cond always non-empty here
+        header = cj_node.nid
+    body_ops, nested, pos = _emit_while_body(
+        builder, spec.name, spec.body_ops, spec.inner, pos)
+    builder.close_loop(header)
+    # The inner back edge consumed the chain's fall-through; the build
+    # continues from the exit jump's still-open true leaf.
+    builder.resume(cj_node)
+    return InnerWhile(name=spec.name, anchor=spec.anchor, cond_ops=cond_ops,
+                      exit_reg=er, body_ops=body_ops, cj_op=cj,
+                      header=header, inner=nested), pos
+
+
+def _emit_while_body(builder: SequentialBuilder, name: str,
+                     body: Sequence[Operation],
+                     inner: Sequence[InnerWhile], pos: int
+                     ) -> tuple[list[Operation], list[InnerWhile], int]:
+    """Append body ops, splicing nested loops at their anchors."""
+    body_ops: list[Operation] = []
+    inner_loops: list[InnerWhile] = []
+    idx = 0
+    for spec in inner:
+        if not (idx <= spec.anchor <= len(body)):
+            raise ValueError(
+                f"while loop {name!r}: inner loop {spec.name!r} anchor "
+                f"{spec.anchor} out of order for a {len(body)}-op body")
+        while idx < spec.anchor:
+            op = _at(body[idx], pos)
+            body_ops.append(op)
+            builder.append(op)
+            pos += 1
+            idx += 1
+        built, pos = _emit_inner_while(builder, spec, pos)
+        inner_loops.append(built)
+    for op in body[idx:]:
+        op = _at(op, pos)
+        body_ops.append(op)
+        builder.append(op)
+        pos += 1
+    return body_ops, inner_loops, pos
 
 
 def build_while_loop(name: str, preheader: Sequence[Operation],
@@ -229,15 +357,19 @@ def build_while_loop(name: str, preheader: Sequence[Operation],
                      carried: Sequence[Reg | str] = (),
                      epilogue: Sequence[Operation] = (),
                      description: str = "",
-                     live_out: Sequence[Reg | str] = ()) -> WhileLoop:
+                     live_out: Sequence[Reg | str] = (),
+                     inner: Sequence[InnerWhile] = ()) -> WhileLoop:
     """Assemble the canonical sequential while-loop graph.
 
     ``cond`` operations recompute the exit condition each iteration;
     ``exit_reg`` must be defined by one of them (nonzero means leave
     the loop).  ``body`` must be non-empty: a body-less while never
     changes the state its condition reads and cannot terminate.
+    ``inner`` holds :class:`InnerWhile` specs (anchor order) for loops
+    nested in the body; each is emitted in place with its own back
+    edge, and the chain resumes from its exit jump.
     """
-    if not body:
+    if not body and not inner:
         raise ValueError(f"while loop {name!r} has an empty body")
     er = exit_reg if isinstance(exit_reg, Reg) else Reg(exit_reg)
     if not any(op.dest == er for op in cond):
@@ -265,12 +397,8 @@ def build_while_loop(name: str, preheader: Sequence[Operation],
     cj_node = builder.append_cjump(cj, true_target=EXIT)
     if header is None:  # pragma: no cover - cond always non-empty here
         header = cj_node.nid
-    body_ops: list[Operation] = []
-    for op in body:
-        op = _at(op, pos)
-        body_ops.append(op)
-        builder.append(op)
-        pos += 1
+    body_ops, inner_loops, pos = _emit_while_body(
+        builder, name, body, inner, pos)
     builder.close_loop(header)
     epi_ops: list[Operation] = []
     if epilogue:
@@ -292,7 +420,8 @@ def build_while_loop(name: str, preheader: Sequence[Operation],
                                for r in carried),
         epilogue_ops=epi_ops, description=description,
         live_out=frozenset(r if isinstance(r, Reg) else Reg(r)
-                           for r in live_out))
+                           for r in live_out),
+        inner=inner_loops)
 
 
 # ----------------------------------------------------------------------
@@ -335,6 +464,43 @@ class LoopProgram:
         return [lp for lp in self.loops if isinstance(lp, CountedLoop)]
 
 
+# ----------------------------------------------------------------------
+# Normalized program plans (the pass pipeline's working form)
+# ----------------------------------------------------------------------
+@dataclass
+class SegmentPlan:
+    """One loop segment with explicit scalar chunks around it.
+
+    ``pre_ops`` runs once before the loop, ``post_ops`` once after it.
+    Normalization starts both empty (the loop's own preheader stays
+    inside its graph, where the segment scheduler packs it); the
+    cross-segment passes are what populate and drain them -- hoisting
+    grows the loop's preheader, slack motion drains a neighbor's
+    ``post_ops`` into the loop's idle slots.
+    """
+
+    loop: "CountedLoop | WhileLoop"
+    pre_ops: list[Operation] = field(default_factory=list)
+    post_ops: list[Operation] = field(default_factory=list)
+
+
+@dataclass
+class ProgramPlan:
+    """A :class:`LoopProgram` normalized for the pass pipeline.
+
+    The plan owns mutable copies of the segment sequence; the source
+    program and its sequential reference graph are never touched, so
+    equivalence checks always compare against the original semantics.
+    """
+
+    program: LoopProgram
+    segments: "list[SegmentPlan]" = field(default_factory=list)
+
+    def residual_epilogue(self) -> list[Operation]:
+        """Scalar ops still running after the last loop (post motion)."""
+        return list(self.segments[-1].post_ops) if self.segments else []
+
+
 def _remap_tree(tree: CJTree, nid_map: dict[int, int]) -> CJTree:
     """Rewrite leaf targets through ``nid_map`` (EXIT stays EXIT)."""
     if isinstance(tree, Leaf):
@@ -347,16 +513,29 @@ def _remap_tree(tree: CJTree, nid_map: dict[int, int]) -> CJTree:
                   _remap_tree(tree.on_false, nid_map))
 
 
-def concat_graphs(graphs: Sequence[ProgramGraph]) -> ProgramGraph:
+def concat_graphs(
+        graphs: "Sequence[ProgramGraph | Sequence[Operation]]",
+) -> ProgramGraph:
     """Chain program graphs: every EXIT of graph *i* enters graph *i+1*.
 
     Nodes are re-housed under fresh node ids in the output graph (leaf
     ids and operation instances are preserved -- they are globally
     unique already).  The result's entry is the first non-empty graph's
     entry; the last graph's EXIT leaves remain the program exit.
+
+    A part may also be a bare operation sequence -- the scalar chunk of
+    a :class:`SegmentPlan` -- which is spliced as a one-op-per-node
+    straight-line graph (empty chunks vanish).
     """
     out = ProgramGraph()
-    parts = [g for g in graphs if g.entry is not None]
+    parts = []
+    for g in graphs:
+        if not isinstance(g, ProgramGraph):
+            if not g:
+                continue
+            g = straightline_graph(g)
+        if g.entry is not None:
+            parts.append(g)
     nid_maps: list[dict[int, int]] = []
     for g in parts:
         nid_map = {nid: out.allocate_nid() for nid in g.nodes}

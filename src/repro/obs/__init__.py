@@ -14,13 +14,17 @@ from .tracer import (
     NULL_TRACER,
     BoundarySkipped,
     CandidateSetBuilt,
+    FusionApplied,
+    FusionBlocked,
     MoveAccepted,
     MoveRejected,
     NodeBegin,
     NodeEnd,
     NullTracer,
+    OpHoisted,
     Reason,
     SegmentBegin,
+    SlackMove,
     Suspended,
     Tracer,
     classify_failure,
@@ -31,6 +35,8 @@ __all__ = [
     "BoundarySkipped",
     "CandidateSetBuilt",
     "DecisionJournal",
+    "FusionApplied",
+    "FusionBlocked",
     "InefficiencyReport",
     "MetricsRegistry",
     "MoveAccepted",
@@ -38,9 +44,11 @@ __all__ = [
     "NodeBegin",
     "NodeEnd",
     "NullTracer",
+    "OpHoisted",
     "Reason",
     "ReconcileError",
     "SegmentBegin",
+    "SlackMove",
     "Suspended",
     "Tracer",
     "build_report",

@@ -22,12 +22,16 @@ from .tracer import (
     BoundarySkipped,
     CandidateSetBuilt,
     Event,
+    FusionApplied,
+    FusionBlocked,
     MoveAccepted,
     MoveRejected,
     NodeBegin,
     NodeEnd,
+    OpHoisted,
     Reason,
     SegmentBegin,
+    SlackMove,
     Suspended,
     Tracer,
 )
@@ -76,6 +80,16 @@ class DecisionJournal(Tracer):
         self.by_reason: dict[str, int] = {}
         self.segments: list[SegmentBegin] = []
         self._blocked: dict[int, _BlockedOp] = {}
+        # Program pass-pipeline transforms.  Counted apart from the
+        # percolation hop counters: the report reconciles ``accepted``
+        # against per-segment GRiP move stats, which these are not.
+        self.hoisted = 0
+        self.fusions = 0
+        self.slack_moves = 0
+        self.pass_reasons: dict[str, int] = {}
+
+    def _pass_reason(self, code: str) -> None:
+        self.pass_reasons[code] = self.pass_reasons.get(code, 0) + 1
 
     # -- Tracer interface ----------------------------------------------
     def emit(self, event: Event) -> None:
@@ -112,6 +126,17 @@ class DecisionJournal(Tracer):
             self.nodes_begun += 1
         elif isinstance(event, SegmentBegin):
             self.segments.append(event)
+        elif isinstance(event, OpHoisted):
+            self.hoisted += 1
+            self._pass_reason("hoisted")
+        elif isinstance(event, FusionApplied):
+            self.fusions += 1
+            self._pass_reason("fusion-applied")
+        elif isinstance(event, FusionBlocked):
+            self._pass_reason(event.reason)
+        elif isinstance(event, SlackMove):
+            self.slack_moves += 1
+            self._pass_reason("slack-move")
         elif isinstance(event, NodeEnd):
             pass
         if self.keep_events:
@@ -140,6 +165,10 @@ class DecisionJournal(Tracer):
             "candidates_seen": self.candidates_seen,
             "nodes_begun": self.nodes_begun,
             "by_reason": dict(sorted(self.by_reason.items())),
+            "hoisted": self.hoisted,
+            "fusions": self.fusions,
+            "slack_moves": self.slack_moves,
+            "pass_reasons": dict(sorted(self.pass_reasons.items())),
         }
 
     def top_blocked(self, k: int = 5) -> list[dict]:
@@ -154,5 +183,10 @@ class DecisionJournal(Tracer):
     def summary_line(self) -> str:
         rej = sorted(self.by_reason.items(), key=lambda kv: (-kv[1], kv[0]))
         detail = ", ".join(f"{k}={v}" for k, v in rej) or "none"
-        return (f"journal: {self.tried} hops tried, {self.accepted} "
+        line = (f"journal: {self.tried} hops tried, {self.accepted} "
                 f"accepted; rejected: {detail}")
+        if self.pass_reasons:
+            passes = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.pass_reasons.items()))
+            line += f"; passes: {passes}"
+        return line

@@ -36,6 +36,27 @@ code               meaning
 ``vanished``       the instance disappeared mid-sweep (unify/split)
 ``other``          anything else (kept for forward compatibility)
 =================  ====================================================
+
+The program pass pipeline (``repro.pipelining.passes``) adds its own
+event family with stable reason strings of its own:
+
+=========================  ============================================
+code                       meaning
+=========================  ============================================
+``hoisted``                an invariant op moved to a loop pre-header
+``fusion-applied``         two adjacent counted segments merged
+``fusion-blocked:<why>``   fusion legality failed (``trip-mismatch``,
+                           ``scalar-dep``, ``mem-unknown``, ``mem-dep``,
+                           ``preheader-dep``, ``epilogue``,
+                           ``interleaved-scalar``, ``not-counted``)
+``slack-move``             a boundary-straddling scalar op migrated
+                           into a neighbor segment's idle slots
+=========================  ============================================
+
+These are *transform* decisions, not percolation hops: the journal
+counts them separately from ``accepted``/``rejected`` so the report's
+``journal.accepted == sum(per-segment moves)`` reconciliation stays
+exact.
 """
 
 from __future__ import annotations
@@ -179,8 +200,56 @@ class SegmentBegin:
     name: str
 
 
+# ----------------------------------------------------------------------
+# Program pass-pipeline events (cross-segment transforms)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OpHoisted:
+    """An invariant op left ``loop``'s body/cond for its pre-header."""
+
+    loop: str
+    op: str
+    tid: int
+    kind: str = "counted"           # "counted" | "while"
+
+
+@dataclass(frozen=True)
+class FusionApplied:
+    """Adjacent counted segments ``first`` + ``second`` merged."""
+
+    first: str
+    second: str
+    trip_count: int
+
+
+@dataclass(frozen=True)
+class FusionBlocked:
+    """Fusion of ``first`` + ``second`` refused; ``why`` is the stable
+    sub-code behind the ``fusion-blocked:<why>`` reason string."""
+
+    first: str
+    second: str
+    why: str
+
+    @property
+    def reason(self) -> str:
+        return f"fusion-blocked:{self.why}"
+
+
+@dataclass(frozen=True)
+class SlackMove:
+    """A scalar op straddling a segment boundary migrated into node
+    ``nid`` of segment ``segment``'s schedule (idle-slot fill)."""
+
+    segment: str
+    op: str
+    tid: int
+    nid: int
+
+
 Event = (NodeBegin | NodeEnd | CandidateSetBuilt | MoveAccepted
-         | MoveRejected | Suspended | BoundarySkipped | SegmentBegin)
+         | MoveRejected | Suspended | BoundarySkipped | SegmentBegin
+         | OpHoisted | FusionApplied | FusionBlocked | SlackMove)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,520 @@
+"""The program pass pipeline: cross-segment transforms over loop plans.
+
+:func:`~repro.pipelining.program.pipeline_program` used to be a fixed
+per-segment loop; it is now staged over a normalized
+:class:`~repro.ir.loops.ProgramPlan`:
+
+1. :func:`normalize_program` -- every loop segment gets explicit
+   ``pre_ops``/``post_ops`` scalar chunks (the program epilogue becomes
+   the last segment's ``post_ops``), giving cross-segment transforms a
+   place to put code.
+2. :func:`hoist_invariants` -- loop-invariant ops migrate into the
+   owning loop's pre-header.  Counted bodies are do-while shaped (the
+   body runs at least once before the first exit test), so any
+   invariant body op may hoist; a ``while`` tests first and may run
+   zero body trips, so only invariant *condition* ops -- which execute
+   at least once even at zero trips -- are eligible.
+3. :func:`fuse_counted_segments` -- adjacent counted segments with
+   identical ``(lo, bound, step)`` and no fusion-blocking cross-loop
+   dependence merge into one loop before unwinding, so one steady
+   kernel covers both bodies.
+4. :func:`slack_slot_motion` -- after per-segment scheduling, scalar
+   ops straddling the last segment boundary (the residual program
+   epilogue) migrate backward into idle slots of the executed path of
+   the neighbor segment's schedule.
+
+Every transform is observable: it emits
+:class:`~repro.obs.tracer.OpHoisted` / ``FusionApplied`` /
+``FusionBlocked`` / ``SlackMove`` events with the stable reason codes
+documented in :mod:`repro.obs.tracer`, and all scheduled-graph
+mutations go through the graph's event-emitting methods so attached
+:class:`~repro.analysis.incremental.AnalysisManager` indexes stay
+exact.
+
+Soundness notes
+---------------
+* Hoisting requires single-writer, not-read-before-write, non-carried
+  destinations whose sources are never defined inside the loop; STOREs
+  never hoist, LOADs only when no store in the loop touches their
+  array.
+* Fusion legality is reported through sub-codes
+  (``fusion-blocked:<why>``): ``trip-mismatch``, ``scalar-dep``,
+  ``mem-dep``, ``mem-unknown``, ``preheader-dep``, ``epilogue``,
+  ``interleaved-scalar``, ``not-counted``.  The memory rule: for an
+  access pair (a in L1, b in L2) on the same array with a write
+  involved, fusion reverses the order of ``a@i`` vs ``b@j`` exactly
+  for ``i > j``; with both accesses counter-affine that reversal hits
+  a common cell iff ``d = affine_a - affine_b`` satisfies ``d < 0 and
+  d % step == 0``, so any other affine pair is safe.
+* Slack motion only moves an op that has **no dependence in either
+  direction** with any op of the target segment's scheduled graph or
+  with any other residual epilogue op, and only into nodes on the
+  statically-known executed path (counted bounds are immediates after
+  DSL lowering), so the op executes exactly once.  Capacity gating
+  uses the same per-FU-class accounting the inefficiency report's
+  idle-slot breakdown is built from (``machine.class_budget``), so the
+  pass fills exactly the slots ``repro explain`` reports as idle.
+"""
+
+from __future__ import annotations
+
+from ..analysis.dependence import any_dep
+from ..ir.cjtree import Branch, EXIT, Leaf
+from ..ir.graph import ProgramGraph
+from ..ir.loops import (
+    CountedLoop,
+    LoopProgram,
+    ProgramPlan,
+    SegmentPlan,
+    WhileLoop,
+    build_counted_loop,
+    build_while_loop,
+)
+from ..ir.operations import Operation, OpKind
+from ..ir.registers import Imm, Reg
+from ..machine.model import MachineConfig, fu_class_of
+from ..obs.tracer import (
+    NULL_TRACER,
+    FusionApplied,
+    FusionBlocked,
+    OpHoisted,
+    SlackMove,
+    Tracer,
+)
+
+#: stable fusion-refusal sub-codes (``fusion-blocked:<why>``)
+FUSION_WHYS = ("trip-mismatch", "scalar-dep", "mem-unknown", "mem-dep",
+               "preheader-dep", "epilogue", "interleaved-scalar",
+               "not-counted")
+
+
+# ----------------------------------------------------------------------
+# Pass 1: normalization
+# ----------------------------------------------------------------------
+def normalize_program(program: LoopProgram) -> ProgramPlan:
+    """Wrap ``program`` into a :class:`ProgramPlan` of segment plans.
+
+    Each loop becomes a :class:`SegmentPlan` with empty scalar chunks;
+    the program-level epilogue becomes the *last* segment's
+    ``post_ops``, which is where slack motion drains from.  The source
+    program is never mutated.
+    """
+    plan = ProgramPlan(program=program)
+    for lp in program.loops:
+        plan.segments.append(SegmentPlan(loop=lp))
+    if plan.segments:
+        plan.segments[-1].post_ops = list(program.epilogue_ops)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Pass 2: loop-invariant hoisting
+# ----------------------------------------------------------------------
+def _defined_regs(ops) -> set[Reg]:
+    return {op.dest for op in ops if op.dest is not None}
+
+
+def _read_before_write(ops, reg: Reg, until: Operation) -> bool:
+    """Does any op before ``until`` (exclusive) read ``reg``?"""
+    for op in ops:
+        if op is until:
+            return False
+        if reg in op.uses():
+            return True
+    return False
+
+
+def _invariant(op: Operation, iteration_ops: list[Operation],
+               protected: set[Reg], hoisted_defs: set[Reg]) -> bool:
+    """Is ``op`` hoistable out of a loop whose one iteration executes
+    ``iteration_ops`` in order (``op`` among them)?
+
+    ``protected`` holds registers the op must not redefine (carried
+    scalars, the counter); ``hoisted_defs`` are destinations of already
+    hoisted ops, which no longer count as loop-defined.
+    """
+    if op.kind in (OpKind.STORE, OpKind.CJUMP, OpKind.NOP):
+        return False
+    if op.dest is None or op.dest in protected:
+        return False
+    loop_defs = _defined_regs(iteration_ops) - hoisted_defs
+    if op.uses() & loop_defs:
+        return False
+    # Single writer: another writer of dest makes the value per-path.
+    writers = sum(1 for o in iteration_ops if o.dest == op.dest)
+    if writers != 1:
+        return False
+    # Not read before the write: iteration 0 would otherwise observe
+    # the pre-loop value, which hoisting replaces.
+    if _read_before_write(iteration_ops, op.dest, op):
+        return False
+    if op.kind is OpKind.LOAD:
+        array = op.mem.array
+        if any(o.writes_memory and o.mem is not None
+               and o.mem.array == array for o in iteration_ops):
+            return False
+    return True
+
+
+def _hoist_counted(seg: SegmentPlan, tracer: Tracer) -> int:
+    loop = seg.loop
+    body = list(loop.body_ops)
+    hoisted: list[Operation] = []
+    hoisted_defs: set[Reg] = set()
+    protected = set(loop.carried_regs) | {loop.counter}
+    changed = True
+    while changed:
+        changed = False
+        iteration_ops = body + loop.control_ops
+        for op in list(body):
+            if not _invariant(op, iteration_ops, protected, hoisted_defs):
+                continue
+            body.remove(op)
+            hoisted.append(op)
+            hoisted_defs.add(op.dest)
+            iteration_ops = body + loop.control_ops
+            changed = True
+    if not hoisted:
+        return 0
+    seg.loop = build_counted_loop(
+        loop.name, list(loop.preheader_ops) + hoisted, body, loop.counter,
+        loop.bound, loop.step, carried=loop.carried_regs,
+        epilogue=loop.epilogue_ops, description=loop.description,
+        live_out=loop.live_out)
+    if tracer.enabled:
+        for op in hoisted:
+            tracer.emit(OpHoisted(loop=loop.name, op=op.label, tid=op.tid,
+                                  kind="counted"))
+    return len(hoisted)
+
+
+def _hoist_while(seg: SegmentPlan, tracer: Tracer) -> int:
+    """Hoist invariant *condition* ops of a while loop.
+
+    The body may execute zero trips, so body ops never hoist; the
+    condition runs at least once even then (test-first shape), which is
+    exactly what makes moving an invariant condition op to the
+    pre-header -- where it also runs exactly once -- sound.
+    """
+    loop = seg.loop
+    exit_reg = loop.cj_op.srcs[0]
+    cond = list(loop.cond_ops)
+    rest = [op for op in loop.all_loop_ops() if op not in loop.cond_ops]
+    hoisted: list[Operation] = []
+    hoisted_defs: set[Reg] = set()
+    protected = set(loop.carried_regs) | {exit_reg}
+    changed = True
+    while changed:
+        changed = False
+        iteration_ops = cond + rest
+        for op in list(cond):
+            if not _invariant(op, iteration_ops, protected, hoisted_defs):
+                continue
+            cond.remove(op)
+            hoisted.append(op)
+            hoisted_defs.add(op.dest)
+            iteration_ops = cond + rest
+            changed = True
+    if not hoisted:
+        return 0
+    seg.loop = build_while_loop(
+        loop.name, list(loop.preheader_ops) + hoisted, cond, exit_reg,
+        loop.body_ops, carried=loop.carried_regs,
+        epilogue=loop.epilogue_ops, description=loop.description,
+        live_out=loop.live_out, inner=loop.inner)
+    if tracer.enabled:
+        for op in hoisted:
+            tracer.emit(OpHoisted(loop=loop.name, op=op.label, tid=op.tid,
+                                  kind="while"))
+    return len(hoisted)
+
+
+def hoist_invariants(plan: ProgramPlan,
+                     tracer: Tracer = NULL_TRACER) -> int:
+    """Hoist invariant ops segment by segment; returns the count.
+
+    Segments whose descriptor changes are rebuilt through the canonical
+    loop builders, so the unwinder and the while compactor see a
+    self-consistent graph + metadata pair.
+    """
+    total = 0
+    for seg in plan.segments:
+        if isinstance(seg.loop, CountedLoop):
+            total += _hoist_counted(seg, tracer)
+        elif isinstance(seg.loop, WhileLoop):
+            total += _hoist_while(seg, tracer)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Pass 3: adjacent counted-segment fusion
+# ----------------------------------------------------------------------
+def _counter_init(loop: CountedLoop) -> int | None:
+    """The counter's initial value, from the pre-header CONST."""
+    for op in loop.preheader_ops:
+        if op.kind is OpKind.CONST and op.dest == loop.counter:
+            return op.srcs[0].value
+    return None
+
+
+def _is_counter_init(op: Operation, counter: Reg) -> bool:
+    return op.kind is OpKind.CONST and op.dest == counter
+
+
+def _same_bound(la: CountedLoop, lb: CountedLoop) -> bool:
+    if isinstance(la.bound, Imm) and isinstance(lb.bound, Imm):
+        return la.bound.value == lb.bound.value
+    if isinstance(la.bound, Reg) and isinstance(lb.bound, Reg):
+        if la.bound.name != lb.bound.name:
+            return False
+        # Equal trips needs the shared bound register to be stable.
+        writers = _defined_regs(la.all_loop_ops() + lb.all_loop_ops()
+                                + la.preheader_ops + lb.preheader_ops)
+        return la.bound not in writers
+    return False
+
+
+def _trip_count(loop: CountedLoop) -> int:
+    """Static trip count (do-while: at least one), -1 when unknown."""
+    lo = _counter_init(loop)
+    if lo is None or not isinstance(loop.bound, Imm):
+        return -1
+    span = loop.bound.value - lo
+    return max(1, -(-int(span) // loop.step))
+
+
+def _fusion_blocker(a: SegmentPlan, b: SegmentPlan) -> str | None:
+    """The ``why`` sub-code refusing fusion of ``a`` + ``b``, or None."""
+    la, lb = a.loop, b.loop
+    if not (isinstance(la, CountedLoop) and isinstance(lb, CountedLoop)):
+        return "not-counted"
+    if a.post_ops or b.pre_ops:
+        return "interleaved-scalar"
+    if la.epilogue_ops or lb.epilogue_ops:
+        return "epilogue"
+    lo_a, lo_b = _counter_init(la), _counter_init(lb)
+    if (lo_a is None or lo_b is None or lo_a != lo_b
+            or la.step != lb.step or not _same_bound(la, lb)):
+        return "trip-mismatch"
+    ca, cb = la.counter, lb.counter
+    control = {ca, cb, Reg(f"{ca.name}.exit"), Reg(f"{cb.name}.exit")}
+    # L2 pre-header ops other than the counter init run before the
+    # fused loop, i.e. before everything L1 does: they must be
+    # independent of L1 entirely (registers and memory).
+    pre_b = [op for op in lb.preheader_ops if not _is_counter_init(op, cb)]
+    l1_ops = la.preheader_ops + la.all_loop_ops()
+    for op in pre_b:
+        if any(any_dep(o, op) or any_dep(op, o) for o in l1_ops):
+            return "preheader-dep"
+    # Scalar rule: any shared non-control register between the bodies
+    # changes which iteration's value a read observes under fusion.
+    defs_a = _defined_regs(la.body_ops) - control
+    defs_b = _defined_regs(lb.body_ops) - control
+    uses_a = set().union(*(op.uses() for op in la.body_ops),
+                         frozenset()) - control
+    uses_b = set().union(*(op.uses() for op in lb.body_ops),
+                         frozenset()) - control
+    if (defs_a & uses_b) or (uses_a & defs_b) or (defs_a & defs_b):
+        return "scalar-dep"
+    if ca != cb:
+        # L2 reading/writing L1's *live* induction variable would
+        # observe it mid-flight after fusion instead of at rest.
+        b_touch = _defined_regs(lb.body_ops).union(
+            *(op.uses() for op in lb.body_ops))
+        if ca in b_touch:
+            return "scalar-dep"
+    # Memory rule (see module docstring for the derivation).
+    mem_a = [op for op in la.body_ops if op.mem is not None]
+    mem_b = [op for op in lb.body_ops if op.mem is not None]
+    for x in mem_a:
+        for y in mem_b:
+            if x.mem.array != y.mem.array:
+                continue
+            if not (x.writes_memory or y.writes_memory):
+                continue
+            if x.mem.index is None and y.mem.index is None:
+                if x.mem.offset == y.mem.offset:
+                    return "mem-dep"
+            elif x.mem.affine is not None and y.mem.affine is not None:
+                d = x.mem.affine - y.mem.affine
+                if d < 0 and d % la.step == 0:
+                    return "mem-dep"
+            else:
+                return "mem-unknown"
+    return None
+
+
+def _carried_scalars(ops, exclude: set[Reg]) -> set[Reg]:
+    """Registers read before being written, among those written here."""
+    written = _defined_regs(ops)
+    seen: set[Reg] = set()
+    carried: set[Reg] = set()
+    for op in ops:
+        for r in op.uses():
+            if r not in seen and r in written and r not in exclude:
+                carried.add(r)
+        if op.dest is not None:
+            seen.add(op.dest)
+    return carried
+
+
+def _fuse(la: CountedLoop, lb: CountedLoop) -> CountedLoop:
+    ca, cb = la.counter, lb.counter
+    body_b = list(lb.body_ops)
+    if cb != ca:
+        body_b = [op.substitute_use(cb, ca) for op in body_b]
+    pre_b = [op for op in lb.preheader_ops if not _is_counter_init(op, cb)]
+    body = list(la.body_ops) + body_b
+    carried = (_carried_scalars(body, {ca})
+               | (set(la.carried_regs) | set(lb.carried_regs)) - {ca, cb})
+    return build_counted_loop(
+        f"{la.name}+{lb.name}", list(la.preheader_ops) + pre_b, body, ca,
+        la.bound, la.step, carried=sorted(carried, key=lambda r: r.name),
+        epilogue=(),
+        description=f"fused: {la.name} + {lb.name}",
+        live_out=sorted(la.live_out | lb.live_out, key=lambda r: r.name))
+
+
+def fuse_counted_segments(plan: ProgramPlan,
+                          tracer: Tracer = NULL_TRACER) -> int:
+    """Fuse adjacent counted segments in place; returns fusions applied.
+
+    After a successful merge the same position is retried, so chains of
+    three or more compatible loops collapse into one segment.
+    """
+    fused = 0
+    segs = plan.segments
+    i = 0
+    while i + 1 < len(segs):
+        a, b = segs[i], segs[i + 1]
+        why = _fusion_blocker(a, b)
+        if why is not None:
+            if tracer.enabled:
+                tracer.emit(FusionBlocked(first=a.loop.name,
+                                          second=b.loop.name, why=why))
+            i += 1
+            continue
+        merged = _fuse(a.loop, b.loop)
+        if tracer.enabled:
+            tracer.emit(FusionApplied(first=a.loop.name, second=b.loop.name,
+                                      trip_count=_trip_count(merged)))
+        segs[i] = SegmentPlan(loop=merged, pre_ops=list(a.pre_ops),
+                              post_ops=list(b.post_ops))
+        del segs[i + 1]
+        fused += 1
+    return fused
+
+
+# ----------------------------------------------------------------------
+# Pass 4: slack-slot motion (post-scheduling)
+# ----------------------------------------------------------------------
+def _select_leaf(node, lo: int, step: int, bound: int) -> int | None:
+    """Statically resolve ``node``'s CJ tree for a counted segment.
+
+    Every conditional jump in an unwound counted segment is an exit
+    test tagged with its iteration ``i``; it fires iff
+    ``lo + (i+1)*step >= bound``.  Returns the selected leaf's target,
+    or None when a jump cannot be resolved.
+    """
+    tree = node.tree
+    while isinstance(tree, Branch):
+        cj = node.cjs.get(tree.cj_uid)
+        if cj is None or cj.iteration < 0:
+            return None
+        taken = lo + (cj.iteration + 1) * step >= bound
+        tree = tree.on_true if taken else tree.on_false
+    assert isinstance(tree, Leaf)
+    return tree.target
+
+
+def _executed_path(graph: ProgramGraph, lo: int, step: int,
+                   bound: int) -> list[int] | None:
+    """Node ids on the executed path of a scheduled counted segment.
+
+    The unwound chain is acyclic and its branch outcomes are static
+    once ``lo``/``step``/``bound`` are known, so each listed node
+    executes exactly once; nodes off the path (iterations past the
+    trip count) execute zero times and must not host moved code.
+    """
+    order: list[int] = []
+    seen: set[int] = set()
+    nid = graph.entry
+    while nid is not None and nid != EXIT:
+        if nid in seen or nid not in graph.nodes:
+            return None
+        seen.add(nid)
+        order.append(nid)
+        nid = _select_leaf(graph.nodes[nid], lo, step, bound)
+    return order if nid == EXIT else None
+
+
+def _class_idle(machine: MachineConfig, node, op: Operation) -> int:
+    """Idle slots left for ``op``'s FU class in ``node``.
+
+    Same accounting as the inefficiency report's per-class idle
+    breakdown (:func:`repro.obs.report` ``_node_usage``): the class
+    budget is ``machine.class_budget``, usage counts every resident op
+    of the class.
+    """
+    budget = machine.class_budget(fu_class_of(op))
+    if budget is None:
+        return 1
+    cls = fu_class_of(op)
+    used = sum(1 for o in node.all_ops() if fu_class_of(o) is cls)
+    return budget - used
+
+
+def slack_slot_motion(plan: ProgramPlan, segments, machine: MachineConfig,
+                      tracer: Tracer = NULL_TRACER) -> int:
+    """Migrate residual epilogue ops into the last segment's idle slots.
+
+    ``segments`` is the per-segment schedule list produced by
+    :func:`~repro.pipelining.program.pipeline_program` (duck-typed:
+    ``kind``/``loop``/``graph`` attributes), aligned with
+    ``plan.segments``.  A candidate moves only when it is fully
+    independent of the target segment (both dependence directions,
+    registers and memory) and of every other residual op, and only
+    into executed-path nodes with idle capacity in its FU class --
+    leftover ops simply stay in the epilogue chunk.  Mutations go
+    through ``graph.add_op`` so the event journal sees them.
+    """
+    if not plan.segments or not segments:
+        return 0
+    seg_plan = plan.segments[-1]
+    seg = segments[-1]
+    if getattr(seg, "kind", None) != "counted" or not seg_plan.post_ops:
+        return 0
+    loop = seg.loop
+    if not isinstance(loop.bound, Imm):
+        return 0
+    lo = _counter_init(loop)
+    if lo is None:
+        return 0
+    path = _executed_path(seg.graph, lo, loop.step, int(loop.bound.value))
+    if not path:
+        return 0
+    graph_ops = [op for _, op in seg.graph.all_operations()]
+    moved = 0
+    for op in list(seg_plan.post_ops):
+        others = [o for o in seg_plan.post_ops if o is not op]
+        if any(any_dep(g, op) or any_dep(op, g) for g in graph_ops):
+            continue
+        if any(any_dep(o, op) or any_dep(op, o) for o in others):
+            continue
+        target = None
+        for nid in reversed(path):
+            node = seg.graph.nodes[nid]
+            if _class_idle(machine, node, op) > 0 and \
+                    machine.can_accept(node, op):
+                target = nid
+                break
+        if target is None:
+            continue
+        seg.graph.add_op(target, op)
+        seg_plan.post_ops.remove(op)
+        graph_ops.append(op)
+        moved += 1
+        if tracer.enabled:
+            tracer.emit(SlackMove(segment=loop.name, op=op.label,
+                                  tid=op.tid, nid=target))
+    return moved

@@ -5,10 +5,13 @@ percolation framework, however, is defined over arbitrary CJ-tree
 control flow.  This module extends the driver to
 :class:`~repro.ir.loops.LoopProgram` shapes -- sequences of counted
 (``for``) and non-counted (``while``) loops sharing scalar state --
-with one load-bearing soundness rule:
+scheduled through a staged pass pipeline
+(:mod:`repro.pipelining.passes`) with one load-bearing soundness rule:
 
-**code motion never crosses a loop boundary.**  Each loop is scheduled
-as an isolated segment on its own graph and the results are
+**scheduling never crosses a loop boundary; only the explicit,
+individually-verified pass-pipeline transforms (invariant hoisting,
+counted-segment fusion, slack-slot motion) may.**  Each loop is
+scheduled as an isolated segment on its own graph and the results are
 re-concatenated (:func:`~repro.ir.loops.concat_graphs`), so GRiP and
 gap prevention only ever see a single loop's (acyclic, unwound) region
 at a time:
@@ -35,10 +38,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace as dc_replace
 
-from ..ir.builder import SequentialBuilder, straightline_graph
+from ..ir.builder import SequentialBuilder
 from ..ir.cjtree import EXIT
 from ..ir.graph import ProgramGraph
-from ..ir.loops import CountedLoop, LoopProgram, WhileLoop, concat_graphs
+from ..ir.loops import (CountedLoop, LoopProgram, ProgramPlan, WhileLoop,
+                        concat_graphs)
 from ..machine.model import MachineConfig
 from ..obs.tracer import NULL_TRACER, SegmentBegin, Tracer
 from ..scheduling.grip import GRiPScheduler, ScheduleResult
@@ -65,6 +69,13 @@ def compact_while(loop: WhileLoop, machine: MachineConfig, *,
     * the body ops are list-scheduled into rows behind the jump,
     * the back edge returns to the first header row.
 
+    Nested while loops (``loop.inner``) are emitted recursively at
+    their anchors: the body chunk before each anchor is compacted,
+    then the inner loop's own condition rows / exit jump / body rows /
+    back edge, and the chain resumes from the inner exit jump's open
+    leaf -- mirroring :func:`repro.ir.loops.build_while_loop` exactly,
+    row-packed.  Chunks never schedule across an inner-loop boundary.
+
     Latency maps are ignored here exactly as GRiP ignores them: the
     percolation framework is single-cycle and the bundle VM's
     scoreboard realizes multi-cycle timing afterwards.
@@ -82,21 +93,41 @@ def compact_while(loop: WhileLoop, machine: MachineConfig, *,
             graph.add_op(node.nid, op)
         return node.nid
 
+    def emit_rows(ops) -> None:
+        if not ops:
+            return
+        for row in list_schedule(list(ops), sched_machine,
+                                 heuristic=heuristic).rows:
+            append_row(row)
+
+    def emit_body(body_ops, inner) -> None:
+        idx = 0
+        for iw in inner:
+            emit_rows(body_ops[idx:iw.anchor])
+            idx = iw.anchor
+            emit_loop(iw, is_inner=True)
+        emit_rows(body_ops[idx:])
+
+    def emit_loop(w, *, is_inner: bool) -> None:
+        header: int | None = None
+        for row in list_schedule(list(w.cond_ops), sched_machine,
+                                 heuristic=heuristic).rows:
+            nid = append_row(row)
+            if nid is not None and header is None:
+                header = nid
+        cj_node = builder.append_cjump(w.cj_op, true_target=EXIT)
+        if header is None:
+            header = cj_node.nid
+        emit_body(w.body_ops, w.inner)
+        builder.close_loop(header)
+        if is_inner:
+            # The back edge consumed the fall-through; continue the
+            # host chain from this loop's still-open exit leaf.
+            builder.resume(cj_node)
+
     for op in loop.preheader_ops:
         builder.append(op)
-    header: int | None = None
-    for row in list_schedule(loop.cond_ops, sched_machine,
-                             heuristic=heuristic).rows:
-        nid = append_row(row)
-        if nid is not None and header is None:
-            header = nid
-    cj_node = builder.append_cjump(loop.cj_op, true_target=EXIT)
-    if header is None:
-        header = cj_node.nid
-    for row in list_schedule(loop.body_ops, sched_machine,
-                             heuristic=heuristic).rows:
-        append_row(row)
-    builder.close_loop(header)
+    emit_loop(loop, is_inner=False)
     return graph
 
 
@@ -144,6 +175,12 @@ class ProgramPipelineResult:
     measured_seq_cycles: int | None = None
     measured_par_cycles: int | None = None
     seeds: list[int] = field(default_factory=list)
+    #: normalized plan the pass pipeline worked on (None: legacy path)
+    plan: "ProgramPlan | None" = None
+    #: program epilogue ops still running after the last segment --
+    #: shrinks when slack motion migrates ops into segment idle slots;
+    #: the report's epilogue bound is computed over *this* list.
+    residual_epilogue: list = field(default_factory=list)
 
     @property
     def converged(self) -> bool:
@@ -216,22 +253,42 @@ def pipeline_program(program: LoopProgram, machine: MachineConfig, *,
                      heuristic: Heuristic | None = None,
                      gap_prevention: bool = True,
                      allow_speculation: bool = True,
+                     optimize: bool = True,
                      measure: bool = True,
                      verify: bool = True,
                      verify_analysis: bool = False,
                      seeds: tuple[int, ...] = (0,),
                      tracer: Tracer | None = None) -> ProgramPipelineResult:
-    """Schedule a whole loop program, one isolated segment at a time.
+    """Schedule a whole loop program through the staged pass pipeline.
+
+    The program is first normalized into a
+    :class:`~repro.ir.loops.ProgramPlan`; with ``optimize`` (default)
+    the cross-segment passes run around per-segment scheduling:
+    invariant hoisting and counted-segment fusion rewrite the plan
+    before any segment is unwound, slack-slot motion fills schedule
+    idle slots from the residual epilogue afterwards
+    (:mod:`repro.pipelining.passes`).  ``optimize=False`` is the
+    legacy fixed per-segment flow -- the differential baseline the
+    property suite schedules both ways and compares.
 
     ``verify_analysis`` attaches a verifying
     :class:`~repro.analysis.incremental.AnalysisManager` to every
     counted segment before GRiP runs (the fuzz lane's journal check).
     ``tracer`` (observe-only) receives every counted segment's GRiP
-    decision stream, bracketed by ``SegmentBegin`` events.
+    decision stream bracketed by ``SegmentBegin`` events, plus the
+    pass pipeline's transform events.
     """
+    from .passes import (fuse_counted_segments, hoist_invariants,
+                         normalize_program, slack_slot_motion)
+
     tracer = tracer if tracer is not None else NULL_TRACER
+    plan = normalize_program(program)
+    if optimize:
+        hoist_invariants(plan, tracer)
+        fuse_counted_segments(plan, tracer)
     segments: list[SegmentSchedule] = []
-    for i, lp in enumerate(program.loops):
+    for i, seg_plan in enumerate(plan.segments):
+        lp = seg_plan.loop
         if isinstance(lp, CountedLoop):
             if tracer.enabled:
                 tracer.emit(SegmentBegin(index=i, kind="counted",
@@ -262,13 +319,20 @@ def pipeline_program(program: LoopProgram, machine: MachineConfig, *,
             segments.append(SegmentSchedule(
                 loop=lp, kind="while",
                 graph=compact_while(lp, machine, heuristic=heuristic)))
-    graphs = [seg.graph for seg in segments]
-    if program.epilogue_ops:
-        graphs.append(straightline_graph(program.epilogue_ops))
-    combined = concat_graphs(graphs)
+    if optimize:
+        slack_slot_motion(plan, segments, machine, tracer)
+    parts: list = []
+    for seg_plan, seg in zip(plan.segments, segments):
+        parts.append(seg_plan.pre_ops)
+        parts.append(seg.graph)
+        parts.append(seg_plan.post_ops)
+    if not plan.segments and program.epilogue_ops:
+        parts.append(list(program.epilogue_ops))
+    combined = concat_graphs(parts)
     result = ProgramPipelineResult(
         program=program, machine=machine, segments=segments,
-        graph=combined, seeds=list(seeds))
+        graph=combined, seeds=list(seeds), plan=plan,
+        residual_epilogue=plan.residual_epilogue())
     if measure:
         _measure_program(result, verify=verify, seeds=seeds)
     return result

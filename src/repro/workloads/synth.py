@@ -53,6 +53,14 @@ The declared scenario space (one :class:`Scenario` per point):
     opaque data-dependent exit, so the whole trip-count-unknown
     pipeline is exercised.
 
+``hoist_density`` / ``fuse_density`` / ``nest_density``
+    Program pass-pipeline shapes: per-loop probability of a hoistable
+    loop-invariant scalar update (reads only read-only params and
+    literals); probability a would-be ``while`` loop is forced counted
+    so adjacent loops share one trip count (the fusion pass's positive
+    shapes); per-loop probability of a self-contained nested inner
+    ``while`` (the while-in-for / while-in-while frontend paths).
+
 ``special_density``
     Probability that an expression leaf is a float-special generator:
     ``1e308`` literals and doubly-scaled array reads that overflow to
@@ -120,6 +128,13 @@ class Scenario:
     n_loops: int = 1
     #: probability an expression leaf generates a float special
     special_density: float = 0.0
+    #: probability each loop body carries a hoistable invariant update
+    hoist_density: float = 0.0
+    #: probability a would-be ``while`` loop is forced counted (adjacent
+    #: same-trip ``for`` loops: the fusion pass's positive shapes)
+    fuse_density: float = 0.0
+    #: probability each top-level loop body nests an inner ``while``
+    nest_density: float = 0.0
 
     def seed_key(self) -> str:
         """The rng seed string: stable across scenario-space growth.
@@ -143,6 +158,12 @@ class Scenario:
             extras.append(f"n_loops={self.n_loops!r}")
         if self.special_density:
             extras.append(f"special_density={self.special_density!r}")
+        if self.hoist_density:
+            extras.append(f"hoist_density={self.hoist_density!r}")
+        if self.fuse_density:
+            extras.append(f"fuse_density={self.fuse_density!r}")
+        if self.nest_density:
+            extras.append(f"nest_density={self.nest_density!r}")
         if extras:
             base += ", " + ", ".join(extras)
         return base + ")"
@@ -262,6 +283,11 @@ def scenario_from_seed(seed: int) -> Scenario:
         while_density=rng.choice((0.0, 0.0, 0.0, 0.5, 1.0)),
         n_loops=rng.choice((1, 1, 1, 1, 2, 2, 3)),
         special_density=rng.choice((0.0, 0.0, 0.0, 0.2)),
+        # Pass-pipeline axes (drawn after every older axis, so the old
+        # axes of an existing seed keep their values).
+        hoist_density=rng.choice((0.0, 0.0, 0.0, 0.6)),
+        fuse_density=rng.choice((0.0, 0.0, 0.0, 0.7)),
+        nest_density=rng.choice((0.0, 0.0, 0.0, 0.4)),
     )
 
 
@@ -430,6 +456,38 @@ class _Gen:
             cell = f"{hst}[{ix}[{self.idx(j)}]]"
             self.statements.append(f"{cell} = ({cell} + {self.scalar()});")
 
+    def stmt_invariant(self, li: int) -> None:
+        """A loop-invariant scalar update: reads only read-only params
+        and literals, so the pass pipeline's hoisting stage can lift it
+        into the segment pre-header (counted bodies; a while body keeps
+        it in place -- the trip count may be zero)."""
+        hv = self.param(f"hv{li}")
+        self.written.add(hv)
+        op = self.combiner()
+        a = self.rng.choice(("p0", "p1"))
+        b = self.rng.choice(_LITERALS)
+        self.statements.append(f"{hv} = {_apply(op, a, b)};")
+
+    def stmt_nested_while(self, li: int) -> None:
+        """A self-contained inner ``while`` nested in the current loop.
+
+        One flat statement entry (droppable as a unit by the shrinker);
+        terminating by the same construction as top-level whiles: a
+        dedicated counter param advanced inside, a read-only limit.
+        The counter start draws from ``[0.125, 10.125]`` against a
+        ``limit + 4`` bound, so most initial states run a few trips and
+        rare ones run zero -- the zero-trip hoisting hazard's shape.
+        """
+        ctr = self.param(f"v{li}")
+        self.written.add(ctr)
+        limit = self.rng.choice(("p0", "p1"))
+        arr = self.rng.choice(self.arrays[: self._n_sources()])
+        cell = f"{arr}[{ctr}]"
+        upd = f"{cell} = ({cell} + {self.scalar()});"
+        self.statements.append(
+            f"while ({ctr} < {limit} + 4) {{ {upd} {ctr} = {ctr} + 1; }}"
+        )
+
     def stmt(self, kind: str, s: int, j: int) -> None:
         builder = {
             "stream": self.stmt_stream,
@@ -469,8 +527,10 @@ def generate(sc: Scenario) -> SynthProgram:
         raise ValueError(f"unknown pattern {sc.pattern!r} (want {PATTERNS})")
     if sc.stmts < 1 or sc.depth < 1 or sc.step < 1 or sc.n_loops < 1:
         raise ValueError(f"degenerate scenario {sc!r}")
-    if not 0.0 <= sc.while_density <= 1.0 or not 0.0 <= sc.special_density <= 1.0:
-        raise ValueError(f"degenerate scenario {sc!r}")
+    for density in (sc.while_density, sc.special_density, sc.hoist_density,
+                    sc.fuse_density, sc.nest_density):
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(f"degenerate scenario {sc!r}")
     rng = random.Random(f"grip-synth-program:{sc.seed_key()}")
     g = _Gen(rng=rng, sc=sc)
     g.param("p0")
@@ -482,6 +542,11 @@ def generate(sc: Scenario) -> SynthProgram:
     loops: list[SynthLoop] = []
     for li in range(sc.n_loops):
         is_while = sc.while_density > 0 and rng.random() < sc.while_density
+        if is_while and sc.fuse_density > 0 and rng.random() < sc.fuse_density:
+            # Fusable shape: force the loop counted, so adjacent loops
+            # share the ``for k = 0 to n`` trip and the fusion pass has
+            # legality to decide (not a trivial not-counted refusal).
+            is_while = False
         tail: tuple[str, ...] = ()
         if is_while:
             # A dedicated counter param (seeded start in [0.125,
@@ -517,6 +582,10 @@ def generate(sc: Scenario) -> SynthProgram:
             for j in range(copies):
                 rng.setstate(template_state)
                 g.stmt(kind, s, j)
+        if sc.hoist_density > 0 and rng.random() < sc.hoist_density:
+            g.stmt_invariant(li)
+        if sc.nest_density > 0 and rng.random() < sc.nest_density:
+            g.stmt_nested_while(li)
         loops.append(
             SynthLoop(
                 kind="while" if is_while else "for",
@@ -594,12 +663,35 @@ CURATED: dict[str, Scenario] = {
         n_loops=3,
         while_density=0.35,
     ),
+    # Pass-pipeline shapes (PR 7): while-in-for nests plus hoistable
+    # invariants, and adjacent same-trip counted loops for fusion.
+    "SYNNEST": Scenario(
+        seed=209,
+        pattern="stream",
+        stmts=2,
+        mem_ratio=0.5,
+        opmix=("+", "*"),
+        hoist_density=1.0,
+        nest_density=1.0,
+    ),
+    "SYNFUS": Scenario(
+        seed=210,
+        pattern="stream",
+        stmts=2,
+        mem_ratio=0.5,
+        opmix=("+", "-", "*"),
+        n_loops=3,
+        while_density=1.0,
+        fuse_density=1.0,
+        hoist_density=1.0,
+    ),
 }
 
 #: curated kernels whose scenario emits a LoopProgram (no analytic II,
 #: no POST baseline); consult before crossing with backends.
 PROGRAM_KERNELS = frozenset(
-    name for name, sc in CURATED.items() if sc.n_loops > 1 or sc.while_density > 0
+    name for name, sc in CURATED.items()
+    if sc.n_loops > 1 or sc.while_density > 0 or sc.nest_density > 0
 )
 
 

@@ -48,33 +48,33 @@ class TestParser:
         prog = parse("param q, n; array x; for k = 0 to n { x[k] = q; }")
         assert prog.params == ["q", "n"]
         assert prog.arrays == ["x"]
-        assert isinstance(prog.loop, ForLoop)
-        assert prog.loop.counter == "k"
+        assert isinstance(prog.loops[0], ForLoop)
+        assert prog.loops[0].counter == "k"
 
     def test_precedence(self):
         prog = parse("array x; for k = 0 to 4 { x[k] = 1 + 2 * 3; }")
-        stmt = prog.loop.body[0]
+        stmt = prog.loops[0].body[0]
         assert isinstance(stmt.value, Bin) and stmt.value.op == "+"
         assert isinstance(stmt.value.right, Bin)
         assert stmt.value.right.op == "*"
 
     def test_parentheses(self):
         prog = parse("array x; for k = 0 to 4 { x[k] = (1 + 2) * 3; }")
-        assert prog.loop.body[0].value.op == "*"
+        assert prog.loops[0].body[0].value.op == "*"
 
     def test_min_max_abs(self):
         prog = parse("array x; for k = 0 to 4 "
                      "{ x[k] = min(1, max(2, 3)) + abs(-4); }")
-        assert prog.loop.body[0].value.op == "+"
+        assert prog.loops[0].body[0].value.op == "+"
 
     def test_if_else(self):
         prog = parse("param a; array x; for k = 0 to 4 "
                      "{ if (a < 1) { x[k] = 1; } else { x[k] = 2; } }")
-        assert isinstance(prog.loop.body[0], IfStmt)
+        assert isinstance(prog.loops[0].body[0], IfStmt)
 
     def test_step(self):
         prog = parse("array x; for k = 0 to 8 step 2 { x[k] = 1; }")
-        assert prog.loop.step == 2
+        assert prog.loops[0].step == 2
 
     def test_missing_semicolon(self):
         with pytest.raises(ParseError):

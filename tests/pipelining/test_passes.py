@@ -1,0 +1,202 @@
+"""Unit tests for the program pass pipeline (repro.pipelining.passes).
+
+The property suite (tests/property/test_pass_pipeline.py) adjudicates
+soundness differentially; these tests pin the *mechanics*: which ops
+move where, which reason codes fire, and that a transform-free run of
+the optimizing pipeline leaves the schedule untouched.
+"""
+
+import pytest
+
+from repro.frontend import compile_dsl
+from repro.ir.operations import OpKind
+from repro.ir.registers import Reg
+from repro.machine import MachineConfig
+from repro.obs import DecisionJournal, FusionBlocked, OpHoisted, SlackMove
+from repro.pipelining.passes import (
+    fuse_counted_segments,
+    hoist_invariants,
+    normalize_program,
+)
+from repro.pipelining.program import pipeline_program
+from repro.simulator.check import check_equivalent
+
+
+def plan_for(src: str, n: int = 6, name: str = "t"):
+    program = compile_dsl(src, n, name=name)
+    return program, normalize_program(program)
+
+
+# ----------------------------------------------------------------------
+# Hoisting
+# ----------------------------------------------------------------------
+HOIST_SRC = """
+param p0, hv, n; array x, d;
+for k = 0 to n {
+    hv = (p0 * 1.5);
+    d[k] = (x[k] + hv);
+}
+while (p0 < 1) { p0 = p0 + 1; }
+"""
+
+
+class TestHoisting:
+    def test_counted_body_invariant_moves_to_preheader(self):
+        program, plan = plan_for(HOIST_SRC)
+        journal = DecisionJournal()
+        assert hoist_invariants(plan, journal) >= 1
+        loop = plan.segments[0].loop
+        assert any(op.dest == Reg("hv") for op in loop.preheader_ops)
+        assert not any(op.dest == Reg("hv") for op in loop.body_ops)
+        kinds = [e.kind for e in journal.events if isinstance(e, OpHoisted)]
+        assert "counted" in kinds
+
+    def test_dependent_chain_hoists_across_rounds(self):
+        # t = p0 * 2 then hv = t + 1: the second becomes invariant only
+        # once the first has hoisted -- the fixpoint must lift both.
+        src = """
+param p0, hv, n; array x, d;
+for k = 0 to n {
+    hv = ((p0 * 2) + 1);
+    d[k] = (x[k] + hv);
+}
+while (p0 < 1) { p0 = p0 + 1; }
+"""
+        program, plan = plan_for(src)
+        hoist_invariants(plan)
+        loop = plan.segments[0].loop
+        body_defs = {op.dest for op in loop.body_ops if op.dest}
+        assert Reg("hv") not in body_defs
+        # everything feeding hv left the body too
+        assert all(op.mem is not None or op.dest is not None
+                   for op in loop.body_ops)
+
+    def test_carried_accumulator_stays(self):
+        src = """
+param acc, n; array x;
+for k = 0 to n { acc = (acc + x[k]); }
+while (acc < 1) { acc = acc + 1; }
+"""
+        program, plan = plan_for(src)
+        journal = DecisionJournal()
+        hoist_invariants(plan, journal)
+        loop = plan.segments[0].loop
+        assert any(op.dest == Reg("acc") for op in loop.body_ops)
+
+
+# ----------------------------------------------------------------------
+# Fusion
+# ----------------------------------------------------------------------
+class TestFusion:
+    def test_three_way_chain_fuses_to_one_segment(self):
+        src = """
+param q, n; array x, y, z, d, e, f;
+for k = 0 to n { d[k] = (x[k] * q); }
+for k = 0 to n { e[k] = (y[k] + q); }
+for k = 0 to n { f[k] = (z[k] - q); }
+"""
+        program, plan = plan_for(src, name="chain")
+        journal = DecisionJournal()
+        assert fuse_counted_segments(plan, journal) == 2
+        assert len(plan.segments) == 1
+        assert plan.segments[0].loop.name == "chain.L0+chain.L1+chain.L2"
+
+    def test_shared_accumulator_blocks_with_scalar_dep(self):
+        src = """
+param acc, n; array x, y, d;
+for k = 0 to n { acc = (acc + x[k]); d[k] = acc; }
+for k = 0 to n { acc = (acc * y[k]); }
+"""
+        program, plan = plan_for(src)
+        journal = DecisionJournal()
+        assert fuse_counted_segments(plan, journal) == 0
+        whys = [e.why for e in journal.events if isinstance(e, FusionBlocked)]
+        assert whys == ["scalar-dep"]
+
+    def test_backward_memory_distance_blocks_with_mem_dep(self):
+        # L1 writes r[k+1]; L2 reads r[k+2]: fused iteration k would
+        # read a cell L1 only writes at iteration k+1 (d = -1 < 0).
+        src = """
+param n; array x, r, d;
+for k = 0 to n { r[k+1] = (x[k] + 1); }
+for k = 0 to n { d[k] = (r[k+2] * 2); }
+"""
+        program, plan = plan_for(src)
+        journal = DecisionJournal()
+        assert fuse_counted_segments(plan, journal) == 0
+        whys = [e.why for e in journal.events if isinstance(e, FusionBlocked)]
+        assert whys == ["mem-dep"]
+
+    def test_forward_memory_distance_fuses_and_verifies(self):
+        # Same arrays, but the read distance trails the write (d >= 0):
+        # safe, and the fused program must stay memory-equivalent.
+        src = """
+param n; array x, r, d;
+for k = 0 to n { r[k+1] = (x[k] + 1); }
+for k = 0 to n { d[k] = (r[k] * 2); }
+"""
+        program, plan = plan_for(src)
+        assert fuse_counted_segments(plan, DecisionJournal()) == 1
+        res = pipeline_program(program, MachineConfig(fus=4), unroll=8,
+                               measure=False)
+        check_equivalent(program.graph, res.graph, seeds=(0, 1, 2))
+
+
+# ----------------------------------------------------------------------
+# Slack-slot motion
+# ----------------------------------------------------------------------
+SLACK_SRC = """
+param acc, q, n; array x, y, d;
+for k = 0 to 6 { acc = (acc + x[k]); }
+for k = 0 to 9 { d[k] = (y[k] * q); }
+"""
+
+
+class TestSlackMotion:
+    def test_independent_epilogue_store_migrates(self):
+        program = compile_dsl(SLACK_SRC, 6, name="slack")
+        machine = MachineConfig(fus=4)
+        journal = DecisionJournal()
+        res = pipeline_program(program, machine, measure=False,
+                               tracer=journal, verify=True)
+        assert journal.slack_moves == 1
+        assert res.residual_epilogue == []
+        moves = [e for e in journal.events if isinstance(e, SlackMove)]
+        assert moves and moves[0].op.startswith("out_acc")
+
+    def test_dependent_epilogue_store_stays(self):
+        # Fusion merges both loops, so out_acc depends on the (only)
+        # segment that computes acc -- it must stay in the epilogue.
+        src = SLACK_SRC.replace("to 6", "to n").replace("to 9", "to n")
+        program = compile_dsl(src, 6, name="slack2")
+        journal = DecisionJournal()
+        res = pipeline_program(program, MachineConfig(fus=4), measure=False,
+                               tracer=journal)
+        assert journal.slack_moves == 0
+        assert [op.name for op in res.residual_epilogue] == ["out_acc"]
+
+
+# ----------------------------------------------------------------------
+# No-transform bit-identity
+# ----------------------------------------------------------------------
+def test_transform_free_program_schedules_identically():
+    # The condition reads only the carried counter and the raw limit,
+    # so nothing is invariant; one while segment, nothing to fuse or
+    # slack-fill -- no transform may fire and the optimizing pipeline
+    # must produce the legacy flow's graph, node for node.
+    src = """
+param w0, lim, n; array x;
+while (w0 < lim) { x[w0] = (x[w0] + 1); w0 = w0 + 1; }
+"""
+    program = compile_dsl(src, 6, name="noop")
+    machine = MachineConfig(fus=4)
+    journal = DecisionJournal()
+    opt = pipeline_program(program, machine, measure=False, tracer=journal)
+    base = pipeline_program(program, machine, measure=False, optimize=False)
+    assert not journal.pass_reasons
+
+    def shape(graph):
+        return [(nid, sorted(op.name for op in graph.nodes[nid].all_ops()))
+                for nid in graph.rpo()]
+
+    assert shape(opt.graph) == shape(base.graph)
