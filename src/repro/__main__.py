@@ -78,6 +78,9 @@ def _usage(msg: str) -> NoReturn:
 #: tamper choices (mirrors repro.bench.fuzz.TAMPERS, kept literal so
 #: building the arg parser doesn't import the scheduling stack)
 TAMPER_NAMES = ("drop-store",)
+#: default states/case of the batched fuzz check (bench.fuzz.DEFAULT_LANES,
+#: duplicated so --help never imports the fuzz machinery)
+FUZZ_LANES = 16
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -219,11 +222,23 @@ def cmd_emit(args: argparse.Namespace) -> int:
     print(prog.render())
     print(prog.summary())
     if args.run:
-        rep = differential_check(graph, machine, program=prog)
-        print(f"differential check ok ({len(rep.seeds)} seeds): "
-              f"{rep.vm_steps[-1]} bundles, "
-              f"{rep.realized_cycles} realized cycles vs "
-              f"{rep.interp_cycles[-1]} tree-walker cycles")
+        if args.lanes and args.lanes > 1:
+            from .backend import differential_check_batched
+
+            brep = differential_check_batched(
+                graph, machine, lanes=args.lanes, program=prog)
+            print(f"batched differential check ok ({brep.n_lanes} lanes, "
+                  f"{len(brep.ref_seeds)} tree-walker-pinned): "
+                  f"{brep.vm_steps[-1]} bundles, "
+                  f"{brep.vm_cycles[-1]} realized cycles vs "
+                  f"{brep.interp_cycles[-1]} tree-walker cycles; "
+                  f"{brep.checked_lanes}/{brep.n_lanes} lanes non-vacuous")
+        else:
+            rep = differential_check(graph, machine, program=prog)
+            print(f"differential check ok ({len(rep.seeds)} seeds): "
+                  f"{rep.vm_steps[-1]} bundles, "
+                  f"{rep.realized_cycles} realized cycles vs "
+                  f"{rep.interp_cycles[-1]} tree-walker cycles")
     return 0
 
 
@@ -359,10 +374,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         _usage("repro fuzz: --budget must be >= 1")
     if args.verify_every < 0:
         _usage("repro fuzz: --verify-every must be >= 0 (0 disables)")
+    if args.lanes < 1:
+        _usage("repro fuzz: --lanes must be >= 1")
     report = run_fuzz(
         args.budget, args.seed, jobs=args.jobs,
         verify_every=args.verify_every, out_dir=args.out_dir,
-        tamper=args.tamper, stratify=args.stratify)
+        tamper=args.tamper, stratify=args.stratify, lanes=args.lanes)
     print(report.render())
     if not report.ok:
         print("repro fuzz: FAILURES found (repro artifacts written)",
@@ -403,6 +420,9 @@ def main(argv: list[str] | None = None) -> int:
                          "pipelined schedule")
     p4.add_argument("--run", action="store_true",
                     help="execute on the bundle VM + differential check")
+    p4.add_argument("--lanes", type=int, default=1,
+                    help="with --run: initial states to execute in one "
+                         "batched-VM pass (1 = scalar check; default 1)")
     p4.set_defaults(fn=cmd_emit)
 
     p7 = sub.add_parser(
@@ -481,6 +501,10 @@ def main(argv: list[str] | None = None) -> int:
                          "strata (body patterns + while / multi-loop "
                          "program shapes) instead of running "
                          "consecutive seeds")
+    p6.add_argument("--lanes", type=int, default=FUZZ_LANES,
+                    help="initial states per case for the batched "
+                         f"semantic check (default {FUZZ_LANES}; the "
+                         "first 3 are also tree-walker-pinned)")
     p6.set_defaults(fn=cmd_fuzz)
 
     args = parser.parse_args(argv)

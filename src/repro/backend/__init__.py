@@ -9,21 +9,32 @@ into a concrete, executable VLIW *bundle program* and runs it fast:
   onto a finite physical file, with spilling;
 * :mod:`repro.backend.vm` -- the flat array-based bundle interpreter
   with realized-cycle accounting;
+* :mod:`repro.backend.batched` -- the numpy-vectorized multi-state VM
+  (N initial states through one program, per-lane PCs and masking);
 * :mod:`repro.backend.check` -- differential checking against the
-  tree-walking simulator (the semantic ground truth).
+  tree-walking simulator (the semantic ground truth), scalar and
+  batched.
 """
 
+from .batched import (BatchedVM, BatchedVMResult, checked_lane_mask,
+                      loop_headers)
 from .bundles import (Bundle, BundleProgram, EncodeError, EXIT_BUNDLE, Slot,
                       encode)
-from .check import DifferentialError, DifferentialReport, differential_check
+from .check import (BatchedDifferentialReport, BatchedPairReport,
+                    DEFAULT_LANES, DifferentialError, DifferentialReport,
+                    batched_pair_check, differential_check,
+                    differential_check_batched)
 from .regalloc import (Interval, RegAssignment, SPILL_ARRAY, allocate,
                        build_intervals)
 from .vm import BundleVM, BundleVMError, VMResult, compile_graph
 
 __all__ = [
-    "Bundle", "BundleProgram", "BundleVM", "BundleVMError",
-    "DifferentialError", "DifferentialReport", "EXIT_BUNDLE", "EncodeError",
-    "Interval", "RegAssignment", "SPILL_ARRAY", "Slot", "VMResult",
-    "allocate", "build_intervals", "compile_graph", "differential_check",
-    "encode",
+    "BatchedDifferentialReport", "BatchedPairReport", "BatchedVM",
+    "BatchedVMResult", "Bundle", "BundleProgram", "BundleVM",
+    "BundleVMError", "DEFAULT_LANES", "DifferentialError",
+    "DifferentialReport", "EXIT_BUNDLE", "EncodeError", "Interval",
+    "RegAssignment", "SPILL_ARRAY", "Slot", "VMResult", "allocate",
+    "batched_pair_check", "build_intervals", "checked_lane_mask",
+    "compile_graph", "differential_check", "differential_check_batched",
+    "encode", "loop_headers",
 ]

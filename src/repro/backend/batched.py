@@ -1,0 +1,687 @@
+"""Batched bundle VM: N independent initial states through one program.
+
+The scalar :class:`~repro.backend.vm.BundleVM` runs one architectural
+state at a time; every differential check and fuzz case therefore paid
+one full interpreter pass *per initial state*.  This module executes a
+whole cohort of states through one predecoded bundle program at once,
+the way a production inference stack batches independent requests
+through one compiled model:
+
+* **state-major arrays** -- registers live in one ``[n_regs, N]``
+  array (physical file + interned immediate pool, every lane is a
+  column), the latency scoreboard is one ``[n_regs, N]`` ready-time
+  array, and per-lane counters (``pc``, ``steps``, ``cycle``,
+  ``done``, ``ops_committed``) are length-``N`` vectors;
+* **per-lane program counters with active-lane masking** -- lanes
+  retire independently, and data-dependent back edges (while loops
+  with divergent trip counts) are handled by *cohort scheduling*:
+  every outer step executes the bundle at the smallest live program
+  counter over exactly the lanes parked there, so diverged lanes
+  naturally regroup once the stragglers catch up.  Inside a bundle the
+  CJ tree is evaluated as a masked partition -- each tree node splits
+  the cohort by its condition column -- and each leaf's commit set is
+  applied to that leaf's lanes only (the IBM "commit on the selected
+  path" rule, per lane);
+* **entry-state semantics per bundle** -- all operand reads of a
+  bundle observe lane state at bundle entry: results and stores are
+  staged as vectors and committed after every read, exactly like the
+  scalar VM;
+* **memory as value rows** -- memory stays sparse over addresses but
+  dense over lanes: each touched ``(array, addr)`` cell holds one
+  length-``N`` value row plus a per-lane ``touched`` mask.  Rows are
+  materialized on first touch from each lane's own seeded default
+  function, so untouched lanes always read their lane's default and a
+  per-lane :meth:`BatchedVMResult.memory` is directly comparable with
+  a scalar run of that lane.
+
+Numeric fidelity: lanes default to ``float64`` arrays -- Python floats
+*are* IEEE doubles, so vectorized ``+ - * /``, the branch-ordered
+``min``/``max`` emulation (``where(b < a, b, a)``), comparisons and the
+NaN/inf specials match the scalar VM bit for bit.  Programs that touch
+the integer bit operations (AND/OR/XOR/NOT/SHL/SHR, which produce
+arbitrary-precision Python ints the float lanes cannot represent) or
+carry immediates outside float64's exact-integer range fall back to
+``object``-dtype lanes computed through the scalar VM's own
+``_compute`` -- slower, but exact by construction.  The equivalence
+suite (``tests/backend/test_batched_vm.py``) pins per-lane steps,
+realized scoreboard cycles, committed-op counts and final state
+against scalar runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..simulator.state import Number, seeded_cell_default
+from .bundles import BundleProgram, EXIT_BUNDLE
+from .regalloc import SPILL_ARRAY
+from .vm import (
+    BundleVM, BundleVMError, OPC_AND, OPC_NOT, OPC_OR, OPC_SHL, OPC_SHR,
+    OPC_XOR, OPC_ADD, OPC_SUB, OPC_MUL, OPC_DIV, OPC_COPY, OPC_NEG, OPC_MIN,
+    OPC_MAX, OPC_ABS, OPC_CMP_EQ, OPC_CMP_NE, OPC_CMP_LT, OPC_CMP_LE,
+    OPC_CMP_GT, OPC_CMP_GE, OPC_LOAD, OPC_STORE, _compute,
+)
+
+#: opcodes whose scalar semantics are arbitrary-precision Python ints;
+#: their presence switches the lanes to exact object dtype.
+_INT_OPCODES = frozenset(
+    (OPC_AND, OPC_OR, OPC_XOR, OPC_NOT, OPC_SHL, OPC_SHR))
+
+#: largest magnitude an int may have while float64 still holds it
+#: exactly (2**53); bigger immediates force object lanes too.
+_EXACT_INT = 1 << 53
+
+#: the whole-cohort "lane set" of the lockstep fast path: basic slicing
+#: yields row views where per-lane index arrays would copy.
+_FULL = slice(None)
+
+#: smallest cohort worth masked vector execution; below this the fixed
+#: per-call cost of numpy fancy indexing exceeds the arithmetic and the
+#: cohort's lanes step through a scalar tail instead.
+_VEC_COHORT = 8
+
+
+@dataclass
+class BatchedVMResult:
+    """Final per-lane state and counters of one batched run.
+
+    ``steps``/``cycles``/``ops_committed`` are length-``N`` int
+    vectors; ``regs`` is the ``[n_regs, N]`` lane matrix; ``mem`` maps
+    each interned array id to ``addr -> (values_row, touched_row)``.
+    ``visits`` (when the run tracked them) counts per-lane issues of
+    every bundle -- ``visits[b, lane]``.
+    """
+
+    n_lanes: int
+    steps: np.ndarray
+    cycles: np.ndarray
+    ops_committed: np.ndarray
+    exited: bool
+    regs: np.ndarray
+    mem: list[dict[int, tuple[np.ndarray, np.ndarray]]]
+    program: BundleProgram
+    defaults: list[Callable[[str, int], Number]]
+    visits: np.ndarray | None = None
+
+    def register(self, name: str) -> np.ndarray:
+        """Final per-lane values of a symbolic register."""
+        asg = self.program.assignment
+        if name in asg.spilled:
+            aid = self.program.arrays.index(SPILL_ARRAY)
+            return self.mem[aid][asg.spilled[name]][0]
+        return self.regs[asg.index[name]]
+
+    def memory_rows(self, *, include_internal: bool = False
+                    ) -> dict[tuple[str, int], tuple[np.ndarray, np.ndarray]]:
+        """All touched cells as ``(array, addr) -> (values, touched)``.
+
+        A cell's value row is valid for *every* lane -- untouched lanes
+        hold that lane's default -- so vectorized comparisons can use
+        the rows directly; ``touched`` says which lanes would carry the
+        cell in a scalar run's sparse memory.
+        """
+        out: dict[tuple[str, int], tuple[np.ndarray, np.ndarray]] = {}
+        for aid, rows in enumerate(self.mem):
+            name = self.program.arrays[aid]
+            if not include_internal and name.startswith("__"):
+                continue
+            for addr, (vals, touched) in rows.items():
+                out[(name, addr)] = (vals, touched)
+        return out
+
+    def memory(self, lane: int, *, include_internal: bool = False
+               ) -> dict[tuple[str, int], Number]:
+        """One lane's final memory, shaped like ``VMResult.memory()``."""
+        out: dict[tuple[str, int], Number] = {}
+        for cell, (vals, touched) in self.memory_rows(
+                include_internal=include_internal).items():
+            if touched[lane]:
+                out[cell] = vals[lane].item() if hasattr(
+                    vals[lane], "item") else vals[lane]
+        return out
+
+
+def loop_headers(program: BundleProgram) -> list[int]:
+    """Bundle indices that are targets of a back edge.
+
+    In the encoder's RPO bundle layout a loop header is any bundle
+    some same-or-later bundle jumps back to.  A lane that issued a
+    header at least twice took its back edge -- i.e. ran at least one
+    real iteration of that loop.
+    """
+    heads = {t for b in program.bundles for t in b.leaf_targets
+             if 0 <= t <= b.index}
+    return sorted(heads)
+
+
+def checked_lane_mask(result: BatchedVMResult) -> np.ndarray:
+    """Per-lane non-vacuity: every loop header issued at least twice.
+
+    Requires a run with ``track_visits=True``.  A lane where some loop
+    (a ``while`` whose condition failed immediately, a counted loop
+    with a zero trip count) never took its back edge exercised none of
+    that loop's body semantics -- its green verdict is (partially)
+    vacuous.  Programs without back edges check every lane trivially.
+    """
+    if result.visits is None:
+        raise ValueError("run with track_visits=True to get lane vacuity")
+    mask = np.ones(result.n_lanes, dtype=bool)
+    for h in loop_headers(result.program):
+        mask &= result.visits[h] >= 2
+    return mask
+
+
+class BatchedVM:
+    """Run many independent initial states through one bundle program.
+
+    Wraps (or builds) a scalar :class:`BundleVM` for its predecoded
+    form -- int-coded op tuples, interned immediate pool, flattened CJ
+    trees -- and re-executes that form over lane vectors.
+    """
+
+    def __init__(self, program: BundleProgram | BundleVM) -> None:
+        vm = program if isinstance(program, BundleVM) else BundleVM(program)
+        self._vm = vm
+        self.program = vm.program
+        self._n_phys = vm._n_phys
+        self._pool_values = vm._pool_values
+        self._aid_of = vm._aid_of
+        self._decoded = vm._decoded
+        self._entry = vm._entry
+        self._track_latency = vm._track_latency
+        self._n_regs = self._n_phys + len(self._pool_values)
+        self._object_mode = self._needs_object_lanes()
+        self._dtype = object if self._object_mode else np.float64
+        # per-bundle stall-register index arrays (scoreboard gathers)
+        self._stalls = [np.array(rec[6], dtype=np.intp)
+                        for rec in self._decoded]
+
+    def _needs_object_lanes(self) -> bool:
+        for rec in self._decoded:
+            for op in rec[0]:
+                if op[0] in _INT_OPCODES:
+                    return True
+        for v in self._pool_values:
+            if isinstance(v, int) and abs(v) > _EXACT_INT:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Lane state
+    # ------------------------------------------------------------------
+    def _fresh_lanes(self, init_regs, mem_defaults, reg_default, n):
+        asg = self.program.assignment
+        regs = np.full((self._n_regs, n), reg_default, dtype=self._dtype)
+        for i, v in enumerate(self._pool_values):
+            regs[self._n_phys + i, :] = v
+        defaults = [(d if d is not None else seeded_cell_default(0))
+                    for d in (mem_defaults or [None] * n)]
+        mem: list[dict[int, tuple[np.ndarray, np.ndarray]]] = [
+            dict() for _ in self.program.arrays]
+        if asg.spilled:
+            spill_aid = self._aid_of[SPILL_ARRAY]
+            for slot in asg.spilled.values():
+                mem[spill_aid][slot] = (
+                    np.full(n, reg_default, dtype=self._dtype),
+                    np.ones(n, dtype=bool))
+        for lane, lane_init in enumerate(init_regs):
+            for name, val in (lane_init or {}).items():
+                if name in asg.spilled:
+                    mem[self._aid_of[SPILL_ARRAY]][
+                        asg.spilled[name]][0][lane] = val
+                elif name in asg.index:
+                    regs[asg.index[name], lane] = val
+        return regs, mem, defaults
+
+    def _mem_row(self, mem, defaults, aid: int,
+                 addr: int) -> tuple[np.ndarray, np.ndarray]:
+        row = mem[aid].get(addr)
+        if row is None:
+            name = self.program.arrays[aid]
+            vals = np.array([d(name, addr) for d in defaults],
+                            dtype=self._dtype)
+            row = (vals, np.zeros(len(defaults), dtype=bool))
+            mem[aid][addr] = row
+        return row
+
+    # ------------------------------------------------------------------
+    # Vectorized helpers
+    # ------------------------------------------------------------------
+    def _addresses(self, regs, iidx: int, ioff: int, lanes):
+        """Per-lane effective addresses: one Python int when uniform
+        (constant-indexed cells), else a per-lane list -- computed
+        exactly like the scalar VM's ``ioff + int(reg)``."""
+        if iidx < 0:
+            return ioff
+        col = regs[iidx] if lanes is _FULL else regs[iidx, lanes]
+        if not self._object_mode:
+            finite = np.isfinite(col)
+            if finite.all() and (np.abs(col) < 2.0 ** 62).all():
+                return [ioff + a for a in col.astype(np.int64).tolist()]
+        # exact / error-faithful path: int() raises on NaN just like
+        # the scalar VM's address computation does
+        return [ioff + int(v) for v in col.tolist()]
+
+    def _compute_vec(self, code: int, regs, a: int, b: int,
+                     lanes) -> np.ndarray:
+        """Entry-state result column of one ALU op over ``lanes``."""
+        if self._object_mode:
+            view = regs[:, lanes]
+            return np.array(
+                [_compute(code, view[:, j], a, b)
+                 for j in range(len(lanes))], dtype=object)
+        if lanes is _FULL:
+            x = regs[a]
+            y = regs[b] if b >= 0 else None
+        else:
+            x = regs[a, lanes]
+            y = regs[b, lanes] if b >= 0 else None
+        if code == OPC_ADD:
+            return x + y
+        if code == OPC_MUL:
+            return x * y
+        if code == OPC_SUB:
+            return x - y
+        if code == OPC_COPY:
+            return x.copy()
+        if code == OPC_DIV:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                q = x / y
+            return np.where(y != 0, q, 0.0)
+        if code == OPC_NEG:
+            return -x
+        if code == OPC_ABS:
+            return np.abs(x)
+        if code == OPC_MIN:
+            return np.where(y < x, y, x)  # Python min(): first arg on ties/NaN
+        if code == OPC_MAX:
+            return np.where(y > x, y, x)
+        if code == OPC_CMP_EQ:
+            return (x == y).astype(np.float64)
+        if code == OPC_CMP_NE:
+            return (x != y).astype(np.float64)
+        if code == OPC_CMP_LT:
+            return (x < y).astype(np.float64)
+        if code == OPC_CMP_LE:
+            return (x <= y).astype(np.float64)
+        if code == OPC_CMP_GT:
+            return (x > y).astype(np.float64)
+        if code == OPC_CMP_GE:
+            return (x >= y).astype(np.float64)
+        # the int opcodes force object mode in __init__
+        raise BundleVMError(f"opcode {code} unreachable in float lanes")
+
+    def _truthy(self, col) -> np.ndarray:
+        if self._object_mode:
+            return np.array([v != 0 for v in col], dtype=bool)
+        return col != 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_many(self, init_regs: Sequence[dict[str, Number] | None],
+                 mem_defaults: Sequence[Callable[[str, int], Number] | None]
+                 | None = None, *,
+                 reg_default: Number = 0.0,
+                 max_steps: int = 1_000_000,
+                 track_visits: bool = False) -> BatchedVMResult:
+        """Execute every lane from entry to EXIT; see the module doc.
+
+        ``init_regs[i]`` / ``mem_defaults[i]`` seed lane ``i``.  Raises
+        :class:`BundleVMError` when any lane exhausts ``max_steps``
+        bundles (mirroring the scalar budget, per lane).
+        """
+        n = len(init_regs)
+        if mem_defaults is not None and len(mem_defaults) != n:
+            raise ValueError("mem_defaults must match init_regs per lane")
+        regs, mem, defaults = self._fresh_lanes(
+            init_regs, mem_defaults, reg_default, n)
+        steps = np.zeros(n, dtype=np.int64)
+        opsc = np.zeros(n, dtype=np.int64)
+        visits = (np.zeros((len(self._decoded), n), dtype=np.int64)
+                  if track_visits else None)
+        timed = self._track_latency
+        cycle = np.zeros(n, dtype=np.int64)
+        done = np.zeros(n, dtype=np.int64)
+        ready = (np.zeros((self._n_regs, n), dtype=np.int64)
+                 if timed else None)
+        pcs = np.full(n, self._entry, dtype=np.int64)
+        if n == 0 or self._entry == EXIT_BUNDLE:
+            return BatchedVMResult(
+                n_lanes=n, steps=steps, cycles=cycle, ops_committed=opsc,
+                exited=True, regs=regs, mem=mem, program=self.program,
+                defaults=defaults, visits=visits)
+
+        # Python float arithmetic produces inf/NaN silently; keep the
+        # vectorized lanes just as quiet.
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            self._exec_loop(regs, mem, defaults, pcs, steps, opsc, visits,
+                            cycle, done, ready, max_steps)
+
+        cycles = np.maximum(cycle, done) if self._track_latency \
+            else steps.copy()
+        return BatchedVMResult(
+            n_lanes=n, steps=steps, cycles=cycles, ops_committed=opsc,
+            exited=True, regs=regs, mem=mem, program=self.program,
+            defaults=defaults, visits=visits)
+
+    def _exec_loop(self, regs, mem, defaults, pcs, steps, opsc, visits,
+                   cycle, done, ready, max_steps):
+        if not self._object_mode:
+            pc = self._lockstep_loop(regs, mem, defaults, steps, opsc,
+                                     visits, cycle, done, ready, max_steps)
+            pcs[:] = pc
+            if pc == EXIT_BUNDLE:
+                return
+        self._masked_loop(regs, mem, defaults, pcs, steps, opsc, visits,
+                          cycle, done, ready, max_steps)
+
+    def _lockstep_loop(self, regs, mem, defaults, steps, opsc, visits,
+                       cycle, done, ready, max_steps):
+        """Whole-cohort fast path: every lane shares one program counter.
+
+        Until some CJ condition actually splits the cohort -- counted
+        programs and uniformly-branching whiles never do -- control
+        flow is a scalar ``pc``, bundle state updates are full-row
+        views (no fancy-index gathers, no live-lane bookkeeping), and
+        only the data columns are vectorized.  Returns the bundle
+        index every lane is parked at when the cohort first diverges,
+        or ``EXIT_BUNDLE`` when all lanes retire in lockstep.
+        """
+        decoded = self._decoded
+        timed = self._track_latency
+        pc = self._entry
+        # while lanes share one path the per-lane COUNTERS are all
+        # equal too (the scoreboard recurrence depends on the path, not
+        # the data), so they run as Python scalars here and broadcast
+        # into the lane vectors on the way out
+        nsteps = 0
+        opsc_s = 0
+        cycle_s = 0
+        done_s = 0
+        ready_s = [0] * self._n_regs if timed else None
+        visits_s = ([0] * len(decoded)) if visits is not None else None
+        full = _FULL
+
+        def _sync(at_pc):
+            steps[:] += nsteps
+            opsc[:] += opsc_s
+            if visits_s is not None:
+                visits[:] += np.asarray(visits_s, dtype=np.int64)[:, None]
+            if timed:
+                cycle[:] = cycle_s
+                done[:] = done_s
+                ready[:, :] = np.asarray(ready_s, dtype=np.int64)[:, None]
+            return at_pc
+
+        while True:
+            if nsteps >= max_steps:
+                _sync(pc)
+                raise BundleVMError(
+                    f"step budget {max_steps} exhausted at bundle {pc} "
+                    f"(lane 0)")
+            ops, tree, root, leaf_next, commits, counts, stall = decoded[pc]
+            # pick the leaf jointly BEFORE touching any state: on a
+            # genuine split this bundle re-runs under the masked loop
+            if root < 0:
+                leaf = -root - 1
+            else:
+                enc = root
+                leaf = None
+                while True:
+                    if enc < 0:
+                        leaf = -enc - 1
+                        break
+                    cond, te, fe = tree[enc]
+                    t = regs[cond] != 0
+                    if t.all():
+                        enc = te
+                    elif not t.any():
+                        enc = fe
+                    else:
+                        break
+                if leaf is None:
+                    return _sync(pc)
+            nsteps += 1
+            if visits_s is not None:
+                visits_s[pc] += 1
+            if timed:
+                issue = cycle_s
+                for r in stall:
+                    t = ready_s[r]
+                    if t > issue:
+                        issue = t
+            writes = []
+            stores = []
+            for oi in commits[leaf]:
+                code, dest, a, bb, aid, iidx, ioff, lat = ops[oi]
+                if code == OPC_LOAD:
+                    addrs = self._addresses(regs, iidx, ioff, full)
+                    writes.append(
+                        (dest, self._gather(mem, defaults, aid, addrs, full),
+                         lat))
+                elif code == OPC_STORE:
+                    addrs = self._addresses(regs, iidx, ioff, full)
+                    stores.append((aid, addrs, regs[a].copy(), lat))
+                else:
+                    writes.append(
+                        (dest, self._compute_vec(code, regs, a, bb, full),
+                         lat))
+            for dest, vals, lat in writes:
+                regs[dest] = vals
+                if timed:
+                    t = issue + lat
+                    ready_s[dest] = t
+                    if t > done_s:
+                        done_s = t
+            for aid, addrs, vals, lat in stores:
+                self._scatter(mem, defaults, aid, addrs, vals, full)
+                if timed and issue + lat > done_s:
+                    done_s = issue + lat
+            if timed:
+                cycle_s = issue + 1
+            opsc_s += counts[leaf]
+            pc = leaf_next[leaf]
+            if pc == EXIT_BUNDLE:
+                return _sync(EXIT_BUNDLE)
+
+    def _masked_loop(self, regs, mem, defaults, pcs, steps, opsc, visits,
+                     cycle, done, ready, max_steps):
+        timed = self._track_latency
+        while True:
+            live = np.nonzero(pcs != EXIT_BUNDLE)[0]
+            if len(live) == 0:
+                break
+            b = int(pcs[live].min())
+            lanes = live[pcs[live] == b]
+            if len(lanes) < _VEC_COHORT:
+                # tiny cohort: per-lane scalar stepping beats the
+                # fixed cost of masked vector ops.  Each lane runs
+                # until its pc reaches the next-smallest live pc (or
+                # exits) -- exactly the span min-pc cohort scheduling
+                # would have given it one bundle at a time -- so
+                # regrouping opportunities are preserved.
+                others = live[pcs[live] != b]
+                horizon = int(pcs[others].min()) if len(others) else None
+                for lane in lanes.tolist():
+                    self._run_lane(int(lane), horizon, regs, mem, defaults,
+                                   pcs, steps, opsc, visits, cycle, done,
+                                   ready, max_steps)
+                continue
+            if int(steps[lanes].max()) >= max_steps:
+                lane = int(lanes[int(steps[lanes].argmax())])
+                raise BundleVMError(
+                    f"step budget {max_steps} exhausted at bundle {b} "
+                    f"(lane {lane})")
+            ops, tree, root, leaf_next, commits, counts, _stall = \
+                self._decoded[b]
+            steps[lanes] += 1
+            if visits is not None:
+                visits[b, lanes] += 1
+            for leaf, ls in self._partition(tree, root, regs, lanes):
+                if timed:
+                    issue = cycle[ls].copy()
+                    st = self._stalls[b]
+                    if len(st):
+                        np.maximum(issue, ready[st[:, None], ls].max(axis=0),
+                                   out=issue)
+                else:
+                    issue = None
+                writes: list[tuple[int, np.ndarray, int]] = []
+                stores: list[tuple[int, list[int], np.ndarray, int]] = []
+                for oi in commits[leaf]:
+                    code, dest, a, bb, aid, iidx, ioff, lat = ops[oi]
+                    if code == OPC_LOAD:
+                        addrs = self._addresses(regs, iidx, ioff, ls)
+                        writes.append(
+                            (dest, self._gather(mem, defaults, aid, addrs,
+                                                ls), lat))
+                    elif code == OPC_STORE:
+                        addrs = self._addresses(regs, iidx, ioff, ls)
+                        stores.append((aid, addrs, regs[a, ls].copy(), lat))
+                    else:
+                        writes.append(
+                            (dest, self._compute_vec(code, regs, a, bb, ls),
+                             lat))
+                for dest, vals, lat in writes:
+                    regs[dest, ls] = vals
+                    if timed:
+                        t = issue + lat
+                        ready[dest, ls] = t
+                        np.maximum(done[ls], t, out=t)
+                        done[ls] = t
+                for aid, addrs, vals, lat in stores:
+                    self._scatter(mem, defaults, aid, addrs, vals, ls)
+                    if timed:
+                        done[ls] = np.maximum(done[ls], issue + lat)
+                if timed:
+                    cycle[ls] = issue + 1
+                opsc[ls] += counts[leaf]
+                pcs[ls] = leaf_next[leaf]
+
+    def _run_lane(self, lane, horizon, regs, mem, defaults, pcs, steps,
+                  opsc, visits, cycle, done, ready, max_steps):
+        """Scalar tail: run one lane while its pc stays below ``horizon``.
+
+        Bit-identical to the vector paths by construction -- ALU ops go
+        through the scalar VM's own ``_compute`` (float64 scalars carry
+        the same IEEE semantics the lanes do), loads/stores read and
+        write the shared value rows, and the scoreboard math is the
+        same integer recurrence on this lane's column.
+        """
+        decoded = self._decoded
+        timed = self._track_latency
+        col = regs[:, lane]
+        pc = int(pcs[lane])
+        while pc != EXIT_BUNDLE and (horizon is None or pc < horizon):
+            if steps[lane] >= max_steps:
+                raise BundleVMError(
+                    f"step budget {max_steps} exhausted at bundle {pc} "
+                    f"(lane {lane})")
+            ops, tree, root, leaf_next, commits, counts, stall = decoded[pc]
+            enc = root
+            while enc >= 0:
+                cond, te, fe = tree[enc]
+                enc = te if col[cond] != 0 else fe
+            leaf = -enc - 1
+            steps[lane] += 1
+            if visits is not None:
+                visits[pc, lane] += 1
+            if timed:
+                issue = int(cycle[lane])
+                for r in stall:
+                    t = int(ready[r, lane])
+                    if t > issue:
+                        issue = t
+            writes = []
+            stores = []
+            for oi in commits[leaf]:
+                code, dest, a, bb, aid, iidx, ioff, lat = ops[oi]
+                if code == OPC_LOAD:
+                    addr = ioff if iidx < 0 else ioff + int(col[iidx])
+                    vals, touched = self._mem_row(mem, defaults, aid, addr)
+                    touched[lane] = True
+                    writes.append((dest, vals[lane], lat))
+                elif code == OPC_STORE:
+                    addr = ioff if iidx < 0 else ioff + int(col[iidx])
+                    stores.append((aid, addr, col[a], lat))
+                else:
+                    writes.append((dest, _compute(code, col, a, bb), lat))
+            for dest, val, lat in writes:
+                col[dest] = val
+                if timed:
+                    t = issue + lat
+                    ready[dest, lane] = t
+                    if t > done[lane]:
+                        done[lane] = t
+            for aid, addr, val, lat in stores:
+                row, touched = self._mem_row(mem, defaults, aid, addr)
+                row[lane] = val
+                touched[lane] = True
+                if timed and issue + lat > done[lane]:
+                    done[lane] = issue + lat
+            if timed:
+                cycle[lane] = issue + 1
+            opsc[lane] += counts[leaf]
+            pc = leaf_next[leaf]
+        pcs[lane] = pc
+
+    def _partition(self, tree, root, regs, lanes):
+        """Masked CJ-tree descent: yields ``(leaf, lane_indices)``."""
+        if root < 0:
+            yield -root - 1, lanes
+            return
+        stack = [(root, lanes)]
+        while stack:
+            enc, ls = stack.pop()
+            if len(ls) == 0:
+                continue
+            if enc < 0:
+                yield -enc - 1, ls
+                continue
+            cond, te, fe = tree[enc]
+            taken = self._truthy(regs[cond, ls])
+            stack.append((te, ls[taken]))
+            stack.append((fe, ls[~taken]))
+
+    def _gather(self, mem, defaults, aid: int, addrs,
+                ls) -> np.ndarray:
+        """Committed-load column: read (and materialize) per-lane cells."""
+        if type(addrs) is int:
+            vals, touched = self._mem_row(mem, defaults, aid, addrs)
+            touched[ls] = True
+            return vals[ls].copy()
+        a0 = addrs[0]
+        if all(a == a0 for a in addrs):
+            vals, touched = self._mem_row(mem, defaults, aid, a0)
+            touched[ls] = True
+            return vals[ls].copy()
+        lanes = range(len(addrs)) if ls is _FULL else ls.tolist()
+        out = np.empty(len(addrs), dtype=self._dtype)
+        for j, (lane, addr) in enumerate(zip(lanes, addrs)):
+            vals, touched = self._mem_row(mem, defaults, aid, addr)
+            touched[lane] = True
+            out[j] = vals[lane]
+        return out
+
+    def _scatter(self, mem, defaults, aid: int, addrs,
+                 vals: np.ndarray, ls) -> None:
+        if type(addrs) is int:
+            row, touched = self._mem_row(mem, defaults, aid, addrs)
+            row[ls] = vals
+            touched[ls] = True
+            return
+        a0 = addrs[0]
+        if all(a == a0 for a in addrs):
+            row, touched = self._mem_row(mem, defaults, aid, a0)
+            row[ls] = vals
+            touched[ls] = True
+            return
+        lanes = range(len(addrs)) if ls is _FULL else ls.tolist()
+        for j, (lane, addr) in enumerate(zip(lanes, addrs)):
+            row, touched = self._mem_row(mem, defaults, aid, addr)
+            row[lane] = vals[j]
+            touched[lane] = True

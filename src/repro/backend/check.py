@@ -25,10 +25,15 @@ from dataclasses import dataclass, field
 from ..ir.graph import ProgramGraph
 from ..ir.registers import Reg
 from ..machine.model import MachineConfig
-from ..simulator.check import _close, initial_state, input_registers
+from ..simulator.check import (EquivalenceError, _close, initial_state,
+                               input_registers, values_close_rows)
 from ..simulator.interp import run
 from .bundles import BundleProgram, encode
 from .vm import BundleVM, VMResult
+
+#: default lane count of the batched checkers (fuzz runs 16 states per
+#: case; the scalar checkers' historical default was 3 seeds)
+DEFAULT_LANES = 16
 
 
 class DifferentialError(AssertionError):
@@ -97,6 +102,258 @@ def differential_check(graph: ProgramGraph,
     return report
 
 
+@dataclass
+class BatchedDifferentialReport:
+    """Per-lane statistics of a successful batched differential check.
+
+    ``lane_seeds[i]`` is the :func:`initial_state` seed lane ``i`` ran
+    from; ``ref_seeds`` are the lanes additionally pinned against the
+    tree-walker.  ``lane_checked`` is the per-lane non-vacuity mask
+    (every loop header's back edge taken at least once; trivially all
+    True for back-edge-free programs) and ``checked_lanes`` its count.
+    """
+
+    lane_seeds: list[int]
+    ref_seeds: list[int]
+    interp_cycles: list[int] = field(default_factory=list)
+    vm_steps: list[int] = field(default_factory=list)
+    vm_cycles: list[int] = field(default_factory=list)
+    ops_committed: list[int] = field(default_factory=list)
+    lane_checked: list[bool] = field(default_factory=list)
+    program: BundleProgram | None = None
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.lane_seeds)
+
+    @property
+    def checked_lanes(self) -> int:
+        return sum(self.lane_checked)
+
+
+def _lane_seeds(ref_seeds: tuple[int, ...], lanes: int) -> list[int]:
+    """Reference seeds first, padded with fresh seeds up to ``lanes``."""
+    out = list(dict.fromkeys(ref_seeds))
+    used = set(out)
+    nxt = 0
+    while len(out) < lanes:
+        if nxt not in used:
+            out.append(nxt)
+        nxt += 1
+    return out
+
+
+def differential_check_batched(graph: ProgramGraph,
+                               machine: MachineConfig = MachineConfig(), *,
+                               lanes: int = DEFAULT_LANES,
+                               ref_seeds: tuple[int, ...] = (0, 1, 2),
+                               out_regs: set[str] | None = None,
+                               max_cycles: int = 1_000_000,
+                               program: BundleProgram | None = None,
+                               vm: BundleVM | None = None
+                               ) -> BatchedDifferentialReport:
+    """Batched analogue of :func:`differential_check`.
+
+    Runs ``lanes`` independent initial states through the compiled
+    program in ONE :class:`~repro.backend.batched.BatchedVM` pass, but
+    walks the tree-walking simulator only on ``ref_seeds`` -- those
+    lanes are compared cell-by-cell against the interpreter (memory,
+    requested registers, and the one-bundle-per-cycle contract when no
+    spill traffic exists), exactly like the scalar check.  The
+    remaining lanes still execute the full program and are available
+    to a VM-vs-VM equivalence pass (see :func:`batched_pair_check`);
+    their per-lane cycles and vacuity land in the report.
+
+    This is the differential layer's throughput lever: the tree-walker
+    costs ~5x a VM lane per state, so pinning it at a constant number
+    of reference lanes while the batched VM scales the state count is
+    what buys >5x states/sec (measured in the README table).
+    """
+    from .batched import BatchedVM, checked_lane_mask
+
+    if vm is None:
+        if program is None:
+            exit_live = frozenset(Reg(n) for n in (out_regs or ()))
+            program = encode(graph, machine, exit_live=exit_live)
+        vm = BundleVM(program)
+    program = vm.program
+    inputs = input_registers(graph)
+    seeds = _lane_seeds(ref_seeds, lanes)
+    states = [initial_state(s, inputs) for s in seeds]
+    bres = BatchedVM(vm).run_many(
+        [dict(st.regs) for st in states],
+        [st.mem_default for st in states],
+        max_steps=max_cycles, track_visits=True)
+    report = BatchedDifferentialReport(
+        lane_seeds=seeds, ref_seeds=list(ref_seeds), program=program,
+        vm_steps=bres.steps.tolist(), vm_cycles=bres.cycles.tolist(),
+        ops_committed=bres.ops_committed.tolist(),
+        lane_checked=checked_lane_mask(bres).tolist())
+    for lane, seed in enumerate(seeds):
+        if seed not in ref_seeds:
+            continue
+        st = states[lane]
+        ref = run(graph, st, max_cycles=max_cycles)
+        if not ref.exited:
+            raise DifferentialError(
+                f"seed {seed}: tree-walker did not reach EXIT")
+        if program.spill_bundles == 0 and report.vm_steps[lane] != ref.cycles:
+            raise DifferentialError(
+                f"seed {seed} (lane {lane}): VM executed "
+                f"{report.vm_steps[lane]} bundles but the tree-walker "
+                f"took {ref.cycles} cycles")
+        _compare_lane_memory(st.mem, bres, lane, st.mem_default, seed)
+        if out_regs:
+            _compare_lane_registers(st, bres, lane, out_regs, seed)
+        report.interp_cycles.append(ref.cycles)
+    return report
+
+
+def compare_batched_memory(res_a, res_b, *, lane_seeds: list[int],
+                           label_a: str = "a", label_b: str = "b",
+                           tol: float = 1e-6,
+                           err: type[AssertionError] = EquivalenceError
+                           ) -> None:
+    """All-lane memory comparison of two batched runs, vectorized.
+
+    Cells are the union both runs touched (``__``-internal arrays
+    excluded); a cell one run never touched is filled from that run's
+    own per-lane default functions -- the same rule the scalar
+    checkers apply per state, applied row-wise.  Every cell compares
+    all N lanes in one :func:`values_close_rows` call.
+    """
+    import numpy as np
+
+    rows_a = res_a.memory_rows()
+    rows_b = res_b.memory_rows()
+    diffs = []
+    for cell in sorted(set(rows_a) | set(rows_b)):
+        ra = rows_a.get(cell)
+        va = ra[0] if ra is not None else np.array(
+            [d(*cell) for d in res_a.defaults])
+        rb = rows_b.get(cell)
+        vb = rb[0] if rb is not None else np.array(
+            [d(*cell) for d in res_b.defaults])
+        ok = values_close_rows(va, vb, tol)
+        for lane in np.nonzero(~ok)[0].tolist():
+            diffs.append(f"  lane {lane} (seed {lane_seeds[lane]}) {cell}: "
+                         f"{label_a}={va[lane]!r} {label_b}={vb[lane]!r}")
+    if diffs:
+        raise err(
+            f"batched memory diverged on {len(diffs)} lane-cell(s):\n"
+            + "\n".join(diffs[:20]))
+
+
+@dataclass
+class BatchedPairReport:
+    """Statistics of one batched seq-vs-scheduled semantic check."""
+
+    lane_seeds: list[int]
+    ref_seeds: list[int]
+    interp_cycles_seq: list[int] = field(default_factory=list)
+    interp_cycles_sched: list[int] = field(default_factory=list)
+    vm_steps: list[int] = field(default_factory=list)
+    vm_cycles: list[int] = field(default_factory=list)
+    lane_checked: list[bool] = field(default_factory=list)
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.lane_seeds)
+
+    @property
+    def checked_lanes(self) -> int:
+        return sum(self.lane_checked)
+
+
+def batched_pair_check(seq_graph: ProgramGraph, sched_graph: ProgramGraph,
+                       machine: MachineConfig = MachineConfig(), *,
+                       ref_seeds: tuple[int, ...] = (0, 1, 2),
+                       lanes: int = DEFAULT_LANES,
+                       max_cycles: int = 1_000_000) -> BatchedPairReport:
+    """The fuzz lane's semantic check: N states, one pass per executor.
+
+    Replaces the old per-seed lockstep
+    (``check_equivalent`` x 3 states + ``differential_check`` x 3
+    states = nine tree-walks, three VM runs, three states checked)
+    with:
+
+    1. tree-walker ground truth on ``ref_seeds`` for BOTH graphs, and
+       the walker-vs-walker memory compare (the IR-level equivalence
+       verdict, raising :class:`EquivalenceError` exactly as before);
+    2. one batched VM run of each graph over ``lanes`` initial states
+       (reference seeds occupy the first lanes);
+    3. differential compare of every reference lane against its
+       walker final -- memory cells plus the one-bundle-per-cycle
+       contract on spill-free programs
+       (:class:`DifferentialError`);
+    4. a vectorized all-lane VM-vs-VM memory compare between the two
+       batched runs (:class:`EquivalenceError`), extending the
+       semantic verdict to every non-reference lane;
+    5. per-lane vacuity from the sequential run's bundle-visit counts
+       (a lane is *checked* iff every loop header's back edge was
+       taken), reported, not raised.
+
+    Six tree-walks and two batched runs check ``lanes`` states -- the
+    measured >5x states/sec of the PR that introduced it.
+    """
+    from ..simulator.check import _compare_memory as _walker_compare
+    from .batched import BatchedVM, checked_lane_mask
+
+    inputs = input_registers(seq_graph) | input_registers(sched_graph)
+    seeds = _lane_seeds(ref_seeds, lanes)
+    states = [initial_state(s, inputs) for s in seeds]
+    inits = [dict(st.regs) for st in states]
+    defaults = [st.mem_default for st in states]
+
+    walker_seq: dict[int, object] = {}
+    walker_sched: dict[int, object] = {}
+    report = BatchedPairReport(lane_seeds=seeds, ref_seeds=list(ref_seeds))
+    for seed in ref_seeds:
+        sa = initial_state(seed, inputs)
+        sb = initial_state(seed, inputs)
+        ra = run(seq_graph, sa, max_cycles=max_cycles)
+        rb = run(sched_graph, sb, max_cycles=max_cycles)
+        if not ra.exited or not rb.exited:
+            raise EquivalenceError(
+                f"seed {seed}: run did not terminate "
+                f"(seq exited={ra.exited}, scheduled={rb.exited})")
+        _walker_compare(sa, sb, seed)
+        walker_seq[seed] = sa
+        walker_sched[seed] = sb
+        report.interp_cycles_seq.append(ra.cycles)
+        report.interp_cycles_sched.append(rb.cycles)
+
+    prog_seq = encode(seq_graph, machine)
+    prog_sched = encode(sched_graph, machine)
+    bres_seq = BatchedVM(BundleVM(prog_seq)).run_many(
+        inits, defaults, max_steps=max_cycles, track_visits=True)
+    bres_sched = BatchedVM(BundleVM(prog_sched)).run_many(
+        inits, defaults, max_steps=max_cycles)
+    report.lane_checked = checked_lane_mask(bres_seq).tolist()
+    report.vm_steps = bres_sched.steps.tolist()
+    report.vm_cycles = bres_sched.cycles.tolist()
+
+    for lane, seed in enumerate(seeds):
+        if seed not in ref_seeds:
+            continue
+        for bres, prog, walked, cyc, tag in (
+                (bres_seq, prog_seq, walker_seq,
+                 report.interp_cycles_seq, "seq"),
+                (bres_sched, prog_sched, walker_sched,
+                 report.interp_cycles_sched, "scheduled")):
+            st = walked[seed]
+            ref_cycles = cyc[list(ref_seeds).index(seed)]
+            if prog.spill_bundles == 0 and bres.steps[lane] != ref_cycles:
+                raise DifferentialError(
+                    f"seed {seed} ({tag}): VM executed "
+                    f"{int(bres.steps[lane])} bundles but the tree-walker "
+                    f"took {ref_cycles} cycles")
+            _compare_lane_memory(st.mem, bres, lane, st.mem_default, seed)
+    compare_batched_memory(bres_seq, bres_sched, lane_seeds=seeds,
+                           label_a="seq-vm", label_b="sched-vm")
+    return report
+
+
 def realized_program_pair(seq_graph: ProgramGraph,
                           sched_graph: ProgramGraph,
                           program: BundleProgram, *, seed: int = 0,
@@ -154,3 +411,40 @@ def _compare_registers(st, res: VMResult, out_regs: set[str],
     if diffs:
         raise DifferentialError(
             f"seed {seed}: registers diverged:\n" + "\n".join(diffs[:20]))
+
+
+def _compare_lane_memory(ref_mem: dict, bres, lane: int, default,
+                         seed: int) -> None:
+    """One reference lane of a batched run vs the tree-walker's memory."""
+    vm_mem = bres.memory(lane)
+    cells = {c for c in ref_mem if not c[0].startswith("__")} | set(vm_mem)
+    diffs = []
+    for cell in sorted(cells):
+        va = ref_mem.get(cell)
+        if va is None:
+            va = default(*cell)
+        vb = vm_mem.get(cell)
+        if vb is None:
+            vb = default(*cell)
+        if not _close(va, vb):
+            diffs.append(f"  {cell}: tree-walker={va!r} batched-vm={vb!r}")
+    if diffs:
+        raise DifferentialError(
+            f"seed {seed} (lane {lane}): memory diverged on "
+            f"{len(diffs)} cell(s):\n" + "\n".join(diffs[:20]))
+
+
+def _compare_lane_registers(st, bres, lane: int, out_regs: set[str],
+                            seed: int) -> None:
+    diffs = []
+    for name in sorted(out_regs):
+        va = st.regs.get(name, st.reg_default)
+        col = bres.register(name)
+        vb = col[lane]
+        vb = vb.item() if hasattr(vb, "item") else vb
+        if not _close(va, vb):
+            diffs.append(f"  {name}: tree-walker={va!r} batched-vm={vb!r}")
+    if diffs:
+        raise DifferentialError(
+            f"seed {seed} (lane {lane}): registers diverged:\n"
+            + "\n".join(diffs[:20]))

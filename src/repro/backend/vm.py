@@ -138,7 +138,17 @@ class BundleVM:
         self._track_latency = any(v > 1 for v in lat_map.values())
         self._decoded = [self._decode(b) for b in program.bundles]
         self._entry = program.entry
-        self._fns: list[Callable] = self._compile()
+        self._fns_cache: list[Callable] | None = None
+
+    @property
+    def _fns(self) -> list[Callable]:
+        # Compiled lazily: the exec-based fast path serves scalar
+        # run()s only, and consumers that never take it -- the batched
+        # VM re-executes `_decoded` over lane vectors -- should not pay
+        # the bytecode compile on construction.
+        if self._fns_cache is None:
+            self._fns_cache = self._compile()
+        return self._fns_cache
 
     # ------------------------------------------------------------------
     # Predecode: bundle -> int-coded tuples

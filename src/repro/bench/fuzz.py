@@ -12,16 +12,24 @@ pipeline:
 2. **GRiP schedule validity** -- the scheduled graph passes the
    structural ``graph.check()`` and every reachable node satisfies the
    machine's total and typed slot budgets;
-3. **semantic equivalence** -- the scheduled chain against the
-   sequential loop on identical randomized state (the tree-walking
-   simulator is ground truth);
-4. **backend differential** -- the scheduled graph lowered to bundles
-   and executed on the compiled-bundle VM must match the tree-walker's
-   final memory, registers and (absent spill traffic) cycle count;
-5. **journal invariants** (sampled) -- a verifying
+3. **batched semantic check**
+   (:func:`~repro.backend.check.batched_pair_check`) -- the tree-walker
+   (semantic ground truth) runs both graphs on the reference seeds and
+   their finals must match (equivalence); then 16 independent initial
+   states run through each graph's compiled bundle program in one
+   batched-VM pass each, the reference lanes are pinned cell-by-cell
+   against the walker (differential, including the
+   one-bundle-per-cycle contract), and ALL lanes are compared seq-VM
+   vs scheduled-VM in one vectorized sweep.  Per-lane *vacuity* (did
+   every loop's back edge actually execute on this lane?) is recorded
+   in the campaign summary and repro artifacts;
+4. **journal invariants** (sampled) -- a verifying
    :class:`~repro.analysis.incremental.AnalysisManager` attached
    before scheduling cross-checks every incremental index query
-   against a from-scratch computation.
+   against a from-scratch computation.  Every campaign case also
+   carries a tally-only
+   :class:`~repro.obs.journal.DecisionJournal` (``keep_events=False``),
+   so scheduler decision totals come for free without event storage.
 
 On any failure the program is **shrunk**: statements are greedily
 dropped (then the unroll reduced) while the failure reproduces, and a
@@ -168,12 +176,40 @@ TAMPERS = {"drop-store": _tamper_drop_store}
 # ----------------------------------------------------------------------
 # The check pipeline
 # ----------------------------------------------------------------------
-#: seeds every fuzz case's equivalence/differential checks run on.
-#: One seed was enough for counted loops (the trip count is static);
-#: a while loop's trip count is *data*-dependent -- a single unlucky
-#: initial state can run it zero iterations and make every semantic
-#: check vacuous -- so the lane samples three initial states.
+#: reference seeds: the lanes additionally pinned against the
+#: tree-walking simulator.  One seed was enough for counted loops (the
+#: trip count is static); a while loop's trip count is
+#: *data*-dependent -- a single unlucky initial state can run it zero
+#: iterations and make every semantic check vacuous -- so three
+#: walker-pinned states, with the batched VM extending the semantic
+#: sweep to :data:`DEFAULT_LANES` states per case.
 CHECK_SEEDS = (0, 1, 2)
+
+#: states per case the batched semantic check runs (PR 5 ran 3 in
+#: per-seed lockstep; the batched VM makes 16 cheaper than 3 were).
+DEFAULT_LANES = 16
+
+
+@dataclass
+class CaseStats:
+    """Per-case verification statistics (lane model + journal tallies).
+
+    ``checked_lanes`` counts non-vacuous lanes: initial states whose
+    run took every loop's back edge at least once, so the semantic
+    verdict actually exercised the loop bodies.  A green case with
+    ``checked_lanes == 0`` proved nothing about its loops -- the
+    campaign summary surfaces those instead of leaving them silently
+    green.
+    """
+
+    n_lanes: int
+    checked_lanes: int
+    #: scheduler-decision tallies of the case's tally-only journal
+    #: (``tried``/``accepted``/``by_reason``), when one was attached
+    tallies: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {"n_lanes": self.n_lanes, "checked_lanes": self.checked_lanes}
 
 
 def check_source(
@@ -185,17 +221,22 @@ def check_source(
     verify: bool = False,
     tamper: str | None = None,
     seeds: tuple[int, ...] = CHECK_SEEDS,
+    lanes: int = DEFAULT_LANES,
     tracer=None,
-) -> None:
+) -> CaseStats:
     """Run the full fuzz check pipeline; raises on any divergence.
 
     Classic single-counted-loop sources run the historical unwind +
     GRiP flow.  While/multi-loop sources compile to a
     :class:`~repro.ir.loops.LoopProgram` and go through
     :func:`~repro.pipelining.program.pipeline_program` (per-segment
-    scheduling; non-counted segments decline unwinding); the same
-    validity, equivalence and bundle-VM differential checks then run
-    on the combined scheduled graph.
+    scheduling; non-counted segments decline unwinding).  The semantic
+    verdict then comes from ONE
+    :func:`~repro.backend.check.batched_pair_check`: walker-vs-walker
+    equivalence on ``seeds``, batched-VM differential on those
+    reference lanes, and a vectorized seq-VM-vs-scheduled-VM sweep
+    over all ``lanes`` initial states.  Returns the case's lane
+    statistics (state count, per-lane non-vacuity).
 
     ``tracer`` (e.g. a :class:`~repro.obs.journal.DecisionJournal`)
     observes the scheduling decisions and pass-pipeline transforms of
@@ -203,13 +244,12 @@ def check_source(
     tally alongside the replay verdict.
     """
     from ..analysis.incremental import AnalysisManager
-    from ..backend.check import differential_check
+    from ..backend.check import batched_pair_check
     from ..frontend import compile_dsl
     from ..ir.loops import CountedLoop
     from ..obs.tracer import NULL_TRACER
     from ..pipelining import find_pattern, pipeline_program, unwind_counted
     from ..scheduling.grip import GRiPScheduler
-    from ..simulator.check import check_equivalent
 
     tracer = NULL_TRACER if tracer is None else tracer
     loop = compile_dsl(source, unroll, name=name)
@@ -239,8 +279,9 @@ def check_source(
         # Pattern detection must at least not crash on any generated
         # shape (pipeline_program already ran it per counted segment).
         find_pattern(unwound, graph)
-    check_equivalent(loop.graph, graph, seeds=seeds)
-    differential_check(graph, machine, seeds=seeds)
+    rep = batched_pair_check(loop.graph, graph, machine,
+                             ref_seeds=seeds, lanes=lanes)
+    return CaseStats(n_lanes=rep.n_lanes, checked_lanes=rep.checked_lanes)
 
 
 def run_source(
@@ -251,17 +292,24 @@ def run_source(
     name: str = "fuzz",
     verify: bool = False,
     tamper: str | None = None,
+    lanes: int = DEFAULT_LANES,
     tracer=None,
+    stats_sink: list[CaseStats] | None = None,
 ) -> FuzzFailure | None:
-    """:func:`check_source` with failures classified, not raised."""
+    """:func:`check_source` with failures classified, not raised.
+
+    On a clean run the case's :class:`CaseStats` is appended to
+    ``stats_sink`` (when given); failing runs contribute no stats --
+    their lane data is incomplete by construction.
+    """
     from ..backend.check import DifferentialError
     from ..frontend import LexError, LowerError, ParseError
     from ..simulator.check import EquivalenceError
 
     try:
-        check_source(
+        stats = check_source(
             source, unroll, machine, name=name, verify=verify, tamper=tamper,
-            tracer=tracer,
+            lanes=lanes, tracer=tracer,
         )
     except (LexError, ParseError, LowerError) as exc:
         return FuzzFailure("frontend", f"{type(exc).__name__}: {exc}")
@@ -280,11 +328,15 @@ def run_source(
         return FuzzFailure(stage, f"{type(exc).__name__}: {exc}")
     except Exception as exc:  # noqa: BLE001 - any crash is a finding
         return FuzzFailure("crash", f"{type(exc).__name__}: {exc}")
+    if stats_sink is not None:
+        stats_sink.append(stats)
     return None
 
 
 def run_case(
-    case: FuzzCase, *, verify: bool = False, tamper: str | None = None
+    case: FuzzCase, *, verify: bool = False, tamper: str | None = None,
+    lanes: int = DEFAULT_LANES, tracer=None,
+    stats_sink: list[CaseStats] | None = None,
 ) -> FuzzFailure | None:
     program = generate(case.scenario)
     return run_source(
@@ -294,6 +346,9 @@ def run_case(
         name=f"fuzz{case.seed}",
         verify=verify,
         tamper=tamper,
+        lanes=lanes,
+        tracer=tracer,
+        stats_sink=stats_sink,
     )
 
 
@@ -315,6 +370,7 @@ def shrink_case(
     verify: bool = False,
     tamper: str | None = None,
     stage: str | None = None,
+    lanes: int = DEFAULT_LANES,
     max_attempts: int = 120,
 ) -> ShrinkResult:
     """Greedily minimize a failing program while the failure reproduces.
@@ -346,6 +402,7 @@ def shrink_case(
             name=f"shrink{case.seed}",
             verify=verify,
             tamper=tamper,
+            lanes=lanes,
         )
         if failure is None:
             return False
@@ -387,6 +444,8 @@ def write_artifact(
     *,
     verify: bool = False,
     tamper: str | None = None,
+    lanes: int = DEFAULT_LANES,
+    stats: CaseStats | None = None,
 ) -> Path:
     payload = {
         "schema": FUZZ_SCHEMA,
@@ -405,6 +464,11 @@ def write_artifact(
         "minimized": None,
         "verify": verify,
         "tamper": tamper,
+        # lane model of the batched semantic check: replay reruns the
+        # same state count; ``stats`` (per-lane non-vacuity) is present
+        # only when the case got far enough to measure it.
+        "lanes": lanes,
+        "stats": stats.to_dict() if stats is not None else None,
         "created": time.time(),
     }
     if shrunk is not None:
@@ -457,6 +521,9 @@ def replay(path: str | Path, *, tracer=None) -> FuzzFailure | None:
         name=f"replay{data['seed']}",
         verify=data.get("verify", False),
         tamper=data.get("tamper"),
+        # pre-batching schema-1 artifacts recorded no lane count; their
+        # failures reproduce on the reference lanes regardless
+        lanes=data.get("lanes", DEFAULT_LANES),
         tracer=tracer,
     )
 
@@ -550,6 +617,18 @@ class FuzzReport:
     #: the exact seeds run (consecutive unless stratified)
     seeds: list[int] = field(default_factory=list)
     stratified: bool = False
+    #: states per case the batched semantic check ran
+    lanes: int = DEFAULT_LANES
+    #: total states checked across clean cases (n_cases * lanes)
+    states_checked: int = 0
+    #: of those, states whose lanes were non-vacuous
+    checked_lanes: int = 0
+    #: clean seeds where NO lane exercised a loop body (silent-green
+    #: candidates the vacuity accounting exists to surface)
+    vacuous_seeds: list[int] = field(default_factory=list)
+    #: scheduler-decision totals from the per-case tally journals
+    hops_tried: int = 0
+    hops_accepted: int = 0
 
     @property
     def ok(self) -> bool:
@@ -565,7 +644,15 @@ class FuzzReport:
             f"fuzz: {self.budget} {how} {span}, "
             f"{len(self.verified_seeds)} with verify-mode analysis, "
             f"{len(self.failures)} failure(s) "
-            f"({self.wall_seconds:.1f}s wall)"
+            f"({self.wall_seconds:.1f}s wall)",
+            f"  lanes: {self.lanes} states/case, "
+            f"{self.states_checked} states checked, "
+            f"{self.checked_lanes} non-vacuous; "
+            f"all-vacuous seeds: "
+            + (", ".join(map(str, self.vacuous_seeds))
+               if self.vacuous_seeds else "none"),
+            f"  journal: {self.hops_tried} scheduler hops tried, "
+            f"{self.hops_accepted} accepted",
         ]
         for seed, failure, path in self.failures:
             where = f" -> {path}" if path else ""
@@ -576,10 +663,28 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def _worker(task: tuple[int, bool, str | None]) -> tuple[int, FuzzFailure | None]:
-    """One seed (module-level: must be pool-picklable)."""
-    seed, verify, tamper = task
-    return seed, run_case(case_from_seed(seed), verify=verify, tamper=tamper)
+def _worker(
+    task: tuple[int, bool, str | None, int]
+) -> tuple[int, FuzzFailure | None, CaseStats | None]:
+    """One seed (module-level: must be pool-picklable).
+
+    Every case carries a tally-only
+    :class:`~repro.obs.journal.DecisionJournal` -- campaign runs get
+    scheduler-decision totals at tally cost, with no event retention
+    (``--replay`` is where full journals are attached).
+    """
+    from ..obs import DecisionJournal
+
+    seed, verify, tamper, lanes = task
+    journal = DecisionJournal(keep_events=False)
+    sink: list[CaseStats] = []
+    failure = run_case(case_from_seed(seed), verify=verify, tamper=tamper,
+                       lanes=lanes, tracer=journal, stats_sink=sink)
+    stats = sink[0] if sink else None
+    if stats is not None:
+        stats.tallies = {"tried": journal.tried,
+                         "accepted": journal.accepted}
+    return seed, failure, stats
 
 
 def run_fuzz(
@@ -592,6 +697,7 @@ def run_fuzz(
     tamper: str | None = None,
     max_shrinks: int = 5,
     stratify: bool = False,
+    lanes: int = DEFAULT_LANES,
     log=None,
 ) -> FuzzReport:
     """Fuzz ``budget`` seeds starting at ``seed0``.
@@ -600,8 +706,11 @@ def run_fuzz(
     across scenario strata (:func:`stratified_seeds`: body patterns
     plus while / multi-loop program shapes) -- the nightly campaign's
     mode.  Seeds fan out over a ``multiprocessing`` pool (the cases are
-    independent and deterministic, exactly like bench jobs); shrinking
-    runs in the parent, capped at ``max_shrinks`` artifacts per
+    independent and deterministic, exactly like bench jobs) and stream
+    back through ``imap_unordered``, so the parent shrinks failures
+    and writes artifacts *while* the pool keeps checking -- the
+    generate->schedule->check flow is pipelined instead of per-seed
+    lockstep.  Shrinking is capped at ``max_shrinks`` artifacts per
     campaign so a systemic breakage cannot turn the nightly run into a
     shrink marathon.  Every ``verify_every``-th seed additionally runs
     under a verifying :class:`AnalysisManager`.
@@ -614,27 +723,33 @@ def run_fuzz(
         else [seed0 + i for i in range(budget)]
     )
     tasks = [
-        (seed, verify_every > 0 and i % verify_every == 0, tamper)
+        (seed, verify_every > 0 and i % verify_every == 0, tamper, lanes)
         for i, seed in enumerate(seeds)
     ]
-    if jobs > 1 and len(tasks) > 1:
-        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-            results = pool.map(_worker, tasks, chunksize=1)
-    else:
-        results = [_worker(t) for t in tasks]
-
-    verify_by_seed = {seed: verify for seed, verify, _ in tasks}
+    verify_by_seed = {seed: verify for seed, verify, _, _ in tasks}
     report = FuzzReport(
         budget=budget,
         seed0=seed0,
-        verified_seeds=[seed for seed, verify, _ in tasks if verify],
+        verified_seeds=[seed for seed, verify, _, _ in tasks if verify],
         seeds=seeds,
         stratified=stratify,
+        lanes=lanes,
     )
     shrunk_count = 0
-    for seed, failure in results:
+
+    def _consume(seed: int, failure: FuzzFailure | None,
+                 stats: CaseStats | None) -> None:
+        nonlocal shrunk_count
+        if stats is not None:
+            report.states_checked += stats.n_lanes
+            report.checked_lanes += stats.checked_lanes
+            if failure is None and stats.checked_lanes == 0:
+                report.vacuous_seeds.append(seed)
+            if stats.tallies:
+                report.hops_tried += stats.tallies.get("tried", 0)
+                report.hops_accepted += stats.tallies.get("accepted", 0)
         if failure is None:
-            continue
+            return
         case = case_from_seed(seed)
         program = generate(case.scenario)
         # Verify-stage failures only reproduce under a verifying
@@ -646,12 +761,27 @@ def run_fuzz(
             log(f"fuzz: seed {seed} failed [{failure.stage}]; shrinking ...")
             shrunk = shrink_case(
                 case, program, verify=verify, tamper=tamper,
-                stage=failure.stage,
+                stage=failure.stage, lanes=lanes,
             )
             shrunk_count += 1
         path = write_artifact(
-            out_dir, case, program, failure, shrunk, verify=verify, tamper=tamper
+            out_dir, case, program, failure, shrunk, verify=verify,
+            tamper=tamper, lanes=lanes, stats=stats,
         )
         report.failures.append((seed, failure, path))
+
+    if jobs > 1 and len(tasks) > 1:
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            for seed, failure, stats in pool.imap_unordered(
+                    _worker, tasks, chunksize=1):
+                _consume(seed, failure, stats)
+    else:
+        for t in tasks:
+            _consume(*_worker(t))
+
+    # imap_unordered streams in completion order; reports stay
+    # deterministic in content by re-sorting on seed.
+    report.failures.sort(key=lambda f: f[0])
+    report.vacuous_seeds.sort()
     report.wall_seconds = time.perf_counter() - t0
     return report

@@ -67,6 +67,54 @@ def _close(a: Number, b: Number, tol: float = 1e-6) -> bool:
 values_close = _close
 
 
+def values_close_rows(a, b, tol: float = 1e-6):
+    """Vectorized :func:`values_close` over two equal-length rows.
+
+    The one comparison kernel both checkers share: the scalar
+    differential compares single cells through :func:`values_close`,
+    the batched differential compares whole lane rows through this --
+    and the two must agree per element, which the regression tests in
+    ``tests/simulator/test_values_close_rows.py`` pin column by
+    column (NaN/inf specials included).
+
+    Accepts any array-likes; returns a boolean numpy array.  Semantics
+    per element, mirroring the scalar kernel exactly:
+
+    * both integers (no float involved): exact ``==``;
+    * any float: NaN matches NaN only, and otherwise
+      ``math.isclose(rel_tol=tol, abs_tol=tol)`` -- i.e.
+      ``|a-b| <= max(tol * max(|a|, |b|), tol)`` with the difference
+      required to be *finite*.  Same-sign infinities match through the
+      ``a == b`` fast path; opposite-sign or inf-vs-finite pairs have
+      an infinite difference and never sneak past the threshold test
+      (a naive ``diff <= thresh`` would wave ``inf`` vs ``-inf``
+      through whenever ``thresh`` is also ``inf``).
+
+    Rows of ``object`` dtype (the batched VM's exact integer mode)
+    fall back to the scalar kernel element-wise.
+    """
+    import numpy as np
+
+    ra = np.asarray(a)
+    rb = np.asarray(b)
+    if ra.dtype == object or rb.dtype == object:
+        return np.array([_close(x, y, tol)
+                         for x, y in zip(ra.tolist(), rb.tolist())],
+                        dtype=bool)
+    if (np.issubdtype(ra.dtype, np.integer)
+            and np.issubdtype(rb.dtype, np.integer)):
+        return ra == rb
+    fa = ra.astype(np.float64)
+    fb = rb.astype(np.float64)
+    with np.errstate(invalid="ignore", over="ignore"):
+        exact = fa == fb  # covers same-sign inf; False for any NaN
+        both_nan = np.isnan(fa) & np.isnan(fb)
+        diff = np.abs(fa - fb)
+        thresh = np.maximum(tol * np.maximum(np.abs(fa), np.abs(fb)), tol)
+        near = (diff <= thresh) & np.isfinite(diff)
+    return exact | both_nan | near
+
+
 def initial_state(seed: int, regs: set[str]) -> MachineState:
     """Deterministic random-ish state: registers get small positive values."""
     default = seeded_cell_default(seed)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 import struct
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Iterable
 
 from ..ir.registers import Imm, Operand, Reg
@@ -19,15 +20,26 @@ from ..ir.registers import Imm, Operand, Reg
 Number = float | int
 
 
+@lru_cache(maxsize=1 << 18)
+def _cell_value(seed: int, array: str, index: int) -> float:
+    h = hashlib.blake2b(f"{seed}:{array}:{index}".encode(),
+                        digest_size=8).digest()
+    (raw,) = struct.unpack("<Q", h)
+    # Map to a friendly range avoiding huge magnitudes and zeros.
+    return 0.125 + (raw % 10_000) / 1_000.0
+
+
 def seeded_cell_default(seed: int) -> Callable[[str, int], float]:
-    """A deterministic initial-memory function for ``seed``."""
+    """A deterministic initial-memory function for ``seed``.
+
+    The hash is memoized process-wide: a differential check reads the
+    same ``(seed, array, index)`` cell from the walker, the sequential
+    VM and the scheduled VM, and a batched run reads it once per lane
+    -- all of which resolve to one blake2b evaluation.
+    """
 
     def default(array: str, index: int) -> float:
-        h = hashlib.blake2b(f"{seed}:{array}:{index}".encode(),
-                            digest_size=8).digest()
-        (raw,) = struct.unpack("<Q", h)
-        # Map to a friendly range avoiding huge magnitudes and zeros.
-        return 0.125 + (raw % 10_000) / 1_000.0
+        return _cell_value(seed, array, index)
 
     return default
 

@@ -1,0 +1,312 @@
+"""Batched-vs-scalar VM equivalence: the bit-identity contract.
+
+The batched VM (`repro.backend.batched`) re-executes the scalar
+``BundleVM``'s predecoded form over lane vectors; its whole value rests
+on every lane being *bit-identical* to a scalar run from the same
+initial state -- verdicts, final memory/registers, per-lane steps,
+committed-op counts and realized scoreboard cycles.  This suite pins
+that over all LL kernels x fus {2,4,8}, latency maps, spilled
+programs, float specials, hand-built divergent-trip-count while
+programs, and the exact-integer (object-dtype) fallback mode.
+"""
+
+import math
+
+import pytest
+
+from repro.backend import encode
+from repro.backend.batched import BatchedVM, checked_lane_mask, loop_headers
+from repro.backend.check import (batched_pair_check,
+                                 differential_check_batched)
+from repro.backend.vm import BundleVM
+from repro.frontend import compile_dsl
+from repro.ir import OpKind, straightline_graph
+from repro.ir.operations import const, make_binary, store
+from repro.machine import FUClass, MachineConfig
+from repro.pipelining import pipeline_loop
+from repro.simulator.check import initial_state, input_registers
+from repro.workloads import livermore
+
+ALL_KERNELS = livermore.kernel_names()
+LAT = {OpKind.LOAD: 3, OpKind.MUL: 2, OpKind.DIV: 8, OpKind.STORE: 2}
+
+DIVERGENT_WHILE = """
+param n; array out;
+while (n > 0.5) {
+    out[0] = out[0] + n;
+    n = n - 1.0;
+}
+"""
+
+NESTED_DIVERGENT = """
+param n, m, acc; array d;
+while (n > 0.5) {
+    acc = acc + d[n];
+    d[n] = acc * 0.5;
+    n = n - 1.0;
+}
+for k = 0 to 4 { d[k] = d[k] + acc; }
+"""
+
+
+def assert_lanes_match_scalar(graph, machine, *, n_lanes=6,
+                              init_override=None, program=None):
+    """Every batched lane must equal a scalar run of the same state."""
+    prog = program if program is not None else encode(graph, machine)
+    vm = BundleVM(prog)
+    regs_in = input_registers(graph)
+    inits, defaults = [], []
+    for lane in range(n_lanes):
+        st = initial_state(lane, regs_in)
+        if init_override:
+            init_override(lane, st)
+        inits.append(dict(st.regs))
+        defaults.append(st.mem_default)
+    bres = BatchedVM(vm).run_many(inits, defaults, track_visits=True)
+    for lane in range(n_lanes):
+        sres = vm.run(init_regs=dict(inits[lane]),
+                      mem_default=defaults[lane])
+        assert sres.steps == bres.steps[lane]
+        assert sres.cycles == bres.cycles[lane]
+        assert sres.ops_committed == bres.ops_committed[lane]
+        sm = sres.memory(include_internal=True)
+        bm = bres.memory(lane, include_internal=True)
+        assert set(sm) == set(bm)
+        for cell in sm:
+            a, b = sm[cell], bm[cell]
+            if isinstance(a, float) and math.isnan(a):
+                assert isinstance(b, float) and math.isnan(b), (cell, a, b)
+            else:
+                # bit-identical up to int/float typing of comparison
+                # results (scalar CMP_* yields int 0/1, lanes 0.0/1.0)
+                assert a == b, (lane, cell, a, b)
+    return bres
+
+
+class TestKernelSweep:
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    @pytest.mark.parametrize("fus", [2, 4, 8])
+    def test_sequential_kernel_lanes_match(self, name, fus):
+        loop = livermore.kernel(name, 6)
+        assert_lanes_match_scalar(loop.graph, MachineConfig(fus=fus),
+                                  n_lanes=4)
+
+    @pytest.mark.parametrize("name", ["LL1", "LL5", "LL13"])
+    def test_scheduled_kernel_lanes_match(self, name):
+        loop = livermore.kernel(name, 5)
+        machine = MachineConfig(fus=4)
+        res = pipeline_loop(loop, machine, unroll=5, measure=False)
+        assert_lanes_match_scalar(res.unwound.graph, machine)
+
+    def test_typed_machine_lanes_match(self):
+        typed = MachineConfig(fus=4, typed={FUClass.ALU: 2, FUClass.MEM: 2,
+                                            FUClass.BRANCH: 1})
+        loop = livermore.kernel("LL7", 6)
+        assert_lanes_match_scalar(loop.graph, typed)
+
+
+class TestScoreboard:
+    """Realized cycles are exact integer scoreboard math: the batched
+    `[n_regs, N]` ready-time array must reproduce the scalar
+    scoreboard cycle-for-cycle."""
+
+    @pytest.mark.parametrize("name", ["LL1", "LL5", "LL7", "LL12"])
+    def test_latency_mapped_kernels(self, name):
+        loop = livermore.kernel(name, 6)
+        machine = MachineConfig(fus=4, latencies=LAT)
+        assert_lanes_match_scalar(loop.graph, machine)
+
+    def test_scheduled_with_latencies(self):
+        loop = livermore.kernel("LL5", 5)
+        machine = MachineConfig(fus=4, latencies=LAT)
+        res = pipeline_loop(loop, machine, unroll=5, measure=False)
+        bres = assert_lanes_match_scalar(res.unwound.graph, machine)
+        # realized cycles must never undercut bundle count
+        assert all(c >= s for c, s in zip(bres.cycles, bres.steps))
+
+
+class TestSpills:
+    def test_spilled_program_lanes_match(self):
+        loop = livermore.kernel("LL7", 6)
+        machine = MachineConfig(fus=4, phys_regs=6)
+        prog = encode(loop.graph, machine)
+        assert prog.spill_bundles > 0
+        assert_lanes_match_scalar(loop.graph, machine, program=prog)
+
+
+class TestDivergentControlFlow:
+    """Data-dependent back edges: lanes take different trip counts,
+    diverge across bundles, and must still retire bit-identical."""
+
+    def _run_divergent(self, src, trips, machine=None):
+        pl = compile_dsl(src, 4, name="div")
+        machine = machine or MachineConfig(fus=4)
+
+        def override(lane, st):
+            st.regs["n"] = float(trips[lane % len(trips)])
+
+        return pl, assert_lanes_match_scalar(
+            pl.graph, machine, n_lanes=len(trips), init_override=override)
+
+    def test_divergent_trip_counts(self):
+        _, bres = self._run_divergent(DIVERGENT_WHILE, [0, 3, 7, 1, 12, 5])
+        # steps must genuinely differ across lanes (the cohort
+        # scheduler really diverged and regrouped)
+        assert len(set(bres.steps.tolist())) > 2
+
+    def test_divergent_with_latency_map(self):
+        self._run_divergent(DIVERGENT_WHILE, [0, 2, 9, 4],
+                            MachineConfig(fus=4, latencies=LAT))
+
+    def test_nested_program_divergence(self):
+        self._run_divergent(NESTED_DIVERGENT, [0, 1, 6, 3])
+
+    def test_large_divergent_cohorts_use_masked_path(self):
+        """Two trip-count populations over 20 lanes: after the split
+        both cohorts stay >= the vectorization threshold, so this
+        pins the masked (active-lane) vector path, not the scalar
+        tail that small cohorts take."""
+        from repro.backend.batched import _VEC_COHORT
+
+        trips = [3, 9] * 10  # cohorts of 10 >= _VEC_COHORT
+        assert len(trips) // 2 >= _VEC_COHORT
+        _, bres = self._run_divergent(DIVERGENT_WHILE, trips)
+        assert len(set(bres.steps.tolist())) == 2
+
+    def test_mixed_cohort_sizes_regroup(self):
+        # 9 lanes at one trip count (vector cohort), 3 stragglers
+        # (scalar tail), all regrouping at loop exit
+        trips = [6] * 9 + [1, 14, 0]
+        self._run_divergent(DIVERGENT_WHILE, trips)
+
+    def test_vacuity_mask_flags_zero_trip_lanes(self):
+        pl, bres = self._run_divergent(DIVERGENT_WHILE, [0, 3, 0, 5])
+        prog = bres.program
+        assert loop_headers(prog), "while program must have a back edge"
+        mask = checked_lane_mask(bres)
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_vacuity_trivially_true_without_back_edges(self):
+        loop = livermore.kernel("LL1", 4)
+        bres = assert_lanes_match_scalar(loop.graph, MachineConfig(fus=4),
+                                         n_lanes=3)
+        assert checked_lane_mask(bres).tolist() == [True, True, True]
+
+
+class TestFloatSpecials:
+    def test_inf_nan_lanes_match(self):
+        src = """
+        param p, n; array x, d, e;
+        for k = 0 to n {
+            d[k] = (x[k] * 1e308) * 1e308;
+            e[k] = ((x[k] * 1e308) * 1e308) - ((x[k+1] * 1e308) * 1e308);
+        }
+        """
+        pl = compile_dsl(src, 5, name="specials")
+        bres = assert_lanes_match_scalar(pl.graph, MachineConfig(fus=4))
+        # the run genuinely produced specials on every lane
+        import numpy as np
+
+        vals = np.concatenate([row[0] for row in
+                               bres.memory_rows().values()])
+        assert np.isinf(vals).any()
+        assert np.isnan(vals).any()
+
+
+class TestExactIntegerMode:
+    """Bit operations produce arbitrary-precision Python ints; their
+    presence must flip the lanes to the exact object-dtype fallback."""
+
+    def _bit_graph(self):
+        return straightline_graph([
+            const("a", 3, name="A"),
+            const("b", 60, name="B"),
+            make_binary(OpKind.SHL, "c", "b", "a", name="SHL"),
+            make_binary(OpKind.XOR, "d", "c", "b", name="XOR"),
+            make_binary(OpKind.AND, "e", "d", "c", name="AND"),
+            store("out", "c", offset=0, name="S0"),
+            store("out", "d", offset=1, name="S1"),
+            store("out", "e", offset=2, name="S2"),
+        ])
+
+    def test_object_mode_is_detected(self):
+        g = self._bit_graph()
+        bvm = BatchedVM(BundleVM(encode(g, MachineConfig(fus=2))))
+        assert bvm._object_mode
+
+    def test_float_mode_for_plain_arithmetic(self):
+        loop = livermore.kernel("LL1", 4)
+        bvm = BatchedVM(BundleVM(encode(loop.graph, MachineConfig(fus=4))))
+        assert not bvm._object_mode
+
+    def test_bit_ops_exact_across_lanes(self):
+        # 60 << 3 = 480; beyond-float53 exactness pinned via the
+        # scalar comparison in assert_lanes_match_scalar
+        g = self._bit_graph()
+        bres = assert_lanes_match_scalar(g, MachineConfig(fus=2),
+                                         n_lanes=3)
+        out = bres.memory(0)
+        assert out[("out", 0)] == 60 << 3
+        assert out[("out", 1)] == (60 << 3) ^ 60
+        assert isinstance(out[("out", 0)], int)
+
+
+class TestBatchedCheckEntryPoints:
+    def test_differential_check_batched_kernel(self):
+        loop = livermore.kernel("LL3", 6)
+        rep = differential_check_batched(loop.graph, MachineConfig(fus=4),
+                                         lanes=8)
+        assert rep.n_lanes == 8
+        assert rep.ref_seeds == [0, 1, 2]
+        assert len(rep.interp_cycles) == 3
+        assert rep.checked_lanes == 8  # no back edges -> all checked
+        assert len(rep.vm_cycles) == 8
+
+    def test_batched_pair_check_scheduled(self):
+        loop = livermore.kernel("LL5", 5)
+        machine = MachineConfig(fus=4)
+        res = pipeline_loop(loop, machine, unroll=5, measure=False)
+        rep = batched_pair_check(loop.graph, res.unwound.graph, machine,
+                                 lanes=8)
+        assert rep.n_lanes == 8
+        assert rep.checked_lanes == 8
+        # the scheduled chain is the faster executor
+        assert rep.interp_cycles_sched[0] < rep.interp_cycles_seq[0]
+
+    def test_pair_check_catches_semantic_break(self):
+        from repro.bench.fuzz import TAMPERS
+        from repro.simulator.check import EquivalenceError
+
+        loop = livermore.kernel("LL5", 5)
+        machine = MachineConfig(fus=4)
+        res = pipeline_loop(loop, machine, unroll=5, measure=False)
+        TAMPERS["drop-store"](res.unwound.graph)
+        with pytest.raises(EquivalenceError):
+            batched_pair_check(loop.graph, res.unwound.graph, machine,
+                               lanes=8)
+
+    def test_lane_divergence_beyond_ref_seeds_is_caught(self):
+        """A bug visible only on a non-reference lane must still fail:
+        the all-lane VM-vs-VM sweep is load-bearing, not decorative."""
+        import numpy as np
+
+        from repro.backend.check import compare_batched_memory
+        from repro.simulator.check import EquivalenceError
+
+        loop = livermore.kernel("LL1", 4)
+        machine = MachineConfig(fus=4)
+        prog = encode(loop.graph, machine)
+        regs_in = input_registers(loop.graph)
+        states = [initial_state(s, regs_in) for s in range(8)]
+        inits = [dict(st.regs) for st in states]
+        defaults = [st.mem_default for st in states]
+        run = lambda: BatchedVM(BundleVM(prog)).run_many(inits, defaults)
+        a, b = run(), run()
+        compare_batched_memory(a, b, lane_seeds=list(range(8)))  # clean
+        cell = next(iter(b.memory_rows()))
+        # corrupt lane 5 only (a non-reference lane)
+        (name, addr) = cell
+        aid = b.program.arrays.index(name)
+        b.mem[aid][addr][0][5] = np.float64(1e9)
+        with pytest.raises(EquivalenceError, match="lane 5"):
+            compare_batched_memory(a, b, lane_seeds=list(range(8)))

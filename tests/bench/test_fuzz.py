@@ -303,3 +303,83 @@ class TestReplayValidation:
         err = capsys.readouterr().err
         assert "--budget must be" in err
         assert "cannot replay" in err
+
+
+class TestBatchedLanes:
+    """PR-8 lane model: 16 states per case through the batched VM,
+    per-case vacuity accounting, and journal tallies surfaced in the
+    campaign summary."""
+
+    def test_case_stats_via_sink(self):
+        from repro.bench.fuzz import CaseStats
+
+        sink = []
+        assert run_case(case_from_seed(1), stats_sink=sink) is None
+        (stats,) = sink
+        assert isinstance(stats, CaseStats)
+        assert stats.n_lanes == 16
+        assert 0 <= stats.checked_lanes <= stats.n_lanes
+        assert stats.to_dict() == {"n_lanes": 16,
+                                   "checked_lanes": stats.checked_lanes}
+
+    def test_lane_count_is_tunable(self):
+        sink = []
+        assert run_case(case_from_seed(1), lanes=5, stats_sink=sink) is None
+        assert sink[0].n_lanes == 5
+
+    def test_failing_case_contributes_no_stats(self):
+        sink = []
+        failure = run_case(case_from_seed(3), tamper="drop-store",
+                           stats_sink=sink)
+        assert failure is not None
+        assert sink == []
+
+    def test_report_aggregates_lane_accounting(self, tmp_path):
+        report = run_fuzz(6, 0, verify_every=0, out_dir=tmp_path,
+                          log=lambda msg: None)
+        assert report.ok
+        assert report.lanes == 16
+        assert report.states_checked == 6 * 16
+        assert 0 < report.checked_lanes <= report.states_checked
+        rendered = report.render()
+        assert "lanes: 16 states/case, 96 states checked" in rendered
+        assert "all-vacuous seeds:" in rendered
+        assert "scheduler hops tried" in rendered
+
+    def test_journal_tallies_attached_outside_replay(self, tmp_path):
+        # satellite 6: every campaign case runs under a tally-only
+        # DecisionJournal, so hop totals are non-zero on any real run
+        report = run_fuzz(3, 0, verify_every=0, out_dir=tmp_path,
+                          log=lambda msg: None)
+        assert report.hops_tried > 0
+        assert 0 < report.hops_accepted <= report.hops_tried
+
+    def test_artifact_records_lanes_and_stats(self, tmp_path):
+        report = run_fuzz(1, 3, verify_every=0, out_dir=tmp_path,
+                          tamper="drop-store", log=lambda msg: None)
+        assert not report.ok
+        data = json.loads((tmp_path / "FUZZ_3.json").read_text())
+        assert data["lanes"] == 16
+        assert data["stats"] is None  # failing case: no clean stats
+
+    def test_replay_honors_recorded_lanes(self, tmp_path):
+        report = run_fuzz(1, 3, verify_every=0, out_dir=tmp_path,
+                          tamper="drop-store", log=lambda msg: None)
+        assert not report.ok
+        art = tmp_path / "FUZZ_3.json"
+        data = json.loads(art.read_text())
+        data["lanes"] = 4
+        art.write_text(json.dumps(data))
+        failure = replay(art)
+        assert failure is not None
+
+    def test_cli_lanes_flag(self, tmp_path):
+        rc = main(["fuzz", "--budget", "2", "--seed", "0", "--lanes", "6",
+                   "--verify-every", "0", "--out-dir", str(tmp_path)])
+        assert rc == 0
+
+    def test_cli_rejects_bad_lanes(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fuzz", "--budget", "1", "--lanes", "0"])
+        assert exc.value.code == 2
+        assert "--lanes must be" in capsys.readouterr().err

@@ -1,0 +1,98 @@
+"""Vectorized NaN-aware closeness: `values_close_rows` per-lane rules.
+
+The batched checkers compare whole lane rows at once; every verdict
+must agree elementwise with the scalar ``values_close`` the walker
+checks have always used -- especially on the float specials, where a
+naive ``|a - b| <= tol`` silently passes ``inf`` against ``-inf``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulator.check import values_close, values_close_rows
+
+NAN = float("nan")
+INF = float("inf")
+
+
+def assert_matches_scalar(a, b):
+    got = values_close_rows(a, b)
+    want = [values_close(x, y) for x, y in zip(a, b)]
+    assert got.tolist() == want, (a, b, got.tolist(), want)
+    return got
+
+
+class TestFloatRows:
+    def test_plain_floats(self):
+        a = [1.0, 2.0, -3.5, 0.0, 1e-12]
+        b = [1.0, 2.0000001, -3.5, 1e-9, 0.0]
+        res = assert_matches_scalar(a, b)
+        assert res.all()
+
+    def test_disagreement_is_per_lane(self):
+        res = assert_matches_scalar([1.0, 2.0, 3.0], [1.0, 9.0, 3.0])
+        assert res.tolist() == [True, False, True]
+
+    def test_relative_tolerance_scales(self):
+        big = 1e12
+        assert_matches_scalar([big, big], [big * (1 + 1e-9), big * 1.01])
+
+    def test_nan_matches_nan_only(self):
+        res = assert_matches_scalar([NAN, NAN, 1.0, NAN],
+                                    [NAN, 1.0, NAN, -NAN])
+        assert res.tolist() == [True, False, False, True]
+
+    def test_inf_sign_and_magnitude(self):
+        # the inf-vs--inf lane is the historical blind spot: their
+        # difference is inf, so a bare `diff <= thresh` check with
+        # inf-scaled thresh would pass it
+        res = assert_matches_scalar([INF, INF, -INF, INF],
+                                    [INF, -INF, -INF, 1e308])
+        assert res.tolist() == [True, False, True, False]
+
+    def test_nan_vs_inf(self):
+        res = assert_matches_scalar([NAN, INF], [INF, NAN])
+        assert not res.any()
+
+
+class TestMixedDtypes:
+    def test_both_int_rows_are_exact(self):
+        a = np.array([2**60 + 1, 5, -7], dtype=np.int64)
+        b = np.array([2**60 + 1, 5, -8], dtype=np.int64)
+        assert values_close_rows(a, b).tolist() == [True, True, False]
+
+    def test_object_rows_use_scalar_rule(self):
+        # arbitrary-precision ints from the bit-op lanes
+        a = np.array([1 << 100, NAN, 3.0], dtype=object)
+        b = np.array([1 << 100, NAN, 3.0000001], dtype=object)
+        res = values_close_rows(a, b)
+        assert res.tolist() == [True, True, True]
+        c = np.array([(1 << 100) + 1, 1.0, 4.0], dtype=object)
+        assert not values_close_rows(a, c).any()
+
+    def test_int_vs_float_rows(self):
+        got = values_close_rows(np.array([1, 2, 3]),
+                                np.array([1.0, 2.0, 3.5]))
+        assert got.tolist() == [True, True, False]
+
+    def test_lists_accepted(self):
+        assert values_close_rows([1.0], [1.0]).tolist() == [True]
+
+
+class TestScalarAgreementSweep:
+    SPECIALS = [0.0, -0.0, 1.0, -1.0, 1e-9, 1e308, -1e308, INF, -INF, NAN,
+                2.0**53, 2.0**53 + 2]
+
+    @pytest.mark.parametrize("x", SPECIALS)
+    def test_cross_product_matches_scalar(self, x):
+        row_a = [x] * len(self.SPECIALS)
+        assert_matches_scalar(row_a, self.SPECIALS)
+
+    def test_scalar_close_still_isclose(self):
+        # guard: the scalar rule itself stays math.isclose-shaped
+        assert values_close(1.0, 1.0 + 1e-9)
+        assert not values_close(1.0, 1.1)
+        assert values_close(NAN, NAN)
+        assert not math.isclose(NAN, NAN)  # our NaN rule is deliberate
