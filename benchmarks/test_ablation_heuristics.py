@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import write_result
 from repro.machine import MachineConfig
-from repro.pipelining import pipeline_loop
+from repro.pipelining import schedule_loop
 from repro.reporting import arithmetic_mean, comparison_table
 from repro.scheduling import PaperHeuristic, SourceOrderHeuristic
 from repro.workloads import livermore
@@ -28,10 +28,10 @@ class TestHeuristicAblation:
         rows = []
         paper_vals, naive_vals = [], []
         for name in LOOPS:
-            r_paper = pipeline_loop(
+            r_paper = schedule_loop(
                 livermore.kernel(name, UNROLL), MachineConfig(fus=FUS),
                 unroll=UNROLL, heuristic=PaperHeuristic(), measure=False)
-            r_naive = pipeline_loop(
+            r_naive = schedule_loop(
                 livermore.kernel(name, UNROLL), MachineConfig(fus=FUS),
                 unroll=UNROLL, heuristic=SourceOrderHeuristic(),
                 measure=False)

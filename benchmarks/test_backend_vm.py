@@ -25,7 +25,7 @@ import pytest
 from repro.backend import BundleVM, differential_check
 from repro.ir.operations import OpKind
 from repro.machine import MachineConfig
-from repro.pipelining import pipeline_loop
+from repro.pipelining import schedule_loop
 from repro.reporting import RealizedRow, realized_cycles_table
 from repro.simulator.check import initial_state, input_registers
 from repro.simulator.interp import run
@@ -73,7 +73,7 @@ def throughput_rows():
     machine = MachineConfig(fus=4)
     for name in KERNELS:
         loop = livermore.kernel(name, UNROLL)
-        res = pipeline_loop(loop, machine, unroll=UNROLL, measure=True)
+        res = schedule_loop(loop, machine, unroll=UNROLL, measure=True)
         g = res.unwound.graph
         rep = differential_check(g, machine, seeds=(0,))
         vm = BundleVM(rep.program)
@@ -100,7 +100,7 @@ def throughput_rows():
     lat_machine = MachineConfig(fus=4, latencies={OpKind.MUL: 3,
                                                   OpKind.LOAD: 2})
     loop = livermore.kernel("LL7", UNROLL)
-    res = pipeline_loop(loop, MachineConfig(fus=4), unroll=UNROLL,
+    res = schedule_loop(loop, MachineConfig(fus=4), unroll=UNROLL,
                         measure=True)
     rep = differential_check(res.unwound.graph, lat_machine, seeds=(0,))
     table_rows.append(RealizedRow(

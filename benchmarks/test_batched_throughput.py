@@ -30,7 +30,7 @@ import pytest
 
 from repro.backend import differential_check, differential_check_batched
 from repro.machine import MachineConfig
-from repro.pipelining import pipeline_loop
+from repro.pipelining import schedule_loop
 from repro.workloads import livermore
 
 UNROLL = 12
@@ -55,7 +55,7 @@ def throughput_rows():
     machine = MachineConfig(fus=4)
     for name in KERNELS:
         loop = livermore.kernel(name, UNROLL)
-        res = pipeline_loop(loop, machine, unroll=UNROLL)
+        res = schedule_loop(loop, machine, unroll=UNROLL)
         g = res.unwound.graph
         # Warm both flows once so lazy compiles and the memoized cell
         # defaults are paid outside the timed region for *both* sides.
@@ -92,5 +92,5 @@ class TestBatchedThroughput:
 
 def livermore_graph(name: str):
     loop = livermore.kernel(name, UNROLL)
-    res = pipeline_loop(loop, MachineConfig(fus=4), unroll=UNROLL)
+    res = schedule_loop(loop, MachineConfig(fus=4), unroll=UNROLL)
     return res.unwound.graph

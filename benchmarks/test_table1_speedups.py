@@ -18,7 +18,7 @@ import pytest
 
 from benchmarks.conftest import unroll_for, write_result
 from repro.machine import MachineConfig
-from repro.pipelining import pipeline_loop, pipeline_loop_post
+from repro.pipelining import schedule_loop, pipeline_loop_post
 from repro.reporting import SpeedupTable, arithmetic_mean
 from repro.workloads import livermore
 
@@ -51,7 +51,7 @@ def table() -> SpeedupTable:
         for fus in FU_CONFIGS:
             unroll = unroll_for(fus)
             loop_g = livermore.kernel(name, unroll)
-            g = pipeline_loop(loop_g, MachineConfig(fus=fus),
+            g = schedule_loop(loop_g, MachineConfig(fus=fus),
                               unroll=unroll, measure=False)
             loop_p = livermore.kernel(name, unroll)
             p = pipeline_loop_post(loop_p, MachineConfig(fus=fus),
@@ -141,7 +141,7 @@ class TestTable1SchedulingCost:
     def test_bench_grip_ll1_4fu(self, benchmark, table):
         def run():
             loop = livermore.kernel("LL1", 12)
-            return pipeline_loop(loop, MachineConfig(fus=4), unroll=12,
+            return schedule_loop(loop, MachineConfig(fus=4), unroll=12,
                                  measure=False)
 
         res = benchmark.pedantic(run, rounds=1, iterations=1)

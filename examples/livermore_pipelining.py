@@ -12,7 +12,7 @@ speedup at 4 FUs.
 import sys
 
 from repro.machine import MachineConfig
-from repro.pipelining import pipeline_loop, pipeline_loop_post
+from repro.pipelining import schedule_loop, pipeline_loop_post
 from repro.reporting import comparison_table
 from repro.workloads import livermore
 
@@ -25,7 +25,7 @@ def main() -> None:
         measured = None
         for fus in (2, 4, 8):
             unroll = max(12, 3 * fus)
-            g = pipeline_loop(livermore.kernel(name, unroll),
+            g = schedule_loop(livermore.kernel(name, unroll),
                               MachineConfig(fus=fus), unroll=unroll,
                               measure=(fus == 4))
             p = pipeline_loop_post(livermore.kernel(name, unroll),

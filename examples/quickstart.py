@@ -7,7 +7,7 @@ Run:  python examples/quickstart.py
 from repro.frontend import compile_dsl
 from repro.ir.render import schedule_table
 from repro.machine import MachineConfig
-from repro.pipelining import main_chain, pipeline_loop
+from repro.pipelining import main_chain, schedule_loop
 
 # A small kernel in the loop DSL: a saxpy-like stream update.
 SRC = """
@@ -27,7 +27,7 @@ def main() -> None:
           f"{len(loop.control_ops)} control ops per iteration\n")
 
     machine = MachineConfig(fus=4)
-    result = pipeline_loop(loop, machine, unroll=n)
+    result = schedule_loop(loop, machine, unroll=n)
 
     print(result.summary())
     print()

@@ -34,7 +34,8 @@ Subcommands::
 
     python -m repro bench [--family ll synth] [--kernels LL1 ...]
                     [--fus 2 4 8] [--backends grip post vm] [--jobs N]
-                    [--smoke] [--profile] [--out BENCH.json]
+                    [--smoke] [--profile] [--cache DIR] [--serve ADDR]
+                    [--out BENCH.json]
                     [--diff PREV.json] [--diff-subset] [--tol 0.05]
         Run the benchmark sweep (kernels x fu-configs x backends) over a
         multiprocessing pool and write a machine-readable BENCH_*.json
@@ -57,8 +58,28 @@ Subcommands::
         AnalysisManager.  Failures are shrunk to minimized
         FUZZ_<seed>.json repro artifacts, replayable with ``--replay``.
 
-Exit codes (bench and fuzz): 0 = clean, 1 = regression / mismatch
-found, 2 = usage error (argparse errors included).
+    python -m repro serve [--tcp HOST:PORT] [--jobs N] [--cache DIR]
+                    [--selftest]
+        Batch scheduling front: accepts JSON-lines batches of jobs
+        (schedule / bench / fuzz kinds) over stdio (default) or TCP,
+        fans them out across a worker pool sharing one schedule cache,
+        and streams per-job results plus a batch summary with cache
+        hit rates.  ``--selftest`` starts an ephemeral server, submits
+        the same 6-program batch twice and asserts the second pass is
+        answered from the cache with identical results (the CI smoke).
+
+Schedule cache: ``pipeline``, ``emit``, ``bench`` and ``fuzz`` accept
+``--cache DIR``, a content-addressed on-disk schedule cache keyed on
+the canonical (alpha-renamed) program text, the machine fingerprint
+and the scheduler version + options.  Warm results are bit-identical
+to cold runs; only the schedule-stage wall-clock changes.  ``bench``
+and ``fuzz`` also accept ``--serve HOST:PORT`` to route their cells /
+seeds through a running ``repro serve`` front instead of a local
+pool.
+
+Exit codes (bench, fuzz, serve --selftest): 0 = clean, 1 = regression
+/ mismatch found, 2 = usage error (argparse errors included).  This
+contract predates the ``repro.api`` facade and is unchanged by it.
 """
 
 from __future__ import annotations
@@ -85,7 +106,7 @@ FUZZ_LANES = 16
 
 def cmd_table1(args: argparse.Namespace) -> int:
     from .machine import MachineConfig
-    from .pipelining import pipeline_loop, pipeline_loop_post
+    from .pipelining import pipeline_loop_post, schedule_loop
     from .reporting import SpeedupTable
     from .workloads import livermore
 
@@ -94,7 +115,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
         for fus in args.fus:
             unroll = max(12, args.unroll_scale * fus)
             loop = livermore.kernel(name, unroll)
-            g = pipeline_loop(loop, MachineConfig(fus=fus), unroll=unroll,
+            g = schedule_loop(loop, MachineConfig(fus=fus), unroll=unroll,
                               measure=False)
             p = pipeline_loop_post(loop, MachineConfig(fus=fus),
                                    unroll=unroll)
@@ -108,32 +129,37 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _load_kernel(spec: str, unroll: int):
-    from .frontend import compile_dsl
-    from .workloads import build_kernel, family_of, livermore
+    from . import api
 
-    if family_of(spec) is not None:
-        return build_kernel(spec, unroll)
     try:
-        src = Path(spec).read_text()
-    except OSError:
-        _usage(
-            f"repro: unknown kernel {spec!r}: not a built-in "
-            f"({', '.join(livermore.kernel_names())}, synth family) and "
-            f"not a readable DSL file")
-    return compile_dsl(src, unroll, name=Path(spec).stem)
+        return api.load_kernel(spec, unroll)
+    except api.KernelSpecError as exc:
+        _usage(f"repro: {exc}")
+
+
+def _cli_cache(args: argparse.Namespace):
+    """The ``--cache DIR`` schedule cache of a subcommand, if any."""
+    if getattr(args, "cache", None) is None:
+        return None
+    from .cache import ScheduleCache
+
+    return ScheduleCache(args.cache)
 
 
 def cmd_pipeline(args: argparse.Namespace) -> int:
+    from . import api
     from .ir.loops import LoopProgram
     from .ir.render import schedule_table
     from .machine import MachineConfig
-    from .pipelining import main_chain, pipeline_loop, pipeline_program
+    from .pipelining import main_chain
 
     loop = _load_kernel(args.kernel, args.unroll)
     machine = MachineConfig(fus=args.fus)
     if isinstance(loop, LoopProgram):
         return _cmd_pipeline_program(args, loop, machine)
-    res = pipeline_loop(loop, machine, unroll=args.unroll)
+    res = api.schedule(loop, machine,
+                       options=api.ScheduleOptions(unroll=args.unroll),
+                       cache=_cli_cache(args))
     print(res.summary())
     print()
     print(schedule_table(res.unwound.graph,
@@ -163,10 +189,13 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
 def _cmd_pipeline_program(args: argparse.Namespace, program,
                           machine) -> int:
     """``repro pipeline`` over a while/multi-loop program kernel."""
+    from . import api
     from .ir.render import schedule_table
-    from .pipelining import main_chain, pipeline_program
+    from .pipelining import main_chain
 
-    res = pipeline_program(program, machine, unroll=args.unroll)
+    res = api.schedule(program, machine,
+                       options=api.ScheduleOptions(unroll=args.unroll),
+                       cache=_cli_cache(args))
     print(res.summary())
     print()
     print(schedule_table(res.graph, order=main_chain(res.graph)))
@@ -197,22 +226,20 @@ def _cmd_pipeline_program(args: argparse.Namespace, program,
 
 
 def cmd_emit(args: argparse.Namespace) -> int:
-    from .ir.loops import LoopProgram
+    from . import api
     from .machine import MachineConfig
-    from .pipelining import pipeline_loop, pipeline_program
 
     loop = _load_kernel(args.kernel, args.unroll)
     machine = MachineConfig(fus=args.fus, phys_regs=args.phys_regs)
     if args.seq:
         graph = loop.graph
-    elif isinstance(loop, LoopProgram):
-        graph = pipeline_program(loop, MachineConfig(fus=args.fus),
-                                 unroll=args.unroll, measure=False).graph
     else:
-        res = pipeline_loop(loop, MachineConfig(fus=args.fus),
-                            unroll=args.unroll, measure=False)
-        graph = res.unwound.graph
-    from .backend import EncodeError, differential_check, encode
+        res = api.schedule(
+            loop, MachineConfig(fus=args.fus),
+            options=api.ScheduleOptions(unroll=args.unroll, measure=False),
+            cache=_cli_cache(args))
+        graph = api.scheduled_graph(res)
+    from .backend import EncodeError, encode
     from .ir.registers import RegisterPressureError
 
     try:
@@ -223,10 +250,7 @@ def cmd_emit(args: argparse.Namespace) -> int:
     print(prog.summary())
     if args.run:
         if args.lanes and args.lanes > 1:
-            from .backend import differential_check_batched
-
-            brep = differential_check_batched(
-                graph, machine, lanes=args.lanes, program=prog)
+            brep = api.run(graph, machine, lanes=args.lanes, program=prog)
             print(f"batched differential check ok ({brep.n_lanes} lanes, "
                   f"{len(brep.ref_seeds)} tree-walker-pinned): "
                   f"{brep.vm_steps[-1]} bundles, "
@@ -234,7 +258,7 @@ def cmd_emit(args: argparse.Namespace) -> int:
                   f"{brep.interp_cycles[-1]} tree-walker cycles; "
                   f"{brep.checked_lanes}/{brep.n_lanes} lanes non-vacuous")
         else:
-            rep = differential_check(graph, machine, program=prog)
+            rep = api.run(graph, machine, program=prog)
             print(f"differential check ok ({len(rep.seeds)} seeds): "
                   f"{rep.vm_steps[-1]} bundles, "
                   f"{rep.realized_cycles} realized cycles vs "
@@ -290,26 +314,47 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "repro bench: --smoke fixes "
                 "--kernels/--fus/--backends/--family; drop --smoke to "
                 "run a custom sweep")
-        jobs = smoke_jobs(args.unroll_scale, profile=args.profile)
+        jobs = smoke_jobs(args.unroll_scale, profile=args.profile,
+                          cache=args.cache)
     elif args.kernels is not None:
         for name in args.kernels:
             if family_of(name) is None:
                 _usage(f"repro bench: unknown kernel {name!r}")
         jobs = make_jobs([k.upper() for k in args.kernels], args.fus,
                          args.backends, unroll_scale=args.unroll_scale,
-                         profile=args.profile)
+                         profile=args.profile, cache=args.cache)
     else:
         kernels = [name for fam in args.family for name in family_names(fam)]
         jobs = make_jobs(kernels, args.fus, args.backends,
                          unroll_scale=args.unroll_scale,
-                         profile=args.profile)
+                         profile=args.profile, cache=args.cache)
     name = "smoke" if args.smoke else args.name
-    print(f"bench: {len(jobs)} jobs on {args.jobs} worker(s)",
-          file=sys.stderr)
-    art = run_bench(jobs, name=name, processes=args.jobs,
-                    config={"unroll_scale": args.unroll_scale,
-                            "smoke": args.smoke,
-                            "profile": args.profile})
+    config = {"unroll_scale": args.unroll_scale, "smoke": args.smoke,
+              "profile": args.profile}
+    if args.serve:
+        import time
+
+        from .bench.runner import artifact_from_records
+        from .serve.client import ServeProtocolError, submit_bench_jobs
+
+        print(f"bench: {len(jobs)} jobs via serve front {args.serve}",
+              file=sys.stderr)
+        t0 = time.perf_counter()
+        try:
+            records, summary = submit_bench_jobs(args.serve, jobs)
+        except (OSError, ServeProtocolError) as exc:
+            _usage(f"repro bench: serve front {args.serve}: {exc}")
+        art = artifact_from_records(
+            jobs, records, name=name, processes=args.jobs,
+            wall_seconds=time.perf_counter() - t0,
+            config={**config, "serve": args.serve})
+        print(f"serve batch: {summary.get('cache_hits', 0)} cache hits / "
+              f"{summary.get('cache_misses', 0)} misses",
+              file=sys.stderr)
+    else:
+        print(f"bench: {len(jobs)} jobs on {args.jobs} worker(s)",
+              file=sys.stderr)
+        art = run_bench(jobs, name=name, processes=args.jobs, config=config)
 
     out = Path(args.out) if args.out else Path("results") / f"BENCH_{name}.json"
     art.write(out)
@@ -379,13 +424,35 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     report = run_fuzz(
         args.budget, args.seed, jobs=args.jobs,
         verify_every=args.verify_every, out_dir=args.out_dir,
-        tamper=args.tamper, stratify=args.stratify, lanes=args.lanes)
+        tamper=args.tamper, stratify=args.stratify, lanes=args.lanes,
+        cache_dir=args.cache, serve=args.serve)
     print(report.render())
     if not report.ok:
         print("repro fuzz: FAILURES found (repro artifacts written)",
               file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import selftest, serve_stdio, serve_tcp
+
+    if args.jobs < 1:
+        _usage("repro serve: --jobs must be >= 1")
+    if args.selftest:
+        if args.tcp:
+            _usage("repro serve: --selftest starts its own ephemeral "
+                   "TCP server; --tcp cannot be combined with it")
+        return selftest(jobs=args.jobs)
+    if args.tcp:
+        from .serve.client import parse_addr
+
+        try:
+            host, port = parse_addr(args.tcp)
+        except ValueError as exc:
+            _usage(f"repro serve: {exc}")
+        return serve_tcp(host, port, jobs=args.jobs, cache_dir=args.cache)
+    return serve_stdio(jobs=args.jobs, cache_dir=args.cache)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -404,6 +471,9 @@ def main(argv: list[str] | None = None) -> int:
     p2.add_argument("--backend", choices=("tree", "vm"), default="tree",
                     help="also execute on the bundle VM with a "
                          "differential check (vm)")
+    p2.add_argument("--cache", default=None, metavar="DIR",
+                    help="content-addressed schedule cache directory "
+                         "(warm hits replay the stored schedule)")
     p2.set_defaults(fn=cmd_pipeline)
 
     p3 = sub.add_parser("kernels", help="list Livermore kernels")
@@ -423,6 +493,8 @@ def main(argv: list[str] | None = None) -> int:
     p4.add_argument("--lanes", type=int, default=1,
                     help="with --run: initial states to execute in one "
                          "batched-VM pass (1 = scalar check; default 1)")
+    p4.add_argument("--cache", default=None, metavar="DIR",
+                    help="content-addressed schedule cache directory")
     p4.set_defaults(fn=cmd_emit)
 
     p7 = sub.add_parser(
@@ -474,6 +546,13 @@ def main(argv: list[str] | None = None) -> int:
                          "treated as missing coverage")
     p5.add_argument("--tol", type=float, default=0.05,
                     help="relative speedup tolerance for --diff")
+    p5.add_argument("--cache", default=None, metavar="DIR",
+                    help="content-addressed schedule cache directory "
+                         "(warm cells replay stored schedules; "
+                         "bit-identical records, faster schedule stage)")
+    p5.add_argument("--serve", default=None, metavar="HOST:PORT",
+                    help="route the sweep through a running "
+                         "'repro serve' front instead of a local pool")
     p5.set_defaults(fn=cmd_bench)
 
     p6 = sub.add_parser(
@@ -505,7 +584,30 @@ def main(argv: list[str] | None = None) -> int:
                     help="initial states per case for the batched "
                          f"semantic check (default {FUZZ_LANES}; the "
                          "first 3 are also tree-walker-pinned)")
+    p6.add_argument("--cache", default=None, metavar="DIR",
+                    help="content-addressed schedule cache directory "
+                         "(alpha-equivalent cases reuse one schedule; "
+                         "every warm result is still fully re-checked)")
+    p6.add_argument("--serve", default=None, metavar="HOST:PORT",
+                    help="route the seeds through a running "
+                         "'repro serve' front instead of a local pool")
     p6.set_defaults(fn=cmd_fuzz)
+
+    p8 = sub.add_parser(
+        "serve", help="batch scheduling front (stdio or TCP)")
+    p8.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                    help="listen on TCP instead of stdio "
+                         "(port 0 = ephemeral)")
+    p8.add_argument("--jobs", type=int, default=2,
+                    help="worker processes (default 2)")
+    p8.add_argument("--cache", default=None, metavar="DIR",
+                    help="schedule cache directory shared by the "
+                         "workers (enables per-batch cache hit rates)")
+    p8.add_argument("--selftest", action="store_true",
+                    help="submit the same 6-program batch twice to an "
+                         "ephemeral server and assert the second pass "
+                         "is answered from the cache (CI smoke)")
+    p8.set_defaults(fn=cmd_serve)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,202 @@
+"""Typed public facade: the one entrypoint everything shares.
+
+The CLI, the schedule cache, the batch server, the bench sweep and
+the fuzz lane all used to import scattered internals
+(``pipeline_loop`` / ``pipeline_program`` / ``check_source``).  This
+module is the single front door:
+
+* :func:`compile` -- DSL source -> lowered descriptor
+  (:class:`~repro.ir.loops.CountedLoop` or
+  :class:`~repro.ir.loops.LoopProgram`);
+* :func:`load_kernel` -- built-in kernel name or DSL file path ->
+  descriptor (raises :class:`KernelSpecError`, which the CLI maps to
+  exit code 2);
+* :func:`schedule` -- descriptor + machine -> scheduled result,
+  auto-dispatching on the descriptor type, optionally through a
+  content-addressed :class:`~repro.cache.ScheduleCache`;
+* :func:`emit` -- descriptor -> VLIW bundle program;
+* :func:`run` -- scheduled graph -> differential VM check report;
+* :func:`check` -- DSL source -> full fuzz-grade semantic check.
+
+All scheduling knobs travel in one frozen :class:`ScheduleOptions`
+value, which is also what the cache key fingerprints.  Imports are
+deliberately lazy so ``import repro.api`` stays cheap and the cache /
+serve / bench modules can depend on this module without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .backend.check import BatchedReport, DifferentialReport
+    from .backend.encode import BundleProgram
+    from .cache import ScheduleCache
+    from .ir.graph import ProgramGraph
+    from .ir.loops import CountedLoop, LoopProgram
+    from .machine.model import MachineConfig
+    from .obs.tracer import Tracer
+    from .pipelining import PipelineResult, ProgramPipelineResult
+    from .scheduling.priority import Heuristic
+
+
+class KernelSpecError(ValueError):
+    """Kernel spec is neither a built-in name nor a readable DSL file."""
+
+
+@dataclass(frozen=True)
+class ScheduleOptions:
+    """Every knob :func:`schedule` accepts, in one hashable value.
+
+    ``optimize`` (the cross-segment pass pipeline) applies to
+    ``LoopProgram`` descriptors only; ``verify_analysis`` attaches a
+    verifying AnalysisManager (observe-only) on either path.
+    """
+
+    unroll: int | None = None
+    heuristic: "Heuristic | None" = None
+    gap_prevention: bool = True
+    allow_speculation: bool = True
+    optimize: bool = True
+    measure: bool = True
+    verify: bool = True
+    verify_analysis: bool = False
+    seeds: tuple[int, ...] = (0,)
+
+
+#: the facade's default; importable so clients can ``replace()`` it
+DEFAULT_OPTIONS = ScheduleOptions()
+
+
+def compile(source: str, n: int, *, name: str = "kernel",
+            optimize: bool = True) -> "CountedLoop | LoopProgram":
+    """Lower DSL source for an ``n``-iteration run."""
+    from .frontend import compile_dsl
+
+    return compile_dsl(source, n, name=name, optimize=optimize)
+
+
+def load_kernel(spec: str, unroll: int) -> "CountedLoop | LoopProgram":
+    """Resolve a kernel spec: built-in name, else a DSL file path."""
+    from pathlib import Path
+
+    from .workloads import build_kernel, family_of, livermore
+
+    if family_of(spec) is not None:
+        return build_kernel(spec, unroll)
+    try:
+        src = Path(spec).read_text()
+    except OSError:
+        raise KernelSpecError(
+            f"unknown kernel {spec!r}: not a built-in "
+            f"({', '.join(livermore.kernel_names())}, synth family) and "
+            f"not a readable DSL file") from None
+    return compile(src, unroll, name=Path(spec).stem)
+
+
+def schedule(program: "CountedLoop | LoopProgram",
+             machine: "MachineConfig", *,
+             options: ScheduleOptions | None = None,
+             cache: "ScheduleCache | None" = None,
+             tracer: "Tracer | None" = None
+             ) -> "PipelineResult | ProgramPipelineResult":
+    """Schedule a lowered descriptor, dispatching on its type.
+
+    With ``cache`` the request is first looked up by content key; a
+    hit replays the stored schedule (bit-identical to a cold run) and
+    a miss computes then stores.  A warm hit emits *no* tracer events
+    (there is no decision stream to replay) -- callers that need the
+    stream itself, like ``repro explain`` or bench ``--profile``
+    cells, must not pass a cache.
+    """
+    from .ir.loops import CountedLoop, LoopProgram
+    from .pipelining import schedule_loop, schedule_program
+
+    opts = options if options is not None else DEFAULT_OPTIONS
+    if cache is not None:
+        hit = cache.fetch(program, machine, opts)
+        if hit is not None:
+            return hit
+    if isinstance(program, CountedLoop):
+        result = schedule_loop(
+            program, machine, unroll=opts.unroll, heuristic=opts.heuristic,
+            gap_prevention=opts.gap_prevention,
+            allow_speculation=opts.allow_speculation, measure=opts.measure,
+            verify=opts.verify, verify_analysis=opts.verify_analysis,
+            seeds=tuple(opts.seeds), tracer=tracer)
+    elif isinstance(program, LoopProgram):
+        result = schedule_program(
+            program, machine, unroll=opts.unroll, heuristic=opts.heuristic,
+            gap_prevention=opts.gap_prevention,
+            allow_speculation=opts.allow_speculation,
+            optimize=opts.optimize, measure=opts.measure,
+            verify=opts.verify, verify_analysis=opts.verify_analysis,
+            seeds=tuple(opts.seeds), tracer=tracer)
+    else:
+        raise TypeError(
+            f"cannot schedule {type(program).__name__}; expected "
+            "CountedLoop or LoopProgram")
+    if cache is not None:
+        cache.put(program, machine, opts, result)
+    return result
+
+
+def scheduled_graph(result) -> "ProgramGraph":
+    """The scheduled graph of either result flavor."""
+    unwound = getattr(result, "unwound", None)
+    return unwound.graph if unwound is not None else result.graph
+
+
+def emit(program: "CountedLoop | LoopProgram", machine: "MachineConfig", *,
+         options: ScheduleOptions | None = None, seq: bool = False,
+         cache: "ScheduleCache | None" = None) -> "BundleProgram":
+    """Lower a descriptor to a VLIW bundle program.
+
+    ``seq`` encodes the sequential (unscheduled) graph; otherwise the
+    descriptor is scheduled first (``measure=False`` -- emission needs
+    the graph, not the cycle counts).  Raises the backend's
+    ``EncodeError`` / ``RegisterPressureError`` unchanged.
+    """
+    from dataclasses import replace
+
+    from .backend import encode
+
+    if seq:
+        graph = program.graph
+    else:
+        opts = options if options is not None else DEFAULT_OPTIONS
+        res = schedule(program, machine,
+                       options=replace(opts, measure=False), cache=cache)
+        graph = scheduled_graph(res)
+    return encode(graph, machine)
+
+
+def run(graph: "ProgramGraph", machine: "MachineConfig", *,
+        lanes: int = 1, program: "BundleProgram | None" = None
+        ) -> "DifferentialReport | BatchedReport":
+    """Differentially execute a graph on the bundle VM.
+
+    One lane runs the scalar checker; more lanes run the batched
+    multi-state VM (the first seeds stay tree-walker-pinned).
+    """
+    from .backend import differential_check, differential_check_batched
+
+    if lanes > 1:
+        return differential_check_batched(graph, machine, lanes=lanes,
+                                          program=program)
+    return differential_check(graph, machine, program=program)
+
+
+def check(source: str, unroll: int, machine: "MachineConfig", **kwargs):
+    """Fuzz-grade semantic check of one DSL program.
+
+    Schedules, validates graph invariants and resource budgets, and
+    batch-checks the schedule against the sequential program;
+    delegates to :func:`repro.bench.fuzz.check_source` (same keyword
+    surface: ``verify``, ``tamper``, ``seeds``, ``lanes``, ``cache``,
+    ``tracer``).
+    """
+    from .bench.fuzz import check_source
+
+    return check_source(source, unroll, machine, **kwargs)

@@ -223,14 +223,13 @@ def check_source(
     seeds: tuple[int, ...] = CHECK_SEEDS,
     lanes: int = DEFAULT_LANES,
     tracer=None,
+    cache=None,
 ) -> CaseStats:
     """Run the full fuzz check pipeline; raises on any divergence.
 
-    Classic single-counted-loop sources run the historical unwind +
-    GRiP flow.  While/multi-loop sources compile to a
-    :class:`~repro.ir.loops.LoopProgram` and go through
-    :func:`~repro.pipelining.program.pipeline_program` (per-segment
-    scheduling; non-counted segments decline unwinding).  The semantic
+    Both source shapes (single counted loop, while/multi-loop program)
+    schedule through :func:`repro.api.schedule` (``measure=False``:
+    the semantic verdict below subsumes the measurement pass).  The
     verdict then comes from ONE
     :func:`~repro.backend.check.batched_pair_check`: walker-vs-walker
     equivalence on ``seeds``, batched-VM differential on those
@@ -241,30 +240,28 @@ def check_source(
     ``tracer`` (e.g. a :class:`~repro.obs.journal.DecisionJournal`)
     observes the scheduling decisions and pass-pipeline transforms of
     the run -- ``repro fuzz --replay`` uses it to print the reason-code
-    tally alongside the replay verdict.
+    tally alongside the replay verdict.  ``cache`` (a
+    :class:`~repro.cache.ScheduleCache`) lets fuzz cases that collide
+    on canonical form (alpha-equivalent generated programs) reuse one
+    schedule; every warm result is still fully re-checked below.
     """
-    from ..analysis.incremental import AnalysisManager
+    from .. import api
     from ..backend.check import batched_pair_check
-    from ..frontend import compile_dsl
     from ..ir.loops import CountedLoop
     from ..obs.tracer import NULL_TRACER
-    from ..pipelining import find_pattern, pipeline_program, unwind_counted
-    from ..scheduling.grip import GRiPScheduler
+    from ..pipelining import find_pattern
 
     tracer = NULL_TRACER if tracer is None else tracer
-    loop = compile_dsl(source, unroll, name=name)
+    loop = api.compile(source, unroll, name=name)
+    res = api.schedule(
+        loop, machine,
+        options=api.ScheduleOptions(unroll=unroll, measure=False,
+                                    verify_analysis=verify),
+        cache=cache, tracer=tracer)
     if isinstance(loop, CountedLoop):
-        unwound = unwind_counted(loop, unroll)
-        if verify:
-            AnalysisManager(unwound.graph, verify=True)
-        GRiPScheduler(machine, tracer=tracer).schedule(
-            unwound.graph, ranking_ops=unwound.ops)
+        unwound = res.unwound
         graph = unwound.graph
     else:
-        res = pipeline_program(
-            loop, machine, unroll=unroll, measure=False,
-            verify_analysis=verify, tracer=tracer,
-        )
         graph = res.graph
     if tamper is not None:
         TAMPERS[tamper](graph)
@@ -277,7 +274,7 @@ def check_source(
             )
     if isinstance(loop, CountedLoop):
         # Pattern detection must at least not crash on any generated
-        # shape (pipeline_program already ran it per counted segment).
+        # shape (schedule_program already ran it per counted segment).
         find_pattern(unwound, graph)
     rep = batched_pair_check(loop.graph, graph, machine,
                              ref_seeds=seeds, lanes=lanes)
@@ -295,6 +292,7 @@ def run_source(
     lanes: int = DEFAULT_LANES,
     tracer=None,
     stats_sink: list[CaseStats] | None = None,
+    cache=None,
 ) -> FuzzFailure | None:
     """:func:`check_source` with failures classified, not raised.
 
@@ -309,7 +307,7 @@ def run_source(
     try:
         stats = check_source(
             source, unroll, machine, name=name, verify=verify, tamper=tamper,
-            lanes=lanes, tracer=tracer,
+            lanes=lanes, tracer=tracer, cache=cache,
         )
     except (LexError, ParseError, LowerError) as exc:
         return FuzzFailure("frontend", f"{type(exc).__name__}: {exc}")
@@ -336,7 +334,7 @@ def run_source(
 def run_case(
     case: FuzzCase, *, verify: bool = False, tamper: str | None = None,
     lanes: int = DEFAULT_LANES, tracer=None,
-    stats_sink: list[CaseStats] | None = None,
+    stats_sink: list[CaseStats] | None = None, cache=None,
 ) -> FuzzFailure | None:
     program = generate(case.scenario)
     return run_source(
@@ -349,6 +347,7 @@ def run_case(
         lanes=lanes,
         tracer=tracer,
         stats_sink=stats_sink,
+        cache=cache,
     )
 
 
@@ -664,7 +663,7 @@ class FuzzReport:
 
 
 def _worker(
-    task: tuple[int, bool, str | None, int]
+    task: tuple[int, bool, str | None, int, str | None]
 ) -> tuple[int, FuzzFailure | None, CaseStats | None]:
     """One seed (module-level: must be pool-picklable).
 
@@ -672,14 +671,20 @@ def _worker(
     :class:`~repro.obs.journal.DecisionJournal` -- campaign runs get
     scheduler-decision totals at tally cost, with no event retention
     (``--replay`` is where full journals are attached).
+
+    Warm cache hits contribute no scheduler hops to the journal
+    (there is no decision stream to replay), so a cached campaign
+    reports fewer ``hops_tried`` -- accurately.
     """
     from ..obs import DecisionJournal
+    from .runner import _cache_for
 
-    seed, verify, tamper, lanes = task
+    seed, verify, tamper, lanes, cache_dir = task
     journal = DecisionJournal(keep_events=False)
     sink: list[CaseStats] = []
     failure = run_case(case_from_seed(seed), verify=verify, tamper=tamper,
-                       lanes=lanes, tracer=journal, stats_sink=sink)
+                       lanes=lanes, tracer=journal, stats_sink=sink,
+                       cache=_cache_for(cache_dir))
     stats = sink[0] if sink else None
     if stats is not None:
         stats.tallies = {"tried": journal.tried,
@@ -698,6 +703,8 @@ def run_fuzz(
     max_shrinks: int = 5,
     stratify: bool = False,
     lanes: int = DEFAULT_LANES,
+    cache_dir: str | None = None,
+    serve: str | None = None,
     log=None,
 ) -> FuzzReport:
     """Fuzz ``budget`` seeds starting at ``seed0``.
@@ -714,6 +721,13 @@ def run_fuzz(
     campaign so a systemic breakage cannot turn the nightly run into a
     shrink marathon.  Every ``verify_every``-th seed additionally runs
     under a verifying :class:`AnalysisManager`.
+
+    ``cache_dir`` points the checks at a shared schedule cache
+    (alpha-equivalent generated programs reuse one schedule; every
+    warm result is still fully re-checked).  ``serve`` routes the
+    cases through a running ``repro serve`` front instead of a local
+    pool (``jobs`` is then the server's concern); failures stream
+    back and are shrunk locally, exactly like pool failures.
     """
     log = log or (lambda msg: print(msg, file=sys.stderr))
     t0 = time.perf_counter()
@@ -723,14 +737,15 @@ def run_fuzz(
         else [seed0 + i for i in range(budget)]
     )
     tasks = [
-        (seed, verify_every > 0 and i % verify_every == 0, tamper, lanes)
+        (seed, verify_every > 0 and i % verify_every == 0, tamper, lanes,
+         cache_dir)
         for i, seed in enumerate(seeds)
     ]
-    verify_by_seed = {seed: verify for seed, verify, _, _ in tasks}
+    verify_by_seed = {seed: verify for seed, verify, *_ in tasks}
     report = FuzzReport(
         budget=budget,
         seed0=seed0,
-        verified_seeds=[seed for seed, verify, _, _ in tasks if verify],
+        verified_seeds=[seed for seed, verify, *_ in tasks if verify],
         seeds=seeds,
         stratified=stratify,
         lanes=lanes,
@@ -770,7 +785,12 @@ def run_fuzz(
         )
         report.failures.append((seed, failure, path))
 
-    if jobs > 1 and len(tasks) > 1:
+    if serve is not None:
+        from ..serve.client import submit_fuzz_tasks
+
+        for seed, failure, stats in submit_fuzz_tasks(serve, tasks):
+            _consume(seed, failure, stats)
+    elif jobs > 1 and len(tasks) > 1:
         with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
             for seed, failure, stats in pool.imap_unordered(
                     _worker, tasks, chunksize=1):

@@ -22,7 +22,7 @@ Backends:
 
 Kernels that compile to a :class:`~repro.ir.loops.LoopProgram`
 (``SYNWHL``/``SYNSEQ``: while loops, sequenced loops) run through
-:func:`~repro.pipelining.program.pipeline_program`; their ``speedup``
+:func:`~repro.pipelining.program.schedule_program`; their ``speedup``
 is the *measured* whole-program cycle ratio (there is no analytic II
 for a trip-count-unknown loop) and POST -- defined only for single
 counted loops -- is skipped for them by :func:`make_jobs`.
@@ -65,6 +65,32 @@ class BenchJob:
     #: blocked candidates into the record (observe-only: schedules and
     #: speedups are bit-identical, only wall-clock moves)
     profile: bool = False
+    #: schedule-cache directory (None disables).  Warm cells replay
+    #: the stored schedule; their records are bit-identical to cold
+    #: ones except the schedule-stage wall-clock, which reports the
+    #: lookup cost.  Profiled cells ignore the cache (a warm hit has
+    #: no decision stream to journal, and profile cells exist to
+    #: journal one).
+    cache: str | None = None
+
+
+_CACHES: dict[str, object] = {}
+
+
+def _cache_for(path: str | None):
+    """Per-process schedule-cache handles, one per directory."""
+    if path is None:
+        return None
+    cache = _CACHES.get(path)
+    if cache is None:
+        from ..cache import ScheduleCache
+
+        cache = _CACHES[path] = ScheduleCache(path)
+    return cache
+
+
+def _job_cache(job: BenchJob):
+    return None if job.profile else _cache_for(job.cache)
 
 
 def default_unroll(fus: int, scale: int = 3) -> int:
@@ -73,7 +99,8 @@ def default_unroll(fus: int, scale: int = 3) -> int:
 
 
 def make_jobs(kernels, fu_configs, backends, *,
-              unroll_scale: int = 3, profile: bool = False) -> list[BenchJob]:
+              unroll_scale: int = 3, profile: bool = False,
+              cache: str | None = None) -> list[BenchJob]:
     from .. import workloads
     from ..workloads.synth import is_program_kernel
 
@@ -93,14 +120,15 @@ def make_jobs(kernels, fu_configs, backends, *,
                     continue
                 jobs.append(BenchJob(kernel=name, fus=fus, backend=backend,
                                      unroll=default_unroll(fus, unroll_scale),
-                                     family=family, profile=profile))
+                                     family=family, profile=profile,
+                                     cache=cache))
     return jobs
 
 
-def smoke_jobs(unroll_scale: int = 3, *, profile: bool = False
-               ) -> list[BenchJob]:
+def smoke_jobs(unroll_scale: int = 3, *, profile: bool = False,
+               cache: str | None = None) -> list[BenchJob]:
     return make_jobs(SMOKE_KERNELS, SMOKE_FUS, SMOKE_BACKENDS,
-                     unroll_scale=unroll_scale, profile=profile)
+                     unroll_scale=unroll_scale, profile=profile, cache=cache)
 
 
 def _make_tracer(job: BenchJob):
@@ -125,9 +153,10 @@ def _profile_payload(tracer) -> dict | None:
 
 def run_job(job: BenchJob) -> BenchRecord:
     """Execute one sweep cell (top-level: must be pool-picklable)."""
+    from .. import api
     from ..ir.loops import LoopProgram
     from ..machine import MachineConfig
-    from ..pipelining import pipeline_loop, pipeline_loop_post
+    from ..pipelining import pipeline_loop_post
     from ..workloads import build_kernel
 
     machine = MachineConfig(fus=job.fus)
@@ -153,8 +182,10 @@ def run_job(job: BenchJob) -> BenchRecord:
 
     tracer = _make_tracer(job)
     t1 = time.perf_counter()
-    res = pipeline_loop(loop, machine, unroll=job.unroll, measure=False,
-                        tracer=tracer)
+    res = api.schedule(
+        loop, machine,
+        options=api.ScheduleOptions(unroll=job.unroll, measure=False),
+        cache=_job_cache(job), tracer=tracer)
     stages["pipeline"] = time.perf_counter() - t1
     stages["schedule"] = res.schedule.seconds
     record = BenchRecord(
@@ -186,15 +217,18 @@ def run_job(job: BenchJob) -> BenchRecord:
 def _run_program_job(job: BenchJob, program, machine,
                      stages: dict[str, float]) -> BenchRecord:
     """One sweep cell for a LoopProgram-shaped kernel (grip / vm)."""
-    from ..pipelining import pipeline_program
+    from .. import api
 
     if job.backend == "post":  # pragma: no cover - filtered by make_jobs
         raise ValueError(
             f"POST has no program-level baseline for {job.kernel!r}")
     tracer = _make_tracer(job)
     t1 = time.perf_counter()
-    res = pipeline_program(program, machine, unroll=job.unroll,
-                           measure=True, seeds=(0,), tracer=tracer)
+    res = api.schedule(
+        program, machine,
+        options=api.ScheduleOptions(unroll=job.unroll, measure=True,
+                                    seeds=(0,)),
+        cache=_job_cache(job), tracer=tracer)
     stages["pipeline"] = time.perf_counter() - t1
     scheds = [seg.schedule for seg in res.segments
               if seg.schedule is not None]
@@ -248,13 +282,12 @@ def run_jobs(jobs: list[BenchJob], *, processes: int = 1) -> list[BenchRecord]:
         return pool.map(run_job, jobs, chunksize=1)
 
 
-def run_bench(jobs: list[BenchJob], *, name: str = "table1",
-              processes: int = 1, config: dict | None = None
-              ) -> BenchArtifact:
-    """Run ``jobs`` and wrap the records in a named artifact."""
-    t0 = time.perf_counter()
-    records = run_jobs(jobs, processes=processes)
-    wall = time.perf_counter() - t0
+def artifact_from_records(jobs: list[BenchJob], records: list[BenchRecord],
+                          *, name: str, processes: int,
+                          wall_seconds: float,
+                          config: dict | None = None) -> BenchArtifact:
+    """Wrap sweep records in a named artifact (local pool OR a remote
+    ``repro serve`` front produce the same artifact shape)."""
     cfg = {
         "kernels": sorted({j.kernel for j in jobs}),
         "families": sorted({j.family for j in jobs}),
@@ -268,4 +301,16 @@ def run_bench(jobs: list[BenchJob], *, name: str = "table1",
         name=name, records=records, config=cfg,
         host={"python": platform.python_version(),
               "platform": sys.platform},
-        wall_seconds=wall, created=time.time())
+        wall_seconds=wall_seconds, created=time.time())
+
+
+def run_bench(jobs: list[BenchJob], *, name: str = "table1",
+              processes: int = 1, config: dict | None = None
+              ) -> BenchArtifact:
+    """Run ``jobs`` and wrap the records in a named artifact."""
+    t0 = time.perf_counter()
+    records = run_jobs(jobs, processes=processes)
+    wall = time.perf_counter() - t0
+    return artifact_from_records(jobs, records, name=name,
+                                 processes=processes, wall_seconds=wall,
+                                 config=config)

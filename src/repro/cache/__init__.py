@@ -1,0 +1,35 @@
+"""Content-addressed schedule cache.
+
+Scheduling is deterministic, so a schedule computed once for a given
+(program, machine, options) triple can be replayed for any later
+request with the same content key.  The key is a blake2b digest over:
+
+* the canonical alpha-renamed lowered program (:mod:`.canon`),
+* the machine-configuration fingerprint,
+* the scheduler / pass-pipeline version constants and the resolved
+  scheduling options (:mod:`.keys`).
+
+Entries live in a sharded on-disk store with atomic writes plus an
+in-memory LRU front (:mod:`.store`); payloads are pickled snapshots of
+the scheduled graphs in canonical register space, renamed back into
+the requester's register space on a hit (:mod:`.codec`).
+"""
+
+from .canon import CanonicalForm, canonical_form, rename_graph, rename_ops
+from .keys import (CACHE_SCHEMA, PASS_PIPELINE_VERSION, SCHEDULER_VERSION,
+                   cache_key, machine_fingerprint, options_fingerprint)
+from .store import ScheduleCache
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "PASS_PIPELINE_VERSION",
+    "SCHEDULER_VERSION",
+    "CanonicalForm",
+    "ScheduleCache",
+    "cache_key",
+    "canonical_form",
+    "machine_fingerprint",
+    "options_fingerprint",
+    "rename_graph",
+    "rename_ops",
+]

@@ -1,0 +1,229 @@
+"""Canonical alpha-renaming of lowered loop programs.
+
+Two programs that differ only in register and array *names* schedule
+identically (the scheduler keys every decision off graph structure,
+op kinds, positions and latencies -- never off spellings), so the
+cache keys programs by a canonical renaming: walking the descriptor's
+operations in definition order, the first occurrence of each register
+is assigned ``r0, r1, ...`` and each array ``a0, a1, ...``.  Derived
+names the pipeline manufactures later (``k.exit.3`` from unwinding,
+``acc.2`` from per-iteration renaming) follow their base register via
+a prefix rule: ``base.suffix`` renames to ``map[base].suffix``.
+Scheduler-fresh physical names (``%rN``) pass through unchanged --
+the register file guarantees they never collide with source names.
+
+The same maps run in both directions: forward to put a scheduled
+result into canonical register space before storing it, inverse to
+rename a cached payload into the requester's register space on a hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from ..ir.graph import ProgramGraph
+from ..ir.loops import CountedLoop, InnerWhile, LoopProgram, WhileLoop
+from ..ir.operations import Operation
+from ..ir.registers import Imm, Reg
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """Canonical rendering plus the bijective maps that produced it."""
+
+    #: deterministic text rendering; the key material for hashing
+    text: str
+    #: source register name -> canonical name (``r<N>``)
+    reg_map: dict[str, str]
+    #: source array name -> canonical name (``a<N>``)
+    array_map: dict[str, str]
+
+    def inverse(self) -> tuple[dict[str, str], dict[str, str]]:
+        """Canonical -> source maps (the stored-payload replay direction)."""
+        return ({v: k for k, v in self.reg_map.items()},
+                {v: k for k, v in self.array_map.items()})
+
+
+def rename(name: str, mapping: dict[str, str]) -> str:
+    """Rename one register name through a canonical map.
+
+    Exact entries win; otherwise a derived name ``base.suffix`` follows
+    its base register; names with no mapped base (``%rN`` physicals)
+    pass through unchanged.
+    """
+    hit = mapping.get(name)
+    if hit is not None:
+        return hit
+    base, sep, suffix = name.partition(".")
+    if sep:
+        hit = mapping.get(base)
+        if hit is not None:
+            return f"{hit}.{suffix}"
+    return name
+
+
+def rename_op(op: Operation, reg_map: dict[str, str],
+              array_map: dict[str, str]) -> Operation:
+    """Rebuild one operation with renamed registers/arrays.
+
+    Identity (uid, tid, iteration, pos, name) is preserved: renaming
+    changes spellings only, so a replayed graph is bit-identical to the
+    producer's output modulo the register map.
+    """
+    dest = Reg(rename(op.dest.name, reg_map)) if op.dest is not None else None
+    srcs = tuple(Reg(rename(s.name, reg_map)) if isinstance(s, Reg) else s
+                 for s in op.srcs)
+    mem = op.mem
+    if mem is not None:
+        index = mem.index
+        if isinstance(index, Reg):
+            index = Reg(rename(index.name, reg_map))
+        mem = replace(mem, array=array_map.get(mem.array, mem.array),
+                      index=index)
+    return replace(op, dest=dest, srcs=srcs, mem=mem)
+
+
+def rename_ops(ops: Iterable[Operation], reg_map: dict[str, str],
+               array_map: dict[str, str]) -> list[Operation]:
+    return [rename_op(op, reg_map, array_map) for op in ops]
+
+
+def rename_graph(graph: ProgramGraph, reg_map: dict[str, str],
+                 array_map: dict[str, str]) -> ProgramGraph:
+    """Return an observer-free renamed clone of ``graph``.
+
+    Node ids, op uids/tids, path sets and branch trees are untouched;
+    only the register/array spellings inside each operation change.
+    """
+    g = graph.clone()
+    for node in g.nodes.values():
+        node.ops = {uid: rename_op(op, reg_map, array_map)
+                    for uid, op in node.ops.items()}
+        node.cjs = {uid: rename_op(op, reg_map, array_map)
+                    for uid, op in node.cjs.items()}
+    return g
+
+
+# ----------------------------------------------------------------------
+# Canonical map construction + text rendering
+# ----------------------------------------------------------------------
+class _Canonicalizer:
+    def __init__(self) -> None:
+        self.reg_map: dict[str, str] = {}
+        self.array_map: dict[str, str] = {}
+        self.lines: list[str] = []
+
+    # -- first-occurrence assignment ----------------------------------
+    def _reg(self, name: str) -> str:
+        hit = self.reg_map.get(name)
+        if hit is None:
+            hit = f"r{len(self.reg_map)}"
+            self.reg_map[name] = hit
+        return hit
+
+    def _array(self, name: str) -> str:
+        hit = self.array_map.get(name)
+        if hit is None:
+            hit = f"a{len(self.array_map)}"
+            self.array_map[name] = hit
+        return hit
+
+    def _operand(self, operand: object) -> str:
+        if isinstance(operand, Reg):
+            return self._reg(operand.name)
+        if isinstance(operand, Imm):
+            return f"imm:{operand.value}"
+        return repr(operand)  # pragma: no cover - no other operand kinds
+
+    def _op(self, op: Operation) -> str:
+        parts = [op.kind.name]
+        parts.append(self._reg(op.dest.name) if op.dest is not None else "_")
+        parts.append(",".join(self._operand(s) for s in op.srcs) or "_")
+        mem = op.mem
+        if mem is not None:
+            index = (self._reg(mem.index.name)
+                     if isinstance(mem.index, Reg)
+                     else "imm:%d" % mem.index.value
+                     if isinstance(mem.index, Imm) else "_")
+            parts.append("%s[%s+%d@%s]" % (self._array(mem.array), index,
+                                           mem.offset, mem.affine))
+        else:
+            parts.append("_")
+        parts.append(str(op.pos))
+        return " ".join(parts)
+
+    def block(self, label: str, ops: Iterable[Operation]) -> None:
+        for op in ops:
+            self.lines.append(f"{label} {self._op(op)}")
+
+    # -- descriptors --------------------------------------------------
+    def counted(self, loop: CountedLoop) -> None:
+        self.block("pre", loop.preheader_ops)
+        self.block("body", loop.body_ops)
+        self.block("ctrl", loop.control_ops)
+        self.block("epi", loop.epilogue_ops)
+        bound = self._operand(loop.bound)
+        carried = ",".join(sorted(self._reg(r.name)
+                                  for r in loop.carried_regs))
+        live = ",".join(sorted(self._reg(r.name) for r in loop.live_out))
+        self.lines.append(
+            f"counted counter={self._reg(loop.counter.name)} bound={bound} "
+            f"step={loop.step} carried={carried} live_out={live}")
+
+    def _inner(self, spec: InnerWhile, depth: int) -> None:
+        self.block(f"icond{depth}", spec.cond_ops)
+        self.block(f"ibody{depth}", spec.body_ops)
+        for sub in spec.inner:
+            self._inner(sub, depth + 1)
+        self.lines.append(
+            f"inner{depth} anchor={spec.anchor} "
+            f"exit={self._reg(spec.exit_reg.name)}")
+
+    def while_(self, loop: WhileLoop) -> None:
+        self.block("pre", loop.preheader_ops)
+        self.block("cond", loop.cond_ops)
+        self.block("cj", [loop.cj_op])
+        self.block("body", loop.body_ops)
+        for spec in loop.inner:
+            self._inner(spec, 1)
+        self.block("epi", loop.epilogue_ops)
+        carried = ",".join(sorted(self._reg(r.name)
+                                  for r in loop.carried_regs))
+        live = ",".join(sorted(self._reg(r.name) for r in loop.live_out))
+        self.lines.append(f"while carried={carried} live_out={live}")
+
+    def program(self, program: LoopProgram) -> None:
+        for i, loop in enumerate(program.loops):
+            self.lines.append(f"segment {i}")
+            if isinstance(loop, CountedLoop):
+                self.counted(loop)
+            else:
+                self.while_(loop)
+        self.block("progepi", program.epilogue_ops)
+
+    def form(self) -> CanonicalForm:
+        text = "canon=1\n" + "\n".join(self.lines) + "\n"
+        return CanonicalForm(text=text, reg_map=self.reg_map,
+                             array_map=self.array_map)
+
+
+def canonical_form(program: CountedLoop | LoopProgram) -> CanonicalForm:
+    """Canonicalize a lowered descriptor.
+
+    Kernel/loop names and descriptions are deliberately excluded: two
+    programs that differ only in labels (fuzz cases across seeds, or a
+    renamed copy of a kernel) collide on the same canonical form.
+    """
+    canon = _Canonicalizer()
+    if isinstance(program, CountedLoop):
+        canon.lines.append("top counted")
+        canon.counted(program)
+    elif isinstance(program, LoopProgram):
+        canon.lines.append("top program")
+        canon.program(program)
+    else:
+        raise TypeError(
+            f"cannot canonicalize {type(program).__name__}; expected "
+            "CountedLoop or LoopProgram")
+    return canon.form()

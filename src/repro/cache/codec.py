@@ -1,0 +1,262 @@
+"""Cache payloads: canonical-space snapshots of scheduled results.
+
+A payload is *not* a pickled result object.  ``ScheduleResult`` holds
+live helpers (ranking closures, the gap policy) that neither pickle
+nor belong in a cache; program results hold the requester's descriptor
+objects.  Instead the codec stores the minimal replayable snapshot:
+
+* scheduled graphs, cloned (drops analysis observers) and renamed
+  into canonical register space;
+* the plain-dataclass analysis products (pattern, throughput,
+  percolation stats) and the measured cycle counts;
+* the maximum op uid / leaf id in the snapshot, so replay can advance
+  the process-global counters past them and freshly created ops can
+  never collide with replayed ones.
+
+Replay renames everything back into the requester's register space
+and rebuilds result objects whose consumers (bench records, summary
+lines, realized-cycle backends) see bit-identical data to a cold run.
+The stand-in for ``ScheduleResult`` is :class:`CachedScheduleSummary`:
+same observable fields, no live helpers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from dataclasses import dataclass, field
+
+from ..ir import cjtree as _cjtree
+from ..ir import operations as _operations
+from ..ir.cjtree import iter_leaves
+from ..ir.graph import ProgramGraph
+from ..ir.loops import CountedLoop, LoopProgram
+from ..machine.model import MachineConfig
+from ..percolation.moveop import PercolationStats
+from ..pipelining.perfect import PipelineResult
+from ..pipelining.program import ProgramPipelineResult, SegmentSchedule
+from ..pipelining.unwind import UnwoundLoop
+from .canon import CanonicalForm, rename_graph, rename_ops
+from .keys import CACHE_SCHEMA
+
+
+class CacheDecodeError(Exception):
+    """Entry is unreadable or from another schema; recompute."""
+
+
+@dataclass
+class CachedScheduleSummary:
+    """Duck-typed stand-in for ``ScheduleResult`` on warm hits.
+
+    Carries exactly the fields warm-path consumers read (bench
+    records, ``summary()`` tally lines); ``ranking``/``gap_policy``
+    are scheduler-internal helpers with no post-hoc consumers and are
+    deliberately absent.  ``seconds`` is stamped with the *lookup*
+    wall-clock by the store, not the producer's schedule time.
+    """
+
+    graph: ProgramGraph | None = None
+    stats: PercolationStats = field(default_factory=PercolationStats)
+    seconds: float = 0.0
+    nodes_processed: int = 0
+    candidate_builds: int = 0
+    analysis_counters: dict = field(default_factory=dict)
+
+
+def _graph_maxima(graph: ProgramGraph) -> tuple[int, int]:
+    max_uid = 0
+    max_leaf = 0
+    for node in graph.nodes.values():
+        for op in node.all_ops():
+            max_uid = max(max_uid, op.uid, op.tid)
+        for leaf in iter_leaves(node.tree):
+            max_leaf = max(max_leaf, leaf.leaf_id)
+    return max_uid, max_leaf
+
+
+def _advance_counters(max_uid: int, max_leaf: int) -> None:
+    """Push the process-global id counters past a replayed snapshot."""
+    cur_uid = next(_operations._uid_counter)
+    _operations._uid_counter = itertools.count(max(cur_uid, max_uid) + 1)
+    cur_leaf = next(_cjtree._leaf_counter)
+    _cjtree._leaf_counter = itertools.count(max(cur_leaf, max_leaf) + 1)
+
+
+def _summary_payload(schedule) -> dict:
+    return {
+        "stats": schedule.stats,
+        "nodes_processed": schedule.nodes_processed,
+        "candidate_builds": schedule.candidate_builds,
+        "analysis_counters": dict(schedule.analysis_counters),
+    }
+
+
+def _summary_from(payload: dict, graph: ProgramGraph | None
+                  ) -> CachedScheduleSummary:
+    return CachedScheduleSummary(
+        graph=graph, stats=payload["stats"],
+        nodes_processed=payload["nodes_processed"],
+        candidate_builds=payload["candidate_builds"],
+        analysis_counters=dict(payload["analysis_counters"]))
+
+
+# ----------------------------------------------------------------------
+# Encode (result -> canonical-space payload bytes)
+# ----------------------------------------------------------------------
+def _encode_counted(result: PipelineResult, form: CanonicalForm) -> dict:
+    unwound = result.unwound
+    max_uid, max_leaf = _graph_maxima(unwound.graph)
+    return {
+        "kind": "counted",
+        "graph": rename_graph(unwound.graph, form.reg_map, form.array_map),
+        "ops": rename_ops(unwound.ops, form.reg_map, form.array_map),
+        "iterations": unwound.iterations,
+        "origin": dict(unwound.origin),
+        "exit_branch_tids": list(unwound.exit_branch_tids),
+        "iteration_marker_tids": list(unwound.iteration_marker_tids),
+        "schedule": _summary_payload(result.schedule),
+        "pattern": result.pattern,
+        "throughput": result.throughput,
+        "seq_cycles_per_iteration": result.seq_cycles_per_iteration,
+        "measured_seq_cycles": result.measured_seq_cycles,
+        "measured_par_cycles": result.measured_par_cycles,
+        "max_uid": max_uid,
+        "max_leaf": max_leaf,
+    }
+
+
+def _encode_program(result: ProgramPipelineResult,
+                    form: CanonicalForm) -> dict:
+    max_uid, max_leaf = _graph_maxima(result.graph)
+    segments = []
+    for seg in result.segments:
+        segments.append({
+            "kind": seg.kind,
+            "n_rows": len(seg.graph.nodes),
+            "pattern": seg.pattern,
+            "throughput": seg.throughput,
+            "schedule": (_summary_payload(seg.schedule)
+                         if seg.schedule is not None else None),
+        })
+    return {
+        "kind": "program",
+        "graph": rename_graph(result.graph, form.reg_map, form.array_map),
+        "residual_epilogue": rename_ops(result.residual_epilogue,
+                                        form.reg_map, form.array_map),
+        "segments": segments,
+        "measured_seq_cycles": result.measured_seq_cycles,
+        "measured_par_cycles": result.measured_par_cycles,
+        "seeds": list(result.seeds),
+        "max_uid": max_uid,
+        "max_leaf": max_leaf,
+    }
+
+
+def encode_result(result, form: CanonicalForm) -> bytes:
+    if isinstance(result, PipelineResult):
+        payload = _encode_counted(result, form)
+    elif isinstance(result, ProgramPipelineResult):
+        payload = _encode_program(result, form)
+    else:
+        raise TypeError(f"cannot cache {type(result).__name__}")
+    return pickle.dumps({"schema": CACHE_SCHEMA, "payload": payload},
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# ----------------------------------------------------------------------
+# Decode (payload bytes -> requester-space result)
+# ----------------------------------------------------------------------
+class _RowStub:
+    """Graph stand-in for warm program segments.
+
+    Warm consumers only read ``len(seg.graph.nodes)`` (the summary's
+    rows-per-iteration line); the scheduled rows themselves live in
+    the combined program graph.
+    """
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, n_rows: int) -> None:
+        self.nodes = dict.fromkeys(range(n_rows))
+
+    def __len__(self) -> int:  # pragma: no cover - debugging nicety
+        return len(self.nodes)
+
+
+def _decode_counted(payload: dict, loop: CountedLoop,
+                    machine: MachineConfig, reg_inv: dict[str, str],
+                    array_inv: dict[str, str]) -> PipelineResult:
+    graph = rename_graph(payload["graph"], reg_inv, array_inv)
+    ops = rename_ops(payload["ops"], reg_inv, array_inv)
+    unwound = UnwoundLoop(
+        graph=graph, loop=loop, iterations=payload["iterations"], ops=ops,
+        origin=dict(payload["origin"]),
+        exit_branch_tids=list(payload["exit_branch_tids"]),
+        iteration_marker_tids=list(payload["iteration_marker_tids"]))
+    return PipelineResult(
+        loop=loop, machine=machine, unwound=unwound,
+        schedule=_summary_from(payload["schedule"], graph),
+        pattern=payload["pattern"],
+        seq_cycles_per_iteration=payload["seq_cycles_per_iteration"],
+        throughput=payload["throughput"],
+        measured_seq_cycles=payload["measured_seq_cycles"],
+        measured_par_cycles=payload["measured_par_cycles"])
+
+
+def _decode_program(payload: dict, program: LoopProgram,
+                    machine: MachineConfig, reg_inv: dict[str, str],
+                    array_inv: dict[str, str]) -> ProgramPipelineResult:
+    graph = rename_graph(payload["graph"], reg_inv, array_inv)
+    # The pass pipeline may fuse member loops, so stored segments need
+    # not map 1:1 onto ``program.loops``; warm consumers never read
+    # ``seg.loop`` (only explain does, and explain never hits the
+    # cache), so the stand-in segment carries no descriptor.
+    segments = []
+    for seg in payload["segments"]:
+        sched = seg["schedule"]
+        segments.append(SegmentSchedule(
+            loop=None, kind=seg["kind"], graph=_RowStub(seg["n_rows"]),
+            unwound=None,
+            schedule=(_summary_from(sched, None)
+                      if sched is not None else None),
+            pattern=seg["pattern"], throughput=seg["throughput"]))
+    return ProgramPipelineResult(
+        program=program, machine=machine, segments=segments, graph=graph,
+        measured_seq_cycles=payload["measured_seq_cycles"],
+        measured_par_cycles=payload["measured_par_cycles"],
+        seeds=list(payload["seeds"]), plan=None,
+        residual_epilogue=rename_ops(payload["residual_epilogue"],
+                                     reg_inv, array_inv))
+
+
+def decode_result(data: bytes, program: CountedLoop | LoopProgram,
+                  machine: MachineConfig, form: CanonicalForm):
+    """Replay one payload into the requester's register space."""
+    try:
+        envelope = pickle.loads(data)
+    except Exception as exc:
+        raise CacheDecodeError(f"unreadable entry: {exc}") from exc
+    if (not isinstance(envelope, dict)
+            or envelope.get("schema") != CACHE_SCHEMA):
+        raise CacheDecodeError("entry from another cache schema")
+    payload = envelope["payload"]
+    reg_inv, array_inv = form.inverse()
+    try:
+        if payload["kind"] == "counted":
+            if not isinstance(program, CountedLoop):
+                raise CacheDecodeError("entry kind mismatch")
+            result = _decode_counted(payload, program, machine,
+                                     reg_inv, array_inv)
+        elif payload["kind"] == "program":
+            if not isinstance(program, LoopProgram):
+                raise CacheDecodeError("entry kind mismatch")
+            result = _decode_program(payload, program, machine,
+                                     reg_inv, array_inv)
+        else:
+            raise CacheDecodeError(f"unknown kind {payload['kind']!r}")
+    except CacheDecodeError:
+        raise
+    except Exception as exc:
+        raise CacheDecodeError(f"malformed entry: {exc}") from exc
+    _advance_counters(payload.get("max_uid", 0), payload.get("max_leaf", 0))
+    return result

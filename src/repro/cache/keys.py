@@ -1,0 +1,98 @@
+"""Content keys: blake2b over program, machine, versions and options.
+
+A key must change whenever *anything* that could change the scheduled
+output changes.  The ingredients:
+
+* canonical program text (:func:`repro.cache.canon.canonical_form`);
+* the machine fingerprint (fus, typed budgets, latency map,
+  count_nops, phys_regs);
+* :data:`SCHEDULER_VERSION` and :data:`PASS_PIPELINE_VERSION` --
+  bump these whenever the scheduler or the program pass pipeline
+  changes output for the same input, and every existing entry is
+  silently invalidated;
+* the scheduling options fingerprint (unroll, gap prevention,
+  speculation, program optimization, measurement settings, heuristic
+  class).
+
+One subtlety: measured cycle counts are *name-dependent* -- the
+differential checker seeds register values by sorted-name index, so
+two alpha-equivalent programs can measure differently.  When the
+options request measurement the key therefore also folds in the
+concrete register/array names; purely structural (``measure=False``)
+requests share entries across alpha-equivalent programs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..ir.loops import CountedLoop, LoopProgram
+from ..machine.model import MachineConfig
+from .canon import CanonicalForm, canonical_form
+
+#: on-disk payload schema; entries with another schema are ignored
+CACHE_SCHEMA = 1
+#: bump when GRiP scheduling output changes for identical input
+SCHEDULER_VERSION = 1
+#: bump when the program pass pipeline (normalize/hoist/fuse/slack)
+#: changes output for identical input
+PASS_PIPELINE_VERSION = 1
+
+
+def machine_fingerprint(machine: MachineConfig) -> str:
+    typed = "-"
+    if machine.typed is not None:
+        typed = ",".join(f"{cls.name}:{n}" for cls, n in
+                         sorted(machine.typed.items(),
+                                key=lambda kv: kv[0].name))
+    lats = "-"
+    if machine.latencies is not None:
+        lats = ",".join(f"{kind.name}:{n}" for kind, n in
+                        sorted(machine.latencies.items(),
+                               key=lambda kv: kv[0].name))
+    return (f"fus={machine.fus} typed={typed} lat={lats} "
+            f"nops={machine.count_nops} phys={machine.phys_regs}")
+
+
+def options_fingerprint(options, form: CanonicalForm) -> str:
+    """Render the schedule-relevant options (see ``repro.api``).
+
+    ``tracer`` and ``verify_analysis`` are excluded: both observe the
+    computation without changing its output.  (A warm hit therefore
+    emits no tracer events -- ``repro explain`` never uses the cache.)
+    """
+    heuristic = options.heuristic
+    hname = type(heuristic).__name__ if heuristic is not None else "default"
+    parts = [
+        f"unroll={options.unroll}",
+        f"gap={options.gap_prevention}",
+        f"spec={options.allow_speculation}",
+        f"opt={options.optimize}",
+        f"measure={options.measure}",
+        f"verify={options.verify}",
+        f"seeds={tuple(options.seeds)}",
+        f"heuristic={hname}",
+    ]
+    if options.measure:
+        names = ";".join(f"{k}={v}" for k, v in
+                         sorted(form.reg_map.items()))
+        arrays = ";".join(f"{k}={v}" for k, v in
+                          sorted(form.array_map.items()))
+        parts.append(f"names={names}|{arrays}")
+    return " ".join(parts)
+
+
+def cache_key(program: CountedLoop | LoopProgram, machine: MachineConfig,
+              options) -> tuple[str, CanonicalForm]:
+    """Digest + canonical form for one schedule request."""
+    form = canonical_form(program)
+    h = hashlib.blake2b(digest_size=20)
+    h.update(form.text.encode())
+    h.update(b"\x00")
+    h.update(machine_fingerprint(machine).encode())
+    h.update(b"\x00")
+    h.update(f"sched={SCHEDULER_VERSION} pass={PASS_PIPELINE_VERSION} "
+             f"schema={CACHE_SCHEMA}".encode())
+    h.update(b"\x00")
+    h.update(options_fingerprint(options, form).encode())
+    return h.hexdigest(), form

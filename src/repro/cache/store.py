@@ -1,0 +1,138 @@
+"""Sharded on-disk schedule store with an in-memory LRU front.
+
+Layout: ``<root>/<digest[:2]>/<digest>.pkl`` -- 256 shards keep any
+one directory small under heavy fuzz traffic.  Writes go to a
+temporary file in the destination shard and land via ``os.replace``,
+so readers never observe a torn entry and concurrent writers of the
+same key are idempotent (last rename wins, contents identical).
+
+The LRU front holds raw payload *bytes*, not decoded objects: every
+hit decodes a fresh copy, so callers that mutate a returned graph
+(the fuzz tamper stage does) can never poison later hits.
+
+Counters land in a :class:`~repro.obs.metrics.MetricsRegistry` under
+group ``cache``: hits / misses / stores / evictions / corrupt.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from pathlib import Path
+
+from ..ir.loops import CountedLoop, LoopProgram
+from ..machine.model import MachineConfig
+from ..obs.metrics import MetricsRegistry
+from .codec import CacheDecodeError, decode_result, encode_result
+from .keys import cache_key
+
+DEFAULT_LRU_CAPACITY = 64
+
+
+class ScheduleCache:
+    """Content-addressed schedule cache rooted at a directory."""
+
+    def __init__(self, root: str | Path, *,
+                 lru_capacity: int = DEFAULT_LRU_CAPACITY,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.lru_capacity = lru_capacity
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lru: OrderedDict[str, bytes] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def _remember(self, digest: str, data: bytes) -> None:
+        self._lru[digest] = data
+        self._lru.move_to_end(digest)
+        while len(self._lru) > self.lru_capacity:
+            self._lru.popitem(last=False)
+            self.metrics.increment("cache", "evictions")
+
+    def _read(self, digest: str) -> bytes | None:
+        data = self._lru.get(digest)
+        if data is not None:
+            self._lru.move_to_end(digest)
+            return data
+        path = self._path(digest)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        self._remember(digest, data)
+        return data
+
+    def _drop(self, digest: str) -> None:
+        self._lru.pop(digest, None)
+        try:
+            self._path(digest).unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def fetch(self, program: CountedLoop | LoopProgram,
+              machine: MachineConfig, options):
+        """Replay a cached result, or ``None`` on miss.
+
+        On a hit the result's ``schedule.seconds`` is stamped with the
+        actual lookup+replay wall-clock, so bench schedule-stage
+        timings reflect warm cost, not the producer's cold cost.
+        """
+        t0 = time.perf_counter()
+        digest, form = cache_key(program, machine, options)
+        data = self._read(digest)
+        if data is None:
+            self.metrics.increment("cache", "misses")
+            return None
+        try:
+            result = decode_result(data, program, machine, form)
+        except CacheDecodeError:
+            self.metrics.increment("cache", "corrupt")
+            self.metrics.increment("cache", "misses")
+            self._drop(digest)
+            return None
+        self.metrics.increment("cache", "hits")
+        self._stamp_seconds(result, time.perf_counter() - t0)
+        return result
+
+    def put(self, program: CountedLoop | LoopProgram,
+            machine: MachineConfig, options, result) -> str:
+        """Store one freshly computed result; returns its digest."""
+        digest, form = cache_key(program, machine, options)
+        data = encode_result(result, form)
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{digest}.{os.getpid()}.tmp"
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        self._remember(digest, data)
+        self.metrics.increment("cache", "stores")
+        return digest
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stamp_seconds(result, elapsed: float) -> None:
+        schedule = getattr(result, "schedule", None)
+        if schedule is not None:           # counted result
+            schedule.seconds = elapsed
+            return
+        first = True                       # program result
+        for seg in result.segments:
+            if seg.schedule is not None:
+                seg.schedule.seconds = elapsed if first else 0.0
+                first = False
+
+    def counters(self) -> dict[str, float]:
+        return self.metrics.group("cache")
+
+    @property
+    def hits(self) -> int:
+        return int(self.metrics.get("cache", "hits") or 0)
+
+    @property
+    def misses(self) -> int:
+        return int(self.metrics.get("cache", "misses") or 0)

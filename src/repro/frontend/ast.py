@@ -104,25 +104,3 @@ class Program:
     arrays: list[str] = field(default_factory=list)
     loops: list[Loop] = field(default_factory=list)
     name: str = "kernel"
-
-    @property
-    def loop(self) -> Loop | None:
-        """Deprecated single-loop view; read :attr:`loops` instead.
-
-        Multi-loop programs have no single "the loop"; every in-tree
-        caller reads :attr:`loops` directly.  The shim warns and will
-        be removed once external callers have migrated.
-        """
-        import warnings
-
-        warnings.warn("Program.loop is deprecated; use Program.loops",
-                      DeprecationWarning, stacklevel=2)
-        return self.loops[0] if self.loops else None
-
-    @loop.setter
-    def loop(self, value: Loop | None) -> None:
-        import warnings
-
-        warnings.warn("Program.loop is deprecated; use Program.loops",
-                      DeprecationWarning, stacklevel=2)
-        self.loops = [] if value is None else [value]

@@ -366,9 +366,9 @@ def build_report(kernel, machine: MachineConfig, *, unroll: int,
 
 
 def _schedule_loop(loop: CountedLoop, machine, unroll, journal):
-    from ..pipelining.perfect import pipeline_loop
+    from ..pipelining.perfect import schedule_loop
 
-    res = pipeline_loop(loop, machine, unroll=unroll, measure=False,
+    res = schedule_loop(loop, machine, unroll=unroll, measure=False,
                         tracer=journal)
     ii = res.initiation_interval
     seg = SegmentBound(
@@ -381,9 +381,9 @@ def _schedule_loop(loop: CountedLoop, machine, unroll, journal):
 
 
 def _schedule_program(program: LoopProgram, machine, unroll, journal):
-    from ..pipelining.program import pipeline_program
+    from ..pipelining.program import schedule_program
 
-    res = pipeline_program(program, machine, unroll=unroll, measure=False,
+    res = schedule_program(program, machine, unroll=unroll, measure=False,
                            tracer=journal)
     segments: list[SegmentBound] = []
     scheds = []

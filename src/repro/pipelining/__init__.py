@@ -19,12 +19,14 @@ from .perfect import (
     default_unroll,
     pipeline_loop,
     pipeline_loop_post,
+    schedule_loop,
 )
 from .program import (
     ProgramPipelineResult,
     SegmentSchedule,
     compact_while,
     pipeline_program,
+    schedule_program,
 )
 from .unwind import UnwoundLoop, iteration_locals, unwind_counted, unwind_implicit
 
@@ -35,5 +37,6 @@ __all__ = [
     "estimate_ii", "find_pattern", "find_pattern_in_signatures",
     "graph_throughput", "iteration_locals", "main_chain", "ops_signature",
     "pipeline_loop", "pipeline_loop_post", "pipeline_program",
-    "retire_rows", "row_signature", "unwind_counted", "unwind_implicit",
+    "retire_rows", "row_signature", "schedule_loop", "schedule_program",
+    "unwind_counted", "unwind_implicit",
 ]

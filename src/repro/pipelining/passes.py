@@ -1,6 +1,6 @@
 """The program pass pipeline: cross-segment transforms over loop plans.
 
-:func:`~repro.pipelining.program.pipeline_program` used to be a fixed
+:func:`~repro.pipelining.program.schedule_program` used to be a fixed
 per-segment loop; it is now staged over a normalized
 :class:`~repro.ir.loops.ProgramPlan`:
 
@@ -469,7 +469,7 @@ def slack_slot_motion(plan: ProgramPlan, segments, machine: MachineConfig,
     """Migrate residual epilogue ops into the last segment's idle slots.
 
     ``segments`` is the per-segment schedule list produced by
-    :func:`~repro.pipelining.program.pipeline_program` (duck-typed:
+    :func:`~repro.pipelining.program.schedule_program` (duck-typed:
     ``kind``/``loop``/``graph`` attributes), aligned with
     ``plan.segments``.  A candidate moves only when it is fully
     independent of the target segment (both dependence directions,

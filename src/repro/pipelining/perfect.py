@@ -108,23 +108,32 @@ def default_unroll(machine: MachineConfig, loop: CountedLoop) -> int:
     return max(16, 3 * fus)
 
 
-def pipeline_loop(loop: CountedLoop, machine: MachineConfig, *,
+def schedule_loop(loop: CountedLoop, machine: MachineConfig, *,
                   unroll: int | None = None,
                   heuristic: Heuristic | None = None,
                   gap_prevention: bool = True,
                   allow_speculation: bool = True,
                   measure: bool = True,
                   verify: bool = True,
+                  verify_analysis: bool = False,
                   seeds: tuple[int, ...] = (0,),
                   tracer: Tracer | None = None) -> PipelineResult:
     """Run the full Perfect Pipelining flow on one counted loop.
 
     ``tracer`` (observe-only) receives the scheduler's decision stream;
-    the default null tracer costs nothing.
+    the default null tracer costs nothing.  ``verify_analysis``
+    attaches a verifying
+    :class:`~repro.analysis.incremental.AnalysisManager` to the
+    unwound graph before GRiP runs (the fuzz lane's journal check);
+    like the tracer it observes without changing the schedule.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     k = unroll if unroll is not None else default_unroll(machine, loop)
     unwound = unwind_counted(loop, k)
+    if verify_analysis:
+        from ..analysis.incremental import AnalysisManager
+
+        AnalysisManager(unwound.graph, verify=True)
     if tracer.enabled:
         tracer.emit(SegmentBegin(index=0, kind="counted", name=loop.name))
     scheduler = GRiPScheduler(
@@ -142,6 +151,23 @@ def pipeline_loop(loop: CountedLoop, machine: MachineConfig, *,
     if measure:
         _measure(result, verify=verify, seeds=seeds)
     return result
+
+
+def pipeline_loop(loop: CountedLoop, machine: MachineConfig,
+                  **kwargs) -> PipelineResult:
+    """Deprecated alias for :func:`schedule_loop`.
+
+    Kept as a thin delegating shim for one release; new code goes
+    through :func:`repro.api.schedule`, which dispatches on the
+    descriptor type and can consult a schedule cache.
+    """
+    import warnings
+
+    warnings.warn(
+        "pipeline_loop is deprecated; use repro.api.schedule (or "
+        "repro.pipelining.schedule_loop)", DeprecationWarning,
+        stacklevel=2)
+    return schedule_loop(loop, machine, **kwargs)
 
 
 @dataclass

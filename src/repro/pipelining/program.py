@@ -248,7 +248,7 @@ class ProgramPipelineResult:
         return merged
 
 
-def pipeline_program(program: LoopProgram, machine: MachineConfig, *,
+def schedule_program(program: LoopProgram, machine: MachineConfig, *,
                      unroll: int | None = None,
                      heuristic: Heuristic | None = None,
                      gap_prevention: bool = True,
@@ -336,6 +336,23 @@ def pipeline_program(program: LoopProgram, machine: MachineConfig, *,
     if measure:
         _measure_program(result, verify=verify, seeds=seeds)
     return result
+
+
+def pipeline_program(program: LoopProgram, machine: MachineConfig,
+                     **kwargs) -> ProgramPipelineResult:
+    """Deprecated alias for :func:`schedule_program`.
+
+    Kept as a thin delegating shim for one release; new code goes
+    through :func:`repro.api.schedule`, which dispatches on the
+    descriptor type and can consult a schedule cache.
+    """
+    import warnings
+
+    warnings.warn(
+        "pipeline_program is deprecated; use repro.api.schedule (or "
+        "repro.pipelining.schedule_program)", DeprecationWarning,
+        stacklevel=2)
+    return schedule_program(program, machine, **kwargs)
 
 
 def _measure_program(result: ProgramPipelineResult, *, verify: bool,

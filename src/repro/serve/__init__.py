@@ -1,0 +1,24 @@
+"""``repro serve``: a batch scheduling front.
+
+An asyncio front (:mod:`.server`) accepts JSON batches of DSL
+programs over stdio or TCP, shards the jobs across a multiprocessing
+pool, and streams per-job results back as JSON lines (kind
+``repro-serve``, schema 1) followed by a batch summary with cache
+hit rates.  :mod:`.jobs` runs one job inside a worker process (the
+same :mod:`repro.api` calls the CLI makes); :mod:`.client` is the
+synchronous client ``repro bench --serve`` / ``repro fuzz --serve``
+use.
+"""
+
+from .jobs import SERVE_KIND, SERVE_SCHEMA, run_serve_job, schedule_payload
+from .server import selftest, serve_stdio, serve_tcp
+
+__all__ = [
+    "SERVE_KIND",
+    "SERVE_SCHEMA",
+    "run_serve_job",
+    "schedule_payload",
+    "selftest",
+    "serve_stdio",
+    "serve_tcp",
+]

@@ -1,0 +1,149 @@
+"""Synchronous client for a running ``repro serve`` front.
+
+``repro bench --serve HOST:PORT`` and ``repro fuzz --serve HOST:PORT``
+are thin wrappers over this module: they build the same job dicts the
+local pool would run, submit them as one batch, and rebuild their
+native result objects (:class:`~repro.bench.artifact.BenchRecord`,
+``(seed, FuzzFailure, CaseStats)`` triples) from the streamed
+answers.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from collections.abc import Iterator
+
+from .jobs import SERVE_KIND, SERVE_SCHEMA
+
+
+class ServeProtocolError(RuntimeError):
+    """The server sent something outside the repro-serve schema."""
+
+
+def parse_addr(addr: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (host defaults to loopback)."""
+    host, sep, port = addr.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"serve address must be HOST:PORT, got {addr!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def stream_batch(addr: str, jobs: list[dict]) -> Iterator[dict]:
+    """Submit one batch; yield each response line (summary last).
+
+    Yields the per-job ``{"type": "result", ...}`` dicts in the
+    server's completion order, then the single ``batch-summary`` dict,
+    and returns.  Raises :class:`ServeProtocolError` on an ``error``
+    line or a schema mismatch.
+    """
+    host, port = parse_addr(addr)
+    with socket.create_connection((host, port)) as sock:
+        sock.sendall(json.dumps({"batch": jobs}).encode() + b"\n")
+        with sock.makefile("r", encoding="utf-8") as stream:
+            for raw in stream:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                line = json.loads(raw)
+                if (line.get("kind") != SERVE_KIND
+                        or line.get("schema") != SERVE_SCHEMA):
+                    raise ServeProtocolError(
+                        f"not a {SERVE_KIND}/schema-{SERVE_SCHEMA} "
+                        f"line: {raw[:200]}")
+                if line.get("type") == "error":
+                    raise ServeProtocolError(
+                        f"server rejected batch: {line.get('message')}")
+                yield line
+                if line.get("type") == "batch-summary":
+                    return
+    raise ServeProtocolError(
+        "connection closed before the batch summary arrived")
+
+
+def submit_batch(addr: str, jobs: list[dict]) -> tuple[list[dict], dict]:
+    """Submit one batch; return ``(result lines, batch summary)``."""
+    results: list[dict] = []
+    summary: dict = {}
+    for line in stream_batch(addr, jobs):
+        if line.get("type") == "batch-summary":
+            summary = line
+        else:
+            results.append(line)
+    return results, summary
+
+
+# ----------------------------------------------------------------------
+# Native-shape helpers for the bench / fuzz CLI fronts
+# ----------------------------------------------------------------------
+def submit_bench_jobs(addr: str, bench_jobs) -> tuple[list, dict]:
+    """Run :class:`BenchJob` cells through the serve front.
+
+    Returns records in the *submitted* job order (matching the local
+    ``pool.map`` contract that parallel and sequential sweeps line up
+    record-for-record), plus the batch summary with its cache-hit
+    counts.
+    """
+    from dataclasses import asdict
+
+    from ..bench.artifact import BenchRecord
+
+    payload = [
+        {"id": i, "kind": "bench", "job": asdict(job)}
+        for i, job in enumerate(bench_jobs)
+    ]
+    results, summary = submit_batch(addr, payload)
+    by_id: dict[int, dict] = {}
+    for line in results:
+        if not line.get("ok"):
+            err = line.get("error") or {}
+            raise ServeProtocolError(
+                f"bench job {line.get('id')} failed on the server "
+                f"[{err.get('stage')}]: {err.get('message')}")
+        by_id[line["id"]] = line["result"]["record"]
+    missing = [i for i in range(len(payload)) if i not in by_id]
+    if missing:
+        raise ServeProtocolError(f"server answered no result for "
+                                 f"bench jobs {missing}")
+    records = [BenchRecord.from_dict(by_id[i]) for i in range(len(payload))]
+    return records, summary
+
+
+def submit_fuzz_tasks(addr: str, tasks) -> Iterator[tuple]:
+    """Run fuzz worker tasks through the serve front.
+
+    ``tasks`` are the local pool's 5-tuples ``(seed, verify, tamper,
+    lanes, cache_dir)``; yields ``(seed, FuzzFailure | None,
+    CaseStats | None)`` in the server's completion order -- the same
+    streaming contract ``imap_unordered`` gives the campaign driver.
+    A job the server itself failed on (not a reproduced finding --
+    those are results) comes back as a ``crash``-stage failure.
+    """
+    from ..bench.fuzz import CaseStats, FuzzFailure
+
+    payload = [
+        {"id": seed, "kind": "fuzz", "seed": seed, "verify": verify,
+         "tamper": tamper, "lanes": lanes, "cache_dir": cache_dir}
+        for seed, verify, tamper, lanes, cache_dir in tasks
+    ]
+    for line in stream_batch(addr, payload):
+        if line.get("type") == "batch-summary":
+            return
+        if not line.get("ok"):
+            err = line.get("error") or {}
+            yield (line.get("id"),
+                   FuzzFailure("crash",
+                               f"serve worker [{err.get('stage')}]: "
+                               f"{err.get('message')}"),
+                   None)
+            continue
+        result = line["result"]
+        fail = result.get("failure")
+        failure = (None if fail is None
+                   else FuzzFailure(fail["stage"], fail["message"]))
+        st = result.get("stats")
+        stats = (None if st is None
+                 else CaseStats(n_lanes=st["n_lanes"],
+                                checked_lanes=st["checked_lanes"],
+                                tallies=st.get("tallies")))
+        yield result["seed"], failure, stats

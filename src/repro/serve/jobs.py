@@ -1,0 +1,210 @@
+"""One serve job, executed inside a worker process.
+
+Job kinds (the ``"kind"`` field of each batch entry):
+
+``schedule``
+    ``{"kind": "schedule", "source": <DSL> | "kernel": <name>,
+    "fus": 4, "options": {...}}`` -- compile/load, schedule through
+    :func:`repro.api.schedule`, return the stable summary payload of
+    :func:`schedule_payload`.  ``options`` accepts the JSON-able
+    subset of :class:`repro.api.ScheduleOptions` fields.
+
+``bench``
+    ``{"kind": "bench", "job": {BenchJob fields}}`` -- run one bench
+    sweep cell, return its record dict.
+
+``fuzz``
+    ``{"kind": "fuzz", "seed": N, "verify": bool, "tamper": ...,
+    "lanes": N}`` -- run one fuzz seed; a reproduced failure is part
+    of the *result* (the job itself succeeded).
+
+Every job answer reports whether the schedule cache answered
+(``"cache": "hit" | "miss" | null``) by diffing the worker's cache
+hit counter around the job.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+SERVE_KIND = "repro-serve"
+SERVE_SCHEMA = 1
+
+#: set by the pool initializer: the server-wide cache directory
+_CACHE_DIR: str | None = None
+
+
+def init_worker(cache_dir: str | None) -> None:
+    global _CACHE_DIR
+    _CACHE_DIR = cache_dir
+
+
+def schedule_payload(res) -> dict:
+    """Stable JSON summary of either schedule-result flavor.
+
+    Deliberately excludes wall-clock fields, so a served result is
+    comparable bit-for-bit against a direct ``repro.api.schedule``
+    call (the round-trip tests do exactly that).
+    """
+    unwound = getattr(res, "unwound", None)
+    if unwound is not None:           # counted PipelineResult
+        ii = res.initiation_interval
+        return {
+            "kind": "counted",
+            "name": res.loop.name,
+            "rows": len(unwound.graph.nodes),
+            "iterations": unwound.iterations,
+            "ii": ii,
+            "speedup": res.speedup,
+            "converged": res.converged,
+            "periodic": res.periodic,
+            "moves": res.schedule.stats.moves,
+            "resource_blocks": res.schedule.stats.resource_blocks,
+            "measured_seq_cycles": res.measured_seq_cycles,
+            "measured_par_cycles": res.measured_par_cycles,
+            "measured_speedup": res.measured_speedup,
+        }
+    segments = []
+    for seg in res.segments:          # ProgramPipelineResult
+        segments.append({
+            "kind": seg.kind,
+            "rows": len(seg.graph.nodes),
+            "ii": seg.initiation_interval,
+            "converged": seg.converged,
+        })
+    return {
+        "kind": "program",
+        "name": res.program.name,
+        "rows": len(res.graph.nodes),
+        "segments": segments,
+        "speedup": res.speedup,
+        "converged": res.converged,
+        "periodic": res.periodic,
+        "measured_seq_cycles": res.measured_seq_cycles,
+        "measured_par_cycles": res.measured_par_cycles,
+        "measured_speedup": res.measured_speedup,
+    }
+
+
+_OPTION_FIELDS = ("unroll", "gap_prevention", "allow_speculation",
+                  "optimize", "measure", "verify", "verify_analysis",
+                  "seeds")
+
+
+def _options_from(spec: dict | None):
+    from .. import api
+
+    if not spec:
+        return api.ScheduleOptions()
+    unknown = set(spec) - set(_OPTION_FIELDS)
+    if unknown:
+        raise ValueError(
+            f"unknown schedule options {sorted(unknown)}; JSON jobs "
+            f"accept {list(_OPTION_FIELDS)}")
+    kwargs = dict(spec)
+    if "seeds" in kwargs:
+        kwargs["seeds"] = tuple(kwargs["seeds"])
+    return api.ScheduleOptions(**kwargs)
+
+
+def _run_schedule(job: dict, cache) -> dict:
+    from dataclasses import replace
+
+    from .. import api
+    from ..machine import MachineConfig
+
+    machine = MachineConfig(fus=job.get("fus", 4))
+    opts = _options_from(job.get("options"))
+    if job.get("unroll") is not None:
+        opts = replace(opts, unroll=job["unroll"])
+    fus = machine.fus if machine.fus is not None else 8
+    unroll = opts.unroll if opts.unroll is not None else max(16, 3 * fus)
+    opts = replace(opts, unroll=unroll)
+    if "source" in job:
+        program = api.compile(job["source"], unroll,
+                              name=job.get("name", "serve"))
+    elif "kernel" in job:
+        program = api.load_kernel(job["kernel"], unroll)
+    else:
+        raise ValueError("schedule job needs 'source' or 'kernel'")
+    res = api.schedule(program, machine, options=opts, cache=cache)
+    return schedule_payload(res)
+
+
+def _run_bench(job: dict, cache) -> dict:
+    from ..bench.runner import BenchJob, run_job
+
+    spec = dict(job["job"])
+    if _CACHE_DIR is not None and spec.get("cache") is None:
+        spec["cache"] = _CACHE_DIR
+    record = run_job(BenchJob(**spec))
+    return {"record": record.to_dict()}
+
+
+def _run_fuzz(job: dict, cache) -> dict:
+    from ..bench.fuzz import _worker
+
+    seed = job["seed"]
+    task = (seed, bool(job.get("verify", False)), job.get("tamper"),
+            int(job.get("lanes", 16)),
+            job.get("cache_dir") or _CACHE_DIR)
+    _, failure, stats = _worker(task)
+    return {
+        "seed": seed,
+        "failure": (None if failure is None
+                    else {"stage": failure.stage,
+                          "message": failure.message}),
+        "stats": (None if stats is None
+                  else {"n_lanes": stats.n_lanes,
+                        "checked_lanes": stats.checked_lanes,
+                        "tallies": stats.tallies}),
+    }
+
+
+_RUNNERS = {"schedule": _run_schedule, "bench": _run_bench,
+            "fuzz": _run_fuzz}
+
+
+def run_serve_job(job: dict) -> dict:
+    """Execute one batch entry; never raises (errors become payload).
+
+    Module-level and argument-picklable: the server calls this through
+    a ``ProcessPoolExecutor``.
+    """
+    from ..bench.runner import _cache_for
+
+    answer = {
+        "kind": SERVE_KIND,
+        "schema": SERVE_SCHEMA,
+        "type": "result",
+        "id": job.get("id"),
+    }
+    cache = _cache_for(_CACHE_DIR)
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+    try:
+        runner = _RUNNERS.get(job.get("kind"))
+        if runner is None:
+            raise ValueError(
+                f"unknown job kind {job.get('kind')!r}; expected one of "
+                f"{sorted(_RUNNERS)}")
+        result = runner(job, cache)
+    except Exception as exc:  # noqa: BLE001 - ships to the client
+        answer["ok"] = False
+        answer["error"] = {
+            "stage": type(exc).__name__,
+            "message": str(exc) or traceback.format_exc(limit=3),
+        }
+    else:
+        answer["ok"] = True
+        answer["result"] = result
+    if cache is not None:
+        if cache.hits > hits0:
+            answer["cache"] = "hit"
+        elif cache.misses > misses0:
+            answer["cache"] = "miss"
+        else:
+            answer["cache"] = None
+    else:
+        answer["cache"] = None
+    return answer

@@ -1,0 +1,306 @@
+"""The ``repro serve`` asyncio front.
+
+Protocol (JSON lines, both directions, stdio or TCP):
+
+* request: one line per batch -- ``{"batch": [job, ...]}`` (job
+  shapes in :mod:`repro.serve.jobs`);
+* response: one ``{"type": "result", ...}`` line per job, streamed
+  in *completion* order (match responses to jobs by ``"id"``), then
+  exactly one ``{"type": "batch-summary", ...}`` line with job and
+  cache-hit totals.  Every line carries ``"kind": "repro-serve"``
+  and ``"schema": 1``.
+
+Jobs fan out over a ``ProcessPoolExecutor`` whose workers share the
+server's ``--cache`` directory; per-batch hit rates come from the
+workers' per-job hit/miss answers.  A malformed request line answers
+with a single ``{"type": "error", ...}`` line instead of tearing the
+connection down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from .jobs import SERVE_KIND, SERVE_SCHEMA, init_worker, run_serve_job
+
+
+def _line(payload: dict) -> str:
+    return json.dumps({"kind": SERVE_KIND, "schema": SERVE_SCHEMA,
+                       **payload}, sort_keys=True)
+
+
+def _error_line(message: str) -> str:
+    return _line({"type": "error", "message": message})
+
+
+def _summary(answers: list[dict], seconds: float) -> str:
+    hits = sum(1 for a in answers if a.get("cache") == "hit")
+    misses = sum(1 for a in answers if a.get("cache") == "miss")
+    looked = hits + misses
+    return _line({
+        "type": "batch-summary",
+        "jobs": len(answers),
+        "ok": sum(1 for a in answers if a.get("ok")),
+        "errors": sum(1 for a in answers if not a.get("ok")),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "hit_rate": (hits / looked) if looked else None,
+        "seconds": round(seconds, 6),
+    })
+
+
+class ServeFront:
+    """Shared executor + batch logic behind both transports."""
+
+    def __init__(self, *, jobs: int = 2,
+                 cache_dir: str | None = None) -> None:
+        self.executor = ProcessPoolExecutor(
+            max_workers=max(1, jobs), initializer=init_worker,
+            initargs=(cache_dir,))
+
+    def shutdown(self) -> None:
+        self.executor.shutdown(wait=False, cancel_futures=True)
+
+    async def handle_line(self, raw: str, write) -> None:
+        """One request line -> streamed response lines via ``write``."""
+        try:
+            request = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            await write(_error_line(f"bad JSON: {exc}"))
+            return
+        batch = request.get("batch") if isinstance(request, dict) else None
+        if not isinstance(batch, list):
+            await write(_error_line(
+                'request must be {"batch": [job, ...]}'))
+            return
+        t0 = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        pending = {
+            loop.run_in_executor(self.executor, run_serve_job, job)
+            for job in batch
+        }
+        answers: list[dict] = []
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED)
+            for fut in done:
+                answer = fut.result()
+                answers.append(answer)
+                await write(json.dumps(answer, sort_keys=True))
+        await write(_summary(answers, time.perf_counter() - t0))
+
+
+async def _serve_connection(front: ServeFront,
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+    async def write(line: str) -> None:
+        writer.write(line.encode() + b"\n")
+        await writer.drain()
+
+    try:
+        while True:
+            raw = await reader.readline()
+            if not raw:
+                break
+            raw = raw.decode().strip()
+            if raw:
+                await front.handle_line(raw, write)
+    except asyncio.CancelledError:  # server stopping mid-connection
+        return
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass
+
+
+async def _serve_tcp_async(front: ServeFront, host: str, port: int,
+                           ready=None, stop: asyncio.Event | None = None
+                           ) -> None:
+    server = await asyncio.start_server(
+        lambda r, w: _serve_connection(front, r, w), host, port)
+    bound = server.sockets[0].getsockname()
+    print(f"repro serve: listening on {bound[0]}:{bound[1]}",
+          file=sys.stderr, flush=True)
+    if ready is not None:
+        ready(bound[1], asyncio.get_running_loop())
+    async with server:
+        if stop is None:
+            await server.serve_forever()
+        else:
+            await stop.wait()
+
+
+def serve_tcp(host: str, port: int, *, jobs: int = 2,
+              cache_dir: str | None = None) -> int:
+    """Blocking TCP server (``repro serve --tcp HOST:PORT``)."""
+    front = ServeFront(jobs=jobs, cache_dir=cache_dir)
+    try:
+        asyncio.run(_serve_tcp_async(front, host, port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        front.shutdown()
+    return 0
+
+
+async def _serve_stdio_async(front: ServeFront, stdin, stdout) -> None:
+    loop = asyncio.get_running_loop()
+
+    async def write(line: str) -> None:
+        stdout.write(line + "\n")
+        stdout.flush()
+
+    while True:
+        raw = await loop.run_in_executor(None, stdin.readline)
+        if not raw:
+            break
+        raw = raw.strip()
+        if raw:
+            await front.handle_line(raw, write)
+
+
+def serve_stdio(*, jobs: int = 2, cache_dir: str | None = None,
+                stdin=None, stdout=None) -> int:
+    """Blocking stdio server (default ``repro serve`` transport)."""
+    front = ServeFront(jobs=jobs, cache_dir=cache_dir)
+    try:
+        asyncio.run(_serve_stdio_async(front, stdin or sys.stdin,
+                                       stdout or sys.stdout))
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        front.shutdown()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Selftest: the CI smoke (also the round-trip harness the tests use)
+# ----------------------------------------------------------------------
+SELFTEST_SOURCES = {
+    "stream": """
+param n, q; array x, y;
+for k = 0 to n { y[k] = x[k] * q + 1; }
+""",
+    "reduce": """
+param n, acc; array x, out;
+for k = 0 to n { acc = acc + x[k] * x[k]; out[k] = acc; }
+""",
+    "twoload": """
+param n; array a, b, c;
+for k = 0 to n { c[k] = a[k] * b[k] + a[k]; }
+""",
+    "chain": """
+param n, q; array x, y;
+for k = 0 to n { t = x[k] + q; u = t * t; y[k] = u - q; }
+""",
+    "whileacc": """
+param w0, lim, acc; array x, d;
+while (w0 < lim + 8) {
+    acc = acc + x[w0];
+    d[w0] = acc * 2;
+    w0 = w0 + 1;
+}
+""",
+    "twoloop": """
+param q, acc, n; array x, y, d;
+for k = 0 to n { d[k] = x[k] * q; }
+for k = 0 to n { acc = acc + d[k]; y[k] = acc; }
+""",
+}
+
+
+def selftest_batch(unroll: int = 8) -> list[dict]:
+    """The 6-program mixed batch (counted, while, multi-loop)."""
+    return [
+        {"id": name, "kind": "schedule", "source": src, "fus": 4,
+         "options": {"unroll": unroll}}
+        for name, src in SELFTEST_SOURCES.items()
+    ]
+
+
+class TcpServeFixture:
+    """A live TCP serve front on an ephemeral port (tests + selftest)."""
+
+    def __init__(self, *, jobs: int = 2,
+                 cache_dir: str | None = None) -> None:
+        import queue
+        import threading
+
+        self.front = ServeFront(jobs=jobs, cache_dir=cache_dir)
+        ready: queue.Queue = queue.Queue()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+        def _run() -> None:
+            async def main() -> None:
+                self._stop = asyncio.Event()
+                await _serve_tcp_async(
+                    self.front, "127.0.0.1", 0,
+                    ready=lambda port, loop: ready.put((port, loop)),
+                    stop=self._stop)
+
+            asyncio.run(main())
+
+        self.thread = threading.Thread(target=_run, daemon=True)
+        self.thread.start()
+        self.port, self._loop = ready.get(timeout=60)
+        self.addr = f"127.0.0.1:{self.port}"
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self.thread.join(timeout=30)
+        self.front.shutdown()
+
+    def __enter__(self) -> "TcpServeFixture":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def selftest(*, jobs: int = 2) -> int:
+    """Start a serve front, submit the 6-program batch twice, assert
+    the second pass reports >= 5/6 cache hits with identical results.
+
+    The CI smoke step runs exactly this (``repro serve --selftest``).
+    """
+    import tempfile
+
+    from .client import submit_batch
+
+    batch = selftest_batch()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-selftest-") as td:
+        with TcpServeFixture(jobs=jobs, cache_dir=td) as fixture:
+            first, summary1 = submit_batch(fixture.addr, batch)
+            second, summary2 = submit_batch(fixture.addr, batch)
+    problems = []
+    for answers, which in ((first, "first"), (second, "second")):
+        bad = [a["id"] for a in answers if not a.get("ok")]
+        if bad:
+            problems.append(f"{which} batch: failed jobs {bad}")
+    if summary2.get("cache_hits", 0) < 5:
+        problems.append(
+            f"second batch reported {summary2.get('cache_hits')}/6 cache "
+            f"hits; expected >= 5 (first batch: "
+            f"{summary1.get('cache_hits')})")
+    by_id_1 = {a["id"]: a.get("result") for a in first}
+    by_id_2 = {a["id"]: a.get("result") for a in second}
+    for job_id, res in by_id_1.items():
+        if by_id_2.get(job_id) != res:
+            problems.append(f"job {job_id!r}: warm result differs from cold")
+    if problems:
+        for p in problems:
+            print(f"repro serve --selftest: FAIL: {p}", file=sys.stderr)
+        return 1
+    print(f"repro serve --selftest: ok -- {summary2['jobs']} jobs, "
+          f"{summary2['cache_hits']} warm hits "
+          f"(cold batch {summary1['seconds']:.2f}s, warm "
+          f"{summary2['seconds']:.2f}s)")
+    return 0

@@ -23,7 +23,7 @@ from repro.frontend import compile_dsl
 from repro.ir import OpKind, straightline_graph
 from repro.ir.operations import const, make_binary, store
 from repro.machine import FUClass, MachineConfig
-from repro.pipelining import pipeline_loop
+from repro.pipelining import schedule_loop
 from repro.simulator.check import initial_state, input_registers
 from repro.workloads import livermore
 
@@ -95,7 +95,7 @@ class TestKernelSweep:
     def test_scheduled_kernel_lanes_match(self, name):
         loop = livermore.kernel(name, 5)
         machine = MachineConfig(fus=4)
-        res = pipeline_loop(loop, machine, unroll=5, measure=False)
+        res = schedule_loop(loop, machine, unroll=5, measure=False)
         assert_lanes_match_scalar(res.unwound.graph, machine)
 
     def test_typed_machine_lanes_match(self):
@@ -119,7 +119,7 @@ class TestScoreboard:
     def test_scheduled_with_latencies(self):
         loop = livermore.kernel("LL5", 5)
         machine = MachineConfig(fus=4, latencies=LAT)
-        res = pipeline_loop(loop, machine, unroll=5, measure=False)
+        res = schedule_loop(loop, machine, unroll=5, measure=False)
         bres = assert_lanes_match_scalar(res.unwound.graph, machine)
         # realized cycles must never undercut bundle count
         assert all(c >= s for c, s in zip(bres.cycles, bres.steps))
@@ -265,7 +265,7 @@ class TestBatchedCheckEntryPoints:
     def test_batched_pair_check_scheduled(self):
         loop = livermore.kernel("LL5", 5)
         machine = MachineConfig(fus=4)
-        res = pipeline_loop(loop, machine, unroll=5, measure=False)
+        res = schedule_loop(loop, machine, unroll=5, measure=False)
         rep = batched_pair_check(loop.graph, res.unwound.graph, machine,
                                  lanes=8)
         assert rep.n_lanes == 8
@@ -279,7 +279,7 @@ class TestBatchedCheckEntryPoints:
 
         loop = livermore.kernel("LL5", 5)
         machine = MachineConfig(fus=4)
-        res = pipeline_loop(loop, machine, unroll=5, measure=False)
+        res = schedule_loop(loop, machine, unroll=5, measure=False)
         TAMPERS["drop-store"](res.unwound.graph)
         with pytest.raises(EquivalenceError):
             batched_pair_check(loop.graph, res.unwound.graph, machine,

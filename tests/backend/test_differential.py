@@ -12,7 +12,7 @@ from repro.backend import DifferentialError, differential_check, encode
 from repro.backend.vm import BundleVM
 from repro.ir import OpKind
 from repro.machine import FUClass, MachineConfig
-from repro.pipelining import pipeline_loop, unwind_implicit
+from repro.pipelining import schedule_loop, unwind_implicit
 from repro.scheduling.grip import GRiPScheduler
 from repro.workloads import livermore, paper_examples
 
@@ -39,7 +39,7 @@ class TestScheduledKernels:
     @pytest.mark.parametrize("fus", [2, 4, 8])
     def test_pipelined_schedule_matches(self, name, fus):
         loop = livermore.kernel(name, 5)
-        res = pipeline_loop(loop, MachineConfig(fus=fus), unroll=5,
+        res = schedule_loop(loop, MachineConfig(fus=fus), unroll=5,
                             measure=False)
         rep = differential_check(res.unwound.graph, MachineConfig(fus=fus),
                                  seeds=(0, 1))
@@ -49,7 +49,7 @@ class TestScheduledKernels:
     @pytest.mark.parametrize("name", ["LL1", "LL5", "LL13"])
     def test_pipelined_typed_machine_matches(self, name):
         loop = livermore.kernel(name, 5)
-        res = pipeline_loop(loop, TYPED, unroll=5, measure=False)
+        res = schedule_loop(loop, TYPED, unroll=5, measure=False)
         differential_check(res.unwound.graph, TYPED, seeds=(0,))
 
 
@@ -78,7 +78,7 @@ class TestSpilledPrograms:
 
     def test_spilled_scheduled_kernel_matches(self):
         loop = livermore.kernel("LL7", 6)
-        res = pipeline_loop(loop, MachineConfig(fus=4), unroll=6,
+        res = schedule_loop(loop, MachineConfig(fus=4), unroll=6,
                             measure=False)
         machine = MachineConfig(fus=4, phys_regs=48)
         prog = encode(res.unwound.graph, machine)
@@ -145,7 +145,7 @@ class TestLatencyModel:
                                                   OpKind.DIV: 6})
         for name in ("LL1", "LL5"):
             loop = livermore.kernel(name, 5)
-            res = pipeline_loop(loop, MachineConfig(fus=4), unroll=5,
+            res = schedule_loop(loop, MachineConfig(fus=4), unroll=5,
                                 measure=False)
             rep = differential_check(res.unwound.graph, machine, seeds=(0,))
             assert rep.vm_steps == rep.interp_cycles
@@ -201,7 +201,7 @@ class TestFloatSpecials:
         assert any(math.isnan(v) for v in vals)
 
     def test_scheduled_special_program_stays_equivalent(self):
-        from repro.pipelining import pipeline_loop as pl
+        from repro.pipelining import schedule_loop as pl
         from repro.simulator.check import check_equivalent
 
         loop = self._special_loop()

@@ -1,0 +1,240 @@
+"""Correctness of the content-addressed schedule cache.
+
+The contract under test: a warm hit is *bit-identical* to a cold run
+-- same schedule table, same summary, same analytic and measured
+numbers -- and the key honors every invalidation rule (scheduler
+version, options, machine shape, concrete names under measurement).
+"""
+
+import pickle
+
+import pytest
+
+from repro import api
+from repro.cache import (
+    SCHEDULER_VERSION,
+    ScheduleCache,
+    cache_key,
+    canonical_form,
+)
+from repro.cache import keys as cache_keys
+from repro.ir.render import schedule_table
+from repro.machine import MachineConfig
+from repro.pipelining import main_chain
+from repro.workloads import build_kernel
+
+
+def _loop_fingerprint(res) -> tuple:
+    """Everything observable about a counted-loop schedule."""
+    graph = res.unwound.graph
+    return (
+        schedule_table(graph, order=main_chain(graph)),
+        res.summary(),
+        res.speedup,
+        res.initiation_interval,
+        res.converged,
+        res.periodic,
+        res.schedule.stats.moves,
+        res.schedule.stats.resource_blocks,
+        res.measured_seq_cycles,
+        res.measured_par_cycles,
+        res.measured_speedup,
+    )
+
+
+def _program_fingerprint(res) -> tuple:
+    return (
+        schedule_table(res.graph, order=main_chain(res.graph)),
+        res.summary(),
+        res.speedup,
+        res.converged,
+        res.periodic,
+        [(s.kind, s.initiation_interval, s.converged) for s in res.segments],
+        res.measured_seq_cycles,
+        res.measured_par_cycles,
+        res.measured_speedup,
+    )
+
+
+@pytest.mark.parametrize("fus", [2, 4, 8])
+@pytest.mark.parametrize("kernel", ["LL1", "LL3", "LL5"])
+def test_warm_hit_bit_identical_counted(tmp_path, kernel, fus):
+    machine = MachineConfig(fus=fus)
+    unroll = max(8, 2 * fus)
+    opts = api.ScheduleOptions(unroll=unroll)
+    cache = ScheduleCache(tmp_path)
+
+    loop = build_kernel(kernel, unroll)
+    cold = api.schedule(loop, machine, options=opts, cache=cache)
+    assert (cache.hits, cache.misses) == (0, 1)
+    assert cache.counters().get("stores") == 1
+
+    warm = api.schedule(build_kernel(kernel, unroll), machine,
+                        options=opts, cache=cache)
+    assert cache.hits == 1
+    assert _loop_fingerprint(warm) == _loop_fingerprint(cold)
+
+
+def test_warm_hit_bit_identical_program(tmp_path):
+    machine = MachineConfig(fus=4)
+    opts = api.ScheduleOptions(unroll=6)
+    cache = ScheduleCache(tmp_path)
+
+    cold = api.schedule(build_kernel("SYNWHL", 6), machine,
+                        options=opts, cache=cache)
+    warm = api.schedule(build_kernel("SYNWHL", 6), machine,
+                        options=opts, cache=cache)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.counters().get("stores") == 1
+    assert _program_fingerprint(warm) == _program_fingerprint(cold)
+
+
+def test_warm_realized_cycles_identical(tmp_path):
+    """The warm graph must *execute* identically, not just render."""
+    machine = MachineConfig(fus=4)
+    opts = api.ScheduleOptions(unroll=8, measure=False)
+    cache = ScheduleCache(tmp_path)
+
+    cold = api.schedule(build_kernel("LL3", 8), machine,
+                        options=opts, cache=cache)
+    warm = api.schedule(build_kernel("LL3", 8), machine,
+                        options=opts, cache=cache)
+    assert cache.hits == 1
+    rep_cold = api.run(api.scheduled_graph(cold), machine)
+    rep_warm = api.run(api.scheduled_graph(warm), machine)
+    assert rep_warm.realized_cycles == rep_cold.realized_cycles
+    assert rep_warm.vm_steps == rep_cold.vm_steps
+    assert rep_warm.interp_cycles == rep_cold.interp_cycles
+
+
+def test_scheduler_version_bump_invalidates(tmp_path, monkeypatch):
+    machine = MachineConfig(fus=4)
+    opts = api.ScheduleOptions(unroll=8)
+    cache = ScheduleCache(tmp_path)
+    api.schedule(build_kernel("LL1", 8), machine, options=opts, cache=cache)
+
+    monkeypatch.setattr(cache_keys, "SCHEDULER_VERSION",
+                        SCHEDULER_VERSION + 1)
+    api.schedule(build_kernel("LL1", 8), machine, options=opts, cache=cache)
+    # the bumped version missed (silent invalidation) and stored anew
+    assert (cache.hits, cache.misses) == (0, 2)
+    assert cache.counters().get("stores") == 2
+
+
+def test_options_change_invalidates(tmp_path):
+    machine = MachineConfig(fus=4)
+    cache = ScheduleCache(tmp_path)
+    loop = build_kernel("LL1", 8)
+    api.schedule(loop, machine,
+                 options=api.ScheduleOptions(unroll=8), cache=cache)
+    api.schedule(loop, machine,
+                 options=api.ScheduleOptions(unroll=8,
+                                             gap_prevention=False),
+                 cache=cache)
+    api.schedule(loop, MachineConfig(fus=2),
+                 options=api.ScheduleOptions(unroll=8), cache=cache)
+    assert (cache.hits, cache.misses) == (0, 3)
+    assert cache.counters().get("stores") == 3
+
+
+def test_corrupted_entry_falls_back_to_cold(tmp_path):
+    machine = MachineConfig(fus=4)
+    opts = api.ScheduleOptions(unroll=8)
+    cache = ScheduleCache(tmp_path)
+    loop = build_kernel("LL1", 8)
+    cold = api.schedule(loop, machine, options=opts, cache=cache)
+
+    digest, _ = cache_key(loop, machine, opts)
+    entry = cache._path(digest)
+    assert entry.is_file()
+    entry.write_bytes(b"\x00corrupt, not a pickle")
+    fresh = ScheduleCache(tmp_path)  # no LRU copy of the good bytes
+    res = api.schedule(build_kernel("LL1", 8), machine,
+                       options=opts, cache=fresh)
+    assert fresh.counters().get("corrupt") == 1
+    assert fresh.hits == 0
+    assert _loop_fingerprint(res) == _loop_fingerprint(cold)
+    # the corrupt entry was dropped and re-stored; next lookup hits
+    api.schedule(build_kernel("LL1", 8), machine, options=opts, cache=fresh)
+    assert fresh.hits == 1
+
+
+def test_wrong_schema_entry_is_corrupt(tmp_path):
+    machine = MachineConfig(fus=4)
+    opts = api.ScheduleOptions(unroll=8)
+    cache = ScheduleCache(tmp_path)
+    loop = build_kernel("LL1", 8)
+    api.schedule(loop, machine, options=opts, cache=cache)
+    digest, _ = cache_key(loop, machine, opts)
+    cache._path(digest).write_bytes(
+        pickle.dumps({"schema": 999, "payload": {}}))
+    fresh = ScheduleCache(tmp_path)
+    assert fresh.fetch(loop, machine, opts) is None
+    assert fresh.counters().get("corrupt") == 1
+
+
+def test_alpha_equivalent_sources_share_one_entry(tmp_path):
+    """Renamed-register programs collide on canonical form."""
+    src_a = "param n, q; array A, B;\nfor k = 0 to n { t = A[k] * q; B[k] = t + 1; }"
+    src_b = "param m, s; array X, Y;\nfor j = 0 to m { w = X[j] * s; Y[j] = w + 1; }"
+    machine = MachineConfig(fus=4)
+    opts = api.ScheduleOptions(unroll=8, measure=False)
+    loop_a = api.compile(src_a, 8, name="alpha_a")
+    loop_b = api.compile(src_b, 8, name="alpha_b")
+    assert canonical_form(loop_a).text == canonical_form(loop_b).text
+    assert (cache_key(loop_a, machine, opts)[0]
+            == cache_key(loop_b, machine, opts)[0])
+
+    cache = ScheduleCache(tmp_path)
+    res_a = api.schedule(loop_a, machine, options=opts, cache=cache)
+    res_b = api.schedule(loop_b, machine, options=opts, cache=cache)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.counters().get("stores") == 1
+    # b's warm result lives in b's own name space and stays correct
+    rep = api.run(api.scheduled_graph(res_b), machine)
+    assert rep.realized_cycles == api.run(api.scheduled_graph(res_a),
+                                          machine).realized_cycles
+
+
+def test_measured_keys_split_on_concrete_names(tmp_path):
+    """measure=True seeds initial state by register *name*, so
+    alpha-equivalent-but-renamed programs must NOT share measured
+    results."""
+    src_a = "param n, q; array A, B;\nfor k = 0 to n { B[k] = A[k] * q; }"
+    src_b = "param m, zz; array X, Y;\nfor j = 0 to m { Y[j] = X[j] * zz; }"
+    machine = MachineConfig(fus=4)
+    loop_a = api.compile(src_a, 8, name="na")
+    loop_b = api.compile(src_b, 8, name="nb")
+    measured = api.ScheduleOptions(unroll=8, measure=True)
+    unmeasured = api.ScheduleOptions(unroll=8, measure=False)
+    assert (cache_key(loop_a, machine, measured)[0]
+            != cache_key(loop_b, machine, measured)[0])
+    assert (cache_key(loop_a, machine, unmeasured)[0]
+            == cache_key(loop_b, machine, unmeasured)[0])
+
+
+def test_lru_eviction_counted(tmp_path):
+    cache = ScheduleCache(tmp_path, lru_capacity=1)
+    machine = MachineConfig(fus=2)
+    opts = api.ScheduleOptions(unroll=4, measure=False)
+    api.schedule(build_kernel("LL1", 4), machine, options=opts, cache=cache)
+    api.schedule(build_kernel("LL3", 4), machine, options=opts, cache=cache)
+    assert cache.counters().get("evictions") == 1
+    # evicted entry still hits from disk
+    api.schedule(build_kernel("LL1", 4), machine, options=opts, cache=cache)
+    assert cache.hits == 1
+
+
+def test_fuzz_reuses_cache_across_tampered_runs(tmp_path):
+    """A tamper mutates the checked graph *after* scheduling; the
+    cached entry must stay pristine (the LRU hands out fresh decodes,
+    never a shared graph)."""
+    src = "param n, q; array A, B;\nfor k = 0 to n { B[k] = A[k] * q + 2; }"
+    machine = MachineConfig(fus=4)
+    cache = ScheduleCache(tmp_path)
+    api.check(src, 6, machine, cache=cache)  # cold, clean
+    with pytest.raises(Exception):
+        api.check(src, 6, machine, tamper="drop-store", cache=cache)
+    assert cache.hits == 1
+    api.check(src, 6, machine, cache=cache)  # warm again, still clean
+    assert cache.hits == 2

@@ -75,17 +75,6 @@ class TestParser:
         prog = parse(MULTI_SRC)
         assert len(prog.loops) == 2
 
-    def test_legacy_single_loop_property_warns(self):
-        prog = parse(MULTI_SRC)
-        with pytest.warns(DeprecationWarning, match="Program.loops"):
-            assert prog.loop is prog.loops[0]
-        empty = Program()
-        with pytest.warns(DeprecationWarning, match="Program.loops"):
-            assert empty.loop is None
-        with pytest.warns(DeprecationWarning, match="Program.loops"):
-            empty.loop = prog.loops[0]
-        assert empty.loops == [prog.loops[0]]
-
     def test_while_requires_parenthesized_cond(self):
         with pytest.raises(ParseError):
             parse("param a; array x;\nwhile a < 1 { x[a] = 1; }")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.frontend import compile_dsl
 from repro.machine import MachineConfig
-from repro.pipelining import pipeline_loop, pipeline_loop_post
+from repro.pipelining import schedule_loop, pipeline_loop_post
 from repro.reporting import SpeedupTable, weighted_harmonic_mean
 from repro.scheduling import GRiPScheduler
 from repro.simulator import check_equivalent
@@ -18,7 +18,7 @@ class TestLivermoreEndToEnd:
     def test_kernel_pipeline_verified(self, name):
         unroll = 8
         loop = livermore.kernel(name, unroll)
-        res = pipeline_loop(loop, MachineConfig(fus=4), unroll=unroll,
+        res = schedule_loop(loop, MachineConfig(fus=4), unroll=unroll,
                             verify=True)
         assert res.measured_speedup is not None
         assert res.measured_speedup > 1.0, name
@@ -26,7 +26,7 @@ class TestLivermoreEndToEnd:
     @pytest.mark.parametrize("name", ["LL1", "LL3", "LL12"])
     def test_grip_at_least_post(self, name):
         unroll = 12
-        g = pipeline_loop(livermore.kernel(name, unroll),
+        g = schedule_loop(livermore.kernel(name, unroll),
                           MachineConfig(fus=4), unroll=unroll, measure=False)
         p = pipeline_loop_post(livermore.kernel(name, unroll),
                                MachineConfig(fus=4), unroll=unroll)
@@ -37,7 +37,7 @@ class TestLivermoreEndToEnd:
         """Paper Table 1: at 2 FUs GRiP is essentially optimal (mean 2.0)."""
         vals = []
         for name in ("LL1", "LL2", "LL7", "LL9"):
-            res = pipeline_loop(livermore.kernel(name, 8),
+            res = schedule_loop(livermore.kernel(name, 8),
                                 MachineConfig(fus=2), unroll=8,
                                 measure=False)
             assert res.speedup is not None
@@ -46,9 +46,9 @@ class TestLivermoreEndToEnd:
 
     def test_recurrence_loops_capped(self):
         """LL6-style recurrences cannot scale with FUs (paper: 3.6 flat)."""
-        s4 = pipeline_loop(livermore.kernel("LL6", 12), MachineConfig(fus=4),
+        s4 = schedule_loop(livermore.kernel("LL6", 12), MachineConfig(fus=4),
                            unroll=12, measure=False).speedup
-        s8 = pipeline_loop(livermore.kernel("LL6", 16), MachineConfig(fus=8),
+        s8 = schedule_loop(livermore.kernel("LL6", 16), MachineConfig(fus=8),
                            unroll=16, measure=False).speedup
         assert s4 is not None and s8 is not None
         assert s8 <= s4 + 0.25  # no scaling from 4 to 8 FUs

@@ -20,7 +20,7 @@ from repro.obs.tracer import (
     Reason,
     classify_failure,
 )
-from repro.pipelining import pipeline_loop
+from repro.pipelining import schedule_loop
 from repro.scheduling import GRiPScheduler
 from repro.workloads import livermore
 
@@ -75,7 +75,7 @@ class TestClassifyFailure:
 def _traced_run(name="LL1", fus=2, unroll=6, machine=None):
     journal = DecisionJournal()
     m = machine if machine is not None else MachineConfig(fus=fus)
-    res = pipeline_loop(livermore.kernel(name, unroll), m, unroll=unroll,
+    res = schedule_loop(livermore.kernel(name, unroll), m, unroll=unroll,
                         measure=False, tracer=journal)
     return journal, res
 

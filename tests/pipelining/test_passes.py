@@ -18,7 +18,7 @@ from repro.pipelining.passes import (
     hoist_invariants,
     normalize_program,
 )
-from repro.pipelining.program import pipeline_program
+from repro.pipelining.program import schedule_program
 from repro.simulator.check import check_equivalent
 
 
@@ -137,7 +137,7 @@ for k = 0 to n { d[k] = (r[k] * 2); }
 """
         program, plan = plan_for(src)
         assert fuse_counted_segments(plan, DecisionJournal()) == 1
-        res = pipeline_program(program, MachineConfig(fus=4), unroll=8,
+        res = schedule_program(program, MachineConfig(fus=4), unroll=8,
                                measure=False)
         check_equivalent(program.graph, res.graph, seeds=(0, 1, 2))
 
@@ -157,7 +157,7 @@ class TestSlackMotion:
         program = compile_dsl(SLACK_SRC, 6, name="slack")
         machine = MachineConfig(fus=4)
         journal = DecisionJournal()
-        res = pipeline_program(program, machine, measure=False,
+        res = schedule_program(program, machine, measure=False,
                                tracer=journal, verify=True)
         assert journal.slack_moves == 1
         assert res.residual_epilogue == []
@@ -170,7 +170,7 @@ class TestSlackMotion:
         src = SLACK_SRC.replace("to 6", "to n").replace("to 9", "to n")
         program = compile_dsl(src, 6, name="slack2")
         journal = DecisionJournal()
-        res = pipeline_program(program, MachineConfig(fus=4), measure=False,
+        res = schedule_program(program, MachineConfig(fus=4), measure=False,
                                tracer=journal)
         assert journal.slack_moves == 0
         assert [op.name for op in res.residual_epilogue] == ["out_acc"]
@@ -191,8 +191,8 @@ while (w0 < lim) { x[w0] = (x[w0] + 1); w0 = w0 + 1; }
     program = compile_dsl(src, 6, name="noop")
     machine = MachineConfig(fus=4)
     journal = DecisionJournal()
-    opt = pipeline_program(program, machine, measure=False, tracer=journal)
-    base = pipeline_program(program, machine, measure=False, optimize=False)
+    opt = schedule_program(program, machine, measure=False, tracer=journal)
+    base = schedule_program(program, machine, measure=False, optimize=False)
     assert not journal.pass_reasons
 
     def shape(graph):

@@ -11,7 +11,7 @@ from repro.pipelining import (
     find_pattern,
     iteration_locals,
     main_chain,
-    pipeline_loop,
+    schedule_loop,
     pipeline_loop_post,
     unwind_counted,
     unwind_implicit,
@@ -120,7 +120,7 @@ class TestPatternDetection:
 
     def test_main_chain_skips_stubs(self):
         loop = tiny_loop(n=6)
-        res = pipeline_loop(loop, MachineConfig(fus=2), unroll=6,
+        res = schedule_loop(loop, MachineConfig(fus=2), unroll=6,
                             measure=False)
         chain = main_chain(res.unwound.graph)
         assert res.unwound.graph.entry == chain[0]
@@ -143,21 +143,21 @@ class TestPatternDetection:
 class TestPipelineLoop:
     def test_vectorizable_reaches_fu_bound(self):
         loop = tiny_loop(n=12)
-        res = pipeline_loop(loop, MachineConfig(fus=2), unroll=12)
+        res = schedule_loop(loop, MachineConfig(fus=2), unroll=12)
         assert res.converged
         # 6 ops/iteration on 2 FUs: speedup 2.
         assert res.speedup == pytest.approx(2.0, abs=0.05)
 
     def test_measured_close_to_analytic(self):
         loop = tiny_loop(n=12)
-        res = pipeline_loop(loop, MachineConfig(fus=2), unroll=12)
+        res = schedule_loop(loop, MachineConfig(fus=2), unroll=12)
         assert res.measured_speedup <= res.speedup + 0.01
         assert res.measured_speedup >= 0.75 * res.speedup
 
     def test_memory_verification_runs(self):
         # verify=True is the default; divergence would raise.
         loop = tiny_loop(n=8)
-        pipeline_loop(loop, MachineConfig(fus=4), unroll=8, verify=True)
+        schedule_loop(loop, MachineConfig(fus=4), unroll=8, verify=True)
 
     def test_reduction_capped_at_recurrence(self):
         src = """
@@ -165,20 +165,20 @@ class TestPipelineLoop:
         for k = 0 to n { q = q + z[k]; }
         """
         loop = compile_dsl(src, 16, name="red")
-        res = pipeline_loop(loop, MachineConfig(fus=8), unroll=16)
+        res = schedule_loop(loop, MachineConfig(fus=8), unroll=16)
         # 5 ops/iter, II >= 1 due to the q chain: speedup <= 5.
         assert res.converged
         assert res.speedup <= 5.01
 
     def test_gap_prevention_off_still_correct(self):
         loop = tiny_loop(n=8)
-        res = pipeline_loop(loop, MachineConfig(fus=4), unroll=8,
+        res = schedule_loop(loop, MachineConfig(fus=4), unroll=8,
                             gap_prevention=False)
         assert res.measured_speedup > 1.5  # semantics verified inside
 
     def test_post_below_grip(self):
         loop = tiny_loop(n=12)
-        g = pipeline_loop(loop, MachineConfig(fus=4), unroll=12,
+        g = schedule_loop(loop, MachineConfig(fus=4), unroll=12,
                           measure=False)
         p = pipeline_loop_post(tiny_loop(n=12), MachineConfig(fus=4),
                                unroll=12)

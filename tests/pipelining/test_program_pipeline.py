@@ -10,7 +10,7 @@ from repro.ir.loops import CountedLoop, concat_graphs
 from repro.ir.builder import straightline_graph
 from repro.ir.operations import OpKind, add, mul
 from repro.machine import FUClass, MachineConfig
-from repro.pipelining import compact_while, pipeline_program
+from repro.pipelining import compact_while, schedule_program
 from repro.simulator.check import check_equivalent
 
 WHILE_SRC = """
@@ -98,14 +98,14 @@ class TestPipelineProgram:
     @pytest.mark.parametrize("fus", [2, 4, 8])
     def test_while_program_equivalent(self, fus):
         prog = compile_dsl(WHILE_SRC, 6, name="w")
-        res = pipeline_program(prog, MachineConfig(fus=fus), unroll=6,
+        res = schedule_program(prog, MachineConfig(fus=fus), unroll=6,
                                seeds=(0, 1, 2))
         check_equivalent(prog.graph, res.graph, seeds=(0, 1, 2, 3))
         differential_check(res.graph, MachineConfig(fus=fus), seeds=(0, 1))
 
     def test_while_segment_declines_pipelining(self):
         prog = compile_dsl(WHILE_SRC, 6, name="w")
-        res = pipeline_program(prog, MachineConfig(fus=4), unroll=6,
+        res = schedule_program(prog, MachineConfig(fus=4), unroll=6,
                                measure=False)
         (seg,) = res.segments
         assert seg.kind == "while"
@@ -115,7 +115,7 @@ class TestPipelineProgram:
 
     def test_mixed_program_counted_segment_pipelines(self):
         prog = compile_dsl(MIXED_SRC, 8, name="mix")
-        res = pipeline_program(prog, MachineConfig(fus=8), unroll=8,
+        res = schedule_program(prog, MachineConfig(fus=8), unroll=8,
                                seeds=(0, 1))
         kinds = [seg.kind for seg in res.segments]
         assert kinds == ["counted", "while"]
@@ -128,13 +128,13 @@ class TestPipelineProgram:
         """Loop 0 computes ``acc`` that only loop 1 reads; per-segment
         scheduling must not clean it away (exit_live = live_out)."""
         prog = compile_dsl(MIXED_SRC, 6, name="mix")
-        res = pipeline_program(prog, MachineConfig(fus=4), unroll=6,
+        res = schedule_program(prog, MachineConfig(fus=4), unroll=6,
                                seeds=(0, 1, 2))
         check_equivalent(prog.graph, res.graph, seeds=(0, 1, 2, 3, 4))
 
     def test_measured_speedup_positive(self):
         prog = compile_dsl(MIXED_SRC, 8, name="mix")
-        res = pipeline_program(prog, MachineConfig(fus=4), unroll=8)
+        res = schedule_program(prog, MachineConfig(fus=4), unroll=8)
         assert res.measured_speedup is not None
         assert res.measured_speedup > 1.0
 
@@ -143,14 +143,14 @@ class TestPipelineProgram:
         machine = MachineConfig(fus=4, typed={FUClass.ALU: 2,
                                               FUClass.MEM: 2,
                                               FUClass.BRANCH: 1})
-        res = pipeline_program(prog, machine, unroll=6, measure=False)
+        res = schedule_program(prog, machine, unroll=6, measure=False)
         for nid in res.graph.reachable():
             assert machine.fits(res.graph.nodes[nid])
         check_equivalent(prog.graph, res.graph, seeds=(0, 1))
 
     def test_verify_analysis_mode(self):
         prog = compile_dsl(MIXED_SRC, 5, name="mix")
-        res = pipeline_program(prog, MachineConfig(fus=4), unroll=5,
+        res = schedule_program(prog, MachineConfig(fus=4), unroll=5,
                                measure=False, verify_analysis=True)
         assert res.segments[0].schedule is not None
 
@@ -165,11 +165,11 @@ class TestCountedLoopUnchanged:
 
     def test_loads_for_counted_kernels_unaffected(self):
         # sanity: a classic kernel still pipelines through the old path
-        from repro.pipelining import pipeline_loop
+        from repro.pipelining import schedule_loop
         from repro.workloads import livermore
 
         loop = livermore.kernel("LL1", 6)
-        res = pipeline_loop(loop, MachineConfig(fus=4), unroll=6,
+        res = schedule_loop(loop, MachineConfig(fus=4), unroll=6,
                             measure=False)
         assert res.speedup is not None
 
@@ -178,7 +178,7 @@ def test_program_graph_runs_on_tree_walker_and_vm_with_latencies():
     prog = compile_dsl(WHILE_SRC, 6, name="w")
     machine = MachineConfig(fus=4, latencies={OpKind.MUL: 3,
                                               OpKind.LOAD: 2})
-    res = pipeline_program(prog, machine, unroll=6, measure=False)
+    res = schedule_program(prog, machine, unroll=6, measure=False)
     rep = differential_check(res.graph, machine, seeds=(0, 1, 2, 3))
     # scoreboard realizes stalls; bundles-per-cycle contract still holds
     assert rep.vm_steps == rep.interp_cycles

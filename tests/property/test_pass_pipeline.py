@@ -33,7 +33,7 @@ from repro.pipelining.passes import (
     hoist_invariants,
     normalize_program,
 )
-from repro.pipelining.program import pipeline_program
+from repro.pipelining.program import schedule_program
 from repro.simulator.check import check_equivalent
 from repro.workloads.synth import generate, scenario_from_seed
 
@@ -58,9 +58,9 @@ def test_optimized_pipeline_is_differentially_equivalent(
     if isinstance(program, CountedLoop):
         return  # single counted loop: the pass pipeline never runs
     machine = MachineConfig(fus=4)
-    base = pipeline_program(program, machine, unroll=8, measure=False,
+    base = schedule_program(program, machine, unroll=8, measure=False,
                             optimize=False)
-    opt = pipeline_program(program, machine, unroll=8, measure=False,
+    opt = schedule_program(program, machine, unroll=8, measure=False,
                            optimize=True)
     check_equivalent(program.graph, opt.graph, seeds=(0, 1, 2))
     check_equivalent(base.graph, opt.graph, seeds=(0, 1, 2))
@@ -92,7 +92,7 @@ def test_zero_trip_while_body_op_is_not_hoisted():
     assert not any(op.dest == Reg("hv") for op in loop.preheader_ops)
     # End-to-end: the full pipeline stays equivalent (seeded states
     # include low-trip and zero-trip initial counters).
-    res = pipeline_program(program, MachineConfig(fus=4), unroll=4,
+    res = schedule_program(program, MachineConfig(fus=4), unroll=4,
                            measure=False)
     check_equivalent(program.graph, res.graph, seeds=(0, 1, 2))
 

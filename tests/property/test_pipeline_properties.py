@@ -11,7 +11,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.machine import MachineConfig
-from repro.pipelining import pipeline_loop, pipeline_loop_post
+from repro.pipelining import schedule_loop, pipeline_loop_post
 from repro.workloads.synthetic import random_counted_loop
 
 SETTINGS = settings(max_examples=12, deadline=None,
@@ -23,11 +23,11 @@ class TestPipelineProperties:
     @given(st.integers(0, 5_000), st.integers(2, 4),
            st.sampled_from([2, 4]), st.booleans())
     def test_memory_equivalence(self, seed, n_stmts, fus, reduction):
-        """pipeline_loop verifies memory internally (verify=True)."""
+        """schedule_loop verifies memory internally (verify=True)."""
         trip = 8
         loop = random_counted_loop(random.Random(seed), n_stmts=n_stmts,
                                    trip=trip, reduction=reduction)
-        res = pipeline_loop(loop, MachineConfig(fus=fus), unroll=trip,
+        res = schedule_loop(loop, MachineConfig(fus=fus), unroll=trip,
                             verify=True)
         assert res.measured_speedup is not None
 
@@ -43,7 +43,7 @@ class TestPipelineProperties:
         deduplicated work.
         """
         loop = random_counted_loop(random.Random(seed), n_stmts=3, trip=10)
-        res = pipeline_loop(loop, MachineConfig(fus=fus), unroll=10,
+        res = schedule_loop(loop, MachineConfig(fus=fus), unroll=10,
                             measure=False)
         if res.speedup is None:
             return
@@ -70,7 +70,7 @@ class TestPipelineProperties:
         for fus in (2, 4):
             loop = random_counted_loop(random.Random(seed), n_stmts=3,
                                        trip=trip)
-            res = pipeline_loop(loop, MachineConfig(fus=fus), unroll=trip,
+            res = schedule_loop(loop, MachineConfig(fus=fus), unroll=trip,
                                 measure=False)
             speedups.append(res.speedup)
         if None not in speedups:
@@ -84,7 +84,7 @@ class TestPipelineProperties:
                                      trip=trip)
         loop_p = random_counted_loop(random.Random(seed), n_stmts=3,
                                      trip=trip)
-        g = pipeline_loop(loop_g, MachineConfig(fus=fus), unroll=trip,
+        g = schedule_loop(loop_g, MachineConfig(fus=fus), unroll=trip,
                           measure=False)
         p = pipeline_loop_post(loop_p, MachineConfig(fus=fus), unroll=trip)
         if g.speedup is not None and p.speedup is not None:
@@ -95,7 +95,7 @@ class TestPipelineProperties:
     def test_budget_respected_in_unwound_graph(self, seed):
         loop = random_counted_loop(random.Random(seed), n_stmts=3, trip=8)
         machine = MachineConfig(fus=3)
-        res = pipeline_loop(loop, machine, unroll=8, measure=False)
+        res = schedule_loop(loop, machine, unroll=8, measure=False)
         for node in res.unwound.graph.nodes.values():
             assert machine.fits(node)
 
@@ -104,7 +104,7 @@ class TestPipelineProperties:
     def test_reduction_iis_at_least_one(self, seed):
         loop = random_counted_loop(random.Random(seed), n_stmts=2, trip=10,
                                    reduction=True)
-        res = pipeline_loop(loop, MachineConfig(fus=8), unroll=10,
+        res = schedule_loop(loop, MachineConfig(fus=8), unroll=10,
                             measure=False)
         if res.initiation_interval is not None:
             assert res.initiation_interval >= 1.0 - 1e-9

@@ -131,13 +131,13 @@ class TestWidenedTypedSpectrum:
         """End to end on a real kernel: schedule under MEM: 1, check
         budgets and semantic equivalence."""
         from repro.bench.fuzz import typed_budgets
-        from repro.pipelining import pipeline_loop
+        from repro.pipelining import schedule_loop
         from repro.simulator.check import check_equivalent
         from repro.workloads import livermore
 
         loop = livermore.kernel("LL1", 5)
         m = MachineConfig(fus=4, typed=typed_budgets("mem-starved", 4))
-        res = pipeline_loop(loop, m, unroll=5, measure=False)
+        res = schedule_loop(loop, m, unroll=5, measure=False)
         for nid in res.unwound.graph.reachable():
             assert m.fits(res.unwound.graph.nodes[nid])
         check_equivalent(loop.graph, res.unwound.graph, seeds=(0,))

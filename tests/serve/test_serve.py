@@ -1,0 +1,160 @@
+"""The ``repro serve`` batch front: protocol, round-trip fidelity,
+cache hit accounting, and error isolation."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.machine import MachineConfig
+from repro.serve import SERVE_KIND, SERVE_SCHEMA, run_serve_job, schedule_payload
+from repro.serve.client import (
+    ServeProtocolError,
+    parse_addr,
+    submit_batch,
+    submit_fuzz_tasks,
+)
+from repro.serve.jobs import init_worker
+from repro.serve.server import SELFTEST_SOURCES, TcpServeFixture, selftest_batch
+
+
+@pytest.fixture(scope="module")
+def front(tmp_path_factory):
+    """One live TCP serve front shared by the module's tests."""
+    cache_dir = tmp_path_factory.mktemp("serve-cache")
+    with TcpServeFixture(jobs=2, cache_dir=str(cache_dir)) as fixture:
+        yield fixture
+
+
+class TestParseAddr:
+    def test_host_port(self):
+        assert parse_addr("10.0.0.1:9000") == ("10.0.0.1", 9000)
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_addr(":9000") == ("127.0.0.1", 9000)
+
+    def test_rejects_portless(self):
+        with pytest.raises(ValueError):
+            parse_addr("localhost")
+
+
+class TestRoundTrip:
+    def test_batch_matches_direct_api_schedule(self, front):
+        """Per-job streamed results == direct repro.api.schedule output
+        (the acceptance criterion: a mixed counted / while / multi-loop
+        batch, compared through the same stable payload)."""
+        batch = selftest_batch()
+        results, summary = submit_batch(front.addr, batch)
+        assert summary["jobs"] == len(batch)
+        assert summary["errors"] == 0
+        by_id = {r["id"]: r for r in results}
+        assert set(by_id) == set(SELFTEST_SOURCES)
+        machine = MachineConfig(fus=4)
+        for name, src in SELFTEST_SOURCES.items():
+            program = api.compile(src, 8, name="serve")
+            direct = api.schedule(program, machine,
+                                  options=api.ScheduleOptions(unroll=8))
+            assert by_id[name]["ok"], by_id[name]
+            assert by_id[name]["result"] == schedule_payload(direct)
+
+    def test_mixed_batch_covers_all_shapes(self):
+        kinds = set()
+        for src in SELFTEST_SOURCES.values():
+            program = api.compile(src, 8)
+            kinds.add(type(program).__name__)
+        assert kinds == {"CountedLoop", "LoopProgram"}
+        assert any("while" in s for s in SELFTEST_SOURCES.values())
+        assert any(s.count("for ") > 1 for s in SELFTEST_SOURCES.values())
+
+    def test_second_batch_hits_cache(self, front):
+        batch = selftest_batch()
+        first, _ = submit_batch(front.addr, batch)
+        _, summary = submit_batch(front.addr, batch)
+        assert summary["cache_hits"] >= len(batch) - 1
+        assert summary["hit_rate"] >= (len(batch) - 1) / len(batch)
+
+    def test_every_line_carries_kind_and_schema(self, front):
+        results, summary = submit_batch(front.addr, selftest_batch()[:2])
+        for line in [*results, summary]:
+            assert line["kind"] == SERVE_KIND
+            assert line["schema"] == SERVE_SCHEMA
+
+    def test_fuzz_jobs_round_trip(self, front):
+        tasks = [(seed, False, None, 4, None) for seed in (0, 1)]
+        out = sorted(submit_fuzz_tasks(front.addr, tasks))
+        assert [seed for seed, _, _ in out] == [0, 1]
+        for _, failure, stats in out:
+            assert failure is None
+            assert stats is not None and stats.n_lanes == 4
+
+
+class TestErrors:
+    def test_bad_job_streams_error_not_crash(self, front):
+        batch = [
+            {"id": "good", "kind": "schedule",
+             "source": SELFTEST_SOURCES["stream"], "options": {"unroll": 4}},
+            {"id": "bad", "kind": "schedule",
+             "source": "this is not DSL"},
+            {"id": "worse", "kind": "nonsense"},
+        ]
+        results, summary = submit_batch(front.addr, batch)
+        by_id = {r["id"]: r for r in results}
+        assert by_id["good"]["ok"]
+        assert not by_id["bad"]["ok"]
+        assert not by_id["worse"]["ok"]
+        assert "kind" in by_id["worse"]["error"]["message"]
+        assert summary["errors"] == 2
+
+    def test_malformed_batch_raises_protocol_error(self, front):
+        import socket
+
+        host, port = parse_addr(front.addr)
+        with socket.create_connection((host, port)) as sock:
+            sock.sendall(b'{"not": "a batch"}\n')
+            line = json.loads(sock.makefile("r").readline())
+        assert line["type"] == "error"
+        # the client surfaces the same line as ServeProtocolError
+        from repro.serve.client import stream_batch
+
+        with pytest.raises(ServeProtocolError):
+            list(stream_batch(front.addr, "nope"))
+
+    def test_unknown_option_rejected(self, front):
+        results, _ = submit_batch(front.addr, [
+            {"id": 1, "kind": "schedule",
+             "source": SELFTEST_SOURCES["stream"],
+             "options": {"warp_speed": True}}])
+        assert not results[0]["ok"]
+        assert "warp_speed" in results[0]["error"]["message"]
+
+
+class TestInProcessJobs:
+    """run_serve_job without a server (what each worker executes)."""
+
+    def test_schedule_job_kernel_spec(self):
+        init_worker(None)
+        answer = run_serve_job({"id": 7, "kind": "schedule",
+                                "kernel": "LL1", "fus": 2, "unroll": 6})
+        assert answer["ok"] and answer["id"] == 7
+        assert answer["result"]["kind"] == "counted"
+        assert answer["cache"] is None  # no cache configured
+
+    def test_bench_job(self, tmp_path):
+        init_worker(str(tmp_path))
+        answer = run_serve_job({
+            "id": "b", "kind": "bench",
+            "job": {"kernel": "LL1", "fus": 2, "backend": "grip",
+                    "unroll": 6}})
+        assert answer["ok"], answer
+        rec = answer["result"]["record"]
+        assert rec["kernel"] == "LL1" and rec["speedup"] > 1
+        assert answer["cache"] == "miss"
+        warm = run_serve_job({
+            "id": "b2", "kind": "bench",
+            "job": {"kernel": "LL1", "fus": 2, "backend": "grip",
+                    "unroll": 6}})
+        assert warm["cache"] == "hit"
+        cold = {k: v for k, v in rec.items() if k != "stages"}
+        hot = {k: v for k, v in warm["result"]["record"].items()
+               if k != "stages"}
+        assert cold == hot

@@ -1,0 +1,119 @@
+"""The ``repro.api`` facade: dispatch, options, and the deprecation
+surface of the old entrypoints."""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.frontend.ast import Program
+from repro.ir.loops import CountedLoop, LoopProgram
+from repro.machine import MachineConfig
+from repro.pipelining import (
+    pipeline_loop,
+    pipeline_program,
+    schedule_loop,
+    schedule_program,
+)
+from repro.workloads import build_kernel
+
+COUNTED_SRC = "param n, q; array A, B;\nfor k = 0 to n { B[k] = A[k] * q; }"
+WHILE_SRC = ("param w0, lim; array x, d;\n"
+             "while (w0 < lim + 4) { d[w0] = x[w0] + 1; w0 = w0 + 1; }")
+
+
+class TestCompileAndLoad:
+    def test_compile_dispatch_shapes(self):
+        assert isinstance(api.compile(COUNTED_SRC, 8), CountedLoop)
+        assert isinstance(api.compile(WHILE_SRC, 8), LoopProgram)
+
+    def test_load_kernel_builtin_and_file(self, tmp_path):
+        assert isinstance(api.load_kernel("LL1", 8), CountedLoop)
+        f = tmp_path / "mine.dsl"
+        f.write_text(COUNTED_SRC)
+        loop = api.load_kernel(str(f), 8)
+        assert isinstance(loop, CountedLoop)
+        assert loop.name == "mine"
+
+    def test_load_kernel_bad_spec_raises(self):
+        with pytest.raises(api.KernelSpecError, match="not a built-in"):
+            api.load_kernel("NOPE99", 8)
+
+
+class TestScheduleDispatch:
+    def test_counted_equals_direct_entrypoint(self):
+        machine = MachineConfig(fus=4)
+        via_api = api.schedule(build_kernel("LL1", 8), machine,
+                               options=api.ScheduleOptions(unroll=8))
+        direct = schedule_loop(build_kernel("LL1", 8), machine, unroll=8)
+        assert via_api.summary() == direct.summary()
+        assert via_api.speedup == direct.speedup
+
+    def test_program_equals_direct_entrypoint(self):
+        machine = MachineConfig(fus=4)
+        via_api = api.schedule(build_kernel("SYNWHL", 6), machine,
+                               options=api.ScheduleOptions(unroll=6))
+        direct = schedule_program(build_kernel("SYNWHL", 6), machine,
+                                  unroll=6)
+        assert via_api.summary() == direct.summary()
+        assert via_api.speedup == direct.speedup
+
+    def test_rejects_foreign_descriptor(self):
+        with pytest.raises(TypeError, match="CountedLoop or LoopProgram"):
+            api.schedule(object(), MachineConfig(fus=4))
+
+    def test_scheduled_graph_both_flavors(self):
+        machine = MachineConfig(fus=2)
+        counted = api.schedule(build_kernel("LL1", 4), machine,
+                               options=api.ScheduleOptions(unroll=4))
+        program = api.schedule(build_kernel("SYNWHL", 4), machine,
+                               options=api.ScheduleOptions(unroll=4))
+        assert api.scheduled_graph(counted) is counted.unwound.graph
+        assert api.scheduled_graph(program) is program.graph
+
+    def test_emit_and_run(self):
+        machine = MachineConfig(fus=4)
+        loop = api.compile(COUNTED_SRC, 6)
+        prog = api.emit(loop, machine,
+                        options=api.ScheduleOptions(unroll=6))
+        assert prog.schedule_length > 0
+        seq = api.emit(api.compile(COUNTED_SRC, 6), machine, seq=True)
+        assert seq.schedule_length > 0
+        res = api.schedule(api.compile(COUNTED_SRC, 6), machine,
+                           options=api.ScheduleOptions(unroll=6,
+                                                       measure=False))
+        rep = api.run(api.scheduled_graph(res), machine)
+        assert rep.realized_cycles > 0
+
+    def test_check_clean_source(self):
+        stats = api.check(COUNTED_SRC, 6, MachineConfig(fus=4))
+        assert stats.n_lanes == 16
+
+
+class TestDeprecatedShims:
+    def test_pipeline_loop_warns_and_delegates(self):
+        machine = MachineConfig(fus=4)
+        with pytest.warns(DeprecationWarning, match="repro.api.schedule"):
+            old = pipeline_loop(build_kernel("LL1", 6), machine, unroll=6)
+        new = schedule_loop(build_kernel("LL1", 6), machine, unroll=6)
+        assert old.summary() == new.summary()
+
+    def test_pipeline_program_warns_and_delegates(self):
+        machine = MachineConfig(fus=4)
+        with pytest.warns(DeprecationWarning, match="repro.api.schedule"):
+            old = pipeline_program(build_kernel("SYNWHL", 4), machine,
+                                   unroll=4)
+        new = schedule_program(build_kernel("SYNWHL", 4), machine, unroll=4)
+        assert old.summary() == new.summary()
+
+    def test_new_entrypoints_do_not_warn(self):
+        machine = MachineConfig(fus=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            schedule_loop(build_kernel("LL1", 4), machine, unroll=4)
+            schedule_program(build_kernel("SYNWHL", 4), machine, unroll=4)
+
+    def test_program_loop_shim_removed(self):
+        # the deprecated Program.loop property is gone for good
+        assert not hasattr(Program, "loop")
+        assert "loop" not in Program().__dict__
