@@ -68,6 +68,22 @@ Subcommands::
         the same 6-program batch twice and asserts the second pass is
         answered from the cache with identical results (the CI smoke).
 
+    python -m repro tune [--kernels LL1 LL3 LL5] [--fus 2 4]
+                    [--budget N] [--seed S] [--jobs N] [--cache DIR]
+                    [--out TUNED.json] [--smoke] [--check TUNED.json]
+        Per-(kernel, fu-config) schedule-policy autotuner: seeded
+        multi-start random search + greedy coordinate descent over the
+        SchedulePolicy axes, objective = realized VM cycles of the
+        differentially-checked schedule.  Decision-journal
+        ``top_blocked`` reason codes steer which axis is perturbed
+        first.  Writes a schema-versioned TUNED_*.json artifact
+        recording, per cell, the winning policy + fingerprint, its
+        cycles, the default-policy cycles and the search budget.
+        ``--check`` re-executes a stored artifact and demands exact
+        cycle reproduction; ``--smoke`` is the CI lane (tiny budget,
+        LL3 + one synthetic kernel, artifact schema-validated from
+        disk).
+
 Schedule cache: ``pipeline``, ``emit``, ``bench`` and ``fuzz`` accept
 ``--cache DIR``, a content-addressed on-disk schedule cache keyed on
 the canonical (alpha-renamed) program text, the machine fingerprint
@@ -434,6 +450,96 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+#: the ``tune --smoke`` lane: one Livermore + one synthetic counted
+#: kernel at one fu-config, a budget just big enough to exercise both
+#: search phases
+TUNE_SMOKE_KERNELS = ("LL3", "SYNRED")
+TUNE_SMOKE_FUS = (4,)
+TUNE_SMOKE_BUDGET = 6
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from .tune import run_tune, validate_tuned_file, verify_tuned, write_tuned
+    from .workloads import family_of
+
+    def log(msg: str) -> None:
+        print(msg, file=sys.stderr)
+
+    if args.check:
+        try:
+            mismatches = verify_tuned(args.check, cache_dir=args.cache,
+                                      log=log)
+        except (OSError, ValueError) as exc:
+            _usage(f"repro tune: cannot check {args.check}: {exc}")
+        if mismatches:
+            for m in mismatches:
+                print(f"repro tune: {m}", file=sys.stderr)
+            print("repro tune: check FAILED (stored cycles do not "
+                  "reproduce)", file=sys.stderr)
+            return 1
+        print(f"check {args.check}: ok (every stored policy reproduces "
+              f"its recorded cycles exactly)")
+        return 0
+
+    if args.smoke:
+        # --smoke pins the cells and the budget; a silently ignored
+        # flag would stamp misleading metadata into the artifact.
+        if args.kernels is not None or args.fus != [2, 4] \
+                or args.budget is not None:
+            _usage("repro tune: --smoke fixes --kernels/--fus/--budget; "
+                   "drop --smoke to run a custom search")
+        kernels, fus = list(TUNE_SMOKE_KERNELS), list(TUNE_SMOKE_FUS)
+        budget = TUNE_SMOKE_BUDGET
+        name = "smoke"
+    else:
+        kernels = args.kernels if args.kernels is not None \
+            else ["LL1", "LL3", "LL5"]
+        kernels = [k.upper() for k in kernels]
+        for kernel in kernels:
+            if family_of(kernel) is None:
+                _usage(f"repro tune: unknown kernel {kernel!r}")
+        fus = args.fus
+        budget = args.budget if args.budget is not None else 24
+        name = args.name
+    if budget < 1:
+        _usage("repro tune: --budget must be >= 1")
+
+    print(f"tune: {len(kernels) * len(fus)} cells, budget {budget} "
+          f"evals/cell, {args.jobs} worker(s)", file=sys.stderr)
+    report = run_tune(kernels, fus, budget=budget, seed=args.seed,
+                      jobs=args.jobs, cache_dir=args.cache, log=log)
+    out = (Path(args.out) if args.out
+           else Path("results") / f"TUNED_{name}.json")
+    write_tuned(report, out, name=name)
+
+    for e in report.entries:
+        verdict = (f"tuned {e.cycles} < default {e.default_cycles} "
+                   f"[{e.policy.fingerprint()}]" if e.improved
+                   else f"default best ({e.default_cycles} cycles)")
+        print(f"{e.kernel:8s} fus={e.fus} unroll={e.unroll:3d}  {verdict}")
+    print(f"tune '{name}': {report.improved}/{len(report.entries)} cells "
+          f"improved ({report.wall_seconds:.1f}s wall)")
+    print(f"wrote {out}")
+
+    if args.smoke:
+        # The CI lane's contract: the artifact schema-validates back
+        # from disk and no cell regressed past the default (the
+        # default is always in the candidate set, so a violation means
+        # the search or the artifact writer is broken).
+        payload = validate_tuned_file(out)
+        bad = [e for e in payload["entries"]
+               if e["cycles"] > e["default_cycles"]]
+        if bad:
+            for e in bad:
+                print(f"repro tune: smoke cell {e['kernel']} "
+                      f"fus={e['fus']} tuned {e['cycles']} > default "
+                      f"{e['default_cycles']}", file=sys.stderr)
+            return 1
+        print(f"tune smoke ok: {len(payload['entries'])} cells, "
+              "artifact schema-validated from disk")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .serve import selftest, serve_stdio, serve_tcp
 
@@ -592,6 +698,39 @@ def main(argv: list[str] | None = None) -> int:
                     help="route the seeds through a running "
                          "'repro serve' front instead of a local pool")
     p6.set_defaults(fn=cmd_fuzz)
+
+    p9 = sub.add_parser(
+        "tune", help="schedule-policy autotuner -> TUNED_*.json")
+    p9.add_argument("--kernels", nargs="+", default=None,
+                    help="kernels to tune, any family "
+                         "(default: LL1 LL3 LL5)")
+    p9.add_argument("--fus", nargs="+", type=int, default=[2, 4])
+    p9.add_argument("--budget", type=int, default=None,
+                    help="schedule evaluations per cell, including the "
+                         "default policy (default 24)")
+    p9.add_argument("--seed", type=int, default=0,
+                    help="search seed (default 0; the whole run is "
+                         "deterministic per seed)")
+    p9.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for candidate batches "
+                         "(default 1 = sequential)")
+    p9.add_argument("--name", default="table1",
+                    help="artifact name (TUNED_<name>.json)")
+    p9.add_argument("--out", default=None,
+                    help="output path (default results/TUNED_<name>.json)")
+    p9.add_argument("--cache", default=None, metavar="DIR",
+                    help="schedule cache directory shared by the "
+                         "workers (revisited policies replay their "
+                         "stored schedules)")
+    p9.add_argument("--smoke", action="store_true",
+                    help="CI lane: tiny budget over LL3 + one synthetic "
+                         "kernel; asserts tuned <= default and "
+                         "schema-validates the artifact from disk")
+    p9.add_argument("--check", default=None, metavar="TUNED_JSON",
+                    help="re-execute a stored artifact instead of "
+                         "searching; exits 1 unless every recorded "
+                         "cycle count reproduces exactly")
+    p9.set_defaults(fn=cmd_tune)
 
     p8 = sub.add_parser(
         "serve", help="batch scheduling front (stdio or TCP)")

@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .machine.model import MachineConfig
     from .obs.tracer import Tracer
     from .pipelining import PipelineResult, ProgramPipelineResult
+    from .scheduling.policy import SchedulePolicy
     from .scheduling.priority import Heuristic
 
 
@@ -52,6 +53,13 @@ class ScheduleOptions:
     ``optimize`` (the cross-segment pass pipeline) applies to
     ``LoopProgram`` descriptors only; ``verify_analysis`` attaches a
     verifying AnalysisManager (observe-only) on either path.
+
+    ``policy`` carries every schedule-shaping knob as one
+    fingerprinted :class:`~repro.scheduling.policy.SchedulePolicy`
+    value (``None`` means the schedule-neutral
+    :data:`~repro.scheduling.policy.DEFAULT_POLICY`); the cache key
+    folds its fingerprint in, so distinct policies never collide on an
+    entry.
     """
 
     unroll: int | None = None
@@ -63,6 +71,7 @@ class ScheduleOptions:
     verify: bool = True
     verify_analysis: bool = False
     seeds: tuple[int, ...] = (0,)
+    policy: "SchedulePolicy | None" = None
 
 
 #: the facade's default; importable so clients can ``replace()`` it
@@ -124,7 +133,7 @@ def schedule(program: "CountedLoop | LoopProgram",
             gap_prevention=opts.gap_prevention,
             allow_speculation=opts.allow_speculation, measure=opts.measure,
             verify=opts.verify, verify_analysis=opts.verify_analysis,
-            seeds=tuple(opts.seeds), tracer=tracer)
+            seeds=tuple(opts.seeds), tracer=tracer, policy=opts.policy)
     elif isinstance(program, LoopProgram):
         result = schedule_program(
             program, machine, unroll=opts.unroll, heuristic=opts.heuristic,
@@ -132,7 +141,7 @@ def schedule(program: "CountedLoop | LoopProgram",
             allow_speculation=opts.allow_speculation,
             optimize=opts.optimize, measure=opts.measure,
             verify=opts.verify, verify_analysis=opts.verify_analysis,
-            seeds=tuple(opts.seeds), tracer=tracer)
+            seeds=tuple(opts.seeds), tracer=tracer, policy=opts.policy)
     else:
         raise TypeError(
             f"cannot schedule {type(program).__name__}; expected "

@@ -99,6 +99,12 @@ class BenchRecord:
     # decision-journal tallies + top blocked candidates, populated only
     # by ``bench --profile`` runs; additive in schema 1
     profile: dict | None = None
+    # fingerprint of the SchedulePolicy the cell was scheduled under;
+    # additive in schema 1 -- absent (pre-policy artifacts) reads back
+    # as None, which the diff normalizes to the DEFAULT_POLICY
+    # fingerprint (those sweeps *were* default-policy runs).  None on
+    # POST cells, which never see the policy surface.
+    policy_fingerprint: str | None = None
 
     @property
     def key(self) -> tuple[str, int, str]:
@@ -229,8 +235,12 @@ class BenchDiff:
     unchanged: int = 0
     missing: list[tuple[str, int, str]] = field(default_factory=list)
     added: list[tuple[str, int, str]] = field(default_factory=list)
-    #: cells measured at different unrolls: not comparable, a failure
+    #: cells measured at different unrolls or under different schedule
+    #: policies: not comparable, a failure
     incomparable: list[tuple[str, int, str]] = field(default_factory=list)
+    #: why each incomparable cell was flagged, keyed like the list
+    incomparable_reasons: dict[tuple[str, int, str], str] = field(
+        default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -250,8 +260,9 @@ class BenchDiff:
         for key in self.missing:
             lines.append(f"  MISSING    {key[0]}@{key[1]} [{key[2]}]")
         for key in self.incomparable:
+            why = self.incomparable_reasons.get(key, "different unroll")
             lines.append(f"  INCOMPARABLE {key[0]}@{key[1]} [{key[2]}]: "
-                         f"different unroll")
+                         f"{why}")
         for d in self.improvements:
             lines.append(f"  improved   {d.describe()}")
         return "\n".join(lines)
@@ -269,6 +280,9 @@ def diff_artifacts(old: BenchArtifact, new: BenchArtifact, *,
     of treating absent old cells as missing coverage -- this is how a
     ``--smoke`` sweep gates against the committed full-table baseline.
     """
+    from ..scheduling.policy import DEFAULT_POLICY
+
+    default_fp = DEFAULT_POLICY.fingerprint()
     diff = BenchDiff(rel_tol=rel_tol)
     old_by_key = {r.key: r for r in old.records}
     new_by_key = {r.key: r for r in new.records}
@@ -285,6 +299,19 @@ def diff_artifacts(old: BenchArtifact, new: BenchArtifact, *,
             # silently gating one against the other would produce
             # spurious verdicts either way.
             diff.incomparable.append(key)
+            diff.incomparable_reasons[key] = "different unroll"
+            continue
+        # Same precedent for schedule policies: a tuned cell gated
+        # against a default-policy baseline (or vice versa) measures a
+        # different scheduler configuration, not a regression.  Absent
+        # fingerprints (pre-policy artifacts, POST cells) normalize to
+        # the default-policy fingerprint, so committed baselines keep
+        # gating default sweeps.
+        fp_old = r_old.policy_fingerprint or default_fp
+        fp_new = r_new.policy_fingerprint or default_fp
+        if fp_old != fp_new:
+            diff.incomparable.append(key)
+            diff.incomparable_reasons[key] = "different schedule policy"
             continue
         delta = RecordDelta(kernel=r_old.kernel, fus=r_old.fus,
                             backend=r_old.backend,

@@ -4,8 +4,10 @@ The existing tree-walker-vs-VM checker is a correctness engine waiting
 for inputs; this module feeds it.  Every fuzz seed deterministically
 pins one :class:`FuzzCase` -- a scenario-space program
 (:mod:`repro.workloads.synth`) plus a machine shape (FU count, optional
-typed budgets) and an unroll factor -- and runs the full check
-pipeline:
+typed budgets), an unroll factor, and (the ``policy`` stratum, about a
+quarter of seeds) a seeded random-but-valid
+:class:`~repro.scheduling.policy.SchedulePolicy` the case is scheduled
+under -- and runs the full check pipeline:
 
 1. **frontend round-trip** -- the generated DSL source must lex, parse
    and lower;
@@ -111,6 +113,22 @@ class FuzzCase:
     typed_shape: str = "balanced"
     #: :data:`LATENCY_MAPS` key, or None for the single-cycle machine
     lat: str | None = None
+    #: ``policy`` stratum: derivation seed of a random (but valid)
+    #: :class:`~repro.scheduling.policy.SchedulePolicy` the case is
+    #: scheduled under, or None for the default policy.  Kept as a seed
+    #: (not the policy itself) so the case stays a pure function of the
+    #: fuzz seed.
+    policy_seed: int | None = None
+
+    def policy(self):
+        """The case's SchedulePolicy, or None for the default."""
+        if self.policy_seed is None:
+            return None
+        from ..tune.search import random_policy
+
+        return random_policy(
+            random.Random(f"grip-fuzz-policy:{self.policy_seed}"),
+            allow_gap_off=True)
 
     def machine(self) -> MachineConfig:
         latencies = LATENCY_MAPS[self.lat] if self.lat else None
@@ -129,14 +147,21 @@ def case_from_seed(seed: int) -> FuzzCase:
     fus = rng.choice((2, 4, 8))
     typed = rng.random() < 0.3
     unroll = rng.choice((4, 6, 8))
+    typed_shape = rng.choice(TYPED_SHAPES) if typed else "balanced"
+    lat = rng.choice((None, None, None, "short", "long"))
+    # Seed-reproducibility contract: this draw is APPENDED after every
+    # pre-existing one, so older seeds derive byte-identical cases up
+    # to the new axis.
+    policy_seed = seed if rng.random() < 0.25 else None
     return FuzzCase(
         seed=seed,
         scenario=scenario_from_seed(seed),
         fus=fus,
         typed=typed,
         unroll=unroll,
-        typed_shape=rng.choice(TYPED_SHAPES) if typed else "balanced",
-        lat=rng.choice((None, None, None, "short", "long")),
+        typed_shape=typed_shape,
+        lat=lat,
+        policy_seed=policy_seed,
     )
 
 
@@ -224,6 +249,7 @@ def check_source(
     lanes: int = DEFAULT_LANES,
     tracer=None,
     cache=None,
+    policy=None,
 ) -> CaseStats:
     """Run the full fuzz check pipeline; raises on any divergence.
 
@@ -244,6 +270,12 @@ def check_source(
     :class:`~repro.cache.ScheduleCache`) lets fuzz cases that collide
     on canonical form (alpha-equivalent generated programs) reuse one
     schedule; every warm result is still fully re-checked below.
+
+    ``policy`` (a :class:`~repro.scheduling.policy.SchedulePolicy`, or
+    None for the default) steers the schedule under test -- the
+    ``policy`` stratum runs seeds under seeded random policies, and
+    every check below applies unchanged: a valid policy may produce a
+    different schedule, never an incorrect one.
     """
     from .. import api
     from ..backend.check import batched_pair_check
@@ -256,7 +288,7 @@ def check_source(
     res = api.schedule(
         loop, machine,
         options=api.ScheduleOptions(unroll=unroll, measure=False,
-                                    verify_analysis=verify),
+                                    verify_analysis=verify, policy=policy),
         cache=cache, tracer=tracer)
     if isinstance(loop, CountedLoop):
         unwound = res.unwound
@@ -293,6 +325,7 @@ def run_source(
     tracer=None,
     stats_sink: list[CaseStats] | None = None,
     cache=None,
+    policy=None,
 ) -> FuzzFailure | None:
     """:func:`check_source` with failures classified, not raised.
 
@@ -307,7 +340,7 @@ def run_source(
     try:
         stats = check_source(
             source, unroll, machine, name=name, verify=verify, tamper=tamper,
-            lanes=lanes, tracer=tracer, cache=cache,
+            lanes=lanes, tracer=tracer, cache=cache, policy=policy,
         )
     except (LexError, ParseError, LowerError) as exc:
         return FuzzFailure("frontend", f"{type(exc).__name__}: {exc}")
@@ -348,6 +381,7 @@ def run_case(
         tracer=tracer,
         stats_sink=stats_sink,
         cache=cache,
+        policy=case.policy(),
     )
 
 
@@ -389,6 +423,9 @@ def shrink_case(
     minimized source would track a different failure than it records.
     """
     machine = case.machine()
+    # A policy-stratum failure may only reproduce under the case's
+    # policy; every shrink candidate keeps it.
+    policy = case.policy()
     attempts = 0
 
     def fails(candidate: SynthProgram, unroll: int) -> bool:
@@ -402,6 +439,7 @@ def shrink_case(
             verify=verify,
             tamper=tamper,
             lanes=lanes,
+            policy=policy,
         )
         if failure is None:
             return False
@@ -457,6 +495,12 @@ def write_artifact(
             "lat": case.lat,
             "unroll": case.unroll,
             "scenario": case.scenario.to_dict(),
+            # the rendered policy dict travels alongside its seed so
+            # replay does NOT depend on random_policy's draw sequence
+            # staying frozen across versions
+            "policy_seed": case.policy_seed,
+            "policy": (case.policy().to_dict()
+                       if case.policy_seed is not None else None),
         },
         "failure": failure.to_dict(),
         "source": program.source(),
@@ -513,6 +557,14 @@ def replay(path: str | Path, *, tracer=None) -> FuzzFailure | None:
         source, unroll = minimized["source"], minimized["unroll"]
     else:
         source, unroll = data["source"], case["unroll"]
+    # Policy-stratum artifacts replay the *recorded* policy dict (not a
+    # re-derivation from policy_seed): the failure pins the policy that
+    # exposed it even if random_policy's draws change later.
+    policy = None
+    if case.get("policy") is not None:
+        from ..scheduling.policy import SchedulePolicy
+
+        policy = SchedulePolicy.from_dict(case["policy"])
     return run_source(
         source,
         unroll,
@@ -524,6 +576,7 @@ def replay(path: str | Path, *, tracer=None) -> FuzzFailure | None:
         # failures reproduce on the reference lanes regardless
         lanes=data.get("lanes", DEFAULT_LANES),
         tracer=tracer,
+        policy=policy,
     )
 
 
@@ -531,9 +584,10 @@ def replay(path: str | Path, *, tracer=None) -> FuzzFailure | None:
 # The campaign driver
 # ----------------------------------------------------------------------
 #: stratification buckets: the five body patterns, the two program
-#: shapes, and the three pass-pipeline shapes the generator can emit.
+#: shapes, the three pass-pipeline shapes the generator can emit, and
+#: the policy axis (cases scheduled under a seeded random policy).
 STRATA = ("stream", "reduction", "recurrence", "indirect", "mixed",
-          "while", "multi_loop", "nested", "fusable", "hoist")
+          "while", "multi_loop", "nested", "fusable", "hoist", "policy")
 
 
 def stratum_of(scenario: Scenario) -> str:
@@ -565,6 +619,21 @@ def stratum_of(scenario: Scenario) -> str:
     return scenario.pattern
 
 
+def case_stratum(seed: int) -> str:
+    """The stratum of one fuzz seed's fully derived case.
+
+    The ``policy`` axis wins over every program-shape stratum: a seed
+    scheduled under a random policy exercises the policy surface no
+    matter what its program looks like, and the axis is orthogonal to
+    the generator (so no scenario-side stratum loses coverage -- its
+    seeds just also appear here occasionally).
+    """
+    case = case_from_seed(seed)
+    if case.policy_seed is not None:
+        return "policy"
+    return stratum_of(case.scenario)
+
+
 def stratified_seeds(
     budget: int, seed0: int = 0, *, scan_factor: int = 40
 ) -> list[int]:
@@ -583,7 +652,7 @@ def stratified_seeds(
     enough = -(-budget // len(STRATA))
     buckets: dict[str, list[int]] = {s: [] for s in STRATA}
     for seed in range(seed0, seed0 + budget * scan_factor):
-        bucket = buckets[stratum_of(scenario_from_seed(seed))]
+        bucket = buckets[case_stratum(seed)]
         if len(bucket) < budget:
             bucket.append(seed)
             if all(len(b) >= enough for b in buckets.values()):

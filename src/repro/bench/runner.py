@@ -72,6 +72,13 @@ class BenchJob:
     #: no decision stream to journal, and profile cells exist to
     #: journal one).
     cache: str | None = None
+    #: schedule policy as a plain JSON-able dict
+    #: (:meth:`~repro.scheduling.policy.SchedulePolicy.to_dict`), so
+    #: jobs stay picklable AND serializable through ``repro serve``
+    #: payloads unchanged.  None means DEFAULT_POLICY.  POST cells
+    #: ignore it (POST predates the policy surface and has no GRiP
+    #: knobs to steer).
+    policy: dict | None = None
 
 
 _CACHES: dict[str, object] = {}
@@ -151,6 +158,16 @@ def _profile_payload(tracer) -> dict | None:
             "top_blocked": tracer.top_blocked(5)}
 
 
+def _job_policy(job: BenchJob):
+    """The job's SchedulePolicy (None when default) and its fingerprint."""
+    from ..scheduling.policy import DEFAULT_POLICY, SchedulePolicy
+
+    if job.policy is None:
+        return None, DEFAULT_POLICY.fingerprint()
+    policy = SchedulePolicy.from_dict(job.policy)
+    return policy, policy.fingerprint()
+
+
 def run_job(job: BenchJob) -> BenchRecord:
     """Execute one sweep cell (top-level: must be pool-picklable)."""
     from .. import api
@@ -181,10 +198,12 @@ def run_job(job: BenchJob) -> BenchRecord:
             family=job.family)
 
     tracer = _make_tracer(job)
+    policy, policy_fp = _job_policy(job)
     t1 = time.perf_counter()
     res = api.schedule(
         loop, machine,
-        options=api.ScheduleOptions(unroll=job.unroll, measure=False),
+        options=api.ScheduleOptions(unroll=job.unroll, measure=False,
+                                    policy=policy),
         cache=_job_cache(job), tracer=tracer)
     stages["pipeline"] = time.perf_counter() - t1
     stages["schedule"] = res.schedule.seconds
@@ -198,7 +217,8 @@ def run_job(job: BenchJob) -> BenchRecord:
         candidate_builds=res.schedule.candidate_builds,
         family=job.family,
         analysis_counters=dict(res.schedule.analysis_counters),
-        profile=_profile_payload(tracer))
+        profile=_profile_payload(tracer),
+        policy_fingerprint=policy_fp)
 
     if job.backend == "vm":
         from ..backend import differential_check
@@ -223,11 +243,12 @@ def _run_program_job(job: BenchJob, program, machine,
         raise ValueError(
             f"POST has no program-level baseline for {job.kernel!r}")
     tracer = _make_tracer(job)
+    policy, policy_fp = _job_policy(job)
     t1 = time.perf_counter()
     res = api.schedule(
         program, machine,
         options=api.ScheduleOptions(unroll=job.unroll, measure=True,
-                                    seeds=(0,)),
+                                    seeds=(0,), policy=policy),
         cache=_job_cache(job), tracer=tracer)
     stages["pipeline"] = time.perf_counter() - t1
     scheds = [seg.schedule for seg in res.segments
@@ -249,7 +270,8 @@ def _run_program_job(job: BenchJob, program, machine,
                           if scheds else None),
         family=job.family,
         analysis_counters=counters if scheds else None,
-        profile=_profile_payload(tracer))
+        profile=_profile_payload(tracer),
+        policy_fingerprint=policy_fp)
 
     if job.backend == "vm":
         from ..backend import differential_check

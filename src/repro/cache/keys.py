@@ -12,7 +12,9 @@ output changes.  The ingredients:
   silently invalidated;
 * the scheduling options fingerprint (unroll, gap prevention,
   speculation, program optimization, measurement settings, heuristic
-  class).
+  class, and the schedule policy's own fingerprint -- which already
+  folds in ``POLICY_SCHEMA``, so a policy-semantics bump invalidates
+  entries exactly like a scheduler-version bump).
 
 One subtlety: measured cycle counts are *name-dependent* -- the
 differential checker seeds register values by sorted-name index, so
@@ -61,8 +63,13 @@ def options_fingerprint(options, form: CanonicalForm) -> str:
     computation without changing its output.  (A warm hit therefore
     emits no tracer events -- ``repro explain`` never uses the cache.)
     """
+    from ..scheduling.policy import DEFAULT_POLICY
+
     heuristic = options.heuristic
     hname = type(heuristic).__name__ if heuristic is not None else "default"
+    policy = getattr(options, "policy", None)
+    if policy is None:
+        policy = DEFAULT_POLICY
     parts = [
         f"unroll={options.unroll}",
         f"gap={options.gap_prevention}",
@@ -72,6 +79,7 @@ def options_fingerprint(options, form: CanonicalForm) -> str:
         f"verify={options.verify}",
         f"seeds={tuple(options.seeds)}",
         f"heuristic={hname}",
+        f"policy={policy.fingerprint()}",
     ]
     if options.measure:
         names = ";".join(f"{k}={v}" for k, v in

@@ -11,7 +11,22 @@ hit decodes a fresh copy, so callers that mutate a returned graph
 (the fuzz tamper stage does) can never poison later hits.
 
 Counters land in a :class:`~repro.obs.metrics.MetricsRegistry` under
-group ``cache``: hits / misses / stores / evictions / corrupt.
+group ``cache``: hits / misses / stores / evictions / corrupt, plus
+``disk_evictions`` (max-entries cap) and ``expired`` (TTL cap).
+
+Beyond the bytes-LRU front, two optional *disk* caps bound a cache
+directory under many-policy churn (the ``repro tune`` search loop
+writes one entry per candidate policy):
+
+* ``max_entries`` -- after every store, the oldest entries (by file
+  mtime) are unlinked until at most this many remain;
+* ``ttl_seconds`` -- entries older than this are treated as misses at
+  fetch time and unlinked.
+
+Both caps are best-effort under concurrent writers (counts are
+re-scanned, never trusted across processes), which is exactly the
+semantics a shared tune/fuzz cache needs: stale or evicted entries
+just recompute.
 """
 
 from __future__ import annotations
@@ -35,43 +50,102 @@ class ScheduleCache:
 
     def __init__(self, root: str | Path, *,
                  lru_capacity: int = DEFAULT_LRU_CAPACITY,
+                 max_entries: int | None = None,
+                 ttl_seconds: float | None = None,
                  metrics: MetricsRegistry | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be > 0, got {ttl_seconds}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.lru_capacity = lru_capacity
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lru: OrderedDict[str, bytes] = OrderedDict()
+        #: entry birth times mirrored beside the LRU front, so TTL
+        #: verdicts for front hits don't need a stat() per fetch
+        self._stamps: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.pkl"
 
-    def _remember(self, digest: str, data: bytes) -> None:
+    def _remember(self, digest: str, data: bytes,
+                  stamp: float | None = None) -> None:
         self._lru[digest] = data
         self._lru.move_to_end(digest)
+        if self.ttl_seconds is not None:
+            self._stamps[digest] = stamp if stamp is not None else time.time()
         while len(self._lru) > self.lru_capacity:
-            self._lru.popitem(last=False)
+            evicted, _ = self._lru.popitem(last=False)
+            self._stamps.pop(evicted, None)
             self.metrics.increment("cache", "evictions")
+
+    def _expired(self, digest: str, stamp: float | None) -> bool:
+        """TTL verdict (False when no TTL or no birth time is known)."""
+        if self.ttl_seconds is None or stamp is None:
+            return False
+        return time.time() - stamp > self.ttl_seconds
 
     def _read(self, digest: str) -> bytes | None:
         data = self._lru.get(digest)
         if data is not None:
+            if self._expired(digest, self._stamps.get(digest)):
+                self._drop(digest)
+                self.metrics.increment("cache", "expired")
+                return None
             self._lru.move_to_end(digest)
             return data
         path = self._path(digest)
         try:
+            stamp = path.stat().st_mtime
+            if self._expired(digest, stamp):
+                self._drop(digest)
+                self.metrics.increment("cache", "expired")
+                return None
             data = path.read_bytes()
         except OSError:
             return None
-        self._remember(digest, data)
+        self._remember(digest, data, stamp=stamp)
         return data
 
     def _drop(self, digest: str) -> None:
         self._lru.pop(digest, None)
+        self._stamps.pop(digest, None)
         try:
             self._path(digest).unlink()
         except OSError:
             pass
+
+    def _enforce_entry_cap(self) -> None:
+        """Unlink the oldest on-disk entries beyond ``max_entries``.
+
+        Ages come from file mtimes, so the cap composes with other
+        writers of the same directory; a racing unlink is ignored (the
+        entry is gone either way).
+        """
+        if self.max_entries is None:
+            return
+        entries = list(self.root.glob("??/*.pkl"))
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+        entries.sort(key=mtime)
+        for path in entries[:excess]:
+            self._lru.pop(path.stem, None)
+            self._stamps.pop(path.stem, None)
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.metrics.increment("cache", "disk_evictions")
 
     # ------------------------------------------------------------------
     def fetch(self, program: CountedLoop | LoopProgram,
@@ -111,6 +185,7 @@ class ScheduleCache:
         os.replace(tmp, path)
         self._remember(digest, data)
         self.metrics.increment("cache", "stores")
+        self._enforce_entry_cap()
         return digest
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ from ..ir.loops import CountedLoop
 from ..machine.model import MachineConfig
 from ..obs.tracer import NULL_TRACER, SegmentBegin, Tracer
 from ..scheduling.grip import GRiPScheduler, ScheduleResult
+from ..scheduling.policy import DEFAULT_POLICY, SchedulePolicy
 from ..scheduling.priority import Heuristic, PaperHeuristic
 from ..simulator.check import EquivalenceError, initial_state, input_registers
 from ..simulator.interp import run
@@ -117,7 +118,8 @@ def schedule_loop(loop: CountedLoop, machine: MachineConfig, *,
                   verify: bool = True,
                   verify_analysis: bool = False,
                   seeds: tuple[int, ...] = (0,),
-                  tracer: Tracer | None = None) -> PipelineResult:
+                  tracer: Tracer | None = None,
+                  policy: SchedulePolicy | None = None) -> PipelineResult:
     """Run the full Perfect Pipelining flow on one counted loop.
 
     ``tracer`` (observe-only) receives the scheduler's decision stream;
@@ -126,9 +128,19 @@ def schedule_loop(loop: CountedLoop, machine: MachineConfig, *,
     :class:`~repro.analysis.incremental.AnalysisManager` to the
     unwound graph before GRiP runs (the fuzz lane's journal check);
     like the tracer it observes without changing the schedule.
+    ``policy`` steers ranking, fill order, speculation, gap strictness
+    and (absent an explicit ``unroll``) the unroll factor; the default
+    policy is schedule-neutral.  An explicit ``heuristic`` overrides
+    the policy's ranking axes.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
-    k = unroll if unroll is not None else default_unroll(machine, loop)
+    pol = policy if policy is not None else DEFAULT_POLICY
+    if unroll is not None:
+        k = unroll
+    elif pol.unroll is not None:
+        k = pol.unroll
+    else:
+        k = default_unroll(machine, loop)
     unwound = unwind_counted(loop, k)
     if verify_analysis:
         from ..analysis.incremental import AnalysisManager
@@ -137,10 +149,10 @@ def schedule_loop(loop: CountedLoop, machine: MachineConfig, *,
     if tracer.enabled:
         tracer.emit(SegmentBegin(index=0, kind="counted", name=loop.name))
     scheduler = GRiPScheduler(
-        machine, heuristic or PaperHeuristic(),
+        machine, heuristic,
         gap_prevention=gap_prevention,
         allow_speculation=allow_speculation,
-        tracer=tracer)
+        tracer=tracer, policy=pol)
     schedule = scheduler.schedule(unwound.graph, ranking_ops=unwound.ops)
     pattern = find_pattern(unwound, unwound.graph)
     throughput = graph_throughput(unwound, unwound.graph)

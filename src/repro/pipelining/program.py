@@ -47,7 +47,8 @@ from ..machine.model import MachineConfig
 from ..obs.tracer import NULL_TRACER, SegmentBegin, Tracer
 from ..scheduling.grip import GRiPScheduler, ScheduleResult
 from ..scheduling.listsched import list_schedule
-from ..scheduling.priority import Heuristic, PaperHeuristic
+from ..scheduling.policy import DEFAULT_POLICY, SchedulePolicy
+from ..scheduling.priority import Heuristic, WeightedHeuristic
 from ..simulator.check import check_equivalent, initial_state, input_registers
 from ..simulator.interp import run
 from .pattern import PipelinePattern, ThroughputEstimate, find_pattern, graph_throughput
@@ -258,7 +259,9 @@ def schedule_program(program: LoopProgram, machine: MachineConfig, *,
                      verify: bool = True,
                      verify_analysis: bool = False,
                      seeds: tuple[int, ...] = (0,),
-                     tracer: Tracer | None = None) -> ProgramPipelineResult:
+                     tracer: Tracer | None = None,
+                     policy: SchedulePolicy | None = None
+                     ) -> ProgramPipelineResult:
     """Schedule a whole loop program through the staged pass pipeline.
 
     The program is first normalized into a
@@ -276,16 +279,23 @@ def schedule_program(program: LoopProgram, machine: MachineConfig, *,
     counted segment before GRiP runs (the fuzz lane's journal check).
     ``tracer`` (observe-only) receives every counted segment's GRiP
     decision stream bracketed by ``SegmentBegin`` events, plus the
-    pass pipeline's transform events.
+    pass pipeline's transform events.  ``policy`` steers each
+    segment's scheduling knobs plus the per-pass enables of the
+    ``optimize`` pipeline (a pass runs only when ``optimize`` is on
+    *and* the policy enables it); the default policy is
+    schedule-neutral.
     """
     from .passes import (fuse_counted_segments, hoist_invariants,
                          normalize_program, slack_slot_motion)
 
     tracer = tracer if tracer is not None else NULL_TRACER
+    pol = policy if policy is not None else DEFAULT_POLICY
     plan = normalize_program(program)
     if optimize:
-        hoist_invariants(plan, tracer)
-        fuse_counted_segments(plan, tracer)
+        if pol.enable_hoist:
+            hoist_invariants(plan, tracer)
+        if pol.enable_fuse:
+            fuse_counted_segments(plan, tracer)
     segments: list[SegmentSchedule] = []
     for i, seg_plan in enumerate(plan.segments):
         lp = seg_plan.loop
@@ -293,17 +303,22 @@ def schedule_program(program: LoopProgram, machine: MachineConfig, *,
             if tracer.enabled:
                 tracer.emit(SegmentBegin(index=i, kind="counted",
                                          name=lp.name))
-            k = unroll if unroll is not None else default_unroll(machine, lp)
+            if unroll is not None:
+                k = unroll
+            elif pol.unroll is not None:
+                k = pol.unroll
+            else:
+                k = default_unroll(machine, lp)
             unwound = unwind_counted(lp, k)
             if verify_analysis:
                 from ..analysis.incremental import AnalysisManager
 
                 AnalysisManager(unwound.graph, verify=True)
             scheduler = GRiPScheduler(
-                machine, heuristic or PaperHeuristic(),
+                machine, heuristic,
                 gap_prevention=gap_prevention,
                 allow_speculation=allow_speculation,
-                tracer=tracer)
+                tracer=tracer, policy=pol)
             sched = scheduler.schedule(unwound.graph,
                                        ranking_ops=unwound.ops,
                                        exit_live=lp.live_out)
@@ -318,8 +333,11 @@ def schedule_program(program: LoopProgram, machine: MachineConfig, *,
                                          name=lp.name))
             segments.append(SegmentSchedule(
                 loop=lp, kind="while",
-                graph=compact_while(lp, machine, heuristic=heuristic)))
-    if optimize:
+                graph=compact_while(
+                    lp, machine,
+                    heuristic=(heuristic if heuristic is not None
+                               else WeightedHeuristic(pol)))))
+    if optimize and pol.enable_slack:
         slack_slot_motion(plan, segments, machine, tracer)
     parts: list = []
     for seg_plan, seg in zip(plan.segments, segments):

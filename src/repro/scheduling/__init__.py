@@ -4,6 +4,7 @@ from .gaps import GapPreventionPolicy, gapless_move
 from .grip import GRiPScheduler, ScheduleResult
 from .listsched import ListSchedule, list_schedule
 from .moveable import MoveableOps
+from .policy import DEFAULT_POLICY, POLICY_SCHEMA, SchedulePolicy
 from .post import POSTScheduler, PostResult, RepackedSchedule, asap_pipeline_rows, repack
 from .priority import (
     AlphabeticalHeuristic,
@@ -11,15 +12,17 @@ from .priority import (
     PaperHeuristic,
     Ranking,
     SourceOrderHeuristic,
+    WeightedHeuristic,
     ranked_templates,
 )
 from .unifiable import UnifiableOpsScheduler, UnifiableStats
 
 __all__ = [
-    "AlphabeticalHeuristic", "GRiPScheduler", "GapPreventionPolicy",
-    "Heuristic", "ListSchedule", "MoveableOps", "POSTScheduler",
-    "PaperHeuristic", "PostResult", "Ranking", "RepackedSchedule",
-    "ScheduleResult", "SourceOrderHeuristic", "UnifiableOpsScheduler",
-    "UnifiableStats", "asap_pipeline_rows", "gapless_move",
+    "AlphabeticalHeuristic", "DEFAULT_POLICY", "GRiPScheduler",
+    "GapPreventionPolicy", "Heuristic", "ListSchedule", "MoveableOps",
+    "POLICY_SCHEMA", "POSTScheduler", "PaperHeuristic", "PostResult",
+    "Ranking", "RepackedSchedule", "SchedulePolicy", "ScheduleResult",
+    "SourceOrderHeuristic", "UnifiableOpsScheduler", "UnifiableStats",
+    "WeightedHeuristic", "asap_pipeline_rows", "gapless_move",
     "list_schedule", "ranked_templates", "repack",
 ]

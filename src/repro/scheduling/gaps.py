@@ -109,9 +109,17 @@ def _would_be_moveable(graph: ProgramGraph, s_nid: int, from_nid: int,
 
 
 def gapless_move(graph: ProgramGraph, from_nid: int, to_nid: int, uid: int,
-                 machine: MachineConfig, *,
+                 machine: MachineConfig, *, probe: bool = True,
                  _visiting: frozenset[tuple[int, int]] = frozenset()) -> bool:
-    """The paper's Gapless-move(From, To, Op) test."""
+    """The paper's Gapless-move(From, To, Op) test.
+
+    ``probe=False`` skips condition 4 (the recursive would-be-moveable
+    probe into successors): only the purely local conditions 1-3 may
+    grant the move.  That verdict is *stricter* than the full test --
+    every ``local`` pass is also a ``strict`` pass -- so it stays sound
+    (more suspensions, never more gaps); the ``gap_mode="local"``
+    policy axis trades schedule quality for cheaper checks.
+    """
     node = graph.nodes[from_nid]
     op = node.get_op(uid)
     if op.iteration < 0:
@@ -132,6 +140,8 @@ def gapless_move(graph: ProgramGraph, from_nid: int, to_nid: int, uid: int,
 
     # Condition 4: some same-iteration X in a successor S could slide
     # into From and itself satisfy Gapless-move(S, From, X).
+    if not probe:
+        return False
     key = (from_nid, uid)
     if key in _visiting:
         return False
@@ -158,6 +168,10 @@ class GapPreventionPolicy:
     graph: ProgramGraph
     machine: MachineConfig
     enabled: bool = True
+    #: "strict" runs the full Gapless-move test; "local" skips the
+    #: condition-4 probe (sound: strictly fewer grants).  "off" is
+    #: expressed as ``enabled=False`` by the scheduler.
+    mode: str = "strict"
     #: decision tracer (observe-only; NULL_TRACER costs nothing)
     tracer: Tracer = NULL_TRACER
     #: suspended template -> depth (RPO position) at suspension time
@@ -196,7 +210,8 @@ class GapPreventionPolicy:
         uid = self._uid_of(graph, from_nid, op)
         if uid is None:
             return False
-        if gapless_move(graph, from_nid, to_nid, uid, self.machine):
+        if gapless_move(graph, from_nid, to_nid, uid, self.machine,
+                        probe=self.mode != "local"):
             return True
         # Rule 1: suspend.
         index = rpo_index(graph)

@@ -31,7 +31,8 @@ from ..percolation.migrate import MigrateContext, migrate
 from ..percolation.moveop import PercolationStats
 from .gaps import GapPreventionPolicy
 from .moveable import MoveableOps
-from .priority import Heuristic, PaperHeuristic, Ranking
+from .policy import DEFAULT_POLICY, SchedulePolicy
+from .priority import Heuristic, Ranking, WeightedHeuristic
 
 
 @dataclass
@@ -82,13 +83,18 @@ class GRiPScheduler:
         Resource budget (use :data:`~repro.machine.INFINITE_RESOURCES`
         for unconstrained percolation).
     heuristic:
-        Operation-ranking heuristic; defaults to the paper's.
+        Operation-ranking heuristic; ``None`` (the default) derives a
+        :class:`~repro.scheduling.priority.WeightedHeuristic` from the
+        policy -- which under :data:`DEFAULT_POLICY` ranks identically
+        to the paper's heuristic.
     gap_prevention:
         Enforce section 3.3's rules (needed for Perfect Pipelining
-        convergence; harmless elsewhere).
+        convergence; harmless elsewhere).  ANDed with the policy's
+        ``gap_mode`` ("off" disables regardless of this flag).
     allow_speculation:
         Permit hoisting of ops guarded by conditionals ("GRiP always
         allows speculative scheduling"); off for the ablation study.
+        ANDed with the policy's ``speculate`` axis.
     cleanup_interval:
         Run the incremental clean-up passes after this many processed
         nodes (0 disables in-pass cleanup).
@@ -106,7 +112,7 @@ class GRiPScheduler:
     """
 
     machine: MachineConfig
-    heuristic: Heuristic = field(default_factory=PaperHeuristic)
+    heuristic: Heuristic | None = None
     gap_prevention: bool = True
     allow_speculation: bool = True
     cleanup_interval: int = 0
@@ -117,6 +123,9 @@ class GRiPScheduler:
     #: bit-identical with any tracer attached, and the NULL_TRACER
     #: default costs one attribute read per decision point.
     tracer: Tracer = NULL_TRACER
+    #: the policy steering ranking/fill/speculation/gap strictness;
+    #: DEFAULT_POLICY is schedule-neutral (the equivalence-suite pin)
+    policy: SchedulePolicy = DEFAULT_POLICY
 
     def schedule(self, graph: ProgramGraph, *,
                  ranking_ops: Sequence[Operation] | None = None,
@@ -140,19 +149,25 @@ class GRiPScheduler:
                     key=lambda pair: (pair[1].iteration, pair[1].pos,
                                       pair[1].uid))]
             dag = build_dag(ranking_ops)
-            ranking = self.heuristic.rank(ranking_ops, dag)
+            heuristic = (self.heuristic if self.heuristic is not None
+                         else WeightedHeuristic(self.policy))
+            ranking = heuristic.rank(ranking_ops, dag)
 
         regfile = regfile if regfile is not None else RegisterFile()
-        policy = GapPreventionPolicy(graph, self.machine,
-                                     enabled=self.gap_prevention,
-                                     tracer=self.tracer)
+        policy = GapPreventionPolicy(
+            graph, self.machine,
+            enabled=self.gap_prevention and self.policy.gap_mode != "off",
+            mode=self.policy.gap_mode,
+            tracer=self.tracer)
         ctx = MigrateContext(
             graph=graph, machine=self.machine, regfile=regfile,
             policy=policy, exit_live=exit_live,
-            allow_speculation=self.allow_speculation,
+            allow_speculation=(self.allow_speculation
+                               and self.policy.speculate),
             tracer=self.tracer)
         moveable = MoveableOps(graph, ranking, memoize=self.memoize,
-                               tracer=self.tracer)
+                               tracer=self.tracer,
+                               fill_order=self.policy.fill_order)
 
         visited: set[int] = set()
         processed = 0

@@ -26,6 +26,25 @@ from ..obs.tracer import NULL_TRACER, CandidateSetBuilt, Tracer
 from .priority import Ranking, ranked_templates
 
 
+def _apply_fill_order(ranked: list[int], fill_order: str) -> list[int]:
+    """Permute a rank-sorted template list per the policy's fill order."""
+    if fill_order == "ranked":
+        return ranked
+    if fill_order == "reversed":
+        return ranked[::-1]
+    if fill_order == "alternate":
+        out: list[int] = []
+        lo, hi = 0, len(ranked) - 1
+        while lo <= hi:
+            out.append(ranked[lo])
+            if lo != hi:
+                out.append(ranked[hi])
+            lo += 1
+            hi -= 1
+        return out
+    raise ValueError(f"unknown fill order {fill_order!r}")
+
+
 @dataclass
 class MoveableOps:
     """Candidate tracker for one scheduling pass.
@@ -48,6 +67,13 @@ class MoveableOps:
     memoize: bool = True
     #: decision tracer (observe-only; NULL_TRACER costs nothing)
     tracer: Tracer = NULL_TRACER
+    #: candidate iteration order at each node: "ranked" walks the sort
+    #: order (the paper), "reversed" walks it back-to-front,
+    #: "alternate" interleaves best/worst ends.  A pure permutation of
+    #: the ranked list, applied before the stuck/scheduled filter on
+    #: both the memoized and rebuild paths -- so the fill order, like
+    #: the ranking itself, is memoization-neutral.
+    fill_order: str = "ranked"
     #: templates that failed to move at all for the current node
     stuck: set[int] = field(default_factory=set)
     #: templates scheduled (landed in / above the current node)
@@ -113,7 +139,8 @@ class MoveableOps:
                     continue
                 seen.add(op.tid)
                 tids.append(op.tid)
-        ranked = ranked_templates(self.ranking, tids)
+        ranked = _apply_fill_order(ranked_templates(self.ranking, tids),
+                                   self.fill_order)
         if self.tracer.enabled:
             self.tracer.emit(CandidateSetBuilt(nid=n, size=len(ranked)))
         if self.memoize:

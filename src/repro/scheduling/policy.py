@@ -1,0 +1,158 @@
+"""One frozen, fingerprinted value for every scheduling knob.
+
+Before this module the knobs steering a schedule were scattered: the
+section 3.4 ranking lived hard-coded in
+:class:`~repro.scheduling.priority.PaperHeuristic`, speculation and
+gap prevention were loose booleans on
+:class:`~repro.scheduling.grip.GRiPScheduler`, the unroll factor was a
+keyword with a per-call default, and the program pass pipeline had no
+per-pass switches at all.  :class:`SchedulePolicy` folds them into one
+hashable dataclass that travels the whole stack -- heuristic, GRiP,
+``schedule_loop`` / ``schedule_program``, ``api.ScheduleOptions``, the
+cache key, serve job payloads and bench records -- and that the
+``repro tune`` lane can search over.
+
+Contracts:
+
+* **Default neutrality.**  :data:`DEFAULT_POLICY` reproduces today's
+  schedules bit-identically (the memoization/tracer-neutrality
+  precedent); ``tests/integration/test_schedule_equivalence.py`` pins
+  this differentially.
+* **Fingerprint stability.**  :meth:`SchedulePolicy.fingerprint` is a
+  pure function of the field values plus :data:`POLICY_SCHEMA`; it is
+  folded into the schedule-cache key, recorded on bench records (cells
+  with differing fingerprints diff as INCOMPARABLE), and used by the
+  tuner to deduplicate candidates.  Bump :data:`POLICY_SCHEMA`
+  whenever a policy field changes *meaning* for the same rendered
+  value -- every cache entry and cross-artifact comparison is then
+  invalidated at once.
+* **JSON round-trip.**  :meth:`to_dict` / :meth:`from_dict` carry
+  policies through serve job payloads, ``TUNED_*.json`` and
+  ``FUZZ_*.json`` artifacts losslessly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, fields
+
+#: bump when a policy field changes meaning for the same rendered value
+POLICY_SCHEMA = 1
+
+#: the section 3.4 ranking terms, in the paper's order
+RANK_TERMS = ("chain", "deps", "pos")
+#: candidate fill orders at each node (see ``moveable.MoveableOps``)
+FILL_ORDERS = ("ranked", "reversed", "alternate")
+#: gap-prevention strictness (see ``gaps.GapPreventionPolicy``)
+GAP_MODES = ("strict", "local", "off")
+
+
+@dataclass(frozen=True)
+class SchedulePolicy:
+    """Every schedule-shaping knob, in one frozen value.
+
+    The defaults reproduce the paper's configuration exactly; see the
+    module docstring for the neutrality contract.
+    """
+
+    #: ranking term order -- a permutation of :data:`RANK_TERMS`
+    rank_terms: tuple[str, ...] = RANK_TERMS
+    #: weight on the chain-length term (1.0 keeps exact integer keys)
+    chain_weight: float = 1.0
+    #: weight on the dependent-count term
+    dep_weight: float = 1.0
+    #: Perfect Pipelining's iteration-major stipulation
+    iteration_major: bool = True
+    #: candidate fill order at each node (:data:`FILL_ORDERS`)
+    fill_order: str = "ranked"
+    #: permit speculative hoisting past conditionals
+    speculate: bool = True
+    #: unroll factor override (None: the caller/machine default)
+    unroll: int | None = None
+    #: gap-prevention strictness (:data:`GAP_MODES`): ``strict`` runs
+    #: the full Gapless-move test (conditions 1-4), ``local`` skips the
+    #: recursive condition-4 probe (stricter verdicts, cheaper checks),
+    #: ``off`` disables gap prevention entirely
+    gap_mode: str = "strict"
+    #: per-pass enables for the program pass pipeline
+    enable_hoist: bool = True
+    enable_fuse: bool = True
+    enable_slack: bool = True
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.rank_terms)) != tuple(sorted(RANK_TERMS)):
+            raise ValueError(
+                f"rank_terms must be a permutation of {RANK_TERMS}, "
+                f"got {self.rank_terms!r}")
+        for name in ("chain_weight", "dep_weight"):
+            w = getattr(self, name)
+            if not (isinstance(w, (int, float)) and math.isfinite(w)
+                    and w > 0):
+                raise ValueError(f"{name} must be a positive finite "
+                                 f"number, got {w!r}")
+        if self.fill_order not in FILL_ORDERS:
+            raise ValueError(f"fill_order must be one of {FILL_ORDERS}, "
+                             f"got {self.fill_order!r}")
+        if self.gap_mode not in GAP_MODES:
+            raise ValueError(f"gap_mode must be one of {GAP_MODES}, "
+                             f"got {self.gap_mode!r}")
+        if self.unroll is not None and (not isinstance(self.unroll, int)
+                                        or self.unroll < 2):
+            raise ValueError(f"unroll must be None or an int >= 2, "
+                             f"got {self.unroll!r}")
+        # tuples may arrive as lists through from_dict callers
+        if not isinstance(self.rank_terms, tuple):
+            object.__setattr__(self, "rank_terms", tuple(self.rank_terms))
+
+    # ------------------------------------------------------------------
+    @property
+    def is_default(self) -> bool:
+        return self == DEFAULT_POLICY
+
+    def render(self) -> str:
+        """Canonical one-line rendering (the fingerprint preimage)."""
+        return (f"schema={POLICY_SCHEMA} "
+                f"terms={','.join(self.rank_terms)} "
+                f"cw={self.chain_weight!r} dw={self.dep_weight!r} "
+                f"itmaj={self.iteration_major} fill={self.fill_order} "
+                f"spec={self.speculate} unroll={self.unroll} "
+                f"gap={self.gap_mode} hoist={self.enable_hoist} "
+                f"fuse={self.enable_fuse} slack={self.enable_slack}")
+
+    def fingerprint(self) -> str:
+        """Short stable digest of the policy (cache keys, artifacts)."""
+        h = hashlib.blake2b(self.render().encode(), digest_size=8)
+        return h.hexdigest()
+
+    # -- JSON round-trip -----------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "rank_terms": list(self.rank_terms),
+            "chain_weight": self.chain_weight,
+            "dep_weight": self.dep_weight,
+            "iteration_major": self.iteration_major,
+            "fill_order": self.fill_order,
+            "speculate": self.speculate,
+            "unroll": self.unroll,
+            "gap_mode": self.gap_mode,
+            "enable_hoist": self.enable_hoist,
+            "enable_fuse": self.enable_fuse,
+            "enable_slack": self.enable_slack,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchedulePolicy":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown policy fields {sorted(unknown)}; "
+                             f"accepted: {sorted(known)}")
+        kwargs = dict(data)
+        if "rank_terms" in kwargs:
+            kwargs["rank_terms"] = tuple(kwargs["rank_terms"])
+        return cls(**kwargs)
+
+
+#: the neutral policy: reproduces pre-policy schedules bit-identically
+DEFAULT_POLICY = SchedulePolicy()

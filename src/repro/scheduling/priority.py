@@ -25,6 +25,7 @@ from typing import Protocol, Sequence
 from ..analysis.chains import chain_lengths, dependent_counts
 from ..analysis.dependence import DependenceDAG, build_dag
 from ..ir.operations import Operation
+from .policy import DEFAULT_POLICY, SchedulePolicy
 
 RankKey = tuple
 Ranking = dict[int, RankKey]
@@ -58,6 +59,44 @@ class PaperHeuristic:
         for op in ops:
             it = op.iteration if (self.iteration_major and op.iteration >= 0) else -1
             ranking[op.tid] = (it, -chains[op.uid], -deps[op.uid], op.pos)
+        return ranking
+
+
+@dataclass(frozen=True)
+class WeightedHeuristic:
+    """The section 3.4 heuristic, generalized over a
+    :class:`~repro.scheduling.policy.SchedulePolicy`.
+
+    The policy chooses the ranking term *order* and the weights on the
+    chain-length and dependent-count terms.  With
+    :data:`~repro.scheduling.policy.DEFAULT_POLICY` the produced rank
+    keys are tuple-for-tuple identical to :class:`PaperHeuristic`'s:
+    a weight of exactly 1.0 keeps the raw integer term (no float
+    multiplication), so default rankings compare as the same exact
+    values -- the bit-identity contract the equivalence suite pins.
+    """
+
+    policy: SchedulePolicy = DEFAULT_POLICY
+
+    def rank(self, ops: Sequence[Operation],
+             dag: DependenceDAG | None = None) -> Ranking:
+        if dag is None:
+            dag = build_dag(ops)
+        chains = chain_lengths(dag)
+        deps = dependent_counts(dag)
+        p = self.policy
+        cw, dw = p.chain_weight, p.dep_weight
+        ranking: Ranking = {}
+        for op in ops:
+            it = op.iteration if (p.iteration_major and op.iteration >= 0) else -1
+            terms = {
+                "chain": (-chains[op.uid] if cw == 1.0
+                          else -(cw * chains[op.uid])),
+                "deps": (-deps[op.uid] if dw == 1.0
+                         else -(dw * deps[op.uid])),
+                "pos": op.pos,
+            }
+            ranking[op.tid] = (it, *(terms[t] for t in p.rank_terms))
         return ranking
 
 

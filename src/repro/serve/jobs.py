@@ -88,7 +88,7 @@ def schedule_payload(res) -> dict:
 
 _OPTION_FIELDS = ("unroll", "gap_prevention", "allow_speculation",
                   "optimize", "measure", "verify", "verify_analysis",
-                  "seeds")
+                  "seeds", "policy")
 
 
 def _options_from(spec: dict | None):
@@ -104,6 +104,12 @@ def _options_from(spec: dict | None):
     kwargs = dict(spec)
     if "seeds" in kwargs:
         kwargs["seeds"] = tuple(kwargs["seeds"])
+    if kwargs.get("policy") is not None:
+        # Policies travel JSON batches as plain dicts; a bad shape is
+        # the client's error (ValueError ships back in the answer).
+        from ..scheduling.policy import SchedulePolicy
+
+        kwargs["policy"] = SchedulePolicy.from_dict(kwargs["policy"])
     return api.ScheduleOptions(**kwargs)
 
 

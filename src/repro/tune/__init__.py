@@ -1,0 +1,39 @@
+"""``repro tune``: searching the schedule-policy space per kernel.
+
+The policy surface (:mod:`repro.scheduling.policy`) exposes every
+schedule-shaping knob as one fingerprinted value; this package
+searches it.  Per (kernel, fu-config) cell the tuner runs seeded
+multi-start random sampling followed by greedy coordinate descent,
+with the objective being *realized VM cycles* of the
+differentially-checked schedule -- so a "better" policy is better by
+the same measurement that validates correctness.  The decision
+journal's ``top_blocked`` reason codes steer which policy axis the
+descent perturbs first.  Results persist as a schema-versioned
+``TUNED_*.json`` artifact that records, for every cell, the winning
+policy, its cycles, the default-policy cycles and the search budget --
+and that :func:`verify_tuned` can re-execute for exact-cycle
+reproduction.
+"""
+
+from .artifact import (
+    TUNED_KIND,
+    TUNED_SCHEMA,
+    read_tuned,
+    validate_tuned_file,
+    write_tuned,
+)
+from .search import (
+    DEFAULT_BUDGET,
+    TuneEntry,
+    TuneReport,
+    evaluate_policy,
+    random_policy,
+    run_tune,
+    verify_tuned,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET", "TUNED_KIND", "TUNED_SCHEMA", "TuneEntry",
+    "TuneReport", "evaluate_policy", "random_policy", "read_tuned",
+    "run_tune", "validate_tuned_file", "verify_tuned", "write_tuned",
+]

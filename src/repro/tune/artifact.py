@@ -1,0 +1,136 @@
+"""The ``TUNED_*.json`` artifact: persisted policy-search results.
+
+Schema (version ``TUNED_SCHEMA``)::
+
+    {
+      "schema": 1, "kind": "repro-tuned", "name": "table1",
+      "created": <epoch seconds>,
+      "budget": {"evals_per_cell": N, "seed": N, "wall_seconds": F},
+      "entries": [
+        {"kernel": "LL3", "fus": 4, "unroll": 12,
+         "policy": {<SchedulePolicy.to_dict()>},
+         "policy_fingerprint": "<16 hex>",
+         "cycles": N, "default_cycles": N,
+         "evals": N, "improved": bool,
+         "blocked_reasons": ["resource", ...]},
+        ...
+      ]
+    }
+
+Everything needed to *re-execute* an entry is inside it: the policy
+dict round-trips through ``SchedulePolicy.from_dict`` and the unroll
+pins the cell, so :func:`repro.tune.verify_tuned` can replay any
+artifact from disk and demand exact cycle reproduction.  The
+``improved`` flag is redundant with ``cycles < default_cycles`` by
+design -- :func:`validate_tuned_file` cross-checks it, so a
+hand-edited artifact can't quietly lie about a win.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from ..scheduling.policy import SchedulePolicy
+
+TUNED_SCHEMA = 1
+TUNED_KIND = "repro-tuned"
+
+
+def tuned_payload(report, *, name: str = "table1") -> dict:
+    """Wrap a :class:`~repro.tune.search.TuneReport` for JSON."""
+    return {
+        "schema": TUNED_SCHEMA,
+        "kind": TUNED_KIND,
+        "name": name,
+        "created": time.time(),
+        "budget": {
+            "evals_per_cell": report.budget,
+            "seed": report.seed,
+            "wall_seconds": report.wall_seconds,
+        },
+        "entries": [
+            {
+                "kernel": e.kernel,
+                "fus": e.fus,
+                "unroll": e.unroll,
+                "policy": e.policy.to_dict(),
+                "policy_fingerprint": e.policy.fingerprint(),
+                "cycles": e.cycles,
+                "default_cycles": e.default_cycles,
+                "evals": e.evals,
+                "improved": e.improved,
+                "blocked_reasons": list(e.reasons),
+            }
+            for e in report.entries
+        ],
+    }
+
+
+def write_tuned(report, path, *, name: str = "table1") -> dict:
+    """Persist a report; returns the payload that was written."""
+    payload = tuned_payload(report, name=name)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def read_tuned(path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+_ENTRY_KEYS = ("kernel", "fus", "unroll", "policy", "policy_fingerprint",
+               "cycles", "default_cycles", "evals", "improved")
+
+
+def validate_tuned_file(path) -> dict:
+    """Load + structurally validate a TUNED artifact from disk.
+
+    Raises :class:`ValueError` describing the first problem; returns
+    the payload when it is well-formed.  Validation includes semantic
+    cross-checks: the policy dict must rebuild to a valid
+    :class:`SchedulePolicy` whose fingerprint matches the recorded
+    one, and ``improved`` must equal ``cycles < default_cycles``.
+    """
+    payload = read_tuned(path)
+    if payload.get("schema") != TUNED_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {payload.get('schema')!r} != {TUNED_SCHEMA}")
+    if payload.get("kind") != TUNED_KIND:
+        raise ValueError(
+            f"{path}: kind {payload.get('kind')!r} != {TUNED_KIND!r}")
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{path}: entries must be a non-empty list")
+    budget = payload.get("budget")
+    if not isinstance(budget, dict) or "evals_per_cell" not in budget:
+        raise ValueError(f"{path}: budget block missing evals_per_cell")
+    for i, entry in enumerate(entries):
+        where = f"{path}: entries[{i}]"
+        missing = [k for k in _ENTRY_KEYS if k not in entry]
+        if missing:
+            raise ValueError(f"{where}: missing keys {missing}")
+        for key in ("fus", "unroll", "cycles", "default_cycles", "evals"):
+            value = entry[key]
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ValueError(
+                    f"{where}: {key} must be a positive int, "
+                    f"got {value!r}")
+        try:
+            policy = SchedulePolicy.from_dict(entry["policy"])
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{where}: bad policy: {exc}") from exc
+        if policy.fingerprint() != entry["policy_fingerprint"]:
+            raise ValueError(
+                f"{where}: policy fingerprint {entry['policy_fingerprint']}"
+                f" does not match the policy dict "
+                f"({policy.fingerprint()})")
+        if entry["improved"] != (entry["cycles"] < entry["default_cycles"]):
+            raise ValueError(
+                f"{where}: improved={entry['improved']} inconsistent with "
+                f"cycles={entry['cycles']} vs "
+                f"default_cycles={entry['default_cycles']}")
+    return payload

@@ -1,0 +1,391 @@
+"""Per-cell policy search: seeded multi-start + coordinate descent.
+
+One *cell* is a (kernel, fu-config) pair at the bench sweep's Table-1
+unroll.  The unroll is held fixed across every candidate -- realized
+cycles scale with the unroll factor, so comparing policies only makes
+sense at one K (tuning the unroll itself is a separate axis the bench
+sweep already covers).
+
+The objective is realized VM cycles of the differentially-checked
+schedule: every candidate policy's schedule is lowered to bundles,
+executed on the VM and checked against the sequential reference, so a
+policy can only "win" with a schedule that is provably equivalent.  A
+candidate whose evaluation fails (invalid schedule, check mismatch,
+resource violation) is simply skipped -- the search treats it as an
+infinitely-bad point, never as an error.
+
+Search shape per cell, within an evaluation ``budget``:
+
+1. evaluate ``DEFAULT_POLICY`` (the incumbent -- always in the
+   candidate set, so "tuned <= default" holds by construction);
+2. profile one default run under a :class:`DecisionJournal` and take
+   the ``top_blocked`` reason codes;
+3. multi-start seeded random sampling (about half the budget);
+4. greedy coordinate descent from the best point, perturbing one
+   policy axis at a time -- axes named by the blocked reasons first
+   (``resource`` -> fill order / term weights, ``gap-veto`` -> gap
+   mode, ``speculation`` -> speculate, ...), then the rest.
+
+Candidates are deduplicated by policy fingerprint and fanned through a
+``multiprocessing`` pool; workers share the schedule cache directory,
+so re-visiting a policy across cells or runs replays its schedule.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass, field, replace
+
+from ..scheduling.policy import (
+    DEFAULT_POLICY,
+    FILL_ORDERS,
+    GAP_MODES,
+    RANK_TERMS,
+    SchedulePolicy,
+)
+
+DEFAULT_BUDGET = 24
+
+#: DecisionJournal reason code -> the policy axes most likely to move
+#: that bottleneck.  Unknown reasons steer nothing (descent still
+#: sweeps every axis, just later).
+REASON_AXES: dict[str, tuple[str, ...]] = {
+    "resource": ("fill_order", "chain_weight", "dep_weight"),
+    "typed-slots": ("fill_order", "rank_terms"),
+    "gap-veto": ("gap_mode",),
+    "speculation": ("speculate",),
+    "dependence": ("rank_terms", "chain_weight", "dep_weight"),
+    "unify-fail": ("fill_order", "rank_terms"),
+    "loop-boundary": ("iteration_major",),
+}
+
+#: Every axis the coordinate descent sweeps, with its value menu.
+#: ``unroll`` is deliberately absent (held fixed per cell, see module
+#: docstring).
+AXIS_CHOICES: dict[str, tuple] = {
+    "fill_order": FILL_ORDERS,
+    "chain_weight": (0.5, 1.0, 2.0, 4.0),
+    "dep_weight": (0.25, 0.5, 1.0, 2.0),
+    "rank_terms": tuple(itertools.permutations(RANK_TERMS)),
+    "iteration_major": (True, False),
+    "speculate": (True, False),
+    "gap_mode": GAP_MODES,
+    "enable_hoist": (True, False),
+    "enable_fuse": (True, False),
+    "enable_slack": (True, False),
+}
+
+ALL_AXES = tuple(AXIS_CHOICES)
+
+
+def random_policy(rng: random.Random, *,
+                  allow_gap_off: bool = False) -> SchedulePolicy:
+    """One valid policy drawn from ``rng`` (deterministic per seed).
+
+    The draw leans toward the default on axes where most of the mass
+    of *good* policies sits (iteration-major on, speculation on, gap
+    prevention strict-ish) while still exploring every choice.  The
+    fuzz harness passes ``allow_gap_off=True`` to reach the gap-off
+    corner too; the tuner keeps gap prevention on in random starts
+    (descent can still turn it off deliberately).
+
+    ``unroll`` stays ``None``: both callers pin the unroll externally.
+    """
+    terms = list(RANK_TERMS)
+    rng.shuffle(terms)
+    gap_menu = GAP_MODES if allow_gap_off else ("strict", "strict", "local")
+    return SchedulePolicy(
+        rank_terms=tuple(terms),
+        chain_weight=rng.choice((0.5, 1.0, 1.0, 2.0, 4.0)),
+        dep_weight=rng.choice((0.25, 0.5, 1.0, 1.0, 2.0)),
+        iteration_major=rng.random() < 0.85,
+        fill_order=rng.choice(FILL_ORDERS),
+        speculate=rng.random() < 0.8,
+        gap_mode=rng.choice(gap_menu),
+        enable_hoist=rng.random() < 0.8,
+        enable_fuse=rng.random() < 0.8,
+        enable_slack=rng.random() < 0.8,
+    )
+
+
+# ----------------------------------------------------------------------
+# Objective
+
+
+def evaluate_policy(kernel: str, fus: int, policy: SchedulePolicy | None,
+                    *, unroll: int | None = None, cache=None) -> int:
+    """Realized VM cycles of ``kernel`` scheduled under ``policy``.
+
+    Mirrors the bench runner's ``vm`` backend exactly: counted loops
+    report :func:`differential_check`'s realized cycles over the
+    unwound graph; program-shaped kernels pair a sequential and a VM
+    run of the same initial state.  Raises whatever the scheduler or
+    the check raises -- callers decide whether that kills the run
+    (default policy) or just the candidate (search points).
+    """
+    from .. import api
+    from ..backend import differential_check
+    from ..bench.runner import default_unroll
+    from ..ir.loops import LoopProgram
+    from ..machine import MachineConfig
+
+    if unroll is None:
+        unroll = default_unroll(fus)
+    machine = MachineConfig(fus=fus)
+    program = api.load_kernel(kernel, unroll)
+    res = api.schedule(
+        program, machine,
+        options=api.ScheduleOptions(unroll=unroll, measure=False,
+                                    policy=policy),
+        cache=cache)
+    if isinstance(program, LoopProgram):
+        from ..backend.check import realized_program_pair
+
+        rep = differential_check(res.graph, machine)
+        _, vm_res = realized_program_pair(program.graph, res.graph,
+                                          rep.program)
+        return vm_res.cycles
+    rep = differential_check(res.unwound.graph, machine)
+    return rep.realized_cycles
+
+
+def _eval_task(task) -> tuple[int | None, str | None]:
+    """Pool-picklable objective: ``(cycles, None)`` or ``(None, error)``.
+
+    ``task`` is ``(kernel, fus, unroll, policy_dict, cache_dir)`` with
+    the policy as a plain dict (keeps the task JSON/pickle-trivial).
+    """
+    kernel, fus, unroll, policy_dict, cache_dir = task
+    from ..bench.runner import _cache_for
+
+    try:
+        policy = SchedulePolicy.from_dict(policy_dict)
+        cycles = evaluate_policy(kernel, fus, policy, unroll=unroll,
+                                 cache=_cache_for(cache_dir))
+        return cycles, None
+    except Exception as exc:  # noqa: BLE001 - candidate skipped, not fatal
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def _blocked_reasons(kernel: str, fus: int, unroll: int) -> list[str]:
+    """Distinct ``top_blocked`` reason codes of one profiled default run."""
+    from .. import api
+    from ..machine import MachineConfig
+    from ..obs import DecisionJournal
+
+    journal = DecisionJournal(keep_events=False)
+    program = api.load_kernel(kernel, unroll)
+    api.schedule(program, MachineConfig(fus=fus),
+                 options=api.ScheduleOptions(unroll=unroll, measure=False),
+                 tracer=journal)
+    reasons: list[str] = []
+    for entry in journal.top_blocked(8):
+        if entry["reason"] not in reasons:
+            reasons.append(entry["reason"])
+    return reasons
+
+
+def _axis_order(reasons: list[str]) -> tuple[str, ...]:
+    """Descent axis order: reason-steered axes first, then the rest."""
+    order: list[str] = []
+    for reason in reasons:
+        for axis in REASON_AXES.get(reason, ()):
+            if axis not in order:
+                order.append(axis)
+    for axis in ALL_AXES:
+        if axis not in order:
+            order.append(axis)
+    return tuple(order)
+
+
+# ----------------------------------------------------------------------
+# Per-cell search
+
+
+@dataclass
+class TuneEntry:
+    """The outcome of one (kernel, fus) cell."""
+
+    kernel: str
+    fus: int
+    unroll: int
+    policy: SchedulePolicy
+    cycles: int
+    default_cycles: int
+    evals: int
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        return self.cycles < self.default_cycles
+
+
+@dataclass
+class TuneReport:
+    """All cells of one ``repro tune`` run."""
+
+    entries: list[TuneEntry]
+    budget: int
+    seed: int
+    wall_seconds: float
+
+    @property
+    def improved(self) -> int:
+        return sum(1 for e in self.entries if e.improved)
+
+
+def tune_cell(kernel: str, fus: int, *, budget: int = DEFAULT_BUDGET,
+              seed: int = 0, unroll: int | None = None,
+              cache_dir: str | None = None, pool=None,
+              log=None) -> TuneEntry:
+    """Search one cell; see the module docstring for the shape."""
+    from ..bench.runner import _cache_for, default_unroll
+
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    if unroll is None:
+        unroll = default_unroll(fus)
+    rng = random.Random(f"grip-tune:{kernel}:{fus}:{seed}")
+
+    # The incumbent must evaluate cleanly -- a failure here is a real
+    # error, not a skippable candidate.
+    default_cycles = evaluate_policy(kernel, fus, None, unroll=unroll,
+                                     cache=_cache_for(cache_dir))
+    evals = 1
+    best, best_cycles = DEFAULT_POLICY, default_cycles
+    seen = {DEFAULT_POLICY.fingerprint()}
+    reasons = _blocked_reasons(kernel, fus, unroll)
+
+    def run_batch(policies) -> bool:
+        """Evaluate fresh candidates (within budget); True on improvement."""
+        nonlocal evals, best, best_cycles
+        fresh = []
+        for pol in policies:
+            fp = pol.fingerprint()
+            if fp in seen:
+                continue
+            seen.add(fp)
+            fresh.append(pol)
+        fresh = fresh[:max(0, budget - evals)]
+        if not fresh:
+            return False
+        tasks = [(kernel, fus, unroll, pol.to_dict(), cache_dir)
+                 for pol in fresh]
+        results = (pool.map(_eval_task, tasks) if pool is not None
+                   else [_eval_task(t) for t in tasks])
+        evals += len(fresh)
+        moved = False
+        for pol, (cycles, err) in zip(fresh, results):
+            if cycles is None:
+                if log:
+                    log(f"    skip {pol.fingerprint()}: {err}")
+                continue
+            if cycles < best_cycles:
+                best, best_cycles = pol, cycles
+                moved = True
+        return moved
+
+    # Phase 1: seeded multi-start random sampling (about half the
+    # budget).  Draw with a retry margin so fingerprint-duplicate draws
+    # don't silently shrink the phase.
+    n_random = max(1, (budget - 1) // 2)
+    starts, attempts = [], 0
+    while len(starts) < n_random and attempts < 4 * n_random:
+        attempts += 1
+        pol = random_policy(rng)
+        if pol.fingerprint() not in seen and pol not in starts:
+            starts.append(pol)
+    run_batch(starts)
+
+    # Phase 2: greedy coordinate descent from the best point, axes in
+    # reason-steered order; stop on a full no-improvement sweep.
+    axes = _axis_order(reasons)
+    moved = True
+    while moved and evals < budget:
+        moved = False
+        for axis in axes:
+            if evals >= budget:
+                break
+            current = getattr(best, axis)
+            cands = [replace(best, **{axis: value})
+                     for value in AXIS_CHOICES[axis] if value != current]
+            if run_batch(cands):
+                moved = True
+
+    if log:
+        verdict = (f"improved {default_cycles} -> {best_cycles}"
+                   if best_cycles < default_cycles
+                   else f"default best at {default_cycles}")
+        log(f"  {kernel} fus={fus} unroll={unroll}: {verdict} "
+            f"({evals} evals, blocked: {', '.join(reasons) or 'none'})")
+    return TuneEntry(kernel=kernel, fus=fus, unroll=unroll, policy=best,
+                     cycles=best_cycles, default_cycles=default_cycles,
+                     evals=evals, reasons=reasons)
+
+
+def run_tune(kernels, fu_configs, *, budget: int = DEFAULT_BUDGET,
+             seed: int = 0, jobs: int = 1, cache_dir: str | None = None,
+             log=None) -> TuneReport:
+    """Tune every (kernel, fus) cell; candidate batches fan over a pool."""
+    t0 = time.perf_counter()
+    pool = None
+    entries: list[TuneEntry] = []
+    try:
+        if jobs > 1:
+            pool = multiprocessing.Pool(processes=jobs)
+        for kernel in kernels:
+            for fus in fu_configs:
+                entries.append(tune_cell(
+                    kernel, fus, budget=budget, seed=seed,
+                    cache_dir=cache_dir, pool=pool, log=log))
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+    return TuneReport(entries=entries, budget=budget, seed=seed,
+                      wall_seconds=time.perf_counter() - t0)
+
+
+# ----------------------------------------------------------------------
+# Verification
+
+
+def verify_tuned(path, *, cache_dir: str | None = None,
+                 log=None) -> list[str]:
+    """Re-execute a TUNED artifact; return exact-cycle mismatches.
+
+    For every entry the stored policy is rebuilt with
+    :meth:`SchedulePolicy.from_dict` and pushed back through
+    ``repro.api.schedule`` + the differential check; both the tuned
+    and the default cycle counts must reproduce *exactly*.  An empty
+    return means the artifact is live.
+    """
+    from ..bench.runner import _cache_for
+
+    from .artifact import validate_tuned_file
+
+    payload = validate_tuned_file(path)
+    cache = _cache_for(cache_dir)
+    mismatches: list[str] = []
+    for entry in payload["entries"]:
+        cell = f"{entry['kernel']} fus={entry['fus']}"
+        policy = SchedulePolicy.from_dict(entry["policy"])
+        got = evaluate_policy(entry["kernel"], entry["fus"], policy,
+                              unroll=entry["unroll"], cache=cache)
+        if got != entry["cycles"]:
+            mismatches.append(
+                f"{cell}: tuned cycles {entry['cycles']} != replayed {got}")
+        got_default = evaluate_policy(entry["kernel"], entry["fus"], None,
+                                      unroll=entry["unroll"], cache=cache)
+        if got_default != entry["default_cycles"]:
+            mismatches.append(
+                f"{cell}: default cycles {entry['default_cycles']} != "
+                f"replayed {got_default}")
+        if log:
+            status = "ok" if not any(m.startswith(cell) for m in mismatches) \
+                else "MISMATCH"
+            log(f"  {cell}: {status}")
+    return mismatches

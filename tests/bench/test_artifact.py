@@ -158,3 +158,48 @@ class TestDiffGate:
         assert diff.incomparable == [("LL1", 4, "grip")]
         assert not diff.regressions
         assert "INCOMPARABLE" in diff.render()
+
+
+class TestPolicyDiff:
+    """Cells scheduled under different policies never diff silently."""
+
+    def test_different_policy_is_incomparable(self):
+        old = artifact([record(speedup=4.0, policy_fingerprint="aa" * 8)])
+        new = artifact([record(speedup=2.0, policy_fingerprint="bb" * 8)])
+        diff = diff_artifacts(old, new)
+        assert not diff.ok
+        assert diff.incomparable == [("LL1", 4, "grip")]
+        assert not diff.regressions
+        rendered = diff.render()
+        assert "INCOMPARABLE" in rendered
+        assert "different schedule policy" in rendered
+
+    def test_same_policy_diffs_normally(self):
+        old = artifact([record(speedup=4.0, policy_fingerprint="aa" * 8)])
+        new = artifact([record(speedup=4.0, policy_fingerprint="aa" * 8)])
+        assert diff_artifacts(old, new).ok
+
+    def test_absent_fingerprint_means_default(self):
+        """Pre-policy baselines gate default-policy sweeps cleanly."""
+        from repro.scheduling.policy import DEFAULT_POLICY
+
+        old = artifact([record(speedup=4.0)])  # pre-policy record
+        new = artifact([record(
+            speedup=4.0, policy_fingerprint=DEFAULT_POLICY.fingerprint())])
+        diff = diff_artifacts(old, new)
+        assert diff.ok
+        assert diff.incomparable == []
+        assert diff.unchanged == 1
+
+    def test_absent_vs_non_default_is_incomparable(self):
+        old = artifact([record(speedup=4.0)])
+        new = artifact([record(speedup=4.0, policy_fingerprint="cc" * 8)])
+        diff = diff_artifacts(old, new)
+        assert not diff.ok
+        assert diff.incomparable == [("LL1", 4, "grip")]
+
+    def test_policy_fingerprint_round_trips(self):
+        art = artifact([record(policy_fingerprint="ab" * 8)])
+        back = BenchArtifact.from_json(art.to_json())
+        assert back.records[0].policy_fingerprint == "ab" * 8
+        assert back == art

@@ -182,14 +182,13 @@ class TestStratification:
     def test_stratified_seeds_balanced_and_pure(self):
         from collections import Counter
 
-        from repro.bench.fuzz import STRATA, stratified_seeds, stratum_of
-        from repro.workloads.synth import scenario_from_seed
+        from repro.bench.fuzz import STRATA, case_stratum, stratified_seeds
 
-        seeds = stratified_seeds(28, 0)
-        assert len(seeds) == 28
-        assert len(set(seeds)) == 28
-        assert seeds == stratified_seeds(28, 0)  # pure
-        counts = Counter(stratum_of(scenario_from_seed(s)) for s in seeds)
+        seeds = stratified_seeds(33, 0)
+        assert len(seeds) == 33
+        assert len(set(seeds)) == 33
+        assert seeds == stratified_seeds(33, 0)  # pure
+        counts = Counter(case_stratum(s) for s in seeds)
         assert set(counts) == set(STRATA)
         assert max(counts.values()) - min(counts.values()) <= 1
 
@@ -383,3 +382,73 @@ class TestBatchedLanes:
             main(["fuzz", "--budget", "1", "--lanes", "0"])
         assert exc.value.code == 2
         assert "--lanes must be" in capsys.readouterr().err
+
+
+class TestPolicyStratum:
+    """Fuzz cases scheduled under seeded random policies.
+
+    About a quarter of seeds carry a ``policy_seed``; their schedules
+    run under a random-but-valid SchedulePolicy and every check
+    applies unchanged.  Artifacts record both the seed and the
+    rendered policy dict; replay uses the dict (robust against
+    random_policy draw drift)."""
+
+    def _policy_seed(self, tamper_observable=False):
+        for s in range(200):
+            case = case_from_seed(s)
+            if case.policy_seed is None:
+                continue
+            if not tamper_observable:
+                return s
+            if run_case(case, tamper="drop-store") is not None:
+                return s
+        raise AssertionError("no policy-stratum seed found in [0, 200)")
+
+    def test_policy_axis_is_exercised_and_pure(self):
+        cases = [case_from_seed(s) for s in range(40)]
+        with_policy = [c for c in cases if c.policy_seed is not None]
+        assert with_policy
+        assert len(with_policy) < len(cases)  # default path still covered
+        c = with_policy[0]
+        assert c.policy() == case_from_seed(c.seed).policy()
+        assert c.policy().unroll is None
+
+    def test_policy_case_runs_clean(self):
+        failure = run_case(case_from_seed(self._policy_seed()))
+        assert failure is None
+
+    def test_stratified_seeds_cover_policy(self):
+        from repro.bench.fuzz import STRATA, case_stratum, stratified_seeds
+
+        assert "policy" in STRATA
+        seeds = stratified_seeds(33, 0)
+        strata = {case_stratum(s) for s in seeds}
+        assert "policy" in strata
+
+    def test_artifact_records_policy_and_replays(self, tmp_path):
+        seed = self._policy_seed(tamper_observable=True)
+        report = run_fuzz(1, seed, verify_every=0, out_dir=tmp_path,
+                          tamper="drop-store", log=lambda msg: None)
+        assert not report.ok
+        art = tmp_path / f"FUZZ_{seed}.json"
+        data = json.loads(art.read_text())
+        assert data["case"]["policy_seed"] == seed
+        pol = data["case"]["policy"]
+        assert pol is not None
+        from repro.scheduling.policy import SchedulePolicy
+
+        assert SchedulePolicy.from_dict(pol) == case_from_seed(seed).policy()
+        failure = replay(art)
+        assert failure is not None
+
+    def test_default_case_records_no_policy(self, tmp_path):
+        for s in range(40):
+            if case_from_seed(s).policy_seed is None:
+                seed = s
+                break
+        report = run_fuzz(1, seed, verify_every=0, out_dir=tmp_path,
+                          tamper="drop-store", log=lambda msg: None)
+        if not report.ok:  # not every seed observes the tamper
+            data = json.loads((tmp_path / f"FUZZ_{seed}.json").read_text())
+            assert data["case"]["policy_seed"] is None
+            assert data["case"]["policy"] is None

@@ -1,0 +1,124 @@
+"""Disk caps of the schedule cache store: max-entries + TTL.
+
+The caps exist for many-policy churn (``repro tune`` writes one entry
+per candidate policy); the contracts are: the store never holds more
+than ``max_entries`` on disk after a put, expired entries read as
+misses and are unlinked, both paths tick their metrics counters, and
+a capped cache still answers warm hits bit-identically.
+"""
+
+import time
+
+import pytest
+
+from repro import api
+from repro.cache import ScheduleCache
+from repro.machine import MachineConfig
+from repro.workloads import build_kernel
+
+
+def _put(cache, kernel="LL1", fus=2, unroll=6):
+    opts = api.ScheduleOptions(unroll=unroll, measure=False)
+    loop = build_kernel(kernel, unroll)
+    return api.schedule(loop, MachineConfig(fus=fus), options=opts,
+                        cache=cache), opts
+
+
+def _disk_entries(cache):
+    return sorted(cache.root.glob("??/*.pkl"))
+
+
+class TestValidation:
+    def test_rejects_bad_caps(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            ScheduleCache(tmp_path, max_entries=0)
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            ScheduleCache(tmp_path, ttl_seconds=0)
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            ScheduleCache(tmp_path, ttl_seconds=-5)
+
+
+class TestMaxEntries:
+    def test_oldest_evicted_beyond_cap(self, tmp_path):
+        import os
+
+        cache = ScheduleCache(tmp_path, max_entries=2)
+        stamped = set()
+        for i, kernel in enumerate(("LL1", "LL2", "LL3")):
+            _put(cache, kernel)
+            # distinct mtimes so "oldest" is well-defined on coarse
+            # filesystem timestamps
+            for p in _disk_entries(cache):
+                if p not in stamped:
+                    os.utime(p, (time.time() - 30 + 10 * i,) * 2)
+                    stamped.add(p)
+        assert len(_disk_entries(cache)) == 2
+        assert cache.counters().get("disk_evictions") == 1
+
+    def test_within_cap_keeps_everything(self, tmp_path):
+        cache = ScheduleCache(tmp_path, max_entries=8)
+        for kernel in ("LL1", "LL2", "LL3"):
+            _put(cache, kernel)
+        assert len(_disk_entries(cache)) == 3
+        assert not cache.counters().get("disk_evictions")
+
+    def test_survivor_still_hits_bit_identically(self, tmp_path):
+        from repro.ir.render import schedule_table
+
+        cache = ScheduleCache(tmp_path, max_entries=1)
+        _put(cache, "LL1")
+        cold, opts = _put(cache, "LL3")  # evicts the LL1 entry
+        warm, _ = _put(cache, "LL3")
+        assert cache.hits == 1
+        assert schedule_table(warm.unwound.graph) == \
+            schedule_table(cold.unwound.graph)
+        # the evicted entry is a clean miss, not an error
+        _put(cache, "LL1")
+        assert cache.counters().get("misses") == 3
+
+
+class TestTTL:
+    def test_expired_disk_entry_is_a_miss_and_unlinked(self, tmp_path):
+        import os
+
+        cache = ScheduleCache(tmp_path, ttl_seconds=60)
+        _put(cache, "LL1")
+        (path,) = _disk_entries(cache)
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        # fresh handle: no LRU front, the verdict comes from the mtime
+        cache2 = ScheduleCache(tmp_path, ttl_seconds=60)
+        res, _ = _put(cache2, "LL1")
+        assert cache2.counters().get("expired") == 1
+        assert cache2.counters().get("misses") == 1
+        assert res is not None
+
+    def test_front_hit_expires_too(self, tmp_path):
+        cache = ScheduleCache(tmp_path, ttl_seconds=60)
+        _put(cache, "LL1")
+        # age the front stamp directly (same handle, warm LRU)
+        for digest in list(cache._stamps):
+            cache._stamps[digest] -= 3600
+        _put(cache, "LL1")
+        assert cache.counters().get("expired") == 1
+        assert cache.hits == 0
+
+    def test_fresh_entry_hits_normally(self, tmp_path):
+        cache = ScheduleCache(tmp_path, ttl_seconds=3600)
+        _put(cache, "LL1")
+        _put(cache, "LL1")
+        assert cache.hits == 1
+        assert not cache.counters().get("expired")
+
+
+class TestMetricsRegistry:
+    def test_counters_flow_through_shared_registry(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        cache = ScheduleCache(tmp_path, max_entries=1, metrics=reg)
+        _put(cache, "LL1")
+        _put(cache, "LL2")
+        grp = reg.group("cache")
+        assert grp.get("stores") == 2
+        assert grp.get("disk_evictions") == 1

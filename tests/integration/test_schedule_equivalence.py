@@ -105,6 +105,80 @@ def test_memoize_skips_rebuilds():
     assert r_memo.candidate_builds <= r_base.candidate_builds
 
 
+@pytest.mark.parametrize("name", livermore.kernel_names())
+@pytest.mark.parametrize("fus", FU_CONFIGS)
+def test_default_policy_schedule_neutral(name, fus):
+    """DEFAULT_POLICY is schedule-neutral versus the legacy heuristic.
+
+    The policy-parametric path (no explicit heuristic: the scheduler
+    resolves ``WeightedHeuristic(DEFAULT_POLICY)``) must produce
+    bit-identical schedules to the pre-policy ``PaperHeuristic`` over
+    every Table-1 cell -- the contract that lets the committed bench
+    baseline survive the refactor without regeneration.
+    """
+    from repro.scheduling import PaperHeuristic
+
+    unroll = max(12, 3 * fus)
+
+    def run(heuristic):
+        loop = livermore.kernel(name, unroll)
+        unwound = unwind_counted(loop, unroll)
+        scheduler = GRiPScheduler(MachineConfig(fus=fus), heuristic)
+        res = scheduler.schedule(unwound.graph, ranking_ops=unwound.ops)
+        pattern = find_pattern(unwound, unwound.graph)
+        return (normalize(render_graph(unwound.graph)), res.stats,
+                res.nodes_processed, str(pattern))
+
+    assert run(None) == run(PaperHeuristic())
+
+
+@pytest.mark.parametrize("name", ("SYNWHL", "SYNSEQ"))
+def test_default_policy_neutral_for_programs(name):
+    """Program-shaped kernels: explicit DEFAULT_POLICY == policy-less.
+
+    ``schedule_program`` threads the policy through every staged pass
+    (hoist / fuse / unwind / compact / slack); passing DEFAULT_POLICY
+    explicitly must change nothing versus the ``policy=None`` default.
+    """
+    from repro import api
+    from repro.scheduling import DEFAULT_POLICY
+
+    def run(policy):
+        program = api.load_kernel(name, 8)
+        res = api.schedule(
+            program, MachineConfig(fus=4),
+            options=api.ScheduleOptions(unroll=8, measure=True, seeds=(0,),
+                                        policy=policy))
+        return (normalize(render_graph(res.graph)), res.speedup,
+                res.measured_par_cycles)
+
+    assert run(None) == run(DEFAULT_POLICY)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_policies_schedule_correctly(seed):
+    """Property: any valid policy yields a valid, equivalent schedule.
+
+    Seeded random policies (the same generator the fuzz ``policy``
+    stratum and ``repro tune`` draw from) are pushed through the full
+    fuzz check pipeline -- structural graph check, slot budgets,
+    walker equivalence, batched-VM differential.  A policy may change
+    the schedule; it must never break it.
+    """
+    import random
+
+    from repro.bench.fuzz import check_source
+    from repro.tune import random_policy
+    from repro.workloads.synth import generate, scenario_from_seed
+
+    policy = random_policy(random.Random(f"policy-prop:{seed}"),
+                           allow_gap_off=True)
+    program = generate(scenario_from_seed(seed))
+    stats = check_source(program.source(), 6, MachineConfig(fus=4),
+                         name=f"prop{seed}", policy=policy)
+    assert stats.n_lanes > 0
+
+
 def test_incremental_indexes_verified_under_real_scheduling():
     """Paranoid end-to-end pin of the incremental analysis layer.
 

@@ -1,0 +1,151 @@
+"""Unit tests for the SchedulePolicy surface.
+
+Three contracts: (1) a policy is a validated, frozen, fingerprinted
+value -- invalid shapes are rejected at construction and the dict
+round-trip is lossless; (2) ``WeightedHeuristic(DEFAULT_POLICY)``
+produces rank keys *tuple-identical* to the legacy ``PaperHeuristic``
+(the int-preserving weight trick: no float creeps into a default
+key); (3) non-default axes actually steer: weights reorder ranks,
+fill orders permute candidate order, and every axis shows up in the
+fingerprint.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.pipelining import unwind_counted
+from repro.scheduling import (
+    DEFAULT_POLICY,
+    PaperHeuristic,
+    SchedulePolicy,
+    WeightedHeuristic,
+)
+from repro.scheduling.moveable import _apply_fill_order
+from repro.scheduling.policy import FILL_ORDERS, GAP_MODES
+from repro.workloads import livermore
+
+
+class TestValidation:
+    def test_default_is_default(self):
+        assert DEFAULT_POLICY.is_default
+        assert SchedulePolicy().fingerprint() == DEFAULT_POLICY.fingerprint()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rank_terms": ("chain", "chain", "pos")},
+        {"rank_terms": ("chain", "deps")},
+        {"rank_terms": ("chain", "deps", "nope")},
+        {"chain_weight": 0.0},
+        {"chain_weight": -1.0},
+        {"dep_weight": float("nan")},
+        {"dep_weight": float("inf")},
+        {"fill_order": "random"},
+        {"gap_mode": "maybe"},
+        {"unroll": 1},
+        {"unroll": 2.5},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            SchedulePolicy(**kwargs)
+
+    def test_round_trip(self):
+        pol = SchedulePolicy(rank_terms=("pos", "chain", "deps"),
+                             chain_weight=2.0, dep_weight=0.5,
+                             iteration_major=False, fill_order="alternate",
+                             speculate=False, unroll=6, gap_mode="local",
+                             enable_fuse=False)
+        back = SchedulePolicy.from_dict(pol.to_dict())
+        assert back == pol
+        assert back.fingerprint() == pol.fingerprint()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SchedulePolicy.from_dict({"speculate": True, "warp": 9})
+
+    def test_list_rank_terms_coerced(self):
+        pol = SchedulePolicy(rank_terms=["deps", "chain", "pos"])
+        assert pol.rank_terms == ("deps", "chain", "pos")
+
+    def test_every_axis_moves_the_fingerprint(self):
+        fps = {DEFAULT_POLICY.fingerprint()}
+        for change in ({"rank_terms": ("deps", "chain", "pos")},
+                       {"chain_weight": 2.0}, {"dep_weight": 0.5},
+                       {"iteration_major": False},
+                       {"fill_order": "reversed"}, {"speculate": False},
+                       {"unroll": 4}, {"gap_mode": "local"},
+                       {"enable_hoist": False}, {"enable_fuse": False},
+                       {"enable_slack": False}):
+            fp = replace(DEFAULT_POLICY, **change).fingerprint()
+            assert fp not in fps, f"fingerprint collision for {change}"
+            fps.add(fp)
+
+
+class TestWeightedHeuristic:
+    @pytest.mark.parametrize("name", ("LL1", "LL3", "LL5"))
+    def test_default_ranks_tuple_identical_to_paper(self, name):
+        unwound = unwind_counted(livermore.kernel(name, 8), 8)
+        paper = PaperHeuristic().rank(unwound.ops)
+        weighted = WeightedHeuristic(DEFAULT_POLICY).rank(unwound.ops)
+        assert weighted == paper
+        # not merely ==: no float snuck into a default key
+        for key in weighted.values():
+            assert all(isinstance(term, int) for term in key)
+
+    def test_weights_reorder(self):
+        unwound = unwind_counted(livermore.kernel("LL3", 8), 8)
+        base = WeightedHeuristic(DEFAULT_POLICY).rank(unwound.ops)
+        heavy = WeightedHeuristic(
+            replace(DEFAULT_POLICY, dep_weight=8.0)).rank(unwound.ops)
+        assert base != heavy
+
+    def test_term_order_respected(self):
+        unwound = unwind_counted(livermore.kernel("LL3", 8), 8)
+        pol = replace(DEFAULT_POLICY, rank_terms=("pos", "chain", "deps"))
+        swapped = WeightedHeuristic(pol).rank(unwound.ops)
+        base = WeightedHeuristic(DEFAULT_POLICY).rank(unwound.ops)
+        # same multiset of (it, terms...) components, different order
+        assert {k for k in swapped} == {k for k in base}
+        assert any(swapped[t] != base[t] for t in base)
+
+
+class TestFillOrder:
+    RANKED = ["a", "b", "c", "d", "e"]
+
+    def test_ranked_is_identity(self):
+        assert _apply_fill_order(self.RANKED, "ranked") == self.RANKED
+
+    def test_reversed(self):
+        assert _apply_fill_order(self.RANKED, "reversed") == \
+            ["e", "d", "c", "b", "a"]
+
+    def test_alternate_interleaves_best_worst(self):
+        assert _apply_fill_order(self.RANKED, "alternate") == \
+            ["a", "e", "b", "d", "c"]
+
+    @pytest.mark.parametrize("order", FILL_ORDERS)
+    def test_every_order_is_a_permutation(self, order):
+        out = _apply_fill_order(self.RANKED, order)
+        assert sorted(out) == sorted(self.RANKED)
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            _apply_fill_order(self.RANKED, "nope")
+
+
+class TestRandomPolicy:
+    def test_deterministic_per_seed(self):
+        from repro.tune import random_policy
+
+        a = random_policy(random.Random("s:7"), allow_gap_off=True)
+        b = random_policy(random.Random("s:7"), allow_gap_off=True)
+        assert a == b
+
+    def test_draws_are_valid_and_diverse(self):
+        from repro.tune import random_policy
+
+        pols = [random_policy(random.Random(f"s:{i}"), allow_gap_off=True)
+                for i in range(40)]
+        assert len({p.fingerprint() for p in pols}) > 10
+        assert all(p.gap_mode in GAP_MODES for p in pols)
+        assert all(p.unroll is None for p in pols)

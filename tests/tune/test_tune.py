@@ -1,0 +1,215 @@
+"""Unit + integration tests for the ``repro tune`` autotuner lane.
+
+The load-bearing contracts: the objective equals the bench runner's
+realized-cycle measurement (so tuned numbers are comparable to
+BENCH artifacts at the same unroll), the search is deterministic per
+seed and never returns worse-than-default (the default is in the
+candidate set), failed candidates are skipped rather than fatal, and
+the TUNED artifact round-trips through validation + exact-cycle
+re-execution.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.scheduling.policy import DEFAULT_POLICY, SchedulePolicy
+from repro.tune import (
+    TuneEntry,
+    TuneReport,
+    evaluate_policy,
+    random_policy,
+    validate_tuned_file,
+    verify_tuned,
+    write_tuned,
+)
+from repro.tune.search import (
+    AXIS_CHOICES,
+    REASON_AXES,
+    _axis_order,
+    _eval_task,
+    tune_cell,
+)
+
+
+def report(entries, budget=6, seed=0):
+    return TuneReport(entries=entries, budget=budget, seed=seed,
+                      wall_seconds=1.0)
+
+
+def entry(kernel="LL3", fus=4, cycles=24, default_cycles=24, **kw):
+    kw.setdefault("unroll", 12)
+    kw.setdefault("policy", DEFAULT_POLICY)
+    kw.setdefault("evals", 6)
+    return TuneEntry(kernel=kernel, fus=fus, cycles=cycles,
+                     default_cycles=default_cycles, **kw)
+
+
+class TestObjective:
+    def test_matches_bench_vm_backend(self):
+        """The tune objective IS the bench vm realized-cycle column."""
+        from repro.bench.runner import BenchJob, run_job
+
+        rec = run_job(BenchJob(kernel="LL3", fus=4, backend="vm", unroll=12))
+        assert evaluate_policy("LL3", 4, None, unroll=12) == \
+            rec.realized_cycles
+
+    def test_program_kernels_supported(self):
+        cycles = evaluate_policy("SYNWHL", 4, None, unroll=6)
+        assert cycles > 0
+
+    def test_eval_task_skips_bad_candidates(self):
+        cycles, err = _eval_task(("NOPE", 4, 12, None, None))
+        assert cycles is None
+        assert err
+
+    def test_eval_task_round_trips_policy_dict(self):
+        pol = random_policy(random.Random("t:1"))
+        cycles, err = _eval_task(("LL1", 2, 12, pol.to_dict(), None))
+        assert err is None
+        assert cycles == evaluate_policy("LL1", 2, pol, unroll=12)
+
+
+class TestSearch:
+    def test_axis_order_reason_steered(self):
+        order = _axis_order(["gap-veto", "speculation"])
+        assert order[0] == "gap_mode"
+        assert order[1] == "speculate"
+        assert set(order) == set(AXIS_CHOICES)
+
+    def test_axis_order_unknown_reason_harmless(self):
+        assert set(_axis_order(["no-such-reason"])) == set(AXIS_CHOICES)
+
+    def test_reason_axes_name_real_axes(self):
+        for axes in REASON_AXES.values():
+            for axis in axes:
+                assert axis in AXIS_CHOICES
+
+    def test_never_worse_than_default_and_deterministic(self):
+        a = tune_cell("LL3", 2, budget=5, seed=3)
+        b = tune_cell("LL3", 2, budget=5, seed=3)
+        assert a.cycles <= a.default_cycles
+        assert a.evals <= 5
+        assert (a.policy, a.cycles, a.evals) == (b.policy, b.cycles, b.evals)
+
+    def test_budget_one_is_default_only(self):
+        e = tune_cell("LL1", 2, budget=1, seed=0)
+        assert e.policy == DEFAULT_POLICY
+        assert e.evals == 1
+        assert not e.improved
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            tune_cell("LL1", 2, budget=0)
+
+
+class TestArtifact:
+    def test_round_trip_validates(self, tmp_path):
+        rep = report([entry(), entry(kernel="LL1", fus=2, cycles=70,
+                                     default_cycles=74)])
+        out = tmp_path / "TUNED_test.json"
+        payload = write_tuned(rep, out, name="test")
+        assert payload == validate_tuned_file(out)
+        assert payload["entries"][1]["improved"] is True
+        assert payload["entries"][0]["improved"] is False
+
+    def test_validate_rejects_fingerprint_mismatch(self, tmp_path):
+        out = tmp_path / "TUNED_test.json"
+        write_tuned(report([entry()]), out)
+        data = json.loads(out.read_text())
+        data["entries"][0]["policy_fingerprint"] = "0" * 16
+        out.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="fingerprint"):
+            validate_tuned_file(out)
+
+    def test_validate_rejects_lying_improved_flag(self, tmp_path):
+        out = tmp_path / "TUNED_test.json"
+        write_tuned(report([entry()]), out)
+        data = json.loads(out.read_text())
+        data["entries"][0]["improved"] = True  # but cycles == default
+        out.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="improved"):
+            validate_tuned_file(out)
+
+    def test_validate_rejects_wrong_kind_and_schema(self, tmp_path):
+        out = tmp_path / "TUNED_test.json"
+        write_tuned(report([entry()]), out)
+        data = json.loads(out.read_text())
+        data["kind"] = "other"
+        out.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="kind"):
+            validate_tuned_file(out)
+        data["kind"] = "repro-tuned"
+        data["schema"] = 99
+        out.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="schema"):
+            validate_tuned_file(out)
+
+    def test_validate_rejects_bad_policy_dict(self, tmp_path):
+        out = tmp_path / "TUNED_test.json"
+        write_tuned(report([entry()]), out)
+        data = json.loads(out.read_text())
+        data["entries"][0]["policy"]["gap_mode"] = "bogus"
+        out.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="policy"):
+            validate_tuned_file(out)
+
+
+class TestVerify:
+    def test_real_cell_reproduces_exactly(self, tmp_path):
+        e = tune_cell("LL1", 2, budget=4, seed=0)
+        out = tmp_path / "TUNED_v.json"
+        write_tuned(report([e], budget=4), out)
+        assert verify_tuned(out) == []
+
+    def test_tampered_cycles_detected(self, tmp_path):
+        e = tune_cell("LL1", 2, budget=2, seed=0)
+        out = tmp_path / "TUNED_v.json"
+        write_tuned(report([e], budget=2), out)
+        data = json.loads(out.read_text())
+        for ent in data["entries"]:
+            ent["cycles"] += 1
+            ent["default_cycles"] += 1
+            ent["improved"] = ent["cycles"] < ent["default_cycles"]
+        out.write_text(json.dumps(data))
+        mismatches = verify_tuned(out)
+        assert len(mismatches) == 2
+        assert "tuned cycles" in mismatches[0]
+
+
+class TestEndToEnd:
+    def test_smoke_cli(self, tmp_path, capsys):
+        """``repro tune --smoke``: search, artifact, validation, exit 0."""
+        from repro.__main__ import main
+
+        out = tmp_path / "TUNED_smoke.json"
+        code = main(["tune", "--smoke", "--out", str(out),
+                     "--cache", str(tmp_path / "cache")])
+        assert code == 0
+        payload = validate_tuned_file(out)
+        assert {e["kernel"] for e in payload["entries"]} == {"LL3", "SYNRED"}
+        assert all(e["cycles"] <= e["default_cycles"]
+                   for e in payload["entries"])
+        assert "tune smoke ok" in capsys.readouterr().out
+
+    def test_check_cli_exit_codes(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "TUNED_c.json"
+        write_tuned(report([tune_cell("LL1", 2, budget=2, seed=0)],
+                           budget=2), out)
+        assert main(["tune", "--check", str(out)]) == 0
+        data = json.loads(out.read_text())
+        data["entries"][0]["cycles"] += 5
+        data["entries"][0]["improved"] = (
+            data["entries"][0]["cycles"] < data["entries"][0]["default_cycles"])
+        out.write_text(json.dumps(data))
+        assert main(["tune", "--check", str(out)]) == 1
+
+    def test_smoke_rejects_conflicting_flags(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["tune", "--smoke", "--budget", "50"])
+        assert exc.value.code == 2
